@@ -1,0 +1,38 @@
+//! Trace-driven cache hierarchy: per-core L1s over a shared last-level
+//! cache, standing in for the Spike cache model of the paper's
+//! simulation infrastructure.
+//!
+//! The hierarchy filters the cores' access streams down to the LLC-miss
+//! stream PAC coalesces. Two behaviors matter for fidelity:
+//!
+//! * **non-blocking misses with a `Filling` state** — an LLC line whose
+//!   fill is outstanding satisfies later accesses only once the memory
+//!   response arrives; in the meantime further accesses to it are
+//!   forwarded downstream as duplicate raw requests. Those duplicates
+//!   are precisely the merge opportunities a conventional MSHR-based
+//!   DMC exploits (Sec 2.2.1), so they must survive the cache layer;
+//! * **write-back, write-allocate** at both levels — dirty evictions
+//!   become the write-back requests the PAC's WB queue coalesces.
+
+//! # Example
+//!
+//! ```
+//! use cache_sim::{CacheHierarchy, HierarchyOutcome};
+//! use pac_types::CacheConfig;
+//!
+//! let mut h = CacheHierarchy::new(2, CacheConfig::paper_l1(), CacheConfig::paper_l2());
+//! // Core 0 misses everywhere; the LLC line starts filling.
+//! assert!(matches!(h.access(0, 0x1000, false), HierarchyOutcome::Miss { .. }));
+//! // Core 1 hits the same line mid-fill: a duplicate the coalescer's
+//! // MSHRs can merge.
+//! assert!(matches!(h.access(1, 0x1000, false), HierarchyOutcome::Miss { pending: true, .. }));
+//! // After the memory response lands, cross-core accesses hit the LLC.
+//! h.fill_complete(0x1000);
+//! // (core 1's own L1 was already marked, so probe via a third "core")
+//! ```
+
+pub mod cache;
+pub mod hierarchy;
+
+pub use cache::{AccessOutcome, SetAssocCache};
+pub use hierarchy::{CacheHierarchy, HierarchyOutcome};

@@ -1,0 +1,201 @@
+//! Event-based energy accounting for the HMC device.
+//!
+//! The paper's power evaluation (Figs 13–14) reports savings per HMC
+//! operation class. We accumulate energy per class as events occur; the
+//! figure harness derives savings by comparing runs with coalescing off
+//! and on. Constants live in [`pac_types::HmcDeviceConfig`]; this module
+//! only counts.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The HMC operation classes whose energy the paper measures (Fig 13),
+/// plus DRAM bank energy which contributes to the overall figure (Fig 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnergyClass {
+    /// Holding a valid packet in a vault request slot (per cycle).
+    VaultRqstSlot,
+    /// Holding a valid packet in a vault response slot (per cycle).
+    VaultRspSlot,
+    /// A vault controller operation (queue push/pop, bank command issue).
+    VaultCtrl,
+    /// Routing one FLIT from a link to a vault in its own quadrant.
+    LinkLocalRoute,
+    /// Routing one FLIT across the crossbar to a remote quadrant.
+    LinkRemoteRoute,
+    /// One bank activate + precharge pair (closed-page: every reference).
+    BankActPre,
+    /// One 32 B column access.
+    BankAccess,
+}
+
+impl EnergyClass {
+    /// All classes, in display order.
+    pub const ALL: [EnergyClass; 7] = [
+        EnergyClass::VaultRqstSlot,
+        EnergyClass::VaultRspSlot,
+        EnergyClass::VaultCtrl,
+        EnergyClass::LinkLocalRoute,
+        EnergyClass::LinkRemoteRoute,
+        EnergyClass::BankActPre,
+        EnergyClass::BankAccess,
+    ];
+
+    /// The label the paper uses for this class.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyClass::VaultRqstSlot => "VAULT-RQST-SLOT",
+            EnergyClass::VaultRspSlot => "VAULT-RSP-SLOT",
+            EnergyClass::VaultCtrl => "VAULT-CTRL",
+            EnergyClass::LinkLocalRoute => "LINK-LOCAL-ROUTE",
+            EnergyClass::LinkRemoteRoute => "LINK-REMOTE-ROUTE",
+            EnergyClass::BankActPre => "BANK-ACT-PRE",
+            EnergyClass::BankAccess => "BANK-ACCESS",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            EnergyClass::VaultRqstSlot => 0,
+            EnergyClass::VaultRspSlot => 1,
+            EnergyClass::VaultCtrl => 2,
+            EnergyClass::LinkLocalRoute => 3,
+            EnergyClass::LinkRemoteRoute => 4,
+            EnergyClass::BankActPre => 5,
+            EnergyClass::BankAccess => 6,
+        }
+    }
+}
+
+/// Accumulated energy (pJ) and event counts per operation class.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    pj: [f64; 7],
+    events: [u64; 7],
+}
+
+impl EnergyBreakdown {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `count` events of `class`, each costing `pj_each`.
+    #[inline]
+    pub fn add(&mut self, class: EnergyClass, count: u64, pj_each: f64) {
+        self.pj[class.idx()] += count as f64 * pj_each;
+        self.events[class.idx()] += count;
+    }
+
+    /// Event count recorded for a class.
+    #[inline]
+    pub fn events(&self, class: EnergyClass) -> u64 {
+        self.events[class.idx()]
+    }
+
+    /// Total energy across all classes, pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.pj.iter().sum()
+    }
+
+    /// Fractional saving of `self` relative to a `baseline` run, per
+    /// class: `1 - self/baseline`. Returns `None` when the baseline class
+    /// consumed nothing.
+    pub fn saving_vs(&self, baseline: &EnergyBreakdown, class: EnergyClass) -> Option<f64> {
+        let b = baseline.pj[class.idx()];
+        (b > 0.0).then(|| 1.0 - self.pj[class.idx()] / b)
+    }
+
+    /// Overall fractional energy saving relative to `baseline`.
+    pub fn total_saving_vs(&self, baseline: &EnergyBreakdown) -> Option<f64> {
+        let b = baseline.total_pj();
+        (b > 0.0).then(|| 1.0 - self.total_pj() / b)
+    }
+
+    /// Merge another breakdown into this one (for aggregating vaults).
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        for i in 0..7 {
+            self.pj[i] += other.pj[i];
+            self.events[i] += other.events[i];
+        }
+    }
+}
+
+impl Index<EnergyClass> for EnergyBreakdown {
+    type Output = f64;
+    fn index(&self, class: EnergyClass) -> &f64 {
+        &self.pj[class.idx()]
+    }
+}
+
+impl IndexMut<EnergyClass> for EnergyBreakdown {
+    fn index_mut(&mut self, class: EnergyClass) -> &mut f64 {
+        &mut self.pj[class.idx()]
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for class in EnergyClass::ALL {
+            writeln!(
+                f,
+                "{:<18} {:>14.1} pJ  ({} events)",
+                class.label(),
+                self[class],
+                self.events(class)
+            )?;
+        }
+        write!(f, "{:<18} {:>14.1} pJ", "TOTAL", self.total_pj())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut e = EnergyBreakdown::new();
+        e.add(EnergyClass::VaultCtrl, 10, 6.0);
+        e.add(EnergyClass::LinkLocalRoute, 5, 4.0);
+        assert_eq!(e[EnergyClass::VaultCtrl], 60.0);
+        assert_eq!(e.events(EnergyClass::VaultCtrl), 10);
+        assert_eq!(e.total_pj(), 80.0);
+    }
+
+    #[test]
+    fn savings_relative_to_baseline() {
+        let mut base = EnergyBreakdown::new();
+        base.add(EnergyClass::LinkRemoteRoute, 100, 10.0);
+        let mut pac = EnergyBreakdown::new();
+        pac.add(EnergyClass::LinkRemoteRoute, 40, 10.0);
+        let s = pac.saving_vs(&base, EnergyClass::LinkRemoteRoute).unwrap();
+        assert!((s - 0.6).abs() < 1e-12);
+        assert!((pac.total_saving_vs(&base).unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saving_none_when_baseline_empty() {
+        let base = EnergyBreakdown::new();
+        let pac = EnergyBreakdown::new();
+        assert!(pac.saving_vs(&base, EnergyClass::VaultCtrl).is_none());
+        assert!(pac.total_saving_vs(&base).is_none());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyBreakdown::new();
+        a.add(EnergyClass::BankActPre, 1, 35.0);
+        let mut b = EnergyBreakdown::new();
+        b.add(EnergyClass::BankActPre, 2, 35.0);
+        a.merge(&b);
+        assert_eq!(a.events(EnergyClass::BankActPre), 3);
+        assert!((a[EnergyClass::BankActPre] - 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(EnergyClass::VaultRqstSlot.label(), "VAULT-RQST-SLOT");
+        assert_eq!(EnergyClass::LinkRemoteRoute.label(), "LINK-REMOTE-ROUTE");
+    }
+}

@@ -1,0 +1,97 @@
+//! Aggregate statistics collected by the HMC device.
+
+use pac_types::Cycle;
+
+/// Counters accumulated over a run of the device.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HmcStats {
+    /// Requests accepted by the device.
+    pub requests: u64,
+    /// Responses completed.
+    pub responses: u64,
+    /// Total payload bytes moved (request + response data).
+    pub payload_bytes: u64,
+    /// Total bytes moved on the links including control FLITs.
+    pub transaction_bytes: u64,
+    /// Requests that found their target bank busy when they reached the
+    /// head of the vault queue (closed-page bank conflict).
+    pub bank_conflicts: u64,
+    /// Requests routed from a link to a vault in its own quadrant.
+    pub local_routes: u64,
+    /// Requests routed across the crossbar to a remote quadrant.
+    pub remote_routes: u64,
+    /// Sum of end-to-end latencies (submit to response completion), for
+    /// deriving the average access latency.
+    pub total_latency_cycles: u64,
+    /// Peak number of simultaneously in-flight requests observed.
+    pub peak_inflight: usize,
+}
+
+impl HmcStats {
+    /// Average end-to-end access latency in cycles.
+    pub fn avg_latency_cycles(&self) -> f64 {
+        if self.responses == 0 {
+            0.0
+        } else {
+            self.total_latency_cycles as f64 / self.responses as f64
+        }
+    }
+
+    /// Average end-to-end access latency in nanoseconds.
+    pub fn avg_latency_ns(&self) -> f64 {
+        pac_types::cycles_to_ns(1) * self.avg_latency_cycles()
+    }
+
+    /// Transaction efficiency across the whole run (Eq. 2 aggregated):
+    /// payload bytes / total bytes on the wire.
+    pub fn transaction_efficiency(&self) -> f64 {
+        if self.transaction_bytes == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / self.transaction_bytes as f64
+        }
+    }
+
+    /// Bank conflicts per completed request.
+    pub fn conflicts_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.bank_conflicts as f64 / self.requests as f64
+        }
+    }
+
+    /// Record one completed response.
+    pub(crate) fn complete(&mut self, latency: Cycle) {
+        self.responses += 1;
+        self.total_latency_cycles += latency;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_guard_division_by_zero() {
+        let s = HmcStats::default();
+        assert_eq!(s.avg_latency_cycles(), 0.0);
+        assert_eq!(s.transaction_efficiency(), 0.0);
+        assert_eq!(s.conflicts_per_request(), 0.0);
+    }
+
+    #[test]
+    fn latency_average() {
+        let mut s = HmcStats::default();
+        s.complete(100);
+        s.complete(200);
+        assert_eq!(s.avg_latency_cycles(), 150.0);
+        assert_eq!(s.avg_latency_ns(), 75.0);
+    }
+
+    #[test]
+    fn transaction_efficiency_aggregates() {
+        let s = HmcStats { payload_bytes: 64, transaction_bytes: 96, ..Default::default() };
+        assert!((s.transaction_efficiency() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

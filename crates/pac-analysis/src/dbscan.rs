@@ -1,0 +1,194 @@
+//! DBSCAN over one-dimensional physical-address traces.
+//!
+//! The paper clusters a 10 000-cycle request trace by physical address
+//! with ε = 4 KB (one page) to show BFS's requests scattering across
+//! memory while SPARSELU's cluster tightly (Figs 8–9). In one dimension
+//! DBSCAN reduces to a sweep over the sorted points: a point is *core*
+//! when at least `min_pts` points (itself included) lie within ε; core
+//! points within ε of each other share a cluster, and border points join
+//! the cluster of a core point within reach.
+
+/// Cluster assignment for one input point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// Cluster id (0-based).
+    Cluster(usize),
+    /// Noise: not density-reachable from any core point.
+    Noise,
+}
+
+/// Per-cluster digest for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSummary {
+    /// `(min address, max address, member count)` per cluster.
+    pub clusters: Vec<(u64, u64, usize)>,
+    /// Points labelled noise.
+    pub noise: usize,
+    /// Total points.
+    pub total: usize,
+}
+
+impl ClusterSummary {
+    /// Fraction of points in clusters (vs. noise).
+    pub fn clustered_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 - self.noise as f64 / self.total as f64
+        }
+    }
+}
+
+/// Run 1-D DBSCAN over `points` (unsorted, duplicates allowed).
+/// Returns per-point labels (parallel to the input) and a summary.
+pub fn dbscan_1d(points: &[u64], eps: u64, min_pts: usize) -> (Vec<Label>, ClusterSummary) {
+    let n = points.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| points[i]);
+
+    // Count neighbors within eps via two pointers over sorted values.
+    let sorted: Vec<u64> = order.iter().map(|&i| points[i]).collect();
+    let mut is_core = vec![false; n];
+    {
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        for k in 0..n {
+            while sorted[k] - sorted[lo] > eps {
+                lo += 1;
+            }
+            while hi + 1 < n && sorted[hi + 1] - sorted[k] <= eps {
+                hi += 1;
+            }
+            if hi - lo + 1 >= min_pts {
+                is_core[k] = true;
+            }
+        }
+    }
+
+    // Sweep: consecutive core points within eps chain into one cluster;
+    // border points attach to an adjacent core point within eps.
+    let mut labels_sorted = vec![Label::Noise; n];
+    let mut cluster = 0usize;
+    let mut last_core: Option<(usize, u64)> = None; // (cluster, value)
+    for k in 0..n {
+        if is_core[k] {
+            match last_core {
+                Some((c, v)) if sorted[k] - v <= eps => labels_sorted[k] = Label::Cluster(c),
+                _ => {
+                    labels_sorted[k] = Label::Cluster(cluster);
+                    cluster += 1;
+                }
+            }
+            let Label::Cluster(c) = labels_sorted[k] else { unreachable!() };
+            last_core = Some((c, sorted[k]));
+            // Back-fill earlier border points within eps of this core.
+            let mut j = k;
+            while j > 0 {
+                j -= 1;
+                if sorted[k] - sorted[j] > eps {
+                    break;
+                }
+                if labels_sorted[j] == Label::Noise {
+                    labels_sorted[j] = Label::Cluster(c);
+                }
+            }
+        } else if let Some((c, v)) = last_core {
+            if sorted[k] - v <= eps {
+                labels_sorted[k] = Label::Cluster(c);
+            }
+        }
+    }
+
+    // Map labels back to input order and summarize.
+    let mut labels = vec![Label::Noise; n];
+    for (k, &i) in order.iter().enumerate() {
+        labels[i] = labels_sorted[k];
+    }
+    let mut clusters: Vec<(u64, u64, usize)> = vec![(u64::MAX, 0, 0); cluster];
+    let mut noise = 0usize;
+    for (k, lbl) in labels_sorted.iter().enumerate() {
+        match lbl {
+            Label::Cluster(c) => {
+                let e = &mut clusters[*c];
+                e.0 = e.0.min(sorted[k]);
+                e.1 = e.1.max(sorted[k]);
+                e.2 += 1;
+            }
+            Label::Noise => noise += 1,
+        }
+    }
+    (labels, ClusterSummary { clusters, noise, total: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let (labels, s) = dbscan_1d(&[], 4096, 4);
+        assert!(labels.is_empty());
+        assert_eq!(s.total, 0);
+        assert_eq!(s.clustered_fraction(), 0.0);
+    }
+
+    #[test]
+    fn one_tight_cluster() {
+        let pts: Vec<u64> = (0..10).map(|i| 1000 + i * 10).collect();
+        let (labels, s) = dbscan_1d(&pts, 4096, 4);
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(s.noise, 0);
+        assert!(labels.iter().all(|l| *l == Label::Cluster(0)));
+        assert_eq!(s.clusters[0], (1000, 1090, 10));
+    }
+
+    #[test]
+    fn two_separated_clusters_and_noise() {
+        let mut pts: Vec<u64> = (0..8).map(|i| i * 100).collect();
+        pts.extend((0..8).map(|i| 1_000_000 + i * 100));
+        pts.push(50_000_000); // lone point = noise
+        let (labels, s) = dbscan_1d(&pts, 4096, 4);
+        assert_eq!(s.clusters.len(), 2);
+        assert_eq!(s.noise, 1);
+        assert_eq!(labels[16], Label::Noise);
+        assert!((s.clustered_fraction() - 16.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_points_are_all_noise() {
+        // Points 1MB apart with eps=4KB and min_pts=4: nothing clusters.
+        let pts: Vec<u64> = (0..100).map(|i| i * (1 << 20)).collect();
+        let (_, s) = dbscan_1d(&pts, 4096, 4);
+        assert_eq!(s.clusters.len(), 0);
+        assert_eq!(s.noise, 100);
+    }
+
+    #[test]
+    fn border_points_join_clusters() {
+        // 5 dense points + one border point eps-reachable from the edge.
+        let mut pts: Vec<u64> = (0..5).map(|i| i * 10).collect();
+        pts.push(40 + 4096); // within eps of the last core point
+        let (labels, s) = dbscan_1d(&pts, 4096, 5);
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(labels[5], Label::Cluster(0));
+    }
+
+    #[test]
+    fn labels_follow_input_order_not_sorted_order() {
+        let pts = vec![1_000_000u64, 10, 20, 30, 40, 1_000_010, 1_000_020, 1_000_030];
+        let (labels, s) = dbscan_1d(&pts, 100, 4);
+        assert_eq!(s.clusters.len(), 2);
+        // First input point belongs to the *higher*-address cluster.
+        assert_eq!(labels[0], labels[5]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn duplicates_count_toward_density() {
+        let pts = vec![5u64; 10];
+        let (_, s) = dbscan_1d(&pts, 1, 4);
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(s.clusters[0].2, 10);
+    }
+}

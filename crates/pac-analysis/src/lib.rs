@@ -1,0 +1,33 @@
+//! Trace analysis used by the paper's evaluation:
+//!
+//! * [`dbscan`] — the density-based clustering (DBSCAN, Ester et al.)
+//!   applied to physical-address traces in Sec 5.3.1 to visualize the
+//!   spatial locality of BFS vs. SPARSELU (Figs 8–9), with the paper's
+//!   parameters (ε = 4 KB, the physical page size);
+//! * [`crosspage`] — the cross-page coalescing measurement behind Fig 2
+//!   (requests coalescible *across* page boundaries are ~0.04% of all
+//!   requests, motivating page-granular coalescing);
+//! * [`summary`] — small statistics helpers for the figure harness.
+
+//! # Example
+//!
+//! ```
+//! use pac_analysis::{dbscan_1d, Label};
+//!
+//! // Eight requests packed in one page, one outlier far away.
+//! let mut addrs: Vec<u64> = (0..8).map(|i| 0x4000 + i * 64).collect();
+//! addrs.push(0x40_000_000);
+//! let (labels, summary) = dbscan_1d(&addrs, 4096, 4);
+//! assert_eq!(summary.clusters.len(), 1);
+//! assert_eq!(summary.noise, 1);
+//! assert_eq!(labels[8], Label::Noise);
+//! ```
+
+pub mod crosspage;
+pub mod dbscan;
+pub mod locality;
+pub mod summary;
+
+pub use crosspage::{crosspage_stats, CrossPageStats};
+pub use dbscan::{dbscan_1d, ClusterSummary, Label};
+pub use locality::{reuse_distances, stride_profile, ReuseProfile, StrideProfile};

@@ -1,0 +1,182 @@
+//! Locality analyzers: cache-line reuse distance and stride histograms.
+//!
+//! These quantify the two locality axes the paper's benchmarks differ
+//! on — temporal reuse (what the cache hierarchy filters out) and
+//! spatial stride structure (what the coalescer and prefetcher exploit)
+//! — and are used by the workload-validation tests to compare synthetic
+//! generators with executed RISC-V kernels.
+
+use std::collections::HashMap;
+
+/// Distribution of LRU stack distances over distinct cache lines.
+#[derive(Debug, Clone, Default)]
+pub struct ReuseProfile {
+    /// `buckets[k]` counts reuses with distance in `[2^k, 2^(k+1))`
+    /// (bucket 0 holds distance 0–1).
+    pub buckets: Vec<u64>,
+    /// First-touch accesses (infinite distance).
+    pub cold: u64,
+    /// Total accesses analyzed.
+    pub total: u64,
+}
+
+impl ReuseProfile {
+    /// Fraction of accesses that reuse a line within distance `d`.
+    pub fn hit_fraction_within(&self, d: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut hits = 0u64;
+        for (k, &count) in self.buckets.iter().enumerate() {
+            if (1u64 << k) <= d.max(1) {
+                hits += count;
+            }
+        }
+        hits as f64 / self.total as f64
+    }
+}
+
+/// Compute the LRU reuse-distance profile of an address trace at cache
+/// line (64 B) granularity. O(n · distinct) in the worst case via an
+/// index-ordered stack; adequate for the trace sizes the harness uses.
+pub fn reuse_distances(addrs: &[u64]) -> ReuseProfile {
+    let mut profile = ReuseProfile::default();
+    // LRU stack as a Vec (most recent at the back) + position index.
+    let mut stack: Vec<u64> = Vec::new();
+    let mut pos: HashMap<u64, usize> = HashMap::new();
+    for &a in addrs {
+        let line = a & !63;
+        profile.total += 1;
+        if let Some(&p) = pos.get(&line) {
+            let distance = (stack.len() - 1 - p) as u64;
+            let bucket = 64 - distance.max(1).leading_zeros() as usize - 1;
+            if profile.buckets.len() <= bucket {
+                profile.buckets.resize(bucket + 1, 0);
+            }
+            profile.buckets[bucket] += 1;
+            // Move to the top of the stack.
+            stack.remove(p);
+            for (i, l) in stack.iter().enumerate().skip(p) {
+                pos.insert(*l, i);
+            }
+        } else {
+            profile.cold += 1;
+        }
+        pos.insert(line, stack.len());
+        stack.push(line);
+    }
+    profile
+}
+
+/// Histogram of byte strides between consecutive accesses.
+#[derive(Debug, Clone, Default)]
+pub struct StrideProfile {
+    /// `(stride, count)` sorted by descending count.
+    pub top: Vec<(i64, u64)>,
+    /// Accesses with a unit-line stride (+64 B).
+    pub sequential: u64,
+    /// Total stride samples (len - 1).
+    pub total: u64,
+}
+
+impl StrideProfile {
+    /// Fraction of consecutive accesses that advance by one line.
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sequential as f64 / self.total as f64
+        }
+    }
+}
+
+/// Analyze the stride structure of an address trace.
+pub fn stride_profile(addrs: &[u64]) -> StrideProfile {
+    let mut counts: HashMap<i64, u64> = HashMap::new();
+    let mut sequential = 0u64;
+    for w in addrs.windows(2) {
+        let stride = w[1] as i64 - w[0] as i64;
+        *counts.entry(stride).or_default() += 1;
+        if (w[1] & !63) == (w[0] & !63) + 64 || (w[1] & !63) == (w[0] & !63) {
+            sequential += 1;
+        }
+    }
+    let mut top: Vec<(i64, u64)> = counts.into_iter().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    top.truncate(16);
+    StrideProfile { top, sequential, total: addrs.len().saturating_sub(1) as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_trace_is_all_cold_then_reused() {
+        let addrs: Vec<u64> = (0..64).map(|i| i * 64).collect();
+        let p = reuse_distances(&addrs);
+        assert_eq!(p.cold, 64);
+        assert_eq!(p.total, 64);
+        // Second pass reuses everything at distance 63.
+        let two_pass: Vec<u64> = addrs.iter().chain(addrs.iter()).copied().collect();
+        let p2 = reuse_distances(&two_pass);
+        assert_eq!(p2.cold, 64);
+        assert_eq!(p2.buckets.iter().sum::<u64>(), 64);
+        // Distance 63 lands in bucket floor(log2(63)) = 5.
+        assert_eq!(p2.buckets[5], 64);
+    }
+
+    #[test]
+    fn tight_loop_reuses_at_distance_zero() {
+        let addrs = vec![0u64, 8, 16, 32, 0, 8];
+        let p = reuse_distances(&addrs);
+        // All six accesses hit line 0: 1 cold + 5 reuses at distance 0.
+        assert_eq!(p.cold, 1);
+        assert_eq!(p.buckets[0], 5);
+        assert!(p.hit_fraction_within(1) > 0.8);
+    }
+
+    #[test]
+    fn hit_fraction_respects_distance_cap() {
+        // Alternate between two far-apart working sets.
+        let mut addrs = Vec::new();
+        for _ in 0..10 {
+            for i in 0..8u64 {
+                addrs.push(i * 64);
+            }
+            for i in 0..8u64 {
+                addrs.push(0x100000 + i * 64);
+            }
+        }
+        let p = reuse_distances(&addrs);
+        // Reuse distance is ~15 lines: visible at cap 16, not at cap 4.
+        assert!(p.hit_fraction_within(16) > 0.8);
+        assert!(p.hit_fraction_within(4) < 0.1);
+    }
+
+    #[test]
+    fn stride_profile_finds_the_dominant_stride() {
+        let addrs: Vec<u64> = (0..100).map(|i| i * 256).collect();
+        let s = stride_profile(&addrs);
+        assert_eq!(s.top[0], (256, 99));
+        assert_eq!(s.sequential_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sequential_fraction_counts_line_advances() {
+        let addrs: Vec<u64> = (0..100).map(|i| i * 64).collect();
+        let s = stride_profile(&addrs);
+        assert!((s.sequential_fraction() - 1.0).abs() < 1e-12);
+        // Sub-line accesses also count as sequential (same line).
+        let dense: Vec<u64> = (0..100).map(|i| i * 8).collect();
+        let s2 = stride_profile(&dense);
+        assert!((s2.sequential_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_traces() {
+        assert_eq!(reuse_distances(&[]).total, 0);
+        assert_eq!(stride_profile(&[42]).total, 0);
+        assert_eq!(stride_profile(&[]).sequential_fraction(), 0.0);
+    }
+}

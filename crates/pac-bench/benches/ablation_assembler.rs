@@ -1,0 +1,84 @@
+//! Ablation (DESIGN.md #3): the coalescing-table look-up the paper
+//! adopts in stage 3 versus the naive adjacent-bit scan it rejects.
+//! The table trades 16 entries of storage for a single-cycle look-up;
+//! this bench shows the software analogue of that trade.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pac_core::assembler::{assemble, assemble_naive};
+use pac_core::decoder::BlockSequence;
+use pac_core::table::CoalescingTable;
+use pac_types::{MemoryProtocol, Op};
+
+fn sequences(n: usize) -> Vec<BlockSequence> {
+    (0..n)
+        .map(|i| {
+            let pattern = ((i * 7 + 3) % 15 + 1) as u16; // non-zero 4-bit patterns
+            let chunk = (i % 16) as u32;
+            let raw = (0..4)
+                .filter(|b| pattern >> b & 1 == 1)
+                .map(|b| ((chunk * 4 + b) as u8, (i * 4 + b as usize) as u64))
+                .collect();
+            BlockSequence {
+                ppn: 0x40 + i as u64,
+                op: Op::Load,
+                chunk_index: chunk,
+                pattern,
+                raw,
+                first_issue: 0,
+            }
+        })
+        .collect()
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-assembler");
+    let seqs = sequences(1024);
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("coalescing-table", |b| {
+        b.iter(|| {
+            let mut table = CoalescingTable::for_protocol(MemoryProtocol::Hmc21);
+            let mut total = 0usize;
+            for s in &seqs {
+                total += assemble(s, &mut table, 0).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("adjacent-bit-scan", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for s in &seqs {
+                let (reqs, _) = assemble_naive(s, MemoryProtocol::Hmc21, 0);
+                total += reqs.len();
+            }
+            black_box(total)
+        })
+    });
+    // HBM's 16-bit sequences make the gap matter more (65536 layouts).
+    group.bench_function("coalescing-table-hbm", |b| {
+        let table_seqs: Vec<BlockSequence> = seqs
+            .iter()
+            .map(|s| BlockSequence {
+                pattern: s.pattern | (s.pattern << 8),
+                chunk_index: s.chunk_index % 4,
+                raw: (0..16)
+                    .filter(|b| (s.pattern | (s.pattern << 8)) >> b & 1 == 1)
+                    .map(|b| (((s.chunk_index % 4) * 16 + b) as u8, b as u64))
+                    .collect(),
+                ..s.clone()
+            })
+            .collect();
+        let mut table = CoalescingTable::for_protocol(MemoryProtocol::Hbm);
+        b.iter(|| {
+            let mut total = 0usize;
+            for s in &table_seqs {
+                total += assemble(s, &mut table, 0).len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembler);
+criterion_main!(benches);

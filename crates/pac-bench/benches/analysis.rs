@@ -1,0 +1,69 @@
+//! Analysis-path benchmarks: DBSCAN over address traces, the
+//! cross-page scan of Fig 2, and the fine-grained coalescer of Fig 10b.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pac_analysis::{crosspage_stats, dbscan_1d, reuse_distances, stride_profile};
+use pac_core::fine::FineCoalescer;
+use pac_types::{MemRequest, MemoryProtocol, Op};
+
+fn mixed_addresses(n: usize) -> Vec<u64> {
+    // Half clustered (sequential lines), half scattered.
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                0x10_0000 + (i as u64 / 2) * 64
+            } else {
+                (i as u64).wrapping_mul(0x9E3779B97F4A7C15) % (1 << 30)
+            }
+        })
+        .collect()
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan");
+    for &n in &[1_000usize, 10_000] {
+        let pts = mixed_addresses(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("eps4k-minpts4-{n}"), |b| {
+            b.iter(|| black_box(dbscan_1d(&pts, 4096, 4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crosspage(c: &mut Criterion) {
+    let pts = mixed_addresses(10_000);
+    c.bench_function("crosspage-scan-10k", |b| {
+        b.iter(|| black_box(crosspage_stats(&pts, 32)))
+    });
+}
+
+fn bench_fine_coalescer(c: &mut Criterion) {
+    let reqs: Vec<MemRequest> = (0..4096)
+        .map(|i| {
+            let mut r = MemRequest::miss(i, (i as u64 % 512) * 8 + (i as u64 / 512) * 4096, Op::Load, 0, 0);
+            r.data_bytes = 8;
+            r
+        })
+        .collect();
+    let fine = FineCoalescer::new(MemoryProtocol::Hmc21, 16);
+    c.bench_function("fine-coalesce-4096", |b| {
+        b.iter(|| black_box(fine.coalesce_trace(&reqs)))
+    });
+}
+
+fn bench_locality(c: &mut Criterion) {
+    let pts = mixed_addresses(10_000);
+    let mut group = c.benchmark_group("locality");
+    group.throughput(Throughput::Elements(pts.len() as u64));
+    group.bench_function("reuse-distances-10k", |b| {
+        b.iter(|| black_box(reuse_distances(&pts)))
+    });
+    group.bench_function("stride-profile-10k", |b| {
+        b.iter(|| black_box(stride_profile(&pts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbscan, bench_crosspage, bench_fine_coalescer, bench_locality);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Throughput of the coalescing paths: PAC's three-stage network vs the
+//! MSHR-based DMC baseline, plus the stage-1 aggregator in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pac_core::aggregator::PagedRequestAggregator;
+use pac_core::baseline::MshrDmc;
+use pac_core::{MemoryCoalescer, PacCoalescer};
+use pac_types::addr::block_addr;
+use pac_types::{CoalescerConfig, MemRequest, Op};
+
+/// A dense request stream: sequential blocks across a few pages —
+/// PAC's best case and the common case for the prefetch-fed miss path.
+fn dense_stream(n: usize) -> Vec<MemRequest> {
+    (0..n)
+        .map(|i| {
+            let page = 0x40 + (i / 64) as u64;
+            MemRequest::miss(i as u64, block_addr(page, (i % 64) as u8), Op::Load, 0, i as u64)
+        })
+        .collect()
+}
+
+/// A sparse stream: every request in its own page.
+fn sparse_stream(n: usize) -> Vec<MemRequest> {
+    (0..n)
+        .map(|i| {
+            MemRequest::miss(i as u64, block_addr(0x1000 + i as u64, 7), Op::Load, 0, i as u64)
+        })
+        .collect()
+}
+
+fn drive(coalescer: &mut dyn MemoryCoalescer, reqs: &[MemRequest]) -> usize {
+    let mut out = Vec::new();
+    let mut satisfied = Vec::new();
+    let mut now = 0u64;
+    let mut dispatched = 0usize;
+    coalescer.hint_pending(reqs.len());
+    for chunk in reqs.chunks(4) {
+        for &r in chunk {
+            let mut r = r;
+            r.issue_cycle = now;
+            while !coalescer.push_raw(r, now) {
+                coalescer.tick(now, &mut out);
+                complete_all(coalescer, &mut out, &mut satisfied, now);
+                now += 1;
+            }
+        }
+        coalescer.tick(now, &mut out);
+        complete_all(coalescer, &mut out, &mut satisfied, now);
+        now += 1;
+    }
+    coalescer.flush(now);
+    while !coalescer.is_drained() {
+        coalescer.tick(now, &mut out);
+        dispatched += out.len();
+        complete_all(coalescer, &mut out, &mut satisfied, now);
+        now += 1;
+    }
+    dispatched
+}
+
+fn complete_all(
+    coalescer: &mut dyn MemoryCoalescer,
+    out: &mut Vec<pac_core::DispatchedRequest>,
+    satisfied: &mut Vec<u64>,
+    now: u64,
+) {
+    for d in out.drain(..) {
+        coalescer.complete(d.dispatch_id, now, satisfied);
+    }
+    satisfied.clear();
+}
+
+fn bench_coalescers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalescer-throughput");
+    for &n in &[256usize, 2048] {
+        group.throughput(Throughput::Elements(n as u64));
+        let dense = dense_stream(n);
+        let sparse = sparse_stream(n);
+        group.bench_with_input(BenchmarkId::new("pac-dense", n), &dense, |b, reqs| {
+            b.iter(|| {
+                let mut pac = PacCoalescer::new(CoalescerConfig::default());
+                black_box(drive(&mut pac, reqs))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pac-sparse", n), &sparse, |b, reqs| {
+            b.iter(|| {
+                let mut pac = PacCoalescer::new(CoalescerConfig::default());
+                black_box(drive(&mut pac, reqs))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mshr-dmc-dense", n), &dense, |b, reqs| {
+            b.iter(|| {
+                let mut dmc = MshrDmc::new(16, 8);
+                black_box(drive(&mut dmc, reqs))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage1-aggregator");
+    let reqs = dense_stream(1024);
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("insert-1024", |b| {
+        b.iter(|| {
+            let mut pra = PagedRequestAggregator::new(16);
+            for (now, r) in reqs.iter().enumerate() {
+                black_box(pra.insert(r, now as u64));
+                if pra.occupancy() == pra.capacity() {
+                    black_box(pra.take_all());
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coalescers, bench_aggregator);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Sorting-network baseline costs (the Fig 11a scaling argument in
+//! wall-clock form): applying bitonic and odd-even merge schedules at
+//! the widths the figure sweeps.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sortnet::{apply_network, bitonic_network, odd_even_merge_network};
+
+fn bench_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorting-networks");
+    for &n in &[16usize, 64] {
+        let bitonic = bitonic_network(n);
+        let oem = odd_even_merge_network(n);
+        let data: Vec<u64> =
+            (0..n).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        group.bench_with_input(BenchmarkId::new("bitonic", n), &bitonic, |b, net| {
+            b.iter(|| {
+                let mut v = data.clone();
+                black_box(apply_network(net, &mut v))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("odd-even-merge", n), &oem, |b, net| {
+            b.iter(|| {
+                let mut v = data.clone();
+                black_box(apply_network(net, &mut v))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("bitonic-construct-64", |b| b.iter(|| black_box(bitonic_network(64))));
+    c.bench_function("odd-even-construct-64", |b| {
+        b.iter(|| black_box(odd_even_merge_network(64)))
+    });
+}
+
+criterion_group!(benches, bench_networks, bench_construction);
+criterion_main!(benches);

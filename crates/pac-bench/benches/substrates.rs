@@ -1,0 +1,103 @@
+//! Substrate benchmarks: cache hierarchy throughput, workload-stream
+//! generation rate, MMU translation, and the RV64 interpreter.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use cache_sim::CacheHierarchy;
+use pac_types::CacheConfig;
+use pac_vm::{FramePolicy, Mmu, VmConfig};
+use pac_workloads::Bench;
+use riscv_mini::kernels::{run_kernel, stream_triad};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache-hierarchy");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("sequential-10k", |b| {
+        b.iter(|| {
+            let mut h = CacheHierarchy::new(8, CacheConfig::paper_l1(), CacheConfig::paper_l2());
+            for i in 0..10_000u64 {
+                let out = h.access((i % 8) as usize, i * 8, i % 3 == 0);
+                if matches!(out, cache_sim::HierarchyOutcome::Miss { .. }) {
+                    h.fill_complete(i * 8 & !63);
+                }
+            }
+            black_box(h.l1_hit_rate())
+        })
+    });
+    group.bench_function("random-10k", |b| {
+        b.iter(|| {
+            let mut h = CacheHierarchy::new(8, CacheConfig::paper_l1(), CacheConfig::paper_l2());
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for i in 0..10_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let addr = x % (1 << 28);
+                let out = h.access((i % 8) as usize, addr, false);
+                if matches!(out, cache_sim::HierarchyOutcome::Miss { .. }) {
+                    h.fill_complete(addr & !63);
+                }
+            }
+            black_box(h.l2_hit_rate())
+        })
+    });
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload-generation");
+    group.throughput(Throughput::Elements(100_000));
+    for bench in [Bench::Stream, Bench::Bfs, Bench::Hpcg] {
+        group.bench_function(format!("{}-100k", bench.name()), |b| {
+            b.iter(|| {
+                let mut s = bench.core_stream(0, 0, 1);
+                let mut acc = 0u64;
+                for _ in 0..100_000 {
+                    acc ^= s.next_access().addr;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mmu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mmu");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("translate-hot-100k", |b| {
+        b.iter(|| {
+            let mut mmu = Mmu::new(VmConfig {
+                policy: FramePolicy::Scattered { seed: 3 },
+                ..VmConfig::default()
+            });
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                // 64 hot pages: ~TLB-resident.
+                acc ^= mmu.translate(0, (i % 64) * 4096 + (i % 512) * 8, i).paddr;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_riscv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("riscv-mini");
+    // Triad over 1024 elements ≈ 11k instructions.
+    group.throughput(Throughput::Elements(11 * 1024));
+    group.bench_function("triad-1024", |b| {
+        b.iter(|| {
+            let (cpu, trace) = run_kernel(
+                &stream_triad(),
+                &[(10, 0x10_0000), (11, 0x20_0000), (12, 0x30_0000), (13, 1024)],
+                |_| {},
+                1_000_000,
+            );
+            black_box((cpu.instret, trace.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_workloads, bench_mmu, bench_riscv);
+criterion_main!(benches);

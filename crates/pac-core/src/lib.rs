@@ -1,0 +1,118 @@
+//! The Paged Adaptive Coalescer (PAC) — the paper's primary contribution —
+//! plus the baseline coalescers it is evaluated against.
+//!
+//! PAC sits between the last-level cache and the MSHRs (Sec 3.1) and is
+//! built from three cooperating structures:
+//!
+//! 1. a **pipelined coalescing network** ([`pipeline::CoalescingNetwork`])
+//!    with three stages — the paged request aggregator
+//!    ([`aggregator::PagedRequestAggregator`]), the block-map decoder
+//!    ([`decoder`]), and the request assembler ([`assembler`]) driven by a
+//!    coalescing look-up table ([`table::CoalescingTable`]);
+//! 2. the **memory access queue** ([`maq::Maq`]), a FIFO sized to the MSHR
+//!    count that hides coalescing latency inside the memory access time;
+//! 3. **adaptive MSHRs** ([`mshr::AdaptiveMshrFile`]) extended with a
+//!    2-bit block-index subentry field and an OP bit so in-flight
+//!    variable-size requests can absorb later misses to covered blocks.
+//!
+//! [`pac::PacCoalescer`] composes all of the above behind the
+//! [`MemoryCoalescer`] trait; [`baseline::MshrDmc`] (the conventional
+//! 64 B MSHR-based dynamic memory coalescer) and
+//! [`baseline::NoCoalescing`] (a stock HMC controller) implement the same
+//! trait so the full-system simulator can swap them per experiment.
+//!
+//! # Example
+//!
+//! Two adjacent cache-line misses coalesce into one 128 B HMC request:
+//!
+//! ```
+//! use pac_core::{MemoryCoalescer, PacCoalescer};
+//! use pac_types::{CoalescerConfig, MemRequest, Op};
+//!
+//! let mut pac = PacCoalescer::new(CoalescerConfig::default());
+//! pac.hint_pending(2); // a burst is arriving: engage the network
+//! assert!(pac.push_raw(MemRequest::miss(1, 0x9040, Op::Load, 0, 0), 0));
+//! assert!(pac.push_raw(MemRequest::miss(2, 0x9080, Op::Load, 0, 0), 0));
+//!
+//! let mut dispatched = Vec::new();
+//! for now in 0..32 {
+//!     pac.tick(now, &mut dispatched);
+//! }
+//! assert_eq!(dispatched.len(), 1);
+//! assert_eq!(dispatched[0].bytes, 128);
+//! assert_eq!(dispatched[0].raw_count, 2);
+//!
+//! // The memory response fans back out to both raw requests.
+//! let mut satisfied = Vec::new();
+//! pac.complete(dispatched[0].dispatch_id, 40, &mut satisfied);
+//! satisfied.sort_unstable();
+//! assert_eq!(satisfied, vec![1, 2]);
+//! ```
+
+pub mod aggregator;
+pub mod assembler;
+pub mod baseline;
+pub mod cost;
+pub mod decoder;
+pub mod fine;
+pub mod maq;
+pub mod mshr;
+pub mod pac;
+pub mod pipeline;
+pub mod stats;
+pub mod stream;
+pub mod table;
+
+pub use pac::PacCoalescer;
+pub use stats::CoalescerStats;
+
+use pac_types::{Cycle, MemRequest, Op};
+
+/// A memory request the coalescer hands to the memory controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchedRequest {
+    /// Unique dispatch id; the memory system echoes it on completion.
+    pub dispatch_id: u64,
+    /// Base byte address (cache-line aligned).
+    pub addr: u64,
+    /// Payload bytes (64..=256 for HMC 2.1 line-granular coalescing).
+    pub bytes: u64,
+    pub op: Op,
+    /// Number of raw LLC requests this dispatch carries.
+    pub raw_count: u32,
+}
+
+/// The interface the full-system simulator drives. One implementation per
+/// evaluated configuration: PAC, conventional MSHR-based DMC, and the
+/// stock no-coalescing controller.
+pub trait MemoryCoalescer {
+    /// Offer one raw request flushed from the LLC at cycle `now`.
+    /// Returns `false` when the coalescer is backpressured (MAQ full and
+    /// pipeline stalled, or no MSHR available) — the caller must retry,
+    /// modelling the blocked cache (Sec 3.2).
+    fn push_raw(&mut self, req: MemRequest, now: Cycle) -> bool;
+
+    /// Advance one cycle; requests ready for the memory controller are
+    /// appended to `out`.
+    fn tick(&mut self, now: Cycle, out: &mut Vec<DispatchedRequest>);
+
+    /// Notify completion of `dispatch_id`; ids of raw requests now
+    /// satisfied are appended to `satisfied`.
+    fn complete(&mut self, dispatch_id: u64, now: Cycle, satisfied: &mut Vec<u64>);
+
+    /// True when no request is buffered anywhere in the coalescer
+    /// (in-flight memory requests excluded).
+    fn is_drained(&self) -> bool;
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &CoalescerStats;
+
+    /// Force everything buffered toward dispatch (end-of-run flush).
+    fn flush(&mut self, now: Cycle);
+
+    /// Hint from the front-end: how many further raw requests are
+    /// already waiting in the miss/WB queues (Fig 3). PAC's controller
+    /// uses this to keep the network engaged when a burst is arriving,
+    /// bypassing only genuinely isolated requests.
+    fn hint_pending(&mut self, _waiting: usize) {}
+}

@@ -1,0 +1,275 @@
+//! Adaptive miss status holding registers — Sec 3.1.3.
+//!
+//! Each entry tracks one dispatched (possibly multi-block) memory
+//! request. Two extensions over Kroft-style MSHRs make variable-size
+//! merging possible:
+//!
+//! * a **2-bit index field** per subentry records which of the up-to-four
+//!   blocks (N..N+3) covered by the entry's dispatched request the
+//!   subentry's miss targets, so responses fan back out to the right
+//!   lines;
+//! * an **OP bit** on the main entry distinguishes loads from stores, so
+//!   type compatibility is checked in the same comparison as the address.
+//!
+//! A pending request from the MAQ whose page, operation, and block range
+//! are already covered by an in-flight entry merges as subentries instead
+//! of allocating — the dispatched request cannot be *expanded* (it is
+//! already on the wire, Sec 2.2.2), so only fully-covered requests merge.
+
+use crate::DispatchedRequest;
+use pac_types::addr::CACHE_LINE_BYTES;
+use pac_types::{CoalescedRequest, Op};
+
+/// One occupied MSHR entry.
+#[derive(Debug, Clone)]
+pub struct MshrEntry {
+    /// Dispatch id echoed by the memory system on completion.
+    pub dispatch_id: u64,
+    /// Base address of the dispatched request (line-aligned).
+    pub addr: u64,
+    /// Dispatched payload bytes.
+    pub bytes: u64,
+    /// The OP bit.
+    pub op: Op,
+    /// Raw request ids waiting on this entry (main + subentries).
+    pub raw_ids: Vec<u64>,
+    /// Subentries merged after dispatch (bounded by the subentry field).
+    pub subentries: usize,
+    /// Entries for atomics must not absorb later misses.
+    pub mergeable: bool,
+}
+
+impl MshrEntry {
+    /// True if `req` can ride this entry's in-flight dispatch: both are
+    /// loads (a later store's data would be silently dropped if it
+    /// merged into an already-dispatched request) and `req`'s span lies
+    /// within the dispatched span.
+    fn covers(&self, req: &CoalescedRequest) -> bool {
+        self.mergeable
+            && self.op == Op::Load
+            && req.op == Op::Load
+            && req.addr >= self.addr
+            && req.addr + req.bytes <= self.addr + self.bytes
+    }
+
+    /// The 2-bit subentry index for a line within this entry (0..4).
+    pub fn block_index_of(&self, line_addr: u64) -> u8 {
+        debug_assert!(line_addr >= self.addr && line_addr < self.addr + self.bytes);
+        ((line_addr - self.addr) / CACHE_LINE_BYTES) as u8
+    }
+}
+
+/// The MSHR file.
+#[derive(Debug)]
+pub struct AdaptiveMshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+    max_subentries: usize,
+    next_dispatch_id: u64,
+    /// Tag comparisons performed (each merge attempt compares against
+    /// every occupied entry in parallel).
+    pub comparisons: u64,
+    /// Raw requests absorbed into in-flight entries.
+    pub merged_raw: u64,
+}
+
+impl AdaptiveMshrFile {
+    pub fn new(capacity: usize, max_subentries: usize) -> Self {
+        assert!(capacity > 0);
+        AdaptiveMshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            max_subentries,
+            next_dispatch_id: 0,
+            comparisons: 0,
+            merged_raw: 0,
+        }
+    }
+
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    pub fn has_free(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Try to absorb `req` into an in-flight entry that already covers
+    /// its span. On success the raw ids ride the existing dispatch.
+    pub fn try_merge(&mut self, req: &CoalescedRequest) -> bool {
+        self.comparisons += self.entries.len() as u64;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.covers(req) && e.subentries + req.raw_ids.len() <= self.max_subentries)
+        {
+            e.subentries += req.raw_ids.len();
+            e.raw_ids.extend_from_slice(&req.raw_ids);
+            self.merged_raw += req.raw_ids.len() as u64;
+            return true;
+        }
+        false
+    }
+
+    /// Allocate an entry for `req` and return the dispatch to send to
+    /// the memory controller. Panics when full (check [`Self::has_free`]).
+    pub fn allocate(&mut self, req: CoalescedRequest) -> DispatchedRequest {
+        self.allocate_with(req, true)
+    }
+
+    /// As [`Self::allocate`], with `mergeable = false` for requests
+    /// (atomics) whose in-flight entries must not absorb later misses.
+    pub fn allocate_with(&mut self, req: CoalescedRequest, mergeable: bool) -> DispatchedRequest {
+        assert!(self.has_free(), "MSHR overflow — caller must respect backpressure");
+        let dispatch_id = self.next_dispatch_id;
+        self.next_dispatch_id += 1;
+        let dispatched = DispatchedRequest {
+            dispatch_id,
+            addr: req.addr,
+            bytes: req.bytes,
+            op: req.op,
+            raw_count: req.raw_ids.len() as u32,
+        };
+        self.entries.push(MshrEntry {
+            dispatch_id,
+            addr: req.addr,
+            bytes: req.bytes,
+            op: req.op,
+            raw_ids: req.raw_ids,
+            subentries: 0,
+            mergeable,
+        });
+        dispatched
+    }
+
+    /// Release the entry for `dispatch_id`, returning the raw request
+    /// ids it satisfied. Returns `None` for unknown ids.
+    pub fn complete(&mut self, dispatch_id: u64) -> Option<Vec<u64>> {
+        let idx = self.entries.iter().position(|e| e.dispatch_id == dispatch_id)?;
+        Some(self.entries.swap_remove(idx).raw_ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coalesced(addr: u64, bytes: u64, op: Op, ids: &[u64]) -> CoalescedRequest {
+        CoalescedRequest {
+            addr,
+            bytes,
+            op,
+            raw_ids: ids.to_vec(),
+            assembled_cycle: 0,
+            first_issue_cycle: 0,
+        }
+    }
+
+    #[test]
+    fn allocate_and_complete() {
+        let mut m = AdaptiveMshrFile::new(2, 4);
+        let d = m.allocate(coalesced(0x1000, 128, Op::Load, &[1, 2]));
+        assert_eq!(d.dispatch_id, 0);
+        assert_eq!(d.bytes, 128);
+        assert_eq!(m.occupancy(), 1);
+        let ids = m.complete(0).unwrap();
+        assert_eq!(ids, vec![1, 2]);
+        assert!(m.is_empty());
+        assert!(m.complete(0).is_none());
+    }
+
+    #[test]
+    fn merge_into_covering_entry() {
+        let mut m = AdaptiveMshrFile::new(2, 4);
+        m.allocate(coalesced(0x1000, 256, Op::Load, &[1])); // blocks N..N+3
+        // A later 64B miss to block N+2 is already covered in flight.
+        assert!(m.try_merge(&coalesced(0x1080, 64, Op::Load, &[9])));
+        assert_eq!(m.merged_raw, 1);
+        let ids = m.complete(0).unwrap();
+        assert_eq!(ids, vec![1, 9]);
+    }
+
+    #[test]
+    fn no_merge_outside_span_or_across_ops() {
+        let mut m = AdaptiveMshrFile::new(4, 4);
+        m.allocate(coalesced(0x1000, 128, Op::Load, &[1]));
+        // Beyond the dispatched span: cannot expand in-flight requests.
+        assert!(!m.try_merge(&coalesced(0x1080, 64, Op::Load, &[2])));
+        // Stores never merge into load entries.
+        assert!(!m.try_merge(&coalesced(0x1000, 64, Op::Store, &[3])));
+        // Partially-covered spans don't merge either.
+        assert!(!m.try_merge(&coalesced(0x1040, 128, Op::Load, &[4])));
+    }
+
+    #[test]
+    fn subentry_capacity_blocks_merge() {
+        let mut m = AdaptiveMshrFile::new(2, 2);
+        m.allocate(coalesced(0x1000, 256, Op::Load, &[1]));
+        assert!(m.try_merge(&coalesced(0x1000, 64, Op::Load, &[2])));
+        assert!(m.try_merge(&coalesced(0x1040, 64, Op::Load, &[3])));
+        // Subentry field exhausted.
+        assert!(!m.try_merge(&coalesced(0x1080, 64, Op::Load, &[4])));
+    }
+
+    #[test]
+    fn two_bit_block_index() {
+        let e = MshrEntry {
+            dispatch_id: 0,
+            addr: 0x1000,
+            bytes: 256,
+            op: Op::Load,
+            raw_ids: vec![],
+            subentries: 0,
+            mergeable: true,
+        };
+        assert_eq!(e.block_index_of(0x1000), 0);
+        assert_eq!(e.block_index_of(0x1040), 1);
+        assert_eq!(e.block_index_of(0x10C0), 3);
+    }
+
+    #[test]
+    fn comparisons_count_occupied_entries() {
+        let mut m = AdaptiveMshrFile::new(4, 4);
+        m.allocate(coalesced(0x1000, 64, Op::Load, &[1]));
+        m.allocate(coalesced(0x2000, 64, Op::Load, &[2]));
+        m.try_merge(&coalesced(0x3000, 64, Op::Load, &[3]));
+        assert_eq!(m.comparisons, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "backpressure")]
+    fn overflow_panics() {
+        let mut m = AdaptiveMshrFile::new(1, 4);
+        m.allocate(coalesced(0x1000, 64, Op::Load, &[1]));
+        m.allocate(coalesced(0x2000, 64, Op::Load, &[2]));
+    }
+
+    #[test]
+    fn unmergeable_entries_reject_covered_misses() {
+        let mut m = AdaptiveMshrFile::new(2, 4);
+        m.allocate_with(coalesced(0x1000, 64, Op::Load, &[1]), false);
+        assert!(!m.try_merge(&coalesced(0x1000, 64, Op::Load, &[2])));
+    }
+
+    #[test]
+    fn dispatch_ids_unique_and_monotonic() {
+        let mut m = AdaptiveMshrFile::new(3, 4);
+        let a = m.allocate(coalesced(0x1000, 64, Op::Load, &[1]));
+        let b = m.allocate(coalesced(0x2000, 64, Op::Load, &[2]));
+        m.complete(a.dispatch_id);
+        let c = m.allocate(coalesced(0x3000, 64, Op::Load, &[3]));
+        assert!(a.dispatch_id < b.dispatch_id && b.dispatch_id < c.dispatch_id);
+    }
+}

@@ -1,0 +1,591 @@
+//! The complete Paged Adaptive Coalescer behind [`MemoryCoalescer`].
+//!
+//! Composes stage 1 (the paged request aggregator), stages 2–3 (the
+//! coalescing network), the MAQ, and the adaptive MSHR file, plus the
+//! network controller policies of Sec 3.2:
+//!
+//! * **timeout flush** — streams older than the configured residency are
+//!   pushed downstream so raw-request waiting latency is bounded;
+//! * **fence handling** — a fence flushes every stream to preserve the
+//!   ordering boundary;
+//! * **atomic routing** — atomics go straight to the memory controller,
+//!   uncoalesced;
+//! * **global bypass** — while the MAQ is empty and MSHRs are free the
+//!   network is disabled and raw requests enter the MSHRs directly, so
+//!   an idle system pays no coalescing latency; the network re-engages
+//!   once every MSHR is occupied.
+
+use crate::aggregator::{InsertOutcome, PagedRequestAggregator};
+use crate::maq::Maq;
+use crate::mshr::AdaptiveMshrFile;
+use crate::pipeline::CoalescingNetwork;
+use crate::stats::CoalescerStats;
+use crate::stream::CoalescingStream;
+use crate::{DispatchedRequest, MemoryCoalescer};
+use pac_types::addr::CACHE_LINE_BYTES;
+use pac_types::{CoalescedRequest, CoalescerConfig, Cycle, MemRequest, RequestKind};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Dispatch-id namespace bit reserved for atomics (which do not occupy
+/// MSHR entries).
+const ATOMIC_ID_BIT: u64 = 1 << 63;
+
+/// The paged adaptive coalescer.
+#[derive(Debug)]
+pub struct PacCoalescer {
+    cfg: CoalescerConfig,
+    aggregator: PagedRequestAggregator,
+    network: CoalescingNetwork,
+    maq: Maq,
+    mshr: AdaptiveMshrFile,
+    /// Network-controller bypass state (Sec 3.2). Starts enabled: a cold
+    /// system has empty MAQ and free MSHRs.
+    bypass_enabled: bool,
+    /// Atomics in flight: dispatch id → raw id.
+    atomics: HashMap<u64, u64>,
+    next_atomic: u64,
+    /// Dispatches produced inside `push_raw`, drained by `tick`.
+    pending: VecDeque<DispatchedRequest>,
+    /// Front-end hint: raw requests known to be waiting behind the
+    /// current one (miss/WB queue depth).
+    input_waiting: usize,
+    stats: CoalescerStats,
+}
+
+impl PacCoalescer {
+    pub fn new(cfg: CoalescerConfig) -> Self {
+        PacCoalescer {
+            aggregator: PagedRequestAggregator::new(cfg.streams),
+            network: CoalescingNetwork::new(cfg.protocol),
+            maq: Maq::new(cfg.maq_entries),
+            mshr: AdaptiveMshrFile::new(cfg.mshrs, cfg.mshr_subentries),
+            bypass_enabled: true,
+            atomics: HashMap::new(),
+            next_atomic: 0,
+            pending: VecDeque::new(),
+            input_waiting: 0,
+            stats: CoalescerStats::default(),
+            cfg,
+        }
+    }
+
+    /// Enable retention of the stream-occupancy trace (Fig 11b).
+    pub fn trace_occupancy(&mut self, on: bool) {
+        self.stats.trace_occupancy = on;
+    }
+
+    /// The configuration this coalescer was built with.
+    pub fn config(&self) -> &CoalescerConfig {
+        &self.cfg
+    }
+
+    /// Current stage-1 stream occupancy.
+    pub fn stream_occupancy(&self) -> usize {
+        self.aggregator.occupancy()
+    }
+
+    /// Whether the controller currently bypasses the network.
+    pub fn bypassing(&self) -> bool {
+        self.bypass_enabled
+    }
+
+    /// Nothing buffered in stage 1, stages 2-3, or the MAQ — the state
+    /// shared by the bypass guard, the controller hysteresis, and
+    /// [`MemoryCoalescer::is_drained`].
+    fn quiescent(&self) -> bool {
+        self.aggregator.is_empty() && self.network.is_empty() && self.maq.is_empty()
+    }
+
+    fn backpressured(&self) -> bool {
+        self.network.buffered_out() + self.maq.len() >= 2 * self.maq.capacity()
+    }
+
+    fn flush_stream(&mut self, stream: CoalescingStream, now: Cycle) {
+        if !stream.c_bit() {
+            self.stats.stage_bypasses += stream.raw_count() as u64;
+        }
+        self.network.push_stream(stream, now);
+    }
+
+    /// A raw request entering the MSHRs directly (controller bypass).
+    fn direct_to_mshr(&mut self, req: &MemRequest, now: Cycle) {
+        let single = CoalescedRequest {
+            addr: req.line(),
+            bytes: CACHE_LINE_BYTES,
+            op: req.op,
+            raw_ids: vec![req.id],
+            assembled_cycle: now,
+            first_issue_cycle: req.issue_cycle,
+        };
+        if self.mshr.try_merge(&single) {
+            return;
+        }
+        debug_assert!(self.mshr.has_free(), "bypass requires a free MSHR");
+        let d = self.mshr.allocate(single);
+        self.stats.dispatched_requests += 1;
+        self.stats.size_histogram.record(d.bytes);
+        self.pending.push_back(d);
+    }
+
+    fn refresh_stats(&mut self) {
+        self.stats.comparisons = self.aggregator.comparisons + self.mshr.comparisons;
+        self.stats.mshr_merges = self.mshr.merged_raw;
+        let n = self.network.stats;
+        self.stats.stage2_latency_sum = n.stage2_latency_sum;
+        self.stats.stage2_batches = n.stage2_batches;
+        self.stats.stage3_latency_sum = n.stage3_latency_sum;
+        self.stats.stage3_batches = n.stage3_batches;
+        self.stats.maq_fill_latency_sum = self.maq.fill_latency_sum;
+        self.stats.maq_fills = self.maq.fills;
+    }
+}
+
+impl MemoryCoalescer for PacCoalescer {
+    fn push_raw(&mut self, req: MemRequest, now: Cycle) -> bool {
+        match req.kind {
+            RequestKind::Fence => {
+                // A fence monopolizes stage 1 and pushes every prior
+                // request downstream (Sec 3.3.1). Note the paper's fence
+                // is deliberately weak: it only forces earlier requests
+                // *out of stage 1*; requests already in stages 2-3 or
+                // the MAQ keep their pipeline order, and single-request
+                // bypasses may still overtake older coalesced requests
+                // on the output. Strict global ordering is the memory
+                // controller's job, not the coalescer's.
+                let streams = self.aggregator.take_all();
+                self.stats.fence_flushes += streams.len() as u64;
+                for s in streams {
+                    self.flush_stream(s, now);
+                }
+                return true;
+            }
+            RequestKind::Atomic => {
+                // Routed directly to the memory controller to preserve
+                // atomicity; never coalesced.
+                self.stats.raw_requests += 1;
+                let id = ATOMIC_ID_BIT | self.next_atomic;
+                self.next_atomic += 1;
+                self.atomics.insert(id, req.id);
+                self.stats.dispatched_requests += 1;
+                self.stats.size_histogram.record(CACHE_LINE_BYTES);
+                self.pending.push_back(DispatchedRequest {
+                    dispatch_id: id,
+                    addr: req.line(),
+                    bytes: CACHE_LINE_BYTES,
+                    op: req.op,
+                    raw_count: 1,
+                });
+                return true;
+            }
+            RequestKind::Miss | RequestKind::WriteBack => {}
+        }
+
+        // Backpressure refuses only requests that can neither merge
+        // into a waiting stream nor take a free stream slot: stage 1
+        // keeps aggregating while the downstream pipeline is stalled —
+        // that continued aggregation under pressure is the point of the
+        // design (a full MAQ stalls stages 2-3, not the aggregator).
+        let full = self.aggregator.occupancy() == self.aggregator.capacity();
+        if self.backpressured() && full && !self.aggregator.has_stream_for(&req) {
+            self.stats.stall_cycles += 1;
+            return false;
+        }
+        self.stats.raw_requests += 1;
+
+        if self.bypass_enabled && self.input_waiting == 0 && self.quiescent() && self.mshr.has_free()
+        {
+            self.stats.network_bypasses += 1;
+            self.direct_to_mshr(&req, now);
+            return true;
+        }
+
+        match self.aggregator.insert(&req, now) {
+            InsertOutcome::Merged | InsertOutcome::Allocated => {}
+            InsertOutcome::AllocatedAfterEvict(victim) => {
+                self.stats.capacity_flushes += 1;
+                self.flush_stream(victim, now);
+            }
+        }
+        true
+    }
+
+    fn tick(&mut self, now: Cycle, out: &mut Vec<DispatchedRequest>) {
+        // Sample stage-1 occupancy every 16 cycles while the coalescer
+        // is servicing requests (Fig 11b counts occupied streams during
+        // execution, not across idle gaps).
+        if now % 16 == 0 {
+            let occ = self.aggregator.occupancy() as u32;
+            if occ > 0 {
+                self.stats.sample_occupancy(occ);
+            }
+        }
+
+        // Stage-1 timeout flushes — only while the decoder can accept
+        // more streams; a stalled stage 2 keeps expired streams in
+        // stage 1, where they continue to merge new requests.
+        if self.network.stage2_backlog() < self.cfg.streams {
+            let expired = self.aggregator.take_expired(now, self.cfg.timeout_cycles);
+            self.stats.timeout_flushes += expired.len() as u64;
+            for s in expired {
+                self.flush_stream(s, now);
+            }
+        }
+
+        // Stages 2-3.
+        self.network.tick(now);
+
+        // Network output → MAQ (a full MAQ stalls the pipeline output).
+        while !self.maq.is_full() {
+            match self.network.pop_ready(now) {
+                Some(r) => self.maq.push(r, now),
+                None => break,
+            }
+        }
+
+        // MAQ → MSHRs: merge into covered in-flight entries, otherwise
+        // allocate and dispatch immediately.
+        while let Some(front) = self.maq.front() {
+            if self.mshr.try_merge(front) {
+                self.maq.pop();
+                continue;
+            }
+            if !self.mshr.has_free() {
+                break;
+            }
+            let req = self.maq.pop().expect("front exists");
+            let d = self.mshr.allocate(req);
+            self.stats.dispatched_requests += 1;
+            self.stats.size_histogram.record(d.bytes);
+            out.push(d);
+        }
+
+        // Atomics and bypass dispatches produced since last tick.
+        out.extend(self.pending.drain(..));
+
+        // Controller bypass hysteresis (Sec 3.2): disable the network
+        // when the system is drained and MSHRs are free; re-enable the
+        // moment every MSHR is occupied.
+        if !self.mshr.has_free() {
+            self.bypass_enabled = false;
+        } else if self.quiescent() {
+            self.bypass_enabled = true;
+        }
+
+        self.refresh_stats();
+    }
+
+    fn complete(&mut self, dispatch_id: u64, _now: Cycle, satisfied: &mut Vec<u64>) {
+        if dispatch_id & ATOMIC_ID_BIT != 0 {
+            if let Some(raw) = self.atomics.remove(&dispatch_id) {
+                satisfied.push(raw);
+            }
+            return;
+        }
+        if let Some(ids) = self.mshr.complete(dispatch_id) {
+            satisfied.extend(ids);
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.quiescent() && self.pending.is_empty()
+    }
+
+    fn stats(&self) -> &CoalescerStats {
+        &self.stats
+    }
+
+    fn flush(&mut self, now: Cycle) {
+        let streams = self.aggregator.take_all();
+        for s in streams {
+            self.flush_stream(s, now);
+        }
+    }
+
+    fn hint_pending(&mut self, waiting: usize) {
+        self.input_waiting = waiting;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_types::addr::block_addr;
+    use pac_types::Op;
+
+    fn cfg() -> CoalescerConfig {
+        CoalescerConfig::default()
+    }
+
+    fn miss(id: u64, ppn: u64, block: u8, cycle: Cycle) -> MemRequest {
+        MemRequest::miss(id, block_addr(ppn, block), Op::Load, 0, cycle)
+    }
+
+    /// Drive the coalescer until it drains, collecting dispatches.
+    fn run_to_drain(pac: &mut PacCoalescer, mut now: Cycle) -> (Vec<DispatchedRequest>, Cycle) {
+        let mut out = Vec::new();
+        pac.flush(now);
+        while !pac.is_drained() || !out_settled(pac) {
+            pac.tick(now, &mut out);
+            now += 1;
+            // Free MSHRs promptly so dispatch never starves in the test.
+            let ids: Vec<u64> = out.iter().map(|d| d.dispatch_id).collect();
+            let mut sat = Vec::new();
+            for id in ids {
+                pac.complete(id, now, &mut sat);
+            }
+            if now > 100_000 {
+                panic!("coalescer failed to drain");
+            }
+        }
+        (out, now)
+    }
+
+    fn out_settled(pac: &PacCoalescer) -> bool {
+        pac.is_drained()
+    }
+
+    #[test]
+    fn cold_system_bypasses_network() {
+        let mut pac = PacCoalescer::new(cfg());
+        assert!(pac.bypassing());
+        assert!(pac.push_raw(miss(1, 0x9, 1, 0), 0));
+        let mut out = Vec::new();
+        pac.tick(0, &mut out);
+        // Dispatched immediately, uncoalesced.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bytes, 64);
+        assert_eq!(pac.stats().network_bypasses, 1);
+    }
+
+    #[test]
+    fn adjacent_misses_coalesce_once_network_engaged() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false; // engage the network directly
+        for (i, b) in [0u8, 1, 2, 3].iter().enumerate() {
+            assert!(pac.push_raw(miss(i as u64, 0x9, *b, 0), 0));
+        }
+        let (out, _) = run_to_drain(&mut pac, 0);
+        assert_eq!(out.len(), 1, "four adjacent misses → one 256B dispatch");
+        assert_eq!(out[0].bytes, 256);
+        assert_eq!(out[0].raw_count, 4);
+        let s = pac.stats();
+        assert_eq!(s.raw_requests, 4);
+        assert_eq!(s.dispatched_requests, 1);
+        assert!((s.coalescing_efficiency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeout_flushes_streams() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false;
+        pac.push_raw(miss(1, 0x9, 1, 0), 0);
+        pac.push_raw(miss(2, 0x9, 2, 0), 0);
+        let mut out = Vec::new();
+        for now in 0..16 {
+            pac.tick(now, &mut out);
+            assert!(out.is_empty(), "flushed before timeout at {now}");
+        }
+        let mut now = 16;
+        while out.is_empty() && now < 64 {
+            pac.tick(now, &mut out);
+            now += 1;
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bytes, 128);
+        assert_eq!(pac.stats().timeout_flushes, 1);
+    }
+
+    #[test]
+    fn loads_and_stores_do_not_mix() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false;
+        pac.push_raw(miss(1, 0x9, 1, 0), 0);
+        let mut store = miss(2, 0x9, 2, 0);
+        store.op = Op::Store;
+        store.kind = RequestKind::WriteBack;
+        pac.push_raw(store, 0);
+        let (out, _) = run_to_drain(&mut pac, 0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn atomics_route_directly() {
+        let mut pac = PacCoalescer::new(cfg());
+        let mut a = miss(7, 0x9, 1, 0);
+        a.kind = RequestKind::Atomic;
+        pac.push_raw(a, 0);
+        let mut out = Vec::new();
+        pac.tick(0, &mut out);
+        assert_eq!(out.len(), 1);
+        let mut sat = Vec::new();
+        pac.complete(out[0].dispatch_id, 1, &mut sat);
+        assert_eq!(sat, vec![7]);
+    }
+
+    #[test]
+    fn fence_flushes_pipeline() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false;
+        pac.push_raw(miss(1, 0x9, 1, 0), 0);
+        pac.push_raw(miss(2, 0x9, 2, 0), 0);
+        let mut fence = miss(0, 0, 0, 1);
+        fence.kind = RequestKind::Fence;
+        pac.push_raw(fence, 1);
+        assert_eq!(pac.stats().fence_flushes, 1);
+        // Stream left stage 1 well before its timeout.
+        assert_eq!(pac.stream_occupancy(), 0);
+    }
+
+    #[test]
+    fn later_miss_merges_into_inflight_mshr() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false;
+        // First wave coalesces into a 256B dispatch that stays in flight.
+        for (i, b) in [0u8, 1, 2, 3].iter().enumerate() {
+            pac.push_raw(miss(i as u64, 0x9, *b, 0), 0);
+        }
+        pac.flush(0);
+        let mut out = Vec::new();
+        let mut now = 0;
+        while out.is_empty() {
+            pac.tick(now, &mut out);
+            now += 1;
+        }
+        assert_eq!(out[0].bytes, 256);
+        // A straggler miss to a covered block arrives while in flight.
+        pac.push_raw(miss(9, 0x9, 2, now), now);
+        pac.flush(now);
+        let before = out.len();
+        for _ in 0..40 {
+            pac.tick(now, &mut out);
+            now += 1;
+        }
+        assert_eq!(out.len(), before, "covered miss must not re-dispatch");
+        let mut sat = Vec::new();
+        pac.complete(out[0].dispatch_id, now, &mut sat);
+        sat.sort_unstable();
+        assert_eq!(sat, vec![0, 1, 2, 3, 9]);
+        assert_eq!(pac.stats().mshr_merges, 1);
+    }
+
+    #[test]
+    fn backpressure_engages_under_flood() {
+        let mut pac = PacCoalescer::new(CoalescerConfig {
+            streams: 4,
+            maq_entries: 2,
+            mshrs: 2,
+            ..cfg()
+        });
+        pac.bypass_enabled = false;
+        let mut refused = 0;
+        let mut out = Vec::new();
+        for i in 0..400u64 {
+            // Distinct pages: nothing coalesces, MSHRs never complete.
+            if !pac.push_raw(miss(i, 0x100 + i, 0, i), i) {
+                refused += 1;
+            }
+            pac.tick(i, &mut out);
+        }
+        assert!(refused > 0, "flood without completions must stall");
+        assert!(pac.stats().stall_cycles > 0);
+    }
+
+    #[test]
+    fn hbm_mode_coalesces_past_256_bytes() {
+        let mut pac = PacCoalescer::new(CoalescerConfig {
+            protocol: pac_types::MemoryProtocol::Hbm,
+            ..cfg()
+        });
+        pac.bypass_enabled = false;
+        // Eight adjacent blocks: HMC would need two 256B requests; HBM's
+        // 1KB rows take them in one.
+        for b in 0..8u8 {
+            assert!(pac.push_raw(miss(b as u64, 0x9, b, 0), 0));
+        }
+        let (out, _) = run_to_drain(&mut pac, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bytes, 512);
+        assert_eq!(out[0].raw_count, 8);
+    }
+
+    #[test]
+    fn hmc10_mode_caps_requests_at_128_bytes() {
+        let mut pac = PacCoalescer::new(CoalescerConfig {
+            protocol: pac_types::MemoryProtocol::Hmc10,
+            ..cfg()
+        });
+        pac.bypass_enabled = false;
+        for b in 0..4u8 {
+            assert!(pac.push_raw(miss(b as u64, 0x9, b, 0), 0));
+        }
+        let (out, _) = run_to_drain(&mut pac, 0);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.bytes == 128));
+    }
+
+    #[test]
+    fn hint_pending_defeats_cold_bypass() {
+        let mut pac = PacCoalescer::new(cfg());
+        assert!(pac.bypassing());
+        pac.hint_pending(3);
+        pac.push_raw(miss(1, 0x9, 1, 0), 0);
+        pac.push_raw(miss(2, 0x9, 2, 0), 0);
+        // Both requests entered the aggregator instead of bypassing.
+        assert_eq!(pac.stats().network_bypasses, 0);
+        assert_eq!(pac.stream_occupancy(), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_counts_and_flushes() {
+        let mut pac = PacCoalescer::new(CoalescerConfig { streams: 2, ..cfg() });
+        pac.bypass_enabled = false;
+        pac.push_raw(miss(1, 0x1, 0, 0), 0);
+        pac.push_raw(miss(2, 0x2, 0, 0), 0);
+        pac.push_raw(miss(3, 0x3, 0, 0), 0); // evicts the oldest stream
+        assert_eq!(pac.stats().capacity_flushes, 1);
+        assert_eq!(pac.stream_occupancy(), 2);
+    }
+
+    #[test]
+    fn writebacks_coalesce_like_stores() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false;
+        for b in [4u8, 5, 6, 7] {
+            let mut wb = miss(b as u64, 0x7, b, 0);
+            wb.op = Op::Store;
+            wb.kind = RequestKind::WriteBack;
+            assert!(pac.push_raw(wb, 0));
+        }
+        let (out, _) = run_to_drain(&mut pac, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bytes, 256);
+        assert_eq!(out[0].op, Op::Store);
+    }
+
+    #[test]
+    fn duplicate_misses_to_one_line_merge() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false;
+        pac.push_raw(miss(1, 0x9, 3, 0), 0);
+        pac.push_raw(miss(2, 0x9, 3, 0), 0); // same line, e.g. two cores
+        let (out, _) = run_to_drain(&mut pac, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].bytes, 64);
+        assert_eq!(out[0].raw_count, 2);
+        assert!((pac.stats().coalescing_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_expose_stage_latencies() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false;
+        pac.push_raw(miss(1, 0x9, 1, 0), 0);
+        pac.push_raw(miss(2, 0x9, 2, 0), 0);
+        let _ = run_to_drain(&mut pac, 0);
+        let s = pac.stats();
+        assert_eq!(s.stage2_batches, 1);
+        assert_eq!(s.stage3_batches, 1);
+        assert!(s.avg_stage2_latency() >= 2.0);
+    }
+}

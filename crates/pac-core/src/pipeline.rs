@@ -1,0 +1,347 @@
+//! The pipelined coalescing network — stages 2 and 3 with their timing.
+//!
+//! Streams flushed from stage 1 enter the decoder queue; the decoder
+//! spends one cycle decoding plus one cycle per non-zero chunk storing
+//! block sequences into the block sequence buffer (shared bus,
+//! Sec 3.3.2). The assembler pops sequences in FIFO order, pays one cycle
+//! for the coalescing-table look-up and one per assembled request
+//! (Sec 3.3.3). Streams whose C bit is clear (a single raw request)
+//! bypass both stages and surface on the output after one cycle
+//! (Sec 3.3.1, measured in Fig 12c).
+
+use crate::decoder::decode;
+use crate::stream::CoalescingStream;
+use crate::table::CoalescingTable;
+use pac_types::addr::{block_addr, CACHE_LINE_BYTES};
+use pac_types::{CoalescedRequest, Cycle, MemoryProtocol};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Latency/throughput counters the network reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Streams that traversed stages 2–3.
+    pub coalesced_streams: u64,
+    /// Raw requests that bypassed stages 2–3 (C bit clear).
+    pub bypassed_raw: u64,
+    /// Sum/count of stage-2 batch latencies (flush → last sequence stored).
+    pub stage2_latency_sum: u64,
+    pub stage2_batches: u64,
+    /// Sum/count of stage-3 batch latencies (sequence ready → last request).
+    pub stage3_latency_sum: u64,
+    pub stage3_batches: u64,
+}
+
+#[derive(Debug)]
+struct OutEntry {
+    ready: Cycle,
+    seq: u64,
+    req: CoalescedRequest,
+}
+
+impl PartialEq for OutEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.ready == other.ready && self.seq == other.seq
+    }
+}
+impl Eq for OutEntry {}
+impl PartialOrd for OutEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OutEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready, self.seq).cmp(&(other.ready, other.seq))
+    }
+}
+
+/// Stages 2–3 of the coalescing network.
+#[derive(Debug)]
+pub struct CoalescingNetwork {
+    protocol: MemoryProtocol,
+    table: CoalescingTable,
+    /// Streams awaiting the decoder: (flush cycle, stream).
+    stage2_in: VecDeque<(Cycle, CoalescingStream)>,
+    stage2_free: Cycle,
+    /// Block sequence buffer: (ready cycle, sequence).
+    seq_buffer: VecDeque<(Cycle, crate::decoder::BlockSequence)>,
+    stage3_free: Cycle,
+    out: BinaryHeap<Reverse<OutEntry>>,
+    out_seq: u64,
+    /// Counters for Figs 12a/12c.
+    pub stats: NetworkStats,
+}
+
+impl CoalescingNetwork {
+    pub fn new(protocol: MemoryProtocol) -> Self {
+        CoalescingNetwork {
+            protocol,
+            table: CoalescingTable::for_protocol(protocol),
+            stage2_in: VecDeque::new(),
+            stage2_free: 0,
+            seq_buffer: VecDeque::new(),
+            stage3_free: 0,
+            out: BinaryHeap::new(),
+            out_seq: 0,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Protocol the network assembles for.
+    pub fn protocol(&self) -> MemoryProtocol {
+        self.protocol
+    }
+
+    /// Total coalescing-table look-ups served.
+    pub fn table_lookups(&self) -> u64 {
+        self.table.lookups
+    }
+
+    /// Accept a stream flushed from stage 1 at `flush_cycle`. Streams
+    /// with the C bit clear skip stages 2–3.
+    pub fn push_stream(&mut self, stream: CoalescingStream, flush_cycle: Cycle) {
+        if stream.c_bit() {
+            self.stats.coalesced_streams += 1;
+            self.stage2_in.push_back((flush_cycle, stream));
+        } else {
+            self.stats.bypassed_raw += stream.raw_count() as u64;
+            let (block, id) = stream.raw[0];
+            let req = CoalescedRequest {
+                addr: block_addr(stream.ppn, block),
+                bytes: CACHE_LINE_BYTES,
+                op: stream.op,
+                raw_ids: vec![id],
+                assembled_cycle: flush_cycle + 1,
+                first_issue_cycle: stream.first_issue,
+            };
+            self.push_out(flush_cycle + 1, req);
+        }
+    }
+
+    fn push_out(&mut self, ready: Cycle, req: CoalescedRequest) {
+        let seq = self.out_seq;
+        self.out_seq += 1;
+        self.out.push(Reverse(OutEntry { ready, seq, req }));
+    }
+
+    /// Streams waiting for the decoder.
+    pub fn stage2_backlog(&self) -> usize {
+        self.stage2_in.len()
+    }
+
+    /// Advance stages 2–3 up to cycle `now`. Each stage stalls when its
+    /// downstream buffer is full, propagating MAQ backpressure up the
+    /// pipeline (Sec 3.2: "if the MAQ is full, the pipeline is
+    /// stalled").
+    pub fn tick(&mut self, now: Cycle) {
+        const BUFFER_CAP: usize = 32;
+        // Stage 2: decode + serialized store of non-zero chunks.
+        while let Some((flush, _)) = self.stage2_in.front() {
+            if self.seq_buffer.len() >= BUFFER_CAP {
+                break;
+            }
+            let start = (*flush).max(self.stage2_free);
+            if *flush > now || start > now {
+                break;
+            }
+            let (flush, stream) = self.stage2_in.pop_front().expect("front exists");
+            let sequences = decode(&stream, self.protocol);
+            debug_assert!(!sequences.is_empty(), "C=1 stream has at least one chunk");
+            let n = sequences.len() as u64;
+            for (i, s) in sequences.into_iter().enumerate() {
+                // Decode takes 1 cycle; chunk i stores on cycle i+1 after.
+                self.seq_buffer.push_back((start + 2 + i as u64, s));
+            }
+            self.stage2_free = start + 1 + n;
+            self.stats.stage2_latency_sum += start + 1 + n - flush;
+            self.stats.stage2_batches += 1;
+        }
+
+        // Stage 3: table look-up + one request assembled per cycle.
+        while let Some((ready, _)) = self.seq_buffer.front() {
+            if self.out.len() >= BUFFER_CAP {
+                break;
+            }
+            let start = (*ready).max(self.stage3_free);
+            if *ready > now || start > now {
+                break;
+            }
+            let (ready, seq) = self.seq_buffer.pop_front().expect("front exists");
+            let requests = crate::assembler::assemble(&seq, &mut self.table, start + 1);
+            let k = requests.len() as u64;
+            debug_assert!(k >= 1);
+            for (j, mut r) in requests.into_iter().enumerate() {
+                let emit = start + 2 + j as u64;
+                r.assembled_cycle = emit;
+                self.push_out(emit, r);
+            }
+            self.stage3_free = start + 1 + k;
+            self.stats.stage3_latency_sum += start + 1 + k - ready;
+            self.stats.stage3_batches += 1;
+        }
+    }
+
+    /// Pop the next assembled request whose pipeline latency has elapsed.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<CoalescedRequest> {
+        if self.out.peek().is_some_and(|Reverse(e)| e.ready <= now) {
+            Some(self.out.pop().expect("peeked").0.req)
+        } else {
+            None
+        }
+    }
+
+    /// Requests waiting on the output side (assembled or bypassed).
+    pub fn buffered_out(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing is in flight anywhere in stages 2–3.
+    pub fn is_empty(&self) -> bool {
+        self.stage2_in.is_empty() && self.seq_buffer.is_empty() && self.out.is_empty()
+    }
+
+    /// Run the pipeline until everything buffered has drained, returning
+    /// the drained requests and the cycle the network went idle.
+    pub fn drain(&mut self, mut now: Cycle) -> (Vec<CoalescedRequest>, Cycle) {
+        let mut out = Vec::new();
+        while !self.is_empty() {
+            self.tick(now);
+            while let Some(r) = self.pop_ready(now) {
+                out.push(r);
+            }
+            now += 1;
+        }
+        (out, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_types::{MemRequest, Op};
+
+    fn stream(ppn: u64, blocks: &[u8], cycle: Cycle) -> CoalescingStream {
+        let mut s = CoalescingStream::new(
+            &MemRequest::miss(
+                100 + blocks[0] as u64,
+                block_addr(ppn, blocks[0]),
+                Op::Load,
+                0,
+                cycle,
+            ),
+            cycle,
+        );
+        for &b in &blocks[1..] {
+            s.merge(&MemRequest::miss(100 + b as u64, block_addr(ppn, b), Op::Load, 0, cycle));
+        }
+        s
+    }
+
+    #[test]
+    fn single_request_stream_bypasses() {
+        let mut net = CoalescingNetwork::new(MemoryProtocol::Hmc21);
+        net.push_stream(stream(0x9, &[3], 5), 5);
+        assert_eq!(net.stats.bypassed_raw, 1);
+        assert!(net.pop_ready(5).is_none());
+        let r = net.pop_ready(6).expect("ready one cycle after flush");
+        assert_eq!(r.bytes, 64);
+        assert_eq!(r.addr, block_addr(0x9, 3));
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn coalesced_stream_traverses_stages() {
+        let mut net = CoalescingNetwork::new(MemoryProtocol::Hmc21);
+        net.push_stream(stream(0x9, &[1, 2], 0), 0);
+        let (reqs, _) = net.drain(0);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].bytes, 128);
+        assert_eq!(reqs[0].raw_ids.len(), 2);
+        assert_eq!(net.stats.coalesced_streams, 1);
+        assert_eq!(net.stats.stage2_batches, 1);
+        assert_eq!(net.stats.stage3_batches, 1);
+    }
+
+    #[test]
+    fn pipeline_latency_is_modelled() {
+        let mut net = CoalescingNetwork::new(MemoryProtocol::Hmc21);
+        net.push_stream(stream(0x9, &[1, 2], 0), 0);
+        // Stage 2: start 0, seq ready at 2. Stage 3: start 2, lookup 1
+        // cycle, request emitted at 4.
+        for now in 0..4 {
+            net.tick(now);
+            assert!(net.pop_ready(now).is_none(), "not ready at {now}");
+        }
+        net.tick(4);
+        assert!(net.pop_ready(4).is_some());
+    }
+
+    #[test]
+    fn multi_chunk_stream_yields_multiple_requests() {
+        let mut net = CoalescingNetwork::new(MemoryProtocol::Hmc21);
+        // Blocks 0,1 (chunk 0) and 8,9,10 (chunk 2).
+        net.push_stream(stream(0x4, &[0, 1, 8, 9, 10], 0), 0);
+        let (reqs, _) = net.drain(0);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].bytes, 128);
+        assert_eq!(reqs[1].bytes, 192);
+    }
+
+    #[test]
+    fn output_respects_ready_order() {
+        let mut net = CoalescingNetwork::new(MemoryProtocol::Hmc21);
+        net.push_stream(stream(0x1, &[0, 1], 0), 0); // slow path
+        net.push_stream(stream(0x2, &[5], 0), 0); // bypass, ready at 1
+        let (reqs, _) = net.drain(0);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].addr, block_addr(0x2, 5));
+        assert_eq!(reqs[1].addr, block_addr(0x1, 0));
+    }
+
+    #[test]
+    fn back_to_back_streams_share_stage_bandwidth() {
+        let mut net = CoalescingNetwork::new(MemoryProtocol::Hmc21);
+        for p in 0..4u64 {
+            net.push_stream(stream(p + 1, &[0, 1], 0), 0);
+        }
+        let (reqs, done) = net.drain(0);
+        assert_eq!(reqs.len(), 4);
+        // Serialized stages: strictly more than the single-stream latency.
+        assert!(done > 5, "four streams drained suspiciously fast: {done}");
+        assert_eq!(net.stats.stage2_batches, 4);
+    }
+
+    #[test]
+    fn fig5b_example_end_to_end() {
+        // Streams 1 and 2 each coalesce into one 128B request; request 3
+        // bypasses as a 64B single.
+        let mut net = CoalescingNetwork::new(MemoryProtocol::Hmc21);
+        net.push_stream(stream(0x9, &[1, 2], 0), 0);
+        let mut s2 = CoalescingStream::new(
+            &{
+                let mut r = MemRequest::miss(2, block_addr(0x2, 1), Op::Store, 0, 0);
+                r.op = Op::Store;
+                r
+            },
+            0,
+        );
+        s2.merge(&{
+            let mut r = MemRequest::miss(5, block_addr(0x2, 2), Op::Store, 0, 0);
+            r.op = Op::Store;
+            r
+        });
+        net.push_stream(s2, 0);
+        net.push_stream(stream(0x5, &[3], 0), 0);
+        let (reqs, _) = net.drain(0);
+        assert_eq!(reqs.len(), 3);
+        let total_raw: usize = reqs.iter().map(|r| r.raw_ids.len()).sum();
+        assert_eq!(total_raw, 5);
+        let sizes: Vec<u64> = {
+            let mut v: Vec<u64> = reqs.iter().map(|r| r.bytes).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes, vec![64, 128, 128]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Statistics every coalescer implementation accumulates.
+//!
+//! The figure harness derives the paper's metrics from these counters:
+//! coalescing efficiency (Eq. 1), comparison counts (Fig 7), stream
+//! occupancy (Fig 11b/c), stage latencies (Fig 12a), MAQ fill latency
+//! (Fig 12b), and the bypass proportion (Fig 12c).
+
+use pac_types::Cycle;
+
+/// Histogram of dispatched request sizes, in 16 B FLIT buckets up to
+/// 1 KB (64 buckets — covering HBM-mode requests beyond HMC's 256 B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeHistogram {
+    buckets: [u64; 64],
+}
+
+impl Default for SizeHistogram {
+    fn default() -> Self {
+        SizeHistogram { buckets: [0; 64] }
+    }
+}
+
+impl SizeHistogram {
+    /// Record one request of `bytes` payload.
+    pub fn record(&mut self, bytes: u64) {
+        let idx = (bytes.div_ceil(16).max(1) as usize - 1).min(63);
+        self.buckets[idx] += 1;
+    }
+
+    /// Count of requests whose payload was exactly `bytes` (rounded up to
+    /// a FLIT multiple).
+    pub fn count(&self, bytes: u64) -> u64 {
+        let idx = (bytes.div_ceil(16).max(1) as usize - 1).min(63);
+        self.buckets[idx]
+    }
+
+    /// Iterate `(payload_bytes, count)` over non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (((i + 1) * 16) as u64, c))
+    }
+
+    /// Total requests recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Counters shared by all coalescer implementations. Fields that a given
+/// implementation does not exercise simply stay zero (e.g. the stock
+/// controller performs no comparisons).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoalescerStats {
+    /// Raw requests accepted from the LLC.
+    pub raw_requests: u64,
+    /// Requests dispatched to the memory controller.
+    pub dispatched_requests: u64,
+    /// Raw requests absorbed into an already-in-flight MSHR entry.
+    pub mshr_merges: u64,
+    /// Address/tag comparisons performed while aggregating and merging.
+    pub comparisons: u64,
+    /// Raw requests that bypassed pipeline stages 2–3 because their
+    /// coalescing stream held a single request (C bit = 0, Fig 12c).
+    pub stage_bypasses: u64,
+    /// Raw requests that bypassed the whole network because it was
+    /// disabled by the controller (MAQ empty, MSHRs free — Sec 3.2).
+    pub network_bypasses: u64,
+    /// Stream flushes caused by the stage-1 timeout.
+    pub timeout_flushes: u64,
+    /// Stream flushes forced by stream-table pressure (eviction).
+    pub capacity_flushes: u64,
+    /// Stream flushes forced by a memory fence.
+    pub fence_flushes: u64,
+    /// Refused admission events — one per rejected `push_raw`, summed
+    /// over every requester, so the count can exceed elapsed cycles.
+    pub stall_cycles: u64,
+    /// Sum and count of stage-2 (decoder) latencies, cycles.
+    pub stage2_latency_sum: u64,
+    pub stage2_batches: u64,
+    /// Sum and count of stage-3 (assembler) latencies, cycles.
+    pub stage3_latency_sum: u64,
+    pub stage3_batches: u64,
+    /// Sum and count of aggregate coalescing-stream occupancy samples
+    /// (sampled every 16 cycles as in Fig 11b).
+    pub occupancy_sum: u64,
+    pub occupancy_samples: u64,
+    /// Sum and count of MAQ fill latencies: cycles to accumulate a full
+    /// MAQ's worth of entries starting from an empty queue (Fig 12b).
+    pub maq_fill_latency_sum: u64,
+    pub maq_fills: u64,
+    /// Distribution of dispatched request payload sizes.
+    pub size_histogram: SizeHistogram,
+    /// Per-sample stream occupancy trace (kept only when tracing is
+    /// enabled; Fig 11b plots it for HPCG).
+    pub occupancy_trace: Vec<u32>,
+    /// Whether to retain `occupancy_trace`.
+    pub trace_occupancy: bool,
+}
+
+impl CoalescerStats {
+    /// Coalescing efficiency (Eq. 1): reduced requests / total requests.
+    /// "Reduced" counts every raw request that did not become its own
+    /// memory request.
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.raw_requests == 0 {
+            return 0.0;
+        }
+        1.0 - self.dispatched_requests as f64 / self.raw_requests as f64
+    }
+
+    /// Average number of occupied coalescing streams per sample.
+    pub fn avg_stream_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+
+    /// Average stage-2 latency in cycles.
+    pub fn avg_stage2_latency(&self) -> f64 {
+        if self.stage2_batches == 0 {
+            0.0
+        } else {
+            self.stage2_latency_sum as f64 / self.stage2_batches as f64
+        }
+    }
+
+    /// Average stage-3 latency in cycles.
+    pub fn avg_stage3_latency(&self) -> f64 {
+        if self.stage3_batches == 0 {
+            0.0
+        } else {
+            self.stage3_latency_sum as f64 / self.stage3_batches as f64
+        }
+    }
+
+    /// Average MAQ fill latency in cycles.
+    pub fn avg_maq_fill_latency(&self) -> f64 {
+        if self.maq_fills == 0 {
+            0.0
+        } else {
+            self.maq_fill_latency_sum as f64 / self.maq_fills as f64
+        }
+    }
+
+    /// Proportion of raw requests that skipped stages 2–3 (Fig 12c).
+    pub fn bypass_proportion(&self) -> f64 {
+        if self.raw_requests == 0 {
+            0.0
+        } else {
+            self.stage_bypasses as f64 / self.raw_requests as f64
+        }
+    }
+
+    /// Record one occupancy sample.
+    pub fn sample_occupancy(&mut self, occupied: u32) {
+        self.occupancy_sum += occupied as u64;
+        self.occupancy_samples += 1;
+        if self.trace_occupancy {
+            self.occupancy_trace.push(occupied);
+        }
+    }
+
+    /// Record one stage-2 batch latency.
+    pub fn record_stage2(&mut self, latency: Cycle) {
+        self.stage2_latency_sum += latency;
+        self.stage2_batches += 1;
+    }
+
+    /// Record one stage-3 batch latency.
+    pub fn record_stage3(&mut self, latency: Cycle) {
+        self.stage3_latency_sum += latency;
+        self.stage3_batches += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_efficiency_eq1() {
+        let s = CoalescerStats {
+            raw_requests: 100,
+            dispatched_requests: 44,
+            ..Default::default()
+        };
+        assert!((s.coalescing_efficiency() - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_zero_without_requests() {
+        assert_eq!(CoalescerStats::default().coalescing_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn size_histogram_buckets() {
+        let mut h = SizeHistogram::default();
+        h.record(64);
+        h.record(64);
+        h.record(128);
+        h.record(256);
+        h.record(8); // sub-FLIT rounds up to 16
+        assert_eq!(h.count(64), 2);
+        assert_eq!(h.count(128), 1);
+        assert_eq!(h.count(256), 1);
+        assert_eq!(h.count(16), 1);
+        assert_eq!(h.total(), 5);
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v, vec![(16, 1), (64, 2), (128, 1), (256, 1)]);
+    }
+
+    #[test]
+    fn averages() {
+        let mut s = CoalescerStats::default();
+        s.record_stage2(4);
+        s.record_stage2(8);
+        s.record_stage3(10);
+        s.sample_occupancy(3);
+        s.sample_occupancy(5);
+        assert_eq!(s.avg_stage2_latency(), 6.0);
+        assert_eq!(s.avg_stage3_latency(), 10.0);
+        assert_eq!(s.avg_stream_occupancy(), 4.0);
+        assert!(s.occupancy_trace.is_empty()); // tracing off by default
+    }
+
+    #[test]
+    fn occupancy_trace_when_enabled() {
+        let mut s = CoalescerStats { trace_occupancy: true, ..Default::default() };
+        s.sample_occupancy(7);
+        assert_eq!(s.occupancy_trace, vec![7]);
+    }
+
+    #[test]
+    fn bypass_proportion() {
+        let s = CoalescerStats {
+            raw_requests: 200,
+            stage_bypasses: 50,
+            ..Default::default()
+        };
+        assert!((s.bypass_proportion() - 0.25).abs() < 1e-12);
+    }
+}

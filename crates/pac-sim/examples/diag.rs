@@ -1,0 +1,51 @@
+//! Calibration diagnostic: per-benchmark metrics under all coalescers.
+
+use pac_sim::{run_bench, CoalescerKind, ExperimentConfig};
+use pac_workloads::Bench;
+
+fn main() {
+    let accesses: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let filter: Option<String> = std::env::args().nth(2);
+    let cfg = ExperimentConfig { accesses_per_core: accesses, ..Default::default() };
+    println!(
+        "{:<9} {:>9} | {:>7} {:>7} | {:>6} {:>6} | {:>8} {:>8} {:>8} | {:>6} {:>6} | {:>7} {:>5} {:>5}",
+        "bench", "kind", "raw", "disp", "eff%", "txe%", "cycles", "conflict", "lat_ns",
+        "l1%", "l2%", "occ", "s2", "byp%"
+    );
+    for bench in Bench::ALL {
+        if let Some(f) = &filter {
+            if !bench.name().eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        for kind in CoalescerKind::ALL {
+            let (m, _) = run_bench(bench, kind, &cfg);
+            println!(
+                "{:<9} {:>9} | {:>7} {:>7} | {:>6.2} {:>6.2} | {:>8} {:>8} {:>8.1} | {:>6.2} {:>6.2} | {:>7.2} {:>5.1} {:>5.1}",
+                bench.name(),
+                m.coalescer,
+                m.raw_requests,
+                m.dispatched_requests,
+                m.coalescing_efficiency * 100.0,
+                m.transaction_efficiency * 100.0,
+                m.runtime_cycles,
+                m.bank_conflicts,
+                m.avg_mem_latency_ns,
+                m.l1_hit_rate * 100.0,
+                m.l2_hit_rate * 100.0,
+                m.avg_stream_occupancy,
+                m.avg_stage2_latency,
+                m.bypass_fraction * 100.0,
+            );
+            if std::env::var("DIAG_VERBOSE").is_ok() {
+                println!(
+                    "          pf={} netbyp={} merges={} stalls={}",
+                    m.prefetches, m.network_bypasses, m.mshr_merges, m.stall_cycles
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! The assembled system: cores → caches → coalescer → HMC.
+
+use crate::core::{CoreState, PendingPush};
+use crate::metrics::RunMetrics;
+use cache_sim::{CacheHierarchy, HierarchyOutcome};
+use hmc_sim::{Hmc, HmcRequest, HmcResponse};
+use pac_core::baseline::{MshrDmc, NoCoalescing};
+use pac_core::{DispatchedRequest, MemoryCoalescer, PacCoalescer};
+use pac_types::addr::{line_base, CACHE_LINE_BYTES, PAGE_BYTES};
+use pac_types::{Cycle, MemRequest, Op, RequestKind, SimConfig};
+use pac_workloads::multiproc::CoreSpec;
+use std::collections::{HashMap, VecDeque};
+
+/// Hash builder for maps keyed by densely-sequential u64 ids: the id IS
+/// the hash, saving SipHash work on the per-request hot path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdHash;
+
+impl std::hash::BuildHasher for IdHash {
+    type Hasher = IdHasher;
+    fn build_hasher(&self) -> IdHasher {
+        IdHasher(0)
+    }
+}
+
+/// See [`IdHash`].
+#[derive(Debug, Clone, Copy)]
+pub struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        // Spread sequential ids across hashmap buckets.
+        self.0.wrapping_mul(0x9E3779B97F4A7C15)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) | b as u64;
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// Which coalescer sits between the LLC and the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoalescerKind {
+    /// Stock HMC controller, no aggregation (the Fig 15 baseline).
+    Raw,
+    /// Conventional MSHR-based dynamic memory coalescing.
+    MshrDmc,
+    /// The paged adaptive coalescer.
+    Pac,
+}
+
+impl CoalescerKind {
+    pub const ALL: [CoalescerKind; 3] =
+        [CoalescerKind::Raw, CoalescerKind::MshrDmc, CoalescerKind::Pac];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            CoalescerKind::Raw => "raw",
+            CoalescerKind::MshrDmc => "mshr-dmc",
+            CoalescerKind::Pac => "pac",
+        }
+    }
+
+    pub(crate) fn build(self, cfg: &SimConfig, trace_occupancy: bool) -> Box<dyn MemoryCoalescer> {
+        let c = cfg.coalescer;
+        match self {
+            CoalescerKind::Raw => Box::new(NoCoalescing::new(c.mshrs)),
+            CoalescerKind::MshrDmc => Box::new(MshrDmc::new(c.mshrs, c.mshr_subentries)),
+            CoalescerKind::Pac => {
+                let mut pac = PacCoalescer::new(c);
+                pac.trace_occupancy(trace_occupancy);
+                Box::new(pac)
+            }
+        }
+    }
+}
+
+/// One raw request as recorded in a captured trace: everything a
+/// coalescer model needs to replay the stream (Figs 1, 2, 6–14 are
+/// evaluated on such traces, mirroring the paper's Spike-trace-driven
+/// methodology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceEntry {
+    pub cycle: Cycle,
+    pub addr: u64,
+    pub op: Op,
+    pub kind: RequestKind,
+    pub data_bytes: u32,
+    /// Issuing core (`u8::MAX` for write-backs).
+    pub core: u8,
+}
+
+/// Who is waiting on a raw request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Owner {
+    /// A core's demand access (occupies its outstanding window).
+    Core(u8),
+    /// A dirty-line write-back.
+    WriteBack,
+    /// An LLC stride-prefetch fill.
+    Prefetch,
+}
+
+/// Bookkeeping for one in-flight raw request.
+struct RawMeta {
+    owner: Owner,
+    /// Line address, for LLC fill completion.
+    line: u64,
+    /// Whether the response validates the LLC line.
+    is_fill: bool,
+}
+
+/// An entry of the side queue (write-backs + prefetches).
+#[derive(Debug, Clone, Copy)]
+enum SideEntry {
+    /// A prepared request awaiting coalescer admission.
+    Ready(MemRequest, Owner, bool),
+    /// A prefetch candidate that has NOT yet touched the cache: the LLC
+    /// is only probed (and the line reserved) at admission time, so a
+    /// demand miss racing ahead of a queued prefetch starts its own
+    /// fill and the stale candidate is dropped.
+    PfCandidate { addr: u64, core: u8 },
+}
+
+/// One tracked sequential stream in a core's prefetcher.
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamEntry {
+    /// The line that would continue this stream.
+    next_line: u64,
+    /// Consecutive continuations observed.
+    streak: u32,
+    /// Highest line already prefetched for this stream.
+    prefetched_upto: u64,
+    /// LRU stamp.
+    lru: u64,
+}
+
+/// Per-core stream table for the LLC prefetcher: tracks several
+/// interleaved sequential streams (a stencil sweep alone has five).
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideState {
+    entries: [StreamEntry; 8],
+}
+
+/// The full simulated system.
+pub struct SimSystem {
+    cfg: SimConfig,
+    kind: CoalescerKind,
+    cores: Vec<CoreState>,
+    hierarchy: CacheHierarchy,
+    coalescer: Box<dyn MemoryCoalescer>,
+    hmc: Hmc,
+    now: Cycle,
+    next_raw: u64,
+    raw_meta: HashMap<u64, RawMeta, IdHash>,
+    /// Write-backs and prefetches awaiting coalescer admission (the WB
+    /// queue plus the prefetch request queue).
+    side_queue: VecDeque<SideEntry>,
+    /// Per-core stride detectors.
+    strides: Vec<StrideState>,
+    /// Prefetches in flight or queued.
+    prefetch_outstanding: usize,
+    /// Prefetch fills issued over the run.
+    prefetches_issued: u64,
+    /// Optional MMU: when present, workload addresses are virtual and
+    /// are translated (with TLB-walk penalties) before the caches.
+    mmu: Option<pac_vm::Mmu>,
+    /// Captured raw miss trace.
+    trace: Option<Vec<TraceEntry>>,
+    trace_cap: usize,
+    // Scratch buffers reused across ticks.
+    dispatches: Vec<DispatchedRequest>,
+    responses: Vec<HmcResponse>,
+    satisfied: Vec<u64>,
+}
+
+impl SimSystem {
+    pub fn new(cfg: SimConfig, specs: Vec<CoreSpec>, kind: CoalescerKind) -> Self {
+        Self::with_options(cfg, specs, kind, false, false)
+    }
+
+    /// `capture_trace` retains the raw miss stream (Figs 2/8/9);
+    /// `trace_occupancy` retains PAC's stream-occupancy samples (Fig 11b).
+    pub fn with_options(
+        cfg: SimConfig,
+        specs: Vec<CoreSpec>,
+        kind: CoalescerKind,
+        capture_trace: bool,
+        trace_occupancy: bool,
+    ) -> Self {
+        assert!(!specs.is_empty());
+        assert!(
+            cfg.coalescer.protocol.max_request_bytes() <= cfg.hmc.row_bytes,
+            "coalescer protocol allows {}B requests but the device rows are {}B; \
+             set SimConfig.hmc.row_bytes to match the protocol (e.g. 1024 for HBM)",
+            cfg.coalescer.protocol.max_request_bytes(),
+            cfg.hmc.row_bytes
+        );
+        let cores: Vec<CoreState> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| CoreState::new(i as u8, s, 0, cfg.core_outstanding))
+            .collect();
+        let n_cores = cores.len();
+        SimSystem {
+            hierarchy: CacheHierarchy::new(n_cores as u32, cfg.l1, cfg.l2),
+            coalescer: kind.build(&cfg, trace_occupancy),
+            hmc: Hmc::new(cfg.hmc),
+            cores,
+            kind,
+            strides: vec![StrideState::default(); n_cores],
+            now: 0,
+            next_raw: 0,
+            raw_meta: HashMap::default(),
+            side_queue: VecDeque::new(),
+            prefetch_outstanding: 0,
+            prefetches_issued: 0,
+            mmu: None,
+            trace: capture_trace.then(Vec::new),
+            trace_cap: 1 << 20,
+            dispatches: Vec::new(),
+            responses: Vec::new(),
+            satisfied: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Enable virtual memory: workload addresses become virtual and
+    /// translate through `mmu` (scattered frames, TLB penalties).
+    pub fn set_mmu(&mut self, mmu: pac_vm::Mmu) {
+        self.mmu = Some(mmu);
+    }
+
+    /// The MMU, if virtual memory is enabled.
+    pub fn mmu(&self) -> Option<&pac_vm::Mmu> {
+        self.mmu.as_ref()
+    }
+
+    fn alloc_raw(&mut self) -> u64 {
+        let id = self.next_raw;
+        self.next_raw += 1;
+        id
+    }
+
+    /// Try to push a prepared raw request; returns false on backpressure.
+    fn offer(&mut self, pending: PendingPush, owner: Owner) -> bool {
+        if !self.coalescer.push_raw(pending.req, self.now) {
+            return false;
+        }
+        self.raw_meta.insert(
+            pending.req.id,
+            RawMeta { owner, line: pending.req.line(), is_fill: pending.is_fill },
+        );
+        if let Some(t) = &mut self.trace {
+            if t.len() == self.trace_cap {
+                eprintln!(
+                    "warning: trace capture truncated at {} entries; replay sees a clipped stream",
+                    self.trace_cap
+                );
+            }
+            if t.len() < self.trace_cap {
+                t.push(TraceEntry {
+                    cycle: self.now,
+                    addr: pending.req.addr,
+                    op: pending.req.op,
+                    kind: pending.req.kind,
+                    data_bytes: pending.req.data_bytes,
+                    core: pending.req.core,
+                });
+            }
+        }
+        true
+    }
+
+    fn enqueue_writeback(&mut self, line: u64) {
+        let id = self.alloc_raw();
+        let mut req = MemRequest::miss(id, line, Op::Store, u8::MAX, self.now);
+        req.kind = RequestKind::WriteBack;
+        req.data_bytes = CACHE_LINE_BYTES as u32;
+        self.side_queue.push_back(SideEntry::Ready(req, Owner::WriteBack, false));
+    }
+
+    /// Admit side-queue entries (write-backs, prefetches) in order until
+    /// the coalescer refuses one. Prefetch candidates probe the LLC only
+    /// here; candidates overtaken by a demand miss are dropped.
+    fn drain_side_queue(&mut self) {
+        while let Some(&entry) = self.side_queue.front() {
+            match entry {
+                SideEntry::Ready(req, owner, is_fill) => {
+                    if self.offer(PendingPush { req, is_fill }, owner) {
+                        self.side_queue.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                SideEntry::PfCandidate { addr, core } => {
+                    self.side_queue.pop_front();
+                    match self.hierarchy.llc_status(addr) {
+                        // Already valid: the prefetcher checks the cache
+                        // and drops the candidate.
+                        cache_sim::cache::LineStatus::Valid => {
+                            debug_assert!(self.prefetch_outstanding > 0);
+                            self.prefetch_outstanding -= 1;
+                        }
+                        // A demand miss won the race and the fill is in
+                        // flight. The paper's architecture keeps its
+                        // only miss tracking in the MSHR file *below*
+                        // the coalescer, so the prefetcher cannot see
+                        // the pending fill and the request still goes
+                        // downstream — where an MSHR-based coalescer
+                        // absorbs it as a duplicate subentry (Sec 2.2.1)
+                        // and the stock controller pays for a redundant
+                        // fetch.
+                        cache_sim::cache::LineStatus::Filling => {
+                            let id = self.alloc_raw();
+                            let mut req = MemRequest::miss(id, addr, Op::Load, core, self.now);
+                            req.data_bytes = CACHE_LINE_BYTES as u32;
+                            self.prefetches_issued += 1;
+                            self.side_queue
+                                .push_front(SideEntry::Ready(req, Owner::Prefetch, true));
+                        }
+                        cache_sim::cache::LineStatus::Absent => {
+                            // The fill may still be refused when every
+                            // way of the set is mid-fill; drop then.
+                            let Some(victim) = self.hierarchy.prefetch(addr) else {
+                                debug_assert!(self.prefetch_outstanding > 0);
+                                self.prefetch_outstanding -= 1;
+                                continue;
+                            };
+                            if let Some(wb) = victim {
+                                self.enqueue_writeback(wb);
+                            }
+                            let id = self.alloc_raw();
+                            let mut req = MemRequest::miss(id, addr, Op::Load, core, self.now);
+                            req.data_bytes = CACHE_LINE_BYTES as u32;
+                            self.prefetches_issued += 1;
+                            // The fill is now reserved in the LLC; the
+                            // request must eventually be admitted.
+                            self.side_queue
+                                .push_front(SideEntry::Ready(req, Owner::Prefetch, true));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feed the core's stream table with an L2-level access (any L1
+    /// miss) and issue LLC prefetch fills to stay `prefetch_degree`
+    /// lines ahead of each detected sequential stream.
+    fn maybe_prefetch(&mut self, core: usize, line: u64) {
+        let degree = self.cfg.prefetch_degree as u64;
+        if degree == 0 {
+            return;
+        }
+        let now = self.now;
+        let st = &mut self.strides[core];
+        let hit = st.entries.iter().position(|e| e.next_line == line && e.streak > 0)
+            .or_else(|| st.entries.iter().position(|e| e.next_line == line));
+        let Some(i) = hit else {
+            // New stream candidate: replace the LRU entry. No prefetch
+            // until the stream proves itself with a continuation.
+            let victim = st
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("table nonempty");
+            st.entries[victim] =
+                StreamEntry {
+                    next_line: line + CACHE_LINE_BYTES,
+                    streak: 1,
+                    prefetched_upto: line,
+                    lru: now,
+                };
+            return;
+        };
+        let e = &mut st.entries[i];
+        e.streak += 1;
+        e.next_line = line + CACHE_LINE_BYTES;
+        e.lru = now;
+        if e.streak < 2 {
+            e.prefetched_upto = e.prefetched_upto.max(line);
+            return;
+        }
+        // Fetch ahead in whole 256B-row-aligned groups: sequential
+        // streams are consumed row by row, and row granularity is what
+        // both the DRAM and the coalescer operate on. Never cross the
+        // 4KB page boundary — the next physical frame belongs to an
+        // unrelated page (hardware prefetchers stop here for the same
+        // reason).
+        let row = self.cfg.hmc.row_bytes;
+        let page_last_line = line_base(line | (PAGE_BYTES - 1));
+        // Last line of the row containing the lookahead point.
+        let target = ((line + degree * CACHE_LINE_BYTES) / row * row + row - CACHE_LINE_BYTES)
+            .min(page_last_line);
+        let mut next = e.prefetched_upto.max(line) + CACHE_LINE_BYTES;
+        // At most (degree + row/64) candidates fit between `next` and the
+        // page-clamped target; a fixed buffer avoids a heap allocation on
+        // this per-access path.
+        let mut issued = [0u64; 32];
+        let mut n_issued = 0usize;
+        while next <= target
+            && n_issued < issued.len()
+            && self.prefetch_outstanding < self.cfg.prefetch_max_outstanding
+        {
+            issued[n_issued] = next;
+            n_issued += 1;
+            self.prefetch_outstanding += 1;
+            next += CACHE_LINE_BYTES;
+        }
+        st.entries[i].prefetched_upto = next - CACHE_LINE_BYTES;
+        for &addr in &issued[..n_issued] {
+            self.side_queue.push_back(SideEntry::PfCandidate { addr, core: core as u8 });
+        }
+    }
+
+    fn issue_core_access(&mut self, c: usize) {
+        // Replay a refused push first.
+        if let Some(pending) = self.cores[c].retry.take() {
+            if self.offer(pending, Owner::Core(c as u8)) {
+                self.cores[c].outstanding += 1;
+                self.cores[c].charge(self.now, 1);
+            } else {
+                self.cores[c].refuse(self.now, pending);
+            }
+            return;
+        }
+
+        let mut access = self.cores[c].take_access();
+        if let Some(mmu) = &mut self.mmu {
+            if access.kind != RequestKind::Fence {
+                let t = mmu.translate(self.cores[c].process, access.addr, self.now);
+                access.addr = t.paddr;
+                if t.penalty > 0 {
+                    // The page walk delays the core's next issue.
+                    self.cores[c].ready_at = self.now + t.penalty;
+                }
+            }
+        }
+        match access.kind {
+            RequestKind::Fence => {
+                // Fences always enter (they only flush stage 1). Record
+                // them in the captured trace so replay drives the same
+                // flush points.
+                let id = self.alloc_raw();
+                let mut req = MemRequest::miss(id, 0, Op::Load, c as u8, self.now);
+                req.kind = RequestKind::Fence;
+                self.coalescer.push_raw(req, self.now);
+                if let Some(t) = &mut self.trace {
+                    if t.len() < self.trace_cap {
+                        t.push(TraceEntry {
+                            cycle: self.now,
+                            addr: 0,
+                            op: Op::Load,
+                            kind: RequestKind::Fence,
+                            data_bytes: 0,
+                            core: c as u8,
+                        });
+                    }
+                }
+                self.cores[c].charge(self.now, 1);
+            }
+            RequestKind::Atomic => {
+                let id = self.alloc_raw();
+                let mut req =
+                    MemRequest::miss(id, access.addr, access.op, c as u8, self.now);
+                req.kind = RequestKind::Atomic;
+                req.data_bytes = access.data_bytes;
+                let pending = PendingPush { req, is_fill: false };
+                if self.offer(pending, Owner::Core(c as u8)) {
+                    self.cores[c].outstanding += 1;
+                    self.cores[c].charge(self.now, 1);
+                } else {
+                    self.cores[c].refuse(self.now, pending);
+                }
+            }
+            RequestKind::Miss | RequestKind::WriteBack => {
+                let is_write = access.op == Op::Store;
+                let line = line_base(access.addr);
+                match self.hierarchy.access(c, access.addr, is_write) {
+                    HierarchyOutcome::L1Hit => {
+                        self.cores[c].stats.l1_hits += 1;
+                        self.cores[c].charge(self.now, 1);
+                    }
+                    HierarchyOutcome::L2Hit { writeback } => {
+                        self.cores[c].stats.l2_hits += 1;
+                        if let Some(wb) = writeback {
+                            self.enqueue_writeback(wb);
+                        }
+                        let lat = self.hierarchy.l2_latency();
+                        self.cores[c].charge(self.now, lat);
+                        // Sequential L2 hits keep prefetch streams alive
+                        // (they are usually hits *on* prefetched lines).
+                        self.maybe_prefetch(c, line);
+                    }
+                    HierarchyOutcome::Miss { pending: dup, writebacks } => {
+                        self.cores[c].stats.misses += 1;
+                        for wb in writebacks.into_iter().flatten() {
+                            self.enqueue_writeback(wb);
+                        }
+                        // Write-allocate: a store miss fetches the line
+                        // like a load; the dirty data returns to memory
+                        // later as an eviction write-back. Duplicates
+                        // (misses on filling lines) also validate the
+                        // line when they complete — their completion
+                        // implies the covering fetch returned.
+                        let id = self.alloc_raw();
+                        let mut req = MemRequest::miss(id, access.addr, Op::Load, c as u8, self.now);
+                        req.data_bytes = access.data_bytes;
+                        let _ = dup;
+                        let pending = PendingPush { req, is_fill: true };
+                        if self.offer(pending, Owner::Core(c as u8)) {
+                            self.cores[c].outstanding += 1;
+                            self.cores[c].charge(self.now, 1);
+                        } else {
+                            self.cores[c].refuse(self.now, pending);
+                        }
+                        self.maybe_prefetch(c, line);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advance the whole system by one cycle.
+    fn tick(&mut self) {
+        let now = self.now;
+
+        // Tell the controller how deep the miss/WB queues run before
+        // offering anything (Fig 3 gives it that visibility), then
+        // drain the queued write-backs and prefetch fills — they sit in
+        // the miss/WB queues of Fig 3, ahead of this cycle's new core
+        // accesses.
+        self.coalescer.hint_pending(self.side_queue.len());
+        self.drain_side_queue();
+
+        // Cores issue.
+        for c in 0..self.cores.len() {
+            if self.cores[c].can_issue(now) {
+                self.issue_core_access(c);
+            }
+        }
+
+        // Coalescer pipeline advances; dispatches go to the HMC.
+        self.coalescer.tick(now, &mut self.dispatches);
+        for d in self.dispatches.drain(..) {
+            self.hmc.submit(
+                HmcRequest { id: d.dispatch_id, addr: d.addr, bytes: d.bytes, op: d.op },
+                now,
+            );
+        }
+
+        // Memory advances; responses release MSHRs, fill the LLC, and
+        // unblock cores.
+        self.hmc.tick(now);
+        self.hmc.pop_responses(now, &mut self.responses);
+        for rsp in self.responses.drain(..) {
+            self.satisfied.clear();
+            self.coalescer.complete(rsp.id, now, &mut self.satisfied);
+            for raw in self.satisfied.drain(..) {
+                if let Some(meta) = self.raw_meta.remove(&raw) {
+                    if meta.is_fill {
+                        self.hierarchy.fill_complete(meta.line);
+                    }
+                    match meta.owner {
+                        Owner::Core(core) => {
+                            let core = &mut self.cores[core as usize];
+                            debug_assert!(core.outstanding > 0);
+                            core.outstanding -= 1;
+                            // The returning data may wake a blocked core.
+                            core.ready_at = core.ready_at.max(now + 1);
+                        }
+                        Owner::Prefetch => {
+                            debug_assert!(self.prefetch_outstanding > 0);
+                            self.prefetch_outstanding -= 1;
+                        }
+                        Owner::WriteBack => {}
+                    }
+                }
+            }
+        }
+
+        self.now = now + 1;
+    }
+
+    fn all_done(&self) -> bool {
+        self.cores.iter().all(|c| c.finished())
+            && self.side_queue.is_empty()
+            && self.coalescer.is_drained()
+            && self.hmc.is_idle()
+    }
+
+    /// Prefetch fills issued over the run.
+    pub fn prefetches_issued(&self) -> u64 {
+        self.prefetches_issued
+    }
+
+    /// Run each core for `accesses_per_core` accesses and drain.
+    pub fn run(&mut self, accesses_per_core: u64) -> RunMetrics {
+        for c in &mut self.cores {
+            c.remaining = accesses_per_core;
+        }
+        let limit = accesses_per_core
+            .saturating_mul(self.cores.len() as u64)
+            .saturating_mul(2000)
+            .max(10_000_000);
+        let mut flushed = false;
+        while !self.all_done() {
+            self.tick();
+            if !flushed && self.cores.iter().all(|c| c.remaining == 0) {
+                // End of the instruction streams: flush stragglers out
+                // of stage 1 so the drain terminates promptly.
+                self.coalescer.flush(self.now);
+                flushed = true;
+            }
+            assert!(self.now < limit, "simulation failed to converge by cycle {}", self.now);
+        }
+        self.hmc.finalize_stats();
+        RunMetrics::collect(self)
+    }
+
+    // ---- accessors for metrics collection ----
+
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    pub fn kind(&self) -> CoalescerKind {
+        self.kind
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    pub fn coalescer_stats(&self) -> &pac_core::CoalescerStats {
+        self.coalescer.stats()
+    }
+
+    pub fn hmc_stats(&self) -> &hmc_sim::HmcStats {
+        &self.hmc.stats
+    }
+
+    pub fn hmc_energy(&self) -> &hmc_sim::EnergyBreakdown {
+        &self.hmc.energy
+    }
+
+    pub fn bank_conflicts(&self) -> u64 {
+        self.hmc.bank_conflicts()
+    }
+
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hierarchy
+    }
+
+    pub fn cores(&self) -> &[CoreState] {
+        &self.cores
+    }
+
+    /// The captured raw miss trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.take().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_workloads::multiproc::single_process;
+    use pac_workloads::Bench;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    fn run(bench: Bench, kind: CoalescerKind, accesses: u64) -> RunMetrics {
+        let specs = single_process(bench, 4, 7);
+        let mut sys = SimSystem::new(small_cfg(), specs, kind);
+        sys.run(accesses)
+    }
+
+    #[test]
+    fn stream_completes_under_all_coalescers() {
+        for kind in CoalescerKind::ALL {
+            let m = run(Bench::Stream, kind, 2000);
+            assert!(m.runtime_cycles > 0, "{}", kind.label());
+            assert!(m.raw_requests > 0, "{}", kind.label());
+            assert_eq!(m.hmc_requests, m.dispatched_requests, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn pac_coalesces_ep_better_than_dmc() {
+        let pac = run(Bench::Ep, CoalescerKind::Pac, 4000);
+        let dmc = run(Bench::Ep, CoalescerKind::MshrDmc, 4000);
+        let raw = run(Bench::Ep, CoalescerKind::Raw, 4000);
+        assert!(pac.coalescing_efficiency > dmc.coalescing_efficiency);
+        assert_eq!(raw.coalescing_efficiency, 0.0);
+        assert!(pac.coalescing_efficiency > 0.3, "{}", pac.coalescing_efficiency);
+    }
+
+    #[test]
+    fn pac_reduces_bank_conflicts_on_dense_workload() {
+        let pac = run(Bench::Ep, CoalescerKind::Pac, 4000);
+        let raw = run(Bench::Ep, CoalescerKind::Raw, 4000);
+        assert!(
+            pac.bank_conflicts < raw.bank_conflicts,
+            "pac {} raw {}",
+            pac.bank_conflicts,
+            raw.bank_conflicts
+        );
+    }
+
+    #[test]
+    fn graph_workload_completes_with_atomics() {
+        let m = run(Bench::Ssca2, CoalescerKind::Pac, 2000);
+        assert!(m.raw_requests > 0);
+    }
+
+    #[test]
+    fn fences_do_not_wedge_the_pipeline() {
+        let m = run(Bench::Sort, CoalescerKind::Pac, 5000);
+        assert!(m.runtime_cycles > 0);
+    }
+
+    #[test]
+    fn trace_capture_collects_misses() {
+        let specs = single_process(Bench::Bfs, 2, 3);
+        let mut sys =
+            SimSystem::with_options(small_cfg(), specs, CoalescerKind::Pac, true, false);
+        sys.run(1000);
+        let trace = sys.take_trace();
+        assert!(!trace.is_empty());
+        // Cycles are nondecreasing.
+        assert!(trace.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    }
+
+    #[test]
+    fn multiprocess_mix_runs() {
+        let specs = pac_workloads::multiproc::two_processes(Bench::Stream, Bench::Bfs, 4, 5);
+        let mut sys = SimSystem::new(small_cfg(), specs, CoalescerKind::Pac);
+        let m = sys.run(1500);
+        assert!(m.raw_requests > 0);
+    }
+
+    #[test]
+    fn transaction_efficiency_improves_with_pac() {
+        let pac = run(Bench::Ep, CoalescerKind::Pac, 4000);
+        let raw = run(Bench::Ep, CoalescerKind::Raw, 4000);
+        assert!(pac.transaction_efficiency > raw.transaction_efficiency);
+        // Raw 64B requests sit at exactly 2/3 (Sec 5.3.2).
+        assert!((raw.transaction_efficiency - 2.0 / 3.0).abs() < 0.02);
+    }
+}

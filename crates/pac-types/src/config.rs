@@ -1,0 +1,282 @@
+//! Simulation configuration, mirroring Table 1 of the paper.
+//!
+//! | Parameter            | Paper value                          |
+//! |----------------------|--------------------------------------|
+//! | ISA                  | RV64IMAFDC (modelled as trace cores) |
+//! | Core #               | 8                                    |
+//! | CPU frequency        | 2 GHz                                |
+//! | Cache                | 8-way, 16 KB L1, 8 MB L2             |
+//! | Coalescing streams   | 16                                   |
+//! | Timeout              | 16 cycles                            |
+//! | MAQ entries & MSHRs  | 16                                   |
+//! | HMC                  | 4 links, 8 GB, 256 B block           |
+//! | Avg HMC access time  | 93 ns                                |
+
+use crate::protocol::MemoryProtocol;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in CPU cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's per-core L1: 16 KB, 8-way.
+    pub fn paper_l1() -> Self {
+        CacheConfig { capacity_bytes: 16 << 10, ways: 8, line_bytes: 64, hit_latency: 2 }
+    }
+
+    /// The paper's shared L2 (last-level cache): 8 MB, 8-way.
+    pub fn paper_l2() -> Self {
+        CacheConfig { capacity_bytes: 8 << 20, ways: 8, line_bytes: 64, hit_latency: 20 }
+    }
+
+    /// Number of sets implied by the geometry.
+    #[inline]
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.ways as u64 * self.line_bytes)
+    }
+}
+
+/// Configuration of the coalescing network and the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoalescerConfig {
+    /// Number of parallel coalescing streams in the paged request
+    /// aggregator (Table 1: 16).
+    pub streams: usize,
+    /// Stage-1 timeout in CPU cycles: a stream older than this is flushed
+    /// downstream even if more raw requests might arrive (Table 1: 16).
+    pub timeout_cycles: u64,
+    /// MAQ entries; the paper fixes this equal to the number of MSHRs.
+    pub maq_entries: usize,
+    /// Miss status holding registers (Table 1: 16).
+    pub mshrs: usize,
+    /// Maximum subentries each MSHR entry can hold (the 2-bit index field
+    /// addresses up to 4 blocks; subentry capacity bounds merges).
+    pub mshr_subentries: usize,
+    /// Target memory protocol (drives maximum coalesced request size).
+    pub protocol: MemoryProtocol,
+}
+
+impl Default for CoalescerConfig {
+    fn default() -> Self {
+        CoalescerConfig {
+            streams: 16,
+            timeout_cycles: 16,
+            maq_entries: 16,
+            mshrs: 16,
+            mshr_subentries: 8,
+            protocol: MemoryProtocol::Hmc21,
+        }
+    }
+}
+
+/// Geometry, timing, and energy constants of the simulated HMC device.
+///
+/// Timing values are in *CPU* cycles (2 GHz) so the whole system shares
+/// one clock. Energy constants are representative pico-joule figures; the
+/// paper reports only relative savings, which depend on event counts,
+/// not on the absolute constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HmcDeviceConfig {
+    /// Number of external SERDES links (Table 1: 4).
+    pub links: u32,
+    /// Number of vaults (HMC 2.1: 32).
+    pub vaults: u32,
+    /// Banks per vault (HMC 2.1 8 GB: 16).
+    pub banks_per_vault: u32,
+    /// Device capacity in bytes (Table 1: 8 GB).
+    pub capacity_bytes: u64,
+    /// DRAM row (block) size in bytes (Table 1: 256 B).
+    pub row_bytes: u64,
+    /// Link transfer time per FLIT, CPU cycles.
+    pub link_cycles_per_flit: u64,
+    /// Crossbar traversal to the link-local vault quadrant.
+    pub xbar_local_cycles: u64,
+    /// Crossbar traversal to a remote quadrant.
+    pub xbar_remote_cycles: u64,
+    /// Row activate time (tRCD equivalent), CPU cycles.
+    pub t_activate: u64,
+    /// Column access per 32 B of data, CPU cycles.
+    pub t_access_per_32b: u64,
+    /// Precharge time (closed-page policy precharges after every
+    /// reference), CPU cycles.
+    pub t_precharge: u64,
+    /// Per-bank refresh interval (tREFI equivalent), CPU cycles.
+    /// 0 disables refresh modelling.
+    pub t_refresh_interval: u64,
+    /// Refresh duration (tRFC equivalent), CPU cycles.
+    pub t_refresh_duration: u64,
+    /// Energy per cycle a valid packet holds a vault request slot (pJ).
+    pub e_vault_rqst_slot: f64,
+    /// Energy per cycle a valid packet holds a vault response slot (pJ).
+    pub e_vault_rsp_slot: f64,
+    /// Energy per vault-controller operation (pJ).
+    pub e_vault_ctrl: f64,
+    /// Energy per FLIT routed to the link-local quadrant (pJ).
+    pub e_link_local_route: f64,
+    /// Energy per FLIT routed to a remote quadrant (pJ).
+    pub e_link_remote_route: f64,
+    /// Energy per bank activate+precharge pair (pJ).
+    pub e_bank_act_pre: f64,
+    /// Energy per 32 B column access (pJ).
+    pub e_bank_access_32b: f64,
+}
+
+impl Default for HmcDeviceConfig {
+    fn default() -> Self {
+        HmcDeviceConfig {
+            links: 4,
+            vaults: 32,
+            banks_per_vault: 16,
+            capacity_bytes: 8 << 30,
+            row_bytes: 256,
+            link_cycles_per_flit: 1,
+            xbar_local_cycles: 4,
+            xbar_remote_cycles: 12,
+            t_activate: 28,   // 14 ns
+            t_access_per_32b: 2,
+            t_precharge: 22,  // 11 ns
+            t_refresh_interval: 15_600, // 7.8 us at 2 GHz
+            t_refresh_duration: 520,    // 260 ns
+            e_vault_rqst_slot: 0.8,
+            e_vault_rsp_slot: 0.8,
+            e_vault_ctrl: 6.0,
+            e_link_local_route: 4.0,
+            e_link_remote_route: 10.0,
+            e_bank_act_pre: 35.0,
+            e_bank_access_32b: 9.0,
+        }
+    }
+}
+
+impl HmcDeviceConfig {
+    /// Vaults served by each link's local quadrant.
+    #[inline]
+    pub fn vaults_per_link(&self) -> u32 {
+        self.vaults / self.links
+    }
+
+    /// Vault index an address maps to. HMC interleaves vaults at row
+    /// (block) granularity so consecutive rows hit different vaults.
+    #[inline]
+    pub fn vault_of(&self, addr: u64) -> u32 {
+        ((addr / self.row_bytes) % self.vaults as u64) as u32
+    }
+
+    /// Bank index (within its vault) an address maps to.
+    #[inline]
+    pub fn bank_of(&self, addr: u64) -> u32 {
+        ((addr / (self.row_bytes * self.vaults as u64)) % self.banks_per_vault as u64) as u32
+    }
+
+    /// DRAM row index within the bank.
+    #[inline]
+    pub fn row_of(&self, addr: u64) -> u64 {
+        addr / (self.row_bytes * self.vaults as u64 * self.banks_per_vault as u64)
+    }
+
+    /// Link whose quadrant contains `vault`.
+    #[inline]
+    pub fn home_link_of_vault(&self, vault: u32) -> u32 {
+        vault / self.vaults_per_link()
+    }
+}
+
+/// Top-level simulation configuration (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of cores (Table 1: 8).
+    pub cores: u32,
+    /// Per-core L1 configuration.
+    pub l1: CacheConfig,
+    /// Shared LLC configuration.
+    pub l2: CacheConfig,
+    /// Coalescer + MSHR configuration.
+    pub coalescer: CoalescerConfig,
+    /// HMC device configuration.
+    pub hmc: HmcDeviceConfig,
+    /// Maximum in-flight LLC misses a single core tolerates before it
+    /// stalls (models per-core load/store queue capacity).
+    pub core_outstanding: usize,
+    /// LLC stride-prefetcher depth: lines fetched ahead once a per-core
+    /// sequential miss pattern is detected (0 disables). Sec 4.2 of the
+    /// paper assumes such a prefetcher and notes PAC coalesces its
+    /// line-granular requests.
+    pub prefetch_degree: u32,
+    /// Cap on in-flight prefetch requests across the system.
+    pub prefetch_max_outstanding: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cores: 8,
+            l1: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+            coalescer: CoalescerConfig::default(),
+            hmc: HmcDeviceConfig::default(),
+            core_outstanding: 2,
+            prefetch_degree: 4,
+            prefetch_max_outstanding: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.l1.capacity_bytes, 16 * 1024);
+        assert_eq!(c.l2.capacity_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.l1.ways, 8);
+        assert_eq!(c.coalescer.streams, 16);
+        assert_eq!(c.coalescer.timeout_cycles, 16);
+        assert_eq!(c.coalescer.maq_entries, 16);
+        assert_eq!(c.coalescer.mshrs, 16);
+        assert_eq!(c.hmc.links, 4);
+        assert_eq!(c.hmc.capacity_bytes, 8 << 30);
+        assert_eq!(c.hmc.row_bytes, 256);
+    }
+
+    #[test]
+    fn cache_sets() {
+        assert_eq!(CacheConfig::paper_l1().sets(), 32);
+        assert_eq!(CacheConfig::paper_l2().sets(), 16384);
+    }
+
+    #[test]
+    fn vault_interleaving_spreads_consecutive_rows() {
+        let h = HmcDeviceConfig::default();
+        assert_eq!(h.vault_of(0), 0);
+        assert_eq!(h.vault_of(256), 1);
+        assert_eq!(h.vault_of(256 * 32), 0);
+        // Same vault, next bank.
+        assert_eq!(h.bank_of(0), 0);
+        assert_eq!(h.bank_of(256 * 32), 1);
+        assert_eq!(h.bank_of(256 * 32 * 16), 0);
+        assert_eq!(h.row_of(256 * 32 * 16), 1);
+    }
+
+    #[test]
+    fn home_link_quadrants() {
+        let h = HmcDeviceConfig::default();
+        assert_eq!(h.vaults_per_link(), 8);
+        assert_eq!(h.home_link_of_vault(0), 0);
+        assert_eq!(h.home_link_of_vault(7), 0);
+        assert_eq!(h.home_link_of_vault(8), 1);
+        assert_eq!(h.home_link_of_vault(31), 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Packetized 3D-stacked memory protocols.
+//!
+//! PAC adapts its maximum coalesced request size to the device protocol
+//! (Sec 3.3.2, Sec 4.1): HMC 2.1 accepts 16 B..256 B payloads in 16 B FLIT
+//! multiples with 256 B rows; HMC 1.0 caps at 128 B; HBM transfers 32 B
+//! bursts and has 1 KB rows. Each request on the packetized interface
+//! carries a 16 B request-control message and a 16 B response-control
+//! message — 32 B of overhead regardless of payload (Sec 5.3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// One FLow-control unIT on the HMC link (16 bytes).
+pub const FLIT_BYTES: u64 = 16;
+
+/// Control overhead per complete request/response transaction: a 16 B
+/// header/tail on the request packet plus a 16 B header/tail on the
+/// response packet.
+pub const CONTROL_OVERHEAD_BYTES: u64 = 32;
+
+/// The target 3D-stacked memory protocol generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryProtocol {
+    /// Hybrid Memory Cube 1.0: max 128 B request packets.
+    Hmc10,
+    /// Hybrid Memory Cube 2.1: max 256 B request packets, 256 B rows.
+    /// This is the device evaluated in the paper (Table 1).
+    Hmc21,
+    /// High Bandwidth Memory: 32 B access granularity, 1 KB rows. PAC
+    /// supports it by widening the block sequence to 16 bits (Sec 4.1).
+    Hbm,
+}
+
+impl MemoryProtocol {
+    /// Largest payload one coalesced request may carry, in bytes.
+    #[inline]
+    pub fn max_request_bytes(self) -> u64 {
+        match self {
+            MemoryProtocol::Hmc10 => 128,
+            MemoryProtocol::Hmc21 => 256,
+            MemoryProtocol::Hbm => 1024,
+        }
+    }
+
+    /// DRAM row (and therefore request-alignment) size in bytes.
+    #[inline]
+    pub fn row_bytes(self) -> u64 {
+        match self {
+            MemoryProtocol::Hmc10 => 256,
+            MemoryProtocol::Hmc21 => 256,
+            MemoryProtocol::Hbm => 1024,
+        }
+    }
+
+    /// Largest number of 64 B cache blocks a single request may cover.
+    #[inline]
+    pub fn max_request_blocks(self) -> u32 {
+        (self.max_request_bytes() / crate::addr::CACHE_LINE_BYTES) as u32
+    }
+
+    /// Width in blocks of one block-map chunk examined by the block-map
+    /// decoder (Sec 3.3.2): requests cannot span rows, so the chunk width
+    /// equals the row size in cache blocks.
+    #[inline]
+    pub fn chunk_blocks(self) -> u32 {
+        (self.row_bytes() / crate::addr::CACHE_LINE_BYTES) as u32
+    }
+
+    /// Number of chunks a 64-entry page block-map decodes into.
+    #[inline]
+    pub fn chunks_per_page(self) -> u32 {
+        64 / self.chunk_blocks()
+    }
+
+    /// Number of payload FLITs needed for `bytes` of data.
+    #[inline]
+    pub fn payload_flits(self, bytes: u64) -> u64 {
+        bytes.div_ceil(FLIT_BYTES)
+    }
+
+    /// Total bytes moved on the link for one read request of `payload`
+    /// data bytes: request control + response control + payload FLITs.
+    #[inline]
+    pub fn transaction_bytes(self, payload: u64) -> u64 {
+        CONTROL_OVERHEAD_BYTES + self.payload_flits(payload) * FLIT_BYTES
+    }
+
+    /// Transaction efficiency (Eq. 2): payload / total transaction size.
+    #[inline]
+    pub fn transaction_efficiency(self, payload: u64) -> f64 {
+        payload as f64 / self.transaction_bytes(payload) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmc21_geometry() {
+        let p = MemoryProtocol::Hmc21;
+        assert_eq!(p.max_request_bytes(), 256);
+        assert_eq!(p.max_request_blocks(), 4);
+        assert_eq!(p.chunk_blocks(), 4);
+        assert_eq!(p.chunks_per_page(), 16);
+    }
+
+    #[test]
+    fn hbm_geometry() {
+        let p = MemoryProtocol::Hbm;
+        assert_eq!(p.max_request_blocks(), 16);
+        assert_eq!(p.chunk_blocks(), 16);
+        assert_eq!(p.chunks_per_page(), 4);
+    }
+
+    #[test]
+    fn raw_64b_transaction_efficiency_matches_paper() {
+        // Sec 5.3.2: "transferring raw requests results in a transaction
+        // efficiency of 66.66%" — 64 / (64 + 32).
+        let eff = MemoryProtocol::Hmc21.transaction_efficiency(64);
+        assert!((eff - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transaction_bytes_for_sizes() {
+        let p = MemoryProtocol::Hmc21;
+        assert_eq!(p.transaction_bytes(64), 96);
+        assert_eq!(p.transaction_bytes(256), 288);
+        assert_eq!(p.transaction_bytes(16), 48);
+        // Sub-FLIT payloads still occupy one FLIT.
+        assert_eq!(p.transaction_bytes(8), 48);
+    }
+
+    #[test]
+    fn coalescing_improves_efficiency() {
+        let p = MemoryProtocol::Hmc21;
+        assert!(p.transaction_efficiency(256) > p.transaction_efficiency(64));
+        // 256B request: 256/288 = 88.9%.
+        assert!((p.transaction_efficiency(256) - 256.0 / 288.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hmc10_caps_at_128() {
+        assert_eq!(MemoryProtocol::Hmc10.max_request_blocks(), 2);
+        // HMC1.0 rows are still 256B; a chunk is 4 blocks but requests cap at 2.
+        assert_eq!(MemoryProtocol::Hmc10.chunk_blocks(), 4);
+    }
+}

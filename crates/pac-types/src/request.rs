@@ -1,0 +1,194 @@
+//! Raw and coalesced memory request types.
+//!
+//! A [`MemRequest`] is what the last-level cache flushes toward memory: a
+//! cache-line-granular miss or write-back, tagged with the issuing core
+//! and cycle. A [`CoalescedRequest`] is what the coalescing network emits:
+//! one protocol-sized packetized request covering one or more contiguous
+//! cache blocks inside a single DRAM row, remembering the raw requests it
+//! satisfies so responses can be fanned back out.
+
+use crate::addr::{self, Addr, BlockId, PageNumber};
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Memory operation direction. Matches the OP bit in the adaptive MSHRs
+/// and the T tag bit in the coalescing streams (0 = load, 1 = store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    Load,
+    Store,
+}
+
+impl Op {
+    /// The single-bit encoding used by the T/OP bits.
+    #[inline]
+    pub fn bit(self) -> u64 {
+        matches!(self, Op::Store) as u64
+    }
+}
+
+/// What kind of request this is, for routing inside the coalescer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// A demand miss from the LLC.
+    Miss,
+    /// A write-back of a dirty evicted line.
+    WriteBack,
+    /// An atomic operation: routed directly to the memory controller,
+    /// never coalesced (Sec 3.3.1).
+    Atomic,
+    /// A memory fence: monopolizes stage 1 and flushes all prior
+    /// requests through the pipeline to preserve ordering (Sec 3.3.1).
+    Fence,
+}
+
+/// A raw cache-line-granular memory request flushed from the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Unique id, assigned monotonically by the front-end.
+    pub id: u64,
+    /// Physical byte address of the access (need not be line-aligned;
+    /// the miss path operates on its containing line).
+    pub addr: Addr,
+    /// Bytes the CPU actually asked for (1..=8 for scalar ops). The miss
+    /// path always moves whole lines; this is kept for the fine-grained
+    /// coalescing study of Fig 10b.
+    pub data_bytes: u32,
+    pub op: Op,
+    pub kind: RequestKind,
+    /// Issuing core (0-based).
+    pub core: u8,
+    /// Cycle at which the LLC flushed this request toward the coalescer.
+    pub issue_cycle: Cycle,
+}
+
+impl MemRequest {
+    /// Construct an ordinary demand miss.
+    pub fn miss(id: u64, addr: Addr, op: Op, core: u8, issue_cycle: Cycle) -> Self {
+        MemRequest { id, addr, data_bytes: 8, op, kind: RequestKind::Miss, core, issue_cycle }
+    }
+
+    /// Physical page number of the access.
+    #[inline]
+    pub fn page(&self) -> PageNumber {
+        addr::page_number(self.addr)
+    }
+
+    /// Block index within the page.
+    #[inline]
+    pub fn block(&self) -> BlockId {
+        addr::block_in_page(self.addr)
+    }
+
+    /// Cache-line base address.
+    #[inline]
+    pub fn line(&self) -> Addr {
+        addr::line_base(self.addr)
+    }
+
+    /// Comparator tag used in stage 1 (PPN with folded T bit).
+    #[inline]
+    pub fn stream_tag(&self) -> u64 {
+        addr::tag_for_compare(self.page(), self.op == Op::Store)
+    }
+}
+
+/// One coalesced request as emitted by the request assembler: a
+/// contiguous run of cache blocks inside one DRAM row of one page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoalescedRequest {
+    /// Base byte address (block-aligned).
+    pub addr: Addr,
+    /// Payload size in bytes (multiple of the coalescing granularity;
+    /// 64..=256 for HMC 2.1 line-granular coalescing).
+    pub bytes: u64,
+    pub op: Op,
+    /// Ids of the raw requests this coalesced request satisfies.
+    pub raw_ids: Vec<u64>,
+    /// Cycle the coalesced request left the assembler.
+    pub assembled_cycle: Cycle,
+    /// Earliest issue cycle among the constituent raw requests, used for
+    /// end-to-end latency accounting.
+    pub first_issue_cycle: Cycle,
+}
+
+impl CoalescedRequest {
+    /// Number of raw requests folded into this one.
+    #[inline]
+    pub fn raw_count(&self) -> usize {
+        self.raw_ids.len()
+    }
+
+    /// Number of cache blocks covered.
+    #[inline]
+    pub fn blocks(&self) -> u64 {
+        self.bytes / addr::CACHE_LINE_BYTES
+    }
+
+    /// Page this request targets.
+    #[inline]
+    pub fn page(&self) -> PageNumber {
+        addr::page_number(self.addr)
+    }
+
+    /// First block index within the page.
+    #[inline]
+    pub fn first_block(&self) -> BlockId {
+        addr::block_in_page(self.addr)
+    }
+
+    /// True if `line` (a line-aligned address) falls inside this request.
+    #[inline]
+    pub fn covers_line(&self, line: Addr) -> bool {
+        line >= self.addr && line < self.addr + self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(addr: Addr) -> MemRequest {
+        MemRequest::miss(1, addr, Op::Load, 0, 100)
+    }
+
+    #[test]
+    fn op_bits() {
+        assert_eq!(Op::Load.bit(), 0);
+        assert_eq!(Op::Store.bit(), 1);
+    }
+
+    #[test]
+    fn request_decomposition() {
+        let r = req(0x9040);
+        assert_eq!(r.page(), 0x9);
+        assert_eq!(r.block(), 1);
+        assert_eq!(r.line(), 0x9040);
+    }
+
+    #[test]
+    fn stream_tag_differs_by_op() {
+        let load = req(0x9040);
+        let mut store = load;
+        store.op = Op::Store;
+        assert_ne!(load.stream_tag(), store.stream_tag());
+    }
+
+    #[test]
+    fn coalesced_covers_line() {
+        let c = CoalescedRequest {
+            addr: 0x9040,
+            bytes: 128,
+            op: Op::Load,
+            raw_ids: vec![1, 4],
+            assembled_cycle: 10,
+            first_issue_cycle: 2,
+        };
+        assert_eq!(c.blocks(), 2);
+        assert_eq!(c.first_block(), 1);
+        assert!(c.covers_line(0x9040));
+        assert!(c.covers_line(0x9080));
+        assert!(!c.covers_line(0x90C0));
+        assert!(!c.covers_line(0x9000));
+    }
+}

@@ -1,0 +1,181 @@
+//! The MMU: per-process page tables over a shared frame allocator,
+//! fronted by a TLB.
+
+use crate::frame::{FrameAllocator, FramePolicy};
+use crate::tlb::{Tlb, TlbStats};
+use pac_types::addr::{page_number, page_offset, PAGE_BYTES};
+use pac_types::Cycle;
+use std::collections::HashMap;
+
+/// MMU configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Frame assignment policy.
+    pub policy: FramePolicy,
+    /// TLB entries (0 disables the TLB: every access walks).
+    pub tlb_entries: usize,
+    /// Page-walk penalty charged to the core on a TLB miss, cycles.
+    pub walk_penalty: Cycle,
+    /// Physical capacity backing the frame allocator.
+    pub capacity_bytes: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            policy: FramePolicy::Scattered { seed: 1 },
+            tlb_entries: 64,
+            walk_penalty: 40,
+            capacity_bytes: 8 << 30,
+        }
+    }
+}
+
+/// One completed translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    pub paddr: u64,
+    /// Cycles the translation cost (0 on a TLB hit).
+    pub penalty: Cycle,
+    /// Whether the TLB missed.
+    pub tlb_miss: bool,
+}
+
+/// Per-process page tables + shared frame pool + TLB.
+#[derive(Debug)]
+pub struct Mmu {
+    cfg: VmConfig,
+    tables: HashMap<(u32, u64), u64>,
+    allocator: FrameAllocator,
+    tlb: Option<Tlb>,
+}
+
+impl Mmu {
+    pub fn new(cfg: VmConfig) -> Self {
+        Mmu {
+            allocator: FrameAllocator::new(cfg.policy, cfg.capacity_bytes),
+            tables: HashMap::new(),
+            tlb: (cfg.tlb_entries > 0).then(|| Tlb::new(cfg.tlb_entries)),
+            cfg,
+        }
+    }
+
+    /// Translate `vaddr` for `process`, allocating a frame on first
+    /// touch. `_now` is accepted for future timing refinement; the
+    /// penalty is returned rather than applied.
+    pub fn translate(&mut self, process: u32, vaddr: u64, _now: Cycle) -> Translation {
+        let vpn = page_number(vaddr);
+        if let Some(tlb) = &mut self.tlb {
+            if let Some(pfn) = tlb.lookup(process, vpn) {
+                return Translation {
+                    paddr: pfn * PAGE_BYTES + page_offset(vaddr),
+                    penalty: 0,
+                    tlb_miss: false,
+                };
+            }
+        }
+        // Page walk: look up (or establish) the mapping.
+        let allocator = &mut self.allocator;
+        let pfn = *self
+            .tables
+            .entry((process, vpn))
+            .or_insert_with(|| allocator.allocate(vpn));
+        if let Some(tlb) = &mut self.tlb {
+            tlb.insert(process, vpn, pfn);
+        }
+        Translation {
+            paddr: pfn * PAGE_BYTES + page_offset(vaddr),
+            penalty: self.cfg.walk_penalty,
+            tlb_miss: true,
+        }
+    }
+
+    /// Mapped pages across all processes.
+    pub fn mapped_pages(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// TLB counters (zeroed when the TLB is disabled).
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.as_ref().map(|t| t.stats).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmu(policy: FramePolicy) -> Mmu {
+        Mmu::new(VmConfig { policy, ..VmConfig::default() })
+    }
+
+    #[test]
+    fn translation_preserves_page_offset() {
+        let mut m = mmu(FramePolicy::Scattered { seed: 9 });
+        let t = m.translate(0, 0x12_3456, 0);
+        assert_eq!(t.paddr % PAGE_BYTES, 0x456);
+    }
+
+    #[test]
+    fn mapping_is_stable_across_accesses() {
+        let mut m = mmu(FramePolicy::Scattered { seed: 2 });
+        let a = m.translate(0, 0x5000, 0).paddr;
+        let b = m.translate(0, 0x5008, 5).paddr;
+        let c = m.translate(0, 0x5000, 10).paddr;
+        assert_eq!(b, a + 8);
+        assert_eq!(c, a);
+        assert_eq!(m.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn first_walk_pays_then_tlb_hits() {
+        let mut m = mmu(FramePolicy::Sequential);
+        let first = m.translate(0, 0x7000, 0);
+        assert!(first.tlb_miss);
+        assert_eq!(first.penalty, 40);
+        let second = m.translate(0, 0x7010, 1);
+        assert!(!second.tlb_miss);
+        assert_eq!(second.penalty, 0);
+        assert_eq!(m.tlb_stats().hits, 1);
+    }
+
+    #[test]
+    fn processes_get_disjoint_frames() {
+        let mut m = mmu(FramePolicy::Sequential);
+        let a = m.translate(0, 0x4000, 0).paddr;
+        let b = m.translate(1, 0x4000, 0).paddr;
+        assert_ne!(page_number(a), page_number(b));
+    }
+
+    #[test]
+    fn scattered_policy_breaks_cross_page_adjacency() {
+        let mut m = mmu(FramePolicy::Scattered { seed: 5 });
+        let mut adjacent = 0;
+        let mut prev = m.translate(0, 0, 0).paddr;
+        for vpn in 1..200u64 {
+            let p = m.translate(0, vpn * PAGE_BYTES, 0).paddr;
+            if p == prev + PAGE_BYTES {
+                adjacent += 1;
+            }
+            prev = p;
+        }
+        assert!(adjacent < 10, "scattered frames still adjacent {adjacent} times");
+    }
+
+    #[test]
+    fn identity_policy_preserves_everything() {
+        let mut m = mmu(FramePolicy::Identity);
+        for vpn in 0..50u64 {
+            let t = m.translate(0, vpn * PAGE_BYTES + 17, 0);
+            assert_eq!(t.paddr, vpn * PAGE_BYTES + 17);
+        }
+    }
+
+    #[test]
+    fn disabled_tlb_always_walks() {
+        let mut m = Mmu::new(VmConfig { tlb_entries: 0, ..VmConfig::default() });
+        assert!(m.translate(0, 0x9000, 0).tlb_miss);
+        assert!(m.translate(0, 0x9008, 1).tlb_miss);
+        assert_eq!(m.tlb_stats(), TlbStats::default());
+    }
+}

@@ -1,0 +1,139 @@
+//! A small set-associative TLB.
+//!
+//! Translation hits are free (folded into the core pipeline); misses
+//! cost a fixed page-walk penalty charged to the issuing core. The TLB
+//! indexes on `(process, vpn)` so two processes never alias.
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl TlbStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbEntry {
+    valid: bool,
+    process: u32,
+    vpn: u64,
+    pfn: u64,
+    lru: u64,
+}
+
+/// Set-associative TLB with LRU replacement.
+#[derive(Debug)]
+pub struct Tlb {
+    sets: usize,
+    ways: usize,
+    entries: Vec<TlbEntry>,
+    clock: u64,
+    /// Counters.
+    pub stats: TlbStats,
+}
+
+impl Tlb {
+    /// `entries` total, 4-way set associative (rounded to a power of
+    /// two number of sets).
+    pub fn new(entries: usize) -> Self {
+        let ways = 4usize.min(entries.max(1));
+        let sets = (entries / ways).next_power_of_two().max(1);
+        Tlb {
+            sets,
+            ways,
+            entries: vec![TlbEntry::default(); sets * ways],
+            clock: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn as usize) & (self.sets - 1)
+    }
+
+    /// Look up `(process, vpn)`; returns the cached frame on a hit.
+    pub fn lookup(&mut self, process: u32, vpn: u64) -> Option<u64> {
+        self.clock += 1;
+        let base = self.set_of(vpn) * self.ways;
+        for e in &mut self.entries[base..base + self.ways] {
+            if e.valid && e.process == process && e.vpn == vpn {
+                e.lru = self.clock;
+                self.stats.hits += 1;
+                return Some(e.pfn);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Install a translation after a page walk.
+    pub fn insert(&mut self, process: u32, vpn: u64, pfn: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        let base = self.set_of(vpn) * self.ways;
+        let victim = self.entries[base..base + self.ways]
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("ways > 0");
+        *victim = TlbEntry { valid: true, process, vpn, pfn, lru: clock };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = Tlb::new(64);
+        assert_eq!(tlb.lookup(0, 5), None);
+        tlb.insert(0, 5, 99);
+        assert_eq!(tlb.lookup(0, 5), Some(99));
+        assert_eq!(tlb.stats, TlbStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn processes_do_not_alias() {
+        let mut tlb = Tlb::new(64);
+        tlb.insert(0, 5, 10);
+        tlb.insert(1, 5, 20);
+        assert_eq!(tlb.lookup(0, 5), Some(10));
+        assert_eq!(tlb.lookup(1, 5), Some(20));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_set() {
+        // 1 set × 4 ways.
+        let mut tlb = Tlb::new(4);
+        for vpn in 0..4u64 {
+            // All map to set 0 (sets=1).
+            tlb.insert(0, vpn * 1, vpn);
+        }
+        // Touch vpn 0 so vpn 1 is LRU.
+        assert!(tlb.lookup(0, 0).is_some());
+        tlb.insert(0, 100, 100);
+        assert_eq!(tlb.lookup(0, 1), None, "LRU way evicted");
+        assert!(tlb.lookup(0, 0).is_some());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut tlb = Tlb::new(16);
+        tlb.insert(0, 1, 1);
+        for _ in 0..9 {
+            tlb.lookup(0, 1);
+        }
+        tlb.lookup(0, 2); // miss
+        assert!((tlb.stats.hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,346 @@
+//! Dense sequential kernels: STREAM, EP, LU, and BOTS SORT.
+//!
+//! These are the benchmarks whose LLC-miss streams walk pages in order,
+//! giving PAC its best coalescing opportunities (the paper reports >70%
+//! efficiency for EP and LU). Their inner loops are unrolled/vectorized,
+//! so each modelled access moves a full 64 B line (32 B for the scalar
+//! STREAM triad).
+
+use crate::layout;
+use crate::{Access, AccessStream};
+
+const LINE: u64 = 64;
+
+/// McCalpin STREAM triad: `a[i] = b[i] + s*c[i]` over three large
+/// private arrays. Partially vectorized: 32 B per access.
+#[derive(Debug)]
+pub struct StreamTriad {
+    a: u64,
+    b: u64,
+    c: u64,
+    len: u64,
+    i: u64,
+    phase: u8,
+}
+
+impl StreamTriad {
+    const ARRAY_BYTES: u64 = 4 << 20;
+
+    pub fn new(process: u32, core: u32) -> Self {
+        let base = layout::core_arena(process, core);
+        StreamTriad {
+            a: base,
+            b: base + Self::ARRAY_BYTES,
+            c: base + 2 * Self::ARRAY_BYTES,
+            len: Self::ARRAY_BYTES,
+            i: 0,
+            phase: 0,
+        }
+    }
+}
+
+impl AccessStream for StreamTriad {
+    fn next_access(&mut self) -> Access {
+        let off = self.i % self.len;
+        let acc = match self.phase {
+            0 => Access::load(self.b + off, 32),
+            1 => Access::load(self.c + off, 32),
+            _ => Access::store(self.a + off, 32),
+        };
+        self.phase += 1;
+        if self.phase == 3 {
+            self.phase = 0;
+            self.i += 32;
+        }
+        acc
+    }
+}
+
+/// NAS EP: each core fills a private buffer with generated randoms and
+/// reduces it — two alternating dense sweeps over private memory, no
+/// sharing. Vectorized: 64 B per access.
+#[derive(Debug)]
+pub struct Ep {
+    base: u64,
+    buf_bytes: u64,
+    block_bytes: u64,
+    pos: u64,
+    writing: bool,
+}
+
+impl Ep {
+    pub fn new(process: u32, core: u32) -> Self {
+        Ep {
+            base: layout::core_arena(process, core),
+            buf_bytes: 2 << 20,
+            block_bytes: 256 << 10,
+            pos: 0,
+            writing: true,
+        }
+    }
+}
+
+impl AccessStream for Ep {
+    fn next_access(&mut self) -> Access {
+        let block = (self.pos / self.block_bytes) * self.block_bytes;
+        let addr = self.base + self.pos % self.buf_bytes;
+        let acc = if self.writing { Access::store(addr, 64) } else { Access::load(addr, 64) };
+        self.pos += LINE;
+        // At each block boundary, flip between generate and reduce.
+        if self.pos % self.block_bytes == 0 {
+            if self.writing {
+                self.writing = false;
+                self.pos = block; // re-walk the block, loading
+            } else {
+                self.writing = true; // next block
+            }
+            self.pos %= self.buf_bytes.max(1);
+            if self.pos == 0 && self.writing {
+                // wrapped: keep going from the start
+            }
+        }
+        acc
+    }
+}
+
+/// NAS LU: Gaussian-elimination row updates. All cores read the shared
+/// pivot row (cross-core duplicate lines — the only aggregation the
+/// conventional MSHR-based DMC can exploit) while updating their own
+/// rows sequentially.
+#[derive(Debug)]
+pub struct Lu {
+    matrix: u64,
+    n: u64,
+    core: u64,
+    k: u64,
+    i: u64,
+    j: u64,
+    phase: u8,
+}
+
+impl Lu {
+    const N: u64 = 1280; // 1280×1280 f64 = 12.5 MB
+
+    pub fn new(process: u32, core: u32) -> Self {
+        let mut lu = Lu {
+            matrix: layout::shared_arena(process),
+            n: Self::N,
+            core: core as u64,
+            k: 0,
+            i: 0,
+            j: 0,
+            phase: 0,
+        };
+        lu.i = lu.first_row();
+        lu.j = 0;
+        lu
+    }
+
+    fn first_row(&self) -> u64 {
+        // Rows below the pivot, striped across 8 cores.
+        let mut r = self.k + 1;
+        while r % 8 != self.core {
+            r += 1;
+        }
+        r
+    }
+
+    fn elem(&self, row: u64, col: u64) -> u64 {
+        self.matrix + (row * self.n + col) * 8
+    }
+}
+
+impl AccessStream for Lu {
+    fn next_access(&mut self) -> Access {
+        let col = self.k + self.j;
+        let acc = match self.phase {
+            0 => Access::load(self.elem(self.k, col), 64), // pivot row (shared)
+            1 => Access::load(self.elem(self.i, col), 64),
+            _ => Access::store(self.elem(self.i, col), 64),
+        };
+        self.phase += 1;
+        if self.phase == 3 {
+            self.phase = 0;
+            self.j += 8; // 8 f64 per 64B line-op
+            if self.k + self.j >= self.n {
+                self.j = 0;
+                self.i += 8;
+                if self.i >= self.n {
+                    self.k = (self.k + 1) % (self.n - 9);
+                    self.i = self.first_row();
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// BOTS SORT (parallel mergesort): each core merges pairs of sorted runs
+/// — two sequential input streams and one sequential output stream, with
+/// a fence at every chunk boundary (task join).
+#[derive(Debug)]
+pub struct MergeSort {
+    src: u64,
+    dst: u64,
+    chunk_bytes: u64,
+    core: u64,
+    /// Read positions in the two runs and the write position.
+    p1: u64,
+    p2: u64,
+    po: u64,
+    phase: u8,
+    take_left: bool,
+    emitted: u64,
+}
+
+impl MergeSort {
+    const TOTAL: u64 = 8 << 20;
+
+    pub fn new(process: u32, core: u32) -> Self {
+        let shared = layout::shared_arena(process);
+        MergeSort {
+            src: shared + (256 << 20),
+            dst: shared + (384 << 20),
+            chunk_bytes: Self::TOTAL / 8,
+            core: core as u64,
+            p1: 0,
+            p2: 0,
+            po: 0,
+            phase: 0,
+            take_left: true,
+            emitted: 0,
+        }
+    }
+}
+
+impl AccessStream for MergeSort {
+    fn next_access(&mut self) -> Access {
+        let chunk = self.src + self.core * self.chunk_bytes;
+        let half = self.chunk_bytes / 2;
+        let out = self.dst + self.core * self.chunk_bytes;
+        self.emitted += 1;
+        if self.emitted % 4096 == 0 {
+            return Access::fence(); // task join between merge tasks
+        }
+        let acc = match self.phase {
+            0 => {
+                // The winning run advances; both are consumed fully, so
+                // each run is a sequential line stream.
+                let src = if self.take_left {
+                    let a = chunk + self.p1 % half;
+                    self.p1 += LINE;
+                    a
+                } else {
+                    let a = chunk + half + self.p2 % half;
+                    self.p2 += LINE;
+                    a
+                };
+                self.take_left = !self.take_left;
+                Access::load(src, 64)
+            }
+            _ => {
+                let a = out + self.po % self.chunk_bytes;
+                self.po += LINE;
+                Access::store(a, 64)
+            }
+        };
+        self.phase += 1;
+        if self.phase == 2 {
+            self.phase = 0;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_types::{Op, RequestKind};
+
+    #[test]
+    fn stream_walks_three_arrays_sequentially() {
+        let mut s = StreamTriad::new(0, 0);
+        let a1 = s.next_access(); // b[0]
+        let a2 = s.next_access(); // c[0]
+        let a3 = s.next_access(); // a[0]
+        assert_eq!(a1.op, Op::Load);
+        assert_eq!(a2.op, Op::Load);
+        assert_eq!(a3.op, Op::Store);
+        let b1 = s.next_access(); // b[32]
+        assert_eq!(b1.addr, a1.addr + 32);
+    }
+
+    #[test]
+    fn ep_alternates_write_then_read_per_block() {
+        let mut e = Ep::new(0, 1);
+        let first = e.next_access();
+        assert_eq!(first.op, Op::Store);
+        // Drain the first block of stores.
+        let block_accesses = (256 << 10) / 64 - 1;
+        for _ in 0..block_accesses {
+            assert_eq!(e.next_access().op, Op::Store);
+        }
+        // Now the reduce sweep reloads the same block.
+        let reload = e.next_access();
+        assert_eq!(reload.op, Op::Load);
+        assert_eq!(reload.addr, first.addr);
+    }
+
+    #[test]
+    fn lu_reads_shared_pivot_row() {
+        let mut l0 = Lu::new(0, 0);
+        let mut l1 = Lu::new(0, 1);
+        let p0 = l0.next_access();
+        let p1 = l1.next_access();
+        // Both cores start by loading the same shared pivot line.
+        assert_eq!(p0.addr, p1.addr);
+        // But update different rows.
+        let r0 = l0.next_access();
+        let r1 = l1.next_access();
+        assert_ne!(r0.addr, r1.addr);
+    }
+
+    #[test]
+    fn lu_row_updates_are_sequential() {
+        let mut l = Lu::new(0, 2);
+        let mut prev = None;
+        for _ in 0..8 {
+            l.next_access(); // pivot
+            let load = l.next_access();
+            let store = l.next_access();
+            assert_eq!(load.addr, store.addr);
+            if let Some(p) = prev {
+                assert_eq!(load.addr, p + 64);
+            }
+            prev = Some(load.addr);
+        }
+    }
+
+    #[test]
+    fn mergesort_emits_fences() {
+        let mut m = MergeSort::new(0, 0);
+        let mut fences = 0;
+        for _ in 0..10_000 {
+            if m.next_access().kind == RequestKind::Fence {
+                fences += 1;
+            }
+        }
+        assert_eq!(fences, 2); // every 4096 accesses
+    }
+
+    #[test]
+    fn mergesort_consumes_both_runs_sequentially() {
+        let mut m = MergeSort::new(0, 3);
+        let l1 = m.next_access();
+        let s1 = m.next_access();
+        let l2 = m.next_access();
+        let _s2 = m.next_access();
+        let l3 = m.next_access();
+        assert_eq!(l1.op, Op::Load);
+        assert_eq!(s1.op, Op::Store);
+        // Second load comes from the other run (half a chunk away).
+        assert_eq!(l2.addr - l1.addr, MergeSort::TOTAL / 8 / 2);
+        // Third load continues run 1 sequentially.
+        assert_eq!(l3.addr, l1.addr + 64);
+    }
+}

@@ -1,0 +1,322 @@
+//! Irregular but clustered kernels: GS, CG, and BOTS SPARSELU.
+//!
+//! GS gathers through a slowly-advancing shared index window — random
+//! within a few pages, so highly coalescible (the paper's best performer
+//! at +26.06%). CG's SpMV gathers span the whole vector — poor spatial
+//! locality on `x`, dense coefficient streams. SPARSELU does dense
+//! block-sized bursts at scattered block addresses, the clustered
+//! footprint of Fig 9.
+
+use crate::layout;
+use crate::util::{mix, Rng};
+use crate::{Access, AccessStream};
+
+const LINE: u64 = 64;
+
+/// Gather/Scatter microkernel: `y[idx[i]] = f(x[idx[i]])` with a vector
+/// gather unit (AVX-512/RVV style — Sec 4.2 of the paper discusses PAC
+/// coalescing exactly these VPU gather requests). Each iteration loads a
+/// vector of indices and then issues eight back-to-back gathered element
+/// loads followed by eight scatter stores, all randomly placed inside a
+/// page-sized window that slides as the index array is consumed.
+#[derive(Debug)]
+pub struct Gs {
+    idx: u64,
+    x: u64,
+    y: u64,
+    table_elems: u64,
+    window_elems: u64,
+    i: u64,
+    phase: u8,
+    rng: Rng,
+    lanes: [u64; 8],
+}
+
+impl Gs {
+    const LANES: usize = 8;
+    /// Elements the window slides per vector iteration.
+    const SLIDE_ELEMS: u64 = 32;
+
+    pub fn new(process: u32, core: u32, seed: u64) -> Self {
+        let shared = layout::shared_arena(process);
+        // Each thread gathers from its own partition of the tables, as
+        // the GS microbenchmark partitions its index space per thread.
+        let part = core as u64 * (3 << 20);
+        Gs {
+            idx: layout::core_arena(process, core),
+            x: shared + (256 << 20) + part,
+            y: shared + (512 << 20) + part,
+            table_elems: 384 << 10, // 3 MB per-thread partition
+            window_elems: 64,     // 512 B window: eight cache lines
+            i: 0,
+            phase: 0,
+            rng: Rng::new(seed),
+            lanes: [0; 8],
+        }
+    }
+
+    fn window_base(&self) -> u64 {
+        (self.i * Self::SLIDE_ELEMS) % (self.table_elems - self.window_elems)
+    }
+}
+
+impl AccessStream for Gs {
+    fn next_access(&mut self) -> Access {
+        match self.phase {
+            0 => {
+                // One 64B index-vector load covers all lanes. The index
+                // array is near-sorted (the GS kernel consumes it in
+                // order), so the lanes stratify over the freshly-entered
+                // strip of the window with per-lane jitter.
+                let fresh = self.window_base() + self.window_elems - Self::SLIDE_ELEMS;
+                let per_lane = Self::SLIDE_ELEMS / Self::LANES as u64;
+                for (l, lane) in self.lanes.iter_mut().enumerate() {
+                    *lane = fresh + l as u64 * per_lane + self.rng.below(per_lane);
+                }
+                self.phase = 1;
+                Access::load(self.idx + (self.i * 64) % layout::CORE_ARENA_BYTES, 64)
+            }
+            p @ 1..=8 => {
+                self.phase = p + 1;
+                Access::load(self.x + self.lanes[(p - 1) as usize] * 8, 8)
+            }
+            p => {
+                let lane = (p - 9) as usize;
+                self.phase = if lane + 1 == Self::LANES {
+                    self.i += 1;
+                    0
+                } else {
+                    p + 1
+                };
+                Access::store(self.y + self.lanes[lane] * 8, 8)
+            }
+        }
+    }
+}
+
+/// NAS CG: sparse matrix-vector product with uniformly random column
+/// gathers over a 16 MB vector.
+#[derive(Debug)]
+pub struct Cg {
+    vals: u64,
+    cols: u64,
+    x: u64,
+    y: u64,
+    x_elems: u64,
+    nnz: u64,
+    row: u64,
+    j: u32,
+    row_nnz: u32,
+    phase: u8,
+    rng: Rng,
+}
+
+impl Cg {
+    pub fn new(process: u32, core: u32, seed: u64) -> Self {
+        let shared = layout::shared_arena(process);
+        Cg {
+            vals: layout::core_arena(process, core),
+            cols: layout::core_arena(process, core) + (128 << 20),
+            x: shared + (768 << 20),
+            y: shared + (800 << 20) + core as u64 * (4 << 20),
+            x_elems: 512 << 10,
+            nnz: 0,
+            row: 0,
+            j: 0,
+            row_nnz: 9,
+            phase: 0,
+            rng: Rng::new(seed ^ 0xC6),
+        }
+    }
+}
+
+impl AccessStream for Cg {
+    fn next_access(&mut self) -> Access {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                // Unrolled SpMV reads coefficient values in 32B vector
+                // chunks.
+                Access::load(self.vals + (self.nnz * 32) % (12 << 20), 32)
+            }
+            1 => {
+                self.phase = 2;
+                Access::load(self.cols + (self.nnz * 16) % (6 << 20), 16)
+            }
+            2 => {
+                let col = self.rng.below(self.x_elems);
+                self.phase = 3;
+                Access::load(self.x + col * 8, 8)
+            }
+            _ => {
+                self.nnz += 1;
+                self.j += 1;
+                let acc = if self.j >= self.row_nnz {
+                    self.j = 0;
+                    self.row += 1;
+                    self.row_nnz = 5 + (mix(self.row) % 9) as u32;
+                    Access::store(self.y + (self.row * 8) % (4 << 20), 8)
+                } else {
+                    self.phase = 0;
+                    return self.next_access();
+                };
+                self.phase = 0;
+                acc
+            }
+        }
+    }
+}
+
+/// BOTS SPARSELU: dense 32 KB blocks at scattered positions in a blocked
+/// sparse matrix; each task streams sequentially through two blocks.
+#[derive(Debug)]
+pub struct SparseLu {
+    matrix: u64,
+    grid: u64,
+    block_bytes: u64,
+    task: u64,
+    line: u64,
+    phase: u8,
+    a_block: u64,
+    b_block: u64,
+    rng: Rng,
+}
+
+impl SparseLu {
+    pub fn new(process: u32, core: u32, seed: u64) -> Self {
+        let mut lu = SparseLu {
+            matrix: layout::shared_arena(process) + (1 << 30) + (512 << 20),
+            grid: 24,
+            block_bytes: 32 << 10,
+            task: 0,
+            line: 0,
+            phase: 0,
+            a_block: 0,
+            b_block: 0,
+            rng: Rng::new(seed ^ 0x51 ^ (core as u64) << 9),
+        };
+        lu.pick_blocks();
+        lu
+    }
+
+    /// ~25% of grid positions hold an allocated block.
+    fn allocated(&self, pos: u64) -> bool {
+        mix(pos.wrapping_mul(0xB10C)) % 4 == 0
+    }
+
+    fn pick_blocks(&mut self) {
+        let cells = self.grid * self.grid;
+        let mut a = self.rng.below(cells);
+        while !self.allocated(a) {
+            a = self.rng.below(cells);
+        }
+        let mut b = self.rng.below(cells);
+        while !self.allocated(b) || b == a {
+            b = self.rng.below(cells);
+        }
+        self.a_block = self.matrix + a * self.block_bytes;
+        self.b_block = self.matrix + b * self.block_bytes;
+        self.line = 0;
+        self.task += 1;
+    }
+}
+
+impl AccessStream for SparseLu {
+    fn next_access(&mut self) -> Access {
+        let off = self.line * LINE;
+        let acc = match self.phase {
+            0 => Access::load(self.a_block + off, 64),
+            1 => Access::load(self.b_block + off, 64),
+            _ => Access::store(self.b_block + off, 64),
+        };
+        self.phase += 1;
+        if self.phase == 3 {
+            self.phase = 0;
+            self.line += 1;
+            if self.line * LINE >= self.block_bytes {
+                self.pick_blocks();
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_types::addr::page_number;
+    use std::collections::HashSet;
+
+    #[test]
+    fn gs_gathers_cluster_in_few_pages() {
+        let mut g = Gs::new(0, 0, 1);
+        let mut gather_pages = HashSet::new();
+        for _ in 0..17 * 4 {
+            let a = g.next_access();
+            if a.addr >= g.x && a.addr < g.y {
+                gather_pages.insert(page_number(a.addr));
+            }
+        }
+        // Four vector iterations of gathers stay within a few pages.
+        assert!(gather_pages.len() <= 6, "window too wide: {}", gather_pages.len());
+    }
+
+    #[test]
+    fn gs_window_advances() {
+        let mut g = Gs::new(0, 0, 1);
+        let first = g.window_base();
+        for _ in 0..17 * 100 {
+            g.next_access();
+        }
+        assert_ne!(g.window_base(), first);
+    }
+
+    #[test]
+    fn gs_scatters_mirror_gathers() {
+        let mut g = Gs::new(0, 0, 1);
+        g.next_access(); // idx vector
+        let gathers: Vec<u64> = (0..8).map(|_| g.next_access().addr - g.x).collect();
+        let scatters: Vec<u64> = (0..8).map(|_| g.next_access().addr - g.y).collect();
+        assert_eq!(gathers, scatters);
+    }
+
+    #[test]
+    fn cg_gathers_scatter_widely() {
+        let mut c = Cg::new(0, 0, 1);
+        let mut pages = HashSet::new();
+        for _ in 0..4000 {
+            let a = c.next_access();
+            if a.addr >= c.x && a.addr < c.x + c.x_elems * 8 {
+                pages.insert(page_number(a.addr));
+            }
+        }
+        assert!(pages.len() > 300, "CG gathers too clustered: {}", pages.len());
+    }
+
+    #[test]
+    fn sparselu_streams_whole_blocks() {
+        let mut s = SparseLu::new(0, 0, 1);
+        let a0 = s.next_access();
+        let b0 = s.next_access();
+        let st = s.next_access();
+        assert_eq!(st.addr, b0.addr);
+        let a1 = s.next_access();
+        assert_eq!(a1.addr, a0.addr + 64);
+        // Blocks are 32KB-aligned within the matrix region.
+        assert_eq!((a0.addr - s.matrix) % (32 << 10), 0);
+    }
+
+    #[test]
+    fn sparselu_blocks_are_scattered() {
+        let mut s = SparseLu::new(0, 0, 7);
+        let mut bases = HashSet::new();
+        for _ in 0..20 {
+            bases.insert(s.a_block);
+            // Stream through the whole task to trigger a re-pick.
+            for _ in 0..3 * 512 {
+                s.next_access();
+            }
+        }
+        assert!(bases.len() > 10, "block reuse too high: {}", bases.len());
+    }
+}

@@ -1,0 +1,180 @@
+//! Single- and multi-process core assignments (Fig 6b).
+//!
+//! The paper's multiprocessing experiment spawns two processes bound to
+//! distinct cores of the same processor, each running a different test.
+//! Their physical pages are disjoint (separate address-space halves), so
+//! their interleaved miss streams dilute page locality at the shared
+//! coalescer — the effect Fig 6b quantifies.
+
+use crate::{AccessStream, Bench};
+
+/// Everything the simulator needs to drive one core.
+pub struct CoreSpec {
+    /// The core's access stream.
+    pub stream: Box<dyn AccessStream>,
+    /// Non-memory cycles between consecutive accesses.
+    pub compute_gap: u64,
+    /// Benchmark label for reporting.
+    pub label: &'static str,
+    /// The owning process (address-space id for the MMU).
+    pub process: u32,
+}
+
+/// One benchmark spanning all `cores` cores (the paper's default mode).
+pub fn single_process(bench: Bench, cores: u32, seed: u64) -> Vec<CoreSpec> {
+    (0..cores)
+        .map(|c| CoreSpec {
+            stream: bench.core_stream(0, c, seed),
+            compute_gap: bench.compute_gap(),
+            label: bench.name(),
+            process: 0,
+        })
+        .collect()
+}
+
+/// Two processes on disjoint core halves running different benchmarks.
+pub fn two_processes(a: Bench, b: Bench, cores: u32, seed: u64) -> Vec<CoreSpec> {
+    assert!(cores >= 2 && cores % 2 == 0, "need an even core count");
+    let half = cores / 2;
+    (0..cores)
+        .map(|c| {
+            let (bench, process, local) =
+                if c < half { (a, 0, c) } else { (b, 1, c - half) };
+            CoreSpec {
+                stream: bench.core_stream(process, local, seed),
+                compute_gap: bench.compute_gap(),
+                label: bench.name(),
+                process,
+            }
+        })
+        .collect()
+}
+
+/// Marker type re-exported at the crate root for discoverability.
+pub struct MultiprocessMix;
+
+/// Wraps a stream with periodic reads of a process-shared sequential
+/// table (stencil coefficients, work descriptors, reduction buffers).
+/// All cores walk the same sequence from the same starting point, so
+/// loosely-synchronized cores hit the same lines within each other's
+/// fill windows — the cross-core duplicate misses that conventional
+/// MSHR-based DMC merges (Sec 2.2.1) and that put its coalescing
+/// efficiency at a third of requests in the paper's Fig 6a.
+pub struct WithSharedReads {
+    inner: Box<dyn crate::AccessStream>,
+    base: u64,
+    span: u64,
+    every: u64,
+    n: u64,
+    i: u64,
+}
+
+impl WithSharedReads {
+    /// Every `every`-th access becomes the next shared-table line read.
+    pub fn new(inner: Box<dyn crate::AccessStream>, process: u32, every: u64) -> Self {
+        WithSharedReads {
+            inner,
+            base: crate::layout::shared_arena(process) + (1700 << 20),
+            span: 64 << 20,
+            every: every.max(2),
+            n: 0,
+            i: 0,
+        }
+    }
+}
+
+impl crate::AccessStream for WithSharedReads {
+    fn next_access(&mut self) -> crate::Access {
+        self.n += 1;
+        if self.n % self.every == 0 {
+            let addr = self.base + (self.i * 64) % self.span;
+            self.i += 1;
+            return crate::Access::load(addr, 64);
+        }
+        self.inner.next_access()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_types::RequestKind;
+
+    #[test]
+    fn single_process_covers_all_cores() {
+        let specs = single_process(Bench::Stream, 8, 1);
+        assert_eq!(specs.len(), 8);
+        assert!(specs.iter().all(|s| s.label == "STREAM"));
+    }
+
+    #[test]
+    fn two_processes_split_address_space() {
+        let mut specs = two_processes(Bench::Stream, Bench::Hpcg, 8, 1);
+        assert_eq!(specs.len(), 8);
+        assert_eq!(specs[0].label, "STREAM");
+        assert_eq!(specs[7].label, "HPCG");
+        for (i, spec) in specs.iter_mut().enumerate() {
+            for _ in 0..100 {
+                let a = spec.stream.next_access();
+                if a.kind == RequestKind::Fence {
+                    continue;
+                }
+                if i < 4 {
+                    assert!(a.addr < 1 << 32);
+                } else {
+                    assert!(a.addr >= 1 << 32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even core count")]
+    fn odd_core_count_rejected() {
+        two_processes(Bench::Stream, Bench::Hpcg, 7, 1);
+    }
+
+    #[test]
+    fn shared_reads_interleave_a_common_sequence() {
+        use crate::AccessStream;
+        let mk = || {
+            WithSharedReads::new(Bench::Ep.core_stream(0, 0, 1), 0, 4)
+        };
+        let mut a = mk();
+        let mut b = WithSharedReads::new(Bench::Ep.core_stream(0, 3, 1), 0, 4);
+        // Every 4th access reads the shared table; both cores walk the
+        // same sequence from the same start.
+        let shared = |s: &mut WithSharedReads| -> Vec<u64> {
+            (0..16)
+                .enumerate()
+                .filter_map(|(i, _)| {
+                    let acc = s.next_access();
+                    ((i + 1) % 4 == 0).then_some(acc.addr)
+                })
+                .collect()
+        };
+        let sa = shared(&mut a);
+        let sb = shared(&mut b);
+        assert_eq!(sa, sb, "shared sequence must be identical across cores");
+        assert!(sa.windows(2).all(|w| w[1] == w[0] + 64), "sequential lines");
+        drop(mk);
+    }
+
+    #[test]
+    fn shared_reads_preserve_inner_stream() {
+        use crate::AccessStream;
+        let mut plain = Bench::Ep.core_stream(0, 0, 1);
+        let mut wrapped = WithSharedReads::new(Bench::Ep.core_stream(0, 0, 1), 0, 4);
+        // Non-shared accesses come from the inner stream, in order.
+        let mut inner_seen = Vec::new();
+        for i in 0..16 {
+            let acc = wrapped.next_access();
+            if (i + 1) % 4 != 0 {
+                inner_seen.push(acc);
+            }
+        }
+        for expected in inner_seen {
+            assert_eq!(expected, plain.next_access());
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Structured-grid and transform kernels: MG, SP, BT, FT, HPCG.
+//!
+//! These walk multi-dimensional arrays with a mix of unit-stride,
+//! row-stride (±2 KB, often the same 4 KB page), and plane-stride
+//! (hundreds of KB, always a different page) accesses — the texture that
+//! separates their coalescing efficiency from the purely dense kernels.
+
+use crate::layout;
+use crate::util::Rng;
+use crate::{Access, AccessStream};
+
+const LINE: u64 = 64;
+
+/// NAS MG: V-cycle multigrid. Two fine 7-point-stencil sweeps (six
+/// sequential streams across three planes) followed by one coarse sweep
+/// at doubled stride.
+#[derive(Debug)]
+pub struct Mg {
+    u: u64,
+    r: u64,
+    row_bytes: u64,
+    plane_bytes: u64,
+    slab_bytes: u64,
+    pos: u64,
+    phase: u8,
+    sweep: u8,
+}
+
+impl Mg {
+    pub fn new(process: u32, core: u32) -> Self {
+        let shared = layout::shared_arena(process);
+        let plane_bytes = 128 * 128 * 8; // 128 KB plane
+        Mg {
+            u: shared + (512 << 20),
+            r: shared + (640 << 20),
+            row_bytes: 128 * 8,
+            plane_bytes,
+            slab_bytes: plane_bytes * 16,
+            pos: core as u64 * plane_bytes * 16,
+            phase: 0,
+            sweep: 0,
+        }
+    }
+}
+
+impl AccessStream for Mg {
+    fn next_access(&mut self) -> Access {
+        let coarse = self.sweep == 2;
+        let step = if coarse { 2 * LINE } else { LINE };
+        let p = self.u + self.pos;
+        let acc = match self.phase {
+            0 => Access::load(p, 64),                        // u(x, y, z)
+            1 => Access::load(p + self.row_bytes, 64),       // u(x, y+1, z)
+            2 => Access::load(p - self.plane_bytes.min(self.pos), 64), // u(x, y, z-1)
+            3 => Access::load(p + self.plane_bytes, 64),     // u(x, y, z+1)
+            _ => Access::store(self.r + self.pos, 64),       // r(x, y, z)
+        };
+        self.phase += 1;
+        if self.phase == 5 {
+            self.phase = 0;
+            self.pos += step;
+            if self.pos % self.slab_bytes == 0 {
+                self.sweep = (self.sweep + 1) % 3;
+                self.pos -= self.slab_bytes; // next sweep over the same slab
+            }
+        }
+        acc
+    }
+}
+
+/// NAS SP: scalar penta-diagonal solver — alternating x (unit-stride),
+/// y (row-stride) and z (plane-stride) line sweeps over the grid.
+#[derive(Debug)]
+pub struct Sp {
+    u: u64,
+    rhs: u64,
+    row_bytes: u64,
+    plane_bytes: u64,
+    slab_base: u64,
+    slab_bytes: u64,
+    i: u64,
+    phase: u8,
+    dim: u8,
+}
+
+impl Sp {
+    pub fn new(process: u32, core: u32) -> Self {
+        let shared = layout::shared_arena(process);
+        let plane_bytes = 128 * 128 * 8;
+        Sp {
+            u: shared + (768 << 20),
+            rhs: shared + (896 << 20),
+            row_bytes: 128 * 8,
+            plane_bytes,
+            slab_base: core as u64 * plane_bytes * 16,
+            slab_bytes: plane_bytes * 16,
+            i: 0,
+            phase: 0,
+            dim: 0,
+        }
+    }
+
+    /// All three solves walk memory with a unit-stride inner loop (the
+    /// NAS solvers interchange loops for exactly this); the dimension
+    /// shows in the recurrence-carry access, which reaches back one
+    /// line, one row, or one plane.
+    fn offset(&self) -> u64 {
+        self.slab_base + (self.i * LINE) % self.slab_bytes
+    }
+
+    fn carry_offset(&self) -> u64 {
+        let back = match self.dim {
+            0 => LINE,
+            1 => self.row_bytes,
+            _ => self.plane_bytes,
+        };
+        let off = (self.i * LINE) % self.slab_bytes;
+        self.slab_base + off.checked_sub(back).unwrap_or(off)
+    }
+}
+
+impl AccessStream for Sp {
+    fn next_access(&mut self) -> Access {
+        let off = self.offset();
+        let acc = match self.phase {
+            0 => Access::load(self.u + off, 64),
+            1 => Access::load(self.rhs + off, 64),
+            2 => Access::load(self.u + self.carry_offset(), 64),
+            _ => Access::store(self.u + off, 64),
+        };
+        self.phase += 1;
+        if self.phase == 4 {
+            self.phase = 0;
+            self.i += 1;
+            if self.i % 4096 == 0 {
+                self.dim = (self.dim + 1) % 3;
+            }
+        }
+        acc
+    }
+}
+
+/// NAS BT: block-tridiagonal solver — 5×5 f64 blocks (two lines each
+/// padded to 256 B) streamed along grid lines: long contiguous bursts.
+#[derive(Debug)]
+pub struct Bt {
+    blocks: u64,
+    u: u64,
+    block_slab: u64,
+    u_slab: u64,
+    cell: u64,
+    phase: u8,
+}
+
+impl Bt {
+    const BLOCK_BYTES: u64 = 256; // 5x5 f64 padded
+    const BLOCK_SLAB: u64 = 4 << 20;
+    const U_SLAB: u64 = 1 << 20;
+
+    pub fn new(process: u32, core: u32) -> Self {
+        let shared = layout::shared_arena(process);
+        Bt {
+            blocks: shared + (1024 << 20),
+            u: shared + (1600 << 20),
+            block_slab: core as u64 * Self::BLOCK_SLAB,
+            u_slab: core as u64 * Self::U_SLAB,
+            cell: 0,
+            phase: 0,
+        }
+    }
+}
+
+impl AccessStream for Bt {
+    fn next_access(&mut self) -> Access {
+        let block =
+            self.blocks + self.block_slab + (self.cell * Self::BLOCK_BYTES) % Self::BLOCK_SLAB;
+        let urow = self.u + self.u_slab + (self.cell * LINE) % Self::U_SLAB;
+        let acc = match self.phase {
+            // Four lines of the 256B coefficient block, contiguous.
+            0..=3 => Access::load(block + self.phase as u64 * LINE, 64),
+            4 => Access::load(urow, 64),
+            _ => Access::store(urow, 64),
+        };
+        self.phase += 1;
+        if self.phase == 6 {
+            self.phase = 0;
+            self.cell += 1;
+        }
+        acc
+    }
+}
+
+/// NAS FT: 3-D FFT butterflies — pairs of sequential streams whose
+/// separation doubles every pass, with a fence (transpose barrier)
+/// between passes.
+#[derive(Debug)]
+pub struct Ft {
+    data: u64,
+    len: u64,
+    i: u64,
+    pass: u32,
+    phase: u8,
+}
+
+impl Ft {
+    pub fn new(process: u32, core: u32) -> Self {
+        Ft {
+            data: layout::core_arena(process, core),
+            len: 2 << 20,
+            i: 0,
+            pass: 0,
+            phase: 0,
+        }
+    }
+
+    fn stride(&self) -> u64 {
+        LINE << (self.pass % 11) // 64B .. 64KB
+    }
+}
+
+impl AccessStream for Ft {
+    fn next_access(&mut self) -> Access {
+        let s = self.stride();
+        // Butterfly group walk: i skips the partner half.
+        let group = 2 * s;
+        let base = (self.i / s) * group + self.i % s;
+        let lo = self.data + base % self.len;
+        let hi = self.data + (base + s) % self.len;
+        let acc = match self.phase {
+            0 => Access::load(lo, 64),
+            1 => Access::load(hi, 64),
+            2 => Access::store(lo, 64),
+            _ => Access::store(hi, 64),
+        };
+        self.phase += 1;
+        if self.phase == 4 {
+            self.phase = 0;
+            self.i += LINE;
+            if self.i * 2 >= self.len {
+                self.i = 0;
+                self.pass += 1;
+                return Access::fence(); // transpose barrier between passes
+            }
+        }
+        acc
+    }
+}
+
+/// HPCG: 27-point stencil SpMV. Sequential coefficient lines, windowed
+/// gathers from the shared `x` vector at row/plane strides, sequential
+/// `y` stores — the canonical "mostly small requests" workload of
+/// Fig 10b.
+#[derive(Debug)]
+pub struct Hpcg {
+    coeffs: u64,
+    x: u64,
+    y: u64,
+    nx: u64,
+    ny: u64,
+    row: u64,
+    rows: u64,
+    phase: u8,
+    rng: Rng,
+}
+
+impl Hpcg {
+    pub fn new(process: u32, core: u32, seed: u64) -> Self {
+        let shared = layout::shared_arena(process);
+        let nx = 64u64;
+        let ny = 64u64;
+        let nz = 64u64;
+        let rows = nx * ny * nz;
+        Hpcg {
+            coeffs: shared + (128 << 20) + core as u64 * (rows / 8) * 27 * 8,
+            x: shared + (64 << 20),
+            y: shared + (96 << 20),
+            nx,
+            ny,
+            row: core as u64 * rows / 8,
+            rows,
+            phase: 0,
+            rng: Rng::new(seed),
+        }
+    }
+}
+
+impl AccessStream for Hpcg {
+    fn next_access(&mut self) -> Access {
+        let acc = match self.phase {
+            // 27 coefficients = 216B: four sequential line loads.
+            0..=3 => {
+                Access::load(self.coeffs + self.row * 216 + self.phase as u64 * LINE, 64)
+            }
+            // Nine gather clusters of three consecutive x elements.
+            4..=12 => {
+                let cluster = (self.phase - 4) as u64;
+                let dy = cluster % 3;
+                let dz = cluster / 3;
+                let neighbor = self
+                    .row
+                    .wrapping_add(dy.wrapping_sub(1).wrapping_mul(self.nx))
+                    .wrapping_add(dz.wrapping_sub(1).wrapping_mul(self.nx * self.ny));
+                // `rows` is a power of two, so reduction mod 2^64 then
+                // mod rows equals plain modular arithmetic.
+                let neighbor = neighbor % self.rows;
+                Access::load(self.x + neighbor * 8, 24)
+            }
+            _ => Access::store(self.y + self.row * 8, 8),
+        };
+        self.phase += 1;
+        if self.phase == 14 {
+            self.phase = 0;
+            // Rows mostly advance sequentially; SymGS back-sweeps jump.
+            self.row = if self.rng.below(64) == 0 {
+                self.rng.below(self.rows)
+            } else {
+                (self.row + 1) % self.rows
+            };
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_types::{Op, RequestKind};
+
+    #[test]
+    fn mg_has_plane_separated_streams() {
+        let mut m = Mg::new(0, 0);
+        let a: Vec<Access> = (0..5).map(|_| m.next_access()).collect();
+        assert_eq!(a[1].addr - a[0].addr, 128 * 8); // row stride
+        assert_eq!(a[3].addr - a[0].addr, 128 * 128 * 8); // plane stride
+        assert_eq!(a[4].op, Op::Store);
+    }
+
+    #[test]
+    fn mg_advances_one_line_per_point() {
+        let mut m = Mg::new(0, 1);
+        let first = m.next_access().addr;
+        for _ in 0..4 {
+            m.next_access();
+        }
+        assert_eq!(m.next_access().addr, first + 64);
+    }
+
+    #[test]
+    fn sp_walks_unit_stride_with_dimension_carry() {
+        let mut s = Sp::new(0, 0);
+        // x-sweep: consecutive iterations 64B apart.
+        let a0 = s.next_access().addr;
+        for _ in 0..3 {
+            s.next_access();
+        }
+        let a1 = s.next_access().addr;
+        assert_eq!(a1 - a0, 64);
+        // A fresh sweep advanced to the y dimension: the carry access
+        // reaches one row back.
+        let mut s = Sp::new(0, 0);
+        for _ in 0..4 * 4096 {
+            s.next_access();
+        }
+        let u0 = s.next_access().addr; // u
+        s.next_access(); // rhs
+        let carry = s.next_access().addr;
+        assert_eq!(u0 - carry, 128 * 8);
+    }
+
+    #[test]
+    fn bt_issues_contiguous_block_bursts() {
+        let mut b = Bt::new(0, 0);
+        let a: Vec<u64> = (0..4).map(|_| b.next_access().addr).collect();
+        assert_eq!(a[1] - a[0], 64);
+        assert_eq!(a[3] - a[0], 192);
+    }
+
+    #[test]
+    fn ft_pairs_separated_by_pass_stride() {
+        let mut f = Ft::new(0, 0);
+        let lo = f.next_access();
+        let hi = f.next_access();
+        assert_eq!(hi.addr - lo.addr, 64); // pass 0 stride
+        assert_eq!(f.next_access().op, Op::Store);
+    }
+
+    #[test]
+    fn ft_emits_fence_between_passes() {
+        let mut f = Ft::new(0, 0);
+        let mut fences = 0;
+        for _ in 0..3_000_000 {
+            if f.next_access().kind == RequestKind::Fence {
+                fences += 1;
+                break;
+            }
+        }
+        assert_eq!(fences, 1);
+    }
+
+    #[test]
+    fn hpcg_mixes_dense_coeffs_and_small_gathers() {
+        let mut h = Hpcg::new(0, 0, 1);
+        let coeff = h.next_access();
+        assert_eq!(coeff.data_bytes, 64);
+        for _ in 0..3 {
+            h.next_access();
+        }
+        let gather = h.next_access();
+        assert_eq!(gather.data_bytes, 24);
+        for _ in 0..8 {
+            h.next_access();
+        }
+        let store = h.next_access();
+        assert_eq!(store.op, Op::Store);
+        assert_eq!(store.data_bytes, 8);
+    }
+
+    #[test]
+    fn hpcg_rows_mostly_sequential() {
+        let mut h = Hpcg::new(0, 0, 1);
+        let mut seq = 0;
+        let mut prev_store = None;
+        for _ in 0..14 * 200 {
+            let a = h.next_access();
+            if a.op == Op::Store && a.data_bytes == 8 {
+                if let Some(p) = prev_store {
+                    if a.addr == p + 8 {
+                        seq += 1;
+                    }
+                }
+                prev_store = Some(a.addr);
+            }
+        }
+        assert!(seq > 150, "rows not sequential enough: {seq}");
+    }
+}

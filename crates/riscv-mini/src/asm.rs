@@ -1,0 +1,261 @@
+//! A tiny assembler: one function per supported instruction, producing
+//! the 32-bit encoding. Offsets are byte offsets (branches/jumps must
+//! be 2-byte aligned, as in the ISA).
+
+fn r_type(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn i_type(imm: i64, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "I-imm out of range: {imm}");
+    (((imm as u32) & 0xFFF) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn s_type(imm: i64, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "S-imm out of range: {imm}");
+    let imm = (imm as u32) & 0xFFF;
+    ((imm >> 5) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+}
+
+fn b_type(offset: i64, rs2: u8, rs1: u8, funct3: u32) -> u32 {
+    assert!((-4096..=4094).contains(&offset) && offset % 2 == 0, "B-offset: {offset}");
+    let imm = (offset as u32) & 0x1FFF;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0x63
+}
+
+// ---- U/J ----
+
+pub fn lui(rd: u8, imm20: i64) -> u32 {
+    assert!((-(1 << 19)..(1 << 19)).contains(&imm20), "U-imm out of range");
+    (((imm20 as u32) & 0xFFFFF) << 12) | ((rd as u32) << 7) | 0x37
+}
+
+pub fn auipc(rd: u8, imm20: i64) -> u32 {
+    (((imm20 as u32) & 0xFFFFF) << 12) | ((rd as u32) << 7) | 0x17
+}
+
+pub fn jal(rd: u8, offset: i64) -> u32 {
+    assert!((-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0, "J-offset");
+    let imm = (offset as u32) & 0x1FFFFF;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | ((rd as u32) << 7)
+        | 0x6F
+}
+
+pub fn jalr(rd: u8, rs1: u8, offset: i64) -> u32 {
+    i_type(offset, rs1, 0, rd, 0x67)
+}
+
+// ---- ALU immediate ----
+
+pub fn addi(rd: u8, rs1: u8, imm: i64) -> u32 {
+    i_type(imm, rs1, 0b000, rd, 0x13)
+}
+pub fn andi(rd: u8, rs1: u8, imm: i64) -> u32 {
+    i_type(imm, rs1, 0b111, rd, 0x13)
+}
+pub fn ori(rd: u8, rs1: u8, imm: i64) -> u32 {
+    i_type(imm, rs1, 0b110, rd, 0x13)
+}
+pub fn xori(rd: u8, rs1: u8, imm: i64) -> u32 {
+    i_type(imm, rs1, 0b100, rd, 0x13)
+}
+pub fn slli(rd: u8, rs1: u8, shamt: u32) -> u32 {
+    assert!(shamt < 64);
+    i_type(shamt as i64, rs1, 0b001, rd, 0x13)
+}
+pub fn srli(rd: u8, rs1: u8, shamt: u32) -> u32 {
+    assert!(shamt < 64);
+    i_type(shamt as i64, rs1, 0b101, rd, 0x13)
+}
+pub fn srai(rd: u8, rs1: u8, shamt: u32) -> u32 {
+    assert!(shamt < 64);
+    i_type(shamt as i64 | (0x10 << 6), rs1, 0b101, rd, 0x13)
+}
+
+// ---- ALU register ----
+
+pub fn add(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x00, rs2, rs1, 0b000, rd, 0x33)
+}
+pub fn sub(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x20, rs2, rs1, 0b000, rd, 0x33)
+}
+pub fn sll(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x00, rs2, rs1, 0b001, rd, 0x33)
+}
+pub fn srl(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x00, rs2, rs1, 0b101, rd, 0x33)
+}
+pub fn and(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x00, rs2, rs1, 0b111, rd, 0x33)
+}
+pub fn or(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x00, rs2, rs1, 0b110, rd, 0x33)
+}
+pub fn xor(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x00, rs2, rs1, 0b100, rd, 0x33)
+}
+pub fn mul(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x01, rs2, rs1, 0b000, rd, 0x33)
+}
+pub fn divu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x01, rs2, rs1, 0b101, rd, 0x33)
+}
+pub fn remu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x01, rs2, rs1, 0b111, rd, 0x33)
+}
+
+// ---- 32-bit (W) forms ----
+
+pub fn addiw(rd: u8, rs1: u8, imm: i64) -> u32 {
+    i_type(imm, rs1, 0b000, rd, 0x1B)
+}
+pub fn slliw(rd: u8, rs1: u8, shamt: u32) -> u32 {
+    assert!(shamt < 32);
+    i_type(shamt as i64, rs1, 0b001, rd, 0x1B)
+}
+pub fn addw(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x00, rs2, rs1, 0b000, rd, 0x3B)
+}
+pub fn subw(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x20, rs2, rs1, 0b000, rd, 0x3B)
+}
+pub fn mulw(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0x01, rs2, rs1, 0b000, rd, 0x3B)
+}
+
+// ---- loads/stores ----
+
+pub fn ld(rd: u8, rs1: u8, offset: i64) -> u32 {
+    i_type(offset, rs1, 0b011, rd, 0x03)
+}
+pub fn lw(rd: u8, rs1: u8, offset: i64) -> u32 {
+    i_type(offset, rs1, 0b010, rd, 0x03)
+}
+pub fn lwu(rd: u8, rs1: u8, offset: i64) -> u32 {
+    i_type(offset, rs1, 0b110, rd, 0x03)
+}
+pub fn lbu(rd: u8, rs1: u8, offset: i64) -> u32 {
+    i_type(offset, rs1, 0b100, rd, 0x03)
+}
+pub fn sd(rs1: u8, rs2: u8, offset: i64) -> u32 {
+    s_type(offset, rs2, rs1, 0b011, 0x23)
+}
+pub fn sw(rs1: u8, rs2: u8, offset: i64) -> u32 {
+    s_type(offset, rs2, rs1, 0b010, 0x23)
+}
+pub fn sb(rs1: u8, rs2: u8, offset: i64) -> u32 {
+    s_type(offset, rs2, rs1, 0b000, 0x23)
+}
+
+// ---- branches ----
+
+pub fn beq(rs1: u8, rs2: u8, offset: i64) -> u32 {
+    b_type(offset, rs2, rs1, 0b000)
+}
+pub fn bne(rs1: u8, rs2: u8, offset: i64) -> u32 {
+    b_type(offset, rs2, rs1, 0b001)
+}
+pub fn blt(rs1: u8, rs2: u8, offset: i64) -> u32 {
+    b_type(offset, rs2, rs1, 0b100)
+}
+pub fn bge(rs1: u8, rs2: u8, offset: i64) -> u32 {
+    b_type(offset, rs2, rs1, 0b101)
+}
+pub fn bltu(rs1: u8, rs2: u8, offset: i64) -> u32 {
+    b_type(offset, rs2, rs1, 0b110)
+}
+pub fn bgeu(rs1: u8, rs2: u8, offset: i64) -> u32 {
+    b_type(offset, rs2, rs1, 0b111)
+}
+
+// ---- system ----
+
+pub fn ecall() -> u32 {
+    0x0000_0073
+}
+
+/// Load a 64-bit constant into `rd` using `lui`+`addi`+shifts. Returns
+/// the instruction sequence (1..=8 instructions).
+pub fn li(rd: u8, value: u64) -> Vec<u32> {
+    if value == 0 {
+        return vec![addi(rd, 0, 0)];
+    }
+    if (value as i64) >= -2048 && (value as i64) <= 2047 {
+        return vec![addi(rd, 0, value as i64)];
+    }
+    if value < (1 << 30) {
+        // Keep hi below 2^18 so the borrow (hi+1) never overflows the
+        // signed 20-bit lui immediate.
+        let hi = (value >> 12) as i64;
+        let lo = (value & 0xFFF) as i64;
+        if lo < 2048 {
+            return vec![lui(rd, hi), addi(rd, rd, lo)];
+        }
+        // Borrow: lui(hi+1) then subtract (4096-lo).
+        return vec![lui(rd, hi + 1), addi(rd, rd, lo - 4096)];
+    }
+    // General: build the top 31 bits, shift, then OR in 11-bit chunks.
+    let mut seq = li(rd, value >> 33);
+    seq.push(slli(rd, rd, 11));
+    seq.push(ori(rd, rd, ((value >> 22) & 0x7FF) as i64));
+    seq.push(slli(rd, rd, 11));
+    seq.push(ori(rd, rd, ((value >> 11) & 0x7FF) as i64));
+    seq.push(slli(rd, rd, 11));
+    seq.push(ori(rd, rd, (value & 0x7FF) as i64));
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "I-imm out of range")]
+    fn immediate_bounds_checked() {
+        addi(1, 1, 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "B-offset")]
+    fn branch_alignment_checked() {
+        beq(1, 2, 3);
+    }
+
+    #[test]
+    fn li_small_is_one_instruction() {
+        assert_eq!(li(5, 42).len(), 1);
+        assert_eq!(li(5, 0).len(), 1);
+    }
+
+    #[test]
+    fn li_medium_is_two_instructions() {
+        assert_eq!(li(5, 0x12345).len(), 2);
+        assert_eq!(li(5, 0x12FFF).len(), 2); // borrow path
+    }
+}

@@ -1,0 +1,401 @@
+//! RV64IM instruction set (the subset the kernels need) and its
+//! decoder.
+//!
+//! Encodings follow the RISC-V unprivileged specification: R/I/S/B/U/J
+//! formats over the standard opcodes. `ECALL` serves as the halt
+//! instruction for bare-metal kernels.
+
+/// A decoded instruction. Registers are 0..32 (`x0` hardwired to zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    Lui { rd: u8, imm: i64 },
+    Auipc { rd: u8, imm: i64 },
+    Jal { rd: u8, offset: i64 },
+    Jalr { rd: u8, rs1: u8, offset: i64 },
+    Branch { kind: BranchKind, rs1: u8, rs2: u8, offset: i64 },
+    Load { kind: LoadKind, rd: u8, rs1: u8, offset: i64 },
+    Store { kind: StoreKind, rs1: u8, rs2: u8, offset: i64 },
+    OpImm { kind: AluKind, rd: u8, rs1: u8, imm: i64 },
+    Op { kind: AluKind, rd: u8, rs1: u8, rs2: u8 },
+    /// 32-bit (`W`) variant: operates on the low 32 bits and
+    /// sign-extends the result (ADDIW/ADDW/SUBW/SLLIW/...).
+    OpImm32 { kind: AluKind, rd: u8, rs1: u8, imm: i64 },
+    Op32 { kind: AluKind, rd: u8, rs1: u8, rs2: u8 },
+    Ecall,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchKind {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    Lb,
+    Lbu,
+    Lh,
+    Lhu,
+    Lw,
+    Lwu,
+    Ld,
+}
+
+impl LoadKind {
+    /// Access width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            LoadKind::Lb | LoadKind::Lbu => 1,
+            LoadKind::Lh | LoadKind::Lhu => 2,
+            LoadKind::Lw | LoadKind::Lwu => 4,
+            LoadKind::Ld => 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    Sb,
+    Sh,
+    Sw,
+    Sd,
+}
+
+impl StoreKind {
+    /// Access width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            StoreKind::Sb => 1,
+            StoreKind::Sh => 2,
+            StoreKind::Sw => 4,
+            StoreKind::Sd => 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluKind {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    // M extension
+    Mul,
+    Divu,
+    Remu,
+}
+
+impl std::fmt::Display for Instr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn alu_name(k: AluKind) -> &'static str {
+            match k {
+                AluKind::Add => "add",
+                AluKind::Sub => "sub",
+                AluKind::Sll => "sll",
+                AluKind::Slt => "slt",
+                AluKind::Sltu => "sltu",
+                AluKind::Xor => "xor",
+                AluKind::Srl => "srl",
+                AluKind::Sra => "sra",
+                AluKind::Or => "or",
+                AluKind::And => "and",
+                AluKind::Mul => "mul",
+                AluKind::Divu => "divu",
+                AluKind::Remu => "remu",
+            }
+        }
+        match *self {
+            Instr::Lui { rd, imm } => write!(f, "lui x{rd}, {:#x}", imm >> 12),
+            Instr::Auipc { rd, imm } => write!(f, "auipc x{rd}, {:#x}", imm >> 12),
+            Instr::Jal { rd, offset } => write!(f, "jal x{rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => write!(f, "jalr x{rd}, {offset}(x{rs1})"),
+            Instr::Branch { kind, rs1, rs2, offset } => {
+                let name = match kind {
+                    BranchKind::Eq => "beq",
+                    BranchKind::Ne => "bne",
+                    BranchKind::Lt => "blt",
+                    BranchKind::Ge => "bge",
+                    BranchKind::Ltu => "bltu",
+                    BranchKind::Geu => "bgeu",
+                };
+                write!(f, "{name} x{rs1}, x{rs2}, {offset}")
+            }
+            Instr::Load { kind, rd, rs1, offset } => {
+                let name = match kind {
+                    LoadKind::Lb => "lb",
+                    LoadKind::Lbu => "lbu",
+                    LoadKind::Lh => "lh",
+                    LoadKind::Lhu => "lhu",
+                    LoadKind::Lw => "lw",
+                    LoadKind::Lwu => "lwu",
+                    LoadKind::Ld => "ld",
+                };
+                write!(f, "{name} x{rd}, {offset}(x{rs1})")
+            }
+            Instr::Store { kind, rs1, rs2, offset } => {
+                let name = match kind {
+                    StoreKind::Sb => "sb",
+                    StoreKind::Sh => "sh",
+                    StoreKind::Sw => "sw",
+                    StoreKind::Sd => "sd",
+                };
+                write!(f, "{name} x{rs2}, {offset}(x{rs1})")
+            }
+            Instr::OpImm { kind, rd, rs1, imm } => {
+                write!(f, "{}i x{rd}, x{rs1}, {imm}", alu_name(kind))
+            }
+            Instr::Op { kind, rd, rs1, rs2 } => {
+                write!(f, "{} x{rd}, x{rs1}, x{rs2}", alu_name(kind))
+            }
+            Instr::OpImm32 { kind, rd, rs1, imm } => {
+                write!(f, "{}iw x{rd}, x{rs1}, {imm}", alu_name(kind))
+            }
+            Instr::Op32 { kind, rd, rs1, rs2 } => {
+                write!(f, "{}w x{rd}, x{rs1}, x{rs2}", alu_name(kind))
+            }
+            Instr::Ecall => write!(f, "ecall"),
+        }
+    }
+}
+
+/// Disassemble a program into `addr: instruction` lines.
+pub fn disassemble(base: u64, words: &[u32]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let addr = base + i as u64 * 4;
+        match decode(w) {
+            Some(instr) => writeln!(out, "{addr:#08x}: {instr}").unwrap(),
+            None => writeln!(out, "{addr:#08x}: .word {w:#010x}").unwrap(),
+        }
+    }
+    out
+}
+
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn sext(value: u32, width: u32) -> i64 {
+    let shift = 64 - width;
+    ((value as i64) << shift) >> shift
+}
+
+/// Decode one 32-bit instruction word. Returns `None` for encodings
+/// outside the supported subset.
+pub fn decode(word: u32) -> Option<Instr> {
+    let opcode = bits(word, 6, 0);
+    let rd = bits(word, 11, 7) as u8;
+    let rs1 = bits(word, 19, 15) as u8;
+    let rs2 = bits(word, 24, 20) as u8;
+    let funct3 = bits(word, 14, 12);
+    let funct7 = bits(word, 31, 25);
+    let imm_i = sext(bits(word, 31, 20), 12);
+    Some(match opcode {
+        0x37 => Instr::Lui { rd, imm: sext(bits(word, 31, 12), 20) << 12 },
+        0x17 => Instr::Auipc { rd, imm: sext(bits(word, 31, 12), 20) << 12 },
+        0x6F => {
+            let imm = (bits(word, 31, 31) << 20)
+                | (bits(word, 19, 12) << 12)
+                | (bits(word, 20, 20) << 11)
+                | (bits(word, 30, 21) << 1);
+            Instr::Jal { rd, offset: sext(imm, 21) }
+        }
+        0x67 if funct3 == 0 => Instr::Jalr { rd, rs1, offset: imm_i },
+        0x63 => {
+            let imm = (bits(word, 31, 31) << 12)
+                | (bits(word, 7, 7) << 11)
+                | (bits(word, 30, 25) << 5)
+                | (bits(word, 11, 8) << 1);
+            let kind = match funct3 {
+                0b000 => BranchKind::Eq,
+                0b001 => BranchKind::Ne,
+                0b100 => BranchKind::Lt,
+                0b101 => BranchKind::Ge,
+                0b110 => BranchKind::Ltu,
+                0b111 => BranchKind::Geu,
+                _ => return None,
+            };
+            Instr::Branch { kind, rs1, rs2, offset: sext(imm, 13) }
+        }
+        0x03 => {
+            let kind = match funct3 {
+                0b000 => LoadKind::Lb,
+                0b001 => LoadKind::Lh,
+                0b010 => LoadKind::Lw,
+                0b011 => LoadKind::Ld,
+                0b100 => LoadKind::Lbu,
+                0b101 => LoadKind::Lhu,
+                0b110 => LoadKind::Lwu,
+                _ => return None,
+            };
+            Instr::Load { kind, rd, rs1, offset: imm_i }
+        }
+        0x23 => {
+            let imm = (bits(word, 31, 25) << 5) | bits(word, 11, 7);
+            let kind = match funct3 {
+                0b000 => StoreKind::Sb,
+                0b001 => StoreKind::Sh,
+                0b010 => StoreKind::Sw,
+                0b011 => StoreKind::Sd,
+                _ => return None,
+            };
+            Instr::Store { kind, rs1, rs2, offset: sext(imm, 12) }
+        }
+        0x13 => {
+            let kind = match funct3 {
+                0b000 => AluKind::Add,
+                0b001 if funct7 >> 1 == 0 => AluKind::Sll,
+                0b010 => AluKind::Slt,
+                0b011 => AluKind::Sltu,
+                0b100 => AluKind::Xor,
+                // RV64 shamt uses bits 25:20; funct7[6:1] selects SRL/SRA.
+                0b101 if bits(word, 31, 26) == 0 => AluKind::Srl,
+                0b101 if bits(word, 31, 26) == 0b010000 => AluKind::Sra,
+                0b110 => AluKind::Or,
+                0b111 => AluKind::And,
+                _ => return None,
+            };
+            // Shifts take a 6-bit shamt on RV64.
+            let imm = match kind {
+                AluKind::Sll | AluKind::Srl | AluKind::Sra => bits(word, 25, 20) as i64,
+                _ => imm_i,
+            };
+            Instr::OpImm { kind, rd, rs1, imm }
+        }
+        0x33 => {
+            let kind = match (funct7, funct3) {
+                (0x00, 0b000) => AluKind::Add,
+                (0x20, 0b000) => AluKind::Sub,
+                (0x00, 0b001) => AluKind::Sll,
+                (0x00, 0b010) => AluKind::Slt,
+                (0x00, 0b011) => AluKind::Sltu,
+                (0x00, 0b100) => AluKind::Xor,
+                (0x00, 0b101) => AluKind::Srl,
+                (0x20, 0b101) => AluKind::Sra,
+                (0x00, 0b110) => AluKind::Or,
+                (0x00, 0b111) => AluKind::And,
+                (0x01, 0b000) => AluKind::Mul,
+                (0x01, 0b101) => AluKind::Divu,
+                (0x01, 0b111) => AluKind::Remu,
+                _ => return None,
+            };
+            Instr::Op { kind, rd, rs1, rs2 }
+        }
+        0x1B => {
+            let kind = match funct3 {
+                0b000 => AluKind::Add,
+                0b001 if funct7 == 0 => AluKind::Sll,
+                0b101 if funct7 == 0 => AluKind::Srl,
+                0b101 if funct7 == 0x20 => AluKind::Sra,
+                _ => return None,
+            };
+            let imm = match kind {
+                AluKind::Sll | AluKind::Srl | AluKind::Sra => bits(word, 24, 20) as i64,
+                _ => imm_i,
+            };
+            Instr::OpImm32 { kind, rd, rs1, imm }
+        }
+        0x3B => {
+            let kind = match (funct7, funct3) {
+                (0x00, 0b000) => AluKind::Add,
+                (0x20, 0b000) => AluKind::Sub,
+                (0x00, 0b001) => AluKind::Sll,
+                (0x00, 0b101) => AluKind::Srl,
+                (0x20, 0b101) => AluKind::Sra,
+                (0x01, 0b000) => AluKind::Mul,
+                _ => return None,
+            };
+            Instr::Op32 { kind, rd, rs1, rs2 }
+        }
+        0x73 if word == 0x0000_0073 => Instr::Ecall,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    #[test]
+    fn decode_round_trips_the_assembler() {
+        let cases = [
+            (asm::lui(5, 0x12345), Instr::Lui { rd: 5, imm: 0x12345 << 12 }),
+            (asm::addi(1, 2, -7), Instr::OpImm { kind: AluKind::Add, rd: 1, rs1: 2, imm: -7 }),
+            (asm::add(3, 4, 5), Instr::Op { kind: AluKind::Add, rd: 3, rs1: 4, rs2: 5 }),
+            (asm::sub(3, 4, 5), Instr::Op { kind: AluKind::Sub, rd: 3, rs1: 4, rs2: 5 }),
+            (asm::mul(6, 7, 8), Instr::Op { kind: AluKind::Mul, rd: 6, rs1: 7, rs2: 8 }),
+            (asm::slli(9, 9, 3), Instr::OpImm { kind: AluKind::Sll, rd: 9, rs1: 9, imm: 3 }),
+            (asm::srli(9, 9, 63), Instr::OpImm { kind: AluKind::Srl, rd: 9, rs1: 9, imm: 63 }),
+            (
+                asm::ld(10, 11, 16),
+                Instr::Load { kind: LoadKind::Ld, rd: 10, rs1: 11, offset: 16 },
+            ),
+            (
+                asm::sd(11, 12, -8),
+                Instr::Store { kind: StoreKind::Sd, rs1: 11, rs2: 12, offset: -8 },
+            ),
+            (
+                asm::beq(1, 2, -16),
+                Instr::Branch { kind: BranchKind::Eq, rs1: 1, rs2: 2, offset: -16 },
+            ),
+            (
+                asm::bltu(1, 2, 32),
+                Instr::Branch { kind: BranchKind::Ltu, rs1: 1, rs2: 2, offset: 32 },
+            ),
+            (asm::jal(1, 2048), Instr::Jal { rd: 1, offset: 2048 }),
+            (asm::jalr(0, 1, 0), Instr::Jalr { rd: 0, rs1: 1, offset: 0 }),
+            (asm::ecall(), Instr::Ecall),
+        ];
+        for (word, expected) in cases {
+            assert_eq!(decode(word), Some(expected), "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        let prog = [
+            asm::addi(1, 0, 100),
+            asm::ld(2, 1, 16),
+            asm::sd(1, 2, -8),
+            asm::bne(1, 2, -4),
+            asm::mulw(3, 1, 2),
+            asm::ecall(),
+            0xFFFF_FFFF,
+        ];
+        let text = disassemble(0x1000, &prog);
+        assert!(text.contains("0x001000: addi x1, x0, 100"));
+        assert!(text.contains("ld x2, 16(x1)"));
+        assert!(text.contains("sd x2, -8(x1)"), "{text}");
+        assert!(text.contains("bne x1, x2, -4"));
+        assert!(text.contains("mulw x3, x1, x2"));
+        assert!(text.contains("ecall"));
+        assert!(text.contains(".word 0xffffffff"));
+    }
+
+    #[test]
+    fn unknown_encodings_are_rejected() {
+        assert_eq!(decode(0xFFFF_FFFF), None);
+        assert_eq!(decode(0), None);
+    }
+
+    #[test]
+    fn access_widths() {
+        assert_eq!(LoadKind::Ld.bytes(), 8);
+        assert_eq!(LoadKind::Lw.bytes(), 4);
+        assert_eq!(LoadKind::Lbu.bytes(), 1);
+        assert_eq!(StoreKind::Sd.bytes(), 8);
+        assert_eq!(StoreKind::Sh.bytes(), 2);
+    }
+}

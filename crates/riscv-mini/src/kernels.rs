@@ -1,0 +1,367 @@
+//! Hand-assembled RISC-V kernels: the inner loops of the benchmarks the
+//! paper traces, runnable on the [`crate::Cpu`] to produce *real*
+//! instruction-driven memory access streams.
+//!
+//! Register conventions (set with [`crate::Cpu::set_reg`] before
+//! running): `x10..x13` carry the kernel arguments listed per function.
+
+use crate::asm::*;
+use crate::cpu::{Cpu, MemEvent};
+use crate::mem::FlatMemory;
+
+/// STREAM triad: `a[i] = b[i] + 3*c[i]` for `i in 0..n`.
+/// Arguments: x10 = &a, x11 = &b, x12 = &c, x13 = n.
+pub fn stream_triad() -> Vec<u32> {
+    vec![
+        addi(14, 0, 0),  // i = 0
+        addi(15, 0, 3),  // scalar
+        // loop:
+        ld(16, 11, 0),   // b[i]
+        ld(17, 12, 0),   // c[i]
+        mul(17, 17, 15),
+        add(16, 16, 17),
+        sd(10, 16, 0),   // a[i] = ...
+        addi(10, 10, 8),
+        addi(11, 11, 8),
+        addi(12, 12, 8),
+        addi(14, 14, 1),
+        bne(14, 13, -36),
+        ecall(),
+    ]
+}
+
+/// Gather/scatter: `y[idx[i]] = x[idx[i]]` for `i in 0..n`.
+/// Arguments: x10 = &idx (u64 indices), x11 = &x, x12 = &y, x13 = n.
+pub fn gather_scatter() -> Vec<u32> {
+    vec![
+        addi(14, 0, 0),
+        // loop:
+        ld(15, 10, 0),   // idx[i]
+        slli(16, 15, 3), // byte offset
+        add(17, 11, 16),
+        ld(18, 17, 0),   // x[idx]
+        add(19, 12, 16),
+        sd(19, 18, 0),   // y[idx] = x[idx]
+        addi(10, 10, 8),
+        addi(14, 14, 1),
+        bne(14, 13, -32),
+        ecall(),
+    ]
+}
+
+/// Pointer chase: follow `n` links of a linked list.
+/// Arguments: x10 = head, x13 = n. Leaves the final pointer in x10.
+pub fn pointer_chase() -> Vec<u32> {
+    vec![
+        addi(14, 0, 0),
+        // loop:
+        ld(10, 10, 0),
+        addi(14, 14, 1),
+        bne(14, 13, -8),
+        ecall(),
+    ]
+}
+
+/// 1-D 3-point stencil: `out[i] = in[i-1] + in[i] + in[i+1]`.
+/// Arguments: x10 = &out, x11 = &in (element 1 onward is computed),
+/// x13 = n interior elements.
+pub fn stencil3() -> Vec<u32> {
+    vec![
+        addi(14, 0, 0),
+        // loop: in[i-1], in[i], in[i+1] relative to x11 (points at i).
+        ld(15, 11, -8),
+        ld(16, 11, 0),
+        ld(17, 11, 8),
+        add(15, 15, 16),
+        add(15, 15, 17),
+        sd(10, 15, 0),
+        addi(10, 10, 8),
+        addi(11, 11, 8),
+        addi(14, 14, 1),
+        bne(14, 13, -36),
+        ecall(),
+    ]
+}
+
+/// Sparse matrix-vector product over CSR: for each row `r`,
+/// `y[r] = Σ val[k] * x[col[k]]` for `k in rowptr[r]..rowptr[r+1]`.
+/// The CG/HPCG inner loop: unit-stride walks of `val`/`col` mixed with
+/// data-dependent gathers of `x`.
+/// Arguments: x10 = &rowptr (u64, nrows+1 entries), x11 = &col (u64),
+/// x12 = &val (u64), x13 = &x, x14 = &y, x15 = nrows.
+pub fn spmv_csr() -> Vec<u32> {
+    vec![
+        addi(20, 0, 0),   // r = 0
+        ld(21, 10, 0),    // k = rowptr[r]
+        // row loop:
+        ld(22, 10, 8),    // end = rowptr[r+1]
+        addi(23, 0, 0),   // acc = 0
+        beq(21, 22, 52),  // empty row -> store
+        // inner loop:
+        slli(24, 21, 3),
+        add(25, 11, 24),
+        ld(26, 25, 0),    // col[k]
+        add(25, 12, 24),
+        ld(27, 25, 0),    // val[k]
+        slli(26, 26, 3),
+        add(26, 13, 26),
+        ld(26, 26, 0),    // x[col[k]]
+        mul(27, 27, 26),
+        add(23, 23, 27),  // acc += val*x
+        addi(21, 21, 1),
+        bne(21, 22, -44),
+        // store:
+        sd(14, 23, 0),    // y[r] = acc
+        addi(14, 14, 8),
+        addi(10, 10, 8),
+        addi(20, 20, 1),
+        bne(20, 15, -76),
+        ecall(),
+    ]
+}
+
+/// Histogram: `hist[key[i]] += 1` for `i in 0..n` — the data-dependent
+/// read-modify-write pattern of SSCA2's betweenness updates (executed
+/// here without atomics; the synthetic SSCA2 generator adds the atomic
+/// flag).
+/// Arguments: x10 = &key (u64), x11 = &hist (u64 bins), x13 = n.
+pub fn histogram() -> Vec<u32> {
+    vec![
+        addi(14, 0, 0),
+        // loop:
+        ld(15, 10, 0),    // key[i]
+        slli(15, 15, 3),
+        add(15, 11, 15),
+        ld(16, 15, 0),    // hist[key]
+        addi(16, 16, 1),
+        sd(15, 16, 0),    // hist[key] += 1
+        addi(10, 10, 8),
+        addi(14, 14, 1),
+        bne(14, 13, -32),
+        ecall(),
+    ]
+}
+
+/// Run a kernel to completion and return (cpu, data-access trace).
+pub fn run_kernel(
+    program: &[u32],
+    args: &[(u8, u64)],
+    setup: impl FnOnce(&mut FlatMemory),
+    fuel: u64,
+) -> (Cpu, Vec<MemEvent>) {
+    let mut mem = FlatMemory::new();
+    setup(&mut mem);
+    let mut cpu = Cpu::new(mem);
+    cpu.load_program(0x1_0000, program);
+    for &(reg, val) in args {
+        cpu.set_reg(reg, val);
+    }
+    cpu.run(fuel).expect("kernel completes");
+    let trace = std::mem::take(&mut cpu.trace);
+    (cpu, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: u64 = 0x10_0000;
+    const B: u64 = 0x20_0000;
+    const C: u64 = 0x30_0000;
+
+    #[test]
+    fn triad_computes_and_streams() {
+        let n = 64u64;
+        let (mut cpu, trace) = run_kernel(
+            &stream_triad(),
+            &[(10, A), (11, B), (12, C), (13, n)],
+            |mem| {
+                for i in 0..n {
+                    mem.store(B + i * 8, 8, i);
+                    mem.store(C + i * 8, 8, 100 + i);
+                }
+            },
+            1_000_000,
+        );
+        for i in 0..n {
+            assert_eq!(cpu.mem().load(A + i * 8, 8), i + 3 * (100 + i), "a[{i}]");
+        }
+        // 2 loads + 1 store per element, in order, unit stride.
+        assert_eq!(trace.len(), 3 * n as usize);
+        let stores: Vec<&MemEvent> = trace.iter().filter(|e| e.is_store).collect();
+        assert_eq!(stores.len(), n as usize);
+        assert!(stores.windows(2).all(|w| w[1].addr == w[0].addr + 8));
+    }
+
+    #[test]
+    fn gather_follows_indices() {
+        let n = 32u64;
+        let idx_base = 0x40_0000;
+        let (mut cpu, trace) = run_kernel(
+            &gather_scatter(),
+            &[(10, idx_base), (11, B), (12, C), (13, n)],
+            |mem| {
+                for i in 0..n {
+                    let idx = (i * 7) % n;
+                    mem.store(idx_base + i * 8, 8, idx);
+                    mem.store(B + idx * 8, 8, 1000 + idx);
+                }
+            },
+            1_000_000,
+        );
+        for i in 0..n {
+            let idx = (i * 7) % n;
+            assert_eq!(cpu.mem().load(C + idx * 8, 8), 1000 + idx);
+        }
+        // idx load + gather load + scatter store per element.
+        assert_eq!(trace.len(), 3 * n as usize);
+        // Gather addresses jump around; idx loads are sequential.
+        let idx_loads: Vec<u64> = trace
+            .iter()
+            .filter(|e| !e.is_store && e.addr >= idx_base && e.addr < idx_base + n * 8)
+            .map(|e| e.addr)
+            .collect();
+        assert_eq!(idx_loads.len(), n as usize);
+        assert!(idx_loads.windows(2).all(|w| w[1] == w[0] + 8));
+    }
+
+    #[test]
+    fn pointer_chase_visits_the_chain() {
+        let n = 16u64;
+        let base = 0x50_0000;
+        let (cpu, trace) = run_kernel(
+            &pointer_chase(),
+            &[(10, base), (13, n)],
+            |mem| {
+                // Each node points 4 KB ahead (one page per hop).
+                for i in 0..=n {
+                    mem.store(base + i * 4096, 8, base + (i + 1) * 4096);
+                }
+            },
+            100_000,
+        );
+        assert_eq!(cpu.reg(10), base + n * 4096);
+        assert_eq!(trace.len(), n as usize);
+        // Every hop lands in a fresh page: zero line adjacency.
+        assert!(trace.windows(2).all(|w| w[1].addr - w[0].addr == 4096));
+    }
+
+    #[test]
+    fn stencil_sums_neighborhoods() {
+        let n = 32u64;
+        let (mut cpu, trace) = run_kernel(
+            &stencil3(),
+            &[(10, A), (11, B + 8), (13, n)],
+            |mem| {
+                for i in 0..n + 2 {
+                    mem.store(B + i * 8, 8, i);
+                }
+            },
+            100_000,
+        );
+        for i in 0..n {
+            // out[i] = (i) + (i+1) + (i+2)
+            assert_eq!(cpu.mem().load(A + i * 8, 8), 3 * i + 3, "out[{i}]");
+        }
+        // Three loads + one store per point.
+        assert_eq!(trace.len(), 4 * n as usize);
+    }
+
+    #[test]
+    fn spmv_csr_computes_a_known_product() {
+        // 3x3 matrix in CSR:
+        //   [2 0 1]       x = [1, 10, 100]
+        //   [0 0 0]   =>  y = [102, 0, 3*10 + 4*100 = 430]
+        //   [0 3 4]
+        let rowptr = 0x10_0000u64;
+        let col = 0x20_0000u64;
+        let val = 0x30_0000u64;
+        let x = 0x40_0000u64;
+        let y = 0x50_0000u64;
+        let (mut cpu, trace) = run_kernel(
+            &spmv_csr(),
+            &[(10, rowptr), (11, col), (12, val), (13, x), (14, y), (15, 3)],
+            |mem| {
+                for (i, v) in [0u64, 2, 2, 4].iter().enumerate() {
+                    mem.store(rowptr + i as u64 * 8, 8, *v);
+                }
+                for (i, (c, v)) in [(0u64, 2u64), (2, 1), (1, 3), (2, 4)].iter().enumerate() {
+                    mem.store(col + i as u64 * 8, 8, *c);
+                    mem.store(val + i as u64 * 8, 8, *v);
+                }
+                for (i, v) in [1u64, 10, 100].iter().enumerate() {
+                    mem.store(x + i as u64 * 8, 8, *v);
+                }
+            },
+            100_000,
+        );
+        assert_eq!(cpu.mem().load(y, 8), 102);
+        assert_eq!(cpu.mem().load(y + 8, 8), 0);
+        assert_eq!(cpu.mem().load(y + 16, 8), 430);
+        // Per nonzero: col + val + x loads; per row: 2 rowptr loads + 1
+        // store (rowptr[r] is re-read as the previous row's end).
+        let loads = trace.iter().filter(|e| !e.is_store).count();
+        let stores = trace.iter().filter(|e| e.is_store).count();
+        assert_eq!(stores, 3);
+        assert_eq!(loads, 3 * 4 + 3 + 1);
+    }
+
+    #[test]
+    fn histogram_counts_every_key() {
+        let n = 64u64;
+        let key = 0x10_0000u64;
+        let hist = 0x20_0000u64;
+        let (mut cpu, trace) = run_kernel(
+            &histogram(),
+            &[(10, key), (11, hist), (13, n)],
+            |mem| {
+                for i in 0..n {
+                    mem.store(key + i * 8, 8, (i * i) % 8);
+                }
+            },
+            100_000,
+        );
+        let mut expect = [0u64; 8];
+        for i in 0..n {
+            expect[((i * i) % 8) as usize] += 1;
+        }
+        for (bin, &count) in expect.iter().enumerate() {
+            assert_eq!(cpu.mem().load(hist + bin as u64 * 8, 8), count, "bin {bin}");
+        }
+        // key load + bin load + bin store per element.
+        assert_eq!(trace.len(), 3 * n as usize);
+        // The bin lines are heavily reused: few distinct store lines.
+        let lines: std::collections::HashSet<u64> =
+            trace.iter().filter(|e| e.is_store).map(|e| e.addr & !63).collect();
+        assert!(lines.len() <= 2, "8 bins fit in one or two lines");
+    }
+
+    #[test]
+    fn spmv_handles_leading_and_trailing_empty_rows() {
+        // rowptr = [0,0,1,1]: only row 1 has a nonzero.
+        let rowptr = 0x10_0000u64;
+        let (mut cpu, _) = run_kernel(
+            &spmv_csr(),
+            &[(10, rowptr), (11, 0x20_0000), (12, 0x30_0000), (13, 0x40_0000), (14, 0x50_0000), (15, 3)],
+            |mem| {
+                for (i, v) in [0u64, 0, 1, 1].iter().enumerate() {
+                    mem.store(rowptr + i as u64 * 8, 8, *v);
+                }
+                mem.store(0x20_0000, 8, 0); // col[0] = 0
+                mem.store(0x30_0000, 8, 7); // val[0] = 7
+                mem.store(0x40_0000, 8, 6); // x[0] = 6
+            },
+            100_000,
+        );
+        assert_eq!(cpu.mem().load(0x50_0000, 8), 0);
+        assert_eq!(cpu.mem().load(0x50_0000 + 8, 8), 42);
+        assert_eq!(cpu.mem().load(0x50_0000 + 16, 8), 0);
+    }
+
+    #[test]
+    fn instret_scales_with_work() {
+        let small = run_kernel(&stream_triad(), &[(10, A), (11, B), (12, C), (13, 8)], |_| {}, 10_000).0.instret;
+        let large = run_kernel(&stream_triad(), &[(10, A), (11, B), (12, C), (13, 80)], |_| {}, 10_000).0.instret;
+        assert!(large > 9 * small && large < 11 * small, "{small} vs {large}");
+    }
+}

@@ -1,0 +1,36 @@
+//! A small RV64IM interpreter with memory-access tracing.
+//!
+//! The paper's evaluation runs real benchmarks on Spike (the RISC-V ISA
+//! simulator) and traces their raw memory requests (Sec 5.1). This
+//! crate is the from-scratch stand-in for that substrate: enough of
+//! RV64IM to execute hand-assembled kernels cycle by cycle, recording
+//! every data memory access. The [`kernels`] module provides RISC-V
+//! implementations of representative inner loops (STREAM triad,
+//! gather/scatter, pointer chase), and the workspace's tests compare
+//! their *executed* access streams against the synthetic generators in
+//! `pac-workloads` — validating that the generators reproduce what real
+//! compiled code does to the memory system.
+//!
+//! # Example
+//!
+//! ```
+//! use riscv_mini::asm::*;
+//! use riscv_mini::{Cpu, FlatMemory};
+//!
+//! // x3 = 5 + 37
+//! let prog = [addi(3, 0, 5), addi(3, 3, 37), ecall()];
+//! let mut cpu = Cpu::new(FlatMemory::new());
+//! cpu.load_program(0x1000, &prog);
+//! cpu.run(100).unwrap();
+//! assert_eq!(cpu.reg(3), 42);
+//! ```
+
+pub mod asm;
+pub mod cpu;
+pub mod isa;
+pub mod kernels;
+pub mod mem;
+
+pub use cpu::{Cpu, ExecError, MemEvent};
+pub use isa::{disassemble, Instr};
+pub use mem::FlatMemory;

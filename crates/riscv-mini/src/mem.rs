@@ -1,0 +1,83 @@
+//! Sparse flat memory backing the interpreter.
+
+use std::collections::HashMap;
+
+const PAGE: u64 = 4096;
+
+/// Byte-addressable sparse memory (4 KB pages allocated on touch).
+#[derive(Debug, Default)]
+pub struct FlatMemory {
+    pages: HashMap<u64, Box<[u8; PAGE as usize]>>,
+}
+
+impl FlatMemory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page(&mut self, addr: u64) -> &mut [u8; PAGE as usize] {
+        self.pages.entry(addr / PAGE).or_insert_with(|| Box::new([0; PAGE as usize]))
+    }
+
+    /// Read `bytes` (1/2/4/8) little-endian. Unaligned and page-spanning
+    /// accesses are supported (handled bytewise).
+    pub fn load(&mut self, addr: u64, bytes: u32) -> u64 {
+        let mut v = 0u64;
+        for i in (0..bytes as u64).rev() {
+            let a = addr + i;
+            let byte = self.page(a)[(a % PAGE) as usize];
+            v = (v << 8) | byte as u64;
+        }
+        v
+    }
+
+    /// Write the low `bytes` of `value` little-endian.
+    pub fn store(&mut self, addr: u64, bytes: u32, value: u64) {
+        for i in 0..bytes as u64 {
+            let a = addr + i;
+            self.page(a)[(a % PAGE) as usize] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// Pages currently allocated.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = FlatMemory::new();
+        m.store(0x1000, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.load(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.load(0x1000, 4), 0x5566_7788);
+        assert_eq!(m.load(0x1004, 4), 0x1122_3344);
+        assert_eq!(m.load(0x1000, 1), 0x88);
+    }
+
+    #[test]
+    fn uninitialized_memory_reads_zero() {
+        let mut m = FlatMemory::new();
+        assert_eq!(m.load(0xDEAD_BEEF, 8), 0);
+    }
+
+    #[test]
+    fn page_spanning_access() {
+        let mut m = FlatMemory::new();
+        m.store(PAGE - 4, 8, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.load(PAGE - 4, 8), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_store_preserves_neighbors() {
+        let mut m = FlatMemory::new();
+        m.store(0x100, 8, u64::MAX);
+        m.store(0x102, 2, 0);
+        assert_eq!(m.load(0x100, 8), 0xFFFF_FFFF_0000_FFFF);
+    }
+}

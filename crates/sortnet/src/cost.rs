@@ -1,0 +1,59 @@
+//! Closed-form comparator counts and the buffer-space model of Fig 11a.
+
+/// Comparators in a bitonic sorting network of width `n = 2^p`:
+/// `n/4 · p · (p + 1)`.
+pub fn bitonic_comparator_count(n: usize) -> usize {
+    assert!(n.is_power_of_two());
+    let p = n.trailing_zeros() as usize;
+    n * p * (p + 1) / 4
+}
+
+/// Comparators in an odd-even merge sorting network of width `n = 2^p`:
+/// `(p² − p + 4)·2^(p−2) − 1` (for `p >= 2`; 1 for `n = 2`).
+pub fn odd_even_comparator_count(n: usize) -> usize {
+    assert!(n.is_power_of_two());
+    let p = n.trailing_zeros() as usize;
+    match p {
+        0 => 0,
+        1 => 1,
+        _ => (p * p - p + 4) * (1 << (p - 2)) - 1,
+    }
+}
+
+/// Buffer space of a sorting-network coalescer: every comparator buffers
+/// its two 16 B request slots (how Fig 11a prices the networks: 80
+/// comparators at N=16 → 2560 B bitonic, 63 → 2016 B odd-even).
+pub fn buffer_bytes(comparators: usize) -> usize {
+    comparators * 2 * 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{bitonic_network, odd_even_merge_network};
+
+    #[test]
+    fn formulas_match_constructions() {
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            assert_eq!(bitonic_comparator_count(n), bitonic_network(n).len(), "bitonic n={n}");
+            assert_eq!(
+                odd_even_comparator_count(n),
+                odd_even_merge_network(n).len(),
+                "odd-even n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_buffer_sizes_at_width_16() {
+        // Fig 11a / Sec 5.3.3: 2560B and 2016B at N=16.
+        assert_eq!(buffer_bytes(bitonic_comparator_count(16)), 2560);
+        assert_eq!(buffer_bytes(odd_even_comparator_count(16)), 2016);
+    }
+
+    #[test]
+    fn paper_comparator_counts_at_width_64() {
+        assert_eq!(bitonic_comparator_count(64), 672);
+        assert_eq!(odd_even_comparator_count(64), 543);
+    }
+}

@@ -1,0 +1,34 @@
+//! Parallel sorting networks — the hardware-coalescing baseline PAC is
+//! compared against.
+//!
+//! Wang et al.'s earlier HMC coalescer (ICPP '18, cited as \[32] in the
+//! paper) sorts raw requests by physical address with a parallel sorting
+//! network and then merges adjacent entries. The paper's Fig 11a compares
+//! PAC's comparator count and buffer space against **bitonic** and
+//! **odd-even merge** networks; Fig 7 counts the comparisons PAC avoids
+//! relative to such sorting-based coalescing.
+//!
+//! This crate provides both networks as explicit comparator schedules
+//! ([`bitonic_network`], [`odd_even_merge_network`]), a functional
+//! applicator ([`apply_network`]) so correctness is testable on real
+//! data, closed-form comparator counts matching the classic formulas,
+//! and the buffer-space model used by the figure (each comparator
+//! buffers two 16 B request slots).
+
+//! # Example
+//!
+//! ```
+//! use sortnet::{apply_network, bitonic_network, bitonic_comparator_count};
+//!
+//! let net = bitonic_network(16);
+//! assert_eq!(net.len(), bitonic_comparator_count(16)); // 80, as in Fig 11a
+//! let mut v: Vec<u32> = (0..16).rev().collect();
+//! apply_network(&net, &mut v);
+//! assert!(v.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+
+pub mod cost;
+pub mod network;
+
+pub use cost::{bitonic_comparator_count, buffer_bytes, odd_even_comparator_count};
+pub use network::{apply_network, bitonic_network, odd_even_merge_network, Comparator};

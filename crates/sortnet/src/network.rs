@@ -1,0 +1,158 @@
+//! Comparator-schedule construction and functional application.
+
+/// One compare-exchange element: after it fires, `v[lo] <= v[hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparator {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+/// Batcher's bitonic sorting network for `n` inputs (`n` a power of two).
+/// Comparator count: `n/4 · log n · (log n + 1)`.
+pub fn bitonic_network(n: usize) -> Vec<Comparator> {
+    assert!(n.is_power_of_two(), "bitonic network needs a power-of-two width");
+    let mut out = Vec::new();
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    if i & k == 0 {
+                        out.push(Comparator { lo: i, hi: l });
+                    } else {
+                        out.push(Comparator { lo: l, hi: i });
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    out
+}
+
+/// Batcher's odd-even merge sorting network for `n` inputs (`n` a power
+/// of two). Comparator count for `n = 2^p`: `(p² − p + 4)·2^(p−2) − 1`.
+pub fn odd_even_merge_network(n: usize) -> Vec<Comparator> {
+    assert!(n.is_power_of_two(), "odd-even merge network needs a power-of-two width");
+    let mut out = Vec::new();
+    let mut p = 1;
+    while p < n {
+        let mut k = p;
+        while k >= 1 {
+            let mut j = k % p;
+            while j + k < n {
+                for i in 0..k {
+                    let a = i + j;
+                    let b = i + j + k;
+                    if b < n && a / (2 * p) == b / (2 * p) {
+                        out.push(Comparator { lo: a, hi: b });
+                    }
+                }
+                j += 2 * k;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    out
+}
+
+/// Apply a comparator schedule to `values` in place, returning the number
+/// of compare-exchange operations performed (every comparator fires —
+/// sorting networks are data-oblivious).
+pub fn apply_network<T: Ord>(network: &[Comparator], values: &mut [T]) -> u64 {
+    for c in network {
+        if values[c.lo] > values[c.hi] {
+            values.swap(c.lo, c.hi);
+        }
+    }
+    network.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorts_everything(net: &[Comparator], n: usize) {
+        // Zero-one principle would suffice, but exhaustive 0/1 vectors
+        // for n<=16 are cheap and decisive.
+        if n <= 16 {
+            for bits in 0u32..1 << n {
+                let mut v: Vec<u32> = (0..n).map(|i| bits >> i & 1).collect();
+                apply_network(net, &mut v);
+                assert!(v.windows(2).all(|w| w[0] <= w[1]), "n={n} bits={bits:b}");
+            }
+        } else {
+            // Deterministic pseudo-random vectors for larger widths.
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for _ in 0..200 {
+                let mut v: Vec<u64> = (0..n)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x
+                    })
+                    .collect();
+                apply_network(net, &mut v);
+                assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn bitonic_sorts_small_widths() {
+        for n in [2, 4, 8, 16] {
+            sorts_everything(&bitonic_network(n), n);
+        }
+    }
+
+    #[test]
+    fn bitonic_sorts_width_64() {
+        sorts_everything(&bitonic_network(64), 64);
+    }
+
+    #[test]
+    fn odd_even_sorts_small_widths() {
+        for n in [2, 4, 8, 16] {
+            sorts_everything(&odd_even_merge_network(n), n);
+        }
+    }
+
+    #[test]
+    fn odd_even_sorts_width_64() {
+        sorts_everything(&odd_even_merge_network(64), 64);
+    }
+
+    #[test]
+    fn bitonic_counts_match_formula() {
+        // Fig 11a: 672 comparators at N=64.
+        assert_eq!(bitonic_network(4).len(), 6);
+        assert_eq!(bitonic_network(16).len(), 80);
+        assert_eq!(bitonic_network(64).len(), 672);
+    }
+
+    #[test]
+    fn odd_even_counts_match_formula() {
+        // Fig 11a: 543 comparators at N=64.
+        assert_eq!(odd_even_merge_network(4).len(), 5);
+        assert_eq!(odd_even_merge_network(16).len(), 63);
+        assert_eq!(odd_even_merge_network(64).len(), 543);
+    }
+
+    #[test]
+    fn apply_counts_every_comparator() {
+        let net = bitonic_network(8);
+        let mut v = vec![7u32, 6, 5, 4, 3, 2, 1, 0];
+        assert_eq!(apply_network(&net, &mut v), net.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        bitonic_network(6);
+    }
+}

@@ -1,0 +1,46 @@
+//! The Fig 6b experiment: how multiprocessing dilutes coalescing.
+//!
+//! Two processes bound to disjoint core halves run different benchmarks
+//! with disjoint physical pages. Their interleaved miss streams reduce
+//! the page locality visible to the shared coalescer; the paper shows
+//! MSHR-based DMC losing half its efficiency while PAC degrades only
+//! mildly thanks to page-granular stream separation.
+//!
+//! Run with: `cargo run --release --example multiprocessing`
+
+use pac_repro::sim::{replay, run_bench, run_pair, CoalescerKind, ExperimentConfig};
+use pac_repro::workloads::Bench;
+
+fn main() {
+    let cfg = ExperimentConfig {
+        accesses_per_core: 25_000,
+        capture_trace: true,
+        ..Default::default()
+    };
+    let pairs = [(Bench::Ep, Bench::Hpcg), (Bench::Mg, Bench::Ssca2), (Bench::Gs, Bench::Bfs)];
+
+    println!("coalescing efficiency (%): one process vs two processes sharing the chip\n");
+    println!("{:<18} {:>9} {:>9} {:>11}", "workload", "single", "paired", "degradation");
+    // The single-process reference runs on the same four cores its
+    // process occupies in the paired run, so the comparison isolates
+    // the interference effect.
+    let mut solo_cfg = cfg;
+    solo_cfg.sim.cores = cfg.sim.cores / 2;
+    for (a, b) in pairs {
+        let (_, solo_trace) = run_bench(a, CoalescerKind::Raw, &solo_cfg);
+        let solo = replay(&solo_trace, CoalescerKind::Pac, &cfg.sim);
+
+        // Two processes: `a` on cores 0-3, `b` on cores 4-7.
+        let (_, pair_trace) = run_pair(a, b, CoalescerKind::Raw, &cfg);
+        let paired = replay(&pair_trace, CoalescerKind::Pac, &cfg.sim);
+
+        let s = solo.coalescing_efficiency * 100.0;
+        let p = paired.coalescing_efficiency * 100.0;
+        println!(
+            "{:<18} {s:>9.2} {p:>9.2} {:>10.2}%",
+            format!("{}+{}", a.name(), b.name()),
+            s - p
+        );
+    }
+    println!("\npaper averages (Fig 6b): PAC 44.21% -> 38.93%, DMC 28.39% -> 14.43%.");
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the PAC reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so that examples and
+//! integration tests can `use pac_repro::...` a single facade. Library
+//! users should depend on the individual crates directly.
+
+pub use cache_sim as cache;
+pub use hmc_sim as hmc;
+pub use pac_analysis as analysis;
+pub use pac_core as coalescer;
+pub use pac_sim as sim;
+pub use pac_types as types;
+pub use pac_vm as vm;
+pub use riscv_mini as riscv;
+pub use pac_workloads as workloads;
+pub use sortnet;

@@ -1,0 +1,196 @@
+//! Property-based tests over the core data structures and the
+//! end-to-end coalescing invariants.
+
+use pac_repro::coalescer::baseline::{MshrDmc, NoCoalescing};
+use pac_repro::coalescer::table::{runs_of, CoalescingTable};
+use pac_repro::coalescer::{MemoryCoalescer, PacCoalescer};
+use pac_repro::hmc::{Hmc, HmcRequest};
+use pac_repro::types::addr::block_addr;
+use pac_repro::types::{CoalescerConfig, HmcDeviceConfig, MemRequest, Op};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a short stream of raw requests over a handful of pages.
+fn raw_requests() -> impl Strategy<Value = Vec<(u64, u8, bool)>> {
+    // (page in 0..6, block in 0..64, is_store)
+    prop::collection::vec((0u64..6, 0u8..64, any::<bool>()), 1..120)
+}
+
+/// Drive any coalescer to completion over a request list; returns
+/// (dispatches, satisfied raw ids).
+fn drive(
+    coalescer: &mut dyn MemoryCoalescer,
+    reqs: &[(u64, u8, bool)],
+) -> (Vec<pac_repro::coalescer::DispatchedRequest>, Vec<u64>) {
+    let mut hmc = Hmc::new(HmcDeviceConfig::default());
+    let mut dispatches = Vec::new();
+    let mut all_dispatches = Vec::new();
+    let mut satisfied = Vec::new();
+    let mut responses = Vec::new();
+    let mut now = 0u64;
+    let mut i = 0usize;
+    let mut inflight = 0u64;
+    while i < reqs.len() || !coalescer.is_drained() || !hmc.is_idle() || inflight > 0 {
+        coalescer.hint_pending(reqs.len().saturating_sub(i + 1));
+        while i < reqs.len() {
+            let (page, block, store) = reqs[i];
+            let op = if store { Op::Store } else { Op::Load };
+            let mut r = MemRequest::miss(i as u64, block_addr(page + 0x100, block), op, 0, now);
+            r.op = op;
+            if coalescer.push_raw(r, now) {
+                inflight += 1;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        coalescer.tick(now, &mut dispatches);
+        for d in dispatches.drain(..) {
+            hmc.submit(
+                HmcRequest { id: d.dispatch_id, addr: d.addr, bytes: d.bytes, op: d.op },
+                now,
+            );
+            all_dispatches.push(d);
+        }
+        hmc.tick(now);
+        hmc.pop_responses(now, &mut responses);
+        for rsp in responses.drain(..) {
+            let before = satisfied.len();
+            coalescer.complete(rsp.id, now, &mut satisfied);
+            inflight -= (satisfied.len() - before) as u64;
+        }
+        now += 1;
+        if i >= reqs.len() {
+            coalescer.flush(now);
+        }
+        assert!(now < 2_000_000, "failed to converge");
+    }
+    (all_dispatches, satisfied)
+}
+
+proptest! {
+    /// Every raw request is satisfied exactly once, regardless of the
+    /// request mix — the fundamental correctness property of a
+    /// coalescer.
+    #[test]
+    fn pac_satisfies_every_raw_request_exactly_once(reqs in raw_requests()) {
+        let mut pac = PacCoalescer::new(CoalescerConfig::default());
+        let (_, satisfied) = drive(&mut pac, &reqs);
+        let ids: HashSet<u64> = satisfied.iter().copied().collect();
+        prop_assert_eq!(satisfied.len(), reqs.len(), "duplicate completions");
+        prop_assert_eq!(ids.len(), reqs.len(), "missing completions");
+    }
+
+    /// Same conservation law for the baselines.
+    #[test]
+    fn baselines_satisfy_every_raw_request(reqs in raw_requests()) {
+        let mut dmc = MshrDmc::new(16, 8);
+        let (_, s1) = drive(&mut dmc, &reqs);
+        prop_assert_eq!(s1.len(), reqs.len());
+        let mut raw = NoCoalescing::new(16);
+        let (_, s2) = drive(&mut raw, &reqs);
+        prop_assert_eq!(s2.len(), reqs.len());
+    }
+
+    /// Dispatched requests respect the protocol: line-aligned, between
+    /// 64B and 256B, and never spanning a 256B row boundary.
+    #[test]
+    fn pac_dispatches_respect_hmc_geometry(reqs in raw_requests()) {
+        let mut pac = PacCoalescer::new(CoalescerConfig::default());
+        let (dispatches, _) = drive(&mut pac, &reqs);
+        for d in dispatches {
+            prop_assert_eq!(d.addr % 64, 0);
+            prop_assert!(d.bytes >= 64 && d.bytes <= 256);
+            prop_assert_eq!(d.bytes % 64, 0);
+            let row = d.addr / 256;
+            prop_assert_eq!((d.addr + d.bytes - 1) / 256, row, "request spans a row");
+        }
+    }
+
+    /// PAC never dispatches more requests than arrived, and coalescing
+    /// efficiency stays within [0, 1).
+    #[test]
+    fn efficiency_is_well_formed(reqs in raw_requests()) {
+        let mut pac = PacCoalescer::new(CoalescerConfig::default());
+        let (dispatches, _) = drive(&mut pac, &reqs);
+        prop_assert!(dispatches.len() <= reqs.len());
+        let eff = pac.stats().coalescing_efficiency();
+        prop_assert!((0.0..1.0).contains(&eff));
+    }
+
+    /// The coalescing table's runs always reconstruct the pattern and
+    /// never overlap, for every width/cap combination.
+    #[test]
+    fn table_runs_partition_patterns(pattern in 0u16.., width in 1u32..=16, cap in 1u32..=16) {
+        let pattern = pattern & ((1u32 << width) - 1) as u16;
+        let runs = runs_of(pattern, width, cap);
+        let mut rebuilt = 0u16;
+        for r in &runs {
+            prop_assert!(r.len as u32 <= cap);
+            for b in r.start..r.start + r.len {
+                prop_assert_eq!(rebuilt >> b & 1, 0, "overlapping runs");
+                rebuilt |= 1 << b;
+            }
+        }
+        prop_assert_eq!(rebuilt, pattern);
+    }
+
+    /// Table lookup agrees with direct computation for every pattern.
+    #[test]
+    fn table_lookup_matches_runs_of(width in 1u32..=8, cap in 1u32..=8) {
+        let mut t = CoalescingTable::new(width, cap);
+        for p in 0..(1u32 << width) as u16 {
+            prop_assert_eq!(t.lookup(p).to_vec(), runs_of(p, width, cap));
+        }
+    }
+
+    /// The HMC device answers every request it accepts, in completion
+    /// order, with positive latency.
+    #[test]
+    fn hmc_conserves_requests(addrs in prop::collection::vec(0u64..(1 << 26), 1..200)) {
+        let mut hmc = Hmc::new(HmcDeviceConfig::default());
+        for (i, a) in addrs.iter().enumerate() {
+            hmc.submit(
+                HmcRequest { id: i as u64, addr: a & !63, bytes: 64, op: Op::Load },
+                i as u64,
+            );
+        }
+        let (rsps, _) = hmc.drain(addrs.len() as u64);
+        prop_assert_eq!(rsps.len(), addrs.len());
+        let ids: HashSet<u64> = rsps.iter().map(|r| r.id).collect();
+        prop_assert_eq!(ids.len(), addrs.len());
+        prop_assert!(rsps.windows(2).all(|w| w[0].complete_cycle <= w[1].complete_cycle));
+        prop_assert!(rsps.iter().all(|r| r.latency() > 0));
+    }
+
+    /// Sorting networks sort arbitrary data (beyond the 0/1 principle
+    /// tests in the crate itself).
+    #[test]
+    fn networks_sort_arbitrary_values(mut v in prop::collection::vec(any::<u32>(), 1..64)) {
+        let n = v.len().next_power_of_two();
+        v.resize(n, u32::MAX);
+        let mut bitonic = v.clone();
+        sortnet::apply_network(&sortnet::bitonic_network(n), &mut bitonic);
+        prop_assert!(bitonic.windows(2).all(|w| w[0] <= w[1]));
+        let mut oem = v.clone();
+        sortnet::apply_network(&sortnet::odd_even_merge_network(n), &mut oem);
+        prop_assert_eq!(bitonic, oem);
+    }
+
+    /// DBSCAN invariants: points in the same cluster are chained within
+    /// eps; cluster member counts sum to total minus noise.
+    #[test]
+    fn dbscan_partitions_points(points in prop::collection::vec(0u64..(1 << 20), 1..150)) {
+        let (labels, summary) = pac_repro::analysis::dbscan_1d(&points, 4096, 4);
+        prop_assert_eq!(labels.len(), points.len());
+        let member_sum: usize = summary.clusters.iter().map(|c| c.2).sum();
+        prop_assert_eq!(member_sum + summary.noise, summary.total);
+        // Every cluster's span is consistent with its members.
+        for (i, label) in labels.iter().enumerate() {
+            if let pac_repro::analysis::Label::Cluster(c) = label {
+                let (lo, hi, _) = summary.clusters[*c];
+                prop_assert!(points[i] >= lo && points[i] <= hi);
+            }
+        }
+    }
+}
