@@ -3,24 +3,18 @@
 
 use pac_types::CacheConfig;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LineState {
-    Invalid,
-    /// Fill requested but the memory response has not arrived; accesses
-    /// hit the tag but must still be forwarded downstream.
-    Filling,
-    Valid,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    state: LineState,
-    dirty: bool,
-    lru: u64,
-}
-
-const INVALID: Line = Line { tag: 0, state: LineState::Invalid, dirty: false, lru: 0 };
+/// Per-line state, packed with the tag and dirty bit into one word so a
+/// set scan touches a single contiguous array (`tags`): bits 1:0 hold
+/// the state, bit 2 the dirty flag, bits 63:3 the tag. The all-zero word
+/// is an invalid line (a legitimate tag 0 still encodes non-zero via its
+/// state bits), so a fresh cache is just zeroed memory.
+const ST_INVALID: u64 = 0;
+/// Fill requested but the memory response has not arrived; accesses
+/// hit the tag but must still be forwarded downstream.
+const ST_FILLING: u64 = 1;
+const ST_VALID: u64 = 2;
+const ST_MASK: u64 = 3;
+const DIRTY_BIT: u64 = 4;
 
 /// Status of a line under [`SetAssocCache::probe`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +42,10 @@ pub struct SetAssocCache {
     cfg: CacheConfig,
     sets: u64,
     ways: usize,
-    lines: Vec<Line>,
+    /// Packed tag/state/dirty words, `ways` consecutive entries per set.
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags` (touched only on hits and fills).
+    lru: Vec<u64>,
     clock: u64,
     /// Accesses and misses (for hit-rate reporting).
     pub accesses: u64,
@@ -64,7 +61,8 @@ impl SetAssocCache {
             cfg,
             sets,
             ways,
-            lines: vec![INVALID; (sets as usize) * ways],
+            tags: vec![0; (sets as usize) * ways],
+            lru: vec![0; (sets as usize) * ways],
             clock: 0,
             accesses: 0,
             misses: 0,
@@ -86,12 +84,12 @@ impl SetAssocCache {
         addr / self.cfg.line_bytes / self.sets
     }
 
-    fn set_slice(&mut self, set: usize) -> &mut [Line] {
-        &mut self.lines[set * self.ways..(set + 1) * self.ways]
-    }
-
     /// Access `addr`; `is_write` marks stores (sets dirty on hit/fill).
-    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+    /// `fill_state` is the state a started fill is installed with:
+    /// [`ST_FILLING`] for timed caches, [`ST_VALID`] for the immediate
+    /// mode, fusing what would otherwise be a second set scan in
+    /// [`Self::fill_complete`].
+    fn access_with(&mut self, addr: u64, is_write: bool, fill_state: u64) -> AccessOutcome {
         self.accesses += 1;
         self.clock += 1;
         let clock = self.clock;
@@ -102,18 +100,17 @@ impl SetAssocCache {
         let line_bytes = self.cfg.line_bytes;
 
         for i in base..base + self.ways {
-            let line = &mut self.lines[i];
-            if line.state != LineState::Invalid && line.tag == tag {
-                line.lru = clock;
-                line.dirty |= is_write;
-                let state = line.state;
-                return match state {
-                    LineState::Valid => AccessOutcome::Hit,
-                    LineState::Filling => {
-                        self.misses += 1;
-                        AccessOutcome::MissPending
-                    }
-                    LineState::Invalid => unreachable!(),
+            let e = self.tags[i];
+            if e & ST_MASK != ST_INVALID && e >> 3 == tag {
+                self.lru[i] = clock;
+                if is_write {
+                    self.tags[i] = e | DIRTY_BIT;
+                }
+                return if e & ST_MASK == ST_VALID {
+                    AccessOutcome::Hit
+                } else {
+                    self.misses += 1;
+                    AccessOutcome::MissPending
                 };
             }
         }
@@ -124,11 +121,11 @@ impl SetAssocCache {
         let mut victim: Option<usize> = None;
         let mut best = u64::MAX;
         for i in base..base + self.ways {
-            let line = &self.lines[i];
-            if line.state == LineState::Filling {
+            let st = self.tags[i] & ST_MASK;
+            if st == ST_FILLING {
                 continue;
             }
-            let key = if line.state == LineState::Invalid { 0 } else { line.lru };
+            let key = if st == ST_INVALID { 0 } else { self.lru[i] };
             if key < best {
                 best = key;
                 victim = Some(i);
@@ -138,24 +135,30 @@ impl SetAssocCache {
             // Every way is mid-fill: treat as a pending miss on the set.
             return AccessOutcome::MissPending;
         };
-        let v = &mut self.lines[i];
-        let writeback = (v.state == LineState::Valid && v.dirty)
+        let v = self.tags[i];
+        let writeback = (v & (ST_MASK | DIRTY_BIT) == ST_VALID | DIRTY_BIT)
             // Reconstruct the victim's address from its tag.
-            .then(|| (v.tag * sets + set as u64) * line_bytes);
-        *v = Line { tag, state: LineState::Filling, dirty: is_write, lru: clock };
+            .then(|| ((v >> 3) * sets + set as u64) * line_bytes);
+        self.tags[i] = tag << 3 | (is_write as u64) << 2 | fill_state;
+        self.lru[i] = clock;
         AccessOutcome::Miss { writeback }
+    }
+
+    /// Access `addr`; `is_write` marks stores (sets dirty on hit/fill).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.access_with(addr, is_write, ST_FILLING)
     }
 
     /// Non-mutating line status probe.
     pub fn probe(&self, addr: u64) -> LineStatus {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
-        for line in &self.lines[set * self.ways..(set + 1) * self.ways] {
-            if line.state != LineState::Invalid && line.tag == tag {
-                return match line.state {
-                    LineState::Valid => LineStatus::Valid,
-                    LineState::Filling => LineStatus::Filling,
-                    LineState::Invalid => unreachable!(),
+        for &e in &self.tags[set * self.ways..(set + 1) * self.ways] {
+            if e & ST_MASK != ST_INVALID && e >> 3 == tag {
+                return if e & ST_MASK == ST_VALID {
+                    LineStatus::Valid
+                } else {
+                    LineStatus::Filling
                 };
             }
         }
@@ -170,17 +173,16 @@ impl SetAssocCache {
         let clock = self.clock;
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
-        if let Some(line) = self
-            .set_slice(set)
-            .iter_mut()
-            .find(|l| l.state != LineState::Invalid && l.tag == tag)
-        {
-            line.dirty = true;
-            line.lru = clock;
-            true
-        } else {
-            false
+        let base = set * self.ways;
+        for i in base..base + self.ways {
+            let e = self.tags[i];
+            if e & ST_MASK != ST_INVALID && e >> 3 == tag {
+                self.tags[i] = e | DIRTY_BIT;
+                self.lru[i] = clock;
+                return true;
+            }
         }
+        false
     }
 
     /// Mark the fill of `addr`'s line complete. No-op if the line was
@@ -188,23 +190,20 @@ impl SetAssocCache {
     pub fn fill_complete(&mut self, addr: u64) {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
-        if let Some(line) = self
-            .set_slice(set)
-            .iter_mut()
-            .find(|l| l.state == LineState::Filling && l.tag == tag)
-        {
-            line.state = LineState::Valid;
+        let base = set * self.ways;
+        for i in base..base + self.ways {
+            let e = self.tags[i];
+            if e & ST_MASK == ST_FILLING && e >> 3 == tag {
+                self.tags[i] = (e & !ST_MASK) | ST_VALID;
+                return;
+            }
         }
     }
 
     /// Mark a line valid immediately (used by L1s, whose fill timing is
     /// subsumed by the downstream path).
     pub fn access_immediate(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
-        let out = self.access(addr, is_write);
-        if matches!(out, AccessOutcome::Miss { .. }) {
-            self.fill_complete(addr);
-        }
-        out
+        self.access_with(addr, is_write, ST_VALID)
     }
 
     /// Hit rate over the cache's lifetime.

@@ -51,6 +51,10 @@ impl HmcResponse {
     }
 }
 
+/// A finished response ordered by delivery cycle:
+/// `(complete, id, addr, bytes, is_store, submit_cycle)`.
+type CompletedEntry = (Cycle, u64, u64, u64, bool, Cycle);
+
 /// The HMC device model.
 #[derive(Debug)]
 pub struct Hmc {
@@ -62,7 +66,7 @@ pub struct Hmc {
     /// Round-robin pointer for link dispatch.
     rr: usize,
     vaults: Vec<Vault>,
-    completed: BinaryHeap<Reverse<(Cycle, u64, u64, u64, bool, Cycle)>>,
+    completed: BinaryHeap<Reverse<CompletedEntry>>,
     /// DRAM accesses done, waiting for their data-ready time before
     /// claiming a return-link slot (keyed by data_ready, then a tie
     /// sequence for determinism).
@@ -70,6 +74,23 @@ pub struct Hmc {
     pending_seq: u64,
     pending_store: std::collections::HashMap<u64, ReadyResponse>,
     inflight: usize,
+    /// Bitset of vaults with a non-empty queue; `tick` visits only these
+    /// (in ascending vault order, preserving the full-scan service
+    /// order) instead of sweeping all 32 vaults every cycle.
+    active: Vec<u64>,
+    /// Per-vault cached earliest head-issue cycle (`u64::MAX` when the
+    /// vault is idle). The head's start cycle is a pure function of its
+    /// arrival, the issue port, the bank, and the refresh schedule, so
+    /// the value stays exact until the vault issues or an empty queue
+    /// gains a head — `tick` skips a vault (and all its refresh-window
+    /// arithmetic) until this cycle arrives.
+    vault_next: Vec<Cycle>,
+    /// Cached minimum of `vault_next` over the active vaults
+    /// (`u64::MAX` when none is active) — the earliest cycle at which
+    /// *any* vault can issue. Folded on `submit`, recomputed during the
+    /// vault walk in `tick`; lets the common no-vault-work tick and
+    /// `next_event` answer without touching the per-vault array.
+    vault_next_min: Cycle,
     scratch: Vec<ReadyResponse>,
     /// Aggregate statistics.
     pub stats: HmcStats,
@@ -89,6 +110,9 @@ impl Hmc {
             pending_seq: 0,
             pending_store: std::collections::HashMap::new(),
             inflight: 0,
+            active: vec![0; (cfg.vaults as usize).div_ceil(64)],
+            vault_next: vec![u64::MAX; cfg.vaults as usize],
+            vault_next_min: u64::MAX,
             scratch: Vec::new(),
             stats: HmcStats::default(),
             energy: EnergyBreakdown::new(),
@@ -178,7 +202,10 @@ impl Hmc {
         self.stats.payload_bytes += req.bytes;
         self.stats.transaction_bytes += (req_flits + rsp_flits) * FLIT_BYTES;
 
-        self.vaults[vault as usize].enqueue(QueuedRequest {
+        self.active[vault as usize / 64] |= 1 << (vault % 64);
+        let v = &mut self.vaults[vault as usize];
+        let was_idle = v.is_idle();
+        v.enqueue(QueuedRequest {
             id: req.id,
             addr: req.addr,
             bytes: req.bytes,
@@ -189,6 +216,13 @@ impl Hmc {
             link: link as u32,
             remote,
         });
+        if was_idle {
+            // The enqueue installed a new head; a non-empty queue keeps
+            // its head (and therefore its cached start) unchanged.
+            let start = v.next_head_start(&self.cfg, now).expect("just enqueued");
+            self.vault_next[vault as usize] = start;
+            self.vault_next_min = self.vault_next_min.min(start);
+        }
         self.inflight += 1;
         self.stats.peak_inflight = self.stats.peak_inflight.max(self.inflight);
     }
@@ -200,8 +234,35 @@ impl Hmc {
             return;
         }
         let mut ready = std::mem::take(&mut self.scratch);
-        for vault in &mut self.vaults {
-            vault.tick(now, &self.cfg, &mut self.energy, &mut ready);
+        if self.vault_next_min <= now {
+            let mut min = u64::MAX;
+            for w in 0..self.active.len() {
+                let mut bits = self.active[w];
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let idx = w * 64 + b;
+                    // The cached head start is exact: visiting earlier
+                    // would be a guaranteed no-op, so skip the vault.
+                    if self.vault_next[idx] > now {
+                        min = min.min(self.vault_next[idx]);
+                        continue;
+                    }
+                    let vault = &mut self.vaults[idx];
+                    vault.tick(now, &self.cfg, &mut self.energy, &mut ready);
+                    match vault.next_head_start(&self.cfg, now) {
+                        Some(c) => {
+                            self.vault_next[idx] = c;
+                            min = min.min(c);
+                        }
+                        None => {
+                            self.vault_next[idx] = u64::MAX;
+                            self.active[w] &= !(1u64 << b);
+                        }
+                    }
+                }
+            }
+            self.vault_next_min = min;
         }
         // Responses claim return-link slots only once their data is
         // actually ready (in data-ready order), so an early-issued
@@ -259,6 +320,28 @@ impl Hmc {
             req.op == Op::Store,
             req.submit_cycle,
         )));
+    }
+
+    /// Earliest cycle ≥ `now` at which [`Hmc::tick`] or
+    /// [`Hmc::pop_responses`] could make progress, or `None` when the
+    /// device is idle. Used by the event-driven simulation core to skip
+    /// cycles the device would spend waiting on DRAM or link timing.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.inflight == 0 {
+            return None;
+        }
+        let mut best = u64::MAX;
+        if let Some(&Reverse((complete, ..))) = self.completed.peek() {
+            best = best.min(complete.max(now));
+        }
+        if let Some(&Reverse((data_ready, _))) = self.pending_rsp.peek() {
+            best = best.min(data_ready.max(now));
+        }
+        // Cached by `tick`/`submit`; exact, and already ≥ the cycle it
+        // was computed at, so only the `now` clamp of a stale-but-passed
+        // start is needed.
+        best = best.min(self.vault_next_min.max(now));
+        (best != u64::MAX).then_some(best)
     }
 
     /// Drain every response whose return completed by `now`.

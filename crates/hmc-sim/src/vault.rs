@@ -119,8 +119,7 @@ impl Vault {
         energy: &mut EnergyBreakdown,
         out: &mut Vec<ReadyResponse>,
     ) {
-        loop {
-            let Some(head) = self.queue.front() else { break };
+        while let Some(head) = self.queue.front() {
             if head.arrival > now {
                 break;
             }
@@ -164,6 +163,17 @@ impl Vault {
 
             out.push(ReadyResponse { data_ready: start + ready_off, req });
         }
+    }
+
+    /// Earliest cycle ≥ `now` at which [`Vault::tick`] could issue the
+    /// head request, or `None` when the queue is empty. Computed from
+    /// the same arrival/issue-port/bank/refresh terms as the issue path,
+    /// so the estimate is exact for the current head.
+    pub fn next_head_start(&self, cfg: &HmcDeviceConfig, now: Cycle) -> Option<Cycle> {
+        let head = self.queue.front()?;
+        let bank = &self.banks[head.bank as usize];
+        let base = head.arrival.max(self.next_issue).max(bank.busy_until);
+        Some(refresh_adjusted_start(cfg, head.bank as usize, base).max(now))
     }
 
     /// Total conflicts across this vault's banks.

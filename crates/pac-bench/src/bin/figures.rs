@@ -1,73 +1,39 @@
 //! Regenerate the paper's tables and figures.
 //!
-//! Usage: `cargo run --release -p pac-bench --bin figures -- <id>...`
+//! Usage: `cargo run --release -p pac-bench --bin figures -- [--quick] <id>...`
 //! where `<id>` is one of: table1, fig1, fig2, fig6a, fig6b, fig6c,
 //! fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, fig11c,
 //! fig12a, fig12b, fig12c, fig13, fig14, fig15, ablation-timeout,
 //! ablation-streams, ablation-shared, ablation-hbm, or `all`.
 //!
 //! `PAC_ACCESSES` (env) overrides the per-core access budget (default
-//! 20 000).
+//! 20 000). `--quick` (or `PAC_QUICK=1`) shrinks the budget so every
+//! figure smoke-runs in seconds.
 
 use pac_bench::{figures, Harness};
 
-const IDS: &[&str] = &[
-    "table1", "fig1", "fig2", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9", "fig10a",
-    "fig10b", "fig10c", "fig11a", "fig11b", "fig11c", "fig12a", "fig12b", "fig12c", "fig13",
-    "fig14", "fig15", "ablation-timeout", "ablation-streams", "ablation-shared", "ablation-hbm",
-    "ablation-links", "ablation-vm",
-];
-
-fn run(id: &str, h: &mut Harness) -> Option<String> {
-    Some(match id {
-        "table1" => figures::table1(h),
-        // Fig 1 is the motivating preview of Fig 6a over the same data.
-        "fig1" | "fig6a" => figures::fig6a(h),
-        "fig2" => figures::fig2(h),
-        "fig6b" => figures::fig6b(h),
-        "fig6c" => figures::fig6c(h),
-        "fig7" => figures::fig7(h),
-        "fig8" => figures::fig8(h),
-        "fig9" => figures::fig9(h),
-        "fig10a" => figures::fig10a(h),
-        "fig10b" => figures::fig10b(h),
-        "fig10c" => figures::fig10c(h),
-        "fig11a" => figures::fig11a(h),
-        "fig11b" => figures::fig11b(h),
-        "fig11c" => figures::fig11c(h),
-        "fig12a" => figures::fig12a(h),
-        "fig12b" => figures::fig12b(h),
-        "fig12c" => figures::fig12c(h),
-        "fig13" => figures::fig13(h),
-        "fig14" => figures::fig14(h),
-        "fig15" => figures::fig15(h),
-        "ablation-timeout" => figures::ablation_timeout(h),
-        "ablation-streams" => figures::ablation_streams(h),
-        "ablation-shared" => figures::ablation_shared(h),
-        "ablation-hbm" => figures::ablation_hbm(h),
-        "ablation-links" => figures::ablation_links(h),
-        "ablation-vm" => figures::ablation_vm(h),
-        _ => return None,
-    })
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
     if args.is_empty() {
-        eprintln!("usage: figures <id>... | all\nids: {}", IDS.join(", "));
+        eprintln!(
+            "usage: figures [--quick] <id>... | all\nids: {}",
+            figures::ALL_IDS.join(", ")
+        );
         std::process::exit(2);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
-        IDS.to_vec()
+        figures::ALL_IDS.to_vec()
     } else {
         args.iter().map(|s| s.as_str()).collect()
     };
-    let mut h = Harness::default();
+    let mut h = if quick { Harness::quick() } else { Harness::default() };
     for id in ids {
-        match run(id, &mut h) {
+        match figures::run_figure(id, &mut h) {
             Some(text) => println!("{text}"),
             None => {
-                eprintln!("unknown figure id '{id}'; known: {}", IDS.join(", "));
+                eprintln!("unknown figure id '{id}'; known: {}", figures::ALL_IDS.join(", "));
                 std::process::exit(2);
             }
         }

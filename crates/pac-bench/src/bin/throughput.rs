@@ -1,0 +1,76 @@
+//! Measure simulator throughput over the full experiment matrix and
+//! write `BENCH_throughput.json`.
+//!
+//! ```console
+//! $ throughput                  # full matrix, both stepping modes
+//! $ PAC_TP_ACCESSES=500 throughput      # smoke-sized run
+//! $ PAC_TP_OUT=/tmp/tp.json throughput  # alternate output path
+//! $ PAC_TP_SEED_SECONDS=37.1 throughput # record seed-build baseline
+//! $ throughput --skip-only      # skip-ahead mode only (no reference)
+//! ```
+//!
+//! Each `(bench, coalescer)` cell is run serially and timed; the JSON
+//! records wall seconds, simulated cycles, retired accesses, and the
+//! derived cycles/s and accesses/s rates per cell, plus the whole-matrix
+//! wall-clock ratio of the event-driven core over the cycle-by-cycle
+//! reference. Both modes produce bit-identical metrics, so the ratio is
+//! purely simulator speed.
+
+use pac_bench::throughput::{sweep, to_json};
+use pac_sim::{CoalescerKind, ExperimentConfig, Stepping};
+use pac_workloads::Bench;
+
+fn main() {
+    let skip_only = std::env::args().any(|a| a == "--skip-only");
+    let mut cfg = ExperimentConfig::default();
+    if let Ok(v) = std::env::var("PAC_TP_ACCESSES") {
+        cfg.accesses_per_core = v.parse().unwrap_or_else(|_| {
+            eprintln!("PAC_TP_ACCESSES must be an integer, got '{v}'");
+            std::process::exit(2);
+        });
+    }
+    let out_path =
+        std::env::var("PAC_TP_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+    // Wall seconds for the same matrix on the pre-event-driven seed
+    // build, measured externally (the harness cannot rebuild history).
+    let baseline_seconds: Option<f64> =
+        std::env::var("PAC_TP_SEED_SECONDS").ok().and_then(|v| v.parse().ok());
+
+    let benches = Bench::ALL;
+    let kinds = CoalescerKind::ALL;
+
+    let mut sweeps = Vec::new();
+    if !skip_only {
+        eprintln!(
+            "every-cycle reference: {} benches x {} coalescers, {} accesses/core ...",
+            benches.len(),
+            kinds.len(),
+            cfg.accesses_per_core
+        );
+        sweeps.push(sweep(&benches, &kinds, &cfg, Stepping::EveryCycle));
+    }
+    eprintln!("skip-ahead: {} benches x {} coalescers ...", benches.len(), kinds.len());
+    sweeps.push(sweep(&benches, &kinds, &cfg, Stepping::SkipAhead));
+
+    for s in &sweeps {
+        eprintln!("{:>12}: {:8.3}s matrix wall", s.stepping, s.wall_seconds);
+    }
+    if let [every, skip] = &sweeps[..] {
+        eprintln!(
+            "skip-ahead speedup over every-cycle: {:.2}x",
+            every.wall_seconds / skip.wall_seconds
+        );
+    }
+
+    if let Some(base) = baseline_seconds {
+        if let Some(skip) = sweeps.last() {
+            eprintln!("skip-ahead speedup over seed build: {:.2}x", base / skip.wall_seconds);
+        }
+    }
+    let json = to_json(&cfg, &sweeps, baseline_seconds);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

@@ -29,7 +29,7 @@ fn load(path: &str) -> Vec<TraceEntry> {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
-    serde_json::from_str(&data).unwrap_or_else(|e| {
+    pac_sim::trace_json::from_json(&data).unwrap_or_else(|e| {
         eprintln!("cannot parse {path}: {e}");
         std::process::exit(1);
     })
@@ -48,7 +48,7 @@ fn main() {
             };
             let mut h = Harness::default();
             let trace = h.trace(bench).to_vec();
-            fs::write(out, serde_json::to_string(&trace).expect("serialize")).unwrap_or_else(
+            fs::write(out, pac_sim::trace_json::to_json(&trace)).unwrap_or_else(
                 |e| {
                     eprintln!("cannot write {out}: {e}");
                     std::process::exit(1);

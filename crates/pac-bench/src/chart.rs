@@ -63,7 +63,7 @@ pub fn grouped_bar_chart(
                 0
             };
             let fill = if v < 0.0 { '<' } else { FILLS[i] };
-            let bar: String = std::iter::repeat(fill).take(cells).collect();
+            let bar: String = std::iter::repeat_n(fill, cells).collect();
             let shown = if i == 0 { label.as_str() } else { "" };
             writeln!(out, "{shown:>label_w$} |{bar:<BAR_WIDTH$}| {v:8.2}").unwrap();
         }

@@ -12,6 +12,50 @@ use std::fmt::Write as _;
 
 const PCT: f64 = 100.0;
 
+/// Every figure/table id the `figures` binary accepts, in presentation
+/// order. `fig1` aliases `fig6a` (same data, motivating preview).
+pub const ALL_IDS: &[&str] = &[
+    "table1", "fig1", "fig2", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9", "fig10a",
+    "fig10b", "fig10c", "fig11a", "fig11b", "fig11c", "fig12a", "fig12b", "fig12c", "fig13",
+    "fig14", "fig15", "ablation-timeout", "ablation-streams", "ablation-shared", "ablation-hbm",
+    "ablation-links", "ablation-vm",
+];
+
+/// Run one figure/table by id against a shared harness. Returns `None`
+/// for unknown ids.
+pub fn run_figure(id: &str, h: &mut Harness) -> Option<String> {
+    Some(match id {
+        "table1" => table1(h),
+        // Fig 1 is the motivating preview of Fig 6a over the same data.
+        "fig1" | "fig6a" => fig6a(h),
+        "fig2" => fig2(h),
+        "fig6b" => fig6b(h),
+        "fig6c" => fig6c(h),
+        "fig7" => fig7(h),
+        "fig8" => fig8(h),
+        "fig9" => fig9(h),
+        "fig10a" => fig10a(h),
+        "fig10b" => fig10b(h),
+        "fig10c" => fig10c(h),
+        "fig11a" => fig11a(h),
+        "fig11b" => fig11b(h),
+        "fig11c" => fig11c(h),
+        "fig12a" => fig12a(h),
+        "fig12b" => fig12b(h),
+        "fig12c" => fig12c(h),
+        "fig13" => fig13(h),
+        "fig14" => fig14(h),
+        "fig15" => fig15(h),
+        "ablation-timeout" => ablation_timeout(h),
+        "ablation-streams" => ablation_streams(h),
+        "ablation-shared" => ablation_shared(h),
+        "ablation-hbm" => ablation_hbm(h),
+        "ablation-links" => ablation_links(h),
+        "ablation-vm" => ablation_vm(h),
+        _ => return None,
+    })
+}
+
 /// Table 1: the simulation environment configuration.
 pub fn table1(h: &Harness) -> String {
     let c = &h.cfg.sim;
@@ -604,7 +648,7 @@ pub fn ablation_shared(h: &mut Harness) -> String {
 /// and compare PAC's efficiency and the residual cross-page
 /// opportunity.
 pub fn ablation_vm(h: &mut Harness) -> String {
-    use pac_sim::SimSystem;
+    use pac_sim::{SimSystem, Stepping};
     use pac_vm::{FramePolicy, Mmu, VmConfig};
     use pac_workloads::multiproc::single_process;
 
@@ -619,8 +663,14 @@ pub fn ablation_vm(h: &mut Harness) -> String {
         let mut traces = Vec::new();
         for policy in [FramePolicy::Identity, FramePolicy::Scattered { seed: 11 }] {
             let specs = single_process(bench, cfg.sim.cores, cfg.seed);
-            let mut sys =
-                SimSystem::with_options(cfg.sim, specs, CoalescerKind::Raw, true, false);
+            let mut sys = SimSystem::with_options(
+                cfg.sim,
+                specs,
+                CoalescerKind::Raw,
+                true,
+                false,
+                Stepping::from_env(),
+            );
             sys.set_mmu(Mmu::new(VmConfig { policy, ..VmConfig::default() }));
             sys.run(cfg.accesses_per_core);
             traces.push(sys.take_trace());

@@ -26,12 +26,37 @@ impl Default for Harness {
 }
 
 fn default_accesses() -> u64 {
-    std::env::var("PAC_ACCESSES").ok().and_then(|s| s.parse().ok()).unwrap_or(20_000)
+    if let Some(n) = std::env::var("PAC_ACCESSES").ok().and_then(|s| s.parse().ok()) {
+        return n;
+    }
+    if quick_mode() {
+        QUICK_ACCESSES
+    } else {
+        20_000
+    }
+}
+
+/// Per-core access budget under `--quick` / `PAC_QUICK=1`.
+pub const QUICK_ACCESSES: u64 = 1_500;
+
+/// True when `PAC_QUICK` requests the seconds-scale smoke configuration.
+pub fn quick_mode() -> bool {
+    std::env::var("PAC_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 impl Harness {
     pub fn new(cfg: ExperimentConfig) -> Self {
         Harness { cfg, traces: HashMap::new(), replays: HashMap::new() }
+    }
+
+    /// A harness with the smoke-run access budget (`--quick`), small
+    /// enough that every figure regenerates in seconds.
+    pub fn quick() -> Self {
+        Self::new(ExperimentConfig {
+            accesses_per_core: QUICK_ACCESSES,
+            capture_trace: true,
+            ..Default::default()
+        })
     }
 
     /// The configuration traces are *captured* under: an idealized

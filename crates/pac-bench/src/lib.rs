@@ -18,5 +18,6 @@ pub mod chart;
 pub mod figures;
 pub mod harness;
 pub mod paper;
+pub mod throughput;
 
 pub use harness::Harness;

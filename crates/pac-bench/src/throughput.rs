@@ -1,0 +1,179 @@
+//! Simulator throughput harness.
+//!
+//! Measures how fast the simulator itself runs — simulated cycles and
+//! retired core accesses per wall-clock second — for every
+//! `(benchmark, coalescer)` cell of the experiment matrix, in both
+//! clock-advance modes:
+//!
+//! * [`Stepping::SkipAhead`] — the event-driven production core;
+//! * [`Stepping::EveryCycle`] — the retained cycle-by-cycle reference,
+//!   which is also how the pre-event-driven simulator advanced time, so
+//!   the per-mode totals double as a before/after comparison.
+//!
+//! Both modes produce bit-identical [`RunMetrics`] (enforced by the
+//! `skip_ahead_equivalence` tests), so the wall-clock ratio is a pure
+//! simulator-performance number, not a modelling change. The `throughput`
+//! binary writes the result as `BENCH_throughput.json`.
+
+use pac_sim::{run_bench, CoalescerKind, ExperimentConfig, Stepping};
+use pac_workloads::Bench;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One `(bench, kind, stepping)` measurement.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub bench: &'static str,
+    pub kind: &'static str,
+    pub stepping: &'static str,
+    pub wall_seconds: f64,
+    /// Simulated cycles until the run drained.
+    pub simulated_cycles: u64,
+    /// Core accesses retired over the run (budget × cores).
+    pub retired_accesses: u64,
+}
+
+impl Cell {
+    pub fn cycles_per_second(&self) -> f64 {
+        self.simulated_cycles as f64 / self.wall_seconds
+    }
+
+    pub fn accesses_per_second(&self) -> f64 {
+        self.retired_accesses as f64 / self.wall_seconds
+    }
+}
+
+/// A full matrix sweep in one stepping mode.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    pub stepping: &'static str,
+    pub wall_seconds: f64,
+    pub cells: Vec<Cell>,
+}
+
+fn stepping_name(s: Stepping) -> &'static str {
+    match s {
+        Stepping::SkipAhead => "skip-ahead",
+        Stepping::EveryCycle => "every-cycle",
+    }
+}
+
+/// Run `benches × kinds` serially under `stepping`, timing each cell.
+///
+/// Serial on purpose: wall-clock per cell is the quantity of interest,
+/// and co-scheduled runs would contend for the host and distort it.
+pub fn sweep(
+    benches: &[Bench],
+    kinds: &[CoalescerKind],
+    cfg: &ExperimentConfig,
+    stepping: Stepping,
+) -> Sweep {
+    let mut cfg = *cfg;
+    cfg.stepping = stepping;
+    let retired = cfg.accesses_per_core * u64::from(cfg.sim.cores);
+    let mut cells = Vec::new();
+    let start = Instant::now();
+    for &bench in benches {
+        for &kind in kinds {
+            let t = Instant::now();
+            let (m, _) = run_bench(bench, kind, &cfg);
+            cells.push(Cell {
+                bench: bench.name(),
+                kind: kind.label(),
+                stepping: stepping_name(stepping),
+                wall_seconds: t.elapsed().as_secs_f64(),
+                simulated_cycles: m.runtime_cycles,
+                retired_accesses: retired,
+            });
+        }
+    }
+    Sweep { stepping: stepping_name(stepping), wall_seconds: start.elapsed().as_secs_f64(), cells }
+}
+
+/// Render a sweep pair as the `BENCH_throughput.json` document.
+///
+/// Hand-rolled writer (the repo carries no JSON dependency); the output
+/// is plain nested objects/arrays with only numbers and strings.
+pub fn to_json(cfg: &ExperimentConfig, sweeps: &[Sweep], baseline_seconds: Option<f64>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"accesses_per_core\": {},", cfg.accesses_per_core);
+    let _ = writeln!(out, "  \"cores\": {},", cfg.sim.cores);
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    if let Some(base) = baseline_seconds {
+        // Externally measured wall seconds for the same matrix on the
+        // tick-every-cycle seed build (see DESIGN.md, "Simulation core
+        // performance", for how the baseline was taken).
+        let _ = writeln!(out, "  \"seed_matrix_wall_seconds\": {base:.3},");
+        if let Some(last) = sweeps.last() {
+            let _ = writeln!(
+                out,
+                "  \"speedup_skip_ahead_over_seed\": {:.3},",
+                base / last.wall_seconds
+            );
+        }
+    }
+    if let [a, b] = sweeps {
+        // Whole-matrix wall-clock ratio between the two modes.
+        let _ = writeln!(
+            out,
+            "  \"speedup_{}_over_{}\": {:.3},",
+            b.stepping.replace('-', "_"),
+            a.stepping.replace('-', "_"),
+            a.wall_seconds / b.wall_seconds
+        );
+    }
+    out.push_str("  \"sweeps\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"stepping\": \"{}\",", s.stepping);
+        let _ = writeln!(out, "      \"matrix_wall_seconds\": {:.3},", s.wall_seconds);
+        out.push_str("      \"cells\": [\n");
+        for (j, c) in s.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"bench\": \"{}\", \"kind\": \"{}\", \
+                 \"wall_seconds\": {:.4}, \"simulated_cycles\": {}, \
+                 \"retired_accesses\": {}, \"cycles_per_second\": {:.0}, \
+                 \"accesses_per_second\": {:.0}}}",
+                c.bench,
+                c.kind,
+                c.wall_seconds,
+                c.simulated_cycles,
+                c.retired_accesses,
+                c.cycles_per_second(),
+                c.accesses_per_second(),
+            );
+            out.push_str(if j + 1 < s.cells.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < sweeps.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_identical_metrics_across_modes() {
+        let cfg = ExperimentConfig { accesses_per_core: 400, ..Default::default() };
+        let benches = [Bench::Gs];
+        let kinds = CoalescerKind::ALL;
+        let fast = sweep(&benches, &kinds, &cfg, Stepping::SkipAhead);
+        let slow = sweep(&benches, &kinds, &cfg, Stepping::EveryCycle);
+        assert_eq!(fast.cells.len(), 3);
+        for (f, s) in fast.cells.iter().zip(&slow.cells) {
+            assert_eq!(f.simulated_cycles, s.simulated_cycles, "{}/{}", f.bench, f.kind);
+            assert!(f.wall_seconds > 0.0 && s.wall_seconds > 0.0);
+        }
+        let json = to_json(&cfg, &[slow, fast], Some(12.0));
+        assert!(json.contains("\"speedup_skip_ahead_over_every_cycle\""));
+        assert!(json.contains("\"speedup_skip_ahead_over_seed\""));
+        assert!(json.contains("\"cycles_per_second\""));
+        // Well-formed enough for a strict reader: balanced braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -10,7 +10,8 @@
 //! anyway).
 
 use crate::stream::CoalescingStream;
-use pac_types::{Cycle, MemRequest};
+use pac_types::{Cycle, IdHash, MemRequest};
+use std::collections::HashMap;
 
 /// Why a stream left stage 1 — recorded for Fig 12's latency analyses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,10 +39,18 @@ pub enum InsertOutcome {
 }
 
 /// Fixed-capacity table of coalescing streams.
+///
+/// Streams are looked up through a tag→slot map (tags are unique: a
+/// request matching an occupied tag always merges, never allocates), so
+/// the per-insert cost is independent of occupancy. The `comparisons`
+/// counter still models the hardware's parallel comparator bank — one
+/// activation per occupied stream per insert — exactly as before.
 #[derive(Debug)]
 pub struct PagedRequestAggregator {
     streams: Vec<CoalescingStream>,
     capacity: usize,
+    /// Folded PPN+T tag → index in `streams`.
+    index: HashMap<u64, usize, IdHash>,
     /// Comparisons performed so far (each insert compares against every
     /// occupied stream in parallel; we count comparator activations).
     pub comparisons: u64,
@@ -50,7 +59,12 @@ pub struct PagedRequestAggregator {
 impl PagedRequestAggregator {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "aggregator needs at least one stream");
-        PagedRequestAggregator { streams: Vec::with_capacity(capacity), capacity, comparisons: 0 }
+        PagedRequestAggregator {
+            streams: Vec::with_capacity(capacity),
+            capacity,
+            index: HashMap::with_capacity_and_hasher(capacity, IdHash),
+            comparisons: 0,
+        }
     }
 
     /// Number of occupied streams.
@@ -74,8 +88,13 @@ impl PagedRequestAggregator {
     /// need a new slot). Does not count as a comparator activation; the
     /// actual insert performs the hardware comparison.
     pub fn has_stream_for(&self, req: &MemRequest) -> bool {
-        let tag = req.stream_tag();
-        self.streams.iter().any(|s| s.tag == tag)
+        self.index.contains_key(&req.stream_tag())
+    }
+
+    /// Allocation cycle of the oldest occupied stream — the earliest
+    /// candidate for a timeout flush (used by event-driven stepping).
+    pub fn earliest_allocated(&self) -> Option<Cycle> {
+        self.streams.iter().map(|s| s.allocated).min()
     }
 
     /// Offer one raw request. The caller guarantees `req` is a plain
@@ -85,38 +104,67 @@ impl PagedRequestAggregator {
         // Every occupied stream's comparator fires on each insert.
         self.comparisons += self.streams.len() as u64;
         let tag = req.stream_tag();
-        if let Some(s) = self.streams.iter_mut().find(|s| s.tag == tag) {
-            s.merge(req);
+        if let Some(&i) = self.index.get(&tag) {
+            self.streams[i].merge(req);
             return InsertOutcome::Merged;
         }
         if self.streams.len() == self.capacity {
             let victim = self.evict_oldest().expect("table full implies a victim");
-            self.streams.push(CoalescingStream::new(req, now));
+            self.push_new(req, now);
             return InsertOutcome::AllocatedAfterEvict(victim);
         }
-        self.streams.push(CoalescingStream::new(req, now));
+        self.push_new(req, now);
         InsertOutcome::Allocated
+    }
+
+    fn push_new(&mut self, req: &MemRequest, now: Cycle) {
+        let stream = CoalescingStream::new(req, now);
+        self.index.insert(stream.tag, self.streams.len());
+        self.streams.push(stream);
+    }
+
+    /// `swap_remove` with index-map fixup for the slot that moved.
+    fn remove_at(&mut self, i: usize) -> CoalescingStream {
+        let s = self.streams.swap_remove(i);
+        self.index.remove(&s.tag);
+        if let Some(moved) = self.streams.get(i) {
+            self.index.insert(moved.tag, i);
+        }
+        s
     }
 
     /// Remove and return every stream whose residency exceeded `timeout`.
     pub fn take_expired(&mut self, now: Cycle, timeout: Cycle) -> Vec<CoalescingStream> {
         let mut out = Vec::new();
+        self.take_expired_into(now, timeout, &mut out);
+        out
+    }
+
+    /// [`PagedRequestAggregator::take_expired`] into a caller-provided
+    /// (empty) buffer so per-tick callers can reuse one allocation.
+    pub fn take_expired_into(
+        &mut self,
+        now: Cycle,
+        timeout: Cycle,
+        out: &mut Vec<CoalescingStream>,
+    ) {
+        debug_assert!(out.is_empty(), "expired-stream buffer must start empty");
         let mut i = 0;
         while i < self.streams.len() {
             if self.streams[i].expired(now, timeout) {
-                out.push(self.streams.swap_remove(i));
+                out.push(self.remove_at(i));
             } else {
                 i += 1;
             }
         }
         // Oldest-first keeps downstream processing order stable.
         out.sort_by_key(|s| s.allocated);
-        out
     }
 
     /// Remove and return every stream (fence or end-of-run drain),
     /// oldest first.
     pub fn take_all(&mut self) -> Vec<CoalescingStream> {
+        self.index.clear();
         let mut out = std::mem::take(&mut self.streams);
         out.sort_by_key(|s| s.allocated);
         out
@@ -129,7 +177,7 @@ impl PagedRequestAggregator {
             .enumerate()
             .min_by_key(|(_, s)| s.allocated)
             .map(|(i, _)| i)?;
-        Some(self.streams.swap_remove(idx))
+        Some(self.remove_at(idx))
     }
 }
 

@@ -17,28 +17,27 @@ fn requests_from_runs(
     runs: &[Run],
     chunk_blocks: u32,
     now: Cycle,
-) -> Vec<CoalescedRequest> {
-    runs.iter()
-        .map(|run| {
-            let first = seq.chunk_index * chunk_blocks + run.start as u32;
-            let last = first + run.len as u32; // exclusive
-            let raw_ids: Vec<u64> = seq
-                .raw
-                .iter()
-                .filter(|(b, _)| (*b as u32) >= first && (*b as u32) < last)
-                .map(|&(_, id)| id)
-                .collect();
-            debug_assert!(!raw_ids.is_empty());
-            CoalescedRequest {
-                addr: block_addr(seq.ppn, first as BlockId),
-                bytes: run.len as u64 * CACHE_LINE_BYTES,
-                op: seq.op,
-                raw_ids,
-                assembled_cycle: now,
-                first_issue_cycle: seq.first_issue,
-            }
-        })
-        .collect()
+    out: &mut Vec<CoalescedRequest>,
+) {
+    for run in runs {
+        let first = seq.chunk_index * chunk_blocks + run.start as u32;
+        let last = first + run.len as u32; // exclusive
+        let raw_ids: Vec<u64> = seq
+            .raw
+            .iter()
+            .filter(|(b, _)| (*b as u32) >= first && (*b as u32) < last)
+            .map(|&(_, id)| id)
+            .collect();
+        debug_assert!(!raw_ids.is_empty());
+        out.push(CoalescedRequest {
+            addr: block_addr(seq.ppn, first as BlockId),
+            bytes: run.len as u64 * CACHE_LINE_BYTES,
+            op: seq.op,
+            raw_ids,
+            assembled_cycle: now,
+            first_issue_cycle: seq.first_issue,
+        });
+    }
 }
 
 /// Assemble a block sequence into coalesced requests via the coalescing
@@ -48,9 +47,22 @@ pub fn assemble(
     table: &mut CoalescingTable,
     now: Cycle,
 ) -> Vec<CoalescedRequest> {
+    let mut out = Vec::new();
+    assemble_into(seq, table, now, &mut out);
+    out
+}
+
+/// [`assemble`] into a caller-provided buffer; avoids both the run
+/// snapshot copy and the per-call result allocation on the hot path.
+pub fn assemble_into(
+    seq: &BlockSequence,
+    table: &mut CoalescingTable,
+    now: Cycle,
+    out: &mut Vec<CoalescedRequest>,
+) {
     let chunk_blocks = table.width();
-    let runs = table.lookup(seq.pattern).to_vec();
-    requests_from_runs(seq, &runs, chunk_blocks, now)
+    let runs = table.lookup(seq.pattern);
+    requests_from_runs(seq, runs, chunk_blocks, now, out);
 }
 
 /// Assemble by scanning adjacent bits of the pattern instead of a table
@@ -65,7 +77,9 @@ pub fn assemble_naive(
     // Scanning examines each adjacent bit pair once.
     let comparisons = (chunk_blocks - 1) as u64;
     let runs = runs_of(seq.pattern, chunk_blocks, protocol.max_request_blocks());
-    (requests_from_runs(seq, &runs, chunk_blocks, now), comparisons)
+    let mut out = Vec::new();
+    requests_from_runs(seq, &runs, chunk_blocks, now, &mut out);
+    (out, comparisons)
 }
 
 #[cfg(test)]

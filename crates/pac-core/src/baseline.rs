@@ -14,8 +14,8 @@ use crate::mshr::AdaptiveMshrFile;
 use crate::stats::CoalescerStats;
 use crate::{DispatchedRequest, MemoryCoalescer};
 use pac_types::addr::CACHE_LINE_BYTES;
-use pac_types::{CoalescedRequest, Cycle, MemRequest, RequestKind};
-use std::collections::VecDeque;
+use pac_types::{CoalescedRequest, Cycle, IdHash, MemRequest, RequestKind};
+use std::collections::{HashMap, VecDeque};
 
 fn line_request(req: &MemRequest, now: Cycle) -> CoalescedRequest {
     CoalescedRequest {
@@ -57,10 +57,11 @@ impl MemoryCoalescer for MshrDmc {
         if req.kind == RequestKind::Fence {
             return true; // no buffering: fences are free here
         }
-        let line = line_request(&req, now);
         // Misses to a line already in flight merge as MSHR subentries —
         // the only aggregation this model performs. Atomics never merge.
-        if req.kind != RequestKind::Atomic && self.mshr.try_merge(&line) {
+        if req.kind != RequestKind::Atomic
+            && self.mshr.try_merge_line(req.line(), req.op, req.id)
+        {
             self.stats.raw_requests += 1;
             self.refresh_stats();
             return true;
@@ -75,7 +76,7 @@ impl MemoryCoalescer for MshrDmc {
         // Dispatch immediately upon allocation (Sec 2.2.2). Atomic
         // entries are sealed: later misses to the line must not ride an
         // atomic's in-flight request.
-        let d = self.mshr.allocate_with(line, req.kind != RequestKind::Atomic);
+        let d = self.mshr.allocate_with(line_request(&req, now), req.kind != RequestKind::Atomic);
         self.stats.dispatched_requests += 1;
         self.stats.size_histogram.record(d.bytes);
         self.pending.push_back(d);
@@ -102,17 +103,39 @@ impl MemoryCoalescer for MshrDmc {
     }
 
     fn flush(&mut self, _now: Cycle) {}
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Dispatches drain the same tick their push arrives; outside
+        // that, the DMC only reacts to pushes and completions.
+        (!self.pending.is_empty()).then_some(now)
+    }
+
+    fn would_accept(&self, req: &MemRequest) -> bool {
+        // Mirrors push_raw: fences are free; misses merge into a
+        // covering in-flight entry; anything else needs a free MSHR.
+        req.kind == RequestKind::Fence
+            || (req.kind != RequestKind::Atomic && self.mshr.can_merge_line(req.line(), req.op))
+            || self.mshr.has_free()
+    }
+
+    fn note_refused_retries(&mut self, req: &MemRequest, _now: Cycle, n: u64) {
+        // Each literal refused offer runs a failed merge scan (atomics
+        // skip it) and then counts a stall against the full file.
+        if req.kind != RequestKind::Atomic {
+            self.mshr.charge_failed_merges(n);
+        }
+        self.stats.stall_cycles += n;
+    }
 }
 
 /// The stock HMC controller: no aggregation at all. In-flight requests
-/// are tracked in a VecDeque — ids are issued sequentially and complete
-/// roughly in order, so a linear scan from the front is O(1) amortized
-/// and avoids hashing on the hottest path in the workspace.
+/// are tracked in an identity-hashed map keyed by the sequential
+/// dispatch id, so completions resolve in O(1) at any outstanding depth.
 #[derive(Debug)]
 pub struct NoCoalescing {
     outstanding_limit: usize,
     outstanding: usize,
-    inflight: VecDeque<(u64, u64)>,
+    inflight: HashMap<u64, u64, IdHash>,
     next_id: u64,
     pending: VecDeque<DispatchedRequest>,
     stats: CoalescerStats,
@@ -123,7 +146,7 @@ impl NoCoalescing {
         NoCoalescing {
             outstanding_limit,
             outstanding: 0,
-            inflight: VecDeque::new(),
+            inflight: HashMap::with_capacity_and_hasher(outstanding_limit, IdHash),
             next_id: 0,
             pending: VecDeque::new(),
             stats: CoalescerStats::default(),
@@ -132,7 +155,7 @@ impl NoCoalescing {
 }
 
 impl MemoryCoalescer for NoCoalescing {
-    fn push_raw(&mut self, req: MemRequest, now: Cycle) -> bool {
+    fn push_raw(&mut self, req: MemRequest, _now: Cycle) -> bool {
         if req.kind == RequestKind::Fence {
             return true;
         }
@@ -143,16 +166,15 @@ impl MemoryCoalescer for NoCoalescing {
         self.stats.raw_requests += 1;
         let id = self.next_id;
         self.next_id += 1;
-        self.inflight.push_back((id, req.id));
+        self.inflight.insert(id, req.id);
         self.outstanding += 1;
         self.stats.dispatched_requests += 1;
         self.stats.size_histogram.record(CACHE_LINE_BYTES);
-        let line = line_request(&req, now);
         self.pending.push_back(DispatchedRequest {
             dispatch_id: id,
-            addr: line.addr,
-            bytes: line.bytes,
-            op: line.op,
+            addr: req.line(),
+            bytes: CACHE_LINE_BYTES,
+            op: req.op,
             raw_count: 1,
         });
         true
@@ -163,8 +185,7 @@ impl MemoryCoalescer for NoCoalescing {
     }
 
     fn complete(&mut self, dispatch_id: u64, _now: Cycle, satisfied: &mut Vec<u64>) {
-        if let Some(pos) = self.inflight.iter().position(|&(id, _)| id == dispatch_id) {
-            let (_, raw) = self.inflight.remove(pos).expect("position valid");
+        if let Some(raw) = self.inflight.remove(&dispatch_id) {
             self.outstanding -= 1;
             satisfied.push(raw);
         }
@@ -179,6 +200,18 @@ impl MemoryCoalescer for NoCoalescing {
     }
 
     fn flush(&mut self, _now: Cycle) {}
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        (!self.pending.is_empty()).then_some(now)
+    }
+
+    fn would_accept(&self, req: &MemRequest) -> bool {
+        req.kind == RequestKind::Fence || self.outstanding < self.outstanding_limit
+    }
+
+    fn note_refused_retries(&mut self, _req: &MemRequest, _now: Cycle, n: u64) {
+        self.stats.stall_cycles += n;
+    }
 }
 
 #[cfg(test)]

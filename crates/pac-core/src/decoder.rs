@@ -30,10 +30,21 @@ pub struct BlockSequence {
 /// Decode a stream's block-map into its non-zero block sequences, chunk
 /// order ascending.
 pub fn decode(stream: &CoalescingStream, protocol: MemoryProtocol) -> Vec<BlockSequence> {
+    let mut out = Vec::new();
+    decode_into(stream, protocol, &mut out);
+    out
+}
+
+/// [`decode`] into a caller-provided buffer, so the pipeline's hot loop
+/// can reuse one allocation across ticks.
+pub fn decode_into(
+    stream: &CoalescingStream,
+    protocol: MemoryProtocol,
+    out: &mut Vec<BlockSequence>,
+) {
     let chunk_blocks = protocol.chunk_blocks();
     let chunks = protocol.chunks_per_page();
     let mask = if chunk_blocks == 64 { u64::MAX } else { (1u64 << chunk_blocks) - 1 };
-    let mut out = Vec::new();
     for c in 0..chunks {
         let pattern = (stream.block_map >> (c * chunk_blocks)) & mask;
         if pattern == 0 {
@@ -53,7 +64,6 @@ pub fn decode(stream: &CoalescingStream, protocol: MemoryProtocol) -> Vec<BlockS
             first_issue: stream.first_issue,
         });
     }
-    out
 }
 
 #[cfg(test)]

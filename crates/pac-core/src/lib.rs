@@ -115,4 +115,42 @@ pub trait MemoryCoalescer {
     /// uses this to keep the network engaged when a burst is arriving,
     /// bypassing only genuinely isolated requests.
     fn hint_pending(&mut self, _waiting: usize) {}
+
+    /// Earliest cycle ≥ `now` at which a `tick` could change state or
+    /// record a per-cycle stat, or `None` when the coalescer is inert
+    /// until new input (a push or a completion) arrives. Used by the
+    /// event-driven simulation core to jump over idle cycles; answers
+    /// may be conservatively early (the extra tick is a no-op) but must
+    /// never be late. The default pins the clock every cycle, which is
+    /// always correct but forfeits skipping.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let _ = now;
+        Some(now)
+    }
+
+    /// Pure admission predicate: whether `push_raw(req, ..)` would
+    /// return `true` against the current state, with no side effects.
+    /// The event-driven clock uses it to prove that a refused request
+    /// stays refused across a jumped window (admission can only change
+    /// when the coalescer's state changes), so implementations must keep
+    /// it exactly in sync with `push_raw`'s accept/refuse decision. The
+    /// conservative default ("would accept") merely disables that skip —
+    /// the caller then ticks through the window cycle by cycle.
+    fn would_accept(&self, _req: &MemRequest) -> bool {
+        true
+    }
+
+    /// Account `n` consecutive refused `push_raw` offers of `req` — one
+    /// per skipped cycle — without replaying them, leaving the coalescer
+    /// in exactly the state `n` literal refused offers would have (stall
+    /// counts, comparator activity, everything). Only called for a `req`
+    /// on which [`Self::would_accept`] returned `false` while the
+    /// coalescer's state is otherwise frozen. The default replays the
+    /// offers literally, which is always correct but O(`n`).
+    fn note_refused_retries(&mut self, req: &MemRequest, now: Cycle, n: u64) {
+        for _ in 0..n {
+            let accepted = self.push_raw(*req, now);
+            debug_assert!(!accepted, "note_refused_retries on an acceptable request");
+        }
+    }
 }

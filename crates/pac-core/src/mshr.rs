@@ -18,7 +18,8 @@
 
 use crate::DispatchedRequest;
 use pac_types::addr::CACHE_LINE_BYTES;
-use pac_types::{CoalescedRequest, Op};
+use pac_types::{CoalescedRequest, IdHash, Op, PAGE_BYTES};
+use std::collections::HashMap;
 
 /// One occupied MSHR entry.
 #[derive(Debug, Clone)]
@@ -60,12 +61,28 @@ impl MshrEntry {
 }
 
 /// The MSHR file.
+///
+/// Lookups are indexed: completions resolve through a dispatch-id map
+/// and merge candidates through a page-granular bucket map (a covering
+/// entry necessarily shares the candidate's 4 KB page, because no
+/// dispatched request spans a page). Both indexes track `entries` slot
+/// positions across `swap_remove` compaction. The `comparisons` counter
+/// still models the hardware's parallel comparator bank exactly as the
+/// linear scan did.
 #[derive(Debug)]
 pub struct AdaptiveMshrFile {
     entries: Vec<MshrEntry>,
     capacity: usize,
     max_subentries: usize,
     next_dispatch_id: u64,
+    /// dispatch_id → index in `entries`.
+    by_dispatch: HashMap<u64, usize, IdHash>,
+    /// page number → indices of entries whose span lies in that page.
+    by_page: HashMap<u64, Vec<usize>, IdHash>,
+    /// Bumped on every allocate/merge/complete: a `try_merge` whose
+    /// outcome was negative stays negative until this changes, letting
+    /// callers skip guaranteed-futile retries.
+    generation: u64,
     /// Tag comparisons performed (each merge attempt compares against
     /// every occupied entry in parallel).
     pub comparisons: u64,
@@ -81,9 +98,23 @@ impl AdaptiveMshrFile {
             capacity,
             max_subentries,
             next_dispatch_id: 0,
+            by_dispatch: HashMap::with_capacity_and_hasher(capacity, IdHash),
+            by_page: HashMap::default(),
+            generation: 0,
             comparisons: 0,
             merged_raw: 0,
         }
+    }
+
+    /// Monotonic change stamp; see the field docs.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn bucket_remove(bucket: &mut Vec<usize>, idx: usize) {
+        let pos = bucket.iter().position(|&i| i == idx).expect("entry is page-indexed");
+        bucket.swap_remove(pos);
     }
 
     #[inline]
@@ -108,19 +139,98 @@ impl AdaptiveMshrFile {
 
     /// Try to absorb `req` into an in-flight entry that already covers
     /// its span. On success the raw ids ride the existing dispatch.
+    /// Candidates come from the page bucket; among multiple matches the
+    /// lowest slot index wins, replicating the original linear scan's
+    /// first-match choice exactly.
     pub fn try_merge(&mut self, req: &CoalescedRequest) -> bool {
         self.comparisons += self.entries.len() as u64;
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.covers(req) && e.subentries + req.raw_ids.len() <= self.max_subentries)
-        {
+        let Some(bucket) = self.by_page.get(&(req.addr / PAGE_BYTES)) else {
+            return false;
+        };
+        let mut first: Option<usize> = None;
+        for &i in bucket {
+            let e = &self.entries[i];
+            if e.covers(req)
+                && e.subentries + req.raw_ids.len() <= self.max_subentries
+                && first.is_none_or(|f| i < f)
+            {
+                first = Some(i);
+            }
+        }
+        if let Some(i) = first {
+            let e = &mut self.entries[i];
             e.subentries += req.raw_ids.len();
             e.raw_ids.extend_from_slice(&req.raw_ids);
             self.merged_raw += req.raw_ids.len() as u64;
+            self.generation = self.generation.wrapping_add(1);
             return true;
         }
         false
+    }
+
+    /// [`Self::try_merge`] specialised to a single-line, single-id
+    /// request (the shape every `push_raw` offer has): identical
+    /// comparator accounting, merge eligibility, and first-match choice,
+    /// without materialising a `CoalescedRequest` — this sits on the
+    /// per-offer hot path of the MSHR-based baseline.
+    pub fn try_merge_line(&mut self, line_addr: u64, op: Op, raw_id: u64) -> bool {
+        self.comparisons += self.entries.len() as u64;
+        let Some(bucket) = self.by_page.get(&(line_addr / PAGE_BYTES)) else {
+            return false;
+        };
+        let mut first: Option<usize> = None;
+        for &i in bucket {
+            let e = &self.entries[i];
+            if e.mergeable
+                && e.op == Op::Load
+                && op == Op::Load
+                && line_addr >= e.addr
+                && line_addr + CACHE_LINE_BYTES <= e.addr + e.bytes
+                && e.subentries < self.max_subentries
+                && first.is_none_or(|f| i < f)
+            {
+                first = Some(i);
+            }
+        }
+        let Some(i) = first else {
+            return false;
+        };
+        let e = &mut self.entries[i];
+        e.subentries += 1;
+        e.raw_ids.push(raw_id);
+        self.merged_raw += 1;
+        self.generation = self.generation.wrapping_add(1);
+        true
+    }
+
+    /// Pure form of [`Self::try_merge`] for a single-line request: true
+    /// iff an in-flight mergeable load entry covers the 64 B line at
+    /// `line_addr` with a subentry slot to spare. Performs no comparator
+    /// accounting and no mutation — callers *predicting* merge attempts
+    /// (rather than performing them) account the failed scans through
+    /// [`Self::charge_failed_merges`].
+    pub fn can_merge_line(&self, line_addr: u64, op: Op) -> bool {
+        if op != Op::Load {
+            return false;
+        }
+        let Some(bucket) = self.by_page.get(&(line_addr / PAGE_BYTES)) else {
+            return false;
+        };
+        bucket.iter().any(|&i| {
+            let e = &self.entries[i];
+            e.mergeable
+                && e.op == Op::Load
+                && line_addr >= e.addr
+                && line_addr + CACHE_LINE_BYTES <= e.addr + e.bytes
+                && e.subentries < self.max_subentries
+        })
+    }
+
+    /// Account `n` merge attempts that scanned the whole comparator bank
+    /// and failed, exactly as `n` unsuccessful [`Self::try_merge`] calls
+    /// against the current occupancy would have.
+    pub fn charge_failed_merges(&mut self, n: u64) {
+        self.comparisons += self.entries.len() as u64 * n;
     }
 
     /// Allocate an entry for `req` and return the dispatch to send to
@@ -133,6 +243,11 @@ impl AdaptiveMshrFile {
     /// (atomics) whose in-flight entries must not absorb later misses.
     pub fn allocate_with(&mut self, req: CoalescedRequest, mergeable: bool) -> DispatchedRequest {
         assert!(self.has_free(), "MSHR overflow — caller must respect backpressure");
+        debug_assert_eq!(
+            req.addr / PAGE_BYTES,
+            (req.addr + req.bytes - 1) / PAGE_BYTES,
+            "dispatched requests never span a page"
+        );
         let dispatch_id = self.next_dispatch_id;
         self.next_dispatch_id += 1;
         let dispatched = DispatchedRequest {
@@ -142,6 +257,9 @@ impl AdaptiveMshrFile {
             op: req.op,
             raw_count: req.raw_ids.len() as u32,
         };
+        let idx = self.entries.len();
+        self.by_dispatch.insert(dispatch_id, idx);
+        self.by_page.entry(req.addr / PAGE_BYTES).or_default().push(idx);
         self.entries.push(MshrEntry {
             dispatch_id,
             addr: req.addr,
@@ -151,14 +269,33 @@ impl AdaptiveMshrFile {
             subentries: 0,
             mergeable,
         });
+        self.generation = self.generation.wrapping_add(1);
         dispatched
     }
 
     /// Release the entry for `dispatch_id`, returning the raw request
     /// ids it satisfied. Returns `None` for unknown ids.
     pub fn complete(&mut self, dispatch_id: u64) -> Option<Vec<u64>> {
-        let idx = self.entries.iter().position(|e| e.dispatch_id == dispatch_id)?;
-        Some(self.entries.swap_remove(idx).raw_ids)
+        let idx = self.by_dispatch.remove(&dispatch_id)?;
+        let entry = self.entries.swap_remove(idx);
+        let bucket =
+            self.by_page.get_mut(&(entry.addr / PAGE_BYTES)).expect("entry is page-indexed");
+        Self::bucket_remove(bucket, idx);
+        if idx < self.entries.len() {
+            // The former last entry moved into slot `idx`; repoint both
+            // of its index records.
+            let moved_from = self.entries.len();
+            let moved = &self.entries[idx];
+            *self.by_dispatch.get_mut(&moved.dispatch_id).expect("entry is dispatch-indexed") =
+                idx;
+            let bucket =
+                self.by_page.get_mut(&(moved.addr / PAGE_BYTES)).expect("entry is page-indexed");
+            let pos =
+                bucket.iter().position(|&i| i == moved_from).expect("entry is page-indexed");
+            bucket[pos] = idx;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        Some(entry.raw_ids)
     }
 }
 

@@ -50,6 +50,14 @@ pub struct PacCoalescer {
     /// Front-end hint: raw requests known to be waiting behind the
     /// current one (miss/WB queue depth).
     input_waiting: usize,
+    /// MSHR-file generation at the last refused MAQ→MSHR attempt, if
+    /// the head is still blocked. While the generation is unchanged the
+    /// head's merge/allocate outcome cannot change, so the scan is
+    /// skipped (and the event-driven core treats the MAQ as inert).
+    maq_stalled_gen: Option<u64>,
+    /// Reused across ticks for timeout-expired streams (no per-tick
+    /// allocation).
+    scratch_streams: Vec<CoalescingStream>,
     stats: CoalescerStats,
 }
 
@@ -65,6 +73,8 @@ impl PacCoalescer {
             next_atomic: 0,
             pending: VecDeque::new(),
             input_waiting: 0,
+            maq_stalled_gen: None,
+            scratch_streams: Vec::new(),
             stats: CoalescerStats::default(),
             cfg,
         }
@@ -214,7 +224,7 @@ impl MemoryCoalescer for PacCoalescer {
         // Sample stage-1 occupancy every 16 cycles while the coalescer
         // is servicing requests (Fig 11b counts occupied streams during
         // execution, not across idle gaps).
-        if now % 16 == 0 {
+        if now.is_multiple_of(16) {
             let occ = self.aggregator.occupancy() as u32;
             if occ > 0 {
                 self.stats.sample_occupancy(occ);
@@ -225,11 +235,13 @@ impl MemoryCoalescer for PacCoalescer {
         // more streams; a stalled stage 2 keeps expired streams in
         // stage 1, where they continue to merge new requests.
         if self.network.stage2_backlog() < self.cfg.streams {
-            let expired = self.aggregator.take_expired(now, self.cfg.timeout_cycles);
+            let mut expired = std::mem::take(&mut self.scratch_streams);
+            self.aggregator.take_expired_into(now, self.cfg.timeout_cycles, &mut expired);
             self.stats.timeout_flushes += expired.len() as u64;
-            for s in expired {
+            for s in expired.drain(..) {
                 self.flush_stream(s, now);
             }
+            self.scratch_streams = expired;
         }
 
         // Stages 2-3.
@@ -244,20 +256,26 @@ impl MemoryCoalescer for PacCoalescer {
         }
 
         // MAQ → MSHRs: merge into covered in-flight entries, otherwise
-        // allocate and dispatch immediately.
-        while let Some(front) = self.maq.front() {
-            if self.mshr.try_merge(front) {
-                self.maq.pop();
-                continue;
+        // allocate and dispatch immediately. While the MSHR file's
+        // generation is unchanged since the head was last refused, the
+        // outcome cannot differ — skip the scan entirely.
+        if self.maq_stalled_gen != Some(self.mshr.generation()) {
+            self.maq_stalled_gen = None;
+            while let Some(front) = self.maq.front() {
+                if self.mshr.try_merge(front) {
+                    self.maq.pop();
+                    continue;
+                }
+                if !self.mshr.has_free() {
+                    self.maq_stalled_gen = Some(self.mshr.generation());
+                    break;
+                }
+                let req = self.maq.pop().expect("front exists");
+                let d = self.mshr.allocate(req);
+                self.stats.dispatched_requests += 1;
+                self.stats.size_histogram.record(d.bytes);
+                out.push(d);
             }
-            if !self.mshr.has_free() {
-                break;
-            }
-            let req = self.maq.pop().expect("front exists");
-            let d = self.mshr.allocate(req);
-            self.stats.dispatched_requests += 1;
-            self.stats.size_histogram.record(d.bytes);
-            out.push(d);
         }
 
         // Atomics and bypass dispatches produced since last tick.
@@ -304,6 +322,68 @@ impl MemoryCoalescer for PacCoalescer {
 
     fn hint_pending(&mut self, waiting: usize) {
         self.input_waiting = waiting;
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut best: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            let c = c.max(now);
+            best = Some(match best {
+                Some(b) => b.min(c),
+                None => c,
+            });
+        };
+        // Atomic/bypass dispatches drain on the next tick.
+        if !self.pending.is_empty() {
+            consider(now);
+        }
+        // A non-empty MAQ makes progress unless the MSHR file is
+        // unchanged since the head was last refused.
+        if !self.maq.is_empty() && self.maq_stalled_gen != Some(self.mshr.generation()) {
+            consider(now);
+        }
+        if let Some(c) = self.network.next_activity(now, self.maq.is_full()) {
+            consider(c);
+        }
+        if self.aggregator.occupancy() > 0 {
+            // The Fig 11b occupancy sample fires on every 16-cycle
+            // boundary while stage 1 holds streams.
+            consider(now.div_ceil(16) * 16);
+            // Earliest possible stage-1 timeout flush.
+            if let Some(allocated) = self.aggregator.earliest_allocated() {
+                consider(allocated + self.cfg.timeout_cycles);
+            }
+        }
+        // The bypass hysteresis updates on tick; wake immediately when
+        // the last push/completion left it due for a flip.
+        let target = if !self.mshr.has_free() {
+            false
+        } else if self.quiescent() {
+            true
+        } else {
+            self.bypass_enabled
+        };
+        if target != self.bypass_enabled {
+            consider(now);
+        }
+        best
+    }
+
+    fn would_accept(&self, req: &MemRequest) -> bool {
+        // Mirrors push_raw: fences and atomics always enter; a miss or
+        // write-back is refused only when the pipeline is backpressured,
+        // stage 1 is full, and no existing stream could absorb it.
+        match req.kind {
+            RequestKind::Fence | RequestKind::Atomic => true,
+            RequestKind::Miss | RequestKind::WriteBack => {
+                let full = self.aggregator.occupancy() == self.aggregator.capacity();
+                !(self.backpressured() && full && !self.aggregator.has_stream_for(req))
+            }
+        }
+    }
+
+    fn note_refused_retries(&mut self, _req: &MemRequest, _now: Cycle, n: u64) {
+        self.stats.stall_cycles += n;
     }
 }
 

@@ -9,7 +9,7 @@
 //! bypass both stages and surface on the output after one cycle
 //! (Sec 3.3.1, measured in Fig 12c).
 
-use crate::decoder::decode;
+use crate::decoder::decode_into;
 use crate::stream::CoalescingStream;
 use crate::table::CoalescingTable;
 use pac_types::addr::{block_addr, CACHE_LINE_BYTES};
@@ -69,11 +69,18 @@ pub struct CoalescingNetwork {
     stage3_free: Cycle,
     out: BinaryHeap<Reverse<OutEntry>>,
     out_seq: u64,
+    /// Scratch buffers reused across ticks so the hot decode/assemble
+    /// loops never allocate per call.
+    scratch_seqs: Vec<crate::decoder::BlockSequence>,
+    scratch_reqs: Vec<CoalescedRequest>,
     /// Counters for Figs 12a/12c.
     pub stats: NetworkStats,
 }
 
 impl CoalescingNetwork {
+    /// Capacity of the block sequence buffer and the output buffer.
+    const BUFFER_CAP: usize = 32;
+
     pub fn new(protocol: MemoryProtocol) -> Self {
         CoalescingNetwork {
             protocol,
@@ -84,6 +91,8 @@ impl CoalescingNetwork {
             stage3_free: 0,
             out: BinaryHeap::new(),
             out_seq: 0,
+            scratch_seqs: Vec::new(),
+            scratch_reqs: Vec::new(),
             stats: NetworkStats::default(),
         }
     }
@@ -135,10 +144,9 @@ impl CoalescingNetwork {
     /// pipeline (Sec 3.2: "if the MAQ is full, the pipeline is
     /// stalled").
     pub fn tick(&mut self, now: Cycle) {
-        const BUFFER_CAP: usize = 32;
         // Stage 2: decode + serialized store of non-zero chunks.
         while let Some((flush, _)) = self.stage2_in.front() {
-            if self.seq_buffer.len() >= BUFFER_CAP {
+            if self.seq_buffer.len() >= Self::BUFFER_CAP {
                 break;
             }
             let start = (*flush).max(self.stage2_free);
@@ -146,10 +154,11 @@ impl CoalescingNetwork {
                 break;
             }
             let (flush, stream) = self.stage2_in.pop_front().expect("front exists");
-            let sequences = decode(&stream, self.protocol);
-            debug_assert!(!sequences.is_empty(), "C=1 stream has at least one chunk");
-            let n = sequences.len() as u64;
-            for (i, s) in sequences.into_iter().enumerate() {
+            self.scratch_seqs.clear();
+            decode_into(&stream, self.protocol, &mut self.scratch_seqs);
+            debug_assert!(!self.scratch_seqs.is_empty(), "C=1 stream has at least one chunk");
+            let n = self.scratch_seqs.len() as u64;
+            for (i, s) in self.scratch_seqs.drain(..).enumerate() {
                 // Decode takes 1 cycle; chunk i stores on cycle i+1 after.
                 self.seq_buffer.push_back((start + 2 + i as u64, s));
             }
@@ -160,7 +169,7 @@ impl CoalescingNetwork {
 
         // Stage 3: table look-up + one request assembled per cycle.
         while let Some((ready, _)) = self.seq_buffer.front() {
-            if self.out.len() >= BUFFER_CAP {
+            if self.out.len() >= Self::BUFFER_CAP {
                 break;
             }
             let start = (*ready).max(self.stage3_free);
@@ -168,18 +177,54 @@ impl CoalescingNetwork {
                 break;
             }
             let (ready, seq) = self.seq_buffer.pop_front().expect("front exists");
-            let requests = crate::assembler::assemble(&seq, &mut self.table, start + 1);
+            let mut requests = std::mem::take(&mut self.scratch_reqs);
+            requests.clear();
+            crate::assembler::assemble_into(&seq, &mut self.table, start + 1, &mut requests);
             let k = requests.len() as u64;
             debug_assert!(k >= 1);
-            for (j, mut r) in requests.into_iter().enumerate() {
+            for (j, mut r) in requests.drain(..).enumerate() {
                 let emit = start + 2 + j as u64;
                 r.assembled_cycle = emit;
                 self.push_out(emit, r);
             }
+            self.scratch_reqs = requests;
             self.stage3_free = start + 1 + k;
             self.stats.stage3_latency_sum += start + 1 + k - ready;
             self.stats.stage3_batches += 1;
         }
+    }
+
+    /// Earliest cycle ≥ `now` at which [`CoalescingNetwork::tick`] or
+    /// [`CoalescingNetwork::pop_ready`] could make progress, or `None`
+    /// when stages 2–3 are empty. `maq_full` tells the network whether
+    /// its output could currently drain (a full MAQ stalls the output,
+    /// so only upstream stage work counts as an event then). Estimates
+    /// may be conservatively early, never late.
+    pub fn next_activity(&self, now: Cycle, maq_full: bool) -> Option<Cycle> {
+        let mut best: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            let c = c.max(now);
+            best = Some(match best {
+                Some(b) => b.min(c),
+                None => c,
+            });
+        };
+        if self.seq_buffer.len() < Self::BUFFER_CAP {
+            if let Some((flush, _)) = self.stage2_in.front() {
+                consider((*flush).max(self.stage2_free));
+            }
+        }
+        if self.out.len() < Self::BUFFER_CAP {
+            if let Some((ready, _)) = self.seq_buffer.front() {
+                consider((*ready).max(self.stage3_free));
+            }
+        }
+        if !maq_full {
+            if let Some(Reverse(e)) = self.out.peek() {
+                consider(e.ready);
+            }
+        }
+        best
     }
 
     /// Pop the next assembled request whose pipeline latency has elapsed.

@@ -92,6 +92,20 @@ impl CoreState {
             && (self.remaining > 0 || self.retry.is_some())
     }
 
+    /// Earliest cycle ≥ `now` at which the core could issue, or `None`
+    /// when it cannot issue until some response returns (its wake is
+    /// then driven by that completion event, not by the clock).
+    pub fn next_issue_cycle(&self, now: Cycle) -> Option<Cycle> {
+        if self.finished()
+            || self.outstanding >= self.max_outstanding
+            || (self.remaining == 0 && self.retry.is_none())
+        {
+            None
+        } else {
+            Some(self.ready_at.max(now))
+        }
+    }
+
     /// Pull the next access from the stream. The caller must have
     /// replayed any pending retry first.
     pub fn take_access(&mut self) -> Access {

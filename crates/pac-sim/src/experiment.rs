@@ -1,7 +1,7 @@
 //! One-call experiment execution, serial or parallel across benchmarks.
 
 use crate::metrics::RunMetrics;
-use crate::system::{CoalescerKind, SimSystem, TraceEntry};
+use crate::system::{CoalescerKind, SimSystem, Stepping, TraceEntry};
 use pac_types::SimConfig;
 use pac_workloads::multiproc::{single_process, two_processes, CoreSpec};
 use pac_workloads::Bench;
@@ -19,6 +19,9 @@ pub struct ExperimentConfig {
     pub capture_trace: bool,
     /// Retain PAC stream-occupancy samples (Fig 11b).
     pub trace_occupancy: bool,
+    /// Clock-advance policy; skip-ahead by default, bit-identical to
+    /// the cycle-by-cycle reference (`PAC_STEPPING=every` forces it).
+    pub stepping: Stepping,
 }
 
 impl Default for ExperimentConfig {
@@ -29,6 +32,7 @@ impl Default for ExperimentConfig {
             seed: 0x9AC_5EED,
             capture_trace: false,
             trace_occupancy: false,
+            stepping: Stepping::from_env(),
         }
     }
 }
@@ -39,8 +43,14 @@ pub fn run_specs(
     kind: CoalescerKind,
     cfg: &ExperimentConfig,
 ) -> (RunMetrics, Vec<TraceEntry>) {
-    let mut sys =
-        SimSystem::with_options(cfg.sim, specs, kind, cfg.capture_trace, cfg.trace_occupancy);
+    let mut sys = SimSystem::with_options(
+        cfg.sim,
+        specs,
+        kind,
+        cfg.capture_trace,
+        cfg.trace_occupancy,
+        cfg.stepping,
+    );
     let metrics = sys.run(cfg.accesses_per_core);
     let trace = sys.take_trace();
     (metrics, trace)
@@ -66,34 +76,35 @@ pub fn run_pair(
     run_specs(two_processes(a, b, cfg.sim.cores, cfg.seed), kind, cfg)
 }
 
-/// Apply `f` to every job on a bounded worker pool, preserving nothing
-/// about ordering (results carry their own keys). Shared by the
+/// Apply `f` to every job on a bounded worker pool. Each worker claims
+/// the next unclaimed job index and writes the result into that job's
+/// pre-indexed slot, so `results[i] == f(&jobs[i])` and the output
+/// order is deterministic under any thread schedule. Shared by the
 /// experiment matrix and the figure harness's trace prewarm.
 pub fn parallel_map<J, R, F>(jobs: &[J], f: F) -> Vec<R>
 where
     J: Sync,
-    R: Send,
+    R: Send + Sync,
     F: Fn(&J) -> R + Sync,
 {
     if jobs.is_empty() {
         return Vec::new();
     }
-    let results = parking_lot::Mutex::new(Vec::with_capacity(jobs.len()));
-    let next = std::sync::atomic::AtomicUsize::new(0);
     let workers =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len());
-    crossbeam::scope(|s| {
+    let slots: Vec<std::sync::OnceLock<R>> = (0..jobs.len()).map(|_| Default::default()).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                let r = f(job);
-                results.lock().push(r);
+                let claimed = slots[i].set(f(job)).is_ok();
+                debug_assert!(claimed, "job {i} ran twice");
             });
         }
-    })
-    .expect("worker panicked");
-    results.into_inner()
+    });
+    slots.into_iter().map(|slot| slot.into_inner().expect("every job ran")).collect()
 }
 
 /// Run `benches × kinds` in parallel (one thread per run, bounded by the

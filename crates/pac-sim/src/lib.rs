@@ -41,8 +41,9 @@ pub mod experiment;
 pub mod metrics;
 pub mod replay;
 pub mod system;
+pub mod trace_json;
 
 pub use experiment::{run_bench, run_matrix, run_pair, run_specs, ExperimentConfig};
 pub use metrics::RunMetrics;
 pub use replay::{replay, replay_with};
-pub use system::{CoalescerKind, SimSystem, TraceEntry};
+pub use system::{CoalescerKind, SimSystem, Stepping, TraceEntry};

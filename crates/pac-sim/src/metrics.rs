@@ -5,7 +5,10 @@ use hmc_sim::{EnergyBreakdown, EnergyClass};
 use pac_types::cycles_to_ns;
 
 /// Everything measured in one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so the skip-ahead equivalence tests can assert
+/// bit-identical results against the cycle-by-cycle reference.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Coalescer configuration label ("raw" / "mshr-dmc" / "pac").
     pub coalescer: &'static str,

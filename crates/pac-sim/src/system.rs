@@ -11,34 +11,35 @@ use pac_types::{Cycle, MemRequest, Op, RequestKind, SimConfig};
 use pac_workloads::multiproc::CoreSpec;
 use std::collections::{HashMap, VecDeque};
 
-/// Hash builder for maps keyed by densely-sequential u64 ids: the id IS
-/// the hash, saving SipHash work on the per-request hot path.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct IdHash;
+pub use pac_types::{IdHash, IdHasher};
 
-impl std::hash::BuildHasher for IdHash {
-    type Hasher = IdHasher;
-    fn build_hasher(&self) -> IdHasher {
-        IdHasher(0)
-    }
+/// Clock-advance policy for [`SimSystem::run`].
+///
+/// Skip-ahead is the production mode: after each tick the system asks
+/// every component for its earliest upcoming event cycle and jumps the
+/// clock straight there. Component events are conservative lower
+/// bounds — an early (no-op) tick is harmless because every component
+/// keeps absolute-cycle bookkeeping, while a missed cycle would lose a
+/// per-cycle side effect — so skip-ahead produces metrics bit-identical
+/// to the cycle-by-cycle reference (regression-tested in
+/// `tests/proptests.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Stepping {
+    /// Tick every cycle: the reference mode skip-ahead is tested against.
+    EveryCycle,
+    /// Jump the clock to the earliest next component event.
+    #[default]
+    SkipAhead,
 }
 
-/// See [`IdHash`].
-#[derive(Debug, Clone, Copy)]
-pub struct IdHasher(u64);
-
-impl std::hash::Hasher for IdHasher {
-    fn finish(&self) -> u64 {
-        // Spread sequential ids across hashmap buckets.
-        self.0.wrapping_mul(0x9E3779B97F4A7C15)
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 << 8) | b as u64;
+impl Stepping {
+    /// The default policy, overridable via `PAC_STEPPING=every` (or
+    /// `cycle`) for A/B wall-clock comparisons without recompiling.
+    pub fn from_env() -> Self {
+        match std::env::var("PAC_STEPPING").as_deref() {
+            Ok("every") | Ok("cycle") | Ok("every-cycle") => Stepping::EveryCycle,
+            _ => Stepping::SkipAhead,
         }
-    }
-    fn write_u64(&mut self, v: u64) {
-        self.0 = v;
     }
 }
 
@@ -83,7 +84,7 @@ impl CoalescerKind {
 /// coalescer model needs to replay the stream (Figs 1, 2, 6–14 are
 /// evaluated on such traces, mirroring the paper's Spike-trace-driven
 /// methodology).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
     pub cycle: Cycle,
     pub addr: u64,
@@ -172,25 +173,38 @@ pub struct SimSystem {
     /// Captured raw miss trace.
     trace: Option<Vec<TraceEntry>>,
     trace_cap: usize,
+    stepping: Stepping,
     // Scratch buffers reused across ticks.
     dispatches: Vec<DispatchedRequest>,
     responses: Vec<HmcResponse>,
     satisfied: Vec<u64>,
+    blocked_scratch: Vec<MemRequest>,
+    /// Exact set of cores eligible to issue at the cycle the last
+    /// `skip_to_next_event` landed on (bit `i` = core `i`), or `None`
+    /// when the jump was not taken and `tick` must scan. The skip pass
+    /// already evaluates every core's next issue cycle, and nothing
+    /// between the jump and the core phase of the landing tick can
+    /// change core state, so `tick` reuses the verdicts instead of
+    /// re-interrogating all cores.
+    core_mask: Option<u64>,
 }
 
 impl SimSystem {
     pub fn new(cfg: SimConfig, specs: Vec<CoreSpec>, kind: CoalescerKind) -> Self {
-        Self::with_options(cfg, specs, kind, false, false)
+        Self::with_options(cfg, specs, kind, false, false, Stepping::from_env())
     }
 
     /// `capture_trace` retains the raw miss stream (Figs 2/8/9);
-    /// `trace_occupancy` retains PAC's stream-occupancy samples (Fig 11b).
+    /// `trace_occupancy` retains PAC's stream-occupancy samples (Fig 11b);
+    /// `stepping` selects the clock-advance policy (metrics are identical
+    /// either way, only wall-clock differs).
     pub fn with_options(
         cfg: SimConfig,
         specs: Vec<CoreSpec>,
         kind: CoalescerKind,
         capture_trace: bool,
         trace_occupancy: bool,
+        stepping: Stepping,
     ) -> Self {
         assert!(!specs.is_empty());
         assert!(
@@ -222,9 +236,12 @@ impl SimSystem {
             mmu: None,
             trace: capture_trace.then(Vec::new),
             trace_cap: 1 << 20,
+            stepping,
             dispatches: Vec::new(),
             responses: Vec::new(),
             satisfied: Vec::new(),
+            blocked_scratch: Vec::new(),
+            core_mask: None,
             cfg,
         }
     }
@@ -540,10 +557,23 @@ impl SimSystem {
         self.coalescer.hint_pending(self.side_queue.len());
         self.drain_side_queue();
 
-        // Cores issue.
-        for c in 0..self.cores.len() {
-            if self.cores[c].can_issue(now) {
-                self.issue_core_access(c);
+        // Cores issue, in ascending index order either way.
+        match self.core_mask.take() {
+            Some(mask) => {
+                let mut bits = mask;
+                while bits != 0 {
+                    let c = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    debug_assert!(self.cores[c].can_issue(now));
+                    self.issue_core_access(c);
+                }
+            }
+            None => {
+                for c in 0..self.cores.len() {
+                    if self.cores[c].can_issue(now) {
+                        self.issue_core_access(c);
+                    }
+                }
             }
         }
 
@@ -596,6 +626,108 @@ impl SimSystem {
             && self.hmc.is_idle()
     }
 
+    /// Jump the clock from `self.now` to the earliest cycle at which
+    /// anything *new* can happen, bulk-accounting the cycles in between.
+    ///
+    /// Two kinds of cycle are jumpable. Genuinely idle cycles (no
+    /// component has an event) are free. Blocked-retry cycles — where
+    /// the only activity is the side-queue head and/or core retries
+    /// being offered and refused again — are skippable because refusal
+    /// is a pure function of coalescer state, and that state is frozen
+    /// until the next real event: the cycle-by-cycle reference would
+    /// refuse the identical offers once per cycle, mutating nothing but
+    /// the stall/comparator counters. Those per-cycle counter bumps are
+    /// applied in bulk via [`MemoryCoalescer::note_refused_retries`], so
+    /// metrics stay bit-identical to [`Stepping::EveryCycle`].
+    ///
+    /// Called between ticks, when component state is settled — the
+    /// refusal predictions use [`MemoryCoalescer::would_accept`] against
+    /// the final state of the tick just executed, never a stale
+    /// observation from inside it. Component events are conservative
+    /// lower bounds: an early landing tick is a harmless no-op, while
+    /// anything that would *accept* an offer or change state pins the
+    /// clock to the present.
+    fn skip_to_next_event(&mut self) {
+        let now = self.now;
+        self.core_mask = None;
+        // Offers the coming cycles would repeat: the side-queue head
+        // plus every core's pending retry. Any source whose offer would
+        // be accepted — or a prefetch candidate, which always makes
+        // progress — is real work *this* cycle: no jump.
+        self.blocked_scratch.clear();
+        match self.side_queue.front() {
+            None => {}
+            Some(SideEntry::Ready(req, _, _)) => {
+                if self.coalescer.would_accept(req) {
+                    return;
+                }
+                self.blocked_scratch.push(*req);
+            }
+            Some(SideEntry::PfCandidate { .. }) => return,
+        }
+        let mut best = u64::MAX;
+        // Cores eligible the moment the jump lands: blocked retriers
+        // (they re-offer at every jumped cycle and again at landing)
+        // plus whichever cores' issue cycle IS the landing cycle.
+        let mut blocked_mask = 0u64;
+        let mut best_core = u64::MAX;
+        let mut best_core_mask = 0u64;
+        let wide = self.cores.len() > 64;
+        for (i, core) in self.cores.iter().enumerate() {
+            match core.next_issue_cycle(now) {
+                None => {}
+                Some(c) if c > now => {
+                    best = best.min(c);
+                    if c < best_core {
+                        best_core = c;
+                        best_core_mask = 1 << (i & 63);
+                    } else if c == best_core {
+                        best_core_mask |= 1 << (i & 63);
+                    }
+                }
+                Some(_) => match &core.retry {
+                    Some(p) if !self.coalescer.would_accept(&p.req) => {
+                        self.blocked_scratch.push(p.req);
+                        blocked_mask |= 1 << (i & 63);
+                    }
+                    // A fresh access, or a retry that now fits.
+                    _ => return,
+                },
+            }
+        }
+        if let Some(c) = self.coalescer.next_event(now) {
+            if c <= now {
+                return;
+            }
+            best = best.min(c);
+        }
+        if let Some(c) = self.hmc.next_event(now) {
+            if c <= now {
+                return;
+            }
+            best = best.min(c);
+        }
+        if best == u64::MAX {
+            // Quiescent with the clock pinned: if work remains in
+            // flight the run loop's convergence assert trips rather
+            // than spinning silently.
+            return;
+        }
+        // Cycles [now, best) would each re-offer every blocked request
+        // exactly once and be refused; account those offers and jump.
+        let n = best - now;
+        for i in 0..self.blocked_scratch.len() {
+            let req = self.blocked_scratch[i];
+            self.coalescer.note_refused_retries(&req, now, n);
+        }
+        if !wide {
+            let mask =
+                if best == best_core { blocked_mask | best_core_mask } else { blocked_mask };
+            self.core_mask = Some(mask);
+        }
+        self.now = best;
+    }
+
     /// Prefetch fills issued over the run.
     pub fn prefetches_issued(&self) -> u64 {
         self.prefetches_issued
@@ -618,6 +750,11 @@ impl SimSystem {
                 // of stage 1 so the drain terminates promptly.
                 self.coalescer.flush(self.now);
                 flushed = true;
+            }
+            if self.stepping == Stepping::SkipAhead {
+                // `tick` already advanced `now` by one; jump the clock
+                // over idle and blocked-retry cycles from there.
+                self.skip_to_next_event();
             }
             assert!(self.now < limit, "simulation failed to converge by cycle {}", self.now);
         }
@@ -732,8 +869,14 @@ mod tests {
     #[test]
     fn trace_capture_collects_misses() {
         let specs = single_process(Bench::Bfs, 2, 3);
-        let mut sys =
-            SimSystem::with_options(small_cfg(), specs, CoalescerKind::Pac, true, false);
+        let mut sys = SimSystem::with_options(
+            small_cfg(),
+            specs,
+            CoalescerKind::Pac,
+            true,
+            false,
+            Stepping::SkipAhead,
+        );
         sys.run(1000);
         let trace = sys.take_trace();
         assert!(!trace.is_empty());

@@ -1,0 +1,238 @@
+//! Self-contained JSON (de)serialization for trace files.
+//!
+//! The interchange format is unchanged from the original serde-derived
+//! one — a JSON array of objects with `cycle`, `addr`, `op`, `kind`,
+//! `data_bytes`, and `core` fields — but the implementation is
+//! hand-rolled so the workspace carries no external serialization
+//! dependency. The parser accepts arbitrary key order and whitespace,
+//! so traces produced by external tools still load.
+
+use crate::system::TraceEntry;
+use pac_types::{Op, RequestKind};
+use std::fmt::Write as _;
+
+/// Serialize a trace to the JSON interchange format.
+pub fn to_json(trace: &[TraceEntry]) -> String {
+    let mut out = String::with_capacity(trace.len() * 96 + 2);
+    out.push('[');
+    for (i, e) in trace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let op = match e.op {
+            Op::Load => "Load",
+            Op::Store => "Store",
+        };
+        let kind = match e.kind {
+            RequestKind::Miss => "Miss",
+            RequestKind::WriteBack => "WriteBack",
+            RequestKind::Atomic => "Atomic",
+            RequestKind::Fence => "Fence",
+        };
+        let _ = write!(
+            out,
+            "{{\"cycle\":{},\"addr\":{},\"op\":\"{op}\",\"kind\":\"{kind}\",\"data_bytes\":{},\"core\":{}}}",
+            e.cycle, e.addr, e.data_bytes, e.core
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Parse a trace from the JSON interchange format.
+pub fn from_json(text: &str) -> Result<Vec<TraceEntry>, String> {
+    Parser { bytes: text.as_bytes(), pos: 0 }.parse_trace()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn parse_trace(&mut self) -> Result<Vec<TraceEntry>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            self.skip_ws();
+            return if self.pos == self.bytes.len() {
+                Ok(out)
+            } else {
+                Err(self.err("trailing data after trace array"))
+            };
+        }
+        loop {
+            out.push(self.parse_entry()?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            break;
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing data after trace array"));
+        }
+        Ok(out)
+    }
+
+    fn parse_entry(&mut self) -> Result<TraceEntry, String> {
+        self.expect(b'{')?;
+        let (mut cycle, mut addr, mut data_bytes, mut core) = (None, None, None, None);
+        let (mut op, mut kind) = (None, None);
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "cycle" => cycle = Some(self.parse_u64()?),
+                "addr" => addr = Some(self.parse_u64()?),
+                "data_bytes" => data_bytes = Some(self.parse_u64()? as u32),
+                "core" => core = Some(self.parse_u64()? as u8),
+                "op" => {
+                    op = Some(match self.parse_string()?.as_str() {
+                        "Load" => Op::Load,
+                        "Store" => Op::Store,
+                        other => return Err(self.err(&format!("unknown op '{other}'"))),
+                    })
+                }
+                "kind" => {
+                    kind = Some(match self.parse_string()?.as_str() {
+                        "Miss" => RequestKind::Miss,
+                        "WriteBack" => RequestKind::WriteBack,
+                        "Atomic" => RequestKind::Atomic,
+                        "Fence" => RequestKind::Fence,
+                        other => return Err(self.err(&format!("unknown kind '{other}'"))),
+                    })
+                }
+                other => return Err(self.err(&format!("unknown field '{other}'"))),
+            }
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            break;
+        }
+        match (cycle, addr, op, kind, data_bytes, core) {
+            (Some(cycle), Some(addr), Some(op), Some(kind), Some(data_bytes), Some(core)) => {
+                Ok(TraceEntry { cycle, addr, op, kind, data_bytes, core })
+            }
+            _ => Err(self.err("trace entry missing a required field")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err(self.err("escape sequences are not used by this schema"));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?
+                    .to_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| self.err("number out of range"))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("trace json error at byte {}: {msg}", self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEntry> {
+        vec![
+            TraceEntry {
+                cycle: 12,
+                addr: 0xDEAD_BEEF,
+                op: Op::Load,
+                kind: RequestKind::Miss,
+                data_bytes: 8,
+                core: 3,
+            },
+            TraceEntry {
+                cycle: 13,
+                addr: 64,
+                op: Op::Store,
+                kind: RequestKind::WriteBack,
+                data_bytes: 64,
+                core: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let t = sample();
+        assert_eq!(from_json(&to_json(&t)).unwrap(), t);
+        assert_eq!(from_json("[]").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn accepts_whitespace_and_key_order() {
+        let text = r#" [ { "op" : "Load" , "core" : 1 ,
+            "addr" : 256 , "kind" : "Atomic" , "data_bytes" : 4 , "cycle" : 9 } ] "#;
+        let t = from_json(text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].addr, 256);
+        assert_eq!(t[0].kind, RequestKind::Atomic);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_json("").is_err());
+        assert!(from_json("[{}]").is_err());
+        assert!(from_json("[{\"cycle\":1}]").is_err());
+        assert!(from_json("[] trailing").is_err());
+    }
+}

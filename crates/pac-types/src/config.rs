@@ -13,10 +13,9 @@
 //! | Avg HMC access time  | 93 ns                                |
 
 use crate::protocol::MemoryProtocol;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and timing of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -47,7 +46,7 @@ impl CacheConfig {
 }
 
 /// Configuration of the coalescing network and the MSHR file.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoalescerConfig {
     /// Number of parallel coalescing streams in the paged request
     /// aggregator (Table 1: 16).
@@ -85,7 +84,7 @@ impl Default for CoalescerConfig {
 /// one clock. Energy constants are representative pico-joule figures; the
 /// paper reports only relative savings, which depend on event counts,
 /// not on the absolute constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HmcDeviceConfig {
     /// Number of external SERDES links (Table 1: 4).
     pub links: u32,
@@ -192,7 +191,7 @@ impl HmcDeviceConfig {
 }
 
 /// Top-level simulation configuration (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Number of cores (Table 1: 8).
     pub cores: u32,

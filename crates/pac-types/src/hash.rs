@@ -1,0 +1,50 @@
+//! Identity-style hashing for maps keyed by densely-sequential u64 ids
+//! (raw request ids, dispatch ids, stream tags): the key IS the hash,
+//! saving SipHash work on per-request hot paths.
+
+/// Hash builder for maps keyed by u64 ids. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdHash;
+
+impl std::hash::BuildHasher for IdHash {
+    type Hasher = IdHasher;
+    fn build_hasher(&self) -> IdHasher {
+        IdHasher(0)
+    }
+}
+
+/// See [`IdHash`].
+#[derive(Debug, Clone, Copy)]
+pub struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        // Spread sequential ids across hashmap buckets.
+        self.0.wrapping_mul(0x9E3779B97F4A7C15)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) | b as u64;
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn maps_store_and_retrieve() {
+        let mut m: HashMap<u64, u32, IdHash> = HashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i as u32 * 3);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i as u32 * 3)));
+        }
+    }
+}

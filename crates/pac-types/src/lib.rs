@@ -10,11 +10,13 @@
 
 pub mod addr;
 pub mod config;
+pub mod hash;
 pub mod protocol;
 pub mod request;
 
 pub use addr::{Addr, BlockId, PageNumber, CACHE_LINE_BYTES, PAGE_BYTES};
 pub use config::{CacheConfig, CoalescerConfig, HmcDeviceConfig, SimConfig};
+pub use hash::{IdHash, IdHasher};
 pub use protocol::MemoryProtocol;
 pub use request::{CoalescedRequest, MemRequest, Op, RequestKind};
 

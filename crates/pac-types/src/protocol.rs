@@ -7,7 +7,6 @@
 //! carries a 16 B request-control message and a 16 B response-control
 //! message — 32 B of overhead regardless of payload (Sec 5.3.2).
 
-use serde::{Deserialize, Serialize};
 
 /// One FLow-control unIT on the HMC link (16 bytes).
 pub const FLIT_BYTES: u64 = 16;
@@ -18,7 +17,7 @@ pub const FLIT_BYTES: u64 = 16;
 pub const CONTROL_OVERHEAD_BYTES: u64 = 32;
 
 /// The target 3D-stacked memory protocol generation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryProtocol {
     /// Hybrid Memory Cube 1.0: max 128 B request packets.
     Hmc10,

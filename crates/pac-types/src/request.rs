@@ -9,11 +9,10 @@
 
 use crate::addr::{self, Addr, BlockId, PageNumber};
 use crate::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Memory operation direction. Matches the OP bit in the adaptive MSHRs
 /// and the T tag bit in the coalescing streams (0 = load, 1 = store).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     Load,
     Store,
@@ -28,7 +27,7 @@ impl Op {
 }
 
 /// What kind of request this is, for routing inside the coalescer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestKind {
     /// A demand miss from the LLC.
     Miss,
@@ -43,7 +42,7 @@ pub enum RequestKind {
 }
 
 /// A raw cache-line-granular memory request flushed from the LLC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRequest {
     /// Unique id, assigned monotonically by the front-end.
     pub id: u64,
@@ -95,7 +94,7 @@ impl MemRequest {
 
 /// One coalesced request as emitted by the request assembler: a
 /// contiguous run of cache blocks inside one DRAM row of one page.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoalescedRequest {
     /// Base byte address (block-aligned).
     pub addr: Addr,

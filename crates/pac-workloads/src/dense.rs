@@ -87,7 +87,7 @@ impl AccessStream for Ep {
         let acc = if self.writing { Access::store(addr, 64) } else { Access::load(addr, 64) };
         self.pos += LINE;
         // At each block boundary, flip between generate and reduce.
-        if self.pos % self.block_bytes == 0 {
+        if self.pos.is_multiple_of(self.block_bytes) {
             if self.writing {
                 self.writing = false;
                 self.pos = block; // re-walk the block, loading
@@ -219,7 +219,7 @@ impl AccessStream for MergeSort {
         let half = self.chunk_bytes / 2;
         let out = self.dst + self.core * self.chunk_bytes;
         self.emitted += 1;
-        if self.emitted % 4096 == 0 {
+        if self.emitted.is_multiple_of(4096) {
             return Access::fence(); // task join between merge tasks
         }
         let acc = match self.phase {

@@ -201,7 +201,7 @@ impl SparseLu {
 
     /// ~25% of grid positions hold an allocated block.
     fn allocated(&self, pos: u64) -> bool {
-        mix(pos.wrapping_mul(0xB10C)) % 4 == 0
+        mix(pos.wrapping_mul(0xB10C)).is_multiple_of(4)
     }
 
     fn pick_blocks(&mut self) {

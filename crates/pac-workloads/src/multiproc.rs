@@ -34,7 +34,7 @@ pub fn single_process(bench: Bench, cores: u32, seed: u64) -> Vec<CoreSpec> {
 
 /// Two processes on disjoint core halves running different benchmarks.
 pub fn two_processes(a: Bench, b: Bench, cores: u32, seed: u64) -> Vec<CoreSpec> {
-    assert!(cores >= 2 && cores % 2 == 0, "need an even core count");
+    assert!(cores >= 2 && cores.is_multiple_of(2), "need an even core count");
     let half = cores / 2;
     (0..cores)
         .map(|c| {
@@ -86,7 +86,7 @@ impl WithSharedReads {
 impl crate::AccessStream for WithSharedReads {
     fn next_access(&mut self) -> crate::Access {
         self.n += 1;
-        if self.n % self.every == 0 {
+        if self.n.is_multiple_of(self.every) {
             let addr = self.base + (self.i * 64) % self.span;
             self.i += 1;
             return crate::Access::load(addr, 64);

@@ -59,7 +59,7 @@ impl AccessStream for Mg {
         if self.phase == 5 {
             self.phase = 0;
             self.pos += step;
-            if self.pos % self.slab_bytes == 0 {
+            if self.pos.is_multiple_of(self.slab_bytes) {
                 self.sweep = (self.sweep + 1) % 3;
                 self.pos -= self.slab_bytes; // next sweep over the same slab
             }
@@ -132,7 +132,7 @@ impl AccessStream for Sp {
         if self.phase == 4 {
             self.phase = 0;
             self.i += 1;
-            if self.i % 4096 == 0 {
+            if self.i.is_multiple_of(4096) {
                 self.dim = (self.dim + 1) % 3;
             }
         }

@@ -1,0 +1,314 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate so the
+//! workspace builds and tests run in fully offline environments.
+//!
+//! It keeps the subset of the API this repository uses — `Strategy`
+//! implementations for integer ranges, tuples, `any::<T>()` and
+//! `collection::vec`, plus the `proptest!`, `prop_assert!` and
+//! `prop_assert_eq!` macros — with deterministic sampling (seeded per
+//! test name and case index) and no shrinking. A failing case reports
+//! the generated inputs so it can be reproduced by construction.
+
+use std::marker::PhantomData;
+
+/// Deterministic splitmix64 generator; the whole crate's only RNG.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of random values of one type. The stub has no shrinking:
+/// `generate` is the entire contract.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as i128 - self.start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod bool {
+    //! `proptest::bool::ANY` — a strategy for arbitrary booleans.
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    pub const ANY: AnyBool = AnyBool;
+
+    impl crate::Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! `proptest::collection::vec` — vectors of strategy-generated
+    //! elements with a sampled length.
+
+    use crate::{Strategy, TestRng};
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases each property runs. Override with `PROPTEST_CASES`.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for __b in stringify!($name).bytes() {
+                __seed = (__seed ^ __b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            let __cases = $crate::cases();
+            for __case in 0..__cases {
+                let mut __rng = $crate::TestRng::new(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mut __desc = ::std::string::String::new();
+                $(
+                    let __v = $crate::Strategy::generate(&($strat), &mut __rng);
+                    {
+                        use ::std::fmt::Write as _;
+                        let _ = write!(__desc, "{} = {:?}; ", stringify!($pat), &__v);
+                    }
+                    let $pat = __v;
+                )+
+                let __res: ::std::result::Result<(), ::std::string::String> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__msg) = __res {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        __case + 1, __cases, __msg, __desc
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert failed: `{}`",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert failed: `{}`: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq failed: `{}` == `{}`\n  left:  {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq failed: `{}` == `{}`\n  left:  {:?}\n  right: {:?}\n  {}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(-2048i64..=2047), &mut rng);
+            assert!((-2048..=2047).contains(&w));
+            let x = Strategy::generate(&(5u16..), &mut rng);
+            assert!(x >= 5);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        let s = prop::collection::vec((0u64..6, any::<bool>()), 1..50);
+        assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a in 0u32..100, mut v in prop::collection::vec(0u8..4, 1..10)) {
+            v.push(0);
+            prop_assert!(a < 100);
+            prop_assert_eq!(v.last().copied(), Some(0), "tail {v:?}");
+        }
+    }
+}

@@ -204,13 +204,7 @@ fn alu(kind: AluKind, a: u64, b: u64) -> u64 {
         AluKind::Or => a | b,
         AluKind::And => a & b,
         AluKind::Mul => a.wrapping_mul(b),
-        AluKind::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        AluKind::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         AluKind::Remu => {
             if b == 0 {
                 a

@@ -177,6 +177,38 @@ proptest! {
         prop_assert_eq!(bitonic, oem);
     }
 
+    /// Skip-ahead equivalence over randomized short workloads: for any
+    /// benchmark, coalescer, access budget and seed, the event-driven
+    /// clock produces bit-identical metrics to the cycle-by-cycle
+    /// reference (the fixed-seed version lives in
+    /// `tests/skip_ahead_equivalence.rs`).
+    #[test]
+    fn skip_ahead_equivalent_on_random_workloads(
+        bench_idx in 0usize..14,
+        kind_idx in 0usize..3,
+        accesses in 50u64..400,
+        seed in any::<u64>(),
+    ) {
+        use pac_repro::sim::{run_bench, CoalescerKind, ExperimentConfig, Stepping};
+        let bench = pac_repro::workloads::Bench::ALL[bench_idx];
+        let kind = [CoalescerKind::Raw, CoalescerKind::MshrDmc, CoalescerKind::Pac][kind_idx];
+        let run = |stepping| {
+            let cfg = ExperimentConfig {
+                accesses_per_core: accesses,
+                seed,
+                capture_trace: true,
+                trace_occupancy: true,
+                stepping,
+                ..Default::default()
+            };
+            run_bench(bench, kind, &cfg)
+        };
+        let (slow, trace_slow) = run(Stepping::EveryCycle);
+        let (fast, trace_fast) = run(Stepping::SkipAhead);
+        prop_assert_eq!(slow, fast, "metrics diverged for {:?}/{:?}", bench, kind);
+        prop_assert_eq!(trace_slow, trace_fast, "traces diverged for {:?}/{:?}", bench, kind);
+    }
+
     /// DBSCAN invariants: points in the same cluster are chained within
     /// eps; cluster member counts sum to total minus noise.
     #[test]

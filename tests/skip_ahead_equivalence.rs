@@ -1,0 +1,91 @@
+//! Skip-ahead equivalence regression tests.
+//!
+//! The event-driven clock (`Stepping::SkipAhead`) must be a pure
+//! performance optimisation: for any workload, coalescer, and seed it
+//! has to produce *bit-identical* [`RunMetrics`] (and captured traces)
+//! to the retained cycle-by-cycle reference (`Stepping::EveryCycle`).
+//! These tests pin that contract for every coalescer kind across a
+//! spread of benchmarks with fixed seeds; `tests/proptests.rs` extends
+//! the same assertion to randomized short workloads.
+
+use pac_repro::sim::{run_bench, CoalescerKind, ExperimentConfig, RunMetrics, Stepping};
+use pac_repro::sim::{SimSystem, TraceEntry};
+use pac_repro::workloads::multiproc::single_process;
+use pac_repro::workloads::Bench;
+
+const KINDS: [CoalescerKind; 3] =
+    [CoalescerKind::Raw, CoalescerKind::MshrDmc, CoalescerKind::Pac];
+
+fn run(
+    bench: Bench,
+    kind: CoalescerKind,
+    stepping: Stepping,
+    accesses: u64,
+    seed: u64,
+) -> (RunMetrics, Vec<TraceEntry>) {
+    let cfg = ExperimentConfig {
+        accesses_per_core: accesses,
+        seed,
+        capture_trace: true,
+        trace_occupancy: kind == CoalescerKind::Pac,
+        stepping,
+        ..Default::default()
+    };
+    run_bench(bench, kind, &cfg)
+}
+
+/// Fixed-seed regression: all three coalescers over five benchmarks
+/// with distinct access mixes (streaming, gather/scatter, sparse SpMV,
+/// private dense, strided butterfly).
+#[test]
+fn skip_ahead_matches_every_cycle_reference() {
+    let benches = [Bench::Stream, Bench::Gs, Bench::Cg, Bench::Ep, Bench::Ft];
+    for &bench in &benches {
+        for &kind in &KINDS {
+            let (slow, trace_slow) = run(bench, kind, Stepping::EveryCycle, 1_200, 0x9AC_5EED);
+            let (fast, trace_fast) = run(bench, kind, Stepping::SkipAhead, 1_200, 0x9AC_5EED);
+            assert_eq!(slow, fast, "{bench:?}/{kind:?}: metrics diverged");
+            assert_eq!(trace_slow, trace_fast, "{bench:?}/{kind:?}: traces diverged");
+        }
+    }
+}
+
+/// A second seed catches divergence hidden by the default seed's
+/// particular interleaving.
+#[test]
+fn skip_ahead_matches_reference_on_alternate_seed() {
+    for &kind in &KINDS {
+        let (slow, _) = run(Bench::Mg, kind, Stepping::EveryCycle, 900, 0xDEAD_BEEF);
+        let (fast, _) = run(Bench::Mg, kind, Stepping::SkipAhead, 900, 0xDEAD_BEEF);
+        assert_eq!(slow, fast, "{kind:?}: metrics diverged on alternate seed");
+    }
+}
+
+/// The final clock value itself must match: skip-ahead may never jump
+/// past an event that the reference mode would have acted on.
+#[test]
+fn skip_ahead_preserves_drain_cycle() {
+    for &kind in &KINDS {
+        let cfg = pac_repro::types::SimConfig::default();
+        let mut slow = SimSystem::with_options(
+            cfg,
+            single_process(Bench::Sort, cfg.cores, 7),
+            kind,
+            false,
+            false,
+            Stepping::EveryCycle,
+        );
+        let mut fast = SimSystem::with_options(
+            cfg,
+            single_process(Bench::Sort, cfg.cores, 7),
+            kind,
+            false,
+            false,
+            Stepping::SkipAhead,
+        );
+        let m_slow = slow.run(800);
+        let m_fast = fast.run(800);
+        assert_eq!(m_slow.runtime_cycles, m_fast.runtime_cycles, "{kind:?}: drain cycle moved");
+        assert_eq!(slow.now(), fast.now(), "{kind:?}: final clock differs");
+    }
+}

@@ -3,6 +3,7 @@
 //! replay to byte-identical metrics, so traces can be captured once and
 //! shared between machines/sessions as the paper's methodology assumes.
 
+use pac_repro::sim::trace_json;
 use pac_repro::sim::{replay, run_bench, CoalescerKind, ExperimentConfig, TraceEntry};
 use pac_repro::workloads::Bench;
 
@@ -14,8 +15,8 @@ fn short_cfg() -> ExperimentConfig {
 fn json_round_trip_preserves_every_entry() {
     let (_, trace) = run_bench(Bench::Ft, CoalescerKind::Raw, &short_cfg());
     assert!(!trace.is_empty());
-    let json = serde_json::to_string(&trace).expect("serialize");
-    let back: Vec<TraceEntry> = serde_json::from_str(&json).expect("deserialize");
+    let json = trace_json::to_json(&trace);
+    let back: Vec<TraceEntry> = trace_json::from_json(&json).expect("deserialize");
     assert_eq!(trace, back);
 }
 
@@ -23,8 +24,8 @@ fn json_round_trip_preserves_every_entry() {
 fn replaying_a_deserialized_trace_is_bit_identical() {
     let cfg = short_cfg();
     let (_, trace) = run_bench(Bench::Gs, CoalescerKind::Raw, &cfg);
-    let json = serde_json::to_string(&trace).unwrap();
-    let back: Vec<TraceEntry> = serde_json::from_str(&json).unwrap();
+    let json = trace_json::to_json(&trace);
+    let back: Vec<TraceEntry> = trace_json::from_json(&json).unwrap();
     for kind in [CoalescerKind::MshrDmc, CoalescerKind::Pac] {
         let a = replay(&trace, kind, &cfg.sim);
         let b = replay(&back, kind, &cfg.sim);
