@@ -14,7 +14,7 @@ use crate::energy::{EnergyBreakdown, EnergyClass};
 use crate::stats::HmcStats;
 use crate::vault::{QueuedRequest, ReadyResponse, Vault};
 use pac_types::protocol::FLIT_BYTES;
-use pac_types::{Cycle, HmcDeviceConfig, Op};
+use pac_types::{Cycle, FaultClass, FaultPlan, HmcDeviceConfig, Op};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -92,6 +92,10 @@ pub struct Hmc {
     /// `next_event` answer without touching the per-vault array.
     vault_next_min: Cycle,
     scratch: Vec<ReadyResponse>,
+    /// Active fault-injection plan (conformance testing only).
+    fault_plan: Option<FaultPlan>,
+    /// Faults injected so far under `fault_plan`.
+    faults_injected: u64,
     /// Aggregate statistics.
     pub stats: HmcStats,
     /// Energy breakdown by operation class.
@@ -114,6 +118,8 @@ impl Hmc {
             vault_next: vec![u64::MAX; cfg.vaults as usize],
             vault_next_min: u64::MAX,
             scratch: Vec::new(),
+            fault_plan: None,
+            faults_injected: 0,
             stats: HmcStats::default(),
             energy: EnergyBreakdown::new(),
             cfg,
@@ -128,6 +134,18 @@ impl Hmc {
     /// Number of requests accepted but not yet completed.
     pub fn inflight(&self) -> usize {
         self.inflight
+    }
+
+    /// Arm deterministic response-path fault injection. Conformance
+    /// testing only — a plan makes the device deliberately *wrong* in
+    /// the planned way so the oracle can prove it notices.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// How many faults the active plan has injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
     }
 
     /// True when nothing is queued or in flight.
@@ -312,14 +330,35 @@ impl Hmc {
         // One route operation for the response packet.
         self.energy.add(route_class, 1, pj);
 
-        self.completed.push(Reverse((
-            complete,
-            req.id,
-            req.addr,
-            req.bytes,
-            req.op == Op::Store,
-            req.submit_cycle,
-        )));
+        let mut entry: CompletedEntry =
+            (complete, req.id, req.addr, req.bytes, req.op == Op::Store, req.submit_cycle);
+        if let Some(plan) = self.fault_plan {
+            let budget_ok = plan.max_faults == 0 || self.faults_injected < plan.max_faults;
+            if budget_ok && plan.should_inject(req.id) {
+                self.faults_injected += 1;
+                match plan.class {
+                    FaultClass::DropResponse => {
+                        // The vault serviced the access but the completion
+                        // packet is lost. Release the in-flight slot here
+                        // (`pop_responses` will never see this entry) so
+                        // the device can still drain to idle.
+                        self.inflight -= 1;
+                        return;
+                    }
+                    FaultClass::DuplicateResponse => {
+                        // Deliver the same completion twice. The extra pop
+                        // decrements `inflight` a second time, so balance
+                        // the counter up front.
+                        self.completed.push(Reverse(entry));
+                        self.inflight += 1;
+                    }
+                    FaultClass::DelayResponse => entry.0 += plan.delay_cycles,
+                    // Echo an adjacent line's address back on the wire.
+                    FaultClass::CorruptAddr => entry.2 ^= 0x40,
+                }
+            }
+        }
+        self.completed.push(Reverse(entry));
     }
 
     /// Earliest cycle ≥ `now` at which [`Hmc::tick`] or
@@ -586,6 +625,74 @@ mod tests {
         let first = rsps.first().unwrap().complete_cycle;
         let last = rsps.last().unwrap().complete_cycle;
         assert!(last > first, "burst must spread: {first}..{last}");
+    }
+
+    #[test]
+    fn fault_drop_loses_responses_but_still_drains() {
+        let mut hmc = device();
+        let plan = FaultPlan {
+            rate_per_1024: 1024,
+            max_faults: 2,
+            ..FaultPlan::new(FaultClass::DropResponse, 11)
+        };
+        hmc.set_fault_plan(plan);
+        for i in 0..8 {
+            hmc.submit(read(i, i * 256, 64), 0);
+        }
+        let (rsps, _) = hmc.drain(0);
+        assert_eq!(hmc.faults_injected(), 2);
+        assert_eq!(rsps.len(), 6, "two of eight responses dropped");
+        assert!(hmc.is_idle(), "dropped responses must not wedge the device");
+    }
+
+    #[test]
+    fn fault_duplicate_delivers_twice() {
+        let mut hmc = device();
+        let plan = FaultPlan {
+            rate_per_1024: 1024,
+            max_faults: 1,
+            ..FaultPlan::new(FaultClass::DuplicateResponse, 5)
+        };
+        hmc.set_fault_plan(plan);
+        for i in 0..4 {
+            hmc.submit(read(i, i * 256, 64), 0);
+        }
+        let (rsps, _) = hmc.drain(0);
+        assert_eq!(hmc.faults_injected(), 1);
+        assert_eq!(rsps.len(), 5, "one response duplicated");
+        assert!(hmc.is_idle());
+    }
+
+    #[test]
+    fn fault_delay_pushes_completion_out() {
+        let mut hmc = device();
+        let plan = FaultPlan {
+            rate_per_1024: 1024,
+            max_faults: 1,
+            delay_cycles: 100_000,
+            ..FaultPlan::new(FaultClass::DelayResponse, 5)
+        };
+        hmc.set_fault_plan(plan);
+        hmc.submit(read(1, 0, 64), 0);
+        let (rsps, done) = hmc.drain(0);
+        assert_eq!(rsps.len(), 1);
+        assert!(rsps[0].complete_cycle >= 100_000, "at {}", rsps[0].complete_cycle);
+        assert!(done >= 100_000);
+    }
+
+    #[test]
+    fn fault_corrupt_addr_echoes_wrong_line() {
+        let mut hmc = device();
+        let plan = FaultPlan {
+            rate_per_1024: 1024,
+            max_faults: 1,
+            ..FaultPlan::new(FaultClass::CorruptAddr, 5)
+        };
+        hmc.set_fault_plan(plan);
+        hmc.submit(read(1, 0x1000, 64), 0);
+        let (rsps, _) = hmc.drain(0);
+        assert_eq!(rsps.len(), 1);
+        assert_eq!(rsps[0].addr, 0x1040, "address echo must be corrupted");
     }
 
     #[test]

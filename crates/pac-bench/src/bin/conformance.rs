@@ -1,0 +1,87 @@
+//! Oracle conformance suite.
+//!
+//! ```console
+//! $ conformance            # full scale
+//! $ conformance --quick    # CI scale (also via PAC_QUICK=1)
+//! ```
+//!
+//! Phase 1 runs every benchmark × coalescer under the lockstep oracle
+//! with no faults and requires zero violations. Phase 2 arms each fault
+//! class on the memory device's response path (every coalescer again)
+//! and requires the expected invariant to fire. Exits nonzero on any
+//! undetected fault or any unclean clean-run.
+
+use pac_bench::conformance::{
+    clean_matrix, expected_invariants, fault_matrix, ConformanceScale,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("PAC_QUICK").is_ok_and(|v| v != "0");
+    let scale = if quick { ConformanceScale::quick() } else { ConformanceScale::full() };
+    eprintln!(
+        "scale: {} accesses/core, {} cores, cycle limit {}",
+        scale.accesses_per_core, scale.cores, scale.cycle_limit
+    );
+
+    let mut failures = 0u32;
+
+    eprintln!("\n== phase 1: clean matrix (oracle must stay silent) ==");
+    let cells = clean_matrix(scale);
+    let total = cells.len();
+    for cell in &cells {
+        if !cell.passed() {
+            failures += 1;
+            println!(
+                "FAIL  {:>12} x {:<8} converged={} {}",
+                cell.bench.name(),
+                cell.kind.label(),
+                cell.converged,
+                cell.report.summary()
+            );
+            for v in cell.report.violations.iter().take(4) {
+                println!("      {v}");
+            }
+        }
+    }
+    println!(
+        "clean matrix: {}/{} cells clean",
+        total - cells.iter().filter(|c| !c.passed()).count() as usize,
+        total
+    );
+
+    eprintln!("\n== phase 2: fault matrix (oracle must catch every class) ==");
+    println!(
+        "{:<18} {:<10} {:>8}  {:<24} verdict",
+        "fault class", "coalescer", "injected", "expected invariant"
+    );
+    for cell in fault_matrix(scale) {
+        let expected: Vec<&str> =
+            expected_invariants(cell.class).iter().map(|i| i.label()).collect();
+        let fired: Vec<String> = cell
+            .report
+            .fired()
+            .iter()
+            .map(|i| format!("{}x{}", cell.report.count(*i), i.label()))
+            .collect();
+        let ok = cell.detected();
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:<18} {:<10} {:>8}  {:<24} {}  (fired: {})",
+            cell.class.label(),
+            cell.kind.label(),
+            cell.faults_injected,
+            expected.join("|"),
+            if ok { "DETECTED" } else { "MISSED" },
+            if fired.is_empty() { "none".to_string() } else { fired.join(", ") }
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("\nconformance FAILED: {failures} cell(s)");
+        std::process::exit(1);
+    }
+    eprintln!("\nconformance passed: oracle silent on clean runs, every fault class caught");
+}

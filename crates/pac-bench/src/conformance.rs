@@ -1,0 +1,197 @@
+//! Oracle conformance: prove the lockstep checker catches what it
+//! claims to catch.
+//!
+//! Two sweeps. The **clean matrix** runs every benchmark × coalescer
+//! under the oracle with no faults and demands zero violations — the
+//! timed models conform to the functional model. The **fault matrix**
+//! arms each [`FaultClass`] on the memory device's response path and
+//! demands that the *expected* invariant fires — the checker has teeth.
+//! A checker that has never flagged anything is indistinguishable from
+//! a checker that cannot; this module is the distinguishing experiment.
+
+use pac_oracle::{Invariant, OracleConfig, OracleReport};
+use pac_sim::system::run_lockstep;
+use pac_sim::{CoalescerKind, LockstepOutcome};
+use pac_types::{FaultClass, FaultPlan, SimConfig};
+use pac_workloads::multiproc::single_process;
+use pac_workloads::Bench;
+
+/// One cell of the clean conformance matrix.
+pub struct CleanCell {
+    pub bench: Bench,
+    pub kind: CoalescerKind,
+    pub converged: bool,
+    pub report: OracleReport,
+}
+
+impl CleanCell {
+    pub fn passed(&self) -> bool {
+        self.converged && self.report.is_clean()
+    }
+}
+
+/// One cell of the fault-injection matrix.
+pub struct FaultCell {
+    pub class: FaultClass,
+    pub kind: CoalescerKind,
+    pub faults_injected: u64,
+    pub report: OracleReport,
+}
+
+impl FaultCell {
+    /// Detection means the expected invariant (not merely *some*
+    /// invariant) fired, and the device really injected faults.
+    pub fn detected(&self) -> bool {
+        self.faults_injected > 0
+            && expected_invariants(self.class).iter().any(|&inv| self.report.detected(inv))
+    }
+}
+
+/// The invariant(s) that must catch each fault class. A drop surfaces
+/// either as the unanswered dispatch or as the starved raw requests,
+/// depending on which side of the coalescer the loss is observed from —
+/// both are conservation failures and either is a correct catch.
+pub fn expected_invariants(class: FaultClass) -> &'static [Invariant] {
+    match class {
+        FaultClass::DropResponse => {
+            &[Invariant::LostResponse, Invariant::ResponseConservation]
+        }
+        FaultClass::DuplicateResponse => &[Invariant::SpuriousResponse],
+        FaultClass::DelayResponse => &[Invariant::LatencyBound],
+        FaultClass::CorruptAddr => &[Invariant::EchoIntegrity],
+    }
+}
+
+/// Sweep scale. Quick mode is the CI configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ConformanceScale {
+    pub accesses_per_core: u64,
+    pub cores: u32,
+    /// Bound for runs that cannot converge (dropped responses wedge the
+    /// drain); also the clean-run safety net.
+    pub cycle_limit: u64,
+}
+
+impl ConformanceScale {
+    pub fn quick() -> Self {
+        ConformanceScale { accesses_per_core: 400, cores: 4, cycle_limit: 2_000_000 }
+    }
+
+    pub fn full() -> Self {
+        ConformanceScale { accesses_per_core: 2000, cores: 8, cycle_limit: 20_000_000 }
+    }
+}
+
+fn fault_seed(class: FaultClass, kind: CoalescerKind) -> u64 {
+    0xC0FF_EE00 + FaultClass::ALL.iter().position(|&c| c == class).unwrap() as u64 * 7
+        + CoalescerKind::ALL.iter().position(|&k| k == kind).unwrap() as u64
+}
+
+/// Run the clean matrix: every benchmark × coalescer, oracle attached,
+/// no faults.
+pub fn clean_matrix(scale: ConformanceScale) -> Vec<CleanCell> {
+    let mut cells = Vec::new();
+    for &bench in &Bench::ALL {
+        for kind in CoalescerKind::ALL {
+            let specs = single_process(bench, scale.cores, 7);
+            let out = run_lockstep(
+                SimConfig::default(),
+                specs,
+                kind,
+                scale.accesses_per_core,
+                None,
+                None,
+                scale.cycle_limit,
+            );
+            cells.push(CleanCell { bench, kind, converged: out.converged, report: out.oracle });
+        }
+    }
+    cells
+}
+
+/// Run the fault matrix: every fault class × coalescer on one
+/// representative benchmark.
+pub fn fault_matrix(scale: ConformanceScale) -> Vec<FaultCell> {
+    let mut cells = Vec::new();
+    for &class in &FaultClass::ALL {
+        for kind in CoalescerKind::ALL {
+            let out = run_fault(class, kind, scale);
+            cells.push(FaultCell {
+                class,
+                kind,
+                faults_injected: out.faults_injected,
+                report: out.oracle,
+            });
+        }
+    }
+    cells
+}
+
+/// One armed run. Delay faults need a finite latency bound on the
+/// checker (clean runs leave it disabled: legitimate queueing latency
+/// is workload-dependent) and a cycle limit past the injected delay.
+pub fn run_fault(
+    class: FaultClass,
+    kind: CoalescerKind,
+    scale: ConformanceScale,
+) -> LockstepOutcome {
+    let cfg = SimConfig::default();
+    let plan = FaultPlan::new(class, fault_seed(class, kind));
+    let mut oracle_cfg = OracleConfig::for_sim(&cfg);
+    let mut limit = scale.cycle_limit;
+    if class == FaultClass::DelayResponse {
+        // The injected delay (5M cycles) dwarfs any legitimate latency;
+        // a 1M bound separates them with a wide margin on both sides.
+        oracle_cfg.max_response_latency = Some(1_000_000);
+        limit = limit.max(plan.delay_cycles + 10_000_000);
+    }
+    let specs = single_process(Bench::Stream, scale.cores, 7);
+    run_lockstep(
+        cfg,
+        specs,
+        kind,
+        scale.accesses_per_core,
+        Some(plan),
+        Some(oracle_cfg),
+        limit,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every fault class is caught by its expected invariant under PAC.
+    #[test]
+    fn every_fault_class_detected_under_pac() {
+        let scale = ConformanceScale { cycle_limit: 600_000, ..ConformanceScale::quick() };
+        for &class in &FaultClass::ALL {
+            let out = run_fault(class, CoalescerKind::Pac, scale);
+            assert!(out.faults_injected > 0, "{:?}: no fault injected", class);
+            let caught = expected_invariants(class)
+                .iter()
+                .any(|&inv| out.oracle.detected(inv));
+            assert!(caught, "{:?} not caught: {}", class, out.oracle.summary());
+        }
+    }
+
+    /// A clean armed-with-nothing run stays clean (spot check; the full
+    /// matrix is the binary's job).
+    #[test]
+    fn clean_spot_check_is_clean() {
+        let scale = ConformanceScale::quick();
+        let specs = single_process(Bench::Ep, scale.cores, 7);
+        let out = run_lockstep(
+            SimConfig::default(),
+            specs,
+            CoalescerKind::Pac,
+            scale.accesses_per_core,
+            None,
+            None,
+            scale.cycle_limit,
+        );
+        assert!(out.converged);
+        assert_eq!(out.faults_injected, 0);
+        assert!(out.oracle.is_clean(), "{}", out.oracle.summary());
+    }
+}

@@ -15,6 +15,7 @@
 //! memory system and the cores.
 
 pub mod chart;
+pub mod conformance;
 pub mod figures;
 pub mod harness;
 pub mod paper;

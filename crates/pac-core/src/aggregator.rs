@@ -170,6 +170,34 @@ impl PagedRequestAggregator {
         out
     }
 
+    /// Structural invariants, polled by the lockstep oracle: occupancy
+    /// within capacity, the tag index exactly mirroring the stream
+    /// array, and every stream internally consistent (see
+    /// [`CoalescingStream::integrity`]).
+    pub fn integrity(&self) -> Result<(), String> {
+        if self.streams.len() > self.capacity {
+            return Err(format!(
+                "aggregator holds {} streams but capacity is {}",
+                self.streams.len(),
+                self.capacity
+            ));
+        }
+        if self.index.len() != self.streams.len() {
+            return Err(format!(
+                "tag index has {} records for {} streams",
+                self.index.len(),
+                self.streams.len()
+            ));
+        }
+        for (i, s) in self.streams.iter().enumerate() {
+            if self.index.get(&s.tag) != Some(&i) {
+                return Err(format!("stream {i} (page {:#x}) mis-indexed", s.ppn));
+            }
+            s.integrity()?;
+        }
+        Ok(())
+    }
+
     fn evict_oldest(&mut self) -> Option<CoalescingStream> {
         let idx = self
             .streams
@@ -275,6 +303,40 @@ mod tests {
         let pages: Vec<_> = all.iter().map(|s| s.ppn).collect();
         assert_eq!(pages, vec![6, 7, 5]);
         assert!(pra.is_empty());
+    }
+
+    /// The timeout path drains expired streams oldest first, leaves
+    /// survivors merging, and keeps the tag index consistent.
+    #[test]
+    fn expired_streams_drain_oldest_first_and_survivors_keep_merging() {
+        let mut pra = PagedRequestAggregator::new(8);
+        pra.insert(&req(1, 1, 0, Op::Load, 4), 4);
+        pra.insert(&req(2, 2, 0, Op::Load, 0), 0);
+        pra.insert(&req(3, 3, 0, Op::Load, 20), 20);
+        let mut buf = Vec::new();
+        pra.take_expired_into(20, 16, &mut buf);
+        let pages: Vec<_> = buf.iter().map(|s| s.ppn).collect();
+        assert_eq!(pages, vec![2, 1], "expired streams leave oldest first");
+        assert_eq!(pra.occupancy(), 1);
+        assert!(matches!(pra.insert(&req(4, 3, 1, Op::Load, 21), 21), InsertOutcome::Merged));
+        pra.integrity().unwrap();
+    }
+
+    /// A fence flush (`take_all`) mid-assembly hands over the partial
+    /// block map intact; the page's later blocks open a fresh stream
+    /// instead of resurrecting the flushed one.
+    #[test]
+    fn fence_take_all_preserves_partial_block_maps() {
+        let mut pra = PagedRequestAggregator::new(8);
+        pra.insert(&req(1, 0x9, 0, Op::Load, 0), 0);
+        pra.insert(&req(2, 0x9, 3, Op::Load, 1), 1);
+        let flushed = pra.take_all();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].block_map, 0b1001);
+        assert_eq!(flushed[0].raw_count(), 2);
+        assert!(pra.is_empty());
+        pra.integrity().unwrap();
+        assert!(matches!(pra.insert(&req(3, 0x9, 1, Op::Load, 2), 2), InsertOutcome::Allocated));
     }
 
     #[test]

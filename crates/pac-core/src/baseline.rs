@@ -126,6 +126,10 @@ impl MemoryCoalescer for MshrDmc {
         }
         self.stats.stall_cycles += n;
     }
+
+    fn integrity(&self) -> Result<(), String> {
+        self.mshr.integrity().map_err(|e| format!("MSHR: {e}"))
+    }
 }
 
 /// The stock HMC controller: no aggregation at all. In-flight requests
@@ -211,6 +215,23 @@ impl MemoryCoalescer for NoCoalescing {
 
     fn note_refused_retries(&mut self, _req: &MemRequest, _now: Cycle, n: u64) {
         self.stats.stall_cycles += n;
+    }
+
+    fn integrity(&self) -> Result<(), String> {
+        if self.outstanding > self.outstanding_limit {
+            return Err(format!(
+                "{} requests outstanding but the limit is {}",
+                self.outstanding, self.outstanding_limit
+            ));
+        }
+        if self.inflight.len() != self.outstanding {
+            return Err(format!(
+                "in-flight map has {} records for {} outstanding requests",
+                self.inflight.len(),
+                self.outstanding
+            ));
+        }
+        Ok(())
     }
 }
 

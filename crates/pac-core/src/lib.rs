@@ -153,4 +153,20 @@ pub trait MemoryCoalescer {
             debug_assert!(!accepted, "note_refused_retries on an acceptable request");
         }
     }
+
+    /// Check the coalescer's internal structural invariants (occupancy
+    /// within capacity, index consistency, block-map/raw-id agreement).
+    /// The lockstep oracle polls this every simulated step; a violation
+    /// is reported as an `Err` describing the broken structure. The
+    /// default is for implementations with no internal state to check.
+    fn integrity(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Occupied stage-1 aggregator streams, for implementations that
+    /// have an aggregation stage. The oracle uses this to assert the
+    /// fence contract: an accepted fence leaves stage 1 empty.
+    fn stage1_occupancy(&self) -> Option<usize> {
+        None
+    }
 }

@@ -92,6 +92,31 @@ impl Maq {
         r
     }
 
+    /// Structural invariants, polled by the lockstep oracle: occupancy
+    /// never exceeds capacity and every queued entry is well-formed
+    /// (non-empty raw-id set, line-aligned 64 B-multiple span).
+    pub fn integrity(&self) -> Result<(), String> {
+        if self.queue.len() > self.capacity {
+            return Err(format!(
+                "MAQ holds {} entries but capacity is {}",
+                self.queue.len(),
+                self.capacity
+            ));
+        }
+        for (i, r) in self.queue.iter().enumerate() {
+            if r.raw_ids.is_empty() {
+                return Err(format!("MAQ entry {i} at {:#x} carries no raw ids", r.addr));
+            }
+            if r.bytes == 0 || r.bytes % 64 != 0 || r.addr % 64 != 0 {
+                return Err(format!(
+                    "MAQ entry {i} is not line-granular: addr {:#x}, {} bytes",
+                    r.addr, r.bytes
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Average cycles to accumulate a full MAQ's worth of entries.
     pub fn avg_fill_latency(&self) -> f64 {
         if self.fills == 0 {

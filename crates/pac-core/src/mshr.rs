@@ -273,6 +273,60 @@ impl AdaptiveMshrFile {
         dispatched
     }
 
+    /// Subentry budget per entry.
+    #[inline]
+    pub fn max_subentries(&self) -> usize {
+        self.max_subentries
+    }
+
+    /// Structural invariants, polled by the lockstep oracle: occupancy
+    /// within capacity, subentry counts within the 2-bit field's budget,
+    /// and both lookup indexes consistent with the entry array.
+    pub fn integrity(&self) -> Result<(), String> {
+        if self.entries.len() > self.capacity {
+            return Err(format!(
+                "MSHR file holds {} entries but capacity is {}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        if self.by_dispatch.len() != self.entries.len() {
+            return Err(format!(
+                "dispatch index has {} records for {} entries",
+                self.by_dispatch.len(),
+                self.entries.len()
+            ));
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.subentries > self.max_subentries {
+                return Err(format!(
+                    "entry {i} ({:#x}) holds {} subentries, budget {}",
+                    e.addr, e.subentries, self.max_subentries
+                ));
+            }
+            if e.raw_ids.is_empty() {
+                return Err(format!("entry {i} ({:#x}) satisfies no raw requests", e.addr));
+            }
+            if e.bytes == 0 || e.bytes % CACHE_LINE_BYTES != 0 || e.addr % CACHE_LINE_BYTES != 0 {
+                return Err(format!(
+                    "entry {i} is not line-granular: addr {:#x}, {} bytes",
+                    e.addr, e.bytes
+                ));
+            }
+            if e.addr / PAGE_BYTES != (e.addr + e.bytes - 1) / PAGE_BYTES {
+                return Err(format!("entry {i} ({:#x}+{}B) spans a page", e.addr, e.bytes));
+            }
+            if self.by_dispatch.get(&e.dispatch_id) != Some(&i) {
+                return Err(format!("entry {i} dispatch id {} mis-indexed", e.dispatch_id));
+            }
+            let bucket = self.by_page.get(&(e.addr / PAGE_BYTES));
+            if !bucket.is_some_and(|b| b.contains(&i)) {
+                return Err(format!("entry {i} ({:#x}) missing from its page bucket", e.addr));
+            }
+        }
+        Ok(())
+    }
+
     /// Release the entry for `dispatch_id`, returning the raw request
     /// ids it satisfied. Returns `None` for unknown ids.
     pub fn complete(&mut self, dispatch_id: u64) -> Option<Vec<u64>> {
@@ -408,5 +462,73 @@ mod tests {
         m.complete(a.dispatch_id);
         let c = m.allocate(coalesced(0x3000, 64, Op::Load, &[3]));
         assert!(a.dispatch_id < b.dispatch_id && b.dispatch_id < c.dispatch_id);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Subentry overflow forces the page→line fallback without
+        /// dropping a single pending block: line misses against an
+        /// in-flight page request merge while the 2-bit subentry field
+        /// has room, then fall back to line-granular allocations (or a
+        /// bounded stall) once it overflows — and every raw id still
+        /// comes back from exactly one completion.
+        #[test]
+        fn subentry_overflow_falls_back_to_lines_without_loss(
+            blocks in prop::collection::vec(0u64..4, 1..24),
+            budget in 1usize..5,
+        ) {
+            let mut m = AdaptiveMshrFile::new(4, budget);
+            // One page-granular request in flight: blocks 0..4 of page 1.
+            let page = m.allocate(coalesced(0x1000, 256, Op::Load, &[1000]));
+            let mut expected: Vec<u64> = vec![1000];
+            let mut outstanding = std::collections::VecDeque::from([page.dispatch_id]);
+            let mut stalled: Vec<(u64, u64)> = Vec::new();
+            for (i, b) in blocks.iter().enumerate() {
+                let id = i as u64;
+                let line = 0x1000 + b * CACHE_LINE_BYTES;
+                expected.push(id);
+                if m.try_merge_line(line, Op::Load, id) {
+                    // Merged subentries never exceed the field's budget.
+                    prop_assert!(m.integrity().is_ok(), "{:?}", m.integrity());
+                    continue;
+                }
+                if m.has_free() {
+                    let d = m.allocate(coalesced(line, CACHE_LINE_BYTES, Op::Load, &[id]));
+                    outstanding.push_back(d.dispatch_id);
+                } else {
+                    stalled.push((line, id));
+                }
+                prop_assert!(m.integrity().is_ok(), "{:?}", m.integrity());
+            }
+            // Drain: completions free slots, stalled misses retry with
+            // the same merge-else-allocate discipline the MAQ uses.
+            let mut got: Vec<u64> = Vec::new();
+            while !outstanding.is_empty() || !stalled.is_empty() {
+                let mut still = Vec::new();
+                for (line, id) in stalled.drain(..) {
+                    if m.try_merge_line(line, Op::Load, id) {
+                        continue;
+                    }
+                    if m.has_free() {
+                        let d = m.allocate(coalesced(line, CACHE_LINE_BYTES, Op::Load, &[id]));
+                        outstanding.push_back(d.dispatch_id);
+                    } else {
+                        still.push((line, id));
+                    }
+                }
+                stalled = still;
+                let d = outstanding.pop_front().expect("stalled misses imply in-flight entries");
+                let ids = m.complete(d);
+                prop_assert!(ids.is_some(), "outstanding dispatch {d} unknown at completion");
+                got.extend(ids.unwrap());
+                prop_assert!(m.complete(d).is_none(), "dispatch {d} completed twice");
+                prop_assert!(m.integrity().is_ok(), "{:?}", m.integrity());
+            }
+            prop_assert!(m.is_empty());
+            got.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected, "conservation across the fallback path");
+        }
     }
 }

@@ -385,6 +385,18 @@ impl MemoryCoalescer for PacCoalescer {
     fn note_refused_retries(&mut self, _req: &MemRequest, _now: Cycle, n: u64) {
         self.stats.stall_cycles += n;
     }
+
+    fn integrity(&self) -> Result<(), String> {
+        self.aggregator.integrity().map_err(|e| format!("stage 1: {e}"))?;
+        self.network.integrity().map_err(|e| format!("stages 2-3: {e}"))?;
+        self.maq.integrity().map_err(|e| format!("MAQ: {e}"))?;
+        self.mshr.integrity().map_err(|e| format!("MSHR: {e}"))?;
+        Ok(())
+    }
+
+    fn stage1_occupancy(&self) -> Option<usize> {
+        Some(self.aggregator.occupancy())
+    }
 }
 
 #[cfg(test)]
@@ -654,6 +666,186 @@ mod tests {
         assert_eq!(out[0].bytes, 64);
         assert_eq!(out[0].raw_count, 2);
         assert!((pac.stats().coalescing_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    /// `would_accept` must predict `push_raw` exactly at every offer —
+    /// the lockstep oracle's AdmissionSync invariant polls this pair
+    /// continuously, so any divergence is a checker false-positive.
+    #[test]
+    fn would_accept_mirrors_push_raw_under_flood() {
+        let mut pac = PacCoalescer::new(CoalescerConfig {
+            streams: 4,
+            maq_entries: 2,
+            mshrs: 2,
+            ..cfg()
+        });
+        pac.bypass_enabled = false;
+        let mut out = Vec::new();
+        let mut refused = 0u32;
+        for i in 0..400u64 {
+            // Distinct pages, no completions: drives the pipeline from
+            // free-flowing through backpressured, crossing the refusal
+            // threshold mid-loop.
+            let req = miss(i, 0x100 + i, 0, i);
+            let predicted = pac.would_accept(&req);
+            let accepted = pac.push_raw(req, i);
+            assert_eq!(predicted, accepted, "prediction diverged at request {i}");
+            refused += u32::from(!accepted);
+            pac.tick(i, &mut out);
+        }
+        assert!(refused > 0, "flood must cross into refusal for the test to mean anything");
+        // Fences and atomics are always admitted, even while stalled.
+        let mut fence = miss(1000, 0, 0, 400);
+        fence.kind = RequestKind::Fence;
+        assert!(pac.would_accept(&fence));
+        let mut atomic = miss(1001, 0x9, 0, 400);
+        atomic.kind = RequestKind::Atomic;
+        assert!(pac.would_accept(&atomic));
+    }
+
+    /// Backpressure refuses only requests that need a *fresh* stream
+    /// slot: a block for a page still aggregating in stage 1 merges
+    /// even while the downstream pipeline is stalled.
+    #[test]
+    fn backpressured_stage1_still_merges_into_waiting_stream() {
+        let mut pac = PacCoalescer::new(CoalescerConfig {
+            streams: 4,
+            maq_entries: 2,
+            mshrs: 2,
+            ..cfg()
+        });
+        pac.bypass_enabled = false;
+        let mut out = Vec::new();
+        let mut last_accepted_page = None;
+        for i in 0..400u64 {
+            if pac.push_raw(miss(i, 0x100 + i, 0, i), i) {
+                last_accepted_page = Some(0x100 + i);
+            } else {
+                // First refusal: the page accepted one cycle ago still
+                // holds a stage-1 stream, so its next block must merge.
+                let page = last_accepted_page.expect("something was accepted before the stall");
+                let hit = miss(10_000 + i, page, 1, i);
+                assert!(pac.would_accept(&hit), "stream hit predicted refusable");
+                assert!(pac.push_raw(hit, i), "stream hit refused under backpressure");
+                return;
+            }
+            pac.tick(i, &mut out);
+        }
+        panic!("flood without completions must refuse eventually");
+    }
+
+    /// Releasing a full MSHR file pulls exactly the MAQ head: stall
+    /// release preserves the assembled FIFO order, one dispatch per
+    /// freed entry.
+    #[test]
+    fn stall_release_dispatches_in_maq_fifo_order() {
+        let mut pac = PacCoalescer::new(CoalescerConfig {
+            streams: 8,
+            maq_entries: 2,
+            mshrs: 2,
+            ..cfg()
+        });
+        pac.bypass_enabled = false;
+        let mut out = Vec::new();
+        // Six single-line streams on distinct pages, flushed in order so
+        // they enter the network one cycle apart.
+        for i in 0..6u64 {
+            assert!(pac.push_raw(miss(i, 0x100 + i, 0, i), i));
+            pac.flush(i);
+            pac.tick(i, &mut out);
+        }
+        // Drain the pipeline without completing anything: both MSHRs
+        // fill and everything else backs up behind the MAQ.
+        for now in 6..60 {
+            pac.tick(now, &mut out);
+        }
+        assert_eq!(out.len(), 2, "two MSHRs → exactly two dispatches while stalled");
+        let pages: Vec<u64> = out.iter().map(|d| d.addr >> 12).collect();
+        assert_eq!(pages, vec![0x100, 0x101], "dispatches follow flush order");
+        let mut outstanding: std::collections::VecDeque<u64> =
+            out.iter().map(|d| d.dispatch_id).collect();
+        let mut now = 60;
+        let mut seen = out.len();
+        for expected_page in [0x102u64, 0x103, 0x104, 0x105] {
+            let id = outstanding.pop_front().expect("an entry is in flight");
+            let mut sat = Vec::new();
+            pac.complete(id, now, &mut sat);
+            assert!(!sat.is_empty(), "completion satisfies its raw request");
+            while out.len() == seen {
+                pac.tick(now, &mut out);
+                now += 1;
+                assert!(now < 200, "release failed to unblock the MAQ");
+            }
+            assert_eq!(out.len(), seen + 1, "one freed MSHR admits exactly one MAQ entry");
+            assert_eq!(out[seen].addr >> 12, expected_page, "MAQ must drain FIFO");
+            outstanding.push_back(out[seen].dispatch_id);
+            seen += 1;
+        }
+    }
+
+    /// A fence arriving while a stream is half-assembled flushes the
+    /// partial stream; later blocks of the same page open a fresh
+    /// stream, and no raw request is lost or double-served.
+    #[test]
+    fn fence_mid_assembly_splits_page_without_loss() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false;
+        assert!(pac.push_raw(miss(1, 0x9, 0, 0), 0));
+        assert!(pac.push_raw(miss(2, 0x9, 1, 0), 0));
+        let mut fence = miss(100, 0, 0, 1);
+        fence.kind = RequestKind::Fence;
+        assert!(pac.push_raw(fence, 1));
+        assert_eq!(pac.stream_occupancy(), 0, "fence must empty stage 1");
+        assert_eq!(pac.stats().fence_flushes, 1);
+        // The page's remaining blocks arrive after the ordering point.
+        assert!(pac.push_raw(miss(3, 0x9, 2, 2), 2));
+        assert!(pac.push_raw(miss(4, 0x9, 3, 2), 2));
+        assert_eq!(pac.stream_occupancy(), 1, "post-fence blocks form a fresh stream");
+        let (out, _) = run_to_drain(&mut pac, 2);
+        // Two 128B halves — never one fused 256B request across the
+        // fence — covering all four raw requests exactly once.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.bytes == 128), "sizes: {out:?}");
+        assert_eq!(out.iter().map(|d| d.raw_count).sum::<u32>(), 4);
+    }
+
+    /// A fence through an empty stage 1 is accepted and flushes nothing.
+    #[test]
+    fn fence_through_empty_stage1_flushes_nothing() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false;
+        let mut fence = miss(1, 0, 0, 0);
+        fence.kind = RequestKind::Fence;
+        assert!(pac.push_raw(fence, 0));
+        assert_eq!(pac.stats().fence_flushes, 0);
+        assert!(pac.is_drained());
+    }
+
+    /// The timeout flush takes only expired streams; younger streams
+    /// stay in stage 1 and keep merging new requests.
+    #[test]
+    fn timeout_flushes_only_expired_streams() {
+        let mut pac = PacCoalescer::new(cfg());
+        pac.bypass_enabled = false;
+        pac.push_raw(miss(1, 0x9, 0, 0), 0); // allocated at cycle 0
+        let mut out = Vec::new();
+        for now in 0..10 {
+            pac.tick(now, &mut out);
+        }
+        pac.push_raw(miss(2, 0xA, 0, 10), 10); // allocated at cycle 10
+        for now in 10..17 {
+            pac.tick(now, &mut out);
+        }
+        // Page 0x9 expired at its 16-cycle residency; page 0xA did not.
+        assert_eq!(pac.stats().timeout_flushes, 1);
+        assert_eq!(pac.stream_occupancy(), 1);
+        // The survivor still merges.
+        assert!(pac.push_raw(miss(3, 0xA, 1, 17), 17));
+        assert_eq!(pac.stream_occupancy(), 1);
+        let (rest, _) = run_to_drain(&mut pac, 18);
+        let mut bytes: Vec<u64> = out.iter().chain(rest.iter()).map(|d| d.bytes).collect();
+        bytes.sort_unstable();
+        assert_eq!(bytes, vec![64, 128], "lone expired block + merged survivor pair");
     }
 
     #[test]

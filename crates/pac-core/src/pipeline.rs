@@ -241,6 +241,44 @@ impl CoalescingNetwork {
         self.out.len()
     }
 
+    /// Structural invariants, polled by the lockstep oracle: the
+    /// sequence buffer respects its capacity, buffered streams are
+    /// internally consistent, and every assembled request waiting on the
+    /// output is well-formed (non-empty raw-id set, line-granular span
+    /// within the protocol's maximum request size).
+    pub fn integrity(&self) -> Result<(), String> {
+        if self.seq_buffer.len() > Self::BUFFER_CAP {
+            return Err(format!(
+                "sequence buffer holds {} entries but capacity is {}",
+                self.seq_buffer.len(),
+                Self::BUFFER_CAP
+            ));
+        }
+        for (_, s) in &self.stage2_in {
+            s.integrity()?;
+        }
+        let max = self.protocol.max_request_bytes();
+        for Reverse(e) in self.out.iter() {
+            let r = &e.req;
+            if r.raw_ids.is_empty() {
+                return Err(format!("assembled request at {:#x} carries no raw ids", r.addr));
+            }
+            if r.bytes == 0 || r.bytes % CACHE_LINE_BYTES != 0 || r.addr % CACHE_LINE_BYTES != 0 {
+                return Err(format!(
+                    "assembled request is not line-granular: addr {:#x}, {} bytes",
+                    r.addr, r.bytes
+                ));
+            }
+            if r.bytes > max {
+                return Err(format!(
+                    "assembled request of {} bytes exceeds protocol max {max}",
+                    r.bytes
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// True when nothing is in flight anywhere in stages 2–3.
     pub fn is_empty(&self) -> bool {
         self.stage2_in.is_empty() && self.seq_buffer.is_empty() && self.out.is_empty()

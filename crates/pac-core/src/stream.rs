@@ -78,6 +78,34 @@ impl CoalescingStream {
     pub fn expired(&self, now: Cycle, timeout: Cycle) -> bool {
         now.saturating_sub(self.allocated) >= timeout
     }
+
+    /// Structural invariants, polled by the lockstep oracle: the
+    /// block-map covers exactly the blocks of the merged raw requests —
+    /// no more (a stray bit would fetch unrequested data), no fewer (a
+    /// missing bit would drop a pending block) — and the C bit agrees
+    /// with the merge count.
+    pub fn integrity(&self) -> Result<(), String> {
+        if self.raw.is_empty() {
+            return Err(format!("stream for page {:#x} carries no raw requests", self.ppn));
+        }
+        let mut expected = 0u64;
+        for &(block, id) in &self.raw {
+            if block >= 64 {
+                return Err(format!("raw {id} targets out-of-page block {block}"));
+            }
+            expected |= 1u64 << block;
+        }
+        if self.block_map != expected {
+            return Err(format!(
+                "page {:#x} block-map {:#018x} != requested blocks {:#018x}",
+                self.ppn, self.block_map, expected
+            ));
+        }
+        if self.c_bit() != (self.raw.len() > 1) {
+            return Err(format!("page {:#x} C bit disagrees with merge count", self.ppn));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

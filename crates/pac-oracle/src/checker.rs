@@ -1,0 +1,553 @@
+//! The lockstep checker.
+//!
+//! A [`LockstepChecker`] rides along with one timed simulation run. The
+//! driver (`pac-sim`'s `SimSystem`) reports every externally visible
+//! event — admission decisions, dispatches, memory responses, response
+//! fan-out, fences — and the checker replays each against the
+//! [`FunctionalModel`](crate::FunctionalModel) and the dispatch ledger,
+//! recording a [`Violation`] wherever the timed system diverges. It also
+//! polls the coalescer's own `integrity()` hook so structural
+//! invariants (subentry budgets, MAQ capacity, block-map consistency)
+//! are checked continuously, not just at the boundary.
+//!
+//! The checker never panics: violations are *collected*, because the
+//! conformance suite needs faulty runs to complete and then prove the
+//! right invariant fired.
+
+use crate::invariant::{Invariant, Violation};
+use crate::model::{FunctionalModel, ServeError};
+use pac_core::DispatchedRequest;
+use pac_types::{Cycle, MemRequest, Op, RequestKind, SimConfig, CACHE_LINE_BYTES, PAGE_BYTES};
+use std::collections::HashMap;
+
+/// Checker parameters, derived from the simulated system's geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Largest legal dispatched request (protocol maximum).
+    pub max_request_bytes: u64,
+    /// DRAM row size — dispatches must not span rows.
+    pub row_bytes: u64,
+    /// Flag responses later than this many cycles after dispatch
+    /// (`None` disables the bound; legitimate queueing latency varies
+    /// with workload, so clean runs use a generous or disabled bound).
+    pub max_response_latency: Option<Cycle>,
+    /// At most this many violations keep their full detail string; the
+    /// per-invariant counters keep counting past it.
+    pub max_recorded: usize,
+}
+
+impl OracleConfig {
+    /// Derive the geometry bounds from a simulation configuration.
+    pub fn for_sim(cfg: &SimConfig) -> Self {
+        OracleConfig {
+            max_request_bytes: cfg.coalescer.protocol.max_request_bytes(),
+            row_bytes: cfg.hmc.row_bytes,
+            max_response_latency: None,
+            max_recorded: 64,
+        }
+    }
+}
+
+/// Ledger entry for one dispatched memory request.
+#[derive(Debug, Clone, Copy)]
+struct DispatchRecord {
+    addr: u64,
+    bytes: u64,
+    op: Op,
+    at: Cycle,
+    responded: bool,
+}
+
+/// Summary of one checked run.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Recorded violations (detail capped at `max_recorded`), in
+    /// observation order.
+    pub violations: Vec<Violation>,
+    /// Total violations per invariant, including unrecorded overflow.
+    pub counts: [u64; Invariant::ALL.len()],
+    /// Raw requests the coalescer accepted.
+    pub accepted_raw: u64,
+    /// Raw requests satisfied exactly once.
+    pub served_raw: u64,
+    /// Memory requests dispatched.
+    pub dispatches: u64,
+    /// Memory responses observed.
+    pub responses: u64,
+}
+
+impl OracleReport {
+    /// True when the run diverged nowhere.
+    pub fn is_clean(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Total violations of one invariant.
+    #[inline]
+    pub fn count(&self, inv: Invariant) -> u64 {
+        self.counts[inv.index()]
+    }
+
+    /// True when at least one violation of `inv` was observed.
+    #[inline]
+    pub fn detected(&self, inv: Invariant) -> bool {
+        self.count(inv) > 0
+    }
+
+    /// Invariants that fired, in reporting order.
+    pub fn fired(&self) -> Vec<Invariant> {
+        Invariant::ALL.iter().copied().filter(|&i| self.detected(i)).collect()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!(
+                "clean: {} raw accepted, {} served, {} dispatches, {} responses",
+                self.accepted_raw, self.served_raw, self.dispatches, self.responses
+            )
+        } else {
+            let fired: Vec<String> = self
+                .fired()
+                .iter()
+                .map(|i| format!("{}×{}", self.count(*i), i.label()))
+                .collect();
+            format!("{} violations: {}", self.counts.iter().sum::<u64>(), fired.join(", "))
+        }
+    }
+}
+
+/// The lockstep checker. See the module docs for the driving protocol.
+#[derive(Debug)]
+pub struct LockstepChecker {
+    cfg: OracleConfig,
+    model: FunctionalModel,
+    dispatches: HashMap<u64, DispatchRecord>,
+    violations: Vec<Violation>,
+    counts: [u64; Invariant::ALL.len()],
+    /// Last structural-integrity detail recorded; suppresses the flood a
+    /// persistently broken structure would otherwise emit every tick.
+    last_structural: Option<String>,
+    dispatched: u64,
+    responses: u64,
+    finalized: bool,
+}
+
+impl LockstepChecker {
+    pub fn new(cfg: OracleConfig) -> Self {
+        LockstepChecker {
+            cfg,
+            model: FunctionalModel::new(),
+            dispatches: HashMap::new(),
+            violations: Vec::new(),
+            counts: [0; Invariant::ALL.len()],
+            last_structural: None,
+            dispatched: 0,
+            responses: 0,
+            finalized: false,
+        }
+    }
+
+    fn record(&mut self, invariant: Invariant, cycle: Cycle, detail: String) {
+        self.counts[invariant.index()] += 1;
+        if self.violations.len() < self.cfg.max_recorded {
+            self.violations.push(Violation { invariant, cycle, detail });
+        }
+    }
+
+    /// One admission decision: the coalescer was offered `req`,
+    /// `predicted` is what `would_accept` said beforehand, `accepted`
+    /// what `push_raw` actually did. Accepted data-carrying requests
+    /// enter the functional model.
+    pub fn note_push(&mut self, req: &MemRequest, predicted: bool, accepted: bool, now: Cycle) {
+        if predicted != accepted {
+            self.record(
+                Invariant::AdmissionSync,
+                now,
+                format!(
+                    "would_accept said {predicted} but push_raw {} raw {} ({:#x})",
+                    if accepted { "accepted" } else { "refused" },
+                    req.id,
+                    req.addr
+                ),
+            );
+        }
+        if accepted && req.kind != RequestKind::Fence {
+            self.model.accept(req, now);
+        }
+    }
+
+    /// One dispatched memory request leaving the coalescer.
+    pub fn note_dispatch(&mut self, d: &DispatchedRequest, now: Cycle) {
+        self.dispatched += 1;
+        if d.raw_count == 0 {
+            self.record(
+                Invariant::DispatchGeometry,
+                now,
+                format!("dispatch {} at {:#x} carries no raw requests", d.dispatch_id, d.addr),
+            );
+        }
+        if !d.addr.is_multiple_of(CACHE_LINE_BYTES)
+            || d.bytes == 0
+            || !d.bytes.is_multiple_of(CACHE_LINE_BYTES)
+        {
+            self.record(
+                Invariant::DispatchGeometry,
+                now,
+                format!("dispatch {} not line-granular: {:#x}+{}B", d.dispatch_id, d.addr, d.bytes),
+            );
+        } else {
+            if d.bytes > self.cfg.max_request_bytes {
+                self.record(
+                    Invariant::DispatchGeometry,
+                    now,
+                    format!(
+                        "dispatch {} of {}B exceeds the protocol max {}B",
+                        d.dispatch_id, d.bytes, self.cfg.max_request_bytes
+                    ),
+                );
+            }
+            if d.addr % self.cfg.row_bytes + d.bytes > self.cfg.row_bytes {
+                self.record(
+                    Invariant::DispatchGeometry,
+                    now,
+                    format!("dispatch {} ({:#x}+{}B) spans a DRAM row", d.dispatch_id, d.addr, d.bytes),
+                );
+            }
+            if d.addr / PAGE_BYTES != (d.addr + d.bytes - 1) / PAGE_BYTES {
+                self.record(
+                    Invariant::DispatchGeometry,
+                    now,
+                    format!("dispatch {} ({:#x}+{}B) spans a page", d.dispatch_id, d.addr, d.bytes),
+                );
+            }
+        }
+        let rec =
+            DispatchRecord { addr: d.addr, bytes: d.bytes, op: d.op, at: now, responded: false };
+        if self.dispatches.insert(d.dispatch_id, rec).is_some() {
+            self.record(
+                Invariant::DispatchGeometry,
+                now,
+                format!("dispatch id {} reused", d.dispatch_id),
+            );
+        }
+    }
+
+    /// One raw memory response surfacing from the device, *before* the
+    /// coalescer's `complete` fans it out.
+    pub fn note_response(&mut self, id: u64, addr: u64, bytes: u64, op: Op, now: Cycle) {
+        self.responses += 1;
+        let Some(rec) = self.dispatches.get_mut(&id) else {
+            self.record(
+                Invariant::SpuriousResponse,
+                now,
+                format!("response for unknown dispatch id {id} ({addr:#x})"),
+            );
+            return;
+        };
+        if rec.responded {
+            self.record(
+                Invariant::SpuriousResponse,
+                now,
+                format!("second response for dispatch {id} ({addr:#x})"),
+            );
+            return;
+        }
+        rec.responded = true;
+        let (rec_addr, rec_bytes, rec_op, rec_at) = (rec.addr, rec.bytes, rec.op, rec.at);
+        if addr != rec_addr || bytes != rec_bytes || op != rec_op {
+            self.record(
+                Invariant::EchoIntegrity,
+                now,
+                format!(
+                    "response for dispatch {id} echoes {addr:#x}+{bytes}B {op:?}, \
+                     dispatched {rec_addr:#x}+{rec_bytes}B {rec_op:?}"
+                ),
+            );
+        }
+        if let Some(bound) = self.cfg.max_response_latency {
+            let latency = now.saturating_sub(rec_at);
+            if latency > bound {
+                self.record(
+                    Invariant::LatencyBound,
+                    now,
+                    format!("dispatch {id} answered after {latency} cycles (bound {bound})"),
+                );
+            }
+        }
+    }
+
+    /// The raw-request fan-out of one completion: the coalescer reported
+    /// `satisfied` raw ids for `dispatch_id`.
+    pub fn note_completion(&mut self, dispatch_id: u64, satisfied: &[u64], now: Cycle) {
+        let rec = self.dispatches.get(&dispatch_id).copied();
+        for &raw_id in satisfied {
+            // Coverage is checked against the dispatch ledger; exactly-
+            // once against the functional model.
+            let serve = match rec {
+                Some(r) => self.model.serve(raw_id, r.addr, r.bytes, now),
+                // No ledger entry: still enforce exactly-once with an
+                // infinite span.
+                None => self.model.serve(raw_id, 0, u64::MAX, now),
+            };
+            match serve {
+                Ok(()) => {}
+                Err(ServeError::Unknown(id)) => self.record(
+                    Invariant::UnknownCompletion,
+                    now,
+                    format!("dispatch {dispatch_id} satisfied raw {id}, never accepted"),
+                ),
+                Err(ServeError::AlreadyServed(id)) => self.record(
+                    Invariant::DuplicateCompletion,
+                    now,
+                    format!("raw {id} satisfied again by dispatch {dispatch_id}"),
+                ),
+                Err(ServeError::OutsideSpan { raw_id, line }) => self.record(
+                    Invariant::BlockCoverage,
+                    now,
+                    format!(
+                        "dispatch {dispatch_id} claims raw {raw_id} (line {line:#x}) \
+                         outside its span"
+                    ),
+                ),
+            }
+        }
+    }
+
+    /// Result of polling the coalescer's `integrity()` hook this step.
+    pub fn note_integrity(&mut self, result: Result<(), String>, now: Cycle) {
+        match result {
+            Ok(()) => self.last_structural = None,
+            Err(detail) => {
+                // A broken structure stays broken across ticks; record
+                // each distinct failure once, count the rest.
+                if self.last_structural.as_deref() != Some(detail.as_str()) {
+                    self.last_structural = Some(detail.clone());
+                    self.record(Invariant::StructuralIntegrity, now, detail);
+                } else {
+                    self.counts[Invariant::StructuralIntegrity.index()] += 1;
+                }
+            }
+        }
+    }
+
+    /// An accepted fence; `stage1_streams_after` is the aggregator
+    /// occupancy immediately after the fence was pushed.
+    pub fn note_fence(&mut self, stage1_streams_after: usize, now: Cycle) {
+        if stage1_streams_after != 0 {
+            self.record(
+                Invariant::FenceOrdering,
+                now,
+                format!("{stage1_streams_after} streams survived a fence in stage 1"),
+            );
+        }
+    }
+
+    /// End-of-run conservation: every accepted raw request served, every
+    /// dispatch answered. Idempotent.
+    pub fn finalize(&mut self, now: Cycle) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        let unserved: Vec<u64> = self.model.unserved().map(|(&id, _)| id).collect();
+        if !unserved.is_empty() {
+            let mut sample: Vec<u64> = unserved.iter().copied().take(8).collect();
+            sample.sort_unstable();
+            self.record(
+                Invariant::ResponseConservation,
+                now,
+                format!(
+                    "{} accepted raw requests never satisfied (e.g. {:?})",
+                    unserved.len(),
+                    sample
+                ),
+            );
+        }
+        let lost: Vec<u64> = self
+            .dispatches
+            .iter()
+            .filter(|(_, r)| !r.responded)
+            .map(|(&id, _)| id)
+            .collect();
+        if !lost.is_empty() {
+            let mut sample: Vec<u64> = lost.iter().copied().take(8).collect();
+            sample.sort_unstable();
+            self.record(
+                Invariant::LostResponse,
+                now,
+                format!("{} dispatches never answered (e.g. {:?})", lost.len(), sample),
+            );
+        }
+    }
+
+    /// Snapshot the run's verdict. Call after [`Self::finalize`].
+    pub fn report(&self) -> OracleReport {
+        OracleReport {
+            violations: self.violations.clone(),
+            counts: self.counts,
+            accepted_raw: self.model.accepted(),
+            served_raw: self.model.served() as u64,
+            dispatches: self.dispatched,
+            responses: self.responses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> LockstepChecker {
+        LockstepChecker::new(OracleConfig::for_sim(&SimConfig::default()))
+    }
+
+    fn miss(id: u64, addr: u64) -> MemRequest {
+        MemRequest::miss(id, addr, Op::Load, 0, 0)
+    }
+
+    fn dispatch(id: u64, addr: u64, bytes: u64, raw_count: u32) -> DispatchedRequest {
+        DispatchedRequest { dispatch_id: id, addr, bytes, op: Op::Load, raw_count }
+    }
+
+    /// The full clean protocol: accept → dispatch → respond → fan out.
+    #[test]
+    fn clean_run_reports_clean() {
+        let mut c = checker();
+        c.note_push(&miss(1, 0x9040), true, true, 0);
+        c.note_push(&miss(2, 0x9080), true, true, 0);
+        c.note_dispatch(&dispatch(0, 0x9040, 128, 2), 5);
+        c.note_response(0, 0x9040, 128, Op::Load, 100);
+        c.note_completion(0, &[1, 2], 100);
+        c.note_integrity(Ok(()), 100);
+        c.finalize(120);
+        let r = c.report();
+        assert!(r.is_clean(), "{}", r.summary());
+        assert_eq!(r.accepted_raw, 2);
+        assert_eq!(r.served_raw, 2);
+    }
+
+    #[test]
+    fn admission_disagreement_is_flagged() {
+        let mut c = checker();
+        c.note_push(&miss(1, 0x9040), false, true, 3);
+        assert!(c.report().detected(Invariant::AdmissionSync));
+    }
+
+    #[test]
+    fn lost_response_and_conservation_fire_at_finalize() {
+        let mut c = checker();
+        c.note_push(&miss(1, 0x9040), true, true, 0);
+        c.note_dispatch(&dispatch(0, 0x9040, 64, 1), 2);
+        c.finalize(500);
+        let r = c.report();
+        assert!(r.detected(Invariant::LostResponse));
+        assert!(r.detected(Invariant::ResponseConservation));
+    }
+
+    #[test]
+    fn duplicate_response_is_spurious() {
+        let mut c = checker();
+        c.note_push(&miss(1, 0x9040), true, true, 0);
+        c.note_dispatch(&dispatch(0, 0x9040, 64, 1), 2);
+        c.note_response(0, 0x9040, 64, Op::Load, 90);
+        c.note_response(0, 0x9040, 64, Op::Load, 95);
+        assert!(c.report().detected(Invariant::SpuriousResponse));
+        c.note_response(7, 0x0, 64, Op::Load, 99); // unknown id
+        assert_eq!(c.report().count(Invariant::SpuriousResponse), 2);
+    }
+
+    #[test]
+    fn corrupted_echo_is_flagged() {
+        let mut c = checker();
+        c.note_dispatch(&dispatch(0, 0x9040, 64, 1), 2);
+        c.note_response(0, 0x9080, 64, Op::Load, 90);
+        assert!(c.report().detected(Invariant::EchoIntegrity));
+    }
+
+    #[test]
+    fn latency_bound_catches_delays() {
+        let mut c = LockstepChecker::new(OracleConfig {
+            max_response_latency: Some(1000),
+            ..OracleConfig::for_sim(&SimConfig::default())
+        });
+        c.note_dispatch(&dispatch(0, 0x9040, 64, 1), 0);
+        c.note_response(0, 0x9040, 64, Op::Load, 5000);
+        assert!(c.report().detected(Invariant::LatencyBound));
+    }
+
+    #[test]
+    fn completion_outside_span_is_coverage_violation() {
+        let mut c = checker();
+        c.note_push(&miss(1, 0x9040), true, true, 0);
+        c.note_push(&miss(2, 0xA000), true, true, 0);
+        c.note_dispatch(&dispatch(0, 0x9040, 64, 1), 2);
+        // Dispatch 0's span is one line at 0x9040; raw 2 lives elsewhere.
+        c.note_completion(0, &[1, 2], 90);
+        let r = c.report();
+        assert!(r.detected(Invariant::BlockCoverage));
+        assert_eq!(r.served_raw, 1);
+    }
+
+    #[test]
+    fn double_and_unknown_completions_are_flagged() {
+        let mut c = checker();
+        c.note_push(&miss(1, 0x9040), true, true, 0);
+        c.note_dispatch(&dispatch(0, 0x9040, 64, 1), 2);
+        c.note_completion(0, &[1], 90);
+        c.note_completion(0, &[1], 91); // raw 1 again
+        c.note_completion(0, &[42], 92); // never accepted
+        let r = c.report();
+        assert!(r.detected(Invariant::DuplicateCompletion));
+        assert!(r.detected(Invariant::UnknownCompletion));
+    }
+
+    #[test]
+    fn geometry_violations_are_flagged() {
+        let mut c = checker();
+        c.note_dispatch(&dispatch(0, 0x9041, 64, 1), 0); // misaligned
+        c.note_dispatch(&dispatch(1, 0x9040, 512, 1), 0); // > protocol max AND spans a row
+        c.note_dispatch(&dispatch(2, 0x90C0, 128, 1), 0); // spans a 256B row
+        c.note_dispatch(&dispatch(3, 0x9040, 64, 0), 0); // no raw requests
+        let r = c.report();
+        assert_eq!(r.count(Invariant::DispatchGeometry), 5);
+    }
+
+    #[test]
+    fn structural_failures_deduplicate_but_keep_counting() {
+        let mut c = checker();
+        c.note_integrity(Err("MAQ over capacity".into()), 1);
+        c.note_integrity(Err("MAQ over capacity".into()), 2);
+        c.note_integrity(Err("subentry overflow".into()), 3);
+        let r = c.report();
+        assert_eq!(r.count(Invariant::StructuralIntegrity), 3);
+        // Only the two distinct details were recorded verbatim.
+        assert_eq!(
+            r.violations.iter().filter(|v| v.invariant == Invariant::StructuralIntegrity).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn fence_leaving_streams_behind_is_flagged() {
+        let mut c = checker();
+        c.note_fence(0, 10);
+        assert!(c.report().is_clean());
+        c.note_fence(3, 11);
+        assert!(c.report().detected(Invariant::FenceOrdering));
+    }
+
+    #[test]
+    fn recorded_details_cap_but_counts_do_not() {
+        let mut c = LockstepChecker::new(OracleConfig {
+            max_recorded: 2,
+            ..OracleConfig::for_sim(&SimConfig::default())
+        });
+        for id in 0..10 {
+            c.note_response(id, 0, 64, Op::Load, 5); // all unknown
+        }
+        let r = c.report();
+        assert_eq!(r.count(Invariant::SpuriousResponse), 10);
+        assert_eq!(r.violations.len(), 2);
+    }
+}

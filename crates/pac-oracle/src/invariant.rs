@@ -1,0 +1,123 @@
+//! The invariant catalogue and the violation record.
+
+use pac_types::Cycle;
+
+/// Every conservation or structural property the lockstep checker
+/// asserts. One violation names exactly one invariant, so conformance
+/// runs can report *which* property caught an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// `would_accept` must agree with `push_raw`'s actual decision —
+    /// the contract the event-driven skip-ahead clock depends on.
+    AdmissionSync,
+    /// Every accepted raw request is satisfied by end of run.
+    ResponseConservation,
+    /// No raw request is satisfied more than once.
+    DuplicateCompletion,
+    /// No completion names a raw request that was never accepted.
+    UnknownCompletion,
+    /// Every memory response answers exactly one outstanding dispatch.
+    SpuriousResponse,
+    /// A response echoes its dispatch's address, size, and operation.
+    EchoIntegrity,
+    /// Every dispatch receives a response by end of run.
+    LostResponse,
+    /// Dispatches are line-aligned, line-granular, within the protocol's
+    /// maximum size, and never span a DRAM row or a page.
+    DispatchGeometry,
+    /// A satisfied raw request's line lies inside its dispatch's span —
+    /// block-map bits only ever cover requested blocks.
+    BlockCoverage,
+    /// A response arrives within the configured latency bound.
+    LatencyBound,
+    /// The coalescer's internal structures check out: MSHR subentries
+    /// within budget, MAQ within capacity, aggregator indexes
+    /// consistent, block-maps matching their merged requests.
+    StructuralIntegrity,
+    /// An accepted fence leaves stage 1 empty — no prior request is
+    /// reordered past the fence inside the aggregator.
+    FenceOrdering,
+}
+
+impl Invariant {
+    /// Every invariant, in reporting order.
+    pub const ALL: [Invariant; 12] = [
+        Invariant::AdmissionSync,
+        Invariant::ResponseConservation,
+        Invariant::DuplicateCompletion,
+        Invariant::UnknownCompletion,
+        Invariant::SpuriousResponse,
+        Invariant::EchoIntegrity,
+        Invariant::LostResponse,
+        Invariant::DispatchGeometry,
+        Invariant::BlockCoverage,
+        Invariant::LatencyBound,
+        Invariant::StructuralIntegrity,
+        Invariant::FenceOrdering,
+    ];
+
+    /// Dense index for per-invariant counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&i| i == self).expect("listed in ALL")
+    }
+
+    /// Stable human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Invariant::AdmissionSync => "admission-sync",
+            Invariant::ResponseConservation => "response-conservation",
+            Invariant::DuplicateCompletion => "duplicate-completion",
+            Invariant::UnknownCompletion => "unknown-completion",
+            Invariant::SpuriousResponse => "spurious-response",
+            Invariant::EchoIntegrity => "echo-integrity",
+            Invariant::LostResponse => "lost-response",
+            Invariant::DispatchGeometry => "dispatch-geometry",
+            Invariant::BlockCoverage => "block-coverage",
+            Invariant::LatencyBound => "latency-bound",
+            Invariant::StructuralIntegrity => "structural-integrity",
+            Invariant::FenceOrdering => "fence-ordering",
+        }
+    }
+}
+
+/// One observed divergence from the golden model.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub invariant: Invariant,
+    /// Cycle at which the divergence was observed.
+    pub cycle: Cycle,
+    /// Human-readable description of what broke.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] cycle {}: {}", self.invariant.label(), self.cycle, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_dense_and_labels_unique() {
+        let mut labels = std::collections::HashSet::new();
+        for (i, inv) in Invariant::ALL.iter().enumerate() {
+            assert_eq!(inv.index(), i);
+            assert!(labels.insert(inv.label()), "duplicate label {}", inv.label());
+        }
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let v = Violation {
+            invariant: Invariant::LostResponse,
+            cycle: 42,
+            detail: "dispatch 7 never answered".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("lost-response") && s.contains("42") && s.contains("dispatch 7"));
+    }
+}

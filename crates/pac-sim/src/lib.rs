@@ -46,4 +46,6 @@ pub mod trace_json;
 pub use experiment::{run_bench, run_matrix, run_pair, run_specs, ExperimentConfig};
 pub use metrics::RunMetrics;
 pub use replay::{replay, replay_with};
-pub use system::{CoalescerKind, SimSystem, Stepping, TraceEntry};
+pub use system::{
+    run_lockstep, CoalescerKind, LockstepOutcome, SimSystem, Stepping, TraceEntry,
+};

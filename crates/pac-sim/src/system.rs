@@ -6,8 +6,9 @@ use cache_sim::{CacheHierarchy, HierarchyOutcome};
 use hmc_sim::{Hmc, HmcRequest, HmcResponse};
 use pac_core::baseline::{MshrDmc, NoCoalescing};
 use pac_core::{DispatchedRequest, MemoryCoalescer, PacCoalescer};
+use pac_oracle::{LockstepChecker, OracleConfig, OracleReport};
 use pac_types::addr::{line_base, CACHE_LINE_BYTES, PAGE_BYTES};
-use pac_types::{Cycle, MemRequest, Op, RequestKind, SimConfig};
+use pac_types::{Cycle, FaultPlan, MemRequest, Op, RequestKind, SimConfig};
 use pac_workloads::multiproc::CoreSpec;
 use std::collections::{HashMap, VecDeque};
 
@@ -170,6 +171,10 @@ pub struct SimSystem {
     /// Optional MMU: when present, workload addresses are virtual and
     /// are translated (with TLB-walk penalties) before the caches.
     mmu: Option<pac_vm::Mmu>,
+    /// Lockstep golden-model checker, when attached: observes every
+    /// admission, dispatch, response, and completion and accumulates
+    /// divergences from the functional model instead of panicking.
+    oracle: Option<LockstepChecker>,
     /// Captured raw miss trace.
     trace: Option<Vec<TraceEntry>>,
     trace_cap: usize,
@@ -234,6 +239,7 @@ impl SimSystem {
             prefetch_outstanding: 0,
             prefetches_issued: 0,
             mmu: None,
+            oracle: None,
             trace: capture_trace.then(Vec::new),
             trace_cap: 1 << 20,
             stepping,
@@ -257,6 +263,36 @@ impl SimSystem {
         self.mmu.as_ref()
     }
 
+    /// Attach the lockstep golden-model checker with geometry bounds
+    /// derived from this system's configuration.
+    pub fn attach_oracle(&mut self) {
+        self.attach_oracle_with(OracleConfig::for_sim(&self.cfg));
+    }
+
+    /// Attach the lockstep checker with explicit parameters (e.g. a
+    /// finite latency bound for delay-fault conformance runs).
+    pub fn attach_oracle_with(&mut self, cfg: OracleConfig) {
+        self.oracle = Some(LockstepChecker::new(cfg));
+    }
+
+    /// The checker's verdict so far. Conservation invariants only settle
+    /// after a completed [`Self::run`]/[`Self::run_until`] (which
+    /// finalize the checker).
+    pub fn oracle_report(&self) -> Option<OracleReport> {
+        self.oracle.as_ref().map(|o| o.report())
+    }
+
+    /// Arm deterministic fault injection on the memory device's
+    /// response path.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.hmc.set_fault_plan(plan);
+    }
+
+    /// Faults the device actually injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.hmc.faults_injected()
+    }
+
     fn alloc_raw(&mut self) -> u64 {
         let id = self.next_raw;
         self.next_raw += 1;
@@ -265,7 +301,16 @@ impl SimSystem {
 
     /// Try to push a prepared raw request; returns false on backpressure.
     fn offer(&mut self, pending: PendingPush, owner: Owner) -> bool {
-        if !self.coalescer.push_raw(pending.req, self.now) {
+        // The oracle sees every admission attempt: the prediction is
+        // sampled before the push so `would_accept`/`push_raw`
+        // disagreement is caught at its source.
+        let predicted =
+            self.oracle.is_some() && self.coalescer.would_accept(&pending.req);
+        let accepted = self.coalescer.push_raw(pending.req, self.now);
+        if let Some(o) = &mut self.oracle {
+            o.note_push(&pending.req, predicted, accepted, self.now);
+        }
+        if !accepted {
             return false;
         }
         self.raw_meta.insert(
@@ -468,7 +513,16 @@ impl SimSystem {
                 let id = self.alloc_raw();
                 let mut req = MemRequest::miss(id, 0, Op::Load, c as u8, self.now);
                 req.kind = RequestKind::Fence;
-                self.coalescer.push_raw(req, self.now);
+                let predicted =
+                    self.oracle.is_some() && self.coalescer.would_accept(&req);
+                let accepted = self.coalescer.push_raw(req, self.now);
+                if let Some(o) = &mut self.oracle {
+                    o.note_push(&req, predicted, accepted, self.now);
+                    // A fence must leave stage 1 empty behind it.
+                    if let Some(streams) = self.coalescer.stage1_occupancy() {
+                        o.note_fence(streams, self.now);
+                    }
+                }
                 if let Some(t) = &mut self.trace {
                     if t.len() < self.trace_cap {
                         t.push(TraceEntry {
@@ -580,6 +634,9 @@ impl SimSystem {
         // Coalescer pipeline advances; dispatches go to the HMC.
         self.coalescer.tick(now, &mut self.dispatches);
         for d in self.dispatches.drain(..) {
+            if let Some(o) = &mut self.oracle {
+                o.note_dispatch(&d, now);
+            }
             self.hmc.submit(
                 HmcRequest { id: d.dispatch_id, addr: d.addr, bytes: d.bytes, op: d.op },
                 now,
@@ -592,7 +649,13 @@ impl SimSystem {
         self.hmc.pop_responses(now, &mut self.responses);
         for rsp in self.responses.drain(..) {
             self.satisfied.clear();
+            if let Some(o) = &mut self.oracle {
+                o.note_response(rsp.id, rsp.addr, rsp.bytes, rsp.op, now);
+            }
             self.coalescer.complete(rsp.id, now, &mut self.satisfied);
+            if let Some(o) = &mut self.oracle {
+                o.note_completion(rsp.id, &self.satisfied, now);
+            }
             for raw in self.satisfied.drain(..) {
                 if let Some(meta) = self.raw_meta.remove(&raw) {
                     if meta.is_fill {
@@ -614,6 +677,13 @@ impl SimSystem {
                     }
                 }
             }
+        }
+
+        // Structural invariants are polled continuously, not just at the
+        // run boundary — a transient overflow inside a burst must not
+        // escape because the structures drained before the end.
+        if let Some(o) = &mut self.oracle {
+            o.note_integrity(self.coalescer.integrity(), now);
         }
 
         self.now = now + 1;
@@ -759,7 +829,43 @@ impl SimSystem {
             assert!(self.now < limit, "simulation failed to converge by cycle {}", self.now);
         }
         self.hmc.finalize_stats();
+        if let Some(o) = &mut self.oracle {
+            o.finalize(self.now);
+        }
         RunMetrics::collect(self)
+    }
+
+    /// Like [`Self::run`], but bounded: gives up (without panicking)
+    /// once the clock reaches `cycle_limit`. Fault-conformance runs need
+    /// this — a dropped response wedges the drain forever, and the point
+    /// is to let the oracle's end-of-run conservation invariants report
+    /// the loss rather than die on the convergence assert. Returns
+    /// `true` when the system actually drained.
+    pub fn run_until(&mut self, accesses_per_core: u64, cycle_limit: Cycle) -> bool {
+        for c in &mut self.cores {
+            c.remaining = accesses_per_core;
+        }
+        let mut flushed = false;
+        let mut converged = true;
+        while !self.all_done() {
+            if self.now >= cycle_limit {
+                converged = false;
+                break;
+            }
+            self.tick();
+            if !flushed && self.cores.iter().all(|c| c.remaining == 0) {
+                self.coalescer.flush(self.now);
+                flushed = true;
+            }
+            if self.stepping == Stepping::SkipAhead {
+                self.skip_to_next_event();
+            }
+        }
+        self.hmc.finalize_stats();
+        if let Some(o) = &mut self.oracle {
+            o.finalize(self.now);
+        }
+        converged
     }
 
     // ---- accessors for metrics collection ----
@@ -803,6 +909,43 @@ impl SimSystem {
     /// The captured raw miss trace, if tracing was enabled.
     pub fn take_trace(&mut self) -> Vec<TraceEntry> {
         self.trace.take().unwrap_or_default()
+    }
+}
+
+/// Verdict of one oracle-checked run.
+#[derive(Debug)]
+pub struct LockstepOutcome {
+    /// The checker's verdict (finalized).
+    pub oracle: OracleReport,
+    /// Whether the system drained within the cycle bound.
+    pub converged: bool,
+    /// Faults the device injected (0 on clean runs).
+    pub faults_injected: u64,
+}
+
+/// Run one benchmark under the lockstep golden-model oracle, optionally
+/// with deterministic fault injection on the response path. This is the
+/// conformance suite's entry point: a clean plan must come back with
+/// `oracle.is_clean()`, an armed plan with the matching invariant fired.
+pub fn run_lockstep(
+    cfg: SimConfig,
+    specs: Vec<CoreSpec>,
+    kind: CoalescerKind,
+    accesses_per_core: u64,
+    fault: Option<FaultPlan>,
+    oracle_cfg: Option<OracleConfig>,
+    cycle_limit: Cycle,
+) -> LockstepOutcome {
+    let mut sys = SimSystem::new(cfg, specs, kind);
+    sys.attach_oracle_with(oracle_cfg.unwrap_or_else(|| OracleConfig::for_sim(sys.config())));
+    if let Some(plan) = fault {
+        sys.set_fault_plan(plan);
+    }
+    let converged = sys.run_until(accesses_per_core, cycle_limit);
+    LockstepOutcome {
+        oracle: sys.oracle_report().expect("oracle attached"),
+        converged,
+        faults_injected: sys.faults_injected(),
     }
 }
 
@@ -890,6 +1033,42 @@ mod tests {
         let mut sys = SimSystem::new(small_cfg(), specs, CoalescerKind::Pac);
         let m = sys.run(1500);
         assert!(m.raw_requests > 0);
+    }
+
+    #[test]
+    fn oracle_stays_clean_across_coalescers() {
+        for kind in CoalescerKind::ALL {
+            let specs = single_process(Bench::Bfs, 4, 11);
+            let mut sys = SimSystem::new(small_cfg(), specs, kind);
+            sys.attach_oracle();
+            assert!(sys.run_until(1500, 10_000_000), "{} failed to drain", kind.label());
+            let report = sys.oracle_report().unwrap();
+            assert!(report.is_clean(), "{}: {}", kind.label(), report.summary());
+            assert!(report.accepted_raw > 0);
+            assert_eq!(report.accepted_raw, report.served_raw);
+        }
+    }
+
+    #[test]
+    fn oracle_catches_dropped_responses() {
+        use pac_types::{FaultClass, FaultPlan};
+        let specs = single_process(Bench::Stream, 4, 11);
+        let out = crate::system::run_lockstep(
+            small_cfg(),
+            specs,
+            CoalescerKind::Pac,
+            1500,
+            Some(FaultPlan::new(FaultClass::DropResponse, 99)),
+            None,
+            2_000_000,
+        );
+        assert!(out.faults_injected > 0);
+        assert!(
+            out.oracle.detected(pac_oracle::Invariant::LostResponse)
+                || out.oracle.detected(pac_oracle::Invariant::ResponseConservation),
+            "{}",
+            out.oracle.summary()
+        );
     }
 
     #[test]

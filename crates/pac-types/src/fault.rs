@@ -1,0 +1,122 @@
+//! Deterministic fault-injection plans for conformance testing.
+//!
+//! A [`FaultPlan`] tells the memory-device model to corrupt its response
+//! stream in one specific, seeded way. The lockstep oracle
+//! (`pac-oracle`) must then flag the corruption through at least one of
+//! its invariants; the `conformance` binary in `pac-bench` sweeps the
+//! whole [`FaultClass`] matrix to prove the checker has teeth.
+//!
+//! Injection decisions are a pure function of `(seed, response id)`, so
+//! a faulty run is exactly reproducible from its plan alone — no global
+//! RNG, no wall clock.
+
+use crate::Cycle;
+
+/// The classes of response-path corruption the device model can inject.
+///
+/// Each class models a distinct hardware or modelling bug:
+///
+/// * [`DropResponse`](FaultClass::DropResponse) — a read/write completion
+///   is silently lost after the vault serviced it (lost-packet bug).
+/// * [`DuplicateResponse`](FaultClass::DuplicateResponse) — the same
+///   completion is delivered twice (spurious-retry bug).
+/// * [`DelayResponse`](FaultClass::DelayResponse) — the completion
+///   arrives, but far later than any legitimate service path allows
+///   (stuck-queue bug).
+/// * [`CorruptAddr`](FaultClass::CorruptAddr) — the completion echoes the
+///   wrong address back (tag-mixup bug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    DropResponse,
+    DuplicateResponse,
+    DelayResponse,
+    CorruptAddr,
+}
+
+impl FaultClass {
+    /// Every fault class, in matrix order.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::DropResponse,
+        FaultClass::DuplicateResponse,
+        FaultClass::DelayResponse,
+        FaultClass::CorruptAddr,
+    ];
+
+    /// Stable human-readable label (used in conformance tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::DropResponse => "drop-response",
+            FaultClass::DuplicateResponse => "duplicate-response",
+            FaultClass::DelayResponse => "delay-response",
+            FaultClass::CorruptAddr => "corrupt-addr",
+        }
+    }
+}
+
+/// A seeded, deterministic plan for injecting one [`FaultClass`] into
+/// the device's response path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Which corruption to inject.
+    pub class: FaultClass,
+    /// Seed mixed into every injection decision.
+    pub seed: u64,
+    /// Injection probability numerator, out of 1024 responses.
+    pub rate_per_1024: u32,
+    /// Extra latency added by [`FaultClass::DelayResponse`].
+    pub delay_cycles: Cycle,
+    /// Stop injecting after this many faults (0 = unlimited). Keeps
+    /// drop-style runs bounded so the rest of the workload still drains.
+    pub max_faults: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the defaults the conformance suite uses: roughly one
+    /// injection per 32 responses, capped at 4 faults, 5M-cycle delays.
+    pub fn new(class: FaultClass, seed: u64) -> Self {
+        FaultPlan { class, seed, rate_per_1024: 32, delay_cycles: 5_000_000, max_faults: 4 }
+    }
+
+    /// Pure injection decision for one response id. Uses a splitmix64
+    /// finalizer over `(seed, id)` so corruption is reproducible and
+    /// uncorrelated with address layout.
+    pub fn should_inject(&self, response_id: u64) -> bool {
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(response_id.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 1024) < u64::from(self.rate_per_1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injection_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(FaultClass::DropResponse, 1);
+        let b = FaultPlan::new(FaultClass::DropResponse, 2);
+        let hits_a: Vec<bool> = (0..4096).map(|id| a.should_inject(id)).collect();
+        let hits_b: Vec<bool> = (0..4096).map(|id| b.should_inject(id)).collect();
+        assert_eq!(hits_a, (0..4096).map(|id| a.should_inject(id)).collect::<Vec<_>>());
+        assert_ne!(hits_a, hits_b, "different seeds must pick different victims");
+    }
+
+    #[test]
+    fn injection_rate_is_roughly_as_configured() {
+        let plan = FaultPlan { rate_per_1024: 64, ..FaultPlan::new(FaultClass::DelayResponse, 7) };
+        let hits = (0..32_768).filter(|&id| plan.should_inject(id)).count();
+        // 64/1024 = 1/16 ≈ 2048 expected; accept a wide deterministic band.
+        assert!((1500..2600).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn zero_rate_never_injects() {
+        let plan = FaultPlan { rate_per_1024: 0, ..FaultPlan::new(FaultClass::CorruptAddr, 3) };
+        assert!((0..8192).all(|id| !plan.should_inject(id)));
+    }
+}

@@ -10,12 +10,14 @@
 
 pub mod addr;
 pub mod config;
+pub mod fault;
 pub mod hash;
 pub mod protocol;
 pub mod request;
 
 pub use addr::{Addr, BlockId, PageNumber, CACHE_LINE_BYTES, PAGE_BYTES};
 pub use config::{CacheConfig, CoalescerConfig, HmcDeviceConfig, SimConfig};
+pub use fault::{FaultClass, FaultPlan};
 pub use hash::{IdHash, IdHasher};
 pub use protocol::MemoryProtocol;
 pub use request::{CoalescedRequest, MemRequest, Op, RequestKind};

@@ -8,6 +8,7 @@ pub use cache_sim as cache;
 pub use hmc_sim as hmc;
 pub use pac_analysis as analysis;
 pub use pac_core as coalescer;
+pub use pac_oracle as oracle;
 pub use pac_sim as sim;
 pub use pac_types as types;
 pub use pac_vm as vm;

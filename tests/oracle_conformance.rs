@@ -1,0 +1,77 @@
+//! Facade-level conformance of the lockstep oracle.
+//!
+//! The full 14-bench × 3-coalescer matrix lives in the `conformance`
+//! binary (pac-bench); these tests pin the two ends of the contract
+//! through the `pac_repro` facade at integration-test scale: the oracle
+//! stays silent on representative clean runs, and each injected fault
+//! class is caught by the invariant documented for it.
+
+use pac_repro::oracle::{Invariant, OracleConfig};
+use pac_repro::sim::{run_lockstep, CoalescerKind};
+use pac_repro::types::{FaultClass, FaultPlan, SimConfig};
+use pac_repro::workloads::multiproc::single_process;
+use pac_repro::workloads::Bench;
+
+const ACCESSES: u64 = 250;
+const CORES: u32 = 2;
+const LIMIT: u64 = 5_000_000;
+
+#[test]
+fn oracle_is_silent_on_clean_runs() {
+    for bench in [Bench::Bfs, Bench::Stream, Bench::Ep] {
+        for kind in CoalescerKind::ALL {
+            let out = run_lockstep(
+                SimConfig::default(),
+                single_process(bench, CORES, 11),
+                kind,
+                ACCESSES,
+                None,
+                None,
+                LIMIT,
+            );
+            assert!(out.converged, "{bench:?}/{kind:?} did not converge");
+            assert_eq!(out.faults_injected, 0);
+            assert!(
+                out.oracle.is_clean(),
+                "{bench:?}/{kind:?}: {}",
+                out.oracle.summary()
+            );
+            // Conservation in numbers, not just absence of violations.
+            assert_eq!(out.oracle.accepted_raw, out.oracle.served_raw);
+        }
+    }
+}
+
+#[test]
+fn every_fault_class_is_caught_through_the_facade() {
+    let expected: [(FaultClass, &[Invariant]); 4] = [
+        (FaultClass::DropResponse, &[Invariant::LostResponse, Invariant::ResponseConservation]),
+        (FaultClass::DuplicateResponse, &[Invariant::SpuriousResponse]),
+        (FaultClass::DelayResponse, &[Invariant::LatencyBound]),
+        (FaultClass::CorruptAddr, &[Invariant::EchoIntegrity]),
+    ];
+    for (class, invariants) in expected {
+        let cfg = SimConfig::default();
+        let plan = FaultPlan::new(class, 0xFACADE ^ class as u64);
+        let mut oracle_cfg = OracleConfig::for_sim(&cfg);
+        let mut limit = LIMIT;
+        if class == FaultClass::DelayResponse {
+            // A finite latency bound far under the injected delay and
+            // far over legitimate queueing latency.
+            oracle_cfg.max_response_latency = Some(1_000_000);
+            limit = limit.max(plan.delay_cycles + 10_000_000);
+        }
+        let out = run_lockstep(
+            cfg,
+            single_process(Bench::Stream, CORES, 11),
+            CoalescerKind::Pac,
+            ACCESSES,
+            Some(plan),
+            Some(oracle_cfg),
+            limit,
+        );
+        assert!(out.faults_injected > 0, "{class:?}: device injected nothing");
+        let caught = invariants.iter().any(|&inv| out.oracle.detected(inv));
+        assert!(caught, "{class:?} escaped the oracle: {}", out.oracle.summary());
+    }
+}
