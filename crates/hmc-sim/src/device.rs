@@ -13,8 +13,9 @@
 use crate::energy::{EnergyBreakdown, EnergyClass};
 use crate::stats::HmcStats;
 use crate::vault::{QueuedRequest, ReadyResponse, Vault};
+use pac_trace::{DumpTrigger, EventKind, TraceHandle};
 use pac_types::protocol::FLIT_BYTES;
-use pac_types::{Cycle, FaultClass, FaultPlan, HmcDeviceConfig, Op};
+use pac_types::{Cycle, EventClass, FaultClass, FaultPlan, HmcDeviceConfig, Op};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -100,6 +101,8 @@ pub struct Hmc {
     pub stats: HmcStats,
     /// Energy breakdown by operation class.
     pub energy: EnergyBreakdown,
+    /// Structured-event tracer (disabled by default; zero-cost off).
+    tracer: TraceHandle,
 }
 
 impl Hmc {
@@ -122,8 +125,17 @@ impl Hmc {
             faults_injected: 0,
             stats: HmcStats::default(),
             energy: EnergyBreakdown::new(),
+            tracer: TraceHandle::disabled(),
             cfg,
         }
+    }
+
+    /// Attach a structured-event tracer. The device emits
+    /// [`EventClass::Hmc`] events (submit, vault service, response,
+    /// fault injection) and triggers a flight-recorder dump when a
+    /// planned fault fires.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// Device configuration.
@@ -201,6 +213,15 @@ impl Hmc {
         let xbar = if remote { self.cfg.xbar_remote_cycles } else { self.cfg.xbar_local_cycles };
         let arrival = transfer_done + xbar;
 
+        self.tracer.emit(now, EventClass::Hmc, || EventKind::HmcSubmit {
+            id: req.id,
+            addr: req.addr,
+            bytes: req.bytes,
+            vault,
+            link: link as u32,
+            remote,
+        });
+
         // Routing energy is charged per routing *operation* (crossbar
         // arbitration and path setup for one packet), as in the paper's
         // Sec 2.1.2 accounting: coalescing four requests into one saves
@@ -242,7 +263,7 @@ impl Hmc {
             self.vault_next_min = self.vault_next_min.min(start);
         }
         self.inflight += 1;
-        self.stats.peak_inflight = self.stats.peak_inflight.max(self.inflight);
+        self.stats.peak_inflight = self.stats.peak_inflight.max(self.inflight as u64);
     }
 
     /// Advance the device to cycle `now`: issue DRAM references in every
@@ -287,6 +308,13 @@ impl Hmc {
         // reference with far-future data cannot reserve the link ahead
         // of a response that is ready sooner.
         for r in ready.drain(..) {
+            self.tracer.emit(now, EventClass::Hmc, || EventKind::VaultService {
+                id: r.req.id,
+                vault: self.cfg.vault_of(r.req.addr),
+                bank: r.req.bank,
+                arrival: r.req.arrival,
+                data_ready: r.data_ready,
+            });
             let key = self.pending_seq;
             self.pending_seq += 1;
             self.pending_rsp.push(Reverse((r.data_ready, key)));
@@ -336,6 +364,14 @@ impl Hmc {
             let budget_ok = plan.max_faults == 0 || self.faults_injected < plan.max_faults;
             if budget_ok && plan.should_inject(req.id) {
                 self.faults_injected += 1;
+                self.tracer.emit(r.data_ready, EventClass::Diagnostic, || EventKind::FaultInjected {
+                    id: req.id,
+                    class: plan.class,
+                });
+                self.tracer.trigger_dump(
+                    r.data_ready,
+                    DumpTrigger::Fault { class: plan.class, id: req.id },
+                );
                 match plan.class {
                     FaultClass::DropResponse => {
                         // The vault serviced the access but the completion
@@ -400,6 +436,11 @@ impl Hmc {
                 complete_cycle,
             };
             self.stats.complete(rsp.latency());
+            self.tracer.emit(complete_cycle, EventClass::Hmc, || EventKind::HmcResponse {
+                id: rsp.id,
+                addr: rsp.addr,
+                latency: rsp.latency(),
+            });
             self.inflight -= 1;
             out.push(rsp);
         }
@@ -693,6 +734,52 @@ mod tests {
         let (rsps, _) = hmc.drain(0);
         assert_eq!(rsps.len(), 1);
         assert_eq!(rsps[0].addr, 0x1040, "address echo must be corrupted");
+    }
+
+    #[test]
+    fn tracer_captures_request_lifecycle_and_fault_dump() {
+        use pac_types::TraceConfig;
+        let mut hmc = device();
+        let tracer = TraceHandle::new(TraceConfig::full());
+        hmc.set_tracer(tracer.clone());
+        let plan = FaultPlan {
+            rate_per_1024: 1024,
+            max_faults: 1,
+            ..FaultPlan::new(FaultClass::CorruptAddr, 5)
+        };
+        hmc.set_fault_plan(plan);
+        hmc.submit(read(42, 0x1000, 64), 0);
+        hmc.drain(0);
+
+        let events = tracer.snapshot_events();
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"hmc_submit"), "got {names:?}");
+        assert!(names.contains(&"vault_service"));
+        assert!(names.contains(&"fault_injected"));
+        assert!(names.contains(&"hmc_response"));
+
+        let dumps = tracer.snapshot_dumps();
+        assert_eq!(dumps.len(), 1, "fault must trigger exactly one flight dump");
+        assert!(dumps[0]
+            .events
+            .iter()
+            .any(|e| e.kind.request_id() == Some(42)), "dump holds the faulted request");
+    }
+
+    #[test]
+    fn disabled_tracer_changes_no_stats() {
+        let mut plain = device();
+        let mut traced = device();
+        traced.set_tracer(TraceHandle::new(pac_types::TraceConfig::full()));
+        for i in 0..32 {
+            plain.submit(read(i, i * 64, 64), i);
+            traced.submit(read(i, i * 64, 64), i);
+        }
+        let (a, da) = plain.drain(0);
+        let (b, db) = traced.drain(0);
+        assert_eq!(a, b, "tracing must not perturb device behavior");
+        assert_eq!(da, db);
+        assert_eq!(plain.stats, traced.stats);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Aggregate statistics collected by the HMC device.
 
+use pac_trace::LatencyHistogram;
 use pac_types::Cycle;
 
 /// Counters accumulated over a run of the device.
@@ -24,7 +25,11 @@ pub struct HmcStats {
     /// deriving the average access latency.
     pub total_latency_cycles: u64,
     /// Peak number of simultaneously in-flight requests observed.
-    pub peak_inflight: usize,
+    pub peak_inflight: u64,
+    /// End-to-end latency distribution (the same samples that feed
+    /// `total_latency_cycles`, so [`HmcStats::avg_latency_cycles`] stays
+    /// bit-identical to the scalar counters).
+    pub latency_hist: LatencyHistogram,
 }
 
 impl HmcStats {
@@ -65,6 +70,24 @@ impl HmcStats {
     pub(crate) fn complete(&mut self, latency: Cycle) {
         self.responses += 1;
         self.total_latency_cycles += latency;
+        self.latency_hist.record(latency);
+    }
+
+    /// Fold another run's counters into this one — used to aggregate
+    /// per-shard statistics from parallel sweeps. Peak in-flight takes
+    /// the max (the shards never share a device, so summing would
+    /// overstate concurrency); everything else is additive.
+    pub fn merge(&mut self, other: &HmcStats) {
+        self.requests += other.requests;
+        self.responses += other.responses;
+        self.payload_bytes += other.payload_bytes;
+        self.transaction_bytes += other.transaction_bytes;
+        self.bank_conflicts += other.bank_conflicts;
+        self.local_routes += other.local_routes;
+        self.remote_routes += other.remote_routes;
+        self.total_latency_cycles += other.total_latency_cycles;
+        self.peak_inflight = self.peak_inflight.max(other.peak_inflight);
+        self.latency_hist.merge(&other.latency_hist);
     }
 }
 
@@ -87,6 +110,61 @@ mod tests {
         s.complete(200);
         assert_eq!(s.avg_latency_cycles(), 150.0);
         assert_eq!(s.avg_latency_ns(), 75.0);
+    }
+
+    #[test]
+    fn merge_folds_counters_and_takes_peak_max() {
+        let mut a = HmcStats {
+            requests: 10,
+            responses: 8,
+            payload_bytes: 640,
+            transaction_bytes: 960,
+            bank_conflicts: 2,
+            local_routes: 4,
+            remote_routes: 6,
+            peak_inflight: 5,
+            ..Default::default()
+        };
+        a.complete(100);
+        let mut b = HmcStats {
+            requests: 3,
+            responses: 2,
+            payload_bytes: 128,
+            transaction_bytes: 192,
+            bank_conflicts: 1,
+            local_routes: 1,
+            remote_routes: 2,
+            peak_inflight: 9,
+            ..Default::default()
+        };
+        b.complete(300);
+        // complete() bumped responses past the literal init; rebuild the
+        // expectation from the merged struct directly.
+        let (ra, rb) = (a.responses, b.responses);
+        a.merge(&b);
+        assert_eq!(a.requests, 13);
+        assert_eq!(a.responses, ra + rb);
+        assert_eq!(a.payload_bytes, 768);
+        assert_eq!(a.transaction_bytes, 1152);
+        assert_eq!(a.bank_conflicts, 3);
+        assert_eq!(a.local_routes, 5);
+        assert_eq!(a.remote_routes, 8);
+        assert_eq!(a.total_latency_cycles, 400);
+        assert_eq!(a.peak_inflight, 9, "peak is a max, not a sum");
+        assert_eq!(a.latency_hist.count(), 2);
+        assert_eq!(a.latency_hist.sum(), a.total_latency_cycles);
+    }
+
+    #[test]
+    fn latency_histogram_mirrors_scalar_counters() {
+        let mut s = HmcStats::default();
+        for l in [3u64, 17, 120, 120, 4096] {
+            s.complete(l);
+        }
+        assert_eq!(s.latency_hist.count(), s.responses);
+        assert_eq!(s.latency_hist.sum(), s.total_latency_cycles);
+        assert_eq!(s.latency_hist.mean(), s.avg_latency_cycles());
+        assert_eq!(s.latency_hist.max(), 4096);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! The `pac-bench trace` subcommand: cycle-stamped structured tracing.
+//!
+//! ```console
+//! $ trace EP pac ep.trace.json            # one cell, full trace
+//! $ trace --all traces/                   # all 14 benchmarks, PAC
+//! $ trace --fault corrupt-addr STREAM pac # flight recorder + fault dump
+//! $ trace --quick EP pac out.json         # small run (CI smoke)
+//! $ trace --guard                         # disabled-path throughput guard
+//! ```
+//!
+//! Full-trace runs write Chrome `trace_event` JSON — open the file at
+//! <https://ui.perfetto.dev> or `chrome://tracing`. Every run also
+//! prints the human-readable report: oracle verdict, flight-recorder
+//! dumps (with the offending request's event history), and the
+//! per-stage latency histograms.
+
+use pac_bench::trace_cmd::{run_cell, throughput_guard};
+use pac_sim::{CoalescerKind, ExperimentConfig};
+use pac_types::{FaultClass, FaultPlan, TraceConfig};
+use pac_workloads::Bench;
+use std::fs;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace [--quick] <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
+         trace [--quick] --all [out-dir]\n  \
+         trace [--quick] --fault <drop-response|duplicate-response|delay-response|corrupt-addr> \
+         <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
+         trace [--quick] --guard"
+    );
+    std::process::exit(2);
+}
+
+fn parse_bench(s: &str) -> Bench {
+    Bench::from_name(s).unwrap_or_else(|| {
+        eprintln!(
+            "unknown benchmark '{s}'; known: {}",
+            Bench::ALL.map(|b| b.name()).join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
+fn parse_kind(s: &str) -> CoalescerKind {
+    match s {
+        "raw" => CoalescerKind::Raw,
+        "mshr-dmc" => CoalescerKind::MshrDmc,
+        "pac" => CoalescerKind::Pac,
+        _ => {
+            eprintln!("unknown coalescer '{s}'; known: raw, mshr-dmc, pac");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_fault(s: &str) -> FaultClass {
+    let all = [
+        FaultClass::DropResponse,
+        FaultClass::DuplicateResponse,
+        FaultClass::DelayResponse,
+        FaultClass::CorruptAddr,
+    ];
+    all.into_iter().find(|c| c.label() == s).unwrap_or_else(|| {
+        eprintln!(
+            "unknown fault class '{s}'; known: {}",
+            all.map(|c| c.label()).join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
+fn write_out(path: &str, json: &str) {
+    fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = {
+        let before = args.len();
+        args.retain(|a| a != "--quick");
+        args.len() != before
+    };
+    let cfg = if quick {
+        // Small enough for CI, large enough to populate every stage
+        // histogram and exercise the counter tracks.
+        ExperimentConfig { accesses_per_core: 2_000, ..Default::default() }
+    } else {
+        ExperimentConfig::default()
+    };
+
+    match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        ["--guard"] => {
+            let baseline = fs::read_to_string("BENCH_throughput.json").unwrap_or_else(|e| {
+                eprintln!("cannot read BENCH_throughput.json: {e}");
+                std::process::exit(1);
+            });
+            // Quick mode samples a handful of cells; the full guard
+            // replays the entire matrix. Wall tolerance is the ±2%
+            // budget from the issue; quick runs get slack because a
+            // truncated sample amplifies per-cell noise.
+            let (tolerance, max_cells) = if quick { (0.10, 6) } else { (0.02, 0) };
+            match throughput_guard(&baseline, tolerance, max_cells) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if !report.passed() {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("guard failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        ["--all", rest @ ..] => {
+            let dir = rest.first().copied().unwrap_or("traces");
+            fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {dir}: {e}");
+                std::process::exit(1);
+            });
+            for bench in Bench::ALL {
+                let out =
+                    run_cell(bench, CoalescerKind::Pac, &cfg, TraceConfig::full(), None);
+                let path = format!("{dir}/{}.trace.json", bench.name().to_lowercase());
+                write_out(&path, &out.json);
+                print!("{}", out.report);
+            }
+        }
+        ["--fault", class, bench, kind, rest @ ..] => {
+            let plan = FaultPlan::new(parse_fault(class), 3);
+            let out = run_cell(
+                parse_bench(bench),
+                parse_kind(kind),
+                &cfg,
+                TraceConfig::flight_recorder(),
+                Some(plan),
+            );
+            print!("{}", out.report);
+            if let Some(path) = rest.first() {
+                write_out(path, &out.json);
+            }
+            if out.dumps == 0 {
+                eprintln!("fault armed but no flight dump captured");
+                std::process::exit(1);
+            }
+        }
+        [bench, kind, rest @ ..] if !bench.starts_with('-') => {
+            let out = run_cell(
+                parse_bench(bench),
+                parse_kind(kind),
+                &cfg,
+                TraceConfig::full(),
+                None,
+            );
+            print!("{}", out.report);
+            println!("events : {}", out.events);
+            if let Some(path) = rest.first() {
+                write_out(path, &out.json);
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -20,5 +20,6 @@ pub mod figures;
 pub mod harness;
 pub mod paper;
 pub mod throughput;
+pub mod trace_cmd;
 
 pub use harness::Harness;

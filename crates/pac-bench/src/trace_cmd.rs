@@ -1,0 +1,457 @@
+//! The `pac-bench trace` subcommand: run one benchmark × coalescer cell
+//! with the structured tracer attached, export the Chrome `trace_event`
+//! JSON (loadable at <https://ui.perfetto.dev>), and render a
+//! human-readable report covering the oracle verdict, flight-recorder
+//! dumps, and the per-stage latency histograms.
+//!
+//! The module also hosts the throughput guard: proof that the
+//! *disabled* trace path costs nothing, by re-running the experiment
+//! matrix with tracing off and holding both the simulated cycle counts
+//! and the wall-clock throughput against the committed
+//! `BENCH_throughput.json` baseline.
+
+use pac_sim::{CoalescerKind, ExperimentConfig, SimSystem};
+use pac_trace::perfetto::chrome_trace_json;
+use pac_trace::{FlightDump, MetricsRegistry};
+use pac_types::{FaultPlan, TraceConfig};
+use pac_workloads::multiproc::single_process;
+use pac_workloads::Bench;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Everything produced by one traced cell run.
+#[derive(Debug)]
+pub struct TraceOutcome {
+    /// Benchmark label.
+    pub bench: &'static str,
+    /// Coalescer label.
+    pub kind: &'static str,
+    /// Whether the system drained within the cycle bound (a drop-fault
+    /// run intentionally does not).
+    pub converged: bool,
+    /// Chrome `trace_event` JSON document.
+    pub json: String,
+    /// Human-readable violation / histogram report.
+    pub report: String,
+    /// Events recorded (full mode) — 0 in flight-recorder mode.
+    pub events: usize,
+    /// Flight-recorder dumps captured.
+    pub dumps: usize,
+}
+
+/// Run one `bench × kind` cell under `trace_cfg`, optionally with a
+/// fault plan armed, and collect the exported trace plus the report.
+/// The lockstep oracle rides along so the report always carries a
+/// verdict; fault runs use a bounded drain (a dropped response would
+/// otherwise wedge the run loop).
+pub fn run_cell(
+    bench: Bench,
+    kind: CoalescerKind,
+    cfg: &ExperimentConfig,
+    trace_cfg: TraceConfig,
+    fault: Option<FaultPlan>,
+) -> TraceOutcome {
+    let specs = single_process(bench, cfg.sim.cores, cfg.seed);
+    let mut sys = SimSystem::with_options(cfg.sim, specs, kind, false, false, cfg.stepping);
+    sys.attach_oracle();
+    sys.set_trace_config(trace_cfg);
+    if let Some(plan) = fault {
+        sys.set_fault_plan(plan);
+    }
+    let limit = cfg
+        .accesses_per_core
+        .saturating_mul(u64::from(cfg.sim.cores))
+        .saturating_mul(2000)
+        .max(10_000_000);
+    let converged = sys.run_until(cfg.accesses_per_core, limit);
+
+    let events = sys.tracer().snapshot_events();
+    let counters = sys.tracer().snapshot_counters();
+    let dumps = sys.tracer().snapshot_dumps();
+    let json = chrome_trace_json(&events, &counters);
+    let report = render_report(&sys, bench, kind, converged, &dumps);
+    TraceOutcome {
+        bench: bench.name(),
+        kind: kind.label(),
+        converged,
+        json,
+        report,
+        events: events.len(),
+        dumps: dumps.len(),
+    }
+}
+
+/// Build the per-stage latency registry from a finished system's
+/// statistics (the same samples behind the legacy scalar aggregates).
+pub fn stage_registry(sys: &SimSystem) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    let cs = sys.coalescer_stats();
+    reg.insert("stage2_decoder", cs.stage2_hist.clone());
+    reg.insert("stage3_assembler", cs.stage3_hist.clone());
+    reg.insert("maq_fill", cs.maq_fill_hist.clone());
+    reg.insert("hmc_end_to_end", sys.hmc_stats().latency_hist.clone());
+    reg
+}
+
+fn render_report(
+    sys: &SimSystem,
+    bench: Bench,
+    kind: CoalescerKind,
+    converged: bool,
+    dumps: &[FlightDump],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace report — bench={} kind={}", bench.name(), kind.label());
+    let _ = writeln!(out, "drained: {}", if converged { "yes" } else { "NO (cycle bound hit)" });
+    if let Some(report) = sys.oracle_report() {
+        let _ = writeln!(out, "oracle : {}", report.summary());
+    }
+    let _ = writeln!(out, "faults : {}", sys.faults_injected());
+    let _ = writeln!(out, "dumps  : {}", dumps.len());
+    for (i, d) in dumps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  dump {} at cycle {}: {} ({} events in window)",
+            i + 1,
+            d.cycle,
+            d.trigger.describe(),
+            d.events.len()
+        );
+        // For fault dumps, show the faulted request's recorded history —
+        // the events the flight recorder preserved for the offender.
+        if let pac_trace::DumpTrigger::Fault { id, .. } = d.trigger {
+            for ev in d.events.iter().filter(|e| e.kind.request_id() == Some(id)) {
+                let _ = writeln!(out, "    cycle {:>10}  {}", ev.cycle, ev.kind.name());
+            }
+        }
+    }
+    let _ = writeln!(out, "stage latency histograms (cycles):");
+    out.push_str(&stage_registry(sys).render_table());
+    out
+}
+
+/// One parsed cell of the committed throughput baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineCell {
+    /// Benchmark label as recorded.
+    pub bench: String,
+    /// Coalescer label as recorded.
+    pub kind: String,
+    /// Wall seconds the baseline machine spent on the cell.
+    pub wall_seconds: f64,
+    /// Simulated cycles the run covered (machine-independent).
+    pub simulated_cycles: u64,
+}
+
+/// Minimal reader for `BENCH_throughput.json`: returns
+/// `(accesses_per_core, seed, skip-ahead cells)`. Hand-rolled like the
+/// writer in [`crate::throughput`] — the repo carries no JSON
+/// dependency and the document is our own output format.
+pub fn parse_baseline(json: &str) -> Result<(u64, u64, Vec<BaselineCell>), String> {
+    fn field_u64(s: &str, key: &str) -> Option<u64> {
+        let at = s.find(&format!("\"{key}\":"))?;
+        let rest = s[at..].split(':').nth(1)?;
+        let num: String =
+            rest.trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+        num.parse().ok()
+    }
+    fn field_f64(s: &str, key: &str) -> Option<f64> {
+        let at = s.find(&format!("\"{key}\":"))?;
+        let rest = s[at..].split(':').nth(1)?;
+        let num: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        num.parse().ok()
+    }
+    fn field_str(s: &str, key: &str) -> Option<String> {
+        let at = s.find(&format!("\"{key}\":"))?;
+        let rest = &s[at + key.len() + 3..];
+        let open = rest.find('"')?;
+        let rest = &rest[open + 1..];
+        let close = rest.find('"')?;
+        Some(rest[..close].to_string())
+    }
+
+    let accesses =
+        field_u64(json, "accesses_per_core").ok_or("missing accesses_per_core")?;
+    let seed = field_u64(json, "seed").ok_or("missing seed")?;
+    // The skip-ahead sweep is the production mode the guard compares
+    // against; find its section and take the cells that follow.
+    let sweep_at = json
+        .find("\"stepping\": \"skip-ahead\"")
+        .ok_or("baseline has no skip-ahead sweep")?;
+    let mut cells = Vec::new();
+    for line in json[sweep_at..].lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"bench\"") {
+            continue;
+        }
+        let bench = field_str(line, "bench").ok_or("cell missing bench")?;
+        let kind = field_str(line, "kind").ok_or("cell missing kind")?;
+        let wall = field_f64(line, "wall_seconds").ok_or("cell missing wall_seconds")?;
+        let cycles =
+            field_u64(line, "simulated_cycles").ok_or("cell missing simulated_cycles")?;
+        cells.push(BaselineCell { bench, kind, wall_seconds: wall, simulated_cycles: cycles });
+    }
+    if cells.is_empty() {
+        return Err("no cells under the skip-ahead sweep".into());
+    }
+    Ok((accesses, seed, cells))
+}
+
+/// Result of the disabled-path throughput guard.
+#[derive(Debug)]
+pub struct GuardReport {
+    /// Cells whose simulated cycle count no longer matches the baseline
+    /// (must be empty: tracing off may not change behavior).
+    pub cycle_mismatches: Vec<String>,
+    /// Total wall seconds the baseline spent on the compared cells.
+    pub baseline_seconds: f64,
+    /// Total wall seconds spent with no tracer constructed at all.
+    pub plain_seconds: f64,
+    /// Total wall seconds spent with `TraceConfig::off()` attached.
+    pub off_seconds: f64,
+    /// `off/plain - 1` measured back-to-back on this machine — the
+    /// machine-independent zero-cost proof (positive = off is slower).
+    pub ab_delta: f64,
+    /// `plain/baseline - 1` against the recorded document; subsumes
+    /// build drift and machine conditions, reported for context.
+    pub wall_delta: f64,
+    /// Tolerance for the same-machine A/B delta (the ±2% budget).
+    pub tolerance: f64,
+    /// Looser bound for the recorded-document comparison: the document
+    /// was measured in a different process lifetime (possibly a
+    /// different machine), so ~5% run-to-run drift is expected even on
+    /// an identical binary. Set to `5 × tolerance`.
+    pub wall_tolerance: f64,
+}
+
+impl GuardReport {
+    /// True when cycles match everywhere, the A/B delta is within
+    /// tolerance, and the recorded-baseline delta is within the drift
+    /// allowance.
+    pub fn passed(&self) -> bool {
+        self.cycle_mismatches.is_empty()
+            && self.ab_delta <= self.tolerance
+            && self.wall_delta <= self.wall_tolerance
+    }
+
+    /// Render the verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "throughput guard:");
+        let _ = writeln!(
+            out,
+            "  A/B same-machine: plain {:.3}s vs TraceConfig::off() {:.3}s, delta {:+.2}% \
+             (tolerance {:.0}%)",
+            self.plain_seconds,
+            self.off_seconds,
+            self.ab_delta * 100.0,
+            self.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  vs recorded baseline: {:.3}s recorded, {:.3}s measured, delta {:+.2}% \
+             (drift allowance {:.0}%)",
+            self.baseline_seconds,
+            self.plain_seconds,
+            self.wall_delta * 100.0,
+            self.wall_tolerance * 100.0
+        );
+        for m in &self.cycle_mismatches {
+            let _ = writeln!(out, "  CYCLE MISMATCH: {m}");
+        }
+        let _ = writeln!(out, "verdict: {}", if self.passed() { "PASS" } else { "FAIL" });
+        out
+    }
+}
+
+/// Re-run every baseline cell twice back-to-back — once with no tracer
+/// constructed (the `run_bench` path) and once with
+/// `TraceConfig::off()` attached — and compare: simulated cycles must
+/// match the baseline exactly (tracing off changes nothing), the A/B
+/// wall delta must be within `tolerance` (the machine-independent
+/// zero-cost proof), and the plain run must also land within
+/// `tolerance` of the recorded baseline wall clock. `max_cells` bounds
+/// the sweep for quick checks (0 = all).
+pub fn throughput_guard(
+    baseline_json: &str,
+    tolerance: f64,
+    max_cells: usize,
+) -> Result<GuardReport, String> {
+    let (accesses, seed, mut cells) = parse_baseline(baseline_json)?;
+    if max_cells > 0 {
+        cells.truncate(max_cells);
+    }
+    let cfg = ExperimentConfig { accesses_per_core: accesses, seed, ..Default::default() };
+    let mut mismatches = Vec::new();
+    let mut baseline_seconds = 0.0;
+    let mut plain_seconds = 0.0;
+    let mut off_seconds = 0.0;
+    for cell in &cells {
+        let Some(bench) = Bench::from_name(&cell.bench) else {
+            return Err(format!("baseline names unknown benchmark '{}'", cell.bench));
+        };
+        let kind = match cell.kind.as_str() {
+            "raw" => CoalescerKind::Raw,
+            "mshr-dmc" => CoalescerKind::MshrDmc,
+            "pac" => CoalescerKind::Pac,
+            other => return Err(format!("baseline names unknown coalescer '{other}'")),
+        };
+        let t = Instant::now();
+        let (m, _) = pac_sim::run_bench(bench, kind, &cfg);
+        plain_seconds += t.elapsed().as_secs_f64();
+
+        let specs = single_process(bench, cfg.sim.cores, cfg.seed);
+        let t = Instant::now();
+        let mut sys =
+            SimSystem::with_options(cfg.sim, specs, kind, false, false, cfg.stepping);
+        sys.set_trace_config(TraceConfig::off());
+        let m_off = sys.run(cfg.accesses_per_core);
+        off_seconds += t.elapsed().as_secs_f64();
+
+        baseline_seconds += cell.wall_seconds;
+        if m != m_off {
+            mismatches.push(format!(
+                "{}/{}: metrics diverge between plain and TraceConfig::off() runs",
+                cell.bench, cell.kind
+            ));
+        }
+        if m.runtime_cycles != cell.simulated_cycles {
+            mismatches.push(format!(
+                "{}/{}: {} cycles, baseline {}",
+                cell.bench, cell.kind, m.runtime_cycles, cell.simulated_cycles
+            ));
+        }
+    }
+    Ok(GuardReport {
+        cycle_mismatches: mismatches,
+        baseline_seconds,
+        plain_seconds,
+        off_seconds,
+        ab_delta: off_seconds / plain_seconds - 1.0,
+        wall_delta: plain_seconds / baseline_seconds - 1.0,
+        tolerance,
+        wall_tolerance: tolerance * 5.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_types::{FaultClass, TraceMode};
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig { accesses_per_core: 1200, ..Default::default() }
+    }
+
+    #[test]
+    fn traced_cell_emits_valid_perfetto_json() {
+        let out =
+            run_cell(Bench::Ep, CoalescerKind::Pac, &quick_cfg(), TraceConfig::full(), None);
+        assert!(out.converged);
+        assert!(out.events > 0);
+        assert!(out.json.starts_with("{\"traceEvents\":["));
+        assert!(out.json.trim_end().ends_with("]}"));
+        // Per-stage tracks and counter tracks are all present.
+        for track in
+            ["aggregator", "decoder", "assembler", "maq", "mshr", "maq_depth", "bank_conflicts"]
+        {
+            assert!(out.json.contains(track), "missing track {track}");
+        }
+        assert_eq!(out.json.matches('{').count(), out.json.matches('}').count());
+        assert!(out.report.contains("oracle : clean"));
+        assert!(out.report.contains("stage2_decoder"));
+    }
+
+    #[test]
+    fn faulted_cell_reports_offender_history() {
+        let plan = FaultPlan {
+            rate_per_1024: 1024,
+            max_faults: 1,
+            ..FaultPlan::new(FaultClass::CorruptAddr, 3)
+        };
+        let out = run_cell(
+            Bench::Stream,
+            CoalescerKind::Pac,
+            &quick_cfg(),
+            TraceConfig::flight_recorder(),
+            Some(plan),
+        );
+        assert!(out.dumps >= 1, "fault must dump the flight window");
+        assert!(out.report.contains("fault corrupt-addr on request id"));
+        assert!(out.report.contains("hmc_submit"), "offender history missing:\n{}", out.report);
+    }
+
+    #[test]
+    fn flight_recorder_mode_keeps_no_full_log() {
+        let cfg = TraceConfig { mode: TraceMode::FlightRecorder, ..TraceConfig::full() };
+        let out = run_cell(Bench::Gs, CoalescerKind::MshrDmc, &quick_cfg(), cfg, None);
+        assert_eq!(out.events, 0, "ring mode must not retain the full log");
+        assert_eq!(out.dumps, 0, "no trigger fired");
+        // The export still carries track metadata but no event records.
+        assert!(!out.json.contains("hmc_submit"));
+    }
+
+    #[test]
+    fn baseline_parser_reads_committed_document() {
+        let doc = crate::throughput::to_json(
+            &ExperimentConfig { accesses_per_core: 777, seed: 42, ..Default::default() },
+            &[
+                crate::throughput::Sweep {
+                    stepping: "every-cycle",
+                    wall_seconds: 2.0,
+                    cells: vec![],
+                },
+                crate::throughput::Sweep {
+                    stepping: "skip-ahead",
+                    wall_seconds: 1.0,
+                    cells: vec![crate::throughput::Cell {
+                        bench: "EP",
+                        kind: "pac",
+                        stepping: "skip-ahead",
+                        wall_seconds: 0.5,
+                        simulated_cycles: 12345,
+                        retired_accesses: 100,
+                    }],
+                },
+            ],
+            None,
+        );
+        let (accesses, seed, cells) = parse_baseline(&doc).unwrap();
+        assert_eq!(accesses, 777);
+        assert_eq!(seed, 42);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].bench, "EP");
+        assert_eq!(cells[0].simulated_cycles, 12345);
+        assert_eq!(cells[0].wall_seconds, 0.5);
+    }
+
+    #[test]
+    fn guard_detects_cycle_mismatch() {
+        // A fabricated baseline with wrong cycle counts must fail.
+        let cfg = ExperimentConfig { accesses_per_core: 400, ..Default::default() };
+        let (m, _) = pac_sim::run_bench(Bench::Gs, CoalescerKind::Pac, &cfg);
+        let doc = format!(
+            "{{\n  \"accesses_per_core\": 400,\n  \"seed\": {},\n  \"sweeps\": [\n    {{\n      \
+             \"stepping\": \"skip-ahead\",\n      \"cells\": [\n        {{\"bench\": \"GS\", \
+             \"kind\": \"pac\", \"wall_seconds\": 0.1, \"simulated_cycles\": {}, \
+             \"retired_accesses\": 1}}\n      ]\n    }}\n  ]\n}}\n",
+            cfg.seed,
+            m.runtime_cycles + 1,
+        );
+        let report = throughput_guard(&doc, 10.0, 0).unwrap();
+        assert_eq!(report.cycle_mismatches.len(), 1);
+        assert!(!report.passed());
+        // And with the true count it passes (generous wall tolerance —
+        // this is a correctness test, not a benchmark).
+        let doc = doc.replace(
+            &format!("\"simulated_cycles\": {}", m.runtime_cycles + 1),
+            &format!("\"simulated_cycles\": {}", m.runtime_cycles),
+        );
+        let report = throughput_guard(&doc, 1000.0, 0).unwrap();
+        assert!(report.passed(), "{}", report.render());
+    }
+}

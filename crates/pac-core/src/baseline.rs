@@ -12,9 +12,10 @@
 
 use crate::mshr::AdaptiveMshrFile;
 use crate::stats::CoalescerStats;
-use crate::{DispatchedRequest, MemoryCoalescer};
+use crate::{CoalescerGauges, DispatchedRequest, MemoryCoalescer};
+use pac_trace::{EventKind, TraceHandle};
 use pac_types::addr::CACHE_LINE_BYTES;
-use pac_types::{CoalescedRequest, Cycle, IdHash, MemRequest, RequestKind};
+use pac_types::{CoalescedRequest, Cycle, EventClass, IdHash, MemRequest, RequestKind};
 use std::collections::{HashMap, VecDeque};
 
 fn line_request(req: &MemRequest, now: Cycle) -> CoalescedRequest {
@@ -35,6 +36,7 @@ pub struct MshrDmc {
     mshr: AdaptiveMshrFile,
     pending: VecDeque<DispatchedRequest>,
     stats: CoalescerStats,
+    tracer: TraceHandle,
 }
 
 impl MshrDmc {
@@ -43,6 +45,7 @@ impl MshrDmc {
             mshr: AdaptiveMshrFile::new(mshrs, max_subentries),
             pending: VecDeque::new(),
             stats: CoalescerStats::default(),
+            tracer: TraceHandle::disabled(),
         }
     }
 
@@ -63,6 +66,8 @@ impl MemoryCoalescer for MshrDmc {
             && self.mshr.try_merge_line(req.line(), req.op, req.id)
         {
             self.stats.raw_requests += 1;
+            self.tracer
+                .emit(now, EventClass::Mshr, || EventKind::MshrMerged { addr: req.line() });
             self.refresh_stats();
             return true;
         }
@@ -79,6 +84,12 @@ impl MemoryCoalescer for MshrDmc {
         let d = self.mshr.allocate_with(line_request(&req, now), req.kind != RequestKind::Atomic);
         self.stats.dispatched_requests += 1;
         self.stats.size_histogram.record(d.bytes);
+        self.tracer.emit(now, EventClass::Mshr, || EventKind::Dispatch {
+            dispatch_id: d.dispatch_id,
+            addr: d.addr,
+            bytes: d.bytes,
+            raw_count: d.raw_count,
+        });
         self.pending.push_back(d);
         self.refresh_stats();
         true
@@ -88,8 +99,13 @@ impl MemoryCoalescer for MshrDmc {
         out.extend(self.pending.drain(..));
     }
 
-    fn complete(&mut self, dispatch_id: u64, _now: Cycle, satisfied: &mut Vec<u64>) {
+    fn complete(&mut self, dispatch_id: u64, now: Cycle, satisfied: &mut Vec<u64>) {
         if let Some(ids) = self.mshr.complete(dispatch_id) {
+            let n = ids.len() as u32;
+            self.tracer.emit(now, EventClass::Mshr, || EventKind::MshrReleased {
+                dispatch_id,
+                raw_count: n,
+            });
             satisfied.extend(ids);
         }
     }
@@ -108,6 +124,18 @@ impl MemoryCoalescer for MshrDmc {
         // Dispatches drain the same tick their push arrives; outside
         // that, the DMC only reacts to pushes and completions.
         (!self.pending.is_empty()).then_some(now)
+    }
+
+    fn attach_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
+    fn gauges(&self) -> Option<CoalescerGauges> {
+        Some(CoalescerGauges {
+            maq_depth: 0,
+            active_streams: 0,
+            inflight_mshrs: self.mshr.occupancy() as u32,
+        })
     }
 
     fn would_accept(&self, req: &MemRequest) -> bool {
@@ -143,6 +171,7 @@ pub struct NoCoalescing {
     next_id: u64,
     pending: VecDeque<DispatchedRequest>,
     stats: CoalescerStats,
+    tracer: TraceHandle,
 }
 
 impl NoCoalescing {
@@ -154,12 +183,13 @@ impl NoCoalescing {
             next_id: 0,
             pending: VecDeque::new(),
             stats: CoalescerStats::default(),
+            tracer: TraceHandle::disabled(),
         }
     }
 }
 
 impl MemoryCoalescer for NoCoalescing {
-    fn push_raw(&mut self, req: MemRequest, _now: Cycle) -> bool {
+    fn push_raw(&mut self, req: MemRequest, now: Cycle) -> bool {
         if req.kind == RequestKind::Fence {
             return true;
         }
@@ -174,6 +204,12 @@ impl MemoryCoalescer for NoCoalescing {
         self.outstanding += 1;
         self.stats.dispatched_requests += 1;
         self.stats.size_histogram.record(CACHE_LINE_BYTES);
+        self.tracer.emit(now, EventClass::Mshr, || EventKind::Dispatch {
+            dispatch_id: id,
+            addr: req.line(),
+            bytes: CACHE_LINE_BYTES,
+            raw_count: 1,
+        });
         self.pending.push_back(DispatchedRequest {
             dispatch_id: id,
             addr: req.line(),
@@ -188,9 +224,13 @@ impl MemoryCoalescer for NoCoalescing {
         out.extend(self.pending.drain(..));
     }
 
-    fn complete(&mut self, dispatch_id: u64, _now: Cycle, satisfied: &mut Vec<u64>) {
+    fn complete(&mut self, dispatch_id: u64, now: Cycle, satisfied: &mut Vec<u64>) {
         if let Some(raw) = self.inflight.remove(&dispatch_id) {
             self.outstanding -= 1;
+            self.tracer.emit(now, EventClass::Mshr, || EventKind::MshrReleased {
+                dispatch_id,
+                raw_count: 1,
+            });
             satisfied.push(raw);
         }
     }
@@ -215,6 +255,18 @@ impl MemoryCoalescer for NoCoalescing {
 
     fn note_refused_retries(&mut self, _req: &MemRequest, _now: Cycle, n: u64) {
         self.stats.stall_cycles += n;
+    }
+
+    fn attach_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
+    fn gauges(&self) -> Option<CoalescerGauges> {
+        Some(CoalescerGauges {
+            maq_depth: 0,
+            active_streams: 0,
+            inflight_mshrs: self.outstanding as u32,
+        })
     }
 
     fn integrity(&self) -> Result<(), String> {

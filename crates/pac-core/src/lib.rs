@@ -66,7 +66,20 @@ pub mod table;
 pub use pac::PacCoalescer;
 pub use stats::CoalescerStats;
 
+use pac_trace::TraceHandle;
 use pac_types::{Cycle, MemRequest, Op};
+
+/// Instantaneous occupancy gauges a coalescer can expose for the
+/// tracer's counter tracks (MAQ depth, open streams, in-flight MSHRs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalescerGauges {
+    /// Entries currently queued in the MAQ.
+    pub maq_depth: u32,
+    /// Open stage-1 coalescing streams.
+    pub active_streams: u32,
+    /// Occupied MSHR entries (in-flight memory requests).
+    pub inflight_mshrs: u32,
+}
 
 /// A memory request the coalescer hands to the memory controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,6 +180,23 @@ pub trait MemoryCoalescer {
     /// have an aggregation stage. The oracle uses this to assert the
     /// fence contract: an accepted fence leaves stage 1 empty.
     fn stage1_occupancy(&self) -> Option<usize> {
+        None
+    }
+
+    /// Attach a tracer; subsequent pipeline transitions are emitted as
+    /// cycle-stamped events through it. The default ignores the handle
+    /// (an uninstrumented implementation simply produces no events).
+    fn attach_tracer(&mut self, _tracer: TraceHandle) {}
+
+    /// Fold end-of-run derived statistics (e.g. per-stage latency
+    /// histograms kept at their recording sites) into [`Self::stats`].
+    /// Called once by the simulator after the run drains — never on the
+    /// per-tick path, so histogram syncing costs nothing while running.
+    fn finalize_stats(&mut self) {}
+
+    /// Instantaneous occupancy gauges for the tracer's counter tracks,
+    /// or `None` for implementations without the relevant structures.
+    fn gauges(&self) -> Option<CoalescerGauges> {
         None
     }
 }

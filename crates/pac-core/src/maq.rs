@@ -23,6 +23,8 @@ pub struct Maq {
     /// Completed fill measurements: (sum of latencies, count).
     pub fill_latency_sum: u64,
     pub fills: u64,
+    /// Fill-latency distribution (same samples as the sum/count).
+    pub fill_hist: pac_trace::LatencyHistogram,
 }
 
 impl Maq {
@@ -35,6 +37,7 @@ impl Maq {
             fill_pushes: 0,
             fill_latency_sum: 0,
             fills: 0,
+            fill_hist: pac_trace::LatencyHistogram::new(),
         }
     }
 
@@ -71,6 +74,7 @@ impl Maq {
             let start = self.fill_start.take().expect("window open");
             self.fill_latency_sum += now - start;
             self.fills += 1;
+            self.fill_hist.record(now - start);
             self.fill_pushes = 0;
         }
         self.queue.push_back(req);

@@ -21,9 +21,10 @@ use crate::mshr::AdaptiveMshrFile;
 use crate::pipeline::CoalescingNetwork;
 use crate::stats::CoalescerStats;
 use crate::stream::CoalescingStream;
-use crate::{DispatchedRequest, MemoryCoalescer};
+use crate::{CoalescerGauges, DispatchedRequest, MemoryCoalescer};
+use pac_trace::{EventKind, FlushCause, TraceHandle};
 use pac_types::addr::CACHE_LINE_BYTES;
-use pac_types::{CoalescedRequest, CoalescerConfig, Cycle, MemRequest, RequestKind};
+use pac_types::{CoalescedRequest, CoalescerConfig, Cycle, EventClass, MemRequest, RequestKind};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -59,6 +60,7 @@ pub struct PacCoalescer {
     /// allocation).
     scratch_streams: Vec<CoalescingStream>,
     stats: CoalescerStats,
+    tracer: TraceHandle,
 }
 
 impl PacCoalescer {
@@ -76,6 +78,7 @@ impl PacCoalescer {
             maq_stalled_gen: None,
             scratch_streams: Vec::new(),
             stats: CoalescerStats::default(),
+            tracer: TraceHandle::disabled(),
             cfg,
         }
     }
@@ -111,10 +114,15 @@ impl PacCoalescer {
         self.network.buffered_out() + self.maq.len() >= 2 * self.maq.capacity()
     }
 
-    fn flush_stream(&mut self, stream: CoalescingStream, now: Cycle) {
+    fn flush_stream(&mut self, stream: CoalescingStream, now: Cycle, cause: FlushCause) {
         if !stream.c_bit() {
             self.stats.stage_bypasses += stream.raw_count() as u64;
         }
+        self.tracer.emit(now, EventClass::Stream, || EventKind::StreamFlushed {
+            page: stream.ppn,
+            raw_count: stream.raw_count() as u32,
+            cause,
+        });
         self.network.push_stream(stream, now);
     }
 
@@ -129,19 +137,26 @@ impl PacCoalescer {
             first_issue_cycle: req.issue_cycle,
         };
         if self.mshr.try_merge(&single) {
+            self.tracer
+                .emit(now, EventClass::Mshr, || EventKind::MshrMerged { addr: single.addr });
             return;
         }
         debug_assert!(self.mshr.has_free(), "bypass requires a free MSHR");
         let d = self.mshr.allocate(single);
         self.stats.dispatched_requests += 1;
         self.stats.size_histogram.record(d.bytes);
+        self.tracer.emit(now, EventClass::Mshr, || EventKind::MshrAllocated {
+            dispatch_id: d.dispatch_id,
+            addr: d.addr,
+            bytes: d.bytes,
+        });
         self.pending.push_back(d);
     }
 
     fn refresh_stats(&mut self) {
         self.stats.comparisons = self.aggregator.comparisons + self.mshr.comparisons;
         self.stats.mshr_merges = self.mshr.merged_raw;
-        let n = self.network.stats;
+        let n = &self.network.stats;
         self.stats.stage2_latency_sum = n.stage2_latency_sum;
         self.stats.stage2_batches = n.stage2_batches;
         self.stats.stage3_latency_sum = n.stage3_latency_sum;
@@ -166,7 +181,7 @@ impl MemoryCoalescer for PacCoalescer {
                 let streams = self.aggregator.take_all();
                 self.stats.fence_flushes += streams.len() as u64;
                 for s in streams {
-                    self.flush_stream(s, now);
+                    self.flush_stream(s, now, FlushCause::Fence);
                 }
                 return true;
             }
@@ -179,6 +194,12 @@ impl MemoryCoalescer for PacCoalescer {
                 self.atomics.insert(id, req.id);
                 self.stats.dispatched_requests += 1;
                 self.stats.size_histogram.record(CACHE_LINE_BYTES);
+                self.tracer.emit(now, EventClass::Mshr, || EventKind::Dispatch {
+                    dispatch_id: id,
+                    addr: req.line(),
+                    bytes: CACHE_LINE_BYTES,
+                    raw_count: 1,
+                });
                 self.pending.push_back(DispatchedRequest {
                     dispatch_id: id,
                     addr: req.line(),
@@ -206,15 +227,28 @@ impl MemoryCoalescer for PacCoalescer {
         if self.bypass_enabled && self.input_waiting == 0 && self.quiescent() && self.mshr.has_free()
         {
             self.stats.network_bypasses += 1;
+            self.tracer
+                .emit(now, EventClass::Network, || EventKind::NetworkBypass { addr: req.line() });
             self.direct_to_mshr(&req, now);
             return true;
         }
 
         match self.aggregator.insert(&req, now) {
-            InsertOutcome::Merged | InsertOutcome::Allocated => {}
+            InsertOutcome::Merged => {
+                self.tracer
+                    .emit(now, EventClass::Stream, || EventKind::StreamMerged { page: req.page() });
+            }
+            InsertOutcome::Allocated => {
+                self.tracer.emit(now, EventClass::Stream, || EventKind::StreamAllocated {
+                    page: req.page(),
+                });
+            }
             InsertOutcome::AllocatedAfterEvict(victim) => {
                 self.stats.capacity_flushes += 1;
-                self.flush_stream(victim, now);
+                self.flush_stream(victim, now, FlushCause::Capacity);
+                self.tracer.emit(now, EventClass::Stream, || EventKind::StreamAllocated {
+                    page: req.page(),
+                });
             }
         }
         true
@@ -239,7 +273,7 @@ impl MemoryCoalescer for PacCoalescer {
             self.aggregator.take_expired_into(now, self.cfg.timeout_cycles, &mut expired);
             self.stats.timeout_flushes += expired.len() as u64;
             for s in expired.drain(..) {
-                self.flush_stream(s, now);
+                self.flush_stream(s, now, FlushCause::Timeout);
             }
             self.scratch_streams = expired;
         }
@@ -250,7 +284,11 @@ impl MemoryCoalescer for PacCoalescer {
         // Network output → MAQ (a full MAQ stalls the pipeline output).
         while !self.maq.is_full() {
             match self.network.pop_ready(now) {
-                Some(r) => self.maq.push(r, now),
+                Some(r) => {
+                    self.maq.push(r, now);
+                    let depth = self.maq.len() as u32;
+                    self.tracer.emit(now, EventClass::Maq, || EventKind::MaqPush { depth });
+                }
                 None => break,
             }
         }
@@ -263,7 +301,11 @@ impl MemoryCoalescer for PacCoalescer {
             self.maq_stalled_gen = None;
             while let Some(front) = self.maq.front() {
                 if self.mshr.try_merge(front) {
+                    let addr = front.addr;
                     self.maq.pop();
+                    let depth = self.maq.len() as u32;
+                    self.tracer.emit(now, EventClass::Mshr, || EventKind::MshrMerged { addr });
+                    self.tracer.emit(now, EventClass::Maq, || EventKind::MaqPop { depth });
                     continue;
                 }
                 if !self.mshr.has_free() {
@@ -274,6 +316,21 @@ impl MemoryCoalescer for PacCoalescer {
                 let d = self.mshr.allocate(req);
                 self.stats.dispatched_requests += 1;
                 self.stats.size_histogram.record(d.bytes);
+                if self.tracer.is_enabled() {
+                    let depth = self.maq.len() as u32;
+                    self.tracer.emit(now, EventClass::Maq, || EventKind::MaqPop { depth });
+                    self.tracer.emit(now, EventClass::Mshr, || EventKind::MshrAllocated {
+                        dispatch_id: d.dispatch_id,
+                        addr: d.addr,
+                        bytes: d.bytes,
+                    });
+                    self.tracer.emit(now, EventClass::Mshr, || EventKind::Dispatch {
+                        dispatch_id: d.dispatch_id,
+                        addr: d.addr,
+                        bytes: d.bytes,
+                        raw_count: d.raw_count,
+                    });
+                }
                 out.push(d);
             }
         }
@@ -293,7 +350,7 @@ impl MemoryCoalescer for PacCoalescer {
         self.refresh_stats();
     }
 
-    fn complete(&mut self, dispatch_id: u64, _now: Cycle, satisfied: &mut Vec<u64>) {
+    fn complete(&mut self, dispatch_id: u64, now: Cycle, satisfied: &mut Vec<u64>) {
         if dispatch_id & ATOMIC_ID_BIT != 0 {
             if let Some(raw) = self.atomics.remove(&dispatch_id) {
                 satisfied.push(raw);
@@ -301,6 +358,11 @@ impl MemoryCoalescer for PacCoalescer {
             return;
         }
         if let Some(ids) = self.mshr.complete(dispatch_id) {
+            let n = ids.len() as u32;
+            self.tracer.emit(now, EventClass::Mshr, || EventKind::MshrReleased {
+                dispatch_id,
+                raw_count: n,
+            });
             satisfied.extend(ids);
         }
     }
@@ -316,7 +378,7 @@ impl MemoryCoalescer for PacCoalescer {
     fn flush(&mut self, now: Cycle) {
         let streams = self.aggregator.take_all();
         for s in streams {
-            self.flush_stream(s, now);
+            self.flush_stream(s, now, FlushCause::Drain);
         }
     }
 
@@ -396,6 +458,26 @@ impl MemoryCoalescer for PacCoalescer {
 
     fn stage1_occupancy(&self) -> Option<usize> {
         Some(self.aggregator.occupancy())
+    }
+
+    fn attach_tracer(&mut self, tracer: TraceHandle) {
+        self.network.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    fn finalize_stats(&mut self) {
+        self.refresh_stats();
+        self.stats.stage2_hist = self.network.stats.stage2_hist.clone();
+        self.stats.stage3_hist = self.network.stats.stage3_hist.clone();
+        self.stats.maq_fill_hist = self.maq.fill_hist.clone();
+    }
+
+    fn gauges(&self) -> Option<CoalescerGauges> {
+        Some(CoalescerGauges {
+            maq_depth: self.maq.len() as u32,
+            active_streams: self.aggregator.occupancy() as u32,
+            inflight_mshrs: self.mshr.occupancy() as u32,
+        })
     }
 }
 

@@ -18,7 +18,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Latency/throughput counters the network reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Streams that traversed stages 2–3.
     pub coalesced_streams: u64,
@@ -30,6 +30,10 @@ pub struct NetworkStats {
     /// Sum/count of stage-3 batch latencies (sequence ready → last request).
     pub stage3_latency_sum: u64,
     pub stage3_batches: u64,
+    /// Stage-2 latency distribution (same samples as the sum/count).
+    pub stage2_hist: pac_trace::LatencyHistogram,
+    /// Stage-3 latency distribution (same samples as the sum/count).
+    pub stage3_hist: pac_trace::LatencyHistogram,
 }
 
 #[derive(Debug)]
@@ -75,6 +79,8 @@ pub struct CoalescingNetwork {
     scratch_reqs: Vec<CoalescedRequest>,
     /// Counters for Figs 12a/12c.
     pub stats: NetworkStats,
+    /// Tracer for stage-batch and bypass events (disabled by default).
+    tracer: pac_trace::TraceHandle,
 }
 
 impl CoalescingNetwork {
@@ -94,7 +100,13 @@ impl CoalescingNetwork {
             scratch_seqs: Vec::new(),
             scratch_reqs: Vec::new(),
             stats: NetworkStats::default(),
+            tracer: pac_trace::TraceHandle::disabled(),
         }
+    }
+
+    /// Attach a tracer for stage-batch and bypass events.
+    pub fn set_tracer(&mut self, tracer: pac_trace::TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// Protocol the network assembles for.
@@ -116,6 +128,9 @@ impl CoalescingNetwork {
         } else {
             self.stats.bypassed_raw += stream.raw_count() as u64;
             let (block, id) = stream.raw[0];
+            self.tracer.emit(flush_cycle, pac_types::EventClass::Network, || {
+                pac_trace::EventKind::NetworkBypass { addr: block_addr(stream.ppn, block) }
+            });
             let req = CoalescedRequest {
                 addr: block_addr(stream.ppn, block),
                 bytes: CACHE_LINE_BYTES,
@@ -163,8 +178,13 @@ impl CoalescingNetwork {
                 self.seq_buffer.push_back((start + 2 + i as u64, s));
             }
             self.stage2_free = start + 1 + n;
-            self.stats.stage2_latency_sum += start + 1 + n - flush;
+            let latency = start + 1 + n - flush;
+            self.stats.stage2_latency_sum += latency;
             self.stats.stage2_batches += 1;
+            self.stats.stage2_hist.record(latency);
+            self.tracer.emit(start + 1 + n, pac_types::EventClass::Network, || {
+                pac_trace::EventKind::Stage2Batch { start: flush, latency }
+            });
         }
 
         // Stage 3: table look-up + one request assembled per cycle.
@@ -189,8 +209,13 @@ impl CoalescingNetwork {
             }
             self.scratch_reqs = requests;
             self.stage3_free = start + 1 + k;
-            self.stats.stage3_latency_sum += start + 1 + k - ready;
+            let latency = start + 1 + k - ready;
+            self.stats.stage3_latency_sum += latency;
             self.stats.stage3_batches += 1;
+            self.stats.stage3_hist.record(latency);
+            self.tracer.emit(start + 1 + k, pac_types::EventClass::Network, || {
+                pac_trace::EventKind::Stage3Batch { start: ready, latency }
+            });
         }
     }
 

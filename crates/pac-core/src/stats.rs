@@ -5,6 +5,7 @@
 //! occupancy (Fig 11b/c), stage latencies (Fig 12a), MAQ fill latency
 //! (Fig 12b), and the bypass proportion (Fig 12c).
 
+use pac_trace::LatencyHistogram;
 use pac_types::Cycle;
 
 /// Histogram of dispatched request sizes, in 16 B FLIT buckets up to
@@ -47,6 +48,25 @@ impl SizeHistogram {
     pub fn total(&self) -> u64 {
         self.buckets.iter().sum()
     }
+
+    /// Payload size (bucket upper bound, a FLIT multiple) at percentile
+    /// `p` in `[0, 100]`: the size of the `ceil(p% · total)`-th smallest
+    /// recorded request. Returns `None` when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = (((p / 100.0) * total as f64).ceil().max(1.0) as u64).min(total);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(((i + 1) * 16) as u64);
+            }
+        }
+        None
+    }
 }
 
 /// Counters shared by all coalescer implementations. Fields that a given
@@ -77,20 +97,33 @@ pub struct CoalescerStats {
     /// Refused admission events — one per rejected `push_raw`, summed
     /// over every requester, so the count can exceed elapsed cycles.
     pub stall_cycles: u64,
-    /// Sum and count of stage-2 (decoder) latencies, cycles.
+    /// Sum of stage-2 (decoder) batch latencies, cycles.
     pub stage2_latency_sum: u64,
+    /// Number of stage-2 batches behind `stage2_latency_sum`.
     pub stage2_batches: u64,
-    /// Sum and count of stage-3 (assembler) latencies, cycles.
+    /// Sum of stage-3 (assembler) batch latencies, cycles.
     pub stage3_latency_sum: u64,
+    /// Number of stage-3 batches behind `stage3_latency_sum`.
     pub stage3_batches: u64,
-    /// Sum and count of aggregate coalescing-stream occupancy samples
-    /// (sampled every 16 cycles as in Fig 11b).
+    /// Sum of aggregate coalescing-stream occupancy samples (sampled
+    /// every 16 cycles as in Fig 11b).
     pub occupancy_sum: u64,
+    /// Number of occupancy samples behind `occupancy_sum`.
     pub occupancy_samples: u64,
-    /// Sum and count of MAQ fill latencies: cycles to accumulate a full
-    /// MAQ's worth of entries starting from an empty queue (Fig 12b).
+    /// Sum of MAQ fill latencies: cycles to accumulate a full MAQ's
+    /// worth of entries starting from an empty queue (Fig 12b).
     pub maq_fill_latency_sum: u64,
+    /// Number of completed fill windows behind `maq_fill_latency_sum`.
     pub maq_fills: u64,
+    /// Stage-2 latency distribution (same samples as
+    /// `stage2_latency_sum`/`stage2_batches`, synced at end of run).
+    pub stage2_hist: LatencyHistogram,
+    /// Stage-3 latency distribution (same samples as
+    /// `stage3_latency_sum`/`stage3_batches`, synced at end of run).
+    pub stage3_hist: LatencyHistogram,
+    /// MAQ fill-latency distribution (same samples as
+    /// `maq_fill_latency_sum`/`maq_fills`, synced at end of run).
+    pub maq_fill_hist: LatencyHistogram,
     /// Distribution of dispatched request payload sizes.
     pub size_histogram: SizeHistogram,
     /// Per-sample stream occupancy trace (kept only when tracing is
@@ -169,12 +202,14 @@ impl CoalescerStats {
     pub fn record_stage2(&mut self, latency: Cycle) {
         self.stage2_latency_sum += latency;
         self.stage2_batches += 1;
+        self.stage2_hist.record(latency);
     }
 
     /// Record one stage-3 batch latency.
     pub fn record_stage3(&mut self, latency: Cycle) {
         self.stage3_latency_sum += latency;
         self.stage3_batches += 1;
+        self.stage3_hist.record(latency);
     }
 }
 
@@ -243,5 +278,58 @@ mod tests {
             ..Default::default()
         };
         assert!((s.bypass_proportion() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_histogram_percentiles() {
+        let mut h = SizeHistogram::default();
+        assert_eq!(h.percentile(50.0), None);
+        for _ in 0..9 {
+            h.record(64);
+        }
+        h.record(256);
+        assert_eq!(h.percentile(50.0), Some(64));
+        assert_eq!(h.percentile(90.0), Some(64));
+        assert_eq!(h.percentile(91.0), Some(256));
+        assert_eq!(h.percentile(100.0), Some(256));
+        assert_eq!(h.percentile(0.0), Some(64), "rank clamps to the first sample");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `record`/`count` round-trip across bucket boundaries: every
+        /// recorded size is counted in exactly the bucket covering it,
+        /// 16 B-edge neighbours land together iff they share a bucket,
+        /// and sizes past 1 KB clamp into the final bucket.
+        #[test]
+        fn record_count_round_trip(
+            sizes in prop::collection::vec(1u64..2048, 1..64),
+        ) {
+            let mut h = SizeHistogram::default();
+            for &b in &sizes {
+                h.record(b);
+            }
+            prop_assert_eq!(h.total(), sizes.len() as u64);
+            let bucket = |b: u64| (b.div_ceil(16).max(1) - 1).min(63);
+            for &b in &sizes {
+                let same = sizes.iter().filter(|&&x| bucket(x) == bucket(b)).count() as u64;
+                prop_assert_eq!(h.count(b), same, "size {} bucket {}", b, bucket(b));
+                // Exact 16 B edges: one byte past a boundary moves to
+                // the next bucket (until the >1 KB clamp).
+                if b % 16 == 0 && bucket(b) < 63 {
+                    prop_assert_eq!(bucket(b + 1), bucket(b) + 1);
+                }
+            }
+            // Everything at or past 1 KB shares the clamped top bucket.
+            let clamped = sizes.iter().filter(|&&x| x > 1008).count() as u64;
+            if clamped > 0 {
+                prop_assert_eq!(h.count(2000), clamped);
+                prop_assert_eq!(h.count(1024), clamped);
+            }
+            // Percentile bounds: p100 is the top occupied bucket's size.
+            let max_bucket_size = sizes.iter().map(|&x| (bucket(x) + 1) * 16).max().unwrap();
+            prop_assert_eq!(h.percentile(100.0), Some(max_bucket_size));
+        }
     }
 }

@@ -381,6 +381,22 @@ impl LockstepChecker {
         }
     }
 
+    /// Total violations observed so far across every invariant,
+    /// including overflow past the recording cap. Cheap to poll each
+    /// step — the flight recorder watches this for a delta to know when
+    /// to dump its window.
+    #[inline]
+    pub fn total_violations(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The most recently *recorded* violation, if any (detail strings
+    /// stop being kept past `max_recorded`, so a long-broken run may
+    /// return an earlier representative).
+    pub fn latest_violation(&self) -> Option<&Violation> {
+        self.violations.last()
+    }
+
     /// Snapshot the run's verdict. Call after [`Self::finalize`].
     pub fn report(&self) -> OracleReport {
         OracleReport {
@@ -535,6 +551,19 @@ mod tests {
         assert!(c.report().is_clean());
         c.note_fence(3, 11);
         assert!(c.report().detected(Invariant::FenceOrdering));
+    }
+
+    #[test]
+    fn total_and_latest_violation_track_incrementally() {
+        let mut c = checker();
+        assert_eq!(c.total_violations(), 0);
+        assert!(c.latest_violation().is_none());
+        c.note_push(&miss(1, 0x9040), false, true, 3);
+        assert_eq!(c.total_violations(), 1);
+        assert_eq!(c.latest_violation().unwrap().invariant, Invariant::AdmissionSync);
+        c.note_response(9, 0, 64, Op::Load, 5);
+        assert_eq!(c.total_violations(), 2);
+        assert_eq!(c.latest_violation().unwrap().invariant, Invariant::SpuriousResponse);
     }
 
     #[test]

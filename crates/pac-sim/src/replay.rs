@@ -98,6 +98,7 @@ pub fn replay_with(
         assert!(now < limit, "replay failed to converge by cycle {now}");
     }
     hmc.finalize_stats();
+    coalescer.finalize_stats();
 
     RunMetrics::from_parts(
         kind.label(),

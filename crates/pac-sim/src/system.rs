@@ -7,8 +7,9 @@ use hmc_sim::{Hmc, HmcRequest, HmcResponse};
 use pac_core::baseline::{MshrDmc, NoCoalescing};
 use pac_core::{DispatchedRequest, MemoryCoalescer, PacCoalescer};
 use pac_oracle::{LockstepChecker, OracleConfig, OracleReport};
+use pac_trace::{CounterKind, DumpTrigger, EventKind, TraceHandle};
 use pac_types::addr::{line_base, CACHE_LINE_BYTES, PAGE_BYTES};
-use pac_types::{Cycle, FaultPlan, MemRequest, Op, RequestKind, SimConfig};
+use pac_types::{Cycle, EventClass, FaultPlan, MemRequest, Op, RequestKind, SimConfig, TraceConfig};
 use pac_workloads::multiproc::CoreSpec;
 use std::collections::{HashMap, VecDeque};
 
@@ -178,6 +179,14 @@ pub struct SimSystem {
     /// Captured raw miss trace.
     trace: Option<Vec<TraceEntry>>,
     trace_cap: usize,
+    /// Structured-event tracer shared with the coalescer and the HMC
+    /// (disabled by default; the disabled handle is a single branch).
+    tracer: TraceHandle,
+    /// Cycle the counter tracks were last sampled.
+    last_counter_sample: Cycle,
+    /// Oracle violation total at the last tracer check, for detecting
+    /// new violations and dumping the flight-recorder window.
+    seen_violations: u64,
     stepping: Stepping,
     // Scratch buffers reused across ticks.
     dispatches: Vec<DispatchedRequest>,
@@ -242,6 +251,9 @@ impl SimSystem {
             oracle: None,
             trace: capture_trace.then(Vec::new),
             trace_cap: 1 << 20,
+            tracer: TraceHandle::disabled(),
+            last_counter_sample: 0,
+            seen_violations: 0,
             stepping,
             dispatches: Vec::new(),
             responses: Vec::new(),
@@ -286,6 +298,24 @@ impl SimSystem {
     /// response path.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.hmc.set_fault_plan(plan);
+    }
+
+    /// Enable structured-event tracing. One tracer is shared by the
+    /// system, the coalescer, and the HMC device, so the flight
+    /// recorder's ring holds an interleaved history of the whole
+    /// request path. Call before [`Self::run`].
+    pub fn set_trace_config(&mut self, cfg: TraceConfig) {
+        let tracer = TraceHandle::new(cfg);
+        self.coalescer.attach_tracer(tracer.clone());
+        self.hmc.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The shared tracer (disabled unless [`Self::set_trace_config`]
+    /// enabled it). Snapshot events, counters, and flight dumps from
+    /// here after a run.
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.tracer
     }
 
     /// Faults the device actually injected so far.
@@ -538,6 +568,11 @@ impl SimSystem {
                 self.cores[c].charge(self.now, 1);
             }
             RequestKind::Atomic => {
+                self.tracer.emit(self.now, EventClass::Core, || EventKind::CoreIssue {
+                    core: c as u32,
+                    addr: access.addr,
+                    is_store: access.op == Op::Store,
+                });
                 let id = self.alloc_raw();
                 let mut req =
                     MemRequest::miss(id, access.addr, access.op, c as u8, self.now);
@@ -554,13 +589,26 @@ impl SimSystem {
             RequestKind::Miss | RequestKind::WriteBack => {
                 let is_write = access.op == Op::Store;
                 let line = line_base(access.addr);
+                self.tracer.emit(self.now, EventClass::Core, || EventKind::CoreIssue {
+                    core: c as u32,
+                    addr: access.addr,
+                    is_store: is_write,
+                });
                 match self.hierarchy.access(c, access.addr, is_write) {
                     HierarchyOutcome::L1Hit => {
                         self.cores[c].stats.l1_hits += 1;
                         self.cores[c].charge(self.now, 1);
+                        self.tracer.emit(self.now, EventClass::Core, || EventKind::L1Hit {
+                            core: c as u32,
+                            addr: access.addr,
+                        });
                     }
                     HierarchyOutcome::L2Hit { writeback } => {
                         self.cores[c].stats.l2_hits += 1;
+                        self.tracer.emit(self.now, EventClass::Core, || EventKind::L2Hit {
+                            core: c as u32,
+                            addr: access.addr,
+                        });
                         if let Some(wb) = writeback {
                             self.enqueue_writeback(wb);
                         }
@@ -572,6 +620,10 @@ impl SimSystem {
                     }
                     HierarchyOutcome::Miss { pending: dup, writebacks } => {
                         self.cores[c].stats.misses += 1;
+                        self.tracer.emit(self.now, EventClass::Core, || EventKind::CacheMiss {
+                            core: c as u32,
+                            addr: access.addr,
+                        });
                         for wb in writebacks.into_iter().flatten() {
                             self.enqueue_writeback(wb);
                         }
@@ -686,7 +738,42 @@ impl SimSystem {
             o.note_integrity(self.coalescer.integrity(), now);
         }
 
+        if self.tracer.is_enabled() {
+            self.observe(now);
+        }
+
         self.now = now + 1;
+    }
+
+    /// Tracer-only side channel, run once per tick when tracing is on:
+    /// samples the counter tracks on a fixed cadence and dumps the
+    /// flight-recorder window whenever the oracle records a violation
+    /// it has not seen before. Reads simulation state, never writes it.
+    fn observe(&mut self, now: Cycle) {
+        const COUNTER_SAMPLE_CYCLES: Cycle = 16;
+        if now == 0 || now >= self.last_counter_sample + COUNTER_SAMPLE_CYCLES {
+            self.last_counter_sample = now;
+            if let Some(g) = self.coalescer.gauges() {
+                self.tracer.counter(now, CounterKind::MaqDepth, g.maq_depth as u64);
+                self.tracer.counter(now, CounterKind::ActiveStreams, g.active_streams as u64);
+                self.tracer.counter(now, CounterKind::InflightMshrs, g.inflight_mshrs as u64);
+            }
+            self.tracer.counter(now, CounterKind::BankConflicts, self.hmc.bank_conflicts());
+        }
+        if let Some(o) = &self.oracle {
+            let total = o.total_violations();
+            if total > self.seen_violations {
+                self.seen_violations = total;
+                let detail = o
+                    .latest_violation()
+                    .map(|v| format!("{}: {}", v.invariant.label(), v.detail))
+                    .unwrap_or_else(|| "violation past the recording cap".to_string());
+                self.tracer.emit(now, EventClass::Diagnostic, || EventKind::OracleViolation {
+                    detail: detail.clone(),
+                });
+                self.tracer.trigger_dump(now, DumpTrigger::OracleViolation { detail });
+            }
+        }
     }
 
     fn all_done(&self) -> bool {
@@ -829,6 +916,7 @@ impl SimSystem {
             assert!(self.now < limit, "simulation failed to converge by cycle {}", self.now);
         }
         self.hmc.finalize_stats();
+        self.coalescer.finalize_stats();
         if let Some(o) = &mut self.oracle {
             o.finalize(self.now);
         }
@@ -862,6 +950,7 @@ impl SimSystem {
             }
         }
         self.hmc.finalize_stats();
+        self.coalescer.finalize_stats();
         if let Some(o) = &mut self.oracle {
             o.finalize(self.now);
         }
@@ -1068,6 +1157,79 @@ mod tests {
                 || out.oracle.detected(pac_oracle::Invariant::ResponseConservation),
             "{}",
             out.oracle.summary()
+        );
+    }
+
+    #[test]
+    fn full_tracing_does_not_perturb_metrics() {
+        // Tracing is observe-only: every RunMetrics field must be
+        // bit-identical with the tracer off and at full verbosity.
+        for kind in CoalescerKind::ALL {
+            let plain = run(Bench::Ep, kind, 2000);
+            let specs = single_process(Bench::Ep, 4, 7);
+            let mut sys = SimSystem::new(small_cfg(), specs, kind);
+            sys.set_trace_config(pac_types::TraceConfig::full());
+            let traced = sys.run(2000);
+            assert_eq!(plain, traced, "{} diverged under tracing", kind.label());
+            assert!(
+                !sys.tracer().snapshot_events().is_empty(),
+                "{} emitted no events at full verbosity",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn stage_histograms_reproduce_scalar_aggregates() {
+        // Fig 12a identity: the cycle-bucketed histograms carry exactly
+        // the samples behind the legacy scalar sums, so mean and count
+        // agree bit-for-bit.
+        let specs = single_process(Bench::Ep, 4, 7);
+        let mut sys = SimSystem::new(small_cfg(), specs, CoalescerKind::Pac);
+        sys.run(4000);
+        let cs = sys.coalescer_stats();
+        assert!(cs.stage2_batches > 0, "EP must exercise the network");
+        assert_eq!(cs.stage2_hist.count(), cs.stage2_batches);
+        assert_eq!(cs.stage2_hist.sum(), cs.stage2_latency_sum);
+        assert_eq!(cs.stage2_hist.mean(), cs.avg_stage2_latency());
+        assert_eq!(cs.stage3_hist.count(), cs.stage3_batches);
+        assert_eq!(cs.stage3_hist.sum(), cs.stage3_latency_sum);
+        assert_eq!(cs.stage3_hist.mean(), cs.avg_stage3_latency());
+        assert_eq!(cs.maq_fill_hist.count(), cs.maq_fills);
+        assert_eq!(cs.maq_fill_hist.sum(), cs.maq_fill_latency_sum);
+        assert_eq!(cs.maq_fill_hist.mean(), cs.avg_maq_fill_latency());
+        let hs = sys.hmc_stats();
+        assert_eq!(hs.latency_hist.count(), hs.responses);
+        assert_eq!(hs.latency_hist.sum(), hs.total_latency_cycles);
+    }
+
+    #[test]
+    fn oracle_violation_triggers_flight_dump() {
+        use pac_types::{FaultClass, FaultPlan, TraceConfig};
+        let specs = single_process(Bench::Stream, 4, 11);
+        let mut sys = SimSystem::new(small_cfg(), specs, CoalescerKind::Pac);
+        sys.attach_oracle();
+        sys.set_trace_config(TraceConfig::flight_recorder());
+        sys.set_fault_plan(FaultPlan {
+            rate_per_1024: 1024,
+            max_faults: 1,
+            ..FaultPlan::new(FaultClass::CorruptAddr, 13)
+        });
+        sys.run_until(1500, 2_000_000);
+        assert!(sys.faults_injected() > 0);
+        let dumps = sys.tracer().snapshot_dumps();
+        // The fault itself dumps once (device-side); the oracle's
+        // echo-integrity violation dumps again.
+        assert!(dumps.len() >= 2, "expected fault + oracle dumps, got {}", dumps.len());
+        assert!(
+            dumps.iter().any(|d| matches!(d.trigger, pac_trace::DumpTrigger::Fault { .. })),
+            "missing device-side fault dump"
+        );
+        assert!(
+            dumps
+                .iter()
+                .any(|d| matches!(&d.trigger, pac_trace::DumpTrigger::OracleViolation { .. })),
+            "missing oracle-side violation dump"
         );
     }
 

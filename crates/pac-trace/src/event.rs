@@ -1,0 +1,316 @@
+//! Structured trace events, one per interesting pipeline transition.
+//!
+//! Every event is stamped with the simulated cycle at which it occurred
+//! and carries a small fixed payload; the only heap-owning variant is
+//! [`EventKind::OracleViolation`], which is rare by construction.
+
+use pac_types::{Cycle, EventClass, FaultClass};
+
+/// Why a stage-1 stream was flushed out of the aggregator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// The stream's coalescing window expired.
+    Timeout,
+    /// The aggregator was full and evicted a victim to admit a new page.
+    Capacity,
+    /// A fence drained every open stream.
+    Fence,
+    /// The coalescer was asked to flush (end of run / drain).
+    Drain,
+}
+
+impl FlushCause {
+    /// Short label used in trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushCause::Timeout => "timeout",
+            FlushCause::Capacity => "capacity",
+            FlushCause::Fence => "fence",
+            FlushCause::Drain => "drain",
+        }
+    }
+}
+
+/// The payload of one trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A core issued a memory access into the hierarchy.
+    CoreIssue {
+        /// Issuing core index.
+        core: u32,
+        /// Physical address.
+        addr: u64,
+        /// True for stores.
+        is_store: bool,
+    },
+    /// A core access hit in the L1.
+    L1Hit {
+        /// Issuing core index.
+        core: u32,
+        /// Physical address.
+        addr: u64,
+    },
+    /// A core access hit in the L2.
+    L2Hit {
+        /// Issuing core index.
+        core: u32,
+        /// Physical address.
+        addr: u64,
+    },
+    /// A core access missed the hierarchy and was offered to the
+    /// coalescer as a raw request.
+    CacheMiss {
+        /// Issuing core index.
+        core: u32,
+        /// Physical address.
+        addr: u64,
+    },
+    /// Stage 1 allocated a new stream for a page.
+    StreamAllocated {
+        /// Page number the stream covers.
+        page: u64,
+    },
+    /// Stage 1 merged a raw request into an existing stream.
+    StreamMerged {
+        /// Page number of the stream.
+        page: u64,
+    },
+    /// A stream left stage 1 toward the coalescing network.
+    StreamFlushed {
+        /// Page number of the stream.
+        page: u64,
+        /// Raw requests carried by the stream.
+        raw_count: u32,
+        /// Why it was flushed.
+        cause: FlushCause,
+    },
+    /// A raw request bypassed the coalescing network (C-bit or idle
+    /// bypass path).
+    NetworkBypass {
+        /// Physical address of the bypassing request.
+        addr: u64,
+    },
+    /// A stage-2 (decoder) batch completed.
+    Stage2Batch {
+        /// Cycle the batch entered the stage.
+        start: Cycle,
+        /// Stage latency in cycles.
+        latency: Cycle,
+    },
+    /// A stage-3 (assembler) batch completed.
+    Stage3Batch {
+        /// Cycle the batch entered the stage.
+        start: Cycle,
+        /// Stage latency in cycles.
+        latency: Cycle,
+    },
+    /// A coalesced request entered the memory access queue.
+    MaqPush {
+        /// Queue depth after the push.
+        depth: u32,
+    },
+    /// A coalesced request left the memory access queue.
+    MaqPop {
+        /// Queue depth after the pop.
+        depth: u32,
+    },
+    /// An MSHR entry was allocated for a dispatch.
+    MshrAllocated {
+        /// Dispatch id of the new entry.
+        dispatch_id: u64,
+        /// Block-aligned address.
+        addr: u64,
+        /// Request size in bytes.
+        bytes: u64,
+    },
+    /// A request merged into an in-flight MSHR entry.
+    MshrMerged {
+        /// Address that merged.
+        addr: u64,
+    },
+    /// An MSHR entry was released by a completion.
+    MshrReleased {
+        /// Dispatch id of the released entry.
+        dispatch_id: u64,
+        /// Raw requests satisfied by this entry.
+        raw_count: u32,
+    },
+    /// A coalesced request was dispatched toward the memory device.
+    Dispatch {
+        /// Dispatch id.
+        dispatch_id: u64,
+        /// Block-aligned address.
+        addr: u64,
+        /// Request size in bytes.
+        bytes: u64,
+        /// Raw requests coalesced into it.
+        raw_count: u32,
+    },
+    /// The HMC accepted a request onto a link.
+    HmcSubmit {
+        /// Device-side request id (the dispatch id).
+        id: u64,
+        /// Physical address.
+        addr: u64,
+        /// Payload bytes.
+        bytes: u64,
+        /// Target vault.
+        vault: u32,
+        /// Link the request arrived on.
+        link: u32,
+        /// Whether routing crossed to a remote quadrant.
+        remote: bool,
+    },
+    /// A vault serviced a reference (arrival → data ready).
+    VaultService {
+        /// Device-side request id.
+        id: u64,
+        /// Vault index.
+        vault: u32,
+        /// Bank within the vault.
+        bank: u32,
+        /// Cycle the request arrived in the vault queue.
+        arrival: Cycle,
+        /// Cycle the data became available.
+        data_ready: Cycle,
+    },
+    /// The device returned a response to the coalescer.
+    HmcResponse {
+        /// Device-side request id.
+        id: u64,
+        /// Physical address echoed in the response.
+        addr: u64,
+        /// End-to-end device latency in cycles.
+        latency: Cycle,
+    },
+    /// The fault injector fired on a response.
+    FaultInjected {
+        /// Device-side request id the fault targeted.
+        id: u64,
+        /// Which fault class fired.
+        class: FaultClass,
+    },
+    /// The lockstep oracle recorded a new invariant violation.
+    OracleViolation {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl EventKind {
+    /// The filter class this event belongs to.
+    pub fn class(&self) -> EventClass {
+        match self {
+            EventKind::CoreIssue { .. }
+            | EventKind::L1Hit { .. }
+            | EventKind::L2Hit { .. }
+            | EventKind::CacheMiss { .. } => EventClass::Core,
+            EventKind::StreamAllocated { .. }
+            | EventKind::StreamMerged { .. }
+            | EventKind::StreamFlushed { .. } => EventClass::Stream,
+            EventKind::NetworkBypass { .. }
+            | EventKind::Stage2Batch { .. }
+            | EventKind::Stage3Batch { .. } => EventClass::Network,
+            EventKind::MaqPush { .. } | EventKind::MaqPop { .. } => EventClass::Maq,
+            EventKind::MshrAllocated { .. }
+            | EventKind::MshrMerged { .. }
+            | EventKind::MshrReleased { .. }
+            | EventKind::Dispatch { .. } => EventClass::Mshr,
+            EventKind::HmcSubmit { .. }
+            | EventKind::VaultService { .. }
+            | EventKind::HmcResponse { .. } => EventClass::Hmc,
+            EventKind::FaultInjected { .. } | EventKind::OracleViolation { .. } => {
+                EventClass::Diagnostic
+            }
+        }
+    }
+
+    /// Short name used as the Perfetto event title.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::CoreIssue { .. } => "core_issue",
+            EventKind::L1Hit { .. } => "l1_hit",
+            EventKind::L2Hit { .. } => "l2_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::StreamAllocated { .. } => "stream_alloc",
+            EventKind::StreamMerged { .. } => "stream_merge",
+            EventKind::StreamFlushed { .. } => "stream_flush",
+            EventKind::NetworkBypass { .. } => "network_bypass",
+            EventKind::Stage2Batch { .. } => "stage2_batch",
+            EventKind::Stage3Batch { .. } => "stage3_batch",
+            EventKind::MaqPush { .. } => "maq_push",
+            EventKind::MaqPop { .. } => "maq_pop",
+            EventKind::MshrAllocated { .. } => "mshr_alloc",
+            EventKind::MshrMerged { .. } => "mshr_merge",
+            EventKind::MshrReleased { .. } => "mshr_release",
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::HmcSubmit { .. } => "hmc_submit",
+            EventKind::VaultService { .. } => "vault_service",
+            EventKind::HmcResponse { .. } => "hmc_response",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::OracleViolation { .. } => "oracle_violation",
+        }
+    }
+
+    /// The device-side request / dispatch id this event refers to, when
+    /// it refers to one at all. Used by flight-dump consumers to find
+    /// every event in a faulted request's history.
+    pub fn request_id(&self) -> Option<u64> {
+        match *self {
+            EventKind::MshrAllocated { dispatch_id, .. }
+            | EventKind::MshrReleased { dispatch_id, .. }
+            | EventKind::Dispatch { dispatch_id, .. } => Some(dispatch_id),
+            EventKind::HmcSubmit { id, .. }
+            | EventKind::VaultService { id, .. }
+            | EventKind::HmcResponse { id, .. }
+            | EventKind::FaultInjected { id, .. } => Some(id),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event: a cycle stamp plus its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated cycle at which the event was recorded.
+    pub cycle: Cycle,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping_is_total() {
+        // One representative per class; exercising class() + name().
+        let samples = [
+            (EventKind::CoreIssue { core: 0, addr: 0, is_store: false }, EventClass::Core),
+            (EventKind::StreamFlushed { page: 1, raw_count: 4, cause: FlushCause::Timeout },
+             EventClass::Stream),
+            (EventKind::Stage2Batch { start: 0, latency: 3 }, EventClass::Network),
+            (EventKind::MaqPush { depth: 1 }, EventClass::Maq),
+            (EventKind::Dispatch { dispatch_id: 9, addr: 0, bytes: 64, raw_count: 1 },
+             EventClass::Mshr),
+            (EventKind::HmcSubmit { id: 9, addr: 0, bytes: 64, vault: 3, link: 0, remote: false },
+             EventClass::Hmc),
+            (EventKind::FaultInjected { id: 9, class: pac_types::FaultClass::DropResponse },
+             EventClass::Diagnostic),
+        ];
+        for (kind, class) in samples {
+            assert_eq!(kind.class(), class);
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn request_id_extraction() {
+        assert_eq!(
+            EventKind::HmcSubmit { id: 7, addr: 0, bytes: 0, vault: 0, link: 0, remote: false }
+                .request_id(),
+            Some(7)
+        );
+        assert_eq!(EventKind::MaqPush { depth: 1 }.request_id(), None);
+    }
+}

@@ -1,0 +1,294 @@
+//! Cycle-bucketed latency histograms and the metrics registry.
+//!
+//! A [`LatencyHistogram`] keeps power-of-two buckets for percentile
+//! queries **and** the exact sum/count/max of every recorded value, so
+//! the mean it reports is bit-identical to the scalar
+//! `latency_sum / batches` counters it replaces — the Fig 12a
+//! aggregates of the paper reproduce exactly, with p50/p95/p99/max now
+//! available on top.
+
+use std::fmt::Write as _;
+
+/// Number of power-of-two buckets: bucket 0 holds zeros, bucket `i`
+/// holds values whose bit length is `i` (i.e. `[2^(i-1), 2^i)`).
+const BUCKETS: usize = 65;
+
+/// A latency histogram over `u64` cycle counts.
+///
+/// Buckets are powers of two, so percentile queries are approximate
+/// (they report the inclusive upper bound of the containing bucket,
+/// clamped to the exact observed maximum) while `sum`, `count`, `max`,
+/// and therefore `mean` are exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    sum: u64,
+    count: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; BUCKETS], sum: 0, count: 0, max: 0 }
+    }
+}
+
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.sum += value;
+        self.count += 1;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Exact sum of every recorded value.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean, or `None` when empty. Computed as
+    /// integer-division `sum / count` to match the legacy scalar
+    /// counters exactly.
+    pub fn mean_cycles(&self) -> Option<u64> {
+        self.sum.checked_div(self.count)
+    }
+
+    /// Floating-point mean (0.0 when empty), for reporting.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at percentile `p` in `[0, 100]`: the inclusive upper bound
+    /// of the bucket containing the `ceil(p% · count)`-th smallest
+    /// sample, clamped to the exact maximum. Returns `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Some(upper.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (p50). `None` when empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile. `None` when empty.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile. `None` when empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// A named collection of latency histograms, rendered as the
+/// human-readable stage-latency table in trace reports.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, LatencyHistogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register a histogram under `name` (replacing any previous entry
+    /// with the same name).
+    pub fn insert(&mut self, name: &str, hist: LatencyHistogram) {
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = hist;
+        } else {
+            self.entries.push((name.to_string(), hist));
+        }
+    }
+
+    /// Look up a histogram by name.
+    pub fn get(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Iterate over `(name, histogram)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &LatencyHistogram)> {
+        self.entries.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// Render an aligned text table: name, count, mean, p50/p95/p99,
+    /// max — all latencies in cycles. Empty histograms render dashes.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10}",
+            "stage", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for (name, h) in self.iter() {
+            if h.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10}",
+                    name, 0, "-", "-", "-", "-", "-"
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:>10} {:>10.1} {:>8} {:>8} {:>8} {:>10}",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.p50().unwrap(),
+                    h.p95().unwrap(),
+                    h.p99().unwrap(),
+                    h.max()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_matches_scalar_counters() {
+        let mut h = LatencyHistogram::new();
+        let mut sum = 0u64;
+        for v in [3u64, 17, 0, 250, 250, 1023, 7] {
+            h.record(v);
+            sum += v;
+        }
+        assert_eq!(h.sum(), sum);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.mean_cycles(), Some(sum / 7));
+        assert_eq!(h.max(), 1023);
+    }
+
+    #[test]
+    fn percentiles_bound_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 of 1..=1000 lands in the bucket holding 500 → upper bound
+        // 511; p99 lands in the bucket holding 990 → clamped to max.
+        assert_eq!(h.p50(), Some(511));
+        assert!(h.p95().unwrap() >= 950);
+        assert!(h.p99().unwrap() >= 990);
+        assert_eq!(h.percentile(100.0), Some(1000));
+        assert!(h.p50().unwrap() <= h.p95().unwrap());
+        assert!(h.p95().unwrap() <= h.p99().unwrap());
+        assert!(h.p99().unwrap() <= h.max());
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean_cycles(), None);
+        assert_eq!(h.p50(), None);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn zeros_occupy_their_own_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.p50(), Some(0));
+        assert_eq!(h.percentile(100.0), Some(1));
+    }
+
+    #[test]
+    fn merge_is_sum_of_parts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 800] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn registry_renders_and_looks_up() {
+        let mut reg = MetricsRegistry::new();
+        let mut h = LatencyHistogram::new();
+        h.record(12);
+        reg.insert("stage2", h.clone());
+        reg.insert("stage3", LatencyHistogram::new());
+        assert_eq!(reg.get("stage2"), Some(&h));
+        // Re-insert replaces.
+        h.record(40);
+        reg.insert("stage2", h.clone());
+        assert_eq!(reg.get("stage2").unwrap().count(), 2);
+        let table = reg.render_table();
+        assert!(table.contains("stage2"));
+        assert!(table.contains("p95"));
+    }
+}

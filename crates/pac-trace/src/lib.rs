@@ -1,0 +1,36 @@
+//! Cycle-stamped structured tracing for the PAC reproduction.
+//!
+//! This crate is the observability substrate threaded through the full
+//! request path: core issue → cache hierarchy → coalescer stages
+//! (aggregator, decoder, assembler, MAQ, MSHR, bypass) → HMC
+//! link/quadrant/vault. It provides three cooperating pieces:
+//!
+//! 1. **Structured events** ([`TraceEvent`]/[`EventKind`]) stamped with
+//!    the simulated cycle, recorded through a [`TraceHandle`] that costs
+//!    one predictable branch when tracing is disabled — event payloads
+//!    are built inside closures that never run on the disabled path.
+//! 2. **A flight recorder**: in [`TraceMode::FlightRecorder`] events go
+//!    into a bounded ring; when an oracle violation or an injected
+//!    fault fires, the window is snapshotted as a [`FlightDump`] so the
+//!    cycles *leading up to* the anomaly are preserved.
+//! 3. **Latency histograms** ([`LatencyHistogram`]) with exact
+//!    sum/count/max retained alongside power-of-two buckets, so p50/p95/
+//!    p99/max are available while means stay bit-identical to the
+//!    legacy scalar counters they replace.
+//!
+//! Full traces export as Chrome `trace_event` JSON via [`perfetto`],
+//! loadable at <https://ui.perfetto.dev> with one track per pipeline
+//! stage and per vault, plus counter tracks.
+//!
+//! [`TraceMode::FlightRecorder`]: pac_types::TraceMode::FlightRecorder
+
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod histogram;
+pub mod perfetto;
+pub mod recorder;
+
+pub use event::{EventKind, FlushCause, TraceEvent};
+pub use histogram::{LatencyHistogram, MetricsRegistry};
+pub use recorder::{CounterKind, CounterSample, DumpTrigger, FlightDump, TraceHandle, TracerCore};

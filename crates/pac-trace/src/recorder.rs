@@ -1,0 +1,327 @@
+//! The tracer core, its shared handle, and the flight recorder.
+//!
+//! Instrumented components hold a cheap [`TraceHandle`] clone. When
+//! tracing is disabled the handle is `None` inside and every emit call
+//! reduces to one branch — the event payload is built inside a closure
+//! that never runs. When enabled, events flow into a [`TracerCore`]
+//! shared by every component of one `SimSystem` (simulation is
+//! single-threaded per system; parallel sweeps build one system — and
+//! one tracer — per worker thread).
+
+use crate::event::{EventKind, TraceEvent};
+use pac_types::{Cycle, EventClass, FaultClass, TraceConfig, TraceMode};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Which gauge a counter sample belongs to. Each kind becomes one
+/// Perfetto counter track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterKind {
+    /// Memory access queue depth.
+    MaqDepth,
+    /// Open streams in the stage-1 aggregator.
+    ActiveStreams,
+    /// In-flight MSHR entries.
+    InflightMshrs,
+    /// Cumulative DRAM bank conflicts.
+    BankConflicts,
+}
+
+impl CounterKind {
+    /// Every counter kind.
+    pub const ALL: [CounterKind; 4] = [
+        CounterKind::MaqDepth,
+        CounterKind::ActiveStreams,
+        CounterKind::InflightMshrs,
+        CounterKind::BankConflicts,
+    ];
+
+    /// Track name in the exported trace.
+    pub fn label(self) -> &'static str {
+        match self {
+            CounterKind::MaqDepth => "maq_depth",
+            CounterKind::ActiveStreams => "active_streams",
+            CounterKind::InflightMshrs => "inflight_mshrs",
+            CounterKind::BankConflicts => "bank_conflicts",
+        }
+    }
+}
+
+/// One sampled gauge value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Simulated cycle of the sample.
+    pub cycle: Cycle,
+    /// Which gauge.
+    pub kind: CounterKind,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// What caused a flight-recorder dump.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DumpTrigger {
+    /// The device's fault injector fired on a response.
+    Fault {
+        /// Fault class that fired.
+        class: FaultClass,
+        /// Device-side request id it targeted.
+        id: u64,
+    },
+    /// The lockstep oracle recorded a new invariant violation.
+    OracleViolation {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl DumpTrigger {
+    /// One-line description for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            DumpTrigger::Fault { class, id } => {
+                format!("fault {} on request id {}", class.label(), id)
+            }
+            DumpTrigger::OracleViolation { detail } => format!("oracle violation: {}", detail),
+        }
+    }
+}
+
+/// A snapshot of the flight-recorder window at the moment a trigger
+/// fired: the events from the cycles *leading up to* the anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// What fired.
+    pub trigger: DumpTrigger,
+    /// Cycle at which the trigger fired.
+    pub cycle: Cycle,
+    /// The ring-buffer window, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+/// The shared tracer state behind a [`TraceHandle`].
+#[derive(Debug)]
+pub struct TracerCore {
+    cfg: TraceConfig,
+    /// Bounded window, maintained in every enabled mode so dumps work
+    /// uniformly.
+    ring: VecDeque<TraceEvent>,
+    /// Full event log (only in [`TraceMode::Full`]).
+    full: Vec<TraceEvent>,
+    counters: Vec<CounterSample>,
+    dumps: Vec<FlightDump>,
+}
+
+impl TracerCore {
+    fn new(cfg: TraceConfig) -> TracerCore {
+        TracerCore {
+            cfg,
+            ring: VecDeque::with_capacity(cfg.flight_capacity.max(1)),
+            full: Vec::new(),
+            counters: Vec::new(),
+            dumps: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if self.cfg.mode == TraceMode::Full {
+            self.full.push(ev.clone());
+        }
+        if self.ring.len() == self.cfg.flight_capacity.max(1) {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ev);
+    }
+
+    fn dump(&mut self, cycle: Cycle, trigger: DumpTrigger) {
+        let events: Vec<TraceEvent> = self.ring.iter().cloned().collect();
+        self.dumps.push(FlightDump { trigger, cycle, events });
+    }
+}
+
+/// A cheap, cloneable handle to a tracer — or to nothing at all.
+///
+/// Every instrumented component (coalescer, device, sim system) holds
+/// one. All emit paths first check [`TraceHandle::wants`]; with tracing
+/// disabled that is a single `Option::is_none` branch and the event
+///-building closure never runs.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle(Option<Rc<RefCell<TracerCore>>>);
+
+impl TraceHandle {
+    /// A handle that records nothing (the zero-cost default).
+    pub fn disabled() -> TraceHandle {
+        TraceHandle(None)
+    }
+
+    /// Build a tracer for `cfg`; returns a disabled handle when the
+    /// config says tracing is off.
+    pub fn new(cfg: TraceConfig) -> TraceHandle {
+        if cfg.is_enabled() {
+            TraceHandle(Some(Rc::new(RefCell::new(TracerCore::new(cfg)))))
+        } else {
+            TraceHandle(None)
+        }
+    }
+
+    /// True when a tracer is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// True when events of `class` should be emitted. This is the
+    /// guard instrumentation sites use; keep it first in any emit path.
+    #[inline]
+    pub fn wants(&self, class: EventClass) -> bool {
+        match &self.0 {
+            None => false,
+            Some(core) => core.borrow().cfg.classes.contains(class),
+        }
+    }
+
+    /// Emit one event of `class` at `cycle`. The payload closure runs
+    /// only when the class is enabled.
+    #[inline]
+    pub fn emit(&self, cycle: Cycle, class: EventClass, build: impl FnOnce() -> EventKind) {
+        if let Some(core) = &self.0 {
+            let mut core = core.borrow_mut();
+            if core.cfg.classes.contains(class) {
+                let kind = build();
+                debug_assert_eq!(kind.class(), class, "event emitted under wrong class");
+                core.record(TraceEvent { cycle, kind });
+            }
+        }
+    }
+
+    /// Record a gauge sample (no-op when disabled).
+    #[inline]
+    pub fn counter(&self, cycle: Cycle, kind: CounterKind, value: u64) {
+        if let Some(core) = &self.0 {
+            core.borrow_mut().counters.push(CounterSample { cycle, kind, value });
+        }
+    }
+
+    /// Snapshot the flight-recorder window as a [`FlightDump`]. Called
+    /// by the device when a fault fires and by the sim system when the
+    /// oracle records a violation.
+    pub fn trigger_dump(&self, cycle: Cycle, trigger: DumpTrigger) {
+        if let Some(core) = &self.0 {
+            core.borrow_mut().dump(cycle, trigger);
+        }
+    }
+
+    /// The tracer's configuration, when one is attached.
+    pub fn config(&self) -> Option<TraceConfig> {
+        self.0.as_ref().map(|c| c.borrow().cfg)
+    }
+
+    /// Clone out the full event log (empty outside
+    /// [`TraceMode::Full`]).
+    pub fn snapshot_events(&self) -> Vec<TraceEvent> {
+        self.0.as_ref().map(|c| c.borrow().full.clone()).unwrap_or_default()
+    }
+
+    /// Clone out every counter sample recorded so far.
+    pub fn snapshot_counters(&self) -> Vec<CounterSample> {
+        self.0.as_ref().map(|c| c.borrow().counters.clone()).unwrap_or_default()
+    }
+
+    /// Clone out every flight dump captured so far.
+    pub fn snapshot_dumps(&self) -> Vec<FlightDump> {
+        self.0.as_ref().map(|c| c.borrow().dumps.clone()).unwrap_or_default()
+    }
+
+    /// Number of events currently in the ring window (diagnostic).
+    pub fn window_len(&self) -> usize {
+        self.0.as_ref().map(|c| c.borrow().ring.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_types::EventClassSet;
+
+    fn ev(depth: u32) -> EventKind {
+        EventKind::MaqPush { depth }
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let h = TraceHandle::new(TraceConfig::off());
+        assert!(!h.is_enabled());
+        let mut ran = false;
+        h.emit(1, EventClass::Maq, || {
+            ran = true;
+            ev(1)
+        });
+        assert!(!ran, "payload closure must not run when disabled");
+        h.counter(1, CounterKind::MaqDepth, 3);
+        h.trigger_dump(1, DumpTrigger::Fault { class: FaultClass::DropResponse, id: 0 });
+        assert!(h.snapshot_events().is_empty());
+        assert!(h.snapshot_counters().is_empty());
+        assert!(h.snapshot_dumps().is_empty());
+    }
+
+    #[test]
+    fn class_filter_suppresses_events() {
+        let cfg = TraceConfig {
+            classes: EventClassSet::of(&[EventClass::Hmc]),
+            ..TraceConfig::full()
+        };
+        let h = TraceHandle::new(cfg);
+        assert!(h.is_enabled());
+        assert!(h.wants(EventClass::Hmc));
+        assert!(!h.wants(EventClass::Maq));
+        h.emit(5, EventClass::Maq, || ev(1));
+        assert_eq!(h.window_len(), 0);
+        h.emit(6, EventClass::Hmc, || EventKind::HmcResponse { id: 1, addr: 0, latency: 9 });
+        assert_eq!(h.snapshot_events().len(), 1);
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_and_dumps_window() {
+        let cfg = TraceConfig { flight_capacity: 4, ..TraceConfig::flight_recorder() };
+        let h = TraceHandle::new(cfg);
+        for i in 0..10u32 {
+            h.emit(i as u64, EventClass::Maq, || ev(i));
+        }
+        assert_eq!(h.window_len(), 4);
+        // Flight mode keeps no full log.
+        assert!(h.snapshot_events().is_empty());
+        h.trigger_dump(10, DumpTrigger::Fault { class: FaultClass::CorruptAddr, id: 42 });
+        let dumps = h.snapshot_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].cycle, 10);
+        assert_eq!(dumps[0].events.len(), 4);
+        // Oldest first: cycles 6..=9 survived.
+        assert_eq!(dumps[0].events[0].cycle, 6);
+        assert_eq!(dumps[0].events[3].cycle, 9);
+        assert!(dumps[0].trigger.describe().contains("corrupt-addr"));
+    }
+
+    #[test]
+    fn full_mode_keeps_everything_and_still_dumps() {
+        let cfg = TraceConfig { flight_capacity: 2, ..TraceConfig::full() };
+        let h = TraceHandle::new(cfg);
+        for i in 0..5u32 {
+            h.emit(i as u64, EventClass::Maq, || ev(i));
+        }
+        assert_eq!(h.snapshot_events().len(), 5);
+        h.trigger_dump(5, DumpTrigger::OracleViolation { detail: "test".into() });
+        let dumps = h.snapshot_dumps();
+        assert_eq!(dumps[0].events.len(), 2, "dump window still bounded in full mode");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let h = TraceHandle::new(TraceConfig::full());
+        h.counter(1, CounterKind::MaqDepth, 3);
+        h.counter(2, CounterKind::BankConflicts, 7);
+        let samples = h.snapshot_counters();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].value, 7);
+    }
+}

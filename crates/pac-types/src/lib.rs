@@ -14,6 +14,7 @@ pub mod fault;
 pub mod hash;
 pub mod protocol;
 pub mod request;
+pub mod trace;
 
 pub use addr::{Addr, BlockId, PageNumber, CACHE_LINE_BYTES, PAGE_BYTES};
 pub use config::{CacheConfig, CoalescerConfig, HmcDeviceConfig, SimConfig};
@@ -21,6 +22,7 @@ pub use fault::{FaultClass, FaultPlan};
 pub use hash::{IdHash, IdHasher};
 pub use protocol::MemoryProtocol;
 pub use request::{CoalescedRequest, MemRequest, Op, RequestKind};
+pub use trace::{EventClass, EventClassSet, TraceConfig, TraceMode};
 
 /// Simulation time, in CPU cycles. The paper's cores run at 2 GHz, so one
 /// cycle is 0.5 ns; [`cycles_to_ns`] performs that conversion.

@@ -1,0 +1,205 @@
+//! Tracing configuration shared by every instrumented crate.
+//!
+//! The observability layer (the `pac-trace` crate) is threaded through
+//! the whole request path — core issue, cache hierarchy, coalescer
+//! stages, memory device — and is controlled entirely by the
+//! [`TraceConfig`] defined here. Keeping the configuration in
+//! `pac-types` lets every crate accept it without depending on the
+//! tracer implementation.
+
+/// How much the tracer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracer is attached at all; the instrumented hot paths reduce
+    /// to a single `Option` check that branch-predicts perfectly.
+    #[default]
+    Off,
+    /// Events go into a bounded ring buffer. Nothing is kept unless a
+    /// trigger (oracle violation or injected fault) fires, at which
+    /// point the current window is snapshotted as a flight dump.
+    FlightRecorder,
+    /// Every enabled event is retained for export as a Chrome
+    /// `trace_event` JSON file loadable in Perfetto.
+    Full,
+}
+
+/// A broad class of trace events, used to filter instrumentation sites.
+///
+/// Classes map one-to-one onto the pipeline segments of the simulated
+/// system; filtering by class lets a full trace of a long run stay
+/// manageable (e.g. vault-level device events dominate event counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum EventClass {
+    /// Core-side issue and cache-hierarchy outcomes.
+    Core = 1 << 0,
+    /// Stage 1 aggregator: stream allocate / merge / flush.
+    Stream = 1 << 1,
+    /// Stages 2–3 (decoder/assembler) batch completions and bypasses.
+    Network = 1 << 2,
+    /// Memory access queue push/pop.
+    Maq = 1 << 3,
+    /// MSHR allocate / merge / release and dispatches to the device.
+    Mshr = 1 << 4,
+    /// HMC device: submits, vault service windows, responses.
+    Hmc = 1 << 5,
+    /// Injected faults and oracle violations (always rare).
+    Diagnostic = 1 << 6,
+}
+
+impl EventClass {
+    /// Every class, in pipeline order.
+    pub const ALL: [EventClass; 7] = [
+        EventClass::Core,
+        EventClass::Stream,
+        EventClass::Network,
+        EventClass::Maq,
+        EventClass::Mshr,
+        EventClass::Hmc,
+        EventClass::Diagnostic,
+    ];
+
+    /// Short lowercase label (used in CLI filters and track names).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventClass::Core => "core",
+            EventClass::Stream => "stream",
+            EventClass::Network => "network",
+            EventClass::Maq => "maq",
+            EventClass::Mshr => "mshr",
+            EventClass::Hmc => "hmc",
+            EventClass::Diagnostic => "diagnostic",
+        }
+    }
+
+    /// Parse a label produced by [`EventClass::label`].
+    pub fn from_label(s: &str) -> Option<EventClass> {
+        EventClass::ALL.iter().copied().find(|c| c.label() == s)
+    }
+}
+
+/// A set of [`EventClass`] values, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventClassSet(u32);
+
+impl EventClassSet {
+    /// The empty set.
+    pub const EMPTY: EventClassSet = EventClassSet(0);
+    /// Every event class enabled.
+    pub const ALL: EventClassSet = EventClassSet(0x7F);
+
+    /// Set containing exactly the given classes.
+    pub fn of(classes: &[EventClass]) -> EventClassSet {
+        let mut mask = 0;
+        for &c in classes {
+            mask |= c as u32;
+        }
+        EventClassSet(mask)
+    }
+
+    /// True if `class` is a member.
+    #[inline]
+    pub fn contains(self, class: EventClass) -> bool {
+        self.0 & class as u32 != 0
+    }
+
+    /// Add a class, returning the extended set.
+    #[must_use]
+    pub fn with(self, class: EventClass) -> EventClassSet {
+        EventClassSet(self.0 | class as u32)
+    }
+
+    /// Remove a class, returning the reduced set.
+    #[must_use]
+    pub fn without(self, class: EventClass) -> EventClassSet {
+        EventClassSet(self.0 & !(class as u32))
+    }
+
+    /// True if no class is enabled.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for EventClassSet {
+    fn default() -> Self {
+        EventClassSet::ALL
+    }
+}
+
+/// Complete tracer configuration handed to `SimSystem`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Recording mode (off / flight recorder / full trace).
+    pub mode: TraceMode,
+    /// Which event classes instrumentation sites actually emit.
+    pub classes: EventClassSet,
+    /// Ring-buffer capacity (events) in flight-recorder mode. Ignored
+    /// in full mode.
+    pub flight_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default; zero-cost path).
+    pub fn off() -> TraceConfig {
+        TraceConfig::default()
+    }
+
+    /// Flight recorder with the default window of 4096 events.
+    pub fn flight_recorder() -> TraceConfig {
+        TraceConfig { mode: TraceMode::FlightRecorder, ..TraceConfig::default() }
+    }
+
+    /// Full trace with every event class enabled.
+    pub fn full() -> TraceConfig {
+        TraceConfig { mode: TraceMode::Full, ..TraceConfig::default() }
+    }
+
+    /// True when a tracer should be constructed at all.
+    pub fn is_enabled(&self) -> bool {
+        self.mode != TraceMode::Off && !self.classes.is_empty()
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            mode: TraceMode::Off,
+            classes: EventClassSet::ALL,
+            flight_capacity: 4096,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_set_membership() {
+        let s = EventClassSet::of(&[EventClass::Maq, EventClass::Hmc]);
+        assert!(s.contains(EventClass::Maq));
+        assert!(s.contains(EventClass::Hmc));
+        assert!(!s.contains(EventClass::Core));
+        assert!(s.without(EventClass::Maq).without(EventClass::Hmc).is_empty());
+        assert!(s.with(EventClass::Core).contains(EventClass::Core));
+    }
+
+    #[test]
+    fn all_covers_every_class() {
+        for &c in &EventClass::ALL {
+            assert!(EventClassSet::ALL.contains(c));
+            assert_eq!(EventClass::from_label(c.label()), Some(c));
+        }
+        assert_eq!(EventClass::from_label("nope"), None);
+    }
+
+    #[test]
+    fn config_enablement() {
+        assert!(!TraceConfig::off().is_enabled());
+        assert!(TraceConfig::flight_recorder().is_enabled());
+        assert!(TraceConfig::full().is_enabled());
+        let empty = TraceConfig { classes: EventClassSet::EMPTY, ..TraceConfig::full() };
+        assert!(!empty.is_enabled());
+    }
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate a pac-bench trace export against the Chrome trace_event
+JSON schema (the subset Perfetto/chrome://tracing consume).
+
+Checks, per https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU:
+  - the document is a JSON object with a `traceEvents` array;
+  - every event carries a string `ph` from the phases we emit
+    (M metadata, i instant, X complete, C counter) and an integer `pid`;
+  - non-metadata events carry integer `ts` >= 0 (and `dur` >= 0 for X);
+  - metadata events carry `name` and an `args.name`;
+  - counter events carry a numeric args payload;
+  - thread ids, when present, are integers.
+
+Exit code 0 on success; prints a summary line for the CI log.
+"""
+
+import collections
+import json
+import sys
+
+PHASES = {"M", "i", "X", "C"}
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("document must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    by_phase = collections.Counter()
+    tracks = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where} is not an object")
+        ph = ev.get("ph")
+        if ph not in PHASES:
+            fail(f"{where}: unknown phase {ph!r}")
+        by_phase[ph] += 1
+        if not isinstance(ev.get("pid"), int):
+            fail(f"{where}: pid must be an integer")
+        if "tid" in ev and not isinstance(ev["tid"], int):
+            fail(f"{where}: tid must be an integer")
+        if ph == "M":
+            if not ev.get("name") or "name" not in ev.get("args", {}):
+                fail(f"{where}: metadata needs name and args.name")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            fail(f"{where}: ts must be a non-negative integer, got {ts!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(f"{where}: name must be a non-empty string")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                fail(f"{where}: X event needs integer dur >= 0, got {dur!r}")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"{where}: counter needs a non-empty args object")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)):
+                    fail(f"{where}: counter series {k!r} must be numeric")
+            tracks.add(ev["name"])
+
+    if by_phase["M"] == 0:
+        fail("no track metadata (M) events")
+    if by_phase["i"] + by_phase["X"] == 0:
+        fail("no instant or complete events — empty trace")
+    if by_phase["C"] == 0:
+        fail("no counter samples")
+
+    print(
+        f"OK: {len(events)} events "
+        f"(M={by_phase['M']} i={by_phase['i']} X={by_phase['X']} "
+        f"C={by_phase['C']}), counter tracks: {', '.join(sorted(tracks))}"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <trace.json>", file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])

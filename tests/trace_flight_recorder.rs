@@ -1,0 +1,83 @@
+//! Flight-recorder conformance: for every [`FaultClass`], a faulted
+//! full-system run must auto-dump the ring buffer, and the dumped
+//! window must contain the offending request's recorded history (not
+//! just the injection marker).
+
+use pac_sim::{CoalescerKind, SimSystem};
+use pac_trace::DumpTrigger;
+use pac_types::{FaultClass, FaultPlan, SimConfig, TraceConfig};
+use pac_workloads::{multiproc::single_process, Bench};
+
+fn faulted_run(class: FaultClass) -> SimSystem {
+    let cfg = SimConfig::default();
+    let specs = single_process(Bench::Stream, cfg.cores, 0x9AC_5EED);
+    let mut sys = SimSystem::new(cfg, specs, CoalescerKind::Pac);
+    sys.attach_oracle();
+    sys.set_trace_config(TraceConfig::flight_recorder());
+    sys.set_fault_plan(FaultPlan {
+        rate_per_1024: 1024, // first eligible response faults
+        max_faults: 1,
+        delay_cycles: 10_000,
+        ..FaultPlan::new(class, 3)
+    });
+    // Dropped responses wedge the drain by design; the bound keeps the
+    // run finite either way. The dump fires at injection time, well
+    // before the bound.
+    sys.run_until(600, 2_000_000);
+    sys
+}
+
+#[test]
+fn every_fault_class_dumps_the_offenders_history() {
+    for class in FaultClass::ALL {
+        let sys = faulted_run(class);
+        assert_eq!(sys.faults_injected(), 1, "{class:?}: fault did not fire");
+
+        let dumps = sys.tracer().snapshot_dumps();
+        let dump = dumps
+            .iter()
+            .find_map(|d| match d.trigger {
+                DumpTrigger::Fault { class: c, id } if c == class => Some((d, id)),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("{class:?}: no fault-triggered dump in {dumps:?}"));
+        let (dump, offender) = dump;
+
+        // The window must hold the injection marker for the offender...
+        let names: Vec<&str> = dump
+            .events
+            .iter()
+            .filter(|e| e.kind.request_id() == Some(offender))
+            .map(|e| e.kind.name())
+            .collect();
+        assert!(
+            names.contains(&"fault_injected"),
+            "{class:?}: no injection marker for request {offender}: {names:?}"
+        );
+        // ...and the request's earlier life, recorded before anything
+        // went wrong — that history is the point of the flight recorder.
+        assert!(
+            names.contains(&"hmc_submit"),
+            "{class:?}: offender {offender} has no pre-fault history: {names:?}"
+        );
+        assert!(
+            dump.trigger.describe().contains(class.label()),
+            "{class:?}: describe() = {}",
+            dump.trigger.describe()
+        );
+    }
+}
+
+#[test]
+fn flight_recorder_window_is_bounded() {
+    let sys = faulted_run(FaultClass::CorruptAddr);
+    for d in sys.tracer().snapshot_dumps() {
+        assert!(
+            d.events.len() <= TraceConfig::flight_recorder().flight_capacity,
+            "window of {} exceeds the configured ring",
+            d.events.len()
+        );
+    }
+    // Ring mode never accumulates a full log.
+    assert!(sys.tracer().snapshot_events().is_empty());
+}
