@@ -15,7 +15,7 @@ use crate::stats::HmcStats;
 use crate::vault::{QueuedRequest, ReadyResponse, Vault};
 use pac_trace::{DumpTrigger, EventKind, TraceHandle};
 use pac_types::protocol::FLIT_BYTES;
-use pac_types::{Cycle, EventClass, FaultClass, FaultPlan, HmcDeviceConfig, Op};
+use pac_types::{Cycle, EventClass, FaultClass, FaultPlan, FaultPlanError, HmcDeviceConfig, Op};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -150,9 +150,13 @@ impl Hmc {
 
     /// Arm deterministic response-path fault injection. Conformance
     /// testing only — a plan makes the device deliberately *wrong* in
-    /// the planned way so the oracle can prove it notices.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault_plan = Some(plan);
+    /// the planned way so the oracle can prove it notices. The plan is
+    /// validated first (rate clamped to 1024, zero fault budgets
+    /// rejected) so a plan that could never fire is an error at arm
+    /// time, not a silently clean run.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
+        self.fault_plan = Some(plan.validate()?);
+        Ok(())
     }
 
     /// How many faults the active plan has injected so far.
@@ -361,7 +365,8 @@ impl Hmc {
         let mut entry: CompletedEntry =
             (complete, req.id, req.addr, req.bytes, req.op == Op::Store, req.submit_cycle);
         if let Some(plan) = self.fault_plan {
-            let budget_ok = plan.max_faults == 0 || self.faults_injected < plan.max_faults;
+            // Validation guarantees max_faults >= 1 (u64::MAX = unbounded).
+            let budget_ok = self.faults_injected < plan.max_faults;
             if budget_ok && plan.should_inject(req.id) {
                 self.faults_injected += 1;
                 self.tracer.emit(r.data_ready, EventClass::Diagnostic, || EventKind::FaultInjected {
@@ -676,7 +681,7 @@ mod tests {
             max_faults: 2,
             ..FaultPlan::new(FaultClass::DropResponse, 11)
         };
-        hmc.set_fault_plan(plan);
+        hmc.set_fault_plan(plan).expect("valid fault plan");
         for i in 0..8 {
             hmc.submit(read(i, i * 256, 64), 0);
         }
@@ -694,7 +699,7 @@ mod tests {
             max_faults: 1,
             ..FaultPlan::new(FaultClass::DuplicateResponse, 5)
         };
-        hmc.set_fault_plan(plan);
+        hmc.set_fault_plan(plan).expect("valid fault plan");
         for i in 0..4 {
             hmc.submit(read(i, i * 256, 64), 0);
         }
@@ -713,7 +718,7 @@ mod tests {
             delay_cycles: 100_000,
             ..FaultPlan::new(FaultClass::DelayResponse, 5)
         };
-        hmc.set_fault_plan(plan);
+        hmc.set_fault_plan(plan).expect("valid fault plan");
         hmc.submit(read(1, 0, 64), 0);
         let (rsps, done) = hmc.drain(0);
         assert_eq!(rsps.len(), 1);
@@ -729,7 +734,7 @@ mod tests {
             max_faults: 1,
             ..FaultPlan::new(FaultClass::CorruptAddr, 5)
         };
-        hmc.set_fault_plan(plan);
+        hmc.set_fault_plan(plan).expect("valid fault plan");
         hmc.submit(read(1, 0x1000, 64), 0);
         let (rsps, _) = hmc.drain(0);
         assert_eq!(rsps.len(), 1);
@@ -747,7 +752,7 @@ mod tests {
             max_faults: 1,
             ..FaultPlan::new(FaultClass::CorruptAddr, 5)
         };
-        hmc.set_fault_plan(plan);
+        hmc.set_fault_plan(plan).expect("valid fault plan");
         hmc.submit(read(42, 0x1000, 64), 0);
         hmc.drain(0);
 

@@ -1,29 +1,61 @@
 //! Oracle conformance suite.
 //!
 //! ```console
-//! $ conformance            # full scale
-//! $ conformance --quick    # CI scale (also via PAC_QUICK=1)
+//! $ conformance                      # full scale
+//! $ conformance --quick              # CI scale (also via PAC_QUICK=1)
+//! $ conformance --recover --quick    # recovery mode: survive, don't just detect
 //! ```
 //!
-//! Phase 1 runs every benchmark × coalescer under the lockstep oracle
-//! with no faults and requires zero violations. Phase 2 arms each fault
-//! class on the memory device's response path (every coalescer again)
-//! and requires the expected invariant to fire. Exits nonzero on any
-//! undetected fault or any unclean clean-run.
+//! Default mode: phase 1 runs every benchmark × coalescer under the
+//! lockstep oracle with no faults and requires zero violations; phase 2
+//! arms each fault class on the memory device's response path (every
+//! coalescer again) and requires the expected invariant to fire.
+//!
+//! `--recover` mode flips the burden of proof from detection to
+//! survival: phase R1 re-arms every fault class with the recovery layer
+//! enabled and requires each run to **converge with the oracle silent**
+//! and all retries within budget; phase R2 re-runs the committed
+//! `BENCH_throughput.json` cells with `RecoveryConfig::disabled()`
+//! explicitly attached and requires the simulated cycle counts to
+//! reproduce bit-identically — the disabled path costs nothing.
+//!
+//! Exits nonzero on any failing cell in either mode.
 
 use pac_bench::conformance::{
-    clean_matrix, expected_invariants, fault_matrix, ConformanceScale,
+    clean_matrix, disabled_recovery_reproduction, expected_invariants, fault_matrix,
+    recovery_matrix, ConformanceScale,
 };
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("PAC_QUICK").is_ok_and(|v| v != "0");
+    let recover = std::env::args().any(|a| a == "--recover");
     let scale = if quick { ConformanceScale::quick() } else { ConformanceScale::full() };
     eprintln!(
         "scale: {} accesses/core, {} cores, cycle limit {}",
         scale.accesses_per_core, scale.cores, scale.cycle_limit
     );
 
+    let failures = if recover { run_recover(scale, quick) } else { run_detect(scale) };
+
+    if failures > 0 {
+        eprintln!("\nconformance FAILED: {failures} cell(s)");
+        std::process::exit(1);
+    }
+    if recover {
+        eprintln!(
+            "\nconformance passed: every fault class survived with the oracle silent, \
+             and the disabled recovery path reproduced the committed cycle counts"
+        );
+    } else {
+        eprintln!(
+            "\nconformance passed: oracle silent on clean runs, every fault class caught"
+        );
+    }
+}
+
+/// Default detection-mode phases. Returns the failing cell count.
+fn run_detect(scale: ConformanceScale) -> u32 {
     let mut failures = 0u32;
 
     eprintln!("\n== phase 1: clean matrix (oracle must stay silent) ==");
@@ -46,7 +78,7 @@ fn main() {
     }
     println!(
         "clean matrix: {}/{} cells clean",
-        total - cells.iter().filter(|c| !c.passed()).count() as usize,
+        total - cells.iter().filter(|c| !c.passed()).count(),
         total
     );
 
@@ -78,10 +110,92 @@ fn main() {
             if fired.is_empty() { "none".to_string() } else { fired.join(", ") }
         );
     }
+    failures
+}
 
-    if failures > 0 {
-        eprintln!("\nconformance FAILED: {failures} cell(s)");
-        std::process::exit(1);
+/// `--recover` phases. Returns the failing cell count.
+fn run_recover(scale: ConformanceScale, quick: bool) -> u32 {
+    let mut failures = 0u32;
+
+    eprintln!("\n== phase R1: recovery matrix (every class survived, oracle silent) ==");
+    println!(
+        "{:<18} {:<10} {:>8}  {:>7} {:>6} {:>6} {:>7}  verdict",
+        "fault class", "coalescer", "injected", "retries", "dups", "poison", "max att"
+    );
+    for cell in recovery_matrix(scale) {
+        let ok = cell.passed();
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:<18} {:<10} {:>8}  {:>7} {:>6} {:>6} {:>7}  {}",
+            cell.class.label(),
+            cell.kind.label(),
+            cell.faults_injected,
+            cell.recovery.retries_issued,
+            cell.recovery.duplicates_dropped,
+            cell.recovery.poisoned_responses,
+            cell.recovery.max_attempts,
+            if ok { "SURVIVED" } else { "FAILED" }
+        );
+        if !ok {
+            println!(
+                "      converged={} oracle={} {}",
+                cell.converged,
+                cell.report.summary(),
+                cell.recovery.summary()
+            );
+            for s in cell.recovery.stuck.iter().take(4) {
+                println!(
+                    "      stuck seq {} (dispatch id {}, addr {:#x}, {} attempts)",
+                    s.seq, s.dispatch_id, s.addr, s.attempts
+                );
+            }
+        }
     }
-    eprintln!("\nconformance passed: oracle silent on clean runs, every fault class caught");
+
+    eprintln!("\n== phase R2: disabled-recovery cycle reproduction vs BENCH_throughput.json ==");
+    // Quick mode bounds the sweep; full mode replays every cell.
+    let max_cells = if quick { 6 } else { 0 };
+    match read_baseline() {
+        Ok(json) => match disabled_recovery_reproduction(&json, max_cells) {
+            Ok(mismatches) if mismatches.is_empty() => {
+                println!(
+                    "cycle reproduction: all compared cells bit-identical \
+                     (recovery disabled changes nothing)"
+                );
+            }
+            Ok(mismatches) => {
+                for m in &mismatches {
+                    println!("CYCLE MISMATCH: {m}");
+                }
+                failures += mismatches.len() as u32;
+            }
+            Err(e) => {
+                println!("baseline unusable: {e}");
+                failures += 1;
+            }
+        },
+        Err(e) => {
+            println!("cannot read BENCH_throughput.json: {e}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Locate the committed throughput baseline: working directory first
+/// (how CI invokes the binary from the repo root), then relative to the
+/// crate (how `cargo run` finds it from anywhere).
+fn read_baseline() -> Result<String, String> {
+    let candidates = [
+        "BENCH_throughput.json".to_string(),
+        format!("{}/../../BENCH_throughput.json", env!("CARGO_MANIFEST_DIR")),
+    ];
+    for path in &candidates {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            return Ok(text);
+        }
+    }
+    Err(format!("not found at {}", candidates.join(" or ")))
 }

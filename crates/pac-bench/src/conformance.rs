@@ -11,8 +11,8 @@
 
 use pac_oracle::{Invariant, OracleConfig, OracleReport};
 use pac_sim::system::run_lockstep;
-use pac_sim::{CoalescerKind, LockstepOutcome};
-use pac_types::{FaultClass, FaultPlan, SimConfig};
+use pac_sim::{CoalescerKind, LockstepOutcome, RecoveryReport};
+use pac_types::{FaultClass, FaultPlan, RecoveryConfig, SimConfig};
 use pac_workloads::multiproc::single_process;
 use pac_workloads::Bench;
 
@@ -101,6 +101,7 @@ pub fn clean_matrix(scale: ConformanceScale) -> Vec<CleanCell> {
                 scale.accesses_per_core,
                 None,
                 None,
+                None,
                 scale.cycle_limit,
             );
             cells.push(CleanCell { bench, kind, converged: out.converged, report: out.oracle });
@@ -127,13 +128,93 @@ pub fn fault_matrix(scale: ConformanceScale) -> Vec<FaultCell> {
     cells
 }
 
-/// One armed run. Delay faults need a finite latency bound on the
-/// checker (clean runs leave it disabled: legitimate queueing latency
-/// is workload-dependent) and a cycle limit past the injected delay.
+/// One cell of the recovery matrix: a fault-armed run with the
+/// recovery layer enabled.
+pub struct RecoveryCell {
+    pub class: FaultClass,
+    pub kind: CoalescerKind,
+    pub converged: bool,
+    pub faults_injected: u64,
+    pub report: OracleReport,
+    pub recovery: RecoveryReport,
+    /// Retry-attempt ceiling the run was configured with.
+    pub max_retries: u32,
+}
+
+impl RecoveryCell {
+    /// Survival means the run *converged* with the oracle **silent**
+    /// (conservation restored, not merely violations detected), faults
+    /// really were injected, no transaction exhausted its budget, and
+    /// every repair stayed within the configured attempt bound.
+    pub fn passed(&self) -> bool {
+        self.converged
+            && self.report.is_clean()
+            && self.faults_injected > 0
+            && !self.recovery.aborted
+            && self.recovery.stuck.is_empty()
+            && self.recovery.outstanding == 0
+            && self.recovery.max_attempts <= self.max_retries
+    }
+
+    /// One-line cell description for the binary's table.
+    pub fn describe(&self) -> String {
+        format!(
+            "{:?} x {:?}: {} faults, {}",
+            self.class,
+            self.kind,
+            self.faults_injected,
+            self.recovery.summary()
+        )
+    }
+}
+
+/// Run the recovery matrix: every fault class × coalescer with the
+/// default recovery policy armed. Passing cells prove the layer
+/// *survives* each corruption class — the oracle stays silent because
+/// the repair happened, not because detection was disabled.
+pub fn recovery_matrix(scale: ConformanceScale) -> Vec<RecoveryCell> {
+    let cfg = RecoveryConfig::enabled();
+    let mut cells = Vec::new();
+    for &class in &FaultClass::ALL {
+        for kind in CoalescerKind::ALL {
+            let out = run_fault_with(class, kind, scale, Some(cfg));
+            let recovery = out
+                .recovery
+                .expect("recovery-enabled run must produce a report");
+            cells.push(RecoveryCell {
+                class,
+                kind,
+                converged: out.converged,
+                faults_injected: out.faults_injected,
+                report: out.oracle,
+                recovery,
+                max_retries: cfg.max_retries,
+            });
+        }
+    }
+    cells
+}
+
+/// One armed run with the recovery layer absent (detection-only).
 pub fn run_fault(
     class: FaultClass,
     kind: CoalescerKind,
     scale: ConformanceScale,
+) -> LockstepOutcome {
+    run_fault_with(class, kind, scale, None)
+}
+
+/// One armed run. Delay faults need a finite latency bound on the
+/// checker (clean runs leave it disabled: legitimate queueing latency
+/// is workload-dependent) and a cycle limit past the injected delay —
+/// even under recovery, the *delayed original* holds a device slot
+/// until it finally emerges (and is then deduplicated), so the limit
+/// must still cover the injected delay.
+pub fn run_fault_with(
+    class: FaultClass,
+    kind: CoalescerKind,
+    scale: ConformanceScale,
+    recovery: Option<RecoveryConfig>,
 ) -> LockstepOutcome {
     let cfg = SimConfig::default();
     let plan = FaultPlan::new(class, fault_seed(class, kind));
@@ -152,9 +233,53 @@ pub fn run_fault(
         kind,
         scale.accesses_per_core,
         Some(plan),
+        recovery,
         Some(oracle_cfg),
         limit,
     )
+}
+
+/// Prove the disabled recovery configuration is zero-cost: re-run every
+/// cell of the committed throughput baseline with
+/// [`RecoveryConfig::disabled`] *explicitly attached* and require the
+/// simulated cycle counts to reproduce bit-identically. Returns the
+/// mismatching cells (empty = pass). `max_cells` bounds the sweep for
+/// quick mode (0 = all).
+pub fn disabled_recovery_reproduction(
+    baseline_json: &str,
+    max_cells: usize,
+) -> Result<Vec<String>, String> {
+    use crate::trace_cmd::parse_baseline;
+    use pac_sim::{ExperimentConfig, SimSystem};
+
+    let (accesses, seed, mut cells) = parse_baseline(baseline_json)?;
+    if max_cells > 0 {
+        cells.truncate(max_cells);
+    }
+    let cfg = ExperimentConfig { accesses_per_core: accesses, seed, ..Default::default() };
+    let mut mismatches = Vec::new();
+    for cell in &cells {
+        let Some(bench) = Bench::from_name(&cell.bench) else {
+            return Err(format!("baseline names unknown benchmark '{}'", cell.bench));
+        };
+        let kind = match cell.kind.as_str() {
+            "raw" => CoalescerKind::Raw,
+            "mshr-dmc" => CoalescerKind::MshrDmc,
+            "pac" => CoalescerKind::Pac,
+            other => return Err(format!("baseline names unknown coalescer '{other}'")),
+        };
+        let specs = single_process(bench, cfg.sim.cores, cfg.seed);
+        let mut sys = SimSystem::with_options(cfg.sim, specs, kind, false, false, cfg.stepping);
+        sys.set_recovery_config(RecoveryConfig::disabled());
+        let m = sys.run(cfg.accesses_per_core);
+        if m.runtime_cycles != cell.simulated_cycles {
+            mismatches.push(format!(
+                "{}/{}: {} cycles with recovery disabled, baseline {}",
+                cell.bench, cell.kind, m.runtime_cycles, cell.simulated_cycles
+            ));
+        }
+    }
+    Ok(mismatches)
 }
 
 #[cfg(test)]
@@ -175,6 +300,27 @@ mod tests {
         }
     }
 
+    /// With recovery armed, every fault class *survives* under PAC: the
+    /// run converges, the oracle is silent, and no retry budget blows.
+    #[test]
+    fn recovery_survives_each_class_under_pac() {
+        let scale = ConformanceScale { cycle_limit: 600_000, ..ConformanceScale::quick() };
+        let cfg = RecoveryConfig::enabled();
+        for &class in &FaultClass::ALL {
+            let out = run_fault_with(class, CoalescerKind::Pac, scale, Some(cfg));
+            let rec = out.recovery.expect("recovery-enabled run must produce a report");
+            assert!(out.faults_injected > 0, "{class:?}: no fault injected");
+            assert!(out.converged, "{class:?} did not converge: {}", rec.summary());
+            assert!(out.oracle.is_clean(), "{class:?} oracle: {}", out.oracle.summary());
+            assert!(
+                !rec.aborted && rec.stuck.is_empty(),
+                "{class:?} exhausted a retry budget: {}",
+                rec.summary()
+            );
+            assert!(rec.max_attempts <= cfg.max_retries, "{class:?}: {}", rec.summary());
+        }
+    }
+
     /// A clean armed-with-nothing run stays clean (spot check; the full
     /// matrix is the binary's job).
     #[test]
@@ -186,6 +332,7 @@ mod tests {
             specs,
             CoalescerKind::Pac,
             scale.accesses_per_core,
+            None,
             None,
             None,
             scale.cycle_limit,

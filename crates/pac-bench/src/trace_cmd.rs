@@ -56,7 +56,7 @@ pub fn run_cell(
     sys.attach_oracle();
     sys.set_trace_config(trace_cfg);
     if let Some(plan) = fault {
-        sys.set_fault_plan(plan);
+        sys.set_fault_plan(plan).expect("valid fault plan");
     }
     let limit = cfg
         .accesses_per_core

@@ -118,6 +118,10 @@ impl MemoryCoalescer for MshrDmc {
         &self.stats
     }
 
+    fn stats_mut(&mut self) -> &mut CoalescerStats {
+        &mut self.stats
+    }
+
     fn flush(&mut self, _now: Cycle) {}
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
@@ -241,6 +245,10 @@ impl MemoryCoalescer for NoCoalescing {
 
     fn stats(&self) -> &CoalescerStats {
         &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut CoalescerStats {
+        &mut self.stats
     }
 
     fn flush(&mut self, _now: Cycle) {}

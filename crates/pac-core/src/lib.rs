@@ -120,6 +120,12 @@ pub trait MemoryCoalescer {
     /// Statistics accumulated so far.
     fn stats(&self) -> &CoalescerStats;
 
+    /// Mutable access to the statistics block, so external layers that
+    /// act on the coalescer's behalf (the simulator's transaction-
+    /// recovery layer folds its retry/dedup/poison counters in at end
+    /// of run) can account against the same record.
+    fn stats_mut(&mut self) -> &mut CoalescerStats;
+
     /// Force everything buffered toward dispatch (end-of-run flush).
     fn flush(&mut self, now: Cycle);
 

@@ -375,6 +375,10 @@ impl MemoryCoalescer for PacCoalescer {
         &self.stats
     }
 
+    fn stats_mut(&mut self) -> &mut CoalescerStats {
+        &mut self.stats
+    }
+
     fn flush(&mut self, now: Cycle) {
         let streams = self.aggregator.take_all();
         for s in streams {

@@ -131,6 +131,16 @@ pub struct CoalescerStats {
     pub occupancy_trace: Vec<u32>,
     /// Whether to retain `occupancy_trace`.
     pub trace_occupancy: bool,
+    /// Transactions reissued by the recovery layer (watchdog retries
+    /// plus poison-and-reissue). Zero unless recovery is enabled.
+    pub retries_issued: u64,
+    /// Duplicate responses discarded by sequence-tag deduplication.
+    pub duplicate_responses_dropped: u64,
+    /// Responses poisoned by the address echo-check.
+    pub poisoned_responses: u64,
+    /// Watchdog deadline expirations (each precedes a retry or, once
+    /// the budget is exhausted, the quiesce/drain abort).
+    pub watchdog_fires: u64,
 }
 
 impl CoalescerStats {

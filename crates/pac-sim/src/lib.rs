@@ -39,13 +39,16 @@
 pub mod core;
 pub mod experiment;
 pub mod metrics;
+pub mod recovery;
 pub mod replay;
 pub mod system;
 pub mod trace_json;
 
 pub use experiment::{run_bench, run_matrix, run_pair, run_specs, ExperimentConfig};
 pub use metrics::RunMetrics;
+pub use recovery::{RecoveryLayer, RecoveryReport, ResponseVerdict, StuckTxn, WatchdogAction};
 pub use replay::{replay, replay_with};
 pub use system::{
     run_lockstep, CoalescerKind, LockstepOutcome, SimSystem, Stepping, TraceEntry,
 };
+pub use trace_json::TraceJsonError;

@@ -1,0 +1,562 @@
+//! Transaction recovery at the DMC boundary.
+//!
+//! Every request the coalescer dispatches toward the memory device is
+//! sequence-tagged and tracked here until exactly one matching response
+//! is delivered upstream. The layer repairs the four response-path
+//! corruptions the fault injector models ([`pac_types::FaultClass`]):
+//!
+//! * **Drop** — a per-request watchdog with exponential backoff
+//!   reissues the transaction when no response arrives by its deadline.
+//! * **Duplicate** — responses whose tag was already retired are
+//!   discarded before the oracle or the coalescer sees them.
+//! * **Delay** — the watchdog reissues past-deadline transactions; the
+//!   late original is then deduplicated on arrival.
+//! * **CorruptAddr** — an address echo-check poisons mismatched
+//!   responses and reissues the transaction.
+//!
+//! Retries are bounded: a transaction that exhausts its budget is
+//! recorded as *stuck* and the simulator quiesces — reclaiming MSHRs,
+//! streams, and core windows — and aborts with a structured
+//! [`RecoveryReport`] naming the stuck sequence tags instead of
+//! wedging against the cycle limit.
+//!
+//! The layer never talks to the device or the tracer itself; it hands
+//! [`WatchdogAction`]s and [`ResponseVerdict`]s back to `SimSystem`,
+//! which owns the side effects. That keeps this module a pure,
+//! deterministic state machine — the property every skip-ahead
+//! equivalence argument rests on.
+
+use hmc_sim::HmcResponse;
+use pac_core::CoalescerStats;
+use pac_types::{Cycle, IdHash, Op, RecoveryConfig};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One tracked (dispatched, unanswered) transaction.
+#[derive(Debug, Clone, Copy)]
+struct Txn {
+    /// Recovery-layer sequence tag, assigned at dispatch in dispatch
+    /// order. Distinct from the dispatch id so the tag space stays
+    /// dense and run-ordered even if dispatch ids ever become sparse.
+    seq: u64,
+    addr: u64,
+    bytes: u64,
+    op: Op,
+    /// 1-based attempt currently in flight.
+    attempt: u32,
+    /// Cycle at which the watchdog declares the current attempt dead.
+    /// The deadline heap may hold stale copies; this field is the
+    /// authoritative one.
+    deadline: Cycle,
+}
+
+/// What the response filter decided about one device response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseVerdict {
+    /// First, well-formed response for a live tag: pass it upstream.
+    Deliver,
+    /// The tag was already retired — a duplicate (or a late original
+    /// overtaken by its own retry). Discard silently.
+    Duplicate {
+        /// Sequence tag the duplicate collided with.
+        seq: u64,
+    },
+    /// The address echo-check failed: the response is poisoned and the
+    /// transaction must be reissued (`reissue == true`) unless its
+    /// retry budget just ran out.
+    Poison {
+        /// Sequence tag of the poisoned transaction.
+        seq: u64,
+        /// Address the dispatch actually carried (reissue with this,
+        /// not the corrupt echo).
+        expected_addr: u64,
+        /// Payload bytes of the tracked dispatch.
+        bytes: u64,
+        /// Operation of the tracked dispatch.
+        op: Op,
+        /// New 1-based attempt number when reissuing.
+        attempt: u32,
+        /// Whether the caller should resubmit the request. `false`
+        /// means the budget is exhausted and the transaction is now
+        /// stuck (quiesce follows).
+        reissue: bool,
+    },
+}
+
+/// One watchdog decision, returned to the caller for execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogAction {
+    /// Reissue the transaction to the device.
+    Retry {
+        /// Sequence tag.
+        seq: u64,
+        /// Dispatch id to resubmit under (unchanged, so the eventual
+        /// completion still releases the right MSHR).
+        id: u64,
+        /// Request address.
+        addr: u64,
+        /// Request payload bytes.
+        bytes: u64,
+        /// Request operation.
+        op: Op,
+        /// New 1-based attempt number.
+        attempt: u32,
+    },
+    /// The retry budget is exhausted; the transaction is recorded as
+    /// stuck and the caller must quiesce.
+    Exhausted {
+        /// Sequence tag.
+        seq: u64,
+        /// Dispatch id.
+        id: u64,
+        /// Attempt number that timed out.
+        attempt: u32,
+    },
+}
+
+/// A transaction that exhausted its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckTxn {
+    /// Recovery-layer sequence tag.
+    pub seq: u64,
+    /// Dispatch id it was issued under.
+    pub dispatch_id: u64,
+    /// Request address.
+    pub addr: u64,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+}
+
+/// End-of-run summary of everything the recovery layer did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transactions reissued (watchdog retries + poison reissues).
+    pub retries_issued: u64,
+    /// Duplicate responses discarded.
+    pub duplicates_dropped: u64,
+    /// Responses failing the address echo-check.
+    pub poisoned_responses: u64,
+    /// Watchdog deadline expirations.
+    pub watchdog_fires: u64,
+    /// Highest attempt number any transaction reached (1 = every
+    /// transaction succeeded first try).
+    pub max_attempts: u32,
+    /// Whether the quiesce/drain abort path ran.
+    pub aborted: bool,
+    /// Transactions still outstanding when the report was taken
+    /// (0 after a drained run or a completed abort).
+    pub outstanding: usize,
+    /// Transactions that exhausted their retry budget, in the order
+    /// they gave up.
+    pub stuck: Vec<StuckTxn>,
+}
+
+impl RecoveryReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "recovery: {} retries, {} duplicates dropped, {} poisoned, {} watchdog fires, \
+             max attempt {}, {} stuck{}",
+            self.retries_issued,
+            self.duplicates_dropped,
+            self.poisoned_responses,
+            self.watchdog_fires,
+            self.max_attempts,
+            self.stuck.len(),
+            if self.aborted { " (aborted via quiesce/drain)" } else { "" }
+        )
+    }
+}
+
+/// The recovery state machine. Owned by `SimSystem` when
+/// [`RecoveryConfig::enabled`] is set; absent (zero-cost) otherwise.
+pub struct RecoveryLayer {
+    cfg: RecoveryConfig,
+    next_seq: u64,
+    /// Live transactions, keyed by dispatch id.
+    entries: HashMap<u64, Txn, IdHash>,
+    /// Retired dispatch id → sequence tag. Duplicate and late-original
+    /// responses land here; keeping the mapping makes deduplication
+    /// verdicts name the exact tag they collided with. Grows with the
+    /// number of dispatches, which is fine: recovery-enabled runs are
+    /// conformance-scale, and the published benchmarks run with the
+    /// layer absent entirely.
+    retired: HashMap<u64, u64, IdHash>,
+    /// (deadline, dispatch id), earliest first. Lazily pruned: retired
+    /// or rescheduled transactions leave stale pairs behind, skipped
+    /// when popped.
+    deadlines: BinaryHeap<Reverse<(Cycle, u64)>>,
+    retries_issued: u64,
+    duplicates_dropped: u64,
+    poisoned_responses: u64,
+    watchdog_fires: u64,
+    max_attempts: u32,
+    aborted: bool,
+    stuck: Vec<StuckTxn>,
+}
+
+impl RecoveryLayer {
+    pub fn new(cfg: RecoveryConfig) -> Self {
+        assert!(cfg.enabled, "building a recovery layer from a disabled config");
+        assert!(cfg.watchdog_timeout > 0, "a zero watchdog timeout would expire instantly");
+        assert!(cfg.max_retries > 0, "at least one retry attempt is required");
+        RecoveryLayer {
+            cfg,
+            next_seq: 0,
+            entries: HashMap::default(),
+            retired: HashMap::default(),
+            deadlines: BinaryHeap::new(),
+            retries_issued: 0,
+            duplicates_dropped: 0,
+            poisoned_responses: 0,
+            watchdog_fires: 0,
+            max_attempts: 0,
+            aborted: false,
+            stuck: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &RecoveryConfig {
+        &self.cfg
+    }
+
+    /// Tag and track a freshly dispatched transaction. Returns its
+    /// sequence tag.
+    pub fn note_dispatch(
+        &mut self,
+        dispatch_id: u64,
+        addr: u64,
+        bytes: u64,
+        op: Op,
+        now: Cycle,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let deadline = now + self.cfg.backoff(1);
+        let prev = self.entries.insert(
+            dispatch_id,
+            Txn { seq, addr, bytes, op, attempt: 1, deadline },
+        );
+        debug_assert!(prev.is_none(), "dispatch id {dispatch_id} reused while outstanding");
+        self.max_attempts = self.max_attempts.max(1);
+        self.deadlines.push(Reverse((deadline, dispatch_id)));
+        seq
+    }
+
+    /// Classify one device response. Must run *before* the oracle or
+    /// the coalescer sees it: only [`ResponseVerdict::Deliver`]
+    /// responses may proceed upstream.
+    pub fn filter_response(&mut self, rsp: &HmcResponse, now: Cycle) -> ResponseVerdict {
+        let Some(txn) = self.entries.get(&rsp.id) else {
+            // Tag already retired: a duplicate delivery, or the delayed
+            // original of a transaction a retry already satisfied.
+            self.duplicates_dropped += 1;
+            let seq = self.retired.get(&rsp.id).copied().unwrap_or(rsp.id);
+            return ResponseVerdict::Duplicate { seq };
+        };
+        let echo_ok = rsp.addr == txn.addr && rsp.bytes == txn.bytes && rsp.op == txn.op;
+        if echo_ok {
+            let txn = self.entries.remove(&rsp.id).expect("checked above");
+            self.retired.insert(rsp.id, txn.seq);
+            return ResponseVerdict::Deliver;
+        }
+        // Echo mismatch: poison. Reissue under the same dispatch id with
+        // a fresh deadline, unless the budget just ran out.
+        self.poisoned_responses += 1;
+        let (seq, expected_addr, bytes, op, attempt, reissue);
+        {
+            let txn = self.entries.get_mut(&rsp.id).expect("checked above");
+            seq = txn.seq;
+            expected_addr = txn.addr;
+            bytes = txn.bytes;
+            op = txn.op;
+            if txn.attempt >= self.cfg.max_retries {
+                attempt = txn.attempt;
+                reissue = false;
+            } else {
+                txn.attempt += 1;
+                txn.deadline = now + self.cfg.backoff(txn.attempt);
+                attempt = txn.attempt;
+                reissue = true;
+            }
+        }
+        if reissue {
+            self.retries_issued += 1;
+            self.max_attempts = self.max_attempts.max(attempt);
+            let deadline = self.entries[&rsp.id].deadline;
+            self.deadlines.push(Reverse((deadline, rsp.id)));
+        } else {
+            let txn = self.entries.remove(&rsp.id).expect("checked above");
+            self.stuck.push(StuckTxn {
+                seq: txn.seq,
+                dispatch_id: rsp.id,
+                addr: txn.addr,
+                attempts: txn.attempt,
+            });
+        }
+        ResponseVerdict::Poison { seq, expected_addr, bytes, op, attempt, reissue }
+    }
+
+    /// Pop every deadline that has expired by `now` and append the
+    /// resulting actions. Transactions with remaining budget are
+    /// rescheduled with exponential backoff; the rest are recorded as
+    /// stuck (check [`Self::has_stuck`] afterwards and quiesce).
+    pub fn collect_expired(&mut self, now: Cycle, out: &mut Vec<WatchdogAction>) {
+        while let Some(&Reverse((deadline, id))) = self.deadlines.peek() {
+            if deadline > now {
+                break;
+            }
+            self.deadlines.pop();
+            let Some(txn) = self.entries.get(&id) else {
+                continue; // stale: tag retired after this pair was pushed
+            };
+            if txn.deadline != deadline {
+                continue; // stale: rescheduled after this pair was pushed
+            }
+            self.watchdog_fires += 1;
+            if txn.attempt >= self.cfg.max_retries {
+                let txn = self.entries.remove(&id).expect("checked above");
+                self.stuck.push(StuckTxn {
+                    seq: txn.seq,
+                    dispatch_id: id,
+                    addr: txn.addr,
+                    attempts: txn.attempt,
+                });
+                out.push(WatchdogAction::Exhausted { seq: txn.seq, id, attempt: txn.attempt });
+            } else {
+                let txn = self.entries.get_mut(&id).expect("checked above");
+                txn.attempt += 1;
+                txn.deadline = now + self.cfg.backoff(txn.attempt);
+                let (seq, addr, bytes, op, attempt, new_deadline) =
+                    (txn.seq, txn.addr, txn.bytes, txn.op, txn.attempt, txn.deadline);
+                self.retries_issued += 1;
+                self.max_attempts = self.max_attempts.max(attempt);
+                self.deadlines.push(Reverse((new_deadline, id)));
+                out.push(WatchdogAction::Retry { seq, id, addr, bytes, op, attempt });
+            }
+        }
+    }
+
+    /// Earliest live watchdog deadline, pruning stale heap heads.
+    /// Joins the skip-ahead minimum so jumped clocks never overshoot a
+    /// deadline.
+    pub fn next_deadline(&mut self) -> Option<Cycle> {
+        while let Some(&Reverse((deadline, id))) = self.deadlines.peek() {
+            match self.entries.get(&id) {
+                Some(txn) if txn.deadline == deadline => return Some(deadline),
+                _ => {
+                    self.deadlines.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Transactions still awaiting a delivered response.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True once any transaction has exhausted its budget — the signal
+    /// for the quiesce/drain abort.
+    pub fn has_stuck(&self) -> bool {
+        !self.stuck.is_empty()
+    }
+
+    /// Whether the abort path has run.
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Quiesce: surrender every still-tracked dispatch id so the caller
+    /// can force-complete them (reclaiming MSHRs, streams, and core
+    /// windows), and mark the layer aborted. Ids are returned in
+    /// sequence-tag order for determinism.
+    pub fn drain_for_abort(&mut self) -> Vec<u64> {
+        self.aborted = true;
+        let mut pairs: Vec<(u64, u64)> =
+            self.entries.iter().map(|(&id, txn)| (txn.seq, id)).collect();
+        pairs.sort_unstable();
+        // Stuck transactions already left `entries`, but their MSHRs are
+        // still held downstream — reclaim them too, after the live ones.
+        let mut ids: Vec<u64> = pairs.into_iter().map(|(_, id)| id).collect();
+        ids.extend(self.stuck.iter().map(|s| s.dispatch_id));
+        self.entries.clear();
+        self.deadlines.clear();
+        ids
+    }
+
+    /// Fold the layer's counters into the coalescer's statistics block
+    /// (run once, at end of run).
+    pub fn fold_into(&self, stats: &mut CoalescerStats) {
+        stats.retries_issued = self.retries_issued;
+        stats.duplicate_responses_dropped = self.duplicates_dropped;
+        stats.poisoned_responses = self.poisoned_responses;
+        stats.watchdog_fires = self.watchdog_fires;
+    }
+
+    /// Snapshot the structured end-of-run report.
+    pub fn report(&self) -> RecoveryReport {
+        RecoveryReport {
+            retries_issued: self.retries_issued,
+            duplicates_dropped: self.duplicates_dropped,
+            poisoned_responses: self.poisoned_responses,
+            watchdog_fires: self.watchdog_fires,
+            max_attempts: self.max_attempts,
+            aborted: self.aborted,
+            outstanding: self.entries.len(),
+            stuck: self.stuck.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RecoveryConfig {
+        RecoveryConfig { watchdog_timeout: 100, max_retries: 3, backoff_cap: 400, enabled: true }
+    }
+
+    fn rsp(id: u64, addr: u64, bytes: u64, op: Op) -> HmcResponse {
+        HmcResponse { id, addr, bytes, op, submit_cycle: 0, complete_cycle: 0 }
+    }
+
+    #[test]
+    fn clean_delivery_retires_the_tag() {
+        let mut r = RecoveryLayer::new(cfg());
+        let seq = r.note_dispatch(7, 0x100, 64, Op::Load, 10);
+        assert_eq!(seq, 0);
+        assert_eq!(r.outstanding(), 1);
+        assert_eq!(r.filter_response(&rsp(7, 0x100, 64, Op::Load), 20), ResponseVerdict::Deliver);
+        assert_eq!(r.outstanding(), 0);
+        assert_eq!(r.next_deadline(), None, "delivery must retire the deadline too");
+        let rep = r.report();
+        assert_eq!(rep.retries_issued, 0);
+        assert_eq!(rep.max_attempts, 1);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_after_delivery() {
+        let mut r = RecoveryLayer::new(cfg());
+        r.note_dispatch(7, 0x100, 64, Op::Load, 0);
+        assert_eq!(r.filter_response(&rsp(7, 0x100, 64, Op::Load), 5), ResponseVerdict::Deliver);
+        assert!(matches!(
+            r.filter_response(&rsp(7, 0x100, 64, Op::Load), 6),
+            ResponseVerdict::Duplicate { .. }
+        ));
+        assert_eq!(r.report().duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn watchdog_retries_with_exponential_backoff_then_exhausts() {
+        let mut r = RecoveryLayer::new(cfg());
+        let seq = r.note_dispatch(9, 0x200, 64, Op::Load, 0);
+        let mut acts = Vec::new();
+
+        // Attempt 1 deadline at 100.
+        assert_eq!(r.next_deadline(), Some(100));
+        r.collect_expired(99, &mut acts);
+        assert!(acts.is_empty(), "nothing expires early");
+        r.collect_expired(100, &mut acts);
+        assert_eq!(
+            acts,
+            vec![WatchdogAction::Retry { seq, id: 9, addr: 0x200, bytes: 64, op: Op::Load, attempt: 2 }]
+        );
+        // Attempt 2 backoff doubles: deadline 100 + 200.
+        assert_eq!(r.next_deadline(), Some(300));
+
+        acts.clear();
+        r.collect_expired(300, &mut acts);
+        assert_eq!(acts.len(), 1, "attempt 3 retry");
+        // Attempt 3 backoff capped at 400: deadline 300 + 400.
+        assert_eq!(r.next_deadline(), Some(700));
+
+        acts.clear();
+        r.collect_expired(700, &mut acts);
+        assert_eq!(acts, vec![WatchdogAction::Exhausted { seq, id: 9, attempt: 3 }]);
+        assert!(r.has_stuck());
+        assert_eq!(r.outstanding(), 0, "exhausted transactions leave the tracker");
+        let rep = r.report();
+        assert_eq!(rep.stuck, vec![StuckTxn { seq, dispatch_id: 9, addr: 0x200, attempts: 3 }]);
+        assert_eq!(rep.watchdog_fires, 3);
+        assert_eq!(rep.retries_issued, 2);
+    }
+
+    #[test]
+    fn echo_mismatch_poisons_and_reissues() {
+        let mut r = RecoveryLayer::new(cfg());
+        let seq = r.note_dispatch(4, 0x1000, 128, Op::Load, 0);
+        let v = r.filter_response(&rsp(4, 0x1040, 128, Op::Load), 50);
+        assert_eq!(
+            v,
+            ResponseVerdict::Poison {
+                seq,
+                expected_addr: 0x1000,
+                bytes: 128,
+                op: Op::Load,
+                attempt: 2,
+                reissue: true
+            }
+        );
+        assert_eq!(r.outstanding(), 1, "poisoned transactions stay tracked");
+        // The clean retry response then delivers normally.
+        assert_eq!(
+            r.filter_response(&rsp(4, 0x1000, 128, Op::Load), 90),
+            ResponseVerdict::Deliver
+        );
+        let rep = r.report();
+        assert_eq!(rep.poisoned_responses, 1);
+        assert_eq!(rep.retries_issued, 1);
+    }
+
+    #[test]
+    fn poison_past_budget_refuses_reissue_and_records_stuck() {
+        let mut r = RecoveryLayer::new(RecoveryConfig { max_retries: 1, ..cfg() });
+        let seq = r.note_dispatch(4, 0x1000, 64, Op::Store, 0);
+        let v = r.filter_response(&rsp(4, 0x1040, 64, Op::Store), 50);
+        assert_eq!(
+            v,
+            ResponseVerdict::Poison {
+                seq,
+                expected_addr: 0x1000,
+                bytes: 64,
+                op: Op::Store,
+                attempt: 1,
+                reissue: false
+            }
+        );
+        assert!(r.has_stuck());
+        assert_eq!(r.outstanding(), 0);
+    }
+
+    #[test]
+    fn drain_for_abort_returns_live_then_stuck_ids() {
+        let mut r = RecoveryLayer::new(RecoveryConfig { max_retries: 1, ..cfg() });
+        r.note_dispatch(11, 0x100, 64, Op::Load, 0);
+        r.note_dispatch(22, 0x200, 64, Op::Load, 0);
+        let mut acts = Vec::new();
+        r.collect_expired(100, &mut acts); // both exhaust (budget 1)
+        r.note_dispatch(33, 0x300, 64, Op::Load, 50);
+        let ids = r.drain_for_abort();
+        assert_eq!(ids, vec![33, 11, 22], "live ids first (seq order), then stuck");
+        assert!(r.aborted());
+        assert_eq!(r.outstanding(), 0);
+        assert_eq!(r.next_deadline(), None);
+    }
+
+    #[test]
+    fn stale_deadlines_are_pruned_not_fired() {
+        let mut r = RecoveryLayer::new(cfg());
+        r.note_dispatch(5, 0x100, 64, Op::Load, 0);
+        r.note_dispatch(6, 0x140, 64, Op::Load, 0);
+        // Deliver id 5 before its deadline: its heap pair goes stale.
+        assert_eq!(r.filter_response(&rsp(5, 0x100, 64, Op::Load), 10), ResponseVerdict::Deliver);
+        let mut acts = Vec::new();
+        r.collect_expired(100, &mut acts);
+        assert_eq!(acts.len(), 1, "only the still-live transaction fires");
+        assert!(matches!(acts[0], WatchdogAction::Retry { id: 6, .. }));
+        assert_eq!(r.report().watchdog_fires, 1);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::core::{CoreState, PendingPush};
 use crate::metrics::RunMetrics;
+use crate::recovery::{RecoveryLayer, RecoveryReport, ResponseVerdict, WatchdogAction};
 use cache_sim::{CacheHierarchy, HierarchyOutcome};
 use hmc_sim::{Hmc, HmcRequest, HmcResponse};
 use pac_core::baseline::{MshrDmc, NoCoalescing};
@@ -9,7 +10,10 @@ use pac_core::{DispatchedRequest, MemoryCoalescer, PacCoalescer};
 use pac_oracle::{LockstepChecker, OracleConfig, OracleReport};
 use pac_trace::{CounterKind, DumpTrigger, EventKind, TraceHandle};
 use pac_types::addr::{line_base, CACHE_LINE_BYTES, PAGE_BYTES};
-use pac_types::{Cycle, EventClass, FaultPlan, MemRequest, Op, RequestKind, SimConfig, TraceConfig};
+use pac_types::{
+    Cycle, EventClass, FaultPlan, FaultPlanError, MemRequest, Op, RecoveryConfig, RequestKind,
+    SimConfig, TraceConfig,
+};
 use pac_workloads::multiproc::CoreSpec;
 use std::collections::{HashMap, VecDeque};
 
@@ -176,6 +180,13 @@ pub struct SimSystem {
     /// admission, dispatch, response, and completion and accumulates
     /// divergences from the functional model instead of panicking.
     oracle: Option<LockstepChecker>,
+    /// Transaction-recovery layer at the DMC boundary, when enabled:
+    /// sequence-tags every dispatch, deduplicates and echo-checks every
+    /// response, and reissues dropped or late transactions under a
+    /// bounded-retry watchdog. `None` (the default) costs one branch on
+    /// the dispatch and response paths — clean-run cycle counts are
+    /// bit-identical with the layer absent.
+    recovery: Option<RecoveryLayer>,
     /// Captured raw miss trace.
     trace: Option<Vec<TraceEntry>>,
     trace_cap: usize,
@@ -193,6 +204,7 @@ pub struct SimSystem {
     responses: Vec<HmcResponse>,
     satisfied: Vec<u64>,
     blocked_scratch: Vec<MemRequest>,
+    recovery_actions: Vec<WatchdogAction>,
     /// Exact set of cores eligible to issue at the cycle the last
     /// `skip_to_next_event` landed on (bit `i` = core `i`), or `None`
     /// when the jump was not taken and `tick` must scan. The skip pass
@@ -249,6 +261,7 @@ impl SimSystem {
             prefetches_issued: 0,
             mmu: None,
             oracle: None,
+            recovery: None,
             trace: capture_trace.then(Vec::new),
             trace_cap: 1 << 20,
             tracer: TraceHandle::disabled(),
@@ -259,6 +272,7 @@ impl SimSystem {
             responses: Vec::new(),
             satisfied: Vec::new(),
             blocked_scratch: Vec::new(),
+            recovery_actions: Vec::new(),
             core_mask: None,
             cfg,
         }
@@ -295,9 +309,26 @@ impl SimSystem {
     }
 
     /// Arm deterministic fault injection on the memory device's
-    /// response path.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.hmc.set_fault_plan(plan);
+    /// response path. The plan is validated first; a plan that could
+    /// never fire (zero fault budget) is rejected at arm time.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
+        self.hmc.set_fault_plan(plan)
+    }
+
+    /// Arm (or leave disabled) the transaction-recovery layer. With
+    /// `cfg.enabled == false` this is a no-op and the layer stays
+    /// absent, preserving bit-identical clean-path cycle counts. Call
+    /// before [`Self::run`]/[`Self::run_until`].
+    pub fn set_recovery_config(&mut self, cfg: RecoveryConfig) {
+        self.recovery = cfg.enabled.then(|| RecoveryLayer::new(cfg));
+    }
+
+    /// The recovery layer's structured end-of-run report, when the
+    /// layer is enabled. `report.aborted` marks runs terminated by the
+    /// quiesce/drain path after retry exhaustion; `report.stuck` names
+    /// the sequence tags that gave up.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery.as_ref().map(|r| r.report())
     }
 
     /// Enable structured-event tracing. One tracer is shared by the
@@ -689,6 +720,11 @@ impl SimSystem {
             if let Some(o) = &mut self.oracle {
                 o.note_dispatch(&d, now);
             }
+            if let Some(rec) = &mut self.recovery {
+                // Sequence-tag the transaction; the watchdog now owns it
+                // until exactly one clean response is delivered.
+                rec.note_dispatch(d.dispatch_id, d.addr, d.bytes, d.op, now);
+            }
             self.hmc.submit(
                 HmcRequest { id: d.dispatch_id, addr: d.addr, bytes: d.bytes, op: d.op },
                 now,
@@ -700,6 +736,45 @@ impl SimSystem {
         self.hmc.tick(now);
         self.hmc.pop_responses(now, &mut self.responses);
         for rsp in self.responses.drain(..) {
+            // The recovery layer screens every response before the
+            // oracle or the coalescer can see it: duplicates and
+            // poisoned echoes must vanish here for the oracle to stay
+            // silent on repaired runs.
+            if let Some(rec) = &mut self.recovery {
+                match rec.filter_response(&rsp, now) {
+                    ResponseVerdict::Deliver => {}
+                    ResponseVerdict::Duplicate { seq } => {
+                        self.tracer.emit(now, EventClass::Diagnostic, || {
+                            EventKind::DuplicateDropped { seq, id: rsp.id }
+                        });
+                        continue;
+                    }
+                    ResponseVerdict::Poison { seq, expected_addr, bytes, op, attempt, reissue } => {
+                        self.tracer.emit(now, EventClass::Diagnostic, || {
+                            EventKind::PoisonDetected {
+                                seq,
+                                id: rsp.id,
+                                echoed_addr: rsp.addr,
+                                expected_addr,
+                            }
+                        });
+                        if reissue {
+                            self.tracer.emit(now, EventClass::Diagnostic, || {
+                                EventKind::RetryIssued { seq, id: rsp.id, attempt }
+                            });
+                            // Same dispatch id: the clean response must
+                            // still release the original MSHR. The
+                            // oracle already saw this dispatch once, so
+                            // it is not re-noted.
+                            self.hmc.submit(
+                                HmcRequest { id: rsp.id, addr: expected_addr, bytes, op },
+                                now,
+                            );
+                        }
+                        continue;
+                    }
+                }
+            }
             self.satisfied.clear();
             if let Some(o) = &mut self.oracle {
                 o.note_response(rsp.id, rsp.addr, rsp.bytes, rsp.op, now);
@@ -729,6 +804,39 @@ impl SimSystem {
                     }
                 }
             }
+        }
+
+        // Watchdog pass: responses that arrived this cycle are already
+        // processed above, so only genuinely unanswered transactions
+        // can expire here. Retries resubmit under the original dispatch
+        // id (the oracle saw that dispatch once; it is not re-noted).
+        if let Some(rec) = &mut self.recovery {
+            self.recovery_actions.clear();
+            rec.collect_expired(now, &mut self.recovery_actions);
+            for act in self.recovery_actions.drain(..) {
+                match act {
+                    WatchdogAction::Retry { seq, id, addr, bytes, op, attempt } => {
+                        self.tracer.emit(now, EventClass::Diagnostic, || {
+                            EventKind::WatchdogFired { seq, id, attempt: attempt - 1 }
+                        });
+                        self.tracer
+                            .trigger_dump(now, DumpTrigger::Watchdog { seq, id, attempt: attempt - 1 });
+                        self.tracer.emit(now, EventClass::Diagnostic, || {
+                            EventKind::RetryIssued { seq, id, attempt }
+                        });
+                        self.hmc.submit(HmcRequest { id, addr, bytes, op }, now);
+                    }
+                    WatchdogAction::Exhausted { seq, id, attempt } => {
+                        self.tracer.emit(now, EventClass::Diagnostic, || {
+                            EventKind::WatchdogFired { seq, id, attempt }
+                        });
+                        self.tracer.trigger_dump(now, DumpTrigger::Watchdog { seq, id, attempt });
+                    }
+                }
+            }
+        }
+        if self.recovery.as_ref().is_some_and(|r| r.has_stuck() && !r.aborted()) {
+            self.quiesce_abort(now);
         }
 
         // Structural invariants are polled continuously, not just at the
@@ -776,11 +884,54 @@ impl SimSystem {
         }
     }
 
+    /// Quiesce/drain abort: retries are exhausted, so the run cannot
+    /// complete correctly — but it must not wedge either. Every
+    /// still-tracked transaction (live and stuck) is force-completed
+    /// through the coalescer, reclaiming its MSHR/stream and releasing
+    /// the owning core's outstanding window, prefetch slot, or LLC fill
+    /// reservation. The oracle is deliberately *not* fed these forced
+    /// completions: the data loss is real and its conservation
+    /// invariants should say so. The run loop then terminates with
+    /// `converged == false` and a [`RecoveryReport`] naming the stuck
+    /// sequence tags.
+    fn quiesce_abort(&mut self, now: Cycle) {
+        let ids = self.recovery.as_mut().expect("quiesce without recovery layer").drain_for_abort();
+        for id in ids {
+            self.satisfied.clear();
+            self.coalescer.complete(id, now, &mut self.satisfied);
+            for raw in self.satisfied.drain(..) {
+                if let Some(meta) = self.raw_meta.remove(&raw) {
+                    if meta.is_fill {
+                        self.hierarchy.fill_complete(meta.line);
+                    }
+                    match meta.owner {
+                        Owner::Core(core) => {
+                            let core = &mut self.cores[core as usize];
+                            debug_assert!(core.outstanding > 0);
+                            core.outstanding -= 1;
+                        }
+                        Owner::Prefetch => {
+                            debug_assert!(self.prefetch_outstanding > 0);
+                            self.prefetch_outstanding -= 1;
+                        }
+                        Owner::WriteBack => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the recovery layer ran its quiesce/drain abort.
+    fn recovery_aborted(&self) -> bool {
+        self.recovery.as_ref().is_some_and(|r| r.aborted())
+    }
+
     fn all_done(&self) -> bool {
         self.cores.iter().all(|c| c.finished())
             && self.side_queue.is_empty()
             && self.coalescer.is_drained()
             && self.hmc.is_idle()
+            && self.recovery.as_ref().is_none_or(|r| r.outstanding() == 0)
     }
 
     /// Jump the clock from `self.now` to the earliest cycle at which
@@ -864,6 +1015,15 @@ impl SimSystem {
             }
             best = best.min(c);
         }
+        // Watchdog deadlines are real events: a jump past one would
+        // fire the retry late and (on delay-class runs) let the oracle's
+        // latency bound trip before the repair lands.
+        if let Some(c) = self.recovery.as_mut().and_then(|r| r.next_deadline()) {
+            if c <= now {
+                return;
+            }
+            best = best.min(c);
+        }
         if best == u64::MAX {
             // Quiescent with the clock pinned: if work remains in
             // flight the run loop's convergence assert trips rather
@@ -902,6 +1062,12 @@ impl SimSystem {
         let mut flushed = false;
         while !self.all_done() {
             self.tick();
+            if self.recovery_aborted() {
+                // Quiesce/drain ran: structures are reclaimed and the
+                // run is over. Metrics are still collected — the
+                // RecoveryReport carries the verdict.
+                break;
+            }
             if !flushed && self.cores.iter().all(|c| c.remaining == 0) {
                 // End of the instruction streams: flush stragglers out
                 // of stage 1 so the drain terminates promptly.
@@ -915,12 +1081,23 @@ impl SimSystem {
             }
             assert!(self.now < limit, "simulation failed to converge by cycle {}", self.now);
         }
+        self.finalize_run();
+        RunMetrics::collect(self)
+    }
+
+    /// End-of-run bookkeeping shared by [`Self::run`] and
+    /// [`Self::run_until`]: settle component statistics, fold the
+    /// recovery counters into the coalescer's record, finalize the
+    /// oracle's conservation invariants.
+    fn finalize_run(&mut self) {
         self.hmc.finalize_stats();
         self.coalescer.finalize_stats();
+        if let Some(rec) = &self.recovery {
+            rec.fold_into(self.coalescer.stats_mut());
+        }
         if let Some(o) = &mut self.oracle {
             o.finalize(self.now);
         }
-        RunMetrics::collect(self)
     }
 
     /// Like [`Self::run`], but bounded: gives up (without panicking)
@@ -941,6 +1118,13 @@ impl SimSystem {
                 break;
             }
             self.tick();
+            if self.recovery_aborted() {
+                // Retry exhaustion tripped the quiesce/drain path: the
+                // run terminates promptly (and structurally clean)
+                // instead of spinning to the cycle limit.
+                converged = false;
+                break;
+            }
             if !flushed && self.cores.iter().all(|c| c.remaining == 0) {
                 self.coalescer.flush(self.now);
                 flushed = true;
@@ -949,11 +1133,7 @@ impl SimSystem {
                 self.skip_to_next_event();
             }
         }
-        self.hmc.finalize_stats();
-        self.coalescer.finalize_stats();
-        if let Some(o) = &mut self.oracle {
-            o.finalize(self.now);
-        }
+        self.finalize_run();
         converged
     }
 
@@ -1010,31 +1190,42 @@ pub struct LockstepOutcome {
     pub converged: bool,
     /// Faults the device injected (0 on clean runs).
     pub faults_injected: u64,
+    /// The recovery layer's report, when one was armed.
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// Run one benchmark under the lockstep golden-model oracle, optionally
-/// with deterministic fault injection on the response path. This is the
-/// conformance suite's entry point: a clean plan must come back with
-/// `oracle.is_clean()`, an armed plan with the matching invariant fired.
+/// with deterministic fault injection on the response path and/or the
+/// transaction-recovery layer. This is the conformance suite's entry
+/// point: a clean plan must come back with `oracle.is_clean()`, an
+/// armed plan with the matching invariant fired — and an armed plan
+/// *plus* recovery with the oracle silent again, the damage repaired
+/// before it could observe it.
+#[allow(clippy::too_many_arguments)] // flat knob list mirrors the conformance matrix axes
 pub fn run_lockstep(
     cfg: SimConfig,
     specs: Vec<CoreSpec>,
     kind: CoalescerKind,
     accesses_per_core: u64,
     fault: Option<FaultPlan>,
+    recovery: Option<RecoveryConfig>,
     oracle_cfg: Option<OracleConfig>,
     cycle_limit: Cycle,
 ) -> LockstepOutcome {
     let mut sys = SimSystem::new(cfg, specs, kind);
     sys.attach_oracle_with(oracle_cfg.unwrap_or_else(|| OracleConfig::for_sim(sys.config())));
     if let Some(plan) = fault {
-        sys.set_fault_plan(plan);
+        sys.set_fault_plan(plan).expect("valid fault plan");
+    }
+    if let Some(rc) = recovery {
+        sys.set_recovery_config(rc);
     }
     let converged = sys.run_until(accesses_per_core, cycle_limit);
     LockstepOutcome {
         oracle: sys.oracle_report().expect("oracle attached"),
         converged,
         faults_injected: sys.faults_injected(),
+        recovery: sys.recovery_report(),
     }
 }
 
@@ -1149,6 +1340,7 @@ mod tests {
             1500,
             Some(FaultPlan::new(FaultClass::DropResponse, 99)),
             None,
+            None,
             2_000_000,
         );
         assert!(out.faults_injected > 0);
@@ -1214,7 +1406,8 @@ mod tests {
             rate_per_1024: 1024,
             max_faults: 1,
             ..FaultPlan::new(FaultClass::CorruptAddr, 13)
-        });
+        })
+        .expect("valid fault plan");
         sys.run_until(1500, 2_000_000);
         assert!(sys.faults_injected() > 0);
         let dumps = sys.tracer().snapshot_dumps();

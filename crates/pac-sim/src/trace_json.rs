@@ -6,10 +6,44 @@
 //! hand-rolled so the workspace carries no external serialization
 //! dependency. The parser accepts arbitrary key order and whitespace,
 //! so traces produced by external tools still load.
+//!
+//! Malformed input never panics: every failure surfaces as a
+//! [`TraceJsonError`] naming the offending line and column, so a
+//! hand-edited or truncated trace file reports *where* it broke.
 
 use crate::system::TraceEntry;
 use pac_types::{Op, RequestKind};
+use std::fmt;
 use std::fmt::Write as _;
+
+/// A parse failure, located in the source text.
+///
+/// `line` and `column` are 1-based and computed from the byte offset at
+/// error-construction time, so the cost is paid only on the failure
+/// path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceJsonError {
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column (byte within the line) of the offending byte.
+    pub column: usize,
+    /// Absolute byte offset of the error.
+    pub byte: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for TraceJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace json error at line {}, column {} (byte {}): {}",
+            self.line, self.column, self.byte, self.msg
+        )
+    }
+}
+
+impl std::error::Error for TraceJsonError {}
 
 /// Serialize a trace to the JSON interchange format.
 pub fn to_json(trace: &[TraceEntry]) -> String {
@@ -40,7 +74,7 @@ pub fn to_json(trace: &[TraceEntry]) -> String {
 }
 
 /// Parse a trace from the JSON interchange format.
-pub fn from_json(text: &str) -> Result<Vec<TraceEntry>, String> {
+pub fn from_json(text: &str) -> Result<Vec<TraceEntry>, TraceJsonError> {
     Parser { bytes: text.as_bytes(), pos: 0 }.parse_trace()
 }
 
@@ -50,7 +84,7 @@ struct Parser<'a> {
 }
 
 impl Parser<'_> {
-    fn parse_trace(&mut self) -> Result<Vec<TraceEntry>, String> {
+    fn parse_trace(&mut self) -> Result<Vec<TraceEntry>, TraceJsonError> {
         self.expect(b'[')?;
         let mut out = Vec::new();
         self.skip_ws();
@@ -78,7 +112,7 @@ impl Parser<'_> {
         Ok(out)
     }
 
-    fn parse_entry(&mut self) -> Result<TraceEntry, String> {
+    fn parse_entry(&mut self) -> Result<TraceEntry, TraceJsonError> {
         self.expect(b'{')?;
         let (mut cycle, mut addr, mut data_bytes, mut core) = (None, None, None, None);
         let (mut op, mut kind) = (None, None);
@@ -123,7 +157,7 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_string(&mut self) -> Result<String, String> {
+    fn parse_string(&mut self) -> Result<String, TraceJsonError> {
         self.expect(b'"')?;
         let start = self.pos;
         while let Some(&b) = self.bytes.get(self.pos) {
@@ -142,19 +176,26 @@ impl Parser<'_> {
         Err(self.err("unterminated string"))
     }
 
-    fn parse_u64(&mut self) -> Result<u64, String> {
+    fn parse_u64(&mut self) -> Result<u64, TraceJsonError> {
         self.skip_ws();
         let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+        // Accumulate digits directly — no intermediate UTF-8 round-trip,
+        // and overflow is a located error rather than a panic.
+        let mut value: u64 = 0;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if !b.is_ascii_digit() {
+                break;
+            }
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(b - b'0')))
+                .ok_or_else(|| self.err("number out of range for u64"))?;
             self.pos += 1;
         }
         if start == self.pos {
             return Err(self.err("expected a number"));
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .unwrap()
-            .parse()
-            .map_err(|_| self.err("number out of range"))
+        Ok(value)
     }
 
     fn skip_ws(&mut self) {
@@ -173,7 +214,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), TraceJsonError> {
         if self.eat(b) {
             Ok(())
         } else {
@@ -181,8 +222,14 @@ impl Parser<'_> {
         }
     }
 
-    fn err(&self, msg: &str) -> String {
-        format!("trace json error at byte {}: {msg}", self.pos)
+    fn err(&self, msg: &str) -> TraceJsonError {
+        // Locate the offset in (line, column) terms only now, on the
+        // cold path; the hot parse loop never tracks line state.
+        let upto = self.pos.min(self.bytes.len());
+        let line = 1 + self.bytes[..upto].iter().filter(|&&b| b == b'\n').count();
+        let line_start =
+            self.bytes[..upto].iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        TraceJsonError { line, column: upto - line_start + 1, byte: self.pos, msg: msg.to_owned() }
     }
 }
 
@@ -214,15 +261,15 @@ mod tests {
     #[test]
     fn round_trips() {
         let t = sample();
-        assert_eq!(from_json(&to_json(&t)).unwrap(), t);
-        assert_eq!(from_json("[]").unwrap(), vec![]);
+        assert_eq!(from_json(&to_json(&t)).expect("round trip"), t);
+        assert_eq!(from_json("[]").expect("empty trace"), vec![]);
     }
 
     #[test]
     fn accepts_whitespace_and_key_order() {
         let text = r#" [ { "op" : "Load" , "core" : 1 ,
             "addr" : 256 , "kind" : "Atomic" , "data_bytes" : 4 , "cycle" : 9 } ] "#;
-        let t = from_json(text).unwrap();
+        let t = from_json(text).expect("reordered keys parse");
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].addr, 256);
         assert_eq!(t[0].kind, RequestKind::Atomic);
@@ -234,5 +281,26 @@ mod tests {
         assert!(from_json("[{}]").is_err());
         assert!(from_json("[{\"cycle\":1}]").is_err());
         assert!(from_json("[] trailing").is_err());
+    }
+
+    #[test]
+    fn errors_name_the_offending_line_and_column() {
+        // The bad token sits on line 3.
+        let text = "[\n  {\"cycle\":1,\"addr\":2,\"op\":\"Load\",\"kind\":\"Miss\",\"data_bytes\":4,\"core\":0},\n  {\"cycle\":oops}\n]";
+        let err = from_json(text).expect_err("malformed number");
+        assert_eq!(err.line, 3, "{err}");
+        assert!(err.msg.contains("expected a number"), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+        // Column points at the bad token, not the line start.
+        assert!(err.column > 1, "{err}");
+    }
+
+    #[test]
+    fn oversized_numbers_are_located_errors_not_panics() {
+        let text = "[{\"cycle\":99999999999999999999999999,\"addr\":2,\"op\":\"Load\",\
+                    \"kind\":\"Miss\",\"data_bytes\":4,\"core\":0}]";
+        let err = from_json(text).expect_err("overflowing u64");
+        assert!(err.msg.contains("out of range"), "{err}");
+        assert_eq!(err.line, 1);
     }
 }

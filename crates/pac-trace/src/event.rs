@@ -195,6 +195,44 @@ pub enum EventKind {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// The recovery watchdog found a transaction past its deadline.
+    WatchdogFired {
+        /// Recovery-layer sequence tag of the transaction.
+        seq: u64,
+        /// Device-side request id (the dispatch id).
+        id: u64,
+        /// 1-based attempt number that just timed out.
+        attempt: u32,
+    },
+    /// The recovery layer reissued a transaction to the device.
+    RetryIssued {
+        /// Recovery-layer sequence tag of the transaction.
+        seq: u64,
+        /// Device-side request id (the dispatch id).
+        id: u64,
+        /// 1-based attempt number of the reissue.
+        attempt: u32,
+    },
+    /// The recovery layer dropped a duplicate response (its sequence tag
+    /// was already retired by an earlier delivery).
+    DuplicateDropped {
+        /// Recovery-layer sequence tag of the retired transaction.
+        seq: u64,
+        /// Device-side request id of the duplicate response.
+        id: u64,
+    },
+    /// The recovery layer's address echo-check failed: the response was
+    /// poisoned and the transaction reissued.
+    PoisonDetected {
+        /// Recovery-layer sequence tag of the transaction.
+        seq: u64,
+        /// Device-side request id.
+        id: u64,
+        /// Address the response echoed.
+        echoed_addr: u64,
+        /// Address the dispatch actually carried.
+        expected_addr: u64,
+    },
 }
 
 impl EventKind {
@@ -219,9 +257,12 @@ impl EventKind {
             EventKind::HmcSubmit { .. }
             | EventKind::VaultService { .. }
             | EventKind::HmcResponse { .. } => EventClass::Hmc,
-            EventKind::FaultInjected { .. } | EventKind::OracleViolation { .. } => {
-                EventClass::Diagnostic
-            }
+            EventKind::FaultInjected { .. }
+            | EventKind::OracleViolation { .. }
+            | EventKind::WatchdogFired { .. }
+            | EventKind::RetryIssued { .. }
+            | EventKind::DuplicateDropped { .. }
+            | EventKind::PoisonDetected { .. } => EventClass::Diagnostic,
         }
     }
 
@@ -249,6 +290,10 @@ impl EventKind {
             EventKind::HmcResponse { .. } => "hmc_response",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::OracleViolation { .. } => "oracle_violation",
+            EventKind::WatchdogFired { .. } => "watchdog_fired",
+            EventKind::RetryIssued { .. } => "retry_issued",
+            EventKind::DuplicateDropped { .. } => "duplicate_dropped",
+            EventKind::PoisonDetected { .. } => "poison_detected",
         }
     }
 
@@ -263,7 +308,11 @@ impl EventKind {
             EventKind::HmcSubmit { id, .. }
             | EventKind::VaultService { id, .. }
             | EventKind::HmcResponse { id, .. }
-            | EventKind::FaultInjected { id, .. } => Some(id),
+            | EventKind::FaultInjected { id, .. }
+            | EventKind::WatchdogFired { id, .. }
+            | EventKind::RetryIssued { id, .. }
+            | EventKind::DuplicateDropped { id, .. }
+            | EventKind::PoisonDetected { id, .. } => Some(id),
             _ => None,
         }
     }
@@ -312,5 +361,21 @@ mod tests {
             Some(7)
         );
         assert_eq!(EventKind::MaqPush { depth: 1 }.request_id(), None);
+        assert_eq!(EventKind::WatchdogFired { seq: 3, id: 7, attempt: 1 }.request_id(), Some(7));
+        assert_eq!(EventKind::DuplicateDropped { seq: 3, id: 7 }.request_id(), Some(7));
+    }
+
+    #[test]
+    fn recovery_events_are_diagnostic() {
+        let samples = [
+            EventKind::WatchdogFired { seq: 0, id: 1, attempt: 1 },
+            EventKind::RetryIssued { seq: 0, id: 1, attempt: 2 },
+            EventKind::DuplicateDropped { seq: 0, id: 1 },
+            EventKind::PoisonDetected { seq: 0, id: 1, echoed_addr: 0x40, expected_addr: 0x0 },
+        ];
+        for kind in samples {
+            assert_eq!(kind.class(), EventClass::Diagnostic);
+            assert!(!kind.name().is_empty());
+        }
     }
 }

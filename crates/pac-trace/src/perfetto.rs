@@ -176,6 +176,26 @@ fn place(ev: &TraceEvent) -> Emitted {
             escape_into(&mut e.args, detail);
             e.args.push('"');
         }
+        EventKind::WatchdogFired { seq, id, attempt } => {
+            e.tid = TID_DISPATCH;
+            let _ = write!(e.args, "\"seq\":{},\"id\":{},\"attempt\":{}", seq, id, attempt);
+        }
+        EventKind::RetryIssued { seq, id, attempt } => {
+            e.tid = TID_DISPATCH;
+            let _ = write!(e.args, "\"seq\":{},\"id\":{},\"attempt\":{}", seq, id, attempt);
+        }
+        EventKind::DuplicateDropped { seq, id } => {
+            e.tid = TID_DISPATCH;
+            let _ = write!(e.args, "\"seq\":{},\"id\":{}", seq, id);
+        }
+        EventKind::PoisonDetected { seq, id, echoed_addr, expected_addr } => {
+            e.tid = TID_DISPATCH;
+            let _ = write!(
+                e.args,
+                "\"seq\":{},\"id\":{},\"echoed\":{},\"expected\":{}",
+                seq, id, echoed_addr, expected_addr
+            );
+        }
     }
     e
 }

@@ -74,6 +74,15 @@ pub enum DumpTrigger {
         /// Human-readable description.
         detail: String,
     },
+    /// The recovery watchdog fired on a transaction past its deadline.
+    Watchdog {
+        /// Recovery-layer sequence tag of the late transaction.
+        seq: u64,
+        /// Device-side request id it was dispatched under.
+        id: u64,
+        /// 1-based attempt number that timed out.
+        attempt: u32,
+    },
 }
 
 impl DumpTrigger {
@@ -84,6 +93,9 @@ impl DumpTrigger {
                 format!("fault {} on request id {}", class.label(), id)
             }
             DumpTrigger::OracleViolation { detail } => format!("oracle violation: {}", detail),
+            DumpTrigger::Watchdog { seq, id, attempt } => {
+                format!("watchdog fired on seq {} (request id {}, attempt {})", seq, id, attempt)
+            }
         }
     }
 }

@@ -11,6 +11,7 @@
 //! RNG, no wall clock.
 
 use crate::Cycle;
+use std::fmt;
 
 /// The classes of response-path corruption the device model can inject.
 ///
@@ -61,20 +62,66 @@ pub struct FaultPlan {
     pub class: FaultClass,
     /// Seed mixed into every injection decision.
     pub seed: u64,
-    /// Injection probability numerator, out of 1024 responses.
+    /// Injection probability numerator, out of 1024 responses. Values
+    /// above 1024 are clamped by [`FaultPlan::validate`].
     pub rate_per_1024: u32,
     /// Extra latency added by [`FaultClass::DelayResponse`].
     pub delay_cycles: Cycle,
-    /// Stop injecting after this many faults (0 = unlimited). Keeps
-    /// drop-style runs bounded so the rest of the workload still drains.
+    /// Stop injecting after this many faults. Must be at least 1 — a
+    /// zero budget would arm the injector without ever firing it, which
+    /// historically masked misconfigured conformance runs; use
+    /// [`u64::MAX`] for an unbounded budget. Enforced by
+    /// [`FaultPlan::validate`].
     pub max_faults: u64,
 }
+
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// `max_faults == 0`: the plan would arm the injector with an empty
+    /// budget and silently inject nothing. Use at least 1, or
+    /// [`u64::MAX`] for an unbounded budget.
+    ZeroFaultBudget,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::ZeroFaultBudget => write!(
+                f,
+                "fault plan rejected: max_faults == 0 would inject nothing \
+                 (use at least 1, or u64::MAX for an unbounded budget)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 impl FaultPlan {
     /// A plan with the defaults the conformance suite uses: roughly one
     /// injection per 32 responses, capped at 4 faults, 5M-cycle delays.
     pub fn new(class: FaultClass, seed: u64) -> Self {
         FaultPlan { class, seed, rate_per_1024: 32, delay_cycles: 5_000_000, max_faults: 4 }
+    }
+
+    /// Check the plan's fields, normalising what can be normalised.
+    ///
+    /// * `rate_per_1024 > 1024` is clamped to 1024 (the probability is
+    ///   a numerator over 1024; anything above is "always").
+    /// * `max_faults == 0` is rejected with
+    ///   [`FaultPlanError::ZeroFaultBudget`] — an empty budget means the
+    ///   injector can never fire, which is always a configuration bug.
+    ///
+    /// Every injection boundary (`Hmc::set_fault_plan`,
+    /// `SimSystem::set_fault_plan`) routes through this, so an invalid
+    /// plan is reported at arm time rather than silently doing nothing.
+    pub fn validate(mut self) -> Result<Self, FaultPlanError> {
+        if self.max_faults == 0 {
+            return Err(FaultPlanError::ZeroFaultBudget);
+        }
+        self.rate_per_1024 = self.rate_per_1024.min(1024);
+        Ok(self)
     }
 
     /// Pure injection decision for one response id. Uses a splitmix64
@@ -118,5 +165,29 @@ mod tests {
     fn zero_rate_never_injects() {
         let plan = FaultPlan { rate_per_1024: 0, ..FaultPlan::new(FaultClass::CorruptAddr, 3) };
         assert!((0..8192).all(|id| !plan.should_inject(id)));
+    }
+
+    #[test]
+    fn validate_clamps_overlarge_rate() {
+        let plan = FaultPlan { rate_per_1024: 9000, ..FaultPlan::new(FaultClass::DropResponse, 5) };
+        let plan = plan.validate().expect("rate is clamped, not rejected");
+        assert_eq!(plan.rate_per_1024, 1024);
+        assert!((0..64).all(|id| plan.should_inject(id)), "clamped rate must mean always");
+    }
+
+    #[test]
+    fn validate_rejects_zero_fault_budget() {
+        let plan = FaultPlan { max_faults: 0, ..FaultPlan::new(FaultClass::DelayResponse, 5) };
+        let err = plan.validate().expect_err("zero budget must be rejected");
+        assert_eq!(err, FaultPlanError::ZeroFaultBudget);
+        assert!(err.to_string().contains("max_faults"), "error must be self-describing: {err}");
+    }
+
+    #[test]
+    fn validate_passes_through_a_well_formed_plan() {
+        let plan = FaultPlan::new(FaultClass::CorruptAddr, 11);
+        assert_eq!(plan.validate(), Ok(plan));
+        let unbounded = FaultPlan { max_faults: u64::MAX, ..plan };
+        assert_eq!(unbounded.validate(), Ok(unbounded));
     }
 }

@@ -13,14 +13,16 @@ pub mod config;
 pub mod fault;
 pub mod hash;
 pub mod protocol;
+pub mod recovery;
 pub mod request;
 pub mod trace;
 
 pub use addr::{Addr, BlockId, PageNumber, CACHE_LINE_BYTES, PAGE_BYTES};
 pub use config::{CacheConfig, CoalescerConfig, HmcDeviceConfig, SimConfig};
-pub use fault::{FaultClass, FaultPlan};
+pub use fault::{FaultClass, FaultPlan, FaultPlanError};
 pub use hash::{IdHash, IdHasher};
 pub use protocol::MemoryProtocol;
+pub use recovery::RecoveryConfig;
 pub use request::{CoalescedRequest, MemRequest, Op, RequestKind};
 pub use trace::{EventClass, EventClassSet, TraceConfig, TraceMode};
 

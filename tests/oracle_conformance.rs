@@ -27,6 +27,7 @@ fn oracle_is_silent_on_clean_runs() {
                 ACCESSES,
                 None,
                 None,
+                None,
                 LIMIT,
             );
             assert!(out.converged, "{bench:?}/{kind:?} did not converge");
@@ -67,6 +68,7 @@ fn every_fault_class_is_caught_through_the_facade() {
             CoalescerKind::Pac,
             ACCESSES,
             Some(plan),
+            None,
             Some(oracle_cfg),
             limit,
         );

@@ -1,0 +1,118 @@
+//! End-to-end recovery conformance through the public system API.
+//!
+//! Two halves. **Survival**: with the default recovery policy armed,
+//! every [`FaultClass`] run must converge with the lockstep oracle
+//! silent — the layer repaired the damage, it did not merely observe
+//! it. **Bounded failure**: when no retry can ever succeed (every
+//! response drops, unlimited fault budget), the run must *not* wedge
+//! against the cycle limit — the quiesce/drain abort terminates it
+//! early with a [`RecoveryReport`] naming the stuck sequence tags.
+
+use pac_sim::{CoalescerKind, SimSystem};
+use pac_types::{FaultClass, FaultPlan, RecoveryConfig, SimConfig};
+use pac_workloads::{multiproc::single_process, Bench};
+
+const ACCESSES: u64 = 300;
+const LIMIT: u64 = 20_000_000;
+
+fn recovering_run(class: FaultClass, cfg_rec: RecoveryConfig) -> SimSystem {
+    let cfg = SimConfig::default();
+    let specs = single_process(Bench::Stream, cfg.cores, 0x9AC_5EED);
+    let mut sys = SimSystem::new(cfg, specs, CoalescerKind::Pac);
+    sys.attach_oracle();
+    sys.set_fault_plan(FaultPlan {
+        rate_per_1024: 64,
+        ..FaultPlan::new(class, 11)
+    })
+    .expect("valid fault plan");
+    sys.set_recovery_config(cfg_rec);
+    sys
+}
+
+/// Every fault class is survived end to end: converged, oracle silent,
+/// no retry budget exhausted. (Delay faults are excluded here because
+/// the clean-run oracle has no latency bound armed — the conformance
+/// suite covers that class with the bound configured.)
+#[test]
+fn drop_duplicate_and_corrupt_are_survived_oracle_silent() {
+    for class in [
+        FaultClass::DropResponse,
+        FaultClass::DuplicateResponse,
+        FaultClass::CorruptAddr,
+    ] {
+        let mut sys = recovering_run(class, RecoveryConfig::enabled());
+        let converged = sys.run_until(ACCESSES, LIMIT);
+        let report = sys.recovery_report().expect("armed run must report");
+        assert!(sys.faults_injected() > 0, "{class:?}: no fault injected");
+        assert!(converged, "{class:?} did not converge: {}", report.summary());
+        let oracle = sys.oracle_report().expect("oracle attached");
+        assert!(oracle.is_clean(), "{class:?} oracle: {}", oracle.summary());
+        assert!(!report.aborted, "{class:?}: {}", report.summary());
+        assert!(report.stuck.is_empty(), "{class:?}: {}", report.summary());
+        assert_eq!(report.outstanding, 0);
+    }
+}
+
+/// A drop fault repaired by the watchdog shows up in the counters: the
+/// watchdog fired, a retry went out, and the coalescer's statistics
+/// carry the folded-in recovery numbers.
+#[test]
+fn repaired_drop_is_visible_in_stats() {
+    let mut sys = recovering_run(FaultClass::DropResponse, RecoveryConfig::enabled());
+    assert!(sys.run_until(ACCESSES, LIMIT));
+    let report = sys.recovery_report().expect("armed run must report");
+    assert!(report.watchdog_fires > 0, "{}", report.summary());
+    assert!(report.retries_issued > 0, "{}", report.summary());
+    let stats = sys.coalescer_stats();
+    assert_eq!(stats.retries_issued, report.retries_issued);
+    assert_eq!(stats.watchdog_fires, report.watchdog_fires);
+}
+
+/// Retry exhaustion: with every response dropped forever, the run must
+/// terminate via the quiesce/drain abort well inside the cycle limit,
+/// and the report must name the stuck sequence tags.
+#[test]
+fn retry_exhaustion_aborts_via_quiesce_with_stuck_tags() {
+    let cfg = SimConfig::default();
+    let specs = single_process(Bench::Stream, cfg.cores, 7);
+    let mut sys = SimSystem::new(cfg, specs, CoalescerKind::Pac);
+    sys.attach_oracle();
+    // Unlimited fault budget at rate 1024/1024: no attempt can succeed.
+    sys.set_fault_plan(FaultPlan {
+        rate_per_1024: 1024,
+        max_faults: u64::MAX,
+        ..FaultPlan::new(FaultClass::DropResponse, 11)
+    })
+    .expect("valid fault plan");
+    let rec = RecoveryConfig {
+        enabled: true,
+        watchdog_timeout: 2_000,
+        max_retries: 2,
+        backoff_cap: 8_000,
+    };
+    sys.set_recovery_config(rec);
+
+    let converged = sys.run_until(400, 2_000_000);
+    assert!(!converged, "an all-drop run cannot converge");
+    // The abort must cut the run short: a couple of backoff rounds, not
+    // the full two-million-cycle wedge the limit allows.
+    assert!(
+        sys.now() < 200_000,
+        "quiesce/drain did not terminate early: now = {}",
+        sys.now()
+    );
+
+    let report = sys.recovery_report().expect("armed run must report");
+    assert!(report.aborted, "{}", report.summary());
+    assert!(!report.stuck.is_empty(), "report must name stuck transactions");
+    for s in &report.stuck {
+        assert_eq!(s.attempts, rec.max_retries, "budget not consumed: {s:?}");
+    }
+    assert_eq!(report.outstanding, 0, "quiesce must reclaim every tracked transaction");
+    // Sequence tags are dense and dispatch-ordered; stuck tags must be
+    // real ones, reported in the order the transactions gave up.
+    let seqs: Vec<u64> = report.stuck.iter().map(|s| s.seq).collect();
+    let mut sorted = seqs.clone();
+    sorted.sort_unstable();
+    assert_eq!(seqs, sorted, "stuck tags out of dispatch order: {seqs:?}");
+}

@@ -19,7 +19,8 @@ fn faulted_run(class: FaultClass) -> SimSystem {
         max_faults: 1,
         delay_cycles: 10_000,
         ..FaultPlan::new(class, 3)
-    });
+    })
+    .expect("valid fault plan");
     // Dropped responses wedge the drain by design; the bound keeps the
     // run finite either way. The dump fires at injection time, well
     // before the bound.
@@ -66,6 +67,51 @@ fn every_fault_class_dumps_the_offenders_history() {
             dump.trigger.describe()
         );
     }
+}
+
+/// When the recovery watchdog fires, the flight-recorder ring is
+/// auto-dumped with a [`DumpTrigger::Watchdog`] naming the sequence
+/// tag — the forensic window for the request whose response went
+/// missing.
+#[test]
+fn watchdog_fire_dumps_the_flight_ring() {
+    let cfg = SimConfig::default();
+    let specs = single_process(Bench::Stream, cfg.cores, 0x9AC_5EED);
+    let mut sys = SimSystem::new(cfg, specs, CoalescerKind::Pac);
+    sys.attach_oracle();
+    sys.set_trace_config(TraceConfig::flight_recorder());
+    sys.set_fault_plan(FaultPlan {
+        rate_per_1024: 1024,
+        max_faults: 1,
+        ..FaultPlan::new(FaultClass::DropResponse, 3)
+    })
+    .expect("valid fault plan");
+    sys.set_recovery_config(pac_types::RecoveryConfig::enabled());
+    let converged = sys.run_until(600, 20_000_000);
+    assert!(converged, "the watchdog retry must repair the dropped response");
+
+    let dumps = sys.tracer().snapshot_dumps();
+    let (dump, seq, id) = dumps
+        .iter()
+        .find_map(|d| match d.trigger {
+            DumpTrigger::Watchdog { seq, id, .. } => Some((d, seq, id)),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no watchdog-triggered dump in {dumps:?}"));
+    assert!(
+        dump.trigger.describe().contains("watchdog"),
+        "describe() = {}",
+        dump.trigger.describe()
+    );
+    assert!(dump.trigger.describe().contains(&format!("seq {seq}")));
+    // The window holds the timed-out request's recorded history.
+    assert!(
+        dump.events.iter().any(|e| e.kind.request_id() == Some(id)),
+        "dumped window has no history for request {id}"
+    );
+    // And the recovery layer confirms the fire that triggered it.
+    let report = sys.recovery_report().expect("armed run must report");
+    assert!(report.watchdog_fires > 0);
 }
 
 #[test]
