@@ -52,6 +52,8 @@ pub struct SetAssocCache {
     pub misses: u64,
 }
 
+pac_types::snapshot_fields!(SetAssocCache { cfg, sets, ways, tags, lru, clock, accesses, misses });
+
 impl SetAssocCache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();

@@ -27,6 +27,8 @@ pub struct CacheHierarchy {
     l2_hit_latency: u64,
 }
 
+pac_types::snapshot_fields!(CacheHierarchy { l1s, l2, l1_hit_latency, l2_hit_latency });
+
 impl CacheHierarchy {
     pub fn new(cores: u32, l1: CacheConfig, l2: CacheConfig) -> Self {
         CacheHierarchy {

@@ -105,6 +105,32 @@ pub struct Hmc {
     tracer: TraceHandle,
 }
 
+// `scratch` is empty between ticks (every tick takes and restores it
+// drained), and the tracer is re-attached by the caller after restore —
+// both are reset on load; everything else round-trips exactly.
+pac_types::snapshot_fields!(Hmc {
+    cfg,
+    req_link_busy,
+    rsp_link_busy,
+    rr,
+    vaults,
+    completed,
+    pending_rsp,
+    pending_seq,
+    pending_store,
+    inflight,
+    active,
+    vault_next,
+    vault_next_min,
+    fault_plan,
+    faults_injected,
+    stats,
+    energy,
+} skip {
+    scratch: Vec::new(),
+    tracer: TraceHandle::disabled(),
+});
+
 impl Hmc {
     pub fn new(cfg: HmcDeviceConfig) -> Self {
         Hmc {

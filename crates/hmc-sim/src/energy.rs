@@ -75,6 +75,8 @@ pub struct EnergyBreakdown {
     events: [u64; 7],
 }
 
+pac_types::snapshot_fields!(EnergyBreakdown { pj, events });
+
 impl EnergyBreakdown {
     pub fn new() -> Self {
         Self::default()

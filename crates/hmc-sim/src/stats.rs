@@ -32,6 +32,19 @@ pub struct HmcStats {
     pub latency_hist: LatencyHistogram,
 }
 
+pac_types::snapshot_fields!(HmcStats {
+    requests,
+    responses,
+    payload_bytes,
+    transaction_bytes,
+    bank_conflicts,
+    local_routes,
+    remote_routes,
+    total_latency_cycles,
+    peak_inflight,
+    latency_hist,
+});
+
 impl HmcStats {
     /// Average end-to-end access latency in cycles.
     pub fn avg_latency_cycles(&self) -> f64 {

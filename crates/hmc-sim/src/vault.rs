@@ -82,6 +82,13 @@ pub struct Vault {
     next_issue: Cycle,
 }
 
+pac_types::snapshot_fields!(Bank { busy_until, references, conflicts, refresh_stalls });
+pac_types::snapshot_fields!(QueuedRequest {
+    id, addr, bytes, op, bank, arrival, submit_cycle, link, remote
+});
+pac_types::snapshot_fields!(ReadyResponse { req, data_ready });
+pac_types::snapshot_fields!(Vault { queue, banks, next_issue });
+
 impl Vault {
     pub fn new(banks: u32) -> Self {
         Vault {

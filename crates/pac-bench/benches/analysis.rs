@@ -41,7 +41,7 @@ fn bench_crosspage(c: &mut Criterion) {
 fn bench_fine_coalescer(c: &mut Criterion) {
     let reqs: Vec<MemRequest> = (0..4096)
         .map(|i| {
-            let mut r = MemRequest::miss(i, (i as u64 % 512) * 8 + (i as u64 / 512) * 4096, Op::Load, 0, 0);
+            let mut r = MemRequest::miss(i, (i % 512) * 8 + (i / 512) * 4096, Op::Load, 0, 0);
             r.data_bytes = 8;
             r
         })

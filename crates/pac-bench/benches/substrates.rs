@@ -17,7 +17,7 @@ fn bench_cache(c: &mut Criterion) {
             for i in 0..10_000u64 {
                 let out = h.access((i % 8) as usize, i * 8, i % 3 == 0);
                 if matches!(out, cache_sim::HierarchyOutcome::Miss { .. }) {
-                    h.fill_complete(i * 8 & !63);
+                    h.fill_complete((i * 8) & !63);
                 }
             }
             black_box(h.l1_hit_rate())

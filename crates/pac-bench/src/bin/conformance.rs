@@ -187,15 +187,18 @@ fn run_recover(scale: ConformanceScale, quick: bool) -> u32 {
 /// Locate the committed throughput baseline: working directory first
 /// (how CI invokes the binary from the repo root), then relative to the
 /// crate (how `cargo run` finds it from anywhere).
-fn read_baseline() -> Result<String, String> {
+fn read_baseline() -> Result<String, pac_bench::BenchError> {
     let candidates = [
-        "BENCH_throughput.json".to_string(),
-        format!("{}/../../BENCH_throughput.json", env!("CARGO_MANIFEST_DIR")),
+        std::path::PathBuf::from("BENCH_throughput.json"),
+        std::path::PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_throughput.json"
+        )),
     ];
     for path in &candidates {
-        if let Ok(text) = std::fs::read_to_string(path) {
-            return Ok(text);
+        if path.is_file() {
+            return pac_bench::error::read_to_string(path);
         }
     }
-    Err(format!("not found at {}", candidates.join(" or ")))
+    Err(pac_bench::BenchError::NotFound(candidates.to_vec()))
 }

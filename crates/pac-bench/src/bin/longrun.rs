@@ -1,0 +1,258 @@
+//! Long-running simulation driver with checkpoint/resume.
+//!
+//! ```console
+//! $ longrun --bench HPCG --kind pac --accesses 200000 \
+//!       --checkpoint run.ckpt --checkpoint-every 1000000
+//! $ longrun --bench HPCG --kind pac --accesses 200000 --resume run.ckpt
+//! ```
+//!
+//! Checkpoints are written atomically every `--checkpoint-every`
+//! simulated cycles and once more on SIGINT/SIGTERM, so a killed run
+//! (ctrl-C, batch-scheduler preemption) can always be resumed from its
+//! last consistent state. A resumed run is bit-identical to one that
+//! was never interrupted — same metrics, same cycle counts.
+//!
+//! `--kill-at <cycle>` checkpoints and exits at a deterministic cycle
+//! (a synthetic kill for CI equivalence checks); `--print-cycles`
+//! prints only the final cycle count on stdout for easy comparison.
+
+use pac_sim::{
+    read_checkpoint, write_checkpoint, CoalescerKind, RunProgress, SimSystem, Stepping,
+};
+use pac_types::{Cycle, SimConfig};
+use pac_workloads::multiproc::single_process;
+use pac_workloads::Bench;
+use std::path::PathBuf;
+
+/// SIGINT/SIGTERM latch. Raw `signal(2)` FFI: the handler only stores
+/// into an atomic, which is async-signal-safe, and the run loop polls
+/// the flag at checkpoint boundaries.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, handle);
+            signal(SIGTERM, handle);
+        }
+    }
+
+    pub fn stop_requested() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn stop_requested() -> bool {
+        false
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: longrun --bench <BENCH> --kind <raw|mshr-dmc|pac> [--accesses <N>] [--seed <S>]\n       \
+         [--checkpoint <file>] [--checkpoint-every <cycles>] [--resume <file>]\n       \
+         [--kill-at <cycle>] [--print-cycles]"
+    );
+    std::process::exit(2);
+}
+
+fn value(it: &mut std::vec::IntoIter<String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        usage();
+    })
+}
+
+fn parse_u64(s: &str, flag: &str) -> u64 {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse '{s}'");
+        usage();
+    })
+}
+
+struct Opts {
+    bench: Bench,
+    kind: CoalescerKind,
+    accesses: u64,
+    seed: u64,
+    checkpoint: Option<PathBuf>,
+    every: Option<Cycle>,
+    resume: Option<PathBuf>,
+    kill_at: Option<Cycle>,
+    print_cycles: bool,
+}
+
+fn parse_opts() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bench = None;
+    let mut kind = None;
+    let mut accesses = 20_000u64;
+    let mut seed = 0u64;
+    let mut checkpoint = None;
+    let mut every = None;
+    let mut resume = None;
+    let mut kill_at = None;
+    let mut print_cycles = false;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" => {
+                let v = value(&mut it, "--bench");
+                bench = Some(Bench::from_name(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown benchmark '{v}'; known: {}",
+                        Bench::ALL.map(|b| b.name()).join(", ")
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--kind" => {
+                kind = Some(match value(&mut it, "--kind").as_str() {
+                    "raw" => CoalescerKind::Raw,
+                    "mshr-dmc" => CoalescerKind::MshrDmc,
+                    "pac" => CoalescerKind::Pac,
+                    other => {
+                        eprintln!("unknown coalescer '{other}' (raw | mshr-dmc | pac)");
+                        std::process::exit(2);
+                    }
+                });
+            }
+            "--accesses" => accesses = parse_u64(&value(&mut it, "--accesses"), "--accesses"),
+            "--seed" => seed = parse_u64(&value(&mut it, "--seed"), "--seed"),
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value(&mut it, "--checkpoint"))),
+            "--checkpoint-every" => {
+                every = Some(parse_u64(&value(&mut it, "--checkpoint-every"), "--checkpoint-every"))
+            }
+            "--resume" => resume = Some(PathBuf::from(value(&mut it, "--resume"))),
+            "--kill-at" => kill_at = Some(parse_u64(&value(&mut it, "--kill-at"), "--kill-at")),
+            "--print-cycles" => print_cycles = true,
+            _ => usage(),
+        }
+    }
+
+    let (Some(bench), Some(kind)) = (bench, kind) else { usage() };
+    if (every.is_some() || kill_at.is_some()) && checkpoint.is_none() && resume.is_none() {
+        eprintln!("--checkpoint-every / --kill-at need --checkpoint <file> to write to");
+        usage();
+    }
+    Opts { bench, kind, accesses, seed, checkpoint, every, resume, kill_at, print_cycles }
+}
+
+fn main() {
+    sig::install();
+    let opts = parse_opts();
+    let sim = SimConfig::default();
+    // The identity line stored in every checkpoint: resuming with
+    // different parameters is refused instead of silently diverging.
+    let meta = format!(
+        "longrun bench={} kind={} cores={} accesses={} seed={:#x}",
+        opts.bench.name(),
+        opts.kind.label(),
+        sim.cores,
+        opts.accesses,
+        opts.seed,
+    );
+    // Further checkpoints of a resumed run go back to the resume file
+    // unless --checkpoint names a different one.
+    let ckpt_path = opts.checkpoint.clone().or_else(|| opts.resume.clone());
+
+    let mut sys = match &opts.resume {
+        Some(path) => {
+            let specs = single_process(opts.bench, sim.cores, opts.seed);
+            match read_checkpoint(path, specs, &meta) {
+                Ok(sys) => {
+                    eprintln!("resumed from {} at cycle {}", path.display(), sys.now());
+                    sys
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            let specs = single_process(opts.bench, sim.cores, opts.seed);
+            let mut sys =
+                SimSystem::with_options(sim, specs, opts.kind, false, false, Stepping::SkipAhead);
+            sys.begin_run(opts.accesses);
+            sys
+        }
+    };
+
+    let limit = sys.run_limit();
+    // Pause cadence: the checkpoint interval, or a polling interval so
+    // signals and --kill-at are noticed even without --checkpoint-every.
+    let interval = opts.every.unwrap_or(1_000_000).max(1);
+
+    loop {
+        let mut stop_at = sys.now().saturating_add(interval);
+        if let Some(kill) = opts.kill_at {
+            if sys.now() < kill {
+                stop_at = stop_at.min(kill);
+            }
+        }
+        match sys.advance(limit, stop_at) {
+            RunProgress::Done => break,
+            RunProgress::Aborted => {
+                eprintln!("run aborted: recovery layer gave up at cycle {}", sys.now());
+                std::process::exit(1);
+            }
+            RunProgress::CycleLimit => {
+                eprintln!("run wedged: cycle limit {limit} hit");
+                std::process::exit(1);
+            }
+            RunProgress::Paused => {
+                let now = sys.now();
+                let killed = sig::stop_requested()
+                    || opts.kill_at.is_some_and(|k| now >= k);
+                if let Some(path) = &ckpt_path {
+                    if killed || opts.every.is_some() {
+                        if let Err(e) = write_checkpoint(path, &sys, &meta) {
+                            eprintln!("{e}");
+                            std::process::exit(1);
+                        }
+                        eprintln!("checkpointed at cycle {now} to {}", path.display());
+                    }
+                }
+                if killed {
+                    eprintln!("stopping at cycle {now} (resume with --resume)");
+                    std::process::exit(0);
+                }
+            }
+        }
+    }
+
+    let m = sys.finish_run();
+    if opts.print_cycles {
+        println!("{}", m.runtime_cycles);
+        return;
+    }
+    println!("bench                 : {}", opts.bench.name());
+    println!("coalescer             : {}", m.coalescer);
+    println!("runtime cycles        : {}", m.runtime_cycles);
+    println!("raw requests          : {}", m.raw_requests);
+    println!("dispatched requests   : {}", m.dispatched_requests);
+    println!("coalescing efficiency : {:.2}%", m.coalescing_efficiency * 100.0);
+    println!("avg memory latency    : {:.1} ns", m.avg_mem_latency_ns);
+}

@@ -68,9 +68,9 @@ fn main() {
         }
     }
     let json = to_json(&cfg, &sweeps, baseline_seconds);
-    std::fs::write(&out_path, json).unwrap_or_else(|e| {
-        eprintln!("cannot write {out_path}: {e}");
+    if let Err(e) = pac_bench::error::write(&out_path, json) {
+        eprintln!("{e}");
         std::process::exit(1);
-    });
+    }
     println!("wrote {out_path}");
 }

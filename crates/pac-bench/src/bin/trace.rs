@@ -14,11 +14,12 @@
 //! dumps (with the offending request's event history), and the
 //! per-stage latency histograms.
 
+use pac_bench::error::{self, BenchError};
 use pac_bench::trace_cmd::{run_cell, throughput_guard};
 use pac_sim::{CoalescerKind, ExperimentConfig};
 use pac_types::{FaultClass, FaultPlan, TraceConfig};
 use pac_workloads::Bench;
-use std::fs;
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
@@ -69,15 +70,20 @@ fn parse_fault(s: &str) -> FaultClass {
     })
 }
 
-fn write_out(path: &str, json: &str) {
-    fs::write(path, json).unwrap_or_else(|e| {
-        eprintln!("cannot write {path}: {e}");
-        std::process::exit(1);
-    });
+fn write_out(path: &str, json: &str) -> Result<(), BenchError> {
+    error::write(path, json)?;
     println!("wrote {path}");
+    Ok(())
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = {
         let before = args.len();
@@ -94,39 +100,27 @@ fn main() {
 
     match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
         ["--guard"] => {
-            let baseline = fs::read_to_string("BENCH_throughput.json").unwrap_or_else(|e| {
-                eprintln!("cannot read BENCH_throughput.json: {e}");
-                std::process::exit(1);
-            });
+            let baseline_path = "BENCH_throughput.json";
+            let baseline = error::read_to_string(baseline_path)?;
             // Quick mode samples a handful of cells; the full guard
             // replays the entire matrix. Wall tolerance is the ±2%
             // budget from the issue; quick runs get slack because a
             // truncated sample amplifies per-cell noise.
             let (tolerance, max_cells) = if quick { (0.10, 6) } else { (0.02, 0) };
-            match throughput_guard(&baseline, tolerance, max_cells) {
-                Ok(report) => {
-                    print!("{}", report.render());
-                    if !report.passed() {
-                        std::process::exit(1);
-                    }
-                }
-                Err(e) => {
-                    eprintln!("guard failed: {e}");
-                    std::process::exit(1);
-                }
+            let report = throughput_guard(&baseline, tolerance, max_cells)
+                .map_err(|e| BenchError::Parse(PathBuf::from(baseline_path), e))?;
+            print!("{}", report.render());
+            if !report.passed() {
+                std::process::exit(1);
             }
         }
         ["--all", rest @ ..] => {
             let dir = rest.first().copied().unwrap_or("traces");
-            fs::create_dir_all(dir).unwrap_or_else(|e| {
-                eprintln!("cannot create {dir}: {e}");
-                std::process::exit(1);
-            });
+            error::create_dir_all(dir)?;
             for bench in Bench::ALL {
-                let out =
-                    run_cell(bench, CoalescerKind::Pac, &cfg, TraceConfig::full(), None);
+                let out = run_cell(bench, CoalescerKind::Pac, &cfg, TraceConfig::full(), None);
                 let path = format!("{dir}/{}.trace.json", bench.name().to_lowercase());
-                write_out(&path, &out.json);
+                write_out(&path, &out.json)?;
                 print!("{}", out.report);
             }
         }
@@ -141,7 +135,7 @@ fn main() {
             );
             print!("{}", out.report);
             if let Some(path) = rest.first() {
-                write_out(path, &out.json);
+                write_out(path, &out.json)?;
             }
             if out.dumps == 0 {
                 eprintln!("fault armed but no flight dump captured");
@@ -159,9 +153,10 @@ fn main() {
             print!("{}", out.report);
             println!("events : {}", out.events);
             if let Some(path) = rest.first() {
-                write_out(path, &out.json);
+                write_out(path, &out.json)?;
             }
         }
         _ => usage(),
     }
+    Ok(())
 }

@@ -11,11 +11,12 @@
 //! produced by external tools (e.g. a real Spike run post-processed into
 //! this schema) and evaluated against this repository's coalescers.
 
+use pac_bench::error::{self, BenchError};
 use pac_bench::Harness;
 use pac_sim::{replay, CoalescerKind, TraceEntry};
 use pac_types::SimConfig;
 use pac_workloads::Bench;
-use std::fs;
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
@@ -24,18 +25,20 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn load(path: &str) -> Vec<TraceEntry> {
-    let data = fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(1);
-    });
-    pac_sim::trace_json::from_json(&data).unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        std::process::exit(1);
-    })
+fn load(path: &str) -> Result<Vec<TraceEntry>, BenchError> {
+    let data = error::read_to_string(path)?;
+    pac_sim::trace_json::from_json(&data)
+        .map_err(|e| BenchError::Parse(PathBuf::from(path), e.to_string()))
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [cmd, bench, out] if cmd == "capture" => {
@@ -48,16 +51,11 @@ fn main() {
             };
             let mut h = Harness::default();
             let trace = h.trace(bench).to_vec();
-            fs::write(out, pac_sim::trace_json::to_json(&trace)).unwrap_or_else(
-                |e| {
-                    eprintln!("cannot write {out}: {e}");
-                    std::process::exit(1);
-                },
-            );
+            error::write(out, pac_sim::trace_json::to_json(&trace))?;
             println!("captured {} requests from {} into {out}", trace.len(), bench.name());
         }
         [cmd, path] if cmd == "info" => {
-            let trace = load(path);
+            let trace = load(path)?;
             let lines: std::collections::HashSet<u64> =
                 trace.iter().map(|e| e.addr & !63).collect();
             let pages: std::collections::HashSet<u64> =
@@ -81,7 +79,7 @@ fn main() {
                     std::process::exit(2);
                 }
             };
-            let trace = load(path);
+            let trace = load(path)?;
             let m = replay(&trace, kind, &SimConfig::default());
             println!("coalescer             : {}", m.coalescer);
             println!("raw requests          : {}", m.raw_requests);
@@ -94,4 +92,5 @@ fn main() {
         }
         _ => usage(),
     }
+    Ok(())
 }

@@ -39,7 +39,7 @@ pub fn grouped_bar_chart(
     const FILLS: [char; 4] = ['#', '=', '-', '.'];
     assert!(series.len() <= FILLS.len(), "at most {} series", FILLS.len());
     let mut out = String::new();
-    writeln!(out, "-- {title} --").unwrap();
+    let _ = writeln!(out, "-- {title} --");
     let legend: Vec<String> = series
         .iter()
         .enumerate()
@@ -47,7 +47,7 @@ pub fn grouped_bar_chart(
         .map(|(i, s)| format!("{} {s}", FILLS[i]))
         .collect();
     if !legend.is_empty() {
-        writeln!(out, "   [{}]", legend.join("  ")).unwrap();
+        let _ = writeln!(out, "   [{}]", legend.join("  "));
     }
     let max = rows
         .iter()
@@ -65,7 +65,7 @@ pub fn grouped_bar_chart(
             let fill = if v < 0.0 { '<' } else { FILLS[i] };
             let bar: String = std::iter::repeat_n(fill, cells).collect();
             let shown = if i == 0 { label.as_str() } else { "" };
-            writeln!(out, "{shown:>label_w$} |{bar:<BAR_WIDTH$}| {v:8.2}").unwrap();
+            let _ = writeln!(out, "{shown:>label_w$} |{bar:<BAR_WIDTH$}| {v:8.2}");
         }
     }
     out
@@ -82,8 +82,8 @@ mod tests {
     #[test]
     fn largest_bar_spans_full_width() {
         let s = bar_chart("t", &rows(&[("a", 10.0), ("b", 5.0)]));
-        let full: String = std::iter::repeat('#').take(BAR_WIDTH).collect();
-        let half: String = std::iter::repeat('#').take(BAR_WIDTH / 2).collect();
+        let full = "#".repeat(BAR_WIDTH);
+        let half = "#".repeat(BAR_WIDTH / 2);
         assert!(s.contains(&full), "max row fills the width:\n{s}");
         assert!(s.contains(&format!("{half} ")), "half-value row is half-width:\n{s}");
     }
@@ -107,7 +107,7 @@ mod tests {
         // Two labels x two series = four bar lines (plus title+legend).
         assert_eq!(s.lines().count(), 6, "{s}");
         // The PAC/EP bar is the maximum and uses the series-2 fill.
-        let full: String = std::iter::repeat('=').take(BAR_WIDTH).collect();
+        let full = "=".repeat(BAR_WIDTH);
         assert!(s.contains(&full));
     }
 

@@ -60,35 +60,32 @@ pub fn run_figure(id: &str, h: &mut Harness) -> Option<String> {
 pub fn table1(h: &Harness) -> String {
     let c = &h.cfg.sim;
     let mut out = String::new();
-    writeln!(out, "== Table 1: Simulation Environment Configurations ==").unwrap();
-    writeln!(out, "ISA                      RV64IMAFDC (trace-driven model)").unwrap();
-    writeln!(out, "Core #                   {}", c.cores).unwrap();
-    writeln!(out, "CPU Frequency            2 GHz").unwrap();
-    writeln!(
+    let _ = writeln!(out, "== Table 1: Simulation Environment Configurations ==");
+    let _ = writeln!(out, "ISA                      RV64IMAFDC (trace-driven model)");
+    let _ = writeln!(out, "Core #                   {}", c.cores);
+    let _ = writeln!(out, "CPU Frequency            2 GHz");
+    let _ = writeln!(
         out,
         "Cache                    {}-way, ({}K) L1, ({}MB) L2",
         c.l1.ways,
         c.l1.capacity_bytes >> 10,
         c.l2.capacity_bytes >> 20
-    )
-    .unwrap();
-    writeln!(out, "Coalescing Streams       {}", c.coalescer.streams).unwrap();
-    writeln!(out, "Timeout                  {} Cycles", c.coalescer.timeout_cycles).unwrap();
-    writeln!(
+    );
+    let _ = writeln!(out, "Coalescing Streams       {}", c.coalescer.streams);
+    let _ = writeln!(out, "Timeout                  {} Cycles", c.coalescer.timeout_cycles);
+    let _ = writeln!(
         out,
         "MAQ Entries & MSHRs      {} & {}",
         c.coalescer.maq_entries, c.coalescer.mshrs
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "HMC                      {} Links, {}GB, {}B-Block",
         c.hmc.links,
         c.hmc.capacity_bytes >> 30,
         c.hmc.row_bytes
-    )
-    .unwrap();
-    writeln!(out, "Avg. HMC Access Latency  {} ns (paper)", paper::TABLE1_HMC_LATENCY_NS).unwrap();
+    );
+    let _ = writeln!(out, "Avg. HMC Access Latency  {} ns (paper)", paper::TABLE1_HMC_LATENCY_NS);
     out
 }
 
@@ -224,19 +221,18 @@ fn dbscan_figure(h: &mut Harness, bench: Bench, fig: &str) -> String {
         .collect();
     let (_, summary) = dbscan_1d(&addrs, 4096, 4);
     let mut out = String::new();
-    writeln!(
+    let _ = writeln!(
         out,
         "== {fig}: DBSCAN clustering of {} requests (eps = 4KB page, 10k-cycle window) ==",
         bench.name()
-    )
-    .unwrap();
-    writeln!(out, "requests in window : {}", summary.total).unwrap();
-    writeln!(out, "clusters           : {}", summary.clusters.len()).unwrap();
-    writeln!(out, "noise (unclustered): {}", summary.noise).unwrap();
-    writeln!(out, "clustered fraction : {:.1}%", summary.clustered_fraction() * PCT).unwrap();
+    );
+    let _ = writeln!(out, "requests in window : {}", summary.total);
+    let _ = writeln!(out, "clusters           : {}", summary.clusters.len());
+    let _ = writeln!(out, "noise (unclustered): {}", summary.noise);
+    let _ = writeln!(out, "clustered fraction : {:.1}%", summary.clustered_fraction() * PCT);
     let mut sizes: Vec<usize> = summary.clusters.iter().map(|c| c.2).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    writeln!(out, "largest clusters   : {:?}", &sizes[..sizes.len().min(8)]).unwrap();
+    let _ = writeln!(out, "largest clusters   : {:?}", &sizes[..sizes.len().min(8)]);
     out
 }
 
@@ -303,27 +299,24 @@ pub fn fig10b(h: &mut Harness) -> String {
     let hist = fine.coalesce_trace(&reqs);
     let total = hist.total().max(1);
     let mut out = String::new();
-    writeln!(
+    let _ = writeln!(
         out,
         "== Fig 10b: HPCG coalesced request sizes, data-size (fine) coalescing mode =="
-    )
-    .unwrap();
+    );
     for (bytes, count) in hist.iter() {
-        writeln!(
+        let _ = writeln!(
             out,
             "{bytes:>4}B  {count:>10}  ({:5.2}%)",
             count as f64 / total as f64 * PCT
-        )
-        .unwrap();
+        );
     }
     let small = hist.count(16);
-    writeln!(
+    let _ = writeln!(
         out,
         "16B share: {:.2}%  (paper: {:.2}% of HPCG's fine-grained requests are 16B)",
         small as f64 / total as f64 * PCT,
         paper::FIG10B_16B_SHARE
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -348,24 +341,22 @@ pub fn fig10c(h: &mut Harness) -> String {
 /// Fig 11a: space overhead of PAC vs parallel sorting networks.
 pub fn fig11a(_h: &Harness) -> String {
     let mut out = String::new();
-    writeln!(out, "== Fig 11a: Space overhead, PAC vs sorting networks ==").unwrap();
-    writeln!(out, "{:>4}  {:>10} {:>10} {:>10}   {:>12} {:>12} {:>12}",
-        "N", "pac-cmp", "bitonic", "odd-even", "pac-buf(B)", "bitonic(B)", "odd-even(B)")
-        .unwrap();
+    let _ = writeln!(out, "== Fig 11a: Space overhead, PAC vs sorting networks ==");
+    let _ = writeln!(out, "{:>4}  {:>10} {:>10} {:>10}   {:>12} {:>12} {:>12}",
+        "N", "pac-cmp", "bitonic", "odd-even", "pac-buf(B)", "bitonic(B)", "odd-even(B)");
     for n in [4usize, 8, 16, 32, 64] {
         let b = sortnet::bitonic_comparator_count(n);
         let o = sortnet::odd_even_comparator_count(n);
-        writeln!(
+        let _ = writeln!(
             out,
             "{n:>4}  {:>10} {b:>10} {o:>10}   {:>12} {:>12} {:>12}",
             pac_core::cost::pac_comparators(n),
             pac_core::cost::pac_buffer_bytes(n),
             sortnet::buffer_bytes(b),
             sortnet::buffer_bytes(o),
-        )
-        .unwrap();
+        );
     }
-    writeln!(
+    let _ = writeln!(
         out,
         "paper: N=64 comparators {} / {} / {}; N=16 buffers {}B / {}B / {}B",
         paper::FIG11A_PAC_64,
@@ -374,8 +365,7 @@ pub fn fig11a(_h: &Harness) -> String {
         paper::FIG11A_PAC_BUF_16,
         paper::FIG11A_BITONIC_BUF_16,
         paper::FIG11A_ODDEVEN_BUF_16
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -383,7 +373,7 @@ pub fn fig11a(_h: &Harness) -> String {
 pub fn fig11b(h: &mut Harness) -> String {
     let m = h.replay(Bench::Hpcg, CoalescerKind::Pac).clone();
     let mut out = String::new();
-    writeln!(out, "== Fig 11b: Occupied coalescing streams, HPCG (16-cycle samples) ==").unwrap();
+    let _ = writeln!(out, "== Fig 11b: Occupied coalescing streams, HPCG (16-cycle samples) ==");
     let samples = &m.occupancy_trace;
     let mut histogram = [0u64; 17];
     for &s in samples {
@@ -392,23 +382,21 @@ pub fn fig11b(h: &mut Harness) -> String {
     let total: u64 = histogram.iter().sum::<u64>().max(1);
     for (occ, &count) in histogram.iter().enumerate() {
         if count > 0 {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{occ:>3} streams  {count:>8}  ({:5.2}%)",
                 count as f64 / total as f64 * PCT
-            )
-            .unwrap();
+            );
         }
     }
     let le2: u64 = histogram[..=2].iter().sum();
     let in24: u64 = histogram[2..=4].iter().sum();
-    writeln!(
+    let _ = writeln!(
         out,
         "≤2 pages: {:.2}% | 2–4 pages: {:.2}%  (paper: 35.33% in 2 pages, 77.57% within 2–4)",
         le2 as f64 / total as f64 * PCT,
         in24 as f64 / total as f64 * PCT
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -495,7 +483,7 @@ pub fn fig13(h: &mut Harness) -> String {
         (EnergyClass::LinkRemoteRoute, paper::FIG13_LINK_REMOTE),
     ];
     let mut out = String::new();
-    writeln!(out, "== Fig 13: Energy saving per HMC operation (%), PAC vs stock ==").unwrap();
+    let _ = writeln!(out, "== Fig 13: Energy saving per HMC operation (%), PAC vs stock ==");
     for (class, paper_val) in classes {
         let mut savings = Vec::new();
         for bench in Bench::ALL {
@@ -506,7 +494,7 @@ pub fn fig13(h: &mut Harness) -> String {
             }
         }
         let avg = pac_analysis::summary::mean(&savings);
-        writeln!(out, "{:<18} {avg:>7.2}%   (paper: {paper_val:.2}%)", class.label()).unwrap();
+        let _ = writeln!(out, "{:<18} {avg:>7.2}%   (paper: {paper_val:.2}%)", class.label());
     }
     out
 }

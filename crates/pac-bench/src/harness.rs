@@ -168,29 +168,23 @@ impl Table {
 
     pub fn render(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "== {} ==", self.title).unwrap();
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain(std::iter::once(9))
-            .max()
-            .unwrap();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).fold(9, usize::max);
         let col_w = self.columns.iter().map(|c| c.len().max(10)).collect::<Vec<_>>();
-        write!(out, "{:<label_w$}", "benchmark").unwrap();
+        let _ = write!(out, "{:<label_w$}", "benchmark");
         for (c, w) in self.columns.iter().zip(&col_w) {
-            write!(out, "  {c:>w$}").unwrap();
+            let _ = write!(out, "  {c:>w$}");
         }
-        writeln!(out).unwrap();
+        let _ = writeln!(out);
         for (label, values) in &self.rows {
-            write!(out, "{label:<label_w$}").unwrap();
+            let _ = write!(out, "{label:<label_w$}");
             for (v, w) in values.iter().zip(&col_w) {
-                write!(out, "  {v:>w$.prec$}", prec = self.precision).unwrap();
+                let _ = write!(out, "  {v:>w$.prec$}", prec = self.precision);
             }
-            writeln!(out).unwrap();
+            let _ = writeln!(out);
         }
         for n in &self.notes {
-            writeln!(out, "  {n}").unwrap();
+            let _ = writeln!(out, "  {n}");
         }
         out
     }

@@ -16,10 +16,13 @@
 
 pub mod chart;
 pub mod conformance;
+pub mod error;
 pub mod figures;
 pub mod harness;
 pub mod paper;
+pub mod soak;
 pub mod throughput;
 pub mod trace_cmd;
 
+pub use error::BenchError;
 pub use harness::Harness;

@@ -56,6 +56,26 @@ pub struct PagedRequestAggregator {
     pub comparisons: u64,
 }
 
+// The tag→slot index is derived from the stream array; rebuild it on
+// load instead of serializing redundant (and divergence-prone) state.
+impl pac_types::Snapshot for PagedRequestAggregator {
+    fn save(&self, w: &mut pac_types::SnapWriter) {
+        self.streams.save(w);
+        self.capacity.save(w);
+        self.comparisons.save(w);
+    }
+    fn load(r: &mut pac_types::SnapReader<'_>) -> Result<Self, pac_types::SnapError> {
+        let streams = Vec::<CoalescingStream>::load(r)?;
+        let capacity = usize::load(r)?;
+        let comparisons = u64::load(r)?;
+        let mut index = HashMap::with_capacity_and_hasher(capacity, IdHash);
+        for (i, s) in streams.iter().enumerate() {
+            index.insert(s.tag, i);
+        }
+        Ok(PagedRequestAggregator { streams, capacity, index, comparisons })
+    }
+}
+
 impl PagedRequestAggregator {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "aggregator needs at least one stream");

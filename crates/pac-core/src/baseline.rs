@@ -39,6 +39,12 @@ pub struct MshrDmc {
     tracer: TraceHandle,
 }
 
+pac_types::snapshot_fields!(MshrDmc {
+    mshr, pending, stats,
+} skip {
+    tracer: TraceHandle::disabled(),
+});
+
 impl MshrDmc {
     pub fn new(mshrs: usize, max_subentries: usize) -> Self {
         MshrDmc {
@@ -162,6 +168,10 @@ impl MemoryCoalescer for MshrDmc {
     fn integrity(&self) -> Result<(), String> {
         self.mshr.integrity().map_err(|e| format!("MSHR: {e}"))
     }
+
+    fn save_state(&self, w: &mut pac_types::SnapWriter) {
+        pac_types::Snapshot::save(self, w);
+    }
 }
 
 /// The stock HMC controller: no aggregation at all. In-flight requests
@@ -177,6 +187,12 @@ pub struct NoCoalescing {
     stats: CoalescerStats,
     tracer: TraceHandle,
 }
+
+pac_types::snapshot_fields!(NoCoalescing {
+    outstanding_limit, outstanding, inflight, next_id, pending, stats,
+} skip {
+    tracer: TraceHandle::disabled(),
+});
 
 impl NoCoalescing {
     pub fn new(outstanding_limit: usize) -> Self {
@@ -292,6 +308,10 @@ impl MemoryCoalescer for NoCoalescing {
             ));
         }
         Ok(())
+    }
+
+    fn save_state(&self, w: &mut pac_types::SnapWriter) {
+        pac_types::Snapshot::save(self, w);
     }
 }
 

@@ -27,6 +27,8 @@ pub struct BlockSequence {
     pub first_issue: Cycle,
 }
 
+pac_types::snapshot_fields!(BlockSequence { ppn, op, chunk_index, pattern, raw, first_issue });
+
 /// Decode a stream's block-map into its non-zero block sequences, chunk
 /// order ascending.
 pub fn decode(stream: &CoalescingStream, protocol: MemoryProtocol) -> Vec<BlockSequence> {

@@ -95,6 +95,8 @@ pub struct DispatchedRequest {
     pub raw_count: u32,
 }
 
+pac_types::snapshot_fields!(DispatchedRequest { dispatch_id, addr, bytes, op, raw_count });
+
 /// The interface the full-system simulator drives. One implementation per
 /// evaluated configuration: PAC, conventional MSHR-based DMC, and the
 /// stock no-coalescing controller.
@@ -204,5 +206,15 @@ pub trait MemoryCoalescer {
     /// or `None` for implementations without the relevant structures.
     fn gauges(&self) -> Option<CoalescerGauges> {
         None
+    }
+
+    /// Serialize the coalescer's complete architectural state into `w`
+    /// (checkpoint support). Restoration is not part of this trait: the
+    /// owner knows the concrete type and loads it via
+    /// [`pac_types::Snapshot::load`], so only the save side needs
+    /// dynamic dispatch. The default panics — implementations that can
+    /// be checkpointed must override it.
+    fn save_state(&self, _w: &mut pac_types::SnapWriter) {
+        panic!("this coalescer does not support checkpointing");
     }
 }

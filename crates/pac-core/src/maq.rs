@@ -27,6 +27,10 @@ pub struct Maq {
     pub fill_hist: pac_trace::LatencyHistogram,
 }
 
+pac_types::snapshot_fields!(Maq {
+    queue, capacity, fill_start, fill_pushes, fill_latency_sum, fills, fill_hist
+});
+
 impl Maq {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);

@@ -90,6 +90,52 @@ pub struct AdaptiveMshrFile {
     pub merged_raw: u64,
 }
 
+pac_types::snapshot_fields!(MshrEntry {
+    dispatch_id, addr, bytes, op, raw_ids, subentries, mergeable
+});
+
+// Both lookup indexes are derived from the entry array: rebuilding them
+// in slot order reproduces the exact bucket contents an uninterrupted
+// run would hold (buckets gain indices in insertion order, and
+// `try_merge` picks the lowest slot regardless of bucket order).
+impl pac_types::Snapshot for AdaptiveMshrFile {
+    fn save(&self, w: &mut pac_types::SnapWriter) {
+        self.entries.save(w);
+        self.capacity.save(w);
+        self.max_subentries.save(w);
+        self.next_dispatch_id.save(w);
+        self.generation.save(w);
+        self.comparisons.save(w);
+        self.merged_raw.save(w);
+    }
+    fn load(r: &mut pac_types::SnapReader<'_>) -> Result<Self, pac_types::SnapError> {
+        let entries = Vec::<MshrEntry>::load(r)?;
+        let capacity = usize::load(r)?;
+        let max_subentries = usize::load(r)?;
+        let next_dispatch_id = u64::load(r)?;
+        let generation = u64::load(r)?;
+        let comparisons = u64::load(r)?;
+        let merged_raw = u64::load(r)?;
+        let mut by_dispatch = HashMap::with_capacity_and_hasher(capacity, IdHash);
+        let mut by_page: HashMap<u64, Vec<usize>, IdHash> = HashMap::default();
+        for (i, e) in entries.iter().enumerate() {
+            by_dispatch.insert(e.dispatch_id, i);
+            by_page.entry(e.addr / PAGE_BYTES).or_default().push(i);
+        }
+        Ok(AdaptiveMshrFile {
+            entries,
+            capacity,
+            max_subentries,
+            next_dispatch_id,
+            by_dispatch,
+            by_page,
+            generation,
+            comparisons,
+            merged_raw,
+        })
+    }
+}
+
 impl AdaptiveMshrFile {
     pub fn new(capacity: usize, max_subentries: usize) -> Self {
         assert!(capacity > 0);

@@ -63,6 +63,17 @@ pub struct PacCoalescer {
     tracer: TraceHandle,
 }
 
+// `scratch_streams` is drained within every `tick`, so it is provably
+// empty at any checkpoint boundary; the tracer is re-attached by the
+// simulator after restore.
+pac_types::snapshot_fields!(PacCoalescer {
+    cfg, aggregator, network, maq, mshr, bypass_enabled, atomics,
+    next_atomic, pending, input_waiting, maq_stalled_gen, stats,
+} skip {
+    scratch_streams: Vec::new(),
+    tracer: TraceHandle::disabled(),
+});
+
 impl PacCoalescer {
     pub fn new(cfg: CoalescerConfig) -> Self {
         PacCoalescer {
@@ -483,6 +494,10 @@ impl MemoryCoalescer for PacCoalescer {
             inflight_mshrs: self.mshr.occupancy() as u32,
         })
     }
+
+    fn save_state(&self, w: &mut pac_types::SnapWriter) {
+        pac_types::Snapshot::save(self, w);
+    }
 }
 
 #[cfg(test)]
@@ -851,8 +866,8 @@ mod tests {
         let mut outstanding: std::collections::VecDeque<u64> =
             out.iter().map(|d| d.dispatch_id).collect();
         let mut now = 60;
-        let mut seen = out.len();
-        for expected_page in [0x102u64, 0x103, 0x104, 0x105] {
+        let first = out.len();
+        for (seen, expected_page) in (first..).zip([0x102u64, 0x103, 0x104, 0x105]) {
             let id = outstanding.pop_front().expect("an entry is in flight");
             let mut sat = Vec::new();
             pac.complete(id, now, &mut sat);
@@ -865,7 +880,6 @@ mod tests {
             assert_eq!(out.len(), seen + 1, "one freed MSHR admits exactly one MAQ entry");
             assert_eq!(out[seen].addr >> 12, expected_page, "MAQ must drain FIFO");
             outstanding.push_back(out[seen].dispatch_id);
-            seen += 1;
         }
     }
 

@@ -36,12 +36,19 @@ pub struct NetworkStats {
     pub stage3_hist: pac_trace::LatencyHistogram,
 }
 
+pac_types::snapshot_fields!(NetworkStats {
+    coalesced_streams, bypassed_raw, stage2_latency_sum, stage2_batches,
+    stage3_latency_sum, stage3_batches, stage2_hist, stage3_hist,
+});
+
 #[derive(Debug)]
 struct OutEntry {
     ready: Cycle,
     seq: u64,
     req: CoalescedRequest,
 }
+
+pac_types::snapshot_fields!(OutEntry { ready, seq, req });
 
 impl PartialEq for OutEntry {
     fn eq(&self, other: &Self) -> bool {
@@ -81,6 +88,46 @@ pub struct CoalescingNetwork {
     pub stats: NetworkStats,
     /// Tracer for stage-batch and bypass events (disabled by default).
     tracer: pac_trace::TraceHandle,
+}
+
+// The coalescing table is pure precomputed combinational logic keyed
+// only by the protocol, so a checkpoint stores the protocol tag and the
+// look-up counter and rebuilds the table on restore. Scratch buffers are
+// drained within every `tick`, hence provably empty at any checkpoint
+// boundary; the tracer is re-attached by the caller.
+impl pac_types::Snapshot for CoalescingNetwork {
+    fn save(&self, w: &mut pac_types::SnapWriter) {
+        self.protocol.save(w);
+        self.table.lookups.save(w);
+        self.stage2_in.save(w);
+        self.stage2_free.save(w);
+        self.seq_buffer.save(w);
+        self.stage3_free.save(w);
+        self.out.save(w);
+        self.out_seq.save(w);
+        self.stats.save(w);
+    }
+
+    fn load(r: &mut pac_types::SnapReader<'_>) -> Result<Self, pac_types::SnapError> {
+        let protocol = MemoryProtocol::load(r)?;
+        let lookups = u64::load(r)?;
+        let mut table = CoalescingTable::for_protocol(protocol);
+        table.lookups = lookups;
+        Ok(CoalescingNetwork {
+            protocol,
+            table,
+            stage2_in: VecDeque::load(r)?,
+            stage2_free: Cycle::load(r)?,
+            seq_buffer: VecDeque::load(r)?,
+            stage3_free: Cycle::load(r)?,
+            out: BinaryHeap::load(r)?,
+            out_seq: u64::load(r)?,
+            scratch_seqs: Vec::new(),
+            scratch_reqs: Vec::new(),
+            stats: NetworkStats::load(r)?,
+            tracer: pac_trace::TraceHandle::disabled(),
+        })
+    }
 }
 
 impl CoalescingNetwork {

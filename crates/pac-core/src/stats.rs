@@ -143,6 +143,38 @@ pub struct CoalescerStats {
     pub watchdog_fires: u64,
 }
 
+pac_types::snapshot_fields!(SizeHistogram { buckets });
+pac_types::snapshot_fields!(CoalescerStats {
+    raw_requests,
+    dispatched_requests,
+    mshr_merges,
+    comparisons,
+    stage_bypasses,
+    network_bypasses,
+    timeout_flushes,
+    capacity_flushes,
+    fence_flushes,
+    stall_cycles,
+    stage2_latency_sum,
+    stage2_batches,
+    stage3_latency_sum,
+    stage3_batches,
+    occupancy_sum,
+    occupancy_samples,
+    maq_fill_latency_sum,
+    maq_fills,
+    stage2_hist,
+    stage3_hist,
+    maq_fill_hist,
+    size_histogram,
+    occupancy_trace,
+    trace_occupancy,
+    retries_issued,
+    duplicate_responses_dropped,
+    poisoned_responses,
+    watchdog_fires,
+});
+
 impl CoalescerStats {
     /// Coalescing efficiency (Eq. 1): reduced requests / total requests.
     /// "Reduced" counts every raw request that did not become its own

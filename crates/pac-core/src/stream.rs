@@ -29,6 +29,8 @@ pub struct CoalescingStream {
     pub raw: Vec<(BlockId, u64)>,
 }
 
+pac_types::snapshot_fields!(CoalescingStream { tag, ppn, op, block_map, allocated, first_issue, raw });
+
 impl CoalescingStream {
     /// Open a new stream seeded with `req`, allocated at cycle `now`
     /// (the timeout counts stage-1 residency, not the request's age).

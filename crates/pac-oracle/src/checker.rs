@@ -36,6 +36,10 @@ pub struct OracleConfig {
     pub max_recorded: usize,
 }
 
+pac_types::snapshot_fields!(OracleConfig {
+    max_request_bytes, row_bytes, max_response_latency, max_recorded
+});
+
 impl OracleConfig {
     /// Derive the geometry bounds from a simulation configuration.
     pub fn for_sim(cfg: &SimConfig) -> Self {
@@ -57,6 +61,8 @@ struct DispatchRecord {
     at: Cycle,
     responded: bool,
 }
+
+pac_types::snapshot_fields!(DispatchRecord { addr, bytes, op, at, responded });
 
 /// Summary of one checked run.
 #[derive(Debug, Clone)]
@@ -132,6 +138,11 @@ pub struct LockstepChecker {
     responses: u64,
     finalized: bool,
 }
+
+pac_types::snapshot_fields!(LockstepChecker {
+    cfg, model, dispatches, violations, counts, last_structural,
+    dispatched, responses, finalized,
+});
 
 impl LockstepChecker {
     pub fn new(cfg: OracleConfig) -> Self {

@@ -81,6 +81,20 @@ impl Invariant {
     }
 }
 
+// Serialized as the dense `ALL` index, which is stable reporting order.
+impl pac_types::Snapshot for Invariant {
+    fn save(&self, w: &mut pac_types::SnapWriter) {
+        pac_types::Snapshot::save(&(self.index() as u8), w);
+    }
+
+    fn load(r: &mut pac_types::SnapReader<'_>) -> Result<Self, pac_types::SnapError> {
+        let idx = <u8 as pac_types::Snapshot>::load(r)? as usize;
+        Invariant::ALL.get(idx).copied().ok_or_else(|| {
+            pac_types::SnapError::Corrupt(format!("invariant index {idx} out of range"))
+        })
+    }
+}
+
 /// One observed divergence from the golden model.
 #[derive(Debug, Clone)]
 pub struct Violation {
@@ -90,6 +104,8 @@ pub struct Violation {
     /// Human-readable description of what broke.
     pub detail: String,
 }
+
+pac_types::snapshot_fields!(Violation { invariant, cycle, detail });
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

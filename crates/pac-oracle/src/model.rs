@@ -21,6 +21,8 @@ pub struct PendingRaw {
     pub accepted_at: Cycle,
 }
 
+pac_types::snapshot_fields!(PendingRaw { line, op, accepted_at });
+
 /// Why a serve attempt diverged from the model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
@@ -39,6 +41,8 @@ pub struct FunctionalModel {
     served: HashMap<u64, Cycle>,
     accepted: u64,
 }
+
+pac_types::snapshot_fields!(FunctionalModel { pending, served, accepted });
 
 impl FunctionalModel {
     pub fn new() -> Self {

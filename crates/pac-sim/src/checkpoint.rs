@@ -1,0 +1,72 @@
+//! Checkpoint files: framed [`SimSystem`] snapshots on disk.
+//!
+//! Thin I/O shell over [`SimSystem::save_state`] /
+//! [`SimSystem::restore`]. Writes are atomic (temp file + rename) so a
+//! kill arriving mid-write can never leave a torn checkpoint where a
+//! good one used to be — the resuming side sees either the old complete
+//! file or the new complete file.
+
+use crate::system::SimSystem;
+use pac_types::SnapError;
+use pac_workloads::multiproc::CoreSpec;
+use std::path::{Path, PathBuf};
+
+/// Why a checkpoint file could not be written or read back.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The filesystem operation on the named path failed.
+    Io(PathBuf, std::io::Error),
+    /// The snapshot payload itself was refused (corrupt, mismatched
+    /// configuration, unsupported system mode).
+    Snap(SnapError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(path, e) => {
+                write!(f, "checkpoint I/O failed on {}: {e}", path.display())
+            }
+            CheckpointError::Snap(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(_, e) => Some(e),
+            CheckpointError::Snap(e) => Some(e),
+        }
+    }
+}
+
+impl From<SnapError> for CheckpointError {
+    fn from(e: SnapError) -> Self {
+        CheckpointError::Snap(e)
+    }
+}
+
+/// Atomically write `sys`'s snapshot to `path`. The temp file lives in
+/// the same directory as `path` so the final rename stays on one
+/// filesystem (rename across mounts is a copy, not atomic).
+pub fn write_checkpoint(path: &Path, sys: &SimSystem, meta: &str) -> Result<(), CheckpointError> {
+    let bytes = sys.save_state(meta)?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes).map_err(|e| CheckpointError::Io(tmp.clone(), e))?;
+    std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(path.to_path_buf(), e))
+}
+
+/// Read a checkpoint and rebuild the system. `specs` and
+/// `expected_meta` follow [`SimSystem::restore`]'s contract: same
+/// workload, same identity line.
+pub fn read_checkpoint(
+    path: &Path,
+    specs: Vec<CoreSpec>,
+    expected_meta: &str,
+) -> Result<SimSystem, CheckpointError> {
+    let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io(path.to_path_buf(), e))?;
+    SimSystem::restore(specs, &bytes, expected_meta).map_err(CheckpointError::Snap)
+}

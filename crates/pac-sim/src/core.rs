@@ -136,6 +136,92 @@ impl CoreState {
     }
 }
 
+pac_types::snapshot_fields!(PendingPush { req, is_fill });
+pac_types::snapshot_fields!(CoreStats { accesses, l1_hits, l2_hits, misses });
+
+impl CoreState {
+    /// Serialize everything except the stream itself. Streams are
+    /// procedural generators behind a trait object — they cannot be
+    /// serialized, but they are pure functions of their spec, so the
+    /// restore side rebuilds one from a fresh [`CoreSpec`] and replays
+    /// it forward by exactly `stats.accesses` pulls.
+    pub(crate) fn save_snapshot(&self, w: &mut pac_types::SnapWriter) {
+        use pac_types::Snapshot;
+        self.id.save(w);
+        self.label.to_string().save(w);
+        self.compute_gap.save(w);
+        self.process.save(w);
+        self.remaining.save(w);
+        self.ready_at.save(w);
+        self.outstanding.save(w);
+        self.max_outstanding.save(w);
+        self.retry.save(w);
+        self.burst_pos.save(w);
+        self.stats.save(w);
+    }
+
+    /// Rebuild a core from its snapshot plus a freshly constructed
+    /// `spec` for the same workload. The spec's identity fields must
+    /// match what the checkpoint recorded — a different benchmark,
+    /// compute gap, or process id means the caller is resuming under
+    /// the wrong workload, which would silently diverge.
+    pub(crate) fn restore_snapshot(
+        r: &mut pac_types::SnapReader<'_>,
+        spec: CoreSpec,
+    ) -> Result<Self, pac_types::SnapError> {
+        use pac_types::{SnapError, Snapshot};
+        let id = u8::load(r)?;
+        let label = String::load(r)?;
+        if label != spec.label {
+            return Err(SnapError::ConfigMismatch(format!(
+                "core {id} was checkpointed running {label}, resume spec supplies {}",
+                spec.label
+            )));
+        }
+        let compute_gap = u64::load(r)?;
+        if compute_gap != spec.compute_gap {
+            return Err(SnapError::ConfigMismatch(format!(
+                "core {id} compute gap {compute_gap} != spec's {}",
+                spec.compute_gap
+            )));
+        }
+        let process = u32::load(r)?;
+        if process != spec.process {
+            return Err(SnapError::ConfigMismatch(format!(
+                "core {id} process {process} != spec's {}",
+                spec.process
+            )));
+        }
+        let remaining = u64::load(r)?;
+        let ready_at = Cycle::load(r)?;
+        let outstanding = usize::load(r)?;
+        let max_outstanding = usize::load(r)?;
+        let retry = Option::<PendingPush>::load(r)?;
+        let burst_pos = u64::load(r)?;
+        let stats = CoreStats::load(r)?;
+        // Fast-forward the fresh stream to where the checkpointed one
+        // stood: `take_access` pulls exactly once per counted access.
+        let mut stream = spec.stream;
+        for _ in 0..stats.accesses {
+            let _ = stream.next_access();
+        }
+        Ok(CoreState {
+            id,
+            stream,
+            compute_gap,
+            label: spec.label,
+            process,
+            remaining,
+            ready_at,
+            outstanding,
+            max_outstanding,
+            retry,
+            burst_pos,
+            stats,
+        })
+    }
+}
+
 impl std::fmt::Debug for CoreState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CoreState")

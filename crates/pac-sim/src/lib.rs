@@ -36,6 +36,7 @@
 //! assert!(pac.transaction_bytes < raw.transaction_bytes);
 //! ```
 
+pub mod checkpoint;
 pub mod core;
 pub mod experiment;
 pub mod metrics;
@@ -44,11 +45,12 @@ pub mod replay;
 pub mod system;
 pub mod trace_json;
 
+pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointError};
 pub use experiment::{run_bench, run_matrix, run_pair, run_specs, ExperimentConfig};
 pub use metrics::RunMetrics;
 pub use recovery::{RecoveryLayer, RecoveryReport, ResponseVerdict, StuckTxn, WatchdogAction};
 pub use replay::{replay, replay_with};
 pub use system::{
-    run_lockstep, CoalescerKind, LockstepOutcome, SimSystem, Stepping, TraceEntry,
+    run_lockstep, CoalescerKind, LockstepOutcome, RunProgress, SimSystem, Stepping, TraceEntry,
 };
 pub use trace_json::TraceJsonError;

@@ -195,6 +195,27 @@ pub struct RecoveryLayer {
     stuck: Vec<StuckTxn>,
 }
 
+pac_types::snapshot_fields!(Txn { seq, addr, bytes, op, attempt, deadline });
+pac_types::snapshot_fields!(StuckTxn { seq, dispatch_id, addr, attempts });
+// The deadline heap is serialized as-is, stale pairs included: pruning
+// at checkpoint time would make the resumed heap's pop sequence differ
+// from the uninterrupted run's only in *which* stale entries it skips,
+// but keeping them means the two runs are byte-for-byte in lockstep.
+pac_types::snapshot_fields!(RecoveryLayer {
+    cfg,
+    next_seq,
+    entries,
+    retired,
+    deadlines,
+    retries_issued,
+    duplicates_dropped,
+    poisoned_responses,
+    watchdog_fires,
+    max_attempts,
+    aborted,
+    stuck,
+});
+
 impl RecoveryLayer {
     pub fn new(cfg: RecoveryConfig) -> Self {
         assert!(cfg.enabled, "building a recovery layer from a disabled config");

@@ -86,6 +86,21 @@ impl CoalescerKind {
     }
 }
 
+/// How one [`SimSystem::advance`] leg of the run loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunProgress {
+    /// Every core finished and the system drained.
+    Done,
+    /// The recovery layer's quiesce/drain abort terminated the run.
+    Aborted,
+    /// The clock reached the caller's `cycle_limit` without draining.
+    CycleLimit,
+    /// The clock reached `stop_at`: the system sits at a
+    /// checkpoint-safe boundary between ticks and can be snapshotted
+    /// and/or advanced further.
+    Paused,
+}
+
 /// One raw request as recorded in a captured trace: everything a
 /// coalescer model needs to replay the stream (Figs 1, 2, 6–14 are
 /// evaluated on such traces, mirroring the paper's Spike-trace-driven
@@ -153,6 +168,88 @@ struct StrideState {
     entries: [StreamEntry; 8],
 }
 
+impl pac_types::Snapshot for Stepping {
+    fn save(&self, w: &mut pac_types::SnapWriter) {
+        w.u8(match self {
+            Stepping::EveryCycle => 0,
+            Stepping::SkipAhead => 1,
+        });
+    }
+    fn load(r: &mut pac_types::SnapReader<'_>) -> Result<Self, pac_types::SnapError> {
+        match r.u8()? {
+            0 => Ok(Stepping::EveryCycle),
+            1 => Ok(Stepping::SkipAhead),
+            v => Err(pac_types::SnapError::Corrupt(format!("Stepping tag {v}"))),
+        }
+    }
+}
+
+// Serialized as the dense `ALL` index.
+impl pac_types::Snapshot for CoalescerKind {
+    fn save(&self, w: &mut pac_types::SnapWriter) {
+        let idx = CoalescerKind::ALL.iter().position(|k| k == self).expect("listed") as u8;
+        w.u8(idx);
+    }
+    fn load(r: &mut pac_types::SnapReader<'_>) -> Result<Self, pac_types::SnapError> {
+        let idx = r.u8()? as usize;
+        CoalescerKind::ALL
+            .get(idx)
+            .copied()
+            .ok_or_else(|| pac_types::SnapError::Corrupt(format!("CoalescerKind tag {idx}")))
+    }
+}
+
+impl pac_types::Snapshot for Owner {
+    fn save(&self, w: &mut pac_types::SnapWriter) {
+        match self {
+            Owner::Core(c) => {
+                w.u8(0);
+                w.u8(*c);
+            }
+            Owner::WriteBack => w.u8(1),
+            Owner::Prefetch => w.u8(2),
+        }
+    }
+    fn load(r: &mut pac_types::SnapReader<'_>) -> Result<Self, pac_types::SnapError> {
+        match r.u8()? {
+            0 => Ok(Owner::Core(r.u8()?)),
+            1 => Ok(Owner::WriteBack),
+            2 => Ok(Owner::Prefetch),
+            v => Err(pac_types::SnapError::Corrupt(format!("Owner tag {v}"))),
+        }
+    }
+}
+
+impl pac_types::Snapshot for SideEntry {
+    fn save(&self, w: &mut pac_types::SnapWriter) {
+        match self {
+            SideEntry::Ready(req, owner, is_fill) => {
+                w.u8(0);
+                req.save(w);
+                owner.save(w);
+                is_fill.save(w);
+            }
+            SideEntry::PfCandidate { addr, core } => {
+                w.u8(1);
+                addr.save(w);
+                core.save(w);
+            }
+        }
+    }
+    fn load(r: &mut pac_types::SnapReader<'_>) -> Result<Self, pac_types::SnapError> {
+        match r.u8()? {
+            0 => Ok(SideEntry::Ready(MemRequest::load(r)?, Owner::load(r)?, bool::load(r)?)),
+            1 => Ok(SideEntry::PfCandidate { addr: u64::load(r)?, core: u8::load(r)? }),
+            v => Err(pac_types::SnapError::Corrupt(format!("SideEntry tag {v}"))),
+        }
+    }
+}
+
+pac_types::snapshot_fields!(TraceEntry { cycle, addr, op, kind, data_bytes, core });
+pac_types::snapshot_fields!(RawMeta { owner, line, is_fill });
+pac_types::snapshot_fields!(StreamEntry { next_line, streak, prefetched_upto, lru });
+pac_types::snapshot_fields!(StrideState { entries });
+
 /// The full simulated system.
 pub struct SimSystem {
     cfg: SimConfig,
@@ -213,6 +310,12 @@ pub struct SimSystem {
     /// change core state, so `tick` reuses the verdicts instead of
     /// re-interrogating all cores.
     core_mask: Option<u64>,
+    /// Whether the end-of-stream stage-1 flush has been issued. Lives on
+    /// the system (not the run loop) so a checkpoint taken mid-run
+    /// carries it.
+    flushed: bool,
+    /// Convergence bound computed by [`Self::begin_run`].
+    run_limit: Cycle,
 }
 
 impl SimSystem {
@@ -233,6 +336,9 @@ impl SimSystem {
         stepping: Stepping,
     ) -> Self {
         assert!(!specs.is_empty());
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
         assert!(
             cfg.coalescer.protocol.max_request_bytes() <= cfg.hmc.row_bytes,
             "coalescer protocol allows {}B requests but the device rows are {}B; \
@@ -274,6 +380,8 @@ impl SimSystem {
             blocked_scratch: Vec::new(),
             recovery_actions: Vec::new(),
             core_mask: None,
+            flushed: false,
+            run_limit: 0,
             cfg,
         }
     }
@@ -1050,39 +1158,77 @@ impl SimSystem {
         self.prefetches_issued
     }
 
-    /// Run each core for `accesses_per_core` accesses and drain.
-    pub fn run(&mut self, accesses_per_core: u64) -> RunMetrics {
+    /// Arm a run: load each core's access budget and compute the
+    /// convergence bound. The run then proceeds through one or more
+    /// [`Self::advance`] legs and ends with [`Self::finish_run`] —
+    /// [`Self::run`]/[`Self::run_until`] package the common one-leg
+    /// case. A system restored from a checkpoint must NOT call this:
+    /// the budget, flush flag, and bound are part of the snapshot.
+    pub fn begin_run(&mut self, accesses_per_core: u64) {
         for c in &mut self.cores {
             c.remaining = accesses_per_core;
         }
-        let limit = accesses_per_core
+        self.run_limit = accesses_per_core
             .saturating_mul(self.cores.len() as u64)
             .saturating_mul(2000)
             .max(10_000_000);
-        let mut flushed = false;
+        self.flushed = false;
+    }
+
+    /// Drive the run loop until it drains, aborts, reaches
+    /// `cycle_limit`, or reaches `stop_at`. The `Paused` return leaves
+    /// the system between ticks — the checkpoint-safe boundary where
+    /// every per-tick scratch buffer is drained — so the caller can
+    /// [`Self::save_state`] and later continue (here or in a restored
+    /// process) with another `advance` call, bit-identically to a run
+    /// that never stopped.
+    pub fn advance(&mut self, cycle_limit: Cycle, stop_at: Cycle) -> RunProgress {
         while !self.all_done() {
+            if self.now >= cycle_limit {
+                return RunProgress::CycleLimit;
+            }
+            if self.now >= stop_at {
+                return RunProgress::Paused;
+            }
             self.tick();
             if self.recovery_aborted() {
                 // Quiesce/drain ran: structures are reclaimed and the
                 // run is over. Metrics are still collected — the
                 // RecoveryReport carries the verdict.
-                break;
+                return RunProgress::Aborted;
             }
-            if !flushed && self.cores.iter().all(|c| c.remaining == 0) {
+            if !self.flushed && self.cores.iter().all(|c| c.remaining == 0) {
                 // End of the instruction streams: flush stragglers out
                 // of stage 1 so the drain terminates promptly.
                 self.coalescer.flush(self.now);
-                flushed = true;
+                self.flushed = true;
             }
             if self.stepping == Stepping::SkipAhead {
                 // `tick` already advanced `now` by one; jump the clock
                 // over idle and blocked-retry cycles from there.
                 self.skip_to_next_event();
             }
-            assert!(self.now < limit, "simulation failed to converge by cycle {}", self.now);
         }
+        RunProgress::Done
+    }
+
+    /// Settle end-of-run statistics and collect the metrics. Call once,
+    /// after [`Self::advance`] returns a terminal (non-`Paused`) state.
+    pub fn finish_run(&mut self) -> RunMetrics {
         self.finalize_run();
         RunMetrics::collect(self)
+    }
+
+    /// Run each core for `accesses_per_core` accesses and drain.
+    pub fn run(&mut self, accesses_per_core: u64) -> RunMetrics {
+        self.begin_run(accesses_per_core);
+        let progress = self.advance(self.run_limit, Cycle::MAX);
+        assert!(
+            progress != RunProgress::CycleLimit,
+            "simulation failed to converge by cycle {}",
+            self.now
+        );
+        self.finish_run()
     }
 
     /// End-of-run bookkeeping shared by [`Self::run`] and
@@ -1100,6 +1246,154 @@ impl SimSystem {
         }
     }
 
+    /// Serialize the complete simulation state into a framed,
+    /// checksummed checkpoint (see [`pac_types::snapshot`]). `meta` is
+    /// the experiment identity line (workload, coalescer, seed, access
+    /// budget); [`Self::restore`] refuses a checkpoint whose meta does
+    /// not match, so a resumed run can never silently continue under
+    /// the wrong experiment.
+    ///
+    /// Legal only at a checkpoint-safe boundary: before the run, or
+    /// after [`Self::advance`] returned [`RunProgress::Paused`]. The
+    /// attached tracer is NOT captured (re-attach with
+    /// [`Self::set_trace_config`] after restoring); MMU-enabled systems
+    /// are refused with [`pac_types::SnapError::Unsupported`].
+    pub fn save_state(&self, meta: &str) -> Result<Vec<u8>, pac_types::SnapError> {
+        use pac_types::Snapshot;
+        if self.mmu.is_some() {
+            return Err(pac_types::SnapError::Unsupported(
+                "MMU-enabled systems do not checkpoint (TLB and page-table state)".into(),
+            ));
+        }
+        let mut w = pac_types::SnapWriter::new();
+        self.cfg.save(&mut w);
+        self.kind.save(&mut w);
+        self.stepping.save(&mut w);
+        self.cores.len().save(&mut w);
+        for c in &self.cores {
+            c.save_snapshot(&mut w);
+        }
+        self.hierarchy.save(&mut w);
+        self.coalescer.save_state(&mut w);
+        self.hmc.save(&mut w);
+        self.now.save(&mut w);
+        self.next_raw.save(&mut w);
+        self.raw_meta.save(&mut w);
+        self.side_queue.save(&mut w);
+        self.strides.save(&mut w);
+        self.prefetch_outstanding.save(&mut w);
+        self.prefetches_issued.save(&mut w);
+        self.oracle.save(&mut w);
+        self.recovery.save(&mut w);
+        self.trace.save(&mut w);
+        self.trace_cap.save(&mut w);
+        self.last_counter_sample.save(&mut w);
+        self.seen_violations.save(&mut w);
+        self.core_mask.save(&mut w);
+        self.flushed.save(&mut w);
+        self.run_limit.save(&mut w);
+        Ok(pac_types::frame(meta, &w.into_bytes()))
+    }
+
+    /// Rebuild a system from a checkpoint written by
+    /// [`Self::save_state`]. `specs` must describe the same workload
+    /// the checkpoint was taken under (same benchmarks, same seed, same
+    /// core count — each core's identity fields are cross-checked and
+    /// its stream replayed forward to the checkpointed position);
+    /// `expected_meta` must equal the meta line the checkpoint was
+    /// saved with. Continue with [`Self::advance`] +
+    /// [`Self::finish_run`] — do NOT call [`Self::begin_run`], the
+    /// in-progress run's budget and bounds are part of the state.
+    pub fn restore(
+        specs: Vec<CoreSpec>,
+        bytes: &[u8],
+        expected_meta: &str,
+    ) -> Result<SimSystem, pac_types::SnapError> {
+        use pac_types::{SnapError, Snapshot};
+        let (meta, payload) = pac_types::unframe(bytes)?;
+        if meta != expected_meta {
+            return Err(SnapError::ConfigMismatch(format!(
+                "checkpoint was taken under '{meta}', resuming under '{expected_meta}'"
+            )));
+        }
+        let mut r = pac_types::SnapReader::new(payload);
+        let cfg = SimConfig::load(&mut r)?;
+        cfg.validate().map_err(|e| SnapError::ConfigMismatch(e.to_string()))?;
+        let kind = CoalescerKind::load(&mut r)?;
+        let stepping = Stepping::load(&mut r)?;
+        let n_cores = usize::load(&mut r)?;
+        if n_cores != specs.len() {
+            return Err(SnapError::ConfigMismatch(format!(
+                "checkpoint has {n_cores} cores, resume specs supply {}",
+                specs.len()
+            )));
+        }
+        let mut cores = Vec::with_capacity(n_cores);
+        for spec in specs {
+            cores.push(CoreState::restore_snapshot(&mut r, spec)?);
+        }
+        let hierarchy = CacheHierarchy::load(&mut r)?;
+        // The dynamic coalescer is keyed by the serialized kind: the
+        // save side wrote the concrete type's state via
+        // `MemoryCoalescer::save_state`, the load side knows which
+        // concrete `Snapshot::load` to dispatch to.
+        let coalescer: Box<dyn MemoryCoalescer> = match kind {
+            CoalescerKind::Raw => Box::new(NoCoalescing::load(&mut r)?),
+            CoalescerKind::MshrDmc => Box::new(MshrDmc::load(&mut r)?),
+            CoalescerKind::Pac => Box::new(PacCoalescer::load(&mut r)?),
+        };
+        let hmc = Hmc::load(&mut r)?;
+        let now = Cycle::load(&mut r)?;
+        let next_raw = u64::load(&mut r)?;
+        let raw_meta = HashMap::<u64, RawMeta, IdHash>::load(&mut r)?;
+        let side_queue = VecDeque::<SideEntry>::load(&mut r)?;
+        let strides = Vec::<StrideState>::load(&mut r)?;
+        let prefetch_outstanding = usize::load(&mut r)?;
+        let prefetches_issued = u64::load(&mut r)?;
+        let oracle = Option::<LockstepChecker>::load(&mut r)?;
+        let recovery = Option::<RecoveryLayer>::load(&mut r)?;
+        let trace = Option::<Vec<TraceEntry>>::load(&mut r)?;
+        let trace_cap = usize::load(&mut r)?;
+        let last_counter_sample = Cycle::load(&mut r)?;
+        let seen_violations = u64::load(&mut r)?;
+        let core_mask = Option::<u64>::load(&mut r)?;
+        let flushed = bool::load(&mut r)?;
+        let run_limit = Cycle::load(&mut r)?;
+        r.finish()?;
+        Ok(SimSystem {
+            cfg,
+            kind,
+            cores,
+            hierarchy,
+            coalescer,
+            hmc,
+            now,
+            next_raw,
+            raw_meta,
+            side_queue,
+            strides,
+            prefetch_outstanding,
+            prefetches_issued,
+            mmu: None,
+            oracle,
+            recovery,
+            trace,
+            trace_cap,
+            tracer: TraceHandle::disabled(),
+            last_counter_sample,
+            seen_violations,
+            stepping,
+            dispatches: Vec::new(),
+            responses: Vec::new(),
+            satisfied: Vec::new(),
+            blocked_scratch: Vec::new(),
+            recovery_actions: Vec::new(),
+            core_mask,
+            flushed,
+            run_limit,
+        })
+    }
+
     /// Like [`Self::run`], but bounded: gives up (without panicking)
     /// once the clock reaches `cycle_limit`. Fault-conformance runs need
     /// this — a dropped response wedges the drain forever, and the point
@@ -1107,40 +1401,22 @@ impl SimSystem {
     /// the loss rather than die on the convergence assert. Returns
     /// `true` when the system actually drained.
     pub fn run_until(&mut self, accesses_per_core: u64, cycle_limit: Cycle) -> bool {
-        for c in &mut self.cores {
-            c.remaining = accesses_per_core;
-        }
-        let mut flushed = false;
-        let mut converged = true;
-        while !self.all_done() {
-            if self.now >= cycle_limit {
-                converged = false;
-                break;
-            }
-            self.tick();
-            if self.recovery_aborted() {
-                // Retry exhaustion tripped the quiesce/drain path: the
-                // run terminates promptly (and structurally clean)
-                // instead of spinning to the cycle limit.
-                converged = false;
-                break;
-            }
-            if !flushed && self.cores.iter().all(|c| c.remaining == 0) {
-                self.coalescer.flush(self.now);
-                flushed = true;
-            }
-            if self.stepping == Stepping::SkipAhead {
-                self.skip_to_next_event();
-            }
-        }
+        self.begin_run(accesses_per_core);
+        let progress = self.advance(cycle_limit, Cycle::MAX);
         self.finalize_run();
-        converged
+        progress == RunProgress::Done
     }
 
     // ---- accessors for metrics collection ----
 
     pub fn now(&self) -> Cycle {
         self.now
+    }
+
+    /// Convergence bound computed by [`Self::begin_run`] (or restored
+    /// from a checkpoint). The cycle limit [`Self::run`] enforces.
+    pub fn run_limit(&self) -> Cycle {
+        self.run_limit
     }
 
     pub fn kind(&self) -> CoalescerKind {

@@ -137,6 +137,8 @@ impl LatencyHistogram {
     }
 }
 
+pac_types::snapshot_fields!(LatencyHistogram { buckets, sum, count, max });
+
 /// A named collection of latency histograms, rendered as the
 /// human-readable stage-latency table in trace reports.
 #[derive(Debug, Clone, Default)]

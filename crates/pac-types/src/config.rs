@@ -13,6 +13,7 @@
 //! | Avg HMC access time  | 93 ns                                |
 
 use crate::protocol::MemoryProtocol;
+use std::fmt;
 
 /// Geometry and timing of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,6 +231,167 @@ impl Default for SimConfig {
     }
 }
 
+/// Why a [`SimConfig`] was rejected by [`SimConfig::validate`].
+///
+/// Mirrors [`crate::fault::FaultPlanError`]: every variant names the
+/// offending field and says what a legal value looks like, so a bad
+/// sweep cell fails at construction with a located message instead of
+/// panicking (division by zero, empty-queue deadlock) deep inside a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// `cores == 0`: a run with no cores can never retire an access.
+    ZeroCores,
+    /// `coalescer.maq_entries == 0`: the MAQ could never accept a
+    /// coalesced request, deadlocking stage 3 permanently.
+    ZeroMaqEntries,
+    /// `coalescer.mshrs == 0`: no miss could ever be tracked; every
+    /// dispatch would stall forever.
+    ZeroMshrs,
+    /// `coalescer.mshr_subentries == 0`: an MSHR entry that cannot hold
+    /// even its own originating request.
+    ZeroMshrSubentries,
+    /// `coalescer.streams == 0`: the aggregator has nowhere to open a
+    /// page window.
+    ZeroStreams,
+    /// `core_outstanding == 0`: every core would stall before its first
+    /// miss.
+    ZeroCoreOutstanding,
+    /// A cache geometry field that must be a nonzero power of two
+    /// (line size, capacity, associativity) is not.
+    CacheGeometry {
+        /// Which cache level ("l1" or "l2").
+        level: &'static str,
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// `hmc.row_bytes` is zero or not a power of two — page/vault/bank
+    /// decomposition is bit manipulation and requires it.
+    RowBytesNotPow2(u64),
+    /// `hmc.vaults`, `hmc.banks_per_vault`, or `hmc.links` is zero, or
+    /// vaults is not divisible by links (quadrant mapping would truncate).
+    HmcGeometry(&'static str),
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimConfigError::ZeroCores => {
+                write!(f, "config rejected: cores == 0 (no core can ever retire an access)")
+            }
+            SimConfigError::ZeroMaqEntries => write!(
+                f,
+                "config rejected: coalescer.maq_entries == 0 (the MAQ could never accept \
+                 a request; stage 3 would deadlock)"
+            ),
+            SimConfigError::ZeroMshrs => write!(
+                f,
+                "config rejected: coalescer.mshrs == 0 (no miss could ever be tracked)"
+            ),
+            SimConfigError::ZeroMshrSubentries => write!(
+                f,
+                "config rejected: coalescer.mshr_subentries == 0 (an MSHR entry must hold \
+                 at least its originating request)"
+            ),
+            SimConfigError::ZeroStreams => write!(
+                f,
+                "config rejected: coalescer.streams == 0 (the aggregator has no page windows)"
+            ),
+            SimConfigError::ZeroCoreOutstanding => write!(
+                f,
+                "config rejected: core_outstanding == 0 (every core stalls before its \
+                 first miss)"
+            ),
+            SimConfigError::CacheGeometry { level, field, value } => write!(
+                f,
+                "config rejected: {level}.{field} = {value} must be a nonzero power of two"
+            ),
+            SimConfigError::RowBytesNotPow2(v) => write!(
+                f,
+                "config rejected: hmc.row_bytes = {v} must be a nonzero power of two \
+                 (vault/bank decomposition is bit manipulation)"
+            ),
+            SimConfigError::HmcGeometry(what) => {
+                write!(f, "config rejected: hmc geometry invalid: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
+fn check_cache(level: &'static str, c: &CacheConfig) -> Result<(), SimConfigError> {
+    let geom = |field: &'static str, value: u64| SimConfigError::CacheGeometry {
+        level,
+        field,
+        value,
+    };
+    if c.line_bytes == 0 || !c.line_bytes.is_power_of_two() {
+        return Err(geom("line_bytes", c.line_bytes));
+    }
+    if c.capacity_bytes == 0 || !c.capacity_bytes.is_power_of_two() {
+        return Err(geom("capacity_bytes", c.capacity_bytes));
+    }
+    if c.ways == 0 || !c.ways.is_power_of_two() {
+        return Err(geom("ways", u64::from(c.ways)));
+    }
+    if c.sets() == 0 {
+        return Err(geom("capacity_bytes", c.capacity_bytes));
+    }
+    Ok(())
+}
+
+impl SimConfig {
+    /// Check every structural invariant the simulator relies on.
+    ///
+    /// Call at construction time (every `SimSystem` entry point routes
+    /// through this) so a degenerate sweep cell — zero-sized MAQ, zero
+    /// MSHRs, non-power-of-two line size — is reported up front with a
+    /// self-describing [`SimConfigError`] rather than deadlocking or
+    /// panicking mid-run. Mirrors [`crate::fault::FaultPlan::validate`].
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.cores == 0 {
+            return Err(SimConfigError::ZeroCores);
+        }
+        if self.coalescer.maq_entries == 0 {
+            return Err(SimConfigError::ZeroMaqEntries);
+        }
+        if self.coalescer.mshrs == 0 {
+            return Err(SimConfigError::ZeroMshrs);
+        }
+        if self.coalescer.mshr_subentries == 0 {
+            return Err(SimConfigError::ZeroMshrSubentries);
+        }
+        if self.coalescer.streams == 0 {
+            return Err(SimConfigError::ZeroStreams);
+        }
+        if self.core_outstanding == 0 {
+            return Err(SimConfigError::ZeroCoreOutstanding);
+        }
+        check_cache("l1", &self.l1)?;
+        check_cache("l2", &self.l2)?;
+        if self.hmc.row_bytes == 0 || !self.hmc.row_bytes.is_power_of_two() {
+            return Err(SimConfigError::RowBytesNotPow2(self.hmc.row_bytes));
+        }
+        if self.hmc.vaults == 0 {
+            return Err(SimConfigError::HmcGeometry("vaults == 0"));
+        }
+        if self.hmc.banks_per_vault == 0 {
+            return Err(SimConfigError::HmcGeometry("banks_per_vault == 0"));
+        }
+        if self.hmc.links == 0 {
+            return Err(SimConfigError::HmcGeometry("links == 0"));
+        }
+        if !self.hmc.vaults.is_multiple_of(self.hmc.links) {
+            return Err(SimConfigError::HmcGeometry(
+                "vaults must be divisible by links (quadrant mapping would truncate)",
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +429,75 @@ mod tests {
         assert_eq!(h.bank_of(256 * 32), 1);
         assert_eq!(h.bank_of(256 * 32 * 16), 0);
         assert_eq!(h.row_of(256 * 32 * 16), 1);
+    }
+
+    #[test]
+    fn validate_accepts_table1_defaults() {
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_cells() {
+        let base = SimConfig::default();
+
+        let mut c = base;
+        c.cores = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::ZeroCores));
+
+        let mut c = base;
+        c.coalescer.maq_entries = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::ZeroMaqEntries));
+
+        let mut c = base;
+        c.coalescer.mshrs = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::ZeroMshrs));
+
+        let mut c = base;
+        c.coalescer.mshr_subentries = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::ZeroMshrSubentries));
+
+        let mut c = base;
+        c.coalescer.streams = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::ZeroStreams));
+
+        let mut c = base;
+        c.core_outstanding = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::ZeroCoreOutstanding));
+    }
+
+    #[test]
+    fn validate_rejects_non_pow2_geometry() {
+        let base = SimConfig::default();
+
+        let mut c = base;
+        c.l1.line_bytes = 96;
+        assert_eq!(
+            c.validate(),
+            Err(SimConfigError::CacheGeometry { level: "l1", field: "line_bytes", value: 96 })
+        );
+
+        let mut c = base;
+        c.l2.capacity_bytes = 3 << 20;
+        assert!(matches!(
+            c.validate(),
+            Err(SimConfigError::CacheGeometry { level: "l2", field: "capacity_bytes", .. })
+        ));
+
+        let mut c = base;
+        c.hmc.row_bytes = 384;
+        assert_eq!(c.validate(), Err(SimConfigError::RowBytesNotPow2(384)));
+
+        let mut c = base;
+        c.hmc.links = 3;
+        assert!(matches!(c.validate(), Err(SimConfigError::HmcGeometry(_))));
+    }
+
+    #[test]
+    fn validate_errors_are_self_describing() {
+        let mut c = SimConfig::default();
+        c.coalescer.maq_entries = 0;
+        let err = c.validate().expect_err("zero MAQ must be rejected");
+        assert!(err.to_string().contains("maq_entries"), "located message: {err}");
     }
 
     #[test]

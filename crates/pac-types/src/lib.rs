@@ -15,15 +15,17 @@ pub mod hash;
 pub mod protocol;
 pub mod recovery;
 pub mod request;
+pub mod snapshot;
 pub mod trace;
 
 pub use addr::{Addr, BlockId, PageNumber, CACHE_LINE_BYTES, PAGE_BYTES};
-pub use config::{CacheConfig, CoalescerConfig, HmcDeviceConfig, SimConfig};
+pub use config::{CacheConfig, CoalescerConfig, HmcDeviceConfig, SimConfig, SimConfigError};
 pub use fault::{FaultClass, FaultPlan, FaultPlanError};
 pub use hash::{IdHash, IdHasher};
 pub use protocol::MemoryProtocol;
 pub use recovery::RecoveryConfig;
 pub use request::{CoalescedRequest, MemRequest, Op, RequestKind};
+pub use snapshot::{frame, unframe, SnapError, SnapReader, SnapWriter, Snapshot};
 pub use trace::{EventClass, EventClassSet, TraceConfig, TraceMode};
 
 /// Simulation time, in CPU cycles. The paper's cores run at 2 GHz, so one

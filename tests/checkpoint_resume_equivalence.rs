@@ -1,0 +1,271 @@
+//! Kill-resume equivalence regression tests.
+//!
+//! The checkpoint subsystem's contract: a run paused at any
+//! checkpoint-safe boundary, serialized with [`SimSystem::save_state`],
+//! dropped (the simulated kill), and rebuilt in a fresh process image
+//! with [`SimSystem::restore`] must continue to *bit-identical* final
+//! [`RunMetrics`] and cycle counts — the resumed run and the
+//! uninterrupted run are indistinguishable by any statistic. Style
+//! follows `tests/skip_ahead_equivalence.rs`.
+
+use pac_repro::sim::{CoalescerKind, RunMetrics, RunProgress, SimSystem, Stepping};
+use pac_repro::types::{
+    Cycle, FaultClass, FaultPlan, RecoveryConfig, SimConfig, SnapError,
+};
+use pac_repro::workloads::multiproc::{single_process, CoreSpec};
+use pac_repro::workloads::Bench;
+
+const KINDS: [CoalescerKind; 3] =
+    [CoalescerKind::Raw, CoalescerKind::MshrDmc, CoalescerKind::Pac];
+
+const ACCESSES: u64 = 1_200;
+
+fn specs(bench: Bench, cfg: &SimConfig, seed: u64) -> Vec<CoreSpec> {
+    single_process(bench, cfg.cores, seed)
+}
+
+fn fresh_system(bench: Bench, kind: CoalescerKind, cfg: SimConfig, seed: u64) -> SimSystem {
+    SimSystem::with_options(
+        cfg,
+        specs(bench, &cfg, seed),
+        kind,
+        false,
+        false,
+        Stepping::SkipAhead,
+    )
+}
+
+/// Run to completion without interruption.
+fn uninterrupted(bench: Bench, kind: CoalescerKind, seed: u64) -> (RunMetrics, Cycle) {
+    let mut sys = fresh_system(bench, kind, SimConfig::default(), seed);
+    let m = sys.run(ACCESSES);
+    let now = sys.now();
+    (m, now)
+}
+
+/// Run to `stop_at`, checkpoint, drop the system (the kill), restore
+/// from bytes alone plus a freshly built workload, and run to the end.
+fn kill_resume_at(
+    bench: Bench,
+    kind: CoalescerKind,
+    seed: u64,
+    stop_at: Cycle,
+) -> (RunMetrics, Cycle) {
+    let meta = format!("{bench:?}/{}/seed{seed}/acc{ACCESSES}", kind.label());
+    let cfg = SimConfig::default();
+    let mut sys = fresh_system(bench, kind, cfg, seed);
+    sys.begin_run(ACCESSES);
+    let limit = sys.run_limit();
+    let progress = sys.advance(limit, stop_at);
+    if progress != RunProgress::Paused {
+        // The run drained before the pause point; nothing to resume.
+        let m = sys.finish_run();
+        let now = sys.now();
+        return (m, now);
+    }
+    let bytes = sys.save_state(&meta).expect("checkpoint serializes");
+    drop(sys); // the kill: nothing survives but the bytes
+
+    let mut resumed =
+        SimSystem::restore(specs(bench, &cfg, seed), &bytes, &meta).expect("checkpoint restores");
+    let progress = resumed.advance(resumed.run_limit(), Cycle::MAX);
+    assert_eq!(progress, RunProgress::Done, "{bench:?}/{kind:?}: resumed run did not drain");
+    let m = resumed.finish_run();
+    let now = resumed.now();
+    (m, now)
+}
+
+/// The headline contract: for every coalescer configuration, a run
+/// killed mid-flight and resumed from its checkpoint finishes with
+/// bit-identical metrics and final clock.
+#[test]
+fn kill_resume_matches_uninterrupted_for_all_coalescers() {
+    for &kind in &KINDS {
+        let (base, base_now) = uninterrupted(Bench::Ep, kind, 0x9AC_5EED);
+        // Pause at several depths, including very early (cold
+        // structures) and late (mid-drain).
+        for frac in [20, 2, 4, 3] {
+            let stop = (base.runtime_cycles / frac).max(1);
+            let (resumed, resumed_now) = kill_resume_at(Bench::Ep, kind, 0x9AC_5EED, stop);
+            assert_eq!(base, resumed, "{kind:?}: metrics diverged after resume at {stop}");
+            assert_eq!(base_now, resumed_now, "{kind:?}: final clock diverged");
+        }
+    }
+}
+
+/// A second workload/seed with gather-scatter traffic, all kinds.
+#[test]
+fn kill_resume_matches_on_alternate_workload() {
+    for &kind in &KINDS {
+        let (base, _) = uninterrupted(Bench::Gs, kind, 0xDEAD_BEEF);
+        let stop = (base.runtime_cycles / 2).max(1);
+        let (resumed, _) = kill_resume_at(Bench::Gs, kind, 0xDEAD_BEEF, stop);
+        assert_eq!(base, resumed, "{kind:?}: GS metrics diverged after resume");
+    }
+}
+
+/// Checkpointing twice along one run (kill, resume, kill again, resume
+/// again) must still land on the uninterrupted result: round-trips
+/// compose.
+#[test]
+fn double_kill_resume_composes() {
+    let kind = CoalescerKind::Pac;
+    let seed = 0x51_5EED;
+    let meta = "double/pac";
+    let cfg = SimConfig::default();
+    let (base, base_now) = uninterrupted(Bench::Stream, kind, seed);
+
+    let mut sys = fresh_system(Bench::Stream, kind, cfg, seed);
+    sys.begin_run(ACCESSES);
+    let limit = sys.run_limit();
+    assert_eq!(sys.advance(limit, base.runtime_cycles / 4), RunProgress::Paused);
+    let bytes = sys.save_state(meta).expect("first checkpoint");
+    drop(sys);
+
+    let mut sys = SimSystem::restore(specs(Bench::Stream, &cfg, seed), &bytes, meta).unwrap();
+    assert_eq!(sys.advance(sys.run_limit(), base.runtime_cycles / 2), RunProgress::Paused);
+    let bytes = sys.save_state(meta).expect("second checkpoint");
+    drop(sys);
+
+    let mut sys = SimSystem::restore(specs(Bench::Stream, &cfg, seed), &bytes, meta).unwrap();
+    assert_eq!(sys.advance(sys.run_limit(), Cycle::MAX), RunProgress::Done);
+    let m = sys.finish_run();
+    assert_eq!(base, m, "double round-trip diverged");
+    assert_eq!(base_now, sys.now());
+}
+
+/// Sort issues fences, so pausing at many depths crosses checkpoints
+/// where the aggregator holds a partially assembled fence window. Every
+/// one must resume bit-identically.
+#[test]
+fn checkpoint_mid_fence_assembly_resumes_bit_identically() {
+    let (base, base_now) = uninterrupted(Bench::Sort, CoalescerKind::Pac, 7);
+    for frac in [8, 5, 3, 2] {
+        let stop = (base.runtime_cycles / frac).max(1);
+        let (resumed, resumed_now) = kill_resume_at(Bench::Sort, CoalescerKind::Pac, 7, stop);
+        assert_eq!(base, resumed, "fence workload diverged after resume at {stop}");
+        assert_eq!(base_now, resumed_now);
+    }
+}
+
+/// Kill-resume with an armed fault plan and the recovery layer active:
+/// the checkpoint lands while watchdog deadlines (and possibly backoff
+/// timers on retried transactions) are pending, and the resumed run
+/// must repair the same faults on the same cycles — final metrics,
+/// oracle verdicts, and recovery counters all bit-identical.
+#[test]
+fn kill_resume_with_faults_and_recovery_active() {
+    let seed = 11;
+    let cfg = SimConfig::default();
+    let plan = FaultPlan::new(FaultClass::DropResponse, 99);
+    let recovery = RecoveryConfig::enabled();
+    let limit: Cycle = 10_000_000;
+    let meta = "faulted/pac";
+
+    let build = |cfg: SimConfig| {
+        let mut sys = fresh_system(Bench::Stream, CoalescerKind::Pac, cfg, seed);
+        sys.attach_oracle();
+        sys.set_fault_plan(plan).expect("valid plan");
+        sys.set_recovery_config(recovery);
+        sys
+    };
+
+    // Uninterrupted reference.
+    let mut sys = build(cfg);
+    sys.begin_run(ACCESSES);
+    let base_progress = sys.advance(limit, Cycle::MAX);
+    let base = sys.finish_run();
+    let base_oracle = sys.oracle_report().expect("oracle attached");
+    let base_recovery = sys.recovery_report().expect("recovery armed");
+    assert!(
+        base_recovery.watchdog_fires > 0,
+        "fault plan must exercise the watchdog for this test to mean anything"
+    );
+
+    // Killed and resumed.
+    let mut sys = build(cfg);
+    sys.begin_run(ACCESSES);
+    assert_eq!(sys.advance(limit, base.runtime_cycles / 2), RunProgress::Paused);
+    let bytes = sys.save_state(meta).expect("checkpoint with armed watchdog");
+    drop(sys);
+    let mut sys = SimSystem::restore(specs(Bench::Stream, &cfg, seed), &bytes, meta).unwrap();
+    let progress = sys.advance(sys.run_limit().min(limit), Cycle::MAX);
+    let resumed = sys.finish_run();
+    let resumed_oracle = sys.oracle_report().expect("oracle restored");
+    let resumed_recovery = sys.recovery_report().expect("recovery restored");
+
+    assert_eq!(base_progress, progress, "termination mode diverged");
+    assert_eq!(base, resumed, "metrics diverged under faults + recovery");
+    assert_eq!(base_recovery, resumed_recovery, "recovery counters diverged");
+    assert_eq!(base_oracle.counts, resumed_oracle.counts, "oracle verdicts diverged");
+    assert_eq!(base_oracle.accepted_raw, resumed_oracle.accepted_raw);
+    assert_eq!(base_oracle.served_raw, resumed_oracle.served_raw);
+    assert_eq!(base_oracle.dispatches, resumed_oracle.dispatches);
+    assert_eq!(base_oracle.responses, resumed_oracle.responses);
+}
+
+/// Checkpoint with the flight-recorder tracer enabled (its ring may
+/// hold a pending dump window). The tracer is observe-only and is
+/// deliberately not captured — the resumed run, tracer-less, must still
+/// be bit-identical to an untraced uninterrupted run.
+#[test]
+fn checkpoint_with_flight_recorder_resumes_bit_identically() {
+    let seed = 0x9AC_5EED;
+    let cfg = SimConfig::default();
+    let meta = "flight/pac";
+    let (base, base_now) = uninterrupted(Bench::Ep, CoalescerKind::Pac, seed);
+
+    let mut sys = fresh_system(Bench::Ep, CoalescerKind::Pac, cfg, seed);
+    sys.set_trace_config(pac_repro::types::TraceConfig::flight_recorder());
+    sys.begin_run(ACCESSES);
+    let limit = sys.run_limit();
+    assert_eq!(sys.advance(limit, base.runtime_cycles / 3), RunProgress::Paused);
+    let bytes = sys.save_state(meta).expect("checkpoint under tracing");
+    drop(sys);
+
+    let mut sys = SimSystem::restore(specs(Bench::Ep, &cfg, seed), &bytes, meta).unwrap();
+    assert_eq!(sys.advance(sys.run_limit(), Cycle::MAX), RunProgress::Done);
+    let m = sys.finish_run();
+    assert_eq!(base, m, "tracing perturbed the checkpointed state");
+    assert_eq!(base_now, sys.now());
+}
+
+/// The guard rails: tampered bytes, wrong meta, and wrong workload
+/// specs are all refused with the right error — never a silent
+/// misresume.
+#[test]
+fn corrupt_or_mismatched_checkpoints_are_refused() {
+    let cfg = SimConfig::default();
+    let seed = 3;
+    let meta = "guard/pac";
+    let mut sys = fresh_system(Bench::Stream, CoalescerKind::Pac, cfg, seed);
+    sys.begin_run(ACCESSES);
+    assert_eq!(sys.advance(sys.run_limit(), 2_000), RunProgress::Paused);
+    let bytes = sys.save_state(meta).expect("checkpoint");
+
+    // Bit-flip anywhere must trip the checksum.
+    let mut tampered = bytes.clone();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x10;
+    assert!(matches!(
+        SimSystem::restore(specs(Bench::Stream, &cfg, seed), &tampered, meta),
+        Err(SnapError::Checksum { .. })
+    ));
+
+    // Wrong experiment identity.
+    assert!(matches!(
+        SimSystem::restore(specs(Bench::Stream, &cfg, seed), &bytes, "other/raw"),
+        Err(SnapError::ConfigMismatch(_))
+    ));
+
+    // Wrong workload for the right meta: core identity check fires.
+    assert!(matches!(
+        SimSystem::restore(specs(Bench::Bfs, &cfg, seed), &bytes, meta),
+        Err(SnapError::ConfigMismatch(_))
+    ));
+
+    // The original, untampered bytes still restore and finish.
+    let mut resumed =
+        SimSystem::restore(specs(Bench::Stream, &cfg, seed), &bytes, meta).expect("clean restore");
+    assert_eq!(resumed.advance(resumed.run_limit(), Cycle::MAX), RunProgress::Done);
+}
