@@ -51,6 +51,7 @@
 
 pub mod device;
 pub mod energy;
+pub mod shard;
 pub mod stats;
 pub mod vault;
 

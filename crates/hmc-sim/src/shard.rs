@@ -1,0 +1,271 @@
+//! Intra-run vault sharding: the deterministic parallel device engine.
+//!
+//! The HMC's vaults are independent except at the link/crossbar
+//! boundary, which the device layer already owns — so the vault walk in
+//! [`crate::Hmc::tick`] partitions cleanly. The shard engine splits the
+//! vault array into contiguous ranges, each owned by a persistent worker
+//! thread, and exchanges cycle-stamped messages over channels:
+//!
+//! * **Deliver** hands a routed [`QueuedRequest`] to the shard owning
+//!   its vault the moment `submit` computes its arrival cycle. The
+//!   arrival is in the future (link serialization + crossbar), which is
+//!   the delayed-delivery lookahead: a shard never needs to see a
+//!   request less than one link+crossbar latency before it matters.
+//! * **Advance(target)** tells every shard to issue all head requests
+//!   whose start cycle is ≤ `target`. One bulk [`Vault::tick`] call
+//!   issues the identical reference sequence as the serial engine's
+//!   cycle-by-cycle visits — the same pure-function-of-state argument
+//!   that makes skip-ahead stepping bit-identical — and the call is
+//!   idempotent, so re-advancing to an old target is a no-op.
+//! * **Collect** clones each shard's vaults back to the device so a
+//!   snapshot sees exactly the serial engine's state. Workers keep
+//!   their copies and stay authoritative; runs continue after a
+//!   checkpoint without re-arming.
+//!
+//! Determinism contract: every observable effect of an issue is a pure
+//! function of `(start_cycle, vault_index)`, and at most one reference
+//! issues per vault per cycle, so those keys are unique. The device
+//! re-serializes the unordered per-shard event batches by sorting on
+//! that key and replays the per-issue energy charges in that canonical
+//! order — bit-identical `f64` accumulation, independent of shard count
+//! and thread scheduling.
+//!
+//! The device advances shards lazily: an issue at `start` cannot
+//! surface data before `start + t_activate + t_access_per_32b`, so the
+//! engine tracks a sound lower bound on the earliest unissued start and
+//! only synchronizes when that bound's data could matter. Between
+//! synchronizations the workers run genuinely in parallel.
+
+use crate::vault::{QueuedRequest, ReadyResponse, Vault};
+use pac_types::{Cycle, HmcDeviceConfig};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Device → shard commands.
+enum Cmd {
+    /// Enqueue a routed request into the shard-local vault at this
+    /// local index (arrival cycle is inside the request).
+    Deliver(usize, QueuedRequest),
+    /// Issue everything with a start cycle ≤ the target and report the
+    /// produced responses plus the shard's next head-start minimum.
+    Advance(Cycle),
+    /// Clone the shard's vaults back to the device (snapshot support).
+    Collect,
+    /// Terminate the worker.
+    Shutdown,
+}
+
+/// Shard → device replies.
+enum Reply {
+    Advanced { events: Vec<ReadyResponse>, next_start_min: Cycle },
+    Collected(Vec<Vault>),
+}
+
+struct Worker {
+    tx: Sender<Cmd>,
+    rx: Receiver<Reply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The engine: one worker per shard plus the routing/lookahead state the
+/// device needs to stay deterministic. Created by `Hmc::set_parallel`,
+/// never snapshotted (a restored device starts serial; callers re-arm).
+pub(crate) struct ShardEngine {
+    workers: Vec<Worker>,
+    /// vault index → (shard, local index inside that shard).
+    route: Vec<(usize, usize)>,
+    /// Sound lower bound on the earliest start cycle of any reference
+    /// not yet produced by an `Advance`: the exact per-shard minimum
+    /// from the last advance, folded with the arrival cycle of every
+    /// request delivered since (a reference never starts before it
+    /// arrives). `u64::MAX` when no unissued work exists.
+    lb: Cycle,
+    /// Highest cycle the device has ticked at while armed. Quiesce must
+    /// advance to here: the lazy lower bound only delays *data*, so
+    /// references with start ≤ the last tick may still be unissued
+    /// shard-side even though the serial engine would have issued them.
+    last_tick: Cycle,
+}
+
+impl std::fmt::Debug for ShardEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardEngine")
+            .field("shards", &self.workers.len())
+            .field("lb", &self.lb)
+            .field("last_tick", &self.last_tick)
+            .finish()
+    }
+}
+
+fn worker_loop(
+    mut vaults: Vec<Vault>,
+    cfg: HmcDeviceConfig,
+    rx: Receiver<Cmd>,
+    tx: Sender<Reply>,
+) {
+    // Issue-side energy is discarded here and replayed canonically by
+    // the device (f64 accumulation order must not depend on shard
+    // interleaving).
+    let mut scratch_energy = crate::energy::EnergyBreakdown::new();
+    let mut last_target: Cycle = 0;
+    loop {
+        match rx.recv() {
+            Ok(Cmd::Deliver(local, req)) => vaults[local].enqueue(req),
+            Ok(Cmd::Advance(target)) => {
+                // Targets are monotonic device-side; clamp defensively so
+                // an idempotent re-advance can never run time backwards.
+                let target = target.max(last_target);
+                last_target = target;
+                let mut events = Vec::new();
+                for v in vaults.iter_mut() {
+                    v.tick(target, &cfg, &mut scratch_energy, &mut events);
+                }
+                let mut next_start_min = u64::MAX;
+                for v in vaults.iter() {
+                    if let Some(c) = v.next_head_start(&cfg, target) {
+                        next_start_min = next_start_min.min(c);
+                    }
+                }
+                if tx.send(Reply::Advanced { events, next_start_min }).is_err() {
+                    break;
+                }
+            }
+            Ok(Cmd::Collect) => {
+                if tx.send(Reply::Collected(vaults.clone())).is_err() {
+                    break;
+                }
+            }
+            Ok(Cmd::Shutdown) | Err(_) => break,
+        }
+    }
+}
+
+impl ShardEngine {
+    /// Split `vaults` into `shards` contiguous ranges and start one
+    /// worker per range, each owning clones of its vaults (the device
+    /// keeps the originals; they go stale until the next collect).
+    ///
+    /// The lookahead bound must be seeded from the vaults, not assumed
+    /// empty: arming mid-run (e.g. after a snapshot restore) hands the
+    /// workers queues that already hold unissued requests, and those
+    /// heads bound the earliest start every bit as much as a fresh
+    /// `deliver` would. `next_head_start(cfg, 0)` is their natural
+    /// start — the `now` clamp never binds for an unissued head (same
+    /// argument as `Hmc::quiesce_engine`) — so this reproduces exactly
+    /// the bound an engine that had been armed all along would carry.
+    pub(crate) fn new(cfg: &HmcDeviceConfig, vaults: &[Vault], shards: usize) -> ShardEngine {
+        let mut lb = u64::MAX;
+        for v in vaults {
+            if let Some(c) = v.next_head_start(cfg, 0) {
+                lb = lb.min(c);
+            }
+        }
+        let shards = shards.clamp(1, vaults.len().max(1));
+        let per = vaults.len() / shards;
+        let extra = vaults.len() % shards;
+        let mut workers = Vec::with_capacity(shards);
+        let mut route = vec![(0usize, 0usize); vaults.len()];
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = per + usize::from(s < extra);
+            let range = start..start + len;
+            for (local, global) in range.clone().enumerate() {
+                route[global] = (s, local);
+            }
+            let owned: Vec<Vault> = vaults[range].to_vec();
+            let (cmd_tx, cmd_rx) = channel();
+            let (rep_tx, rep_rx) = channel();
+            let cfg = *cfg;
+            let handle = std::thread::Builder::new()
+                .name(format!("hmc-shard-{s}"))
+                .spawn(move || worker_loop(owned, cfg, cmd_rx, rep_tx))
+                .expect("spawn shard worker");
+            workers.push(Worker { tx: cmd_tx, rx: rep_rx, handle: Some(handle) });
+            start += len;
+        }
+        ShardEngine { workers, route, lb, last_tick: 0 }
+    }
+
+    pub(crate) fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Lower bound on the earliest unissued start cycle.
+    pub(crate) fn lb(&self) -> Cycle {
+        self.lb
+    }
+
+    /// Record the device tick clock (monotonic).
+    pub(crate) fn note_tick(&mut self, now: Cycle) {
+        self.last_tick = self.last_tick.max(now);
+    }
+
+    /// Route a request to its owning shard and fold its arrival into
+    /// the lookahead bound.
+    pub(crate) fn deliver(&mut self, vault: usize, req: QueuedRequest) {
+        self.lb = self.lb.min(req.arrival);
+        let (shard, local) = self.route[vault];
+        self.workers[shard]
+            .tx
+            .send(Cmd::Deliver(local, req))
+            .expect("shard worker alive");
+    }
+
+    /// Advance every shard to `target` and return the produced events,
+    /// unordered (the device re-serializes canonically). Refreshes the
+    /// lookahead bound from the per-shard minima — exact at `target`,
+    /// because every request delivered before this call is already in
+    /// its shard's queue (per-channel FIFO ordering).
+    pub(crate) fn advance(&mut self, target: Cycle) -> Vec<ReadyResponse> {
+        self.last_tick = self.last_tick.max(target);
+        for w in &self.workers {
+            w.tx.send(Cmd::Advance(target)).expect("shard worker alive");
+        }
+        let mut events = Vec::new();
+        let mut lb = u64::MAX;
+        for w in &self.workers {
+            match w.rx.recv().expect("shard worker alive") {
+                Reply::Advanced { events: mut e, next_start_min } => {
+                    events.append(&mut e);
+                    lb = lb.min(next_start_min);
+                }
+                Reply::Collected(_) => unreachable!("advance got a collect reply"),
+            }
+        }
+        self.lb = lb;
+        events
+    }
+
+    /// Bring every shard up to the device's last tick cycle and clone
+    /// the vault state back: afterwards the returned events plus vaults
+    /// reproduce the serial engine's state bit-for-bit. Workers remain
+    /// authoritative, so the run may keep going.
+    pub(crate) fn quiesce(&mut self) -> (Vec<ReadyResponse>, Vec<Vault>) {
+        let events = self.advance(self.last_tick);
+        for w in &self.workers {
+            w.tx.send(Cmd::Collect).expect("shard worker alive");
+        }
+        let mut vaults = Vec::with_capacity(self.route.len());
+        for w in &self.workers {
+            match w.rx.recv().expect("shard worker alive") {
+                Reply::Collected(mut v) => vaults.append(&mut v),
+                Reply::Advanced { .. } => unreachable!("collect got an advance reply"),
+            }
+        }
+        (events, vaults)
+    }
+}
+
+impl Drop for ShardEngine {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            // The worker may already be gone (panic); ignore send errors.
+            let _ = w.tx.send(Cmd::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! $ conformance                      # full scale
 //! $ conformance --quick              # CI scale (also via PAC_QUICK=1)
 //! $ conformance --recover --quick    # recovery mode: survive, don't just detect
+//! $ conformance --threads 4          # fan matrix cells across 4 workers
 //! ```
 //!
 //! Default mode: phase 1 runs every benchmark × coalescer under the
@@ -25,18 +26,32 @@ use pac_bench::conformance::{
     clean_matrix, disabled_recovery_reproduction, expected_invariants, fault_matrix,
     recovery_matrix, ConformanceScale,
 };
+use pac_bench::runner::threads_from_args;
+use pac_bench::ParallelRunner;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick")
-        || std::env::var("PAC_QUICK").is_ok_and(|v| v != "0");
-    let recover = std::env::args().any(|a| a == "--recover");
+    let args: Vec<String> = std::env::args().collect();
+    let quick =
+        args.iter().any(|a| a == "--quick") || std::env::var("PAC_QUICK").is_ok_and(|v| v != "0");
+    let recover = args.iter().any(|a| a == "--recover");
+    let runner = match threads_from_args(&args) {
+        Ok(n) => ParallelRunner::new(n),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let scale = if quick { ConformanceScale::quick() } else { ConformanceScale::full() };
     eprintln!(
-        "scale: {} accesses/core, {} cores, cycle limit {}",
-        scale.accesses_per_core, scale.cores, scale.cycle_limit
+        "scale: {} accesses/core, {} cores, cycle limit {}, {} worker thread(s)",
+        scale.accesses_per_core,
+        scale.cores,
+        scale.cycle_limit,
+        runner.threads()
     );
 
-    let failures = if recover { run_recover(scale, quick) } else { run_detect(scale) };
+    let failures =
+        if recover { run_recover(scale, quick, &runner) } else { run_detect(scale, &runner) };
 
     if failures > 0 {
         eprintln!("\nconformance FAILED: {failures} cell(s)");
@@ -55,11 +70,11 @@ fn main() {
 }
 
 /// Default detection-mode phases. Returns the failing cell count.
-fn run_detect(scale: ConformanceScale) -> u32 {
+fn run_detect(scale: ConformanceScale, runner: &ParallelRunner) -> u32 {
     let mut failures = 0u32;
 
     eprintln!("\n== phase 1: clean matrix (oracle must stay silent) ==");
-    let cells = clean_matrix(scale);
+    let cells = clean_matrix(scale, runner);
     let total = cells.len();
     for cell in &cells {
         if !cell.passed() {
@@ -87,7 +102,7 @@ fn run_detect(scale: ConformanceScale) -> u32 {
         "{:<18} {:<10} {:>8}  {:<24} verdict",
         "fault class", "coalescer", "injected", "expected invariant"
     );
-    for cell in fault_matrix(scale) {
+    for cell in fault_matrix(scale, runner) {
         let expected: Vec<&str> =
             expected_invariants(cell.class).iter().map(|i| i.label()).collect();
         let fired: Vec<String> = cell
@@ -114,7 +129,7 @@ fn run_detect(scale: ConformanceScale) -> u32 {
 }
 
 /// `--recover` phases. Returns the failing cell count.
-fn run_recover(scale: ConformanceScale, quick: bool) -> u32 {
+fn run_recover(scale: ConformanceScale, quick: bool, runner: &ParallelRunner) -> u32 {
     let mut failures = 0u32;
 
     eprintln!("\n== phase R1: recovery matrix (every class survived, oracle silent) ==");
@@ -122,7 +137,7 @@ fn run_recover(scale: ConformanceScale, quick: bool) -> u32 {
         "{:<18} {:<10} {:>8}  {:>7} {:>6} {:>6} {:>7}  verdict",
         "fault class", "coalescer", "injected", "retries", "dups", "poison", "max att"
     );
-    for cell in recovery_matrix(scale) {
+    for cell in recovery_matrix(scale, runner) {
         let ok = cell.passed();
         if !ok {
             failures += 1;

@@ -67,7 +67,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: longrun --bench <BENCH> --kind <raw|mshr-dmc|pac> [--accesses <N>] [--seed <S>]\n       \
          [--checkpoint <file>] [--checkpoint-every <cycles>] [--resume <file>]\n       \
-         [--kill-at <cycle>] [--print-cycles]"
+         [--kill-at <cycle>] [--print-cycles] [--quick]"
     );
     std::process::exit(2);
 }
@@ -106,7 +106,8 @@ fn parse_opts() -> Opts {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut bench = None;
     let mut kind = None;
-    let mut accesses = 20_000u64;
+    let mut accesses: Option<u64> = None;
+    let mut quick = pac_bench::harness::quick_mode();
     let mut seed = 0u64;
     let mut checkpoint = None;
     let mut every = None;
@@ -138,7 +139,10 @@ fn parse_opts() -> Opts {
                     }
                 });
             }
-            "--accesses" => accesses = parse_u64(&value(&mut it, "--accesses"), "--accesses"),
+            "--accesses" => {
+                accesses = Some(parse_u64(&value(&mut it, "--accesses"), "--accesses"))
+            }
+            "--quick" => quick = true,
             "--seed" => seed = parse_u64(&value(&mut it, "--seed"), "--seed"),
             "--checkpoint" => checkpoint = Some(PathBuf::from(value(&mut it, "--checkpoint"))),
             "--checkpoint-every" => {
@@ -156,6 +160,10 @@ fn parse_opts() -> Opts {
         eprintln!("--checkpoint-every / --kill-at need --checkpoint <file> to write to");
         usage();
     }
+    // Uniform `--quick` semantics across the harness binaries: the CI
+    // smoke budget, unless --accesses names one explicitly.
+    let accesses = accesses
+        .unwrap_or(if quick { pac_bench::harness::QUICK_ACCESSES } else { 20_000 });
     Opts { bench, kind, accesses, seed, checkpoint, every, resume, kill_at, print_cycles }
 }
 

@@ -7,6 +7,7 @@
 //! $ soak --runs 200            # fixed-count campaign
 //! $ soak --hours 8             # unbounded burn-in, wall-clock budget
 //! $ soak --quick --seed 0xBEEF # reproduce a failing campaign exactly
+//! $ soak --quick --threads 4   # fan runs across 4 workers (same report)
 //! ```
 //!
 //! Every run draws a random benchmark × coalescer × fault-plan ×
@@ -15,10 +16,14 @@
 //! results with the oracle silent. Exits nonzero on any oracle
 //! violation, unrecovered run, or round-trip divergence.
 
+use pac_bench::runner::threads_from_args;
 use pac_bench::soak::{soak, SoakConfig};
+use pac_bench::ParallelRunner;
 
 fn usage() -> ! {
-    eprintln!("usage: soak [--quick | --runs <N> | --hours <H>] [--seed <S>]");
+    eprintln!(
+        "usage: soak [--quick | --runs <N> | --hours <H>] [--seed <S>] [--threads <T>]"
+    );
     std::process::exit(2);
 }
 
@@ -42,6 +47,13 @@ fn parse_u64(s: &str, flag: &str) -> u64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let runner = match threads_from_args(&args) {
+        Ok(n) => ParallelRunner::new(n),
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
     let mut quick = false;
     let mut runs: Option<u64> = None;
     let mut hours: Option<f64> = None;
@@ -51,6 +63,11 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            // Already validated by `threads_from_args`; skip here.
+            "--threads" => {
+                let _ = value(&mut it, "--threads");
+            }
+            s if s.starts_with("--threads=") => {}
             "--runs" => runs = Some(parse_u64(&value(&mut it, "--runs"), "--runs")),
             "--hours" => {
                 let v = value(&mut it, "--hours");
@@ -76,14 +93,15 @@ fn main() {
     };
 
     eprintln!(
-        "soak: seed={seed:#x} runs={} wall={} accesses/core={} cores={}",
+        "soak: seed={seed:#x} runs={} wall={} accesses/core={} cores={} threads={}",
         if cfg.runs == 0 { "unbounded".to_string() } else { cfg.runs.to_string() },
         cfg.wall_seconds.map_or("-".to_string(), |s| format!("{s:.0}s")),
         cfg.accesses_per_core,
         cfg.cores,
+        runner.threads(),
     );
 
-    let report = soak(&cfg, |out| {
+    let report = soak(&cfg, &runner, |out| {
         eprintln!(
             "{}  {:>6} x {:<8} faults={} retries={} roundtrip={}",
             if out.passed() { "ok  " } else { "FAIL" },

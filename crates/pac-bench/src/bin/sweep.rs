@@ -6,6 +6,7 @@
 //! $ sweep STREAM streams 4 8 16 32
 //! $ sweep EP mshrs 8 16 32 64
 //! $ sweep MG degree 0 2 4 8          # prefetch depth (re-captures)
+//! $ sweep --quick GS timeout 4 16    # CI smoke budget (also PAC_QUICK=1)
 //! ```
 
 use pac_bench::Harness;
@@ -13,12 +14,17 @@ use pac_sim::{replay, run_bench, CoalescerKind, ExperimentConfig};
 use pac_workloads::Bench;
 
 fn usage() -> ! {
-    eprintln!("usage: sweep <BENCH> <timeout|streams|mshrs|degree> <value>...");
+    eprintln!("usage: sweep [--quick] <BENCH> <timeout|streams|mshrs|degree> <value>...");
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = {
+        let before = args.len();
+        args.retain(|a| a != "--quick");
+        args.len() != before
+    } || pac_bench::harness::quick_mode();
     if args.len() < 3 {
         usage();
     }
@@ -36,7 +42,7 @@ fn main() {
         .map(|v| v.parse().unwrap_or_else(|_| usage()))
         .collect();
 
-    let mut h = Harness::default();
+    let mut h = if quick { Harness::quick() } else { Harness::default() };
     println!(
         "{:<10} {:>10} {:>8} {:>8} {:>10} {:>9} {:>12}",
         "knob", "value", "eff %", "txeff %", "conflicts", "lat ns", "energy nJ"

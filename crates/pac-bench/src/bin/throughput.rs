@@ -3,10 +3,13 @@
 //!
 //! ```console
 //! $ throughput                  # full matrix, both stepping modes
-//! $ PAC_TP_ACCESSES=500 throughput      # smoke-sized run
+//! $ throughput --quick          # smoke-sized run (also via PAC_QUICK=1)
+//! $ PAC_TP_ACCESSES=500 throughput      # explicit per-core budget
 //! $ PAC_TP_OUT=/tmp/tp.json throughput  # alternate output path
 //! $ PAC_TP_SEED_SECONDS=37.1 throughput # record seed-build baseline
 //! $ throughput --skip-only      # skip-ahead mode only (no reference)
+//! $ throughput --threads 8      # top worker count for the scaling curve
+//! $ throughput --gate --quick   # CI determinism gate, no JSON output
 //! ```
 //!
 //! Each `(bench, coalescer)` cell is run serially and timed; the JSON
@@ -15,20 +18,72 @@
 //! wall-clock ratio of the event-driven core over the cycle-by-cycle
 //! reference. Both modes produce bit-identical metrics, so the ratio is
 //! purely simulator speed.
+//!
+//! After the timing sweeps, the skip-ahead matrix is re-run through the
+//! [`pac_bench::ParallelRunner`] at 1, 2, 4, … worker threads (up to
+//! `--threads`, `PAC_THREADS`, or the host width); each point must
+//! reproduce the serial simulated cycles bit-identically and lands in
+//! the JSON's `scaling` section.
+//!
+//! `--gate` skips the JSON entirely and instead fails the process if
+//! any cell's full `RunMetrics` differ between 1 worker and the
+//! requested width — the CI proof that fan-out changes wall-clock only.
 
-use pac_bench::throughput::{sweep, to_json};
-use pac_sim::{CoalescerKind, ExperimentConfig, Stepping};
-use pac_workloads::Bench;
+use pac_bench::harness;
+use pac_bench::runner::threads_from_args;
+use pac_bench::throughput::{determinism_gate, scaling_curve, sweep, to_json};
+use pac_bench::{matrix, ParallelRunner};
+use pac_sim::{ExperimentConfig, Stepping};
 
 fn main() {
-    let skip_only = std::env::args().any(|a| a == "--skip-only");
+    let args: Vec<String> = std::env::args().collect();
+    let skip_only = args.iter().any(|a| a == "--skip-only");
+    let gate = args.iter().any(|a| a == "--gate");
+    let quick = args.iter().any(|a| a == "--quick") || harness::quick_mode();
+    let threads = match threads_from_args(&args) {
+        Ok(n) => ParallelRunner::new(n).threads(),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
     let mut cfg = ExperimentConfig::default();
+    if quick {
+        cfg.accesses_per_core = harness::QUICK_ACCESSES;
+    }
     if let Ok(v) = std::env::var("PAC_TP_ACCESSES") {
         cfg.accesses_per_core = v.parse().unwrap_or_else(|_| {
             eprintln!("PAC_TP_ACCESSES must be an integer, got '{v}'");
             std::process::exit(2);
         });
     }
+    let cells = matrix();
+
+    if gate {
+        // Determinism gate: the full per-cell metrics at `threads`
+        // workers must match the 1-worker run exactly.
+        eprintln!(
+            "determinism gate: {} cells at 1 vs {} worker thread(s), {} accesses/core ...",
+            cells.len(),
+            threads,
+            cfg.accesses_per_core
+        );
+        let mismatches = determinism_gate(&cells, &cfg, &[1, threads]);
+        if mismatches.is_empty() {
+            println!(
+                "determinism gate passed: {} cells bit-identical at 1 and {} worker thread(s)",
+                cells.len(),
+                threads
+            );
+            return;
+        }
+        for m in &mismatches {
+            eprintln!("GATE FAIL: {m}");
+        }
+        std::process::exit(1);
+    }
+
     let out_path =
         std::env::var("PAC_TP_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
     // Wall seconds for the same matrix on the pre-event-driven seed
@@ -36,21 +91,17 @@ fn main() {
     let baseline_seconds: Option<f64> =
         std::env::var("PAC_TP_SEED_SECONDS").ok().and_then(|v| v.parse().ok());
 
-    let benches = Bench::ALL;
-    let kinds = CoalescerKind::ALL;
-
     let mut sweeps = Vec::new();
     if !skip_only {
         eprintln!(
-            "every-cycle reference: {} benches x {} coalescers, {} accesses/core ...",
-            benches.len(),
-            kinds.len(),
+            "every-cycle reference: {} cells, {} accesses/core ...",
+            cells.len(),
             cfg.accesses_per_core
         );
-        sweeps.push(sweep(&benches, &kinds, &cfg, Stepping::EveryCycle));
+        sweeps.push(sweep(&cells, &cfg, Stepping::EveryCycle));
     }
-    eprintln!("skip-ahead: {} benches x {} coalescers ...", benches.len(), kinds.len());
-    sweeps.push(sweep(&benches, &kinds, &cfg, Stepping::SkipAhead));
+    eprintln!("skip-ahead: {} cells ...", cells.len());
+    sweeps.push(sweep(&cells, &cfg, Stepping::SkipAhead));
 
     for s in &sweeps {
         eprintln!("{:>12}: {:8.3}s matrix wall", s.stepping, s.wall_seconds);
@@ -67,7 +118,35 @@ fn main() {
             eprintln!("skip-ahead speedup over seed build: {:.2}x", base / skip.wall_seconds);
         }
     }
-    let json = to_json(&cfg, &sweeps, baseline_seconds);
+
+    // Thread-scaling curve over the skip-ahead matrix: 1, 2, 4, …
+    // doubling up to the requested (or host) width, deduplicated.
+    let mut counts = vec![1usize];
+    let mut w = 2;
+    while w < threads {
+        counts.push(w);
+        w *= 2;
+    }
+    if threads > 1 {
+        counts.push(threads);
+    }
+    eprintln!("scaling curve: skip-ahead matrix at {counts:?} worker thread(s) ...");
+    let serial = sweeps.last().expect("skip-ahead sweep always present");
+    let curve = scaling_curve(&cells, &cfg, serial, &counts);
+    for p in &curve.points {
+        eprintln!(
+            "  {:>3} thread(s): {:8.3}s wall, {:.2}x over 1 thread",
+            p.threads, p.wall_seconds, p.speedup
+        );
+    }
+    if !curve.bit_identical() {
+        for m in &curve.cycle_mismatches {
+            eprintln!("SCALING FAIL: {m}");
+        }
+        std::process::exit(1);
+    }
+
+    let json = to_json(&cfg, &sweeps, baseline_seconds, Some(&curve));
     if let Err(e) = pac_bench::error::write(&out_path, json) {
         eprintln!("{e}");
         std::process::exit(1);

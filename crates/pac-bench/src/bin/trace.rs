@@ -3,6 +3,7 @@
 //! ```console
 //! $ trace EP pac ep.trace.json            # one cell, full trace
 //! $ trace --all traces/                   # all 14 benchmarks, PAC
+//! $ trace --all --threads 4 traces/       # fan the cells across 4 workers
 //! $ trace --fault corrupt-addr STREAM pac # flight recorder + fault dump
 //! $ trace --quick EP pac out.json         # small run (CI smoke)
 //! $ trace --guard                         # disabled-path throughput guard
@@ -15,7 +16,9 @@
 //! per-stage latency histograms.
 
 use pac_bench::error::{self, BenchError};
+use pac_bench::runner::threads_from_args;
 use pac_bench::trace_cmd::{run_cell, throughput_guard};
+use pac_bench::ParallelRunner;
 use pac_sim::{CoalescerKind, ExperimentConfig};
 use pac_types::{FaultClass, FaultPlan, TraceConfig};
 use pac_workloads::Bench;
@@ -24,7 +27,7 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  trace [--quick] <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
-         trace [--quick] --all [out-dir]\n  \
+         trace [--quick] --all [--threads <T>] [out-dir]\n  \
          trace [--quick] --fault <drop-response|duplicate-response|delay-response|corrupt-addr> \
          <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
          trace [--quick] --guard"
@@ -90,6 +93,20 @@ fn run() -> Result<(), BenchError> {
         args.retain(|a| a != "--quick");
         args.len() != before
     };
+    // `--threads` fans `--all` cells across workers; a traced *system*
+    // always steps its vaults serially (tracing pins sharding off), so
+    // the parallelism is purely across independent cells.
+    let runner = match threads_from_args(&args) {
+        Ok(n) => ParallelRunner::new(n),
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        args.drain(i..args.len().min(i + 2));
+    }
+    args.retain(|a| !a.starts_with("--threads="));
     let cfg = if quick {
         // Small enough for CI, large enough to populate every stage
         // histogram and exercise the counter tracks.
@@ -117,8 +134,13 @@ fn run() -> Result<(), BenchError> {
         ["--all", rest @ ..] => {
             let dir = rest.first().copied().unwrap_or("traces");
             error::create_dir_all(dir)?;
-            for bench in Bench::ALL {
-                let out = run_cell(bench, CoalescerKind::Pac, &cfg, TraceConfig::full(), None);
+            // Fan the benchmarks across the pool; outputs come back in
+            // benchmark order, so the files and reports are identical
+            // to the old serial loop at any thread count.
+            let outs = runner.run(&Bench::ALL, |_, &bench| {
+                run_cell(bench, CoalescerKind::Pac, &cfg, TraceConfig::full(), None)
+            });
+            for (bench, out) in Bench::ALL.iter().zip(&outs) {
                 let path = format!("{dir}/{}.trace.json", bench.name().to_lowercase());
                 write_out(&path, &out.json)?;
                 print!("{}", out.report);

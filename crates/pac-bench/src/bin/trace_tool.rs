@@ -2,6 +2,7 @@
 //!
 //! ```console
 //! $ trace-tool capture HPCG hpcg.trace.json          # record a trace
+//! $ trace-tool --quick capture HPCG hpcg.trace.json  # CI smoke budget
 //! $ trace-tool info hpcg.trace.json                  # summarize it
 //! $ trace-tool replay hpcg.trace.json pac            # evaluate a coalescer
 //! $ trace-tool replay hpcg.trace.json mshr-dmc
@@ -20,7 +21,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  trace-tool capture <BENCH> <out.json>\n  trace-tool info <trace.json>\n  trace-tool replay <trace.json> <raw|mshr-dmc|pac>"
+        "usage:\n  trace-tool [--quick] capture <BENCH> <out.json>\n  trace-tool info <trace.json>\n  trace-tool replay <trace.json> <raw|mshr-dmc|pac>"
     );
     std::process::exit(2);
 }
@@ -39,7 +40,12 @@ fn main() {
 }
 
 fn run() -> Result<(), BenchError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = {
+        let before = args.len();
+        args.retain(|a| a != "--quick");
+        args.len() != before
+    } || pac_bench::harness::quick_mode();
     match args.as_slice() {
         [cmd, bench, out] if cmd == "capture" => {
             let Some(bench) = Bench::from_name(bench) else {
@@ -49,7 +55,7 @@ fn run() -> Result<(), BenchError> {
                 );
                 std::process::exit(2);
             };
-            let mut h = Harness::default();
+            let mut h = if quick { Harness::quick() } else { Harness::default() };
             let trace = h.trace(bench).to_vec();
             error::write(out, pac_sim::trace_json::to_json(&trace))?;
             println!("captured {} requests from {} into {out}", trace.len(), bench.name());

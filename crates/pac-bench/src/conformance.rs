@@ -9,6 +9,8 @@
 //! A checker that has never flagged anything is indistinguishable from
 //! a checker that cannot; this module is the distinguishing experiment.
 
+use crate::matrix::matrix;
+use crate::runner::ParallelRunner;
 use pac_oracle::{Invariant, OracleConfig, OracleReport};
 use pac_sim::system::run_lockstep;
 use pac_sim::{CoalescerKind, LockstepOutcome, RecoveryReport};
@@ -87,45 +89,46 @@ fn fault_seed(class: FaultClass, kind: CoalescerKind) -> u64 {
         + CoalescerKind::ALL.iter().position(|&k| k == kind).unwrap() as u64
 }
 
-/// Run the clean matrix: every benchmark × coalescer, oracle attached,
-/// no faults.
-pub fn clean_matrix(scale: ConformanceScale) -> Vec<CleanCell> {
-    let mut cells = Vec::new();
-    for &bench in &Bench::ALL {
-        for kind in CoalescerKind::ALL {
-            let specs = single_process(bench, scale.cores, 7);
-            let out = run_lockstep(
-                SimConfig::default(),
-                specs,
-                kind,
-                scale.accesses_per_core,
-                None,
-                None,
-                None,
-                scale.cycle_limit,
-            );
-            cells.push(CleanCell { bench, kind, converged: out.converged, report: out.oracle });
+/// Run the clean matrix: every benchmark × coalescer (the canonical
+/// [`matrix`] enumeration), oracle attached, no faults. Cells fan out
+/// across `runner`'s workers; each run is self-contained and results
+/// come back in matrix order, so the output is independent of thread
+/// count.
+pub fn clean_matrix(scale: ConformanceScale, runner: &ParallelRunner) -> Vec<CleanCell> {
+    runner.run(&matrix(), |_, cell| {
+        let specs = single_process(cell.bench, scale.cores, 7);
+        let out = run_lockstep(
+            SimConfig::default(),
+            specs,
+            cell.kind,
+            scale.accesses_per_core,
+            None,
+            None,
+            None,
+            scale.cycle_limit,
+        );
+        CleanCell {
+            bench: cell.bench,
+            kind: cell.kind,
+            converged: out.converged,
+            report: out.oracle,
         }
-    }
-    cells
+    })
 }
 
 /// Run the fault matrix: every fault class × coalescer on one
-/// representative benchmark.
-pub fn fault_matrix(scale: ConformanceScale) -> Vec<FaultCell> {
-    let mut cells = Vec::new();
+/// representative benchmark, fanned out across `runner`'s workers.
+pub fn fault_matrix(scale: ConformanceScale, runner: &ParallelRunner) -> Vec<FaultCell> {
+    let mut jobs = Vec::new();
     for &class in &FaultClass::ALL {
         for kind in CoalescerKind::ALL {
-            let out = run_fault(class, kind, scale);
-            cells.push(FaultCell {
-                class,
-                kind,
-                faults_injected: out.faults_injected,
-                report: out.oracle,
-            });
+            jobs.push((class, kind));
         }
     }
-    cells
+    runner.run(&jobs, |_, &(class, kind)| {
+        let out = run_fault(class, kind, scale);
+        FaultCell { class, kind, faults_injected: out.faults_injected, report: out.oracle }
+    })
 }
 
 /// One cell of the recovery matrix: a fault-armed run with the
@@ -172,27 +175,27 @@ impl RecoveryCell {
 /// default recovery policy armed. Passing cells prove the layer
 /// *survives* each corruption class — the oracle stays silent because
 /// the repair happened, not because detection was disabled.
-pub fn recovery_matrix(scale: ConformanceScale) -> Vec<RecoveryCell> {
+pub fn recovery_matrix(scale: ConformanceScale, runner: &ParallelRunner) -> Vec<RecoveryCell> {
     let cfg = RecoveryConfig::enabled();
-    let mut cells = Vec::new();
+    let mut jobs = Vec::new();
     for &class in &FaultClass::ALL {
         for kind in CoalescerKind::ALL {
-            let out = run_fault_with(class, kind, scale, Some(cfg));
-            let recovery = out
-                .recovery
-                .expect("recovery-enabled run must produce a report");
-            cells.push(RecoveryCell {
-                class,
-                kind,
-                converged: out.converged,
-                faults_injected: out.faults_injected,
-                report: out.oracle,
-                recovery,
-                max_retries: cfg.max_retries,
-            });
+            jobs.push((class, kind));
         }
     }
-    cells
+    runner.run(&jobs, |_, &(class, kind)| {
+        let out = run_fault_with(class, kind, scale, Some(cfg));
+        let recovery = out.recovery.expect("recovery-enabled run must produce a report");
+        RecoveryCell {
+            class,
+            kind,
+            converged: out.converged,
+            faults_injected: out.faults_injected,
+            report: out.oracle,
+            recovery,
+            max_retries: cfg.max_retries,
+        }
+    })
 }
 
 /// One armed run with the recovery layer absent (detection-only).
@@ -318,6 +321,29 @@ mod tests {
                 rec.summary()
             );
             assert!(rec.max_attempts <= cfg.max_retries, "{class:?}: {}", rec.summary());
+        }
+    }
+
+    /// The fan-out is observationally serial: every cell's verdict and
+    /// counters are identical at any worker count.
+    #[test]
+    fn fault_matrix_is_thread_count_independent() {
+        let scale = ConformanceScale { cycle_limit: 600_000, ..ConformanceScale::quick() };
+        let serial = fault_matrix(scale, &ParallelRunner::new(1));
+        let wide = fault_matrix(scale, &ParallelRunner::new(3));
+        assert_eq!(serial.len(), wide.len());
+        for (a, b) in serial.iter().zip(&wide) {
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.faults_injected, b.faults_injected, "{:?}/{:?}", a.class, a.kind);
+            assert_eq!(a.detected(), b.detected(), "{:?}/{:?}", a.class, a.kind);
+            assert_eq!(
+                a.report.summary(),
+                b.report.summary(),
+                "{:?}/{:?} oracle reports diverged across thread counts",
+                a.class,
+                a.kind
+            );
         }
     }
 

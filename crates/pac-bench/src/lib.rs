@@ -19,10 +19,14 @@ pub mod conformance;
 pub mod error;
 pub mod figures;
 pub mod harness;
+pub mod matrix;
 pub mod paper;
+pub mod runner;
 pub mod soak;
 pub mod throughput;
 pub mod trace_cmd;
 
 pub use error::BenchError;
 pub use harness::Harness;
+pub use matrix::{matrix, MatrixCell};
+pub use runner::ParallelRunner;

@@ -1,0 +1,132 @@
+//! Deterministic matrix fan-out: the shared worker pool behind the
+//! harness binaries.
+//!
+//! [`ParallelRunner::run`] schedules jobs across `--threads N` workers
+//! and returns results **indexed by job position**, never by completion
+//! order — workers claim the next unclaimed index and write into that
+//! job's pre-assigned slot, exactly the discipline of
+//! [`pac_sim::experiment::parallel_map`]. Combined with per-cell seed
+//! derivation from the cell's canonical position
+//! ([`crate::matrix::MatrixCell::seed`]), every output is a pure
+//! function of the job list: the thread count changes wall-clock only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A bounded worker pool with deterministic result ordering.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRunner {
+    threads: usize,
+}
+
+impl ParallelRunner {
+    /// `threads == 0` means auto: `PAC_THREADS` if set, else the host's
+    /// available parallelism (the same resolution every binary's
+    /// `--threads` flag uses).
+    pub fn new(threads: usize) -> ParallelRunner {
+        let resolved =
+            pac_types::thread_count(if threads == 0 { None } else { Some(threads) });
+        ParallelRunner { threads: resolved.max(1) }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every job; `results[i] == f(i, &jobs[i])` under any
+    /// thread schedule. With one thread the jobs run inline in order —
+    /// bitwise the serial loop the binaries used to have.
+    pub fn run<J, R, F>(&self, jobs: &[J], f: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send + Sync,
+        F: Fn(usize, &J) -> R + Sync,
+    {
+        if self.threads == 1 || jobs.len() <= 1 {
+            return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
+        }
+        let slots: Vec<OnceLock<R>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..self.threads.min(jobs.len()) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let claimed = slots[i].set(f(i, job)).is_ok();
+                    debug_assert!(claimed, "job {i} ran twice");
+                });
+            }
+        });
+        slots.into_iter().map(|slot| slot.into_inner().expect("every job ran")).collect()
+    }
+}
+
+/// Parse the uniform `--threads N` / `--threads=N` flag every harness
+/// binary exposes. Returns 0 (auto) when absent; a malformed value is
+/// a usage error, reported by the caller.
+pub fn threads_from_args(args: &[String]) -> Result<usize, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let Some(v) = it.next() else {
+                return Err("--threads requires a value".to_string());
+            };
+            return v.parse().map_err(|_| format!("invalid --threads value '{v}'"));
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().map_err(|_| format!("invalid --threads value '{v}'"));
+        }
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_flag_parses_both_spellings() {
+        let to = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(threads_from_args(&to(&["--quick"])), Ok(0));
+        assert_eq!(threads_from_args(&to(&["--threads", "6"])), Ok(6));
+        assert_eq!(threads_from_args(&to(&["--threads=3"])), Ok(3));
+        assert!(threads_from_args(&to(&["--threads"])).is_err());
+        assert!(threads_from_args(&to(&["--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn results_keep_job_order_at_any_thread_count() {
+        let jobs: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = jobs.iter().enumerate().map(|(i, j)| j * 3 + i as u64).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let r = ParallelRunner::new(threads);
+            let got = r.run(&jobs, |i, &j| j * 3 + i as u64);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_resolves_explicit_and_auto() {
+        assert_eq!(ParallelRunner::new(5).threads(), 5);
+        assert!(ParallelRunner::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_job_lists_work() {
+        let r = ParallelRunner::new(4);
+        assert!(r.run(&[] as &[u8], |_, &b| b).is_empty());
+        assert_eq!(r.run(&[7u8], |i, &b| (i, b)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn full_matrix_fans_out_deterministically() {
+        // The satellite contract: 42 cells, merged output independent
+        // of thread count.
+        let cells = crate::matrix::matrix();
+        let serial = ParallelRunner::new(1).run(&cells, |_, c| c.label());
+        let wide = ParallelRunner::new(7).run(&cells, |_, c| c.label());
+        assert_eq!(serial.len(), 42);
+        assert_eq!(serial, wide);
+    }
+}

@@ -2,8 +2,8 @@
 //! plans, recovery policies, and mid-run kill/resume points, every run
 //! executed with the lockstep oracle attached.
 //!
-//! Each soak run draws one cell from a deterministic [`splitmix64`]
-//! stream, executes it twice — once uninterrupted as the reference,
+//! Each soak run draws one cell from a deterministic
+//! [`pac_types::splitmix64`] stream, executes it twice — once uninterrupted as the reference,
 //! once killed at a random cycle, checkpointed through
 //! [`SimSystem::save_state`] / [`SimSystem::restore`], and resumed —
 //! and demands three things at once:
@@ -18,8 +18,12 @@
 //!
 //! The whole campaign is reproducible from its seed: `soak --seed S`
 //! replays the identical cell sequence, so a burn-in failure can be
-//! re-run as a one-liner.
+//! re-run as a one-liner. Cells are drawn from the stream **before**
+//! any of them execute, so the sequence is also independent of the
+//! worker count: `--threads N` fans the runs across a
+//! [`ParallelRunner`] without changing what gets run.
 
+use crate::runner::ParallelRunner;
 use pac_oracle::OracleConfig;
 use pac_sim::{CoalescerKind, RunMetrics, RunProgress, SimSystem, Stepping};
 use pac_types::{Cycle, FaultClass, FaultPlan, RecoveryConfig, SimConfig};
@@ -28,15 +32,7 @@ use pac_workloads::Bench;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Deterministic chaos source (splitmix64): every draw in a soak
-/// campaign comes from this stream, so a seed fully determines the run.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use pac_types::splitmix64;
 
 /// Campaign shape: how many runs, how big each run is, and the optional
 /// wall-clock budget for unbounded burn-in.
@@ -193,6 +189,9 @@ impl SoakReport {
 fn build_system(cell: &SoakCell, cfg: &SoakConfig, sim: SimConfig) -> SimSystem {
     let specs = single_process(cell.bench, cfg.cores, cell.seed);
     let mut sys = SimSystem::with_options(sim, specs, cell.kind, false, false, Stepping::SkipAhead);
+    // Vault sharding is runtime policy (PAC_SHARDS), bit-identical to
+    // serial, so the soak exercises it whenever the env opts in.
+    sys.set_parallel(pac_types::shard_count());
     let mut ocfg = OracleConfig::for_sim(&sim);
     if matches!(cell.fault, Some(p) if p.class == FaultClass::DelayResponse) {
         // Delay faults need a finite latency bound to be detectable at
@@ -317,13 +316,16 @@ pub fn run_cell(cell: SoakCell, cfg: &SoakConfig) -> RunOutcome {
             };
             drop(sys);
             let specs = single_process(cell.bench, cfg.cores, cell.seed);
-            let restored = match SimSystem::restore(specs, &bytes, &meta) {
+            let mut restored = match SimSystem::restore(specs, &bytes, &meta) {
                 Ok(s) => s,
                 Err(e) => {
                     outcome.failure = format!("{meta}: checkpoint restore failed: {e}");
                     return outcome;
                 }
             };
+            // Snapshots never carry sharding; re-arm it on the restored
+            // system so the resumed leg runs under the same policy.
+            restored.set_parallel(pac_types::shard_count());
             outcome.roundtrip_verified = true;
             match drain(restored, limit, true, cfg.accesses_per_core) {
                 Ok(leg) => leg,
@@ -379,42 +381,59 @@ pub fn run_cell(cell: SoakCell, cfg: &SoakConfig) -> RunOutcome {
     outcome
 }
 
-/// Run a whole campaign. `progress` receives one line per completed run
-/// (pass `|_| {}` to silence).
-pub fn soak(cfg: &SoakConfig, mut progress: impl FnMut(&RunOutcome)) -> SoakReport {
+/// Run a whole campaign across the runner's worker pool. `progress`
+/// receives one line per completed run, always in campaign order (pass
+/// `|_| {}` to silence).
+///
+/// Fixed-count campaigns pre-draw every cell from the chaos stream and
+/// fan the whole list out at once; wall-clock campaigns draw one batch
+/// of `threads` cells between budget checks. Either way the stream
+/// advances one draw per cell, so the cell sequence — and, because
+/// [`ParallelRunner::run`] is order-preserving, the report — is a pure
+/// function of the seed, not of the thread count.
+pub fn soak(
+    cfg: &SoakConfig,
+    runner: &ParallelRunner,
+    mut progress: impl FnMut(&RunOutcome),
+) -> SoakReport {
     let start = Instant::now();
     let mut rng = cfg.seed;
     let mut report = SoakReport::default();
     loop {
-        if cfg.runs > 0 && report.runs_total >= cfg.runs {
-            break;
-        }
-        if let Some(budget) = cfg.wall_seconds {
-            if start.elapsed().as_secs_f64() >= budget {
-                break;
+        let batch_len = if cfg.runs > 0 {
+            match cfg.runs - report.runs_total {
+                0 => break,
+                remaining => remaining,
             }
-        }
-        if cfg.runs == 0 && cfg.wall_seconds.is_none() {
-            break; // refuse a shapeless campaign
-        }
-        let cell = compose_cell(&mut rng);
-        let outcome = run_cell(cell, cfg);
-        report.runs_total += 1;
-        report.faults_injected += outcome.faults_injected;
-        report.faults_recovered_retries += outcome.retries_issued;
-        report.oracle_violations += outcome.oracle_violations;
-        if outcome.roundtrip_verified && outcome.passed() {
-            report.roundtrips_verified += 1;
-        }
-        if outcome.passed() {
-            report.runs_survived += 1;
         } else {
-            if outcome.failure.contains("unrecovered") || outcome.failure.contains("aborted") {
-                report.unrecovered_runs += 1;
+            match cfg.wall_seconds {
+                Some(budget) if start.elapsed().as_secs_f64() < budget => {
+                    runner.threads() as u64
+                }
+                Some(_) => break,
+                None => break, // refuse a shapeless campaign
             }
-            report.failures.push(outcome.failure.clone());
+        };
+        let cells: Vec<SoakCell> = (0..batch_len).map(|_| compose_cell(&mut rng)).collect();
+        for outcome in runner.run(&cells, |_, cell| run_cell(*cell, cfg)) {
+            report.runs_total += 1;
+            report.faults_injected += outcome.faults_injected;
+            report.faults_recovered_retries += outcome.retries_issued;
+            report.oracle_violations += outcome.oracle_violations;
+            if outcome.roundtrip_verified && outcome.passed() {
+                report.roundtrips_verified += 1;
+            }
+            if outcome.passed() {
+                report.runs_survived += 1;
+            } else {
+                if outcome.failure.contains("unrecovered") || outcome.failure.contains("aborted")
+                {
+                    report.unrecovered_runs += 1;
+                }
+                report.failures.push(outcome.failure.clone());
+            }
+            progress(&outcome);
         }
-        progress(&outcome);
     }
     report.wall_seconds = start.elapsed().as_secs_f64();
     report
@@ -473,8 +492,33 @@ mod tests {
     #[test]
     fn tiny_campaign_passes() {
         let cfg = SoakConfig { runs: 3, ..SoakConfig::quick(0x50A4) };
-        let report = soak(&cfg, |_| {});
+        let report = soak(&cfg, &ParallelRunner::new(1), |_| {});
         assert_eq!(report.runs_total, 3);
         assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn campaign_is_thread_count_independent() {
+        // The same seed must produce the same cells, in the same order,
+        // with the same verdicts, whether the campaign runs serially or
+        // across a pool wider than the run count.
+        let cfg = SoakConfig { runs: 3, ..SoakConfig::quick(0xD15C) };
+        let mut serial_cells = Vec::new();
+        let serial = soak(&cfg, &ParallelRunner::new(1), |o| serial_cells.push(o.cell.describe()));
+        let mut wide_cells = Vec::new();
+        let wide = soak(&cfg, &ParallelRunner::new(4), |o| wide_cells.push(o.cell.describe()));
+        assert_eq!(serial_cells, wide_cells);
+        assert_eq!(
+            (serial.runs_total, serial.runs_survived, serial.faults_injected),
+            (wide.runs_total, wide.runs_survived, wide.faults_injected)
+        );
+        assert_eq!(
+            (serial.faults_recovered_retries, serial.roundtrips_verified),
+            (wide.faults_recovered_retries, wide.roundtrips_verified)
+        );
+        assert_eq!(
+            (serial.oracle_violations, serial.unrecovered_runs, serial.failures.clone()),
+            (wide.oracle_violations, wide.unrecovered_runs, wide.failures.clone())
+        );
     }
 }

@@ -15,8 +15,9 @@
 //! simulator-performance number, not a modelling change. The `throughput`
 //! binary writes the result as `BENCH_throughput.json`.
 
-use pac_sim::{run_bench, CoalescerKind, ExperimentConfig, Stepping};
-use pac_workloads::Bench;
+use crate::matrix::MatrixCell;
+use crate::runner::ParallelRunner;
+use pac_sim::{run_bench, ExperimentConfig, Stepping};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -58,43 +59,148 @@ fn stepping_name(s: Stepping) -> &'static str {
     }
 }
 
-/// Run `benches × kinds` serially under `stepping`, timing each cell.
+/// Run the given matrix cells serially under `stepping`, timing each.
 ///
 /// Serial on purpose: wall-clock per cell is the quantity of interest,
 /// and co-scheduled runs would contend for the host and distort it.
-pub fn sweep(
-    benches: &[Bench],
-    kinds: &[CoalescerKind],
-    cfg: &ExperimentConfig,
-    stepping: Stepping,
-) -> Sweep {
+/// Parallel wall-clock is the [`scaling_curve`]'s job.
+pub fn sweep(matrix: &[MatrixCell], cfg: &ExperimentConfig, stepping: Stepping) -> Sweep {
     let mut cfg = *cfg;
     cfg.stepping = stepping;
     let retired = cfg.accesses_per_core * u64::from(cfg.sim.cores);
     let mut cells = Vec::new();
     let start = Instant::now();
-    for &bench in benches {
-        for &kind in kinds {
-            let t = Instant::now();
-            let (m, _) = run_bench(bench, kind, &cfg);
-            cells.push(Cell {
-                bench: bench.name(),
-                kind: kind.label(),
-                stepping: stepping_name(stepping),
-                wall_seconds: t.elapsed().as_secs_f64(),
-                simulated_cycles: m.runtime_cycles,
-                retired_accesses: retired,
-            });
-        }
+    for mc in matrix {
+        let t = Instant::now();
+        let (m, _) = run_bench(mc.bench, mc.kind, &cfg);
+        cells.push(Cell {
+            bench: mc.bench.name(),
+            kind: mc.kind.label(),
+            stepping: stepping_name(stepping),
+            wall_seconds: t.elapsed().as_secs_f64(),
+            simulated_cycles: m.runtime_cycles,
+            retired_accesses: retired,
+        });
     }
     Sweep { stepping: stepping_name(stepping), wall_seconds: start.elapsed().as_secs_f64(), cells }
+}
+
+/// One point of the thread-scaling curve: the full skip-ahead matrix
+/// fanned across `threads` workers.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    pub threads: usize,
+    pub wall_seconds: f64,
+    /// Whole-matrix speedup over this curve's own 1-thread point.
+    pub speedup: f64,
+}
+
+/// The matrix fan-out scaling curve plus its determinism verdict.
+#[derive(Debug, Clone)]
+pub struct ScalingCurve {
+    /// What the host could actually run concurrently — readers should
+    /// not expect speedup beyond this no matter the requested widths.
+    pub host_threads: usize,
+    pub points: Vec<ScalingPoint>,
+    /// Per-cell simulated-cycle mismatches against the serial sweep
+    /// (must be empty: the thread count may change wall-clock only).
+    pub cycle_mismatches: Vec<String>,
+}
+
+impl ScalingCurve {
+    pub fn bit_identical(&self) -> bool {
+        self.cycle_mismatches.is_empty()
+    }
+}
+
+/// Measure the skip-ahead matrix wall clock at each worker count and
+/// verify every cell's simulated cycles against the `serial` sweep.
+///
+/// `thread_counts` should start at 1 (the curve's speedup baseline);
+/// the counts are deduplicated and sorted by the caller.
+pub fn scaling_curve(
+    matrix: &[MatrixCell],
+    cfg: &ExperimentConfig,
+    serial: &Sweep,
+    thread_counts: &[usize],
+) -> ScalingCurve {
+    let mut cfg = *cfg;
+    cfg.stepping = Stepping::SkipAhead;
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    let mut cycle_mismatches = Vec::new();
+    for &threads in thread_counts {
+        let runner = ParallelRunner::new(threads.max(1));
+        let start = Instant::now();
+        let cycles = runner.run(matrix, |_, mc| {
+            let (m, _) = run_bench(mc.bench, mc.kind, &cfg);
+            m.runtime_cycles
+        });
+        let wall = start.elapsed().as_secs_f64();
+        for ((mc, got), base) in matrix.iter().zip(&cycles).zip(&serial.cells) {
+            if *got != base.simulated_cycles {
+                cycle_mismatches.push(format!(
+                    "{}: {} simulated cycles at {} thread(s), serial sweep had {}",
+                    mc.label(),
+                    got,
+                    threads,
+                    base.simulated_cycles
+                ));
+            }
+        }
+        let baseline = points.first().map_or(wall, |p| p.wall_seconds);
+        points.push(ScalingPoint { threads, wall_seconds: wall, speedup: baseline / wall });
+    }
+    ScalingCurve { host_threads: pac_types::thread_count(None), points, cycle_mismatches }
+}
+
+/// CI determinism gate: run the matrix once per worker count and
+/// require the **full** per-cell [`pac_sim::RunMetrics`] — every
+/// figure-level aggregate, not just cycle counts — to match the
+/// 1-thread run exactly. Returns the divergence descriptions (empty =
+/// gate passed).
+pub fn determinism_gate(
+    matrix: &[MatrixCell],
+    cfg: &ExperimentConfig,
+    thread_counts: &[usize],
+) -> Vec<String> {
+    let mut cfg = *cfg;
+    cfg.stepping = Stepping::SkipAhead;
+    let run = |threads: usize| {
+        ParallelRunner::new(threads.max(1)).run(matrix, |_, mc| {
+            let (m, _) = run_bench(mc.bench, mc.kind, &cfg);
+            m
+        })
+    };
+    let serial = run(1);
+    let mut mismatches = Vec::new();
+    for &threads in thread_counts.iter().filter(|&&t| t != 1) {
+        let wide = run(threads);
+        for ((mc, s), w) in matrix.iter().zip(&serial).zip(&wide) {
+            if s != w {
+                mismatches.push(format!(
+                    "{}: RunMetrics diverge between 1 and {} worker(s)",
+                    mc.label(),
+                    threads
+                ));
+            }
+        }
+    }
+    mismatches
 }
 
 /// Render a sweep pair as the `BENCH_throughput.json` document.
 ///
 /// Hand-rolled writer (the repo carries no JSON dependency); the output
-/// is plain nested objects/arrays with only numbers and strings.
-pub fn to_json(cfg: &ExperimentConfig, sweeps: &[Sweep], baseline_seconds: Option<f64>) -> String {
+/// is plain nested objects/arrays with only numbers and strings. The
+/// scaling section, when present, goes **after** the sweeps array so
+/// existing line-oriented readers ([`crate::trace_cmd::parse_baseline`])
+/// keep seeing the skip-ahead cells unchanged.
+pub fn to_json(
+    cfg: &ExperimentConfig,
+    sweeps: &[Sweep],
+    baseline_seconds: Option<f64>,
+    scaling: Option<&ScalingCurve>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"accesses_per_core\": {},", cfg.accesses_per_core);
@@ -149,31 +255,83 @@ pub fn to_json(cfg: &ExperimentConfig, sweeps: &[Sweep], baseline_seconds: Optio
         out.push_str("      ]\n");
         out.push_str(if i + 1 < sweeps.len() { "    },\n" } else { "    }\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(curve) = scaling {
+        out.push_str(",\n  \"scaling\": {\n");
+        let _ = writeln!(out, "    \"host_threads\": {},", curve.host_threads);
+        let _ = writeln!(out, "    \"bit_identical_to_serial\": {},", curve.bit_identical());
+        out.push_str("    \"points\": [\n");
+        for (i, p) in curve.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"threads\": {}, \"wall_seconds\": {:.3}, \"speedup\": {:.3}}}",
+                p.threads, p.wall_seconds, p.speedup
+            );
+            out.push_str(if i + 1 < curve.points.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]\n  }");
+    }
+    out.push_str("\n}\n");
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pac_sim::CoalescerKind;
+    use pac_workloads::Bench;
+
+    fn gs_row() -> Vec<MatrixCell> {
+        CoalescerKind::ALL
+            .iter()
+            .map(|&kind| MatrixCell { bench: Bench::Gs, kind })
+            .collect()
+    }
 
     #[test]
     fn sweep_reports_identical_metrics_across_modes() {
         let cfg = ExperimentConfig { accesses_per_core: 400, ..Default::default() };
-        let benches = [Bench::Gs];
-        let kinds = CoalescerKind::ALL;
-        let fast = sweep(&benches, &kinds, &cfg, Stepping::SkipAhead);
-        let slow = sweep(&benches, &kinds, &cfg, Stepping::EveryCycle);
+        let matrix = gs_row();
+        let fast = sweep(&matrix, &cfg, Stepping::SkipAhead);
+        let slow = sweep(&matrix, &cfg, Stepping::EveryCycle);
         assert_eq!(fast.cells.len(), 3);
         for (f, s) in fast.cells.iter().zip(&slow.cells) {
             assert_eq!(f.simulated_cycles, s.simulated_cycles, "{}/{}", f.bench, f.kind);
             assert!(f.wall_seconds > 0.0 && s.wall_seconds > 0.0);
         }
-        let json = to_json(&cfg, &[slow, fast], Some(12.0));
+        let json = to_json(&cfg, &[slow, fast], Some(12.0), None);
         assert!(json.contains("\"speedup_skip_ahead_over_every_cycle\""));
         assert!(json.contains("\"speedup_skip_ahead_over_seed\""));
         assert!(json.contains("\"cycles_per_second\""));
         // Well-formed enough for a strict reader: balanced braces.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn scaling_curve_is_bit_identical_and_serializes() {
+        let cfg = ExperimentConfig { accesses_per_core: 400, ..Default::default() };
+        let matrix = gs_row();
+        let serial = sweep(&matrix, &cfg, Stepping::SkipAhead);
+        let curve = scaling_curve(&matrix, &cfg, &serial, &[1, 3]);
+        assert!(curve.bit_identical(), "{:?}", curve.cycle_mismatches);
+        assert_eq!(curve.points.len(), 2);
+        assert_eq!(curve.points[0].threads, 1);
+        assert!((curve.points[0].speedup - 1.0).abs() < 1e-9);
+        let json = to_json(&cfg, &[serial], None, Some(&curve));
+        assert!(json.contains("\"scaling\""));
+        assert!(json.contains("\"bit_identical_to_serial\": true"));
+        assert!(json.contains("\"host_threads\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The scaling section must not confuse the baseline reader: it
+        // still finds exactly the skip-ahead cells.
+        let (_, _, cells) = crate::trace_cmd::parse_baseline(&json).unwrap();
+        assert_eq!(cells.len(), matrix.len());
+    }
+
+    #[test]
+    fn determinism_gate_passes_on_clean_matrix() {
+        let cfg = ExperimentConfig { accesses_per_core: 400, ..Default::default() };
+        let mismatches = determinism_gate(&gs_row(), &cfg, &[1, 4]);
+        assert!(mismatches.is_empty(), "{mismatches:?}");
     }
 }

@@ -419,6 +419,7 @@ mod tests {
                 },
             ],
             None,
+            None,
         );
         let (accesses, seed, cells) = parse_baseline(&doc).unwrap();
         assert_eq!(accesses, 777);

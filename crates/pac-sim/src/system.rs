@@ -457,6 +457,20 @@ impl SimSystem {
         &self.tracer
     }
 
+    /// Shard the HMC vault walk across `shards` worker threads. A
+    /// runtime policy, not part of the experiment identity: metrics,
+    /// oracle verdicts, and checkpoints are bit-identical at any shard
+    /// count, so it never appears in [`SimConfig`] or snapshots (a
+    /// restored system starts serial; re-arm after [`Self::restore`]).
+    /// Ignored while tracing — exact-cycle event emission needs the
+    /// serial engine. `shards <= 1` returns to serial mode.
+    pub fn set_parallel(&mut self, shards: usize) {
+        if self.tracer.is_enabled() {
+            return;
+        }
+        self.hmc.set_parallel(shards);
+    }
+
     /// Faults the device actually injected so far.
     pub fn faults_injected(&self) -> u64 {
         self.hmc.faults_injected()
@@ -1063,7 +1077,17 @@ impl SimSystem {
     /// lower bounds: an early landing tick is a harmless no-op, while
     /// anything that would *accept* an offer or change state pins the
     /// clock to the present.
-    fn skip_to_next_event(&mut self) {
+    ///
+    /// `clamp` caps the landing cycle (the caller's pause/limit
+    /// boundary). Different engines wake at different conservative
+    /// bounds — serial vs sharded HMC, skip-ahead vs every-cycle — so
+    /// an uncapped jump would overshoot the boundary by a
+    /// mode-dependent amount and pause at a mode-dependent `now`.
+    /// Landing exactly on the boundary keeps mid-run checkpoints
+    /// byte-identical across all of them; the split bulk accounting
+    /// ([now, clamp) here, the landing tick's own refusals, the rest
+    /// after resuming) sums to the unclamped totals.
+    fn skip_to_next_event(&mut self, clamp: Cycle) {
         let now = self.now;
         self.core_mask = None;
         // Offers the coming cycles would repeat: the side-queue head
@@ -1138,6 +1162,9 @@ impl SimSystem {
             // than spinning silently.
             return;
         }
+        // An early landing tick is a harmless no-op, so capping the
+        // jump at the caller's boundary is always sound.
+        let best = best.min(clamp.max(now + 1));
         // Cycles [now, best) would each re-offer every blocked request
         // exactly once and be refused; account those offers and jump.
         let n = best - now;
@@ -1188,6 +1215,11 @@ impl SimSystem {
                 return RunProgress::CycleLimit;
             }
             if self.now >= stop_at {
+                // Pausing means a checkpoint may follow: fold the shard
+                // engine's in-flight state back into the device, pinned
+                // to this pause boundary, so `save_state` sees the
+                // serial-identical snapshot.
+                self.hmc.quiesce_engine_at(self.now);
                 return RunProgress::Paused;
             }
             self.tick();
@@ -1205,8 +1237,9 @@ impl SimSystem {
             }
             if self.stepping == Stepping::SkipAhead {
                 // `tick` already advanced `now` by one; jump the clock
-                // over idle and blocked-retry cycles from there.
-                self.skip_to_next_event();
+                // over idle and blocked-retry cycles from there, never
+                // past the caller's pause or cycle-limit boundary.
+                self.skip_to_next_event(stop_at.min(cycle_limit));
             }
         }
         RunProgress::Done
@@ -1489,6 +1522,7 @@ pub fn run_lockstep(
     cycle_limit: Cycle,
 ) -> LockstepOutcome {
     let mut sys = SimSystem::new(cfg, specs, kind);
+    sys.set_parallel(pac_types::shard_count());
     sys.attach_oracle_with(oracle_cfg.unwrap_or_else(|| OracleConfig::for_sim(sys.config())));
     if let Some(plan) = fault {
         sys.set_fault_plan(plan).expect("valid fault plan");
@@ -1709,5 +1743,120 @@ mod tests {
         assert!(pac.transaction_efficiency > raw.transaction_efficiency);
         // Raw 64B requests sit at exactly 2/3 (Sec 5.3.2).
         assert!((raw.transaction_efficiency - 2.0 / 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn sharded_system_matches_serial_metrics() {
+        // The shard engine is a scheduling policy, not a model change:
+        // every RunMetrics field (cycle counts, f64 energy, histograms)
+        // must be bit-identical at any shard count.
+        for kind in CoalescerKind::ALL {
+            let serial = run(Bench::Bfs, kind, 2000);
+            let specs = single_process(Bench::Bfs, 4, 7);
+            let mut sys = SimSystem::new(small_cfg(), specs, kind);
+            sys.set_parallel(3);
+            let sharded = sys.run(2000);
+            assert_eq!(serial, sharded, "{} diverged under sharding", kind.label());
+        }
+    }
+
+    #[test]
+    fn lockstep_oracle_silent_under_shards() {
+        for kind in CoalescerKind::ALL {
+            let specs = single_process(Bench::Bfs, 4, 11);
+            let mut sys = SimSystem::new(small_cfg(), specs, kind);
+            sys.set_parallel(2);
+            sys.attach_oracle();
+            assert!(sys.run_until(1500, 10_000_000), "{} failed to drain", kind.label());
+            let report = sys.oracle_report().unwrap();
+            assert!(report.is_clean(), "{}: {}", kind.label(), report.summary());
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_bit_identical_under_shards() {
+        // Pausing quiesces the shard engine, so a mid-run snapshot of a
+        // sharded system is byte-identical to the serial system's, and
+        // a restored run re-armed with shards finishes with the same
+        // metrics as an uninterrupted serial run.
+        let meta = "shard-roundtrip";
+        let mk = || SimSystem::new(small_cfg(), single_process(Bench::Stream, 4, 7), CoalescerKind::Pac);
+        let mut serial = mk();
+        let mut sharded = mk();
+        sharded.set_parallel(4);
+        serial.begin_run(1500);
+        sharded.begin_run(1500);
+        assert_eq!(serial.advance(10_000_000, 1_000), RunProgress::Paused);
+        assert_eq!(sharded.advance(10_000_000, 1_000), RunProgress::Paused);
+        let snap_serial = serial.save_state(meta).unwrap();
+        let snap_sharded = sharded.save_state(meta).unwrap();
+        assert_eq!(snap_serial, snap_sharded, "mid-run snapshots diverged");
+
+        let mut resumed =
+            SimSystem::restore(single_process(Bench::Stream, 4, 7), &snap_sharded, meta).unwrap();
+        resumed.set_parallel(2); // restored systems start serial; re-arm
+        let limit = resumed.run_limit();
+        assert_eq!(resumed.advance(limit, Cycle::MAX), RunProgress::Done);
+        let resumed_metrics = resumed.finish_run();
+        let baseline = run(Bench::Stream, CoalescerKind::Pac, 1500);
+        assert_eq!(resumed_metrics, baseline, "resumed sharded run diverged");
+    }
+
+    #[test]
+    fn late_pause_rearm_bit_identical_under_shards() {
+        // Regression: arming the shard engine on a *mid-run* restored
+        // device must seed the lazy lookahead bound from the restored
+        // vault queues. With the bound assumed empty (`u64::MAX`), the
+        // engine never synchronized until the next submit lowered it,
+        // responses for already-queued references popped late, and the
+        // resumed run did extra work (stalls/retries) versus the
+        // uninterrupted one. Needs a pause late enough that vault
+        // queues hold unissued requests — the early-pause roundtrip
+        // test above never trips it.
+        let seed = 0x18e7cadcd801f31a;
+        let meta = "late-rearm";
+        let mk = || {
+            let sim = SimConfig { cores: 4, ..SimConfig::default() };
+            SimSystem::with_options(
+                sim,
+                single_process(Bench::Bt, 4, seed),
+                CoalescerKind::MshrDmc,
+                false,
+                false,
+                Stepping::SkipAhead,
+            )
+        };
+        let limit: Cycle = 10_000_000;
+        let mut uninterrupted = mk();
+        uninterrupted.set_parallel(2);
+        uninterrupted.begin_run(400);
+        assert_eq!(uninterrupted.advance(limit, Cycle::MAX), RunProgress::Done);
+        let reference = uninterrupted.finish_run();
+
+        let stop = reference.runtime_cycles * 716 / 1000;
+        let mut paused = mk();
+        paused.set_parallel(2);
+        paused.begin_run(400);
+        assert_eq!(paused.advance(limit, stop), RunProgress::Paused);
+        let snap = paused.save_state(meta).unwrap();
+
+        let mut resumed = SimSystem::restore(single_process(Bench::Bt, 4, seed), &snap, meta).unwrap();
+        resumed.set_parallel(2);
+        assert_eq!(resumed.advance(limit, Cycle::MAX), RunProgress::Done);
+        assert_eq!(resumed.finish_run(), reference, "late re-arm diverged");
+    }
+
+    #[test]
+    fn set_parallel_is_ignored_while_tracing() {
+        // Exact-cycle event emission needs the serial engine; arming
+        // shards under an enabled tracer must quietly no-op.
+        let plain = run(Bench::Ep, CoalescerKind::Pac, 2000);
+        let specs = single_process(Bench::Ep, 4, 7);
+        let mut sys = SimSystem::new(small_cfg(), specs, CoalescerKind::Pac);
+        sys.set_trace_config(pac_types::TraceConfig::full());
+        sys.set_parallel(4);
+        let traced = sys.run(2000);
+        assert_eq!(plain, traced);
+        assert!(!sys.tracer().snapshot_events().is_empty());
     }
 }

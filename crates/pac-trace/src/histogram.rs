@@ -172,6 +172,21 @@ impl MetricsRegistry {
         self.entries.iter().map(|(n, h)| (n.as_str(), h))
     }
 
+    /// Fold `other` into `self`: histograms sharing a name merge
+    /// bucket-wise; names only `other` knows are appended in its
+    /// order. Bucket counts are integers, so the merge is commutative
+    /// and associative up to entry order — and [`PartialEq`] here is
+    /// order-insensitive, making registry aggregation independent of
+    /// the order worker results arrive in.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, hist) in other.iter() {
+            match self.entries.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1.merge(hist),
+                None => self.entries.push((name.to_string(), hist.clone())),
+            }
+        }
+    }
+
     /// Render an aligned text table: name, count, mean, p50/p95/p99,
     /// max — all latencies in cycles. Empty histograms render dashes.
     pub fn render_table(&self) -> String {
@@ -205,6 +220,18 @@ impl MetricsRegistry {
         out
     }
 }
+
+// Entry order is an artifact of insertion/merge history, not of the
+// measurements: two registries are equal when they hold the same
+// name → histogram mapping.
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &MetricsRegistry) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.iter().all(|(name, hist)| other.get(name) == Some(hist))
+    }
+}
+
+impl Eq for MetricsRegistry {}
 
 #[cfg(test)]
 mod tests {
@@ -292,5 +319,39 @@ mod tests {
         let table = reg.render_table();
         assert!(table.contains("stage2"));
         assert!(table.contains("p95"));
+    }
+
+    #[test]
+    fn registry_merge_is_order_insensitive() {
+        let hist = |samples: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        let mut a = MetricsRegistry::new();
+        a.insert("stage2", hist(&[3, 9]));
+        a.insert("stage3", hist(&[40]));
+        let mut b = MetricsRegistry::new();
+        b.insert("stage3", hist(&[7]));
+        b.insert("maq", hist(&[1, 2, 3]));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must commute up to entry order");
+        assert_eq!(ab.get("stage3").unwrap().count(), 2);
+        assert_eq!(ab.get("maq"), b.get("maq"));
+        // Entry orders genuinely differ; equality ignores that.
+        assert_ne!(
+            ab.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            ba.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+        // Merging an empty registry is the identity.
+        let mut id = ab.clone();
+        id.merge(&MetricsRegistry::new());
+        assert_eq!(id, ab);
     }
 }

@@ -1,0 +1,103 @@
+//! Property tests: [`LatencyHistogram::merge`] and
+//! [`MetricsRegistry::merge`] are commutative and associative, and any
+//! fold order yields the same aggregate — the contract that lets the
+//! parallel runner merge per-cell metric registries in whatever order
+//! worker results complete.
+
+use pac_trace::{LatencyHistogram, MetricsRegistry};
+use proptest::prelude::*;
+
+fn hist(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// A registry drawn from a small name pool so merges genuinely collide
+/// on names (the interesting case) as well as append fresh ones.
+fn registry(entries: &[(u8, Vec<u64>)]) -> MetricsRegistry {
+    const NAMES: [&str; 5] = ["stage2", "stage3", "maq", "vault", "link"];
+    let mut reg = MetricsRegistry::new();
+    for (name_idx, samples) in entries {
+        let name = NAMES[usize::from(*name_idx) % NAMES.len()];
+        // `insert` replaces; fold into any existing entry instead so
+        // the generated registry is itself merge-shaped.
+        let mut h = reg.get(name).cloned().unwrap_or_default();
+        h.merge(&hist(samples));
+        reg.insert(name, h);
+    }
+    reg
+}
+
+fn entry_sets() -> impl Strategy<Value = Vec<Vec<(u8, Vec<u64>)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..8, prop::collection::vec(0u64..100_000, 0..16)), 0..5),
+        2..6,
+    )
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_commutes_and_associates(gs in entry_sets()) {
+        let a = hist(&gs[0].iter().flat_map(|(_, s)| s.iter().copied()).collect::<Vec<_>>());
+        let b = hist(&gs[1].iter().flat_map(|(_, s)| s.iter().copied()).collect::<Vec<_>>());
+        let c = gs
+            .get(2)
+            .map(|g| hist(&g.iter().flat_map(|(_, s)| s.iter().copied()).collect::<Vec<_>>()))
+            .unwrap_or_default();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut left = ab.clone();
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn registry_merge_commutes(gs in entry_sets()) {
+        let a = registry(&gs[0]);
+        let b = registry(&gs[1]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // Equality is order-insensitive by design: entry order differs
+        // when each side contributes fresh names.
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn registry_any_fold_order_agrees(gs in entry_sets()) {
+        let regs: Vec<MetricsRegistry> = gs.iter().map(|g| registry(g)).collect();
+        let mut fwd = MetricsRegistry::new();
+        for r in &regs {
+            fwd.merge(r);
+        }
+        let mut rev = MetricsRegistry::new();
+        for r in regs.iter().rev() {
+            rev.merge(r);
+        }
+        let mut layer = regs.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                let mut m = pair[0].clone();
+                if let Some(rhs) = pair.get(1) {
+                    m.merge(rhs);
+                }
+                next.push(m);
+            }
+            layer = next;
+        }
+        prop_assert_eq!(&fwd, &rev);
+        prop_assert_eq!(&fwd, &layer[0]);
+    }
+}

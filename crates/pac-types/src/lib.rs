@@ -16,6 +16,7 @@ pub mod protocol;
 pub mod recovery;
 pub mod request;
 pub mod snapshot;
+pub mod threads;
 pub mod trace;
 
 pub use addr::{Addr, BlockId, PageNumber, CACHE_LINE_BYTES, PAGE_BYTES};
@@ -26,6 +27,7 @@ pub use protocol::MemoryProtocol;
 pub use recovery::RecoveryConfig;
 pub use request::{CoalescedRequest, MemRequest, Op, RequestKind};
 pub use snapshot::{frame, unframe, SnapError, SnapReader, SnapWriter, Snapshot};
+pub use threads::{derive_seed, shard_count, splitmix64, thread_count};
 pub use trace::{EventClass, EventClassSet, TraceConfig, TraceMode};
 
 /// Simulation time, in CPU cycles. The paper's cores run at 2 GHz, so one

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_throughput.json document written by the throughput
+binary (sibling of check_trace_json.py for the trace exporter).
+
+Checks:
+  - top-level campaign parameters (accesses_per_core, cores, seed) are
+    positive integers;
+  - a `sweeps` array with at least the skip-ahead sweep, each sweep
+    carrying a positive matrix_wall_seconds and a full 42-cell matrix
+    (14 benches x 3 coalescers), every cell with positive wall seconds,
+    simulated cycles, retired accesses, and self-consistent derived
+    rates;
+  - when both stepping modes are present, their per-cell simulated
+    cycles agree pairwise (the skip-ahead equivalence contract);
+  - the `scaling` section, when present: host_threads >= 1, points
+    sorted by strictly increasing thread count starting at 1, each with
+    positive wall seconds and a speedup consistent with the 1-thread
+    wall, and bit_identical_to_serial == true (the determinism gate);
+  - speedup_* summary fields match the sweep walls they summarize.
+
+Exit code 0 on success; prints a summary line for the CI log.
+"""
+
+import json
+import sys
+
+KINDS = {"raw", "mshr-dmc", "pac"}
+EXPECTED_CELLS = 42  # 14 benchmarks x 3 coalescers
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_cells(stepping: str, cells) -> None:
+    if not isinstance(cells, list) or len(cells) != EXPECTED_CELLS:
+        fail(f"sweep {stepping}: expected {EXPECTED_CELLS} cells, "
+             f"got {len(cells) if isinstance(cells, list) else type(cells)}")
+    for i, c in enumerate(cells):
+        where = f"sweep {stepping} cell[{i}]"
+        if not isinstance(c, dict):
+            fail(f"{where} is not an object")
+        if not c.get("bench") or not isinstance(c["bench"], str):
+            fail(f"{where}: bench must be a non-empty string")
+        if c.get("kind") not in KINDS:
+            fail(f"{where}: unknown coalescer kind {c.get('kind')!r}")
+        for key in ("simulated_cycles", "retired_accesses"):
+            v = c.get(key)
+            if not isinstance(v, int) or v <= 0:
+                fail(f"{where}: {key} must be a positive integer, got {v!r}")
+        wall = c.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            fail(f"{where}: wall_seconds must be positive, got {wall!r}")
+        for rate, num in (
+            ("cycles_per_second", "simulated_cycles"),
+            ("accesses_per_second", "retired_accesses"),
+        ):
+            v = c.get(rate)
+            if not isinstance(v, (int, float)) or v <= 0:
+                fail(f"{where}: {rate} must be positive, got {v!r}")
+            # The writer rounds the rate to an integer; allow that
+            # rounding plus the wall's own 4-decimal truncation.
+            if abs(v - c[num] / wall) > max(1.0, 0.01 * v):
+                fail(f"{where}: {rate} inconsistent with {num}/wall_seconds")
+
+
+def check_scaling(scaling, _skip_wall: float) -> str:
+    if not isinstance(scaling, dict):
+        fail("scaling must be an object")
+    host = scaling.get("host_threads")
+    if not isinstance(host, int) or host < 1:
+        fail(f"scaling.host_threads must be a positive integer, got {host!r}")
+    if scaling.get("bit_identical_to_serial") is not True:
+        fail("scaling.bit_identical_to_serial must be true "
+             "(thread count may change wall-clock only)")
+    points = scaling.get("points")
+    if not isinstance(points, list) or not points:
+        fail("scaling.points must be a non-empty array")
+    prev_threads = 0
+    base_wall = None
+    for i, p in enumerate(points):
+        where = f"scaling.points[{i}]"
+        if not isinstance(p, dict):
+            fail(f"{where} is not an object")
+        t = p.get("threads")
+        if not isinstance(t, int) or t <= prev_threads:
+            fail(f"{where}: threads must increase strictly, got {t!r} "
+                 f"after {prev_threads}")
+        prev_threads = t
+        wall = p.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            fail(f"{where}: wall_seconds must be positive, got {wall!r}")
+        speedup = p.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            fail(f"{where}: speedup must be positive, got {speedup!r}")
+        if base_wall is None:
+            if t != 1:
+                fail("scaling.points must start at threads=1")
+            base_wall = wall
+        # speedup is recorded to 3 decimals against the 1-thread wall.
+        if abs(speedup - base_wall / wall) > max(0.01, 0.02 * speedup):
+            fail(f"{where}: speedup inconsistent with 1-thread wall")
+    top = points[-1]
+    return (f"scaling 1->{top['threads']} threads "
+            f"(host {host}): {top['speedup']:.2f}x")
+
+
+def main(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict):
+        fail("document must be a JSON object")
+    for key in ("accesses_per_core", "cores", "seed"):
+        v = doc.get(key)
+        if not isinstance(v, int) or v <= 0:
+            fail(f"{key} must be a positive integer, got {v!r}")
+
+    sweeps = doc.get("sweeps")
+    if not isinstance(sweeps, list) or not sweeps:
+        fail("sweeps must be a non-empty array")
+    by_mode = {}
+    for s in sweeps:
+        if not isinstance(s, dict) or "stepping" not in s:
+            fail("every sweep needs a stepping label")
+        wall = s.get("matrix_wall_seconds")
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            fail(f"sweep {s['stepping']}: matrix_wall_seconds must be positive")
+        check_cells(s["stepping"], s.get("cells"))
+        by_mode[s["stepping"]] = s
+    if "skip-ahead" not in by_mode:
+        fail("missing the skip-ahead sweep (the production mode)")
+    if "every-cycle" in by_mode:
+        ec, sa = by_mode["every-cycle"], by_mode["skip-ahead"]
+        for a, b in zip(ec["cells"], sa["cells"]):
+            if (a["bench"], a["kind"]) != (b["bench"], b["kind"]):
+                fail("sweep cell orders differ between stepping modes")
+            if a["simulated_cycles"] != b["simulated_cycles"]:
+                fail(f"{a['bench']}/{a['kind']}: stepping modes disagree "
+                     f"on simulated cycles")
+        ratio = doc.get("speedup_skip_ahead_over_every_cycle")
+        if ratio is not None:
+            expect = ec["matrix_wall_seconds"] / sa["matrix_wall_seconds"]
+            if abs(ratio - expect) > max(0.01, 0.02 * expect):
+                fail("speedup_skip_ahead_over_every_cycle inconsistent "
+                     "with sweep walls")
+
+    scaling_note = ""
+    if "scaling" in doc:
+        scaling_note = ", " + check_scaling(
+            doc["scaling"], by_mode["skip-ahead"]["matrix_wall_seconds"])
+
+    print(f"OK: {len(sweeps)} sweep(s) x {EXPECTED_CELLS} cells, "
+          f"modes: {', '.join(sorted(by_mode))}{scaling_note}")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <BENCH_throughput.json>", file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
