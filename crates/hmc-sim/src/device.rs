@@ -267,11 +267,12 @@ impl Hmc {
     /// Arm deterministic response-path fault injection. Conformance
     /// testing only — a plan makes the device deliberately *wrong* in
     /// the planned way so the oracle can prove it notices. The plan is
-    /// validated first (rate clamped to 1024, zero fault budgets
-    /// rejected) so a plan that could never fire is an error at arm
-    /// time, not a silently clean run.
+    /// validated against this device's topology first (rate clamped to
+    /// 1024, zero fault budgets rejected, `target_unit` bounds-checked
+    /// against the vault count) so a plan that could never fire is an
+    /// error at arm time, not a silently clean run.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
-        self.fault_plan = Some(plan.validate()?);
+        self.fault_plan = Some(plan.validate_for(self.cfg.vaults)?);
         Ok(())
     }
 
@@ -560,9 +561,11 @@ impl Hmc {
         let mut entry: CompletedEntry =
             (complete, req.id, req.addr, req.bytes, req.op == Op::Store, req.submit_cycle);
         if let Some(plan) = self.fault_plan {
-            // Validation guarantees max_faults >= 1 (u64::MAX = unbounded).
+            // Validation guarantees max_faults >= 1 (u64::MAX = unbounded)
+            // and that any target_unit names a real vault.
             let budget_ok = self.faults_injected < plan.max_faults;
-            if budget_ok && plan.should_inject(req.id) {
+            let unit_ok = plan.target_unit.is_none_or(|t| t == self.cfg.vault_of(req.addr));
+            if budget_ok && unit_ok && plan.should_inject(req.id) {
                 self.faults_injected += 1;
                 self.tracer.emit(r.data_ready, EventClass::Diagnostic, || EventKind::FaultInjected {
                     id: req.id,
@@ -901,6 +904,37 @@ mod tests {
         assert_eq!(hmc.faults_injected(), 2);
         assert_eq!(rsps.len(), 6, "two of eight responses dropped");
         assert!(hmc.is_idle(), "dropped responses must not wedge the device");
+    }
+
+    #[test]
+    fn fault_plan_target_unit_checked_against_vault_topology() {
+        let mut hmc = device();
+        let bad = FaultPlan {
+            target_unit: Some(40),
+            ..FaultPlan::new(FaultClass::DropResponse, 11)
+        };
+        assert_eq!(
+            hmc.set_fault_plan(bad),
+            Err(FaultPlanError::TargetUnitOutOfRange { unit: 40, units: 32 })
+        );
+
+        // A targeted plan only fires on its vault: always-inject drops
+        // aimed at vault 1 lose exactly the vault-1 response.
+        let plan = FaultPlan {
+            rate_per_1024: 1024,
+            max_faults: u64::MAX,
+            target_unit: Some(1),
+            ..FaultPlan::new(FaultClass::DropResponse, 11)
+        };
+        hmc.set_fault_plan(plan).expect("in-range target");
+        for i in 0..4 {
+            hmc.submit(read(i, i * 256, 64), 0); // vaults 0..3
+        }
+        let (rsps, _) = hmc.drain(0);
+        assert_eq!(hmc.faults_injected(), 1);
+        assert_eq!(rsps.len(), 3);
+        assert!(rsps.iter().all(|r| hmc.config().vault_of(r.addr) != 1));
+        assert!(hmc.is_idle());
     }
 
     #[test]

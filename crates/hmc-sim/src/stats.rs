@@ -79,8 +79,9 @@ impl HmcStats {
         }
     }
 
-    /// Record one completed response.
-    pub(crate) fn complete(&mut self, latency: Cycle) {
+    /// Record one completed response. Public so alternate device
+    /// backends (`pac-mem`) account completions identically.
+    pub fn complete(&mut self, latency: Cycle) {
         self.responses += 1;
         self.total_latency_cycles += latency;
         self.latency_hist.record(latency);

@@ -4,6 +4,8 @@
 //! $ conformance                      # full scale
 //! $ conformance --quick              # CI scale (also via PAC_QUICK=1)
 //! $ conformance --recover --quick    # recovery mode: survive, don't just detect
+//! $ conformance --backend hbm        # run the matrices on the HBM backend
+//! $ conformance --diff --quick       # differential mode: both backends per cell
 //! $ conformance --threads 4          # fan matrix cells across 4 workers
 //! ```
 //!
@@ -20,22 +22,34 @@
 //! explicitly attached and requires the simulated cycle counts to
 //! reproduce bit-identically — the disabled path costs nothing.
 //!
-//! Exits nonzero on any failing cell in either mode.
+//! `--backend hmc|hbm` selects the memory substrate the matrices run
+//! on (default hmc). Phase R2 is tied to the HMC-recorded baseline and
+//! is skipped on other backends. `--diff` instead runs every matrix
+//! cell on *both* backends and requires request conservation, identical
+//! completed-request sets, and oracle silence on each.
+//!
+//! Exits nonzero on any failing cell in any mode.
 
 use pac_bench::conformance::{
     clean_matrix, disabled_recovery_reproduction, expected_invariants, fault_matrix,
     recovery_matrix, ConformanceScale,
 };
-use pac_bench::runner::threads_from_args;
+use pac_bench::diff::diff_matrix;
+use pac_bench::runner::{backend_from_args, threads_from_args};
 use pac_bench::ParallelRunner;
+use pac_types::BackendKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick =
         args.iter().any(|a| a == "--quick") || std::env::var("PAC_QUICK").is_ok_and(|v| v != "0");
     let recover = args.iter().any(|a| a == "--recover");
-    let runner = match threads_from_args(&args) {
-        Ok(n) => ParallelRunner::new(n),
+    let diff = args.iter().any(|a| a == "--diff");
+    let (runner, backend) = match threads_from_args(&args)
+        .map(ParallelRunner::new)
+        .and_then(|r| backend_from_args(&args).map(|b| (r, b)))
+    {
+        Ok(rb) => rb,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
@@ -43,21 +57,32 @@ fn main() {
     };
     let scale = if quick { ConformanceScale::quick() } else { ConformanceScale::full() };
     eprintln!(
-        "scale: {} accesses/core, {} cores, cycle limit {}, {} worker thread(s)",
+        "scale: {} accesses/core, {} cores, cycle limit {}, {} worker thread(s), backend {}",
         scale.accesses_per_core,
         scale.cores,
         scale.cycle_limit,
-        runner.threads()
+        runner.threads(),
+        if diff { "both (differential)" } else { backend.label() }
     );
 
-    let failures =
-        if recover { run_recover(scale, quick, &runner) } else { run_detect(scale, &runner) };
+    let failures = if diff {
+        run_diff(scale, &runner)
+    } else if recover {
+        run_recover(scale, quick, backend, &runner)
+    } else {
+        run_detect(scale, backend, &runner)
+    };
 
     if failures > 0 {
         eprintln!("\nconformance FAILED: {failures} cell(s)");
         std::process::exit(1);
     }
-    if recover {
+    if diff {
+        eprintln!(
+            "\nconformance passed: both backends conserve every request, complete \
+             identical sets, and keep the oracle silent on every cell"
+        );
+    } else if recover {
         eprintln!(
             "\nconformance passed: every fault class survived with the oracle silent, \
              and the disabled recovery path reproduced the committed cycle counts"
@@ -69,12 +94,42 @@ fn main() {
     }
 }
 
+/// `--diff` phase: every matrix cell on both backends. Returns the
+/// failing cell count.
+fn run_diff(scale: ConformanceScale, runner: &ParallelRunner) -> u32 {
+    eprintln!("\n== differential matrix (conservation + identical served sets + silent oracles) ==");
+    let cells = diff_matrix(scale, runner);
+    let mut failures = 0u32;
+    for cell in &cells {
+        if cell.passed() {
+            println!(
+                "ok    {:>12} x {:<8} {} requests agreed",
+                cell.bench.name(),
+                cell.kind.label(),
+                cell.served
+            );
+        } else {
+            failures += 1;
+            println!("FAIL  {:>12} x {:<8}", cell.bench.name(), cell.kind.label());
+            for f in &cell.failures {
+                println!("      {f}");
+            }
+        }
+    }
+    println!(
+        "differential matrix: {}/{} cells agree across backends",
+        cells.len() - failures as usize,
+        cells.len()
+    );
+    failures
+}
+
 /// Default detection-mode phases. Returns the failing cell count.
-fn run_detect(scale: ConformanceScale, runner: &ParallelRunner) -> u32 {
+fn run_detect(scale: ConformanceScale, backend: BackendKind, runner: &ParallelRunner) -> u32 {
     let mut failures = 0u32;
 
     eprintln!("\n== phase 1: clean matrix (oracle must stay silent) ==");
-    let cells = clean_matrix(scale, runner);
+    let cells = clean_matrix(scale, backend, runner);
     let total = cells.len();
     for cell in &cells {
         if !cell.passed() {
@@ -102,7 +157,7 @@ fn run_detect(scale: ConformanceScale, runner: &ParallelRunner) -> u32 {
         "{:<18} {:<10} {:>8}  {:<24} verdict",
         "fault class", "coalescer", "injected", "expected invariant"
     );
-    for cell in fault_matrix(scale, runner) {
+    for cell in fault_matrix(scale, backend, runner) {
         let expected: Vec<&str> =
             expected_invariants(cell.class).iter().map(|i| i.label()).collect();
         let fired: Vec<String> = cell
@@ -129,7 +184,12 @@ fn run_detect(scale: ConformanceScale, runner: &ParallelRunner) -> u32 {
 }
 
 /// `--recover` phases. Returns the failing cell count.
-fn run_recover(scale: ConformanceScale, quick: bool, runner: &ParallelRunner) -> u32 {
+fn run_recover(
+    scale: ConformanceScale,
+    quick: bool,
+    backend: BackendKind,
+    runner: &ParallelRunner,
+) -> u32 {
     let mut failures = 0u32;
 
     eprintln!("\n== phase R1: recovery matrix (every class survived, oracle silent) ==");
@@ -137,7 +197,7 @@ fn run_recover(scale: ConformanceScale, quick: bool, runner: &ParallelRunner) ->
         "{:<18} {:<10} {:>8}  {:>7} {:>6} {:>6} {:>7}  verdict",
         "fault class", "coalescer", "injected", "retries", "dups", "poison", "max att"
     );
-    for cell in recovery_matrix(scale, runner) {
+    for cell in recovery_matrix(scale, backend, runner) {
         let ok = cell.passed();
         if !ok {
             failures += 1;
@@ -170,6 +230,15 @@ fn run_recover(scale: ConformanceScale, quick: bool, runner: &ParallelRunner) ->
     }
 
     eprintln!("\n== phase R2: disabled-recovery cycle reproduction vs BENCH_throughput.json ==");
+    if backend != BackendKind::Hmc {
+        // The committed baseline was recorded on the HMC reference;
+        // reproducing it on another substrate is meaningless.
+        println!(
+            "skipped: baseline cycle counts are recorded on hmc (running --backend {})",
+            backend.label()
+        );
+        return failures;
+    }
     // Quick mode bounds the sweep; full mode replays every cell.
     let max_cells = if quick { 6 } else { 0 };
     match read_baseline() {

@@ -19,7 +19,7 @@
 use pac_sim::{
     read_checkpoint, write_checkpoint, CoalescerKind, RunProgress, SimSystem, Stepping,
 };
-use pac_types::{Cycle, SimConfig};
+use pac_types::{BackendKind, Cycle, SimConfig};
 use pac_workloads::multiproc::single_process;
 use pac_workloads::Bench;
 use std::path::PathBuf;
@@ -66,7 +66,7 @@ mod sig {
 fn usage() -> ! {
     eprintln!(
         "usage: longrun --bench <BENCH> --kind <raw|mshr-dmc|pac> [--accesses <N>] [--seed <S>]\n       \
-         [--checkpoint <file>] [--checkpoint-every <cycles>] [--resume <file>]\n       \
+         [--backend hmc|hbm] [--checkpoint <file>] [--checkpoint-every <cycles>] [--resume <file>]\n       \
          [--kill-at <cycle>] [--print-cycles] [--quick]"
     );
     std::process::exit(2);
@@ -93,6 +93,7 @@ fn parse_u64(s: &str, flag: &str) -> u64 {
 struct Opts {
     bench: Bench,
     kind: CoalescerKind,
+    backend: BackendKind,
     accesses: u64,
     seed: u64,
     checkpoint: Option<PathBuf>,
@@ -106,6 +107,7 @@ fn parse_opts() -> Opts {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut bench = None;
     let mut kind = None;
+    let mut backend = BackendKind::Hmc;
     let mut accesses: Option<u64> = None;
     let mut quick = pac_bench::harness::quick_mode();
     let mut seed = 0u64;
@@ -139,6 +141,13 @@ fn parse_opts() -> Opts {
                     }
                 });
             }
+            "--backend" => {
+                let v = value(&mut it, "--backend");
+                backend = BackendKind::from_name(&v).unwrap_or_else(|| {
+                    eprintln!("unknown --backend '{v}' (expected hmc or hbm)");
+                    std::process::exit(2);
+                });
+            }
             "--accesses" => {
                 accesses = Some(parse_u64(&value(&mut it, "--accesses"), "--accesses"))
             }
@@ -164,19 +173,20 @@ fn parse_opts() -> Opts {
     // smoke budget, unless --accesses names one explicitly.
     let accesses = accesses
         .unwrap_or(if quick { pac_bench::harness::QUICK_ACCESSES } else { 20_000 });
-    Opts { bench, kind, accesses, seed, checkpoint, every, resume, kill_at, print_cycles }
+    Opts { bench, kind, backend, accesses, seed, checkpoint, every, resume, kill_at, print_cycles }
 }
 
 fn main() {
     sig::install();
     let opts = parse_opts();
-    let sim = SimConfig::default();
+    let sim = SimConfig::for_backend(opts.backend);
     // The identity line stored in every checkpoint: resuming with
     // different parameters is refused instead of silently diverging.
     let meta = format!(
-        "longrun bench={} kind={} cores={} accesses={} seed={:#x}",
+        "longrun bench={} kind={} backend={} cores={} accesses={} seed={:#x}",
         opts.bench.name(),
         opts.kind.label(),
+        opts.backend.label(),
         sim.cores,
         opts.accesses,
         opts.seed,

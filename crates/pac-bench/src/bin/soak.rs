@@ -8,6 +8,7 @@
 //! $ soak --hours 8             # unbounded burn-in, wall-clock budget
 //! $ soak --quick --seed 0xBEEF # reproduce a failing campaign exactly
 //! $ soak --quick --threads 4   # fan runs across 4 workers (same report)
+//! $ soak --quick --backend hbm # same campaign on the HBM substrate
 //! ```
 //!
 //! Every run draws a random benchmark × coalescer × fault-plan ×
@@ -16,13 +17,14 @@
 //! results with the oracle silent. Exits nonzero on any oracle
 //! violation, unrecovered run, or round-trip divergence.
 
-use pac_bench::runner::threads_from_args;
+use pac_bench::runner::{backend_from_args, threads_from_args};
 use pac_bench::soak::{soak, SoakConfig};
 use pac_bench::ParallelRunner;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soak [--quick | --runs <N> | --hours <H>] [--seed <S>] [--threads <T>]"
+        "usage: soak [--quick | --runs <N> | --hours <H>] [--seed <S>] [--threads <T>] \
+         [--backend hmc|hbm]"
     );
     std::process::exit(2);
 }
@@ -54,6 +56,13 @@ fn main() {
             usage();
         }
     };
+    let backend = match backend_from_args(&args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
     let mut quick = false;
     let mut runs: Option<u64> = None;
     let mut hours: Option<f64> = None;
@@ -68,6 +77,11 @@ fn main() {
                 let _ = value(&mut it, "--threads");
             }
             s if s.starts_with("--threads=") => {}
+            // Already validated by `backend_from_args`; skip here.
+            "--backend" => {
+                let _ = value(&mut it, "--backend");
+            }
+            s if s.starts_with("--backend=") => {}
             "--runs" => runs = Some(parse_u64(&value(&mut it, "--runs"), "--runs")),
             "--hours" => {
                 let v = value(&mut it, "--hours");
@@ -81,7 +95,7 @@ fn main() {
         }
     }
 
-    let cfg = match (quick, runs, hours) {
+    let base = match (quick, runs, hours) {
         (true, None, None) => SoakConfig::quick(seed),
         (false, Some(n), None) => SoakConfig { runs: n, ..SoakConfig::quick(seed) },
         (false, None, Some(h)) => SoakConfig::hours(h, seed),
@@ -91,14 +105,16 @@ fn main() {
             usage();
         }
     };
+    let cfg = SoakConfig { backend, ..base };
 
     eprintln!(
-        "soak: seed={seed:#x} runs={} wall={} accesses/core={} cores={} threads={}",
+        "soak: seed={seed:#x} runs={} wall={} accesses/core={} cores={} threads={} backend={}",
         if cfg.runs == 0 { "unbounded".to_string() } else { cfg.runs.to_string() },
         cfg.wall_seconds.map_or("-".to_string(), |s| format!("{s:.0}s")),
         cfg.accesses_per_core,
         cfg.cores,
         runner.threads(),
+        cfg.backend.label(),
     );
 
     let report = soak(&cfg, &runner, |out| {

@@ -10,6 +10,7 @@
 //! $ throughput --skip-only      # skip-ahead mode only (no reference)
 //! $ throughput --threads 8      # top worker count for the scaling curve
 //! $ throughput --gate --quick   # CI determinism gate, no JSON output
+//! $ throughput --backend hbm    # measure the matrix on the HBM backend
 //! ```
 //!
 //! Each `(bench, coalescer)` cell is run serially and timed; the JSON
@@ -30,18 +31,22 @@
 //! requested width — the CI proof that fan-out changes wall-clock only.
 
 use pac_bench::harness;
-use pac_bench::runner::threads_from_args;
+use pac_bench::runner::{backend_from_args, threads_from_args};
 use pac_bench::throughput::{determinism_gate, scaling_curve, sweep, to_json};
 use pac_bench::{matrix, ParallelRunner};
 use pac_sim::{ExperimentConfig, Stepping};
+use pac_types::SimConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let skip_only = args.iter().any(|a| a == "--skip-only");
     let gate = args.iter().any(|a| a == "--gate");
     let quick = args.iter().any(|a| a == "--quick") || harness::quick_mode();
-    let threads = match threads_from_args(&args) {
-        Ok(n) => ParallelRunner::new(n).threads(),
+    let (threads, backend) = match threads_from_args(&args)
+        .map(|n| ParallelRunner::new(n).threads())
+        .and_then(|t| backend_from_args(&args).map(|b| (t, b)))
+    {
+        Ok(tb) => tb,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
@@ -49,6 +54,7 @@ fn main() {
     };
 
     let mut cfg = ExperimentConfig::default();
+    cfg.sim = SimConfig { cores: cfg.sim.cores, ..SimConfig::for_backend(backend) };
     if quick {
         cfg.accesses_per_core = harness::QUICK_ACCESSES;
     }

@@ -16,19 +16,20 @@
 //! per-stage latency histograms.
 
 use pac_bench::error::{self, BenchError};
-use pac_bench::runner::threads_from_args;
+use pac_bench::runner::{backend_from_args, threads_from_args};
 use pac_bench::trace_cmd::{run_cell, throughput_guard};
 use pac_bench::ParallelRunner;
 use pac_sim::{CoalescerKind, ExperimentConfig};
-use pac_types::{FaultClass, FaultPlan, TraceConfig};
+use pac_types::{BackendKind, FaultClass, FaultPlan, SimConfig, TraceConfig};
 use pac_workloads::Bench;
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  trace [--quick] <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
-         trace [--quick] --all [--threads <T>] [out-dir]\n  \
-         trace [--quick] --fault <drop-response|duplicate-response|delay-response|corrupt-addr> \
+        "usage:\n  trace [--quick] [--backend hmc|hbm] <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
+         trace [--quick] [--backend hmc|hbm] --all [--threads <T>] [out-dir]\n  \
+         trace [--quick] [--backend hmc|hbm] --fault \
+         <drop-response|duplicate-response|delay-response|corrupt-addr> \
          <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
          trace [--quick] --guard"
     );
@@ -107,16 +108,35 @@ fn run() -> Result<(), BenchError> {
         args.drain(i..args.len().min(i + 2));
     }
     args.retain(|a| !a.starts_with("--threads="));
-    let cfg = if quick {
+    let backend = match backend_from_args(&args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        args.drain(i..args.len().min(i + 2));
+    }
+    args.retain(|a| !a.starts_with("--backend="));
+    let mut cfg = if quick {
         // Small enough for CI, large enough to populate every stage
         // histogram and exercise the counter tracks.
         ExperimentConfig { accesses_per_core: 2_000, ..Default::default() }
     } else {
         ExperimentConfig::default()
     };
+    cfg.sim = SimConfig { cores: cfg.sim.cores, ..SimConfig::for_backend(backend) };
 
     match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
         ["--guard"] => {
+            if backend != BackendKind::Hmc {
+                // The guard reproduces HMC-recorded baseline wall
+                // clocks; there is nothing to compare on another
+                // substrate.
+                eprintln!("--guard compares against the hmc-recorded baseline; drop --backend");
+                std::process::exit(2);
+            }
             let baseline_path = "BENCH_throughput.json";
             let baseline = error::read_to_string(baseline_path)?;
             // Quick mode samples a handful of cells; the full guard

@@ -14,7 +14,7 @@ use crate::runner::ParallelRunner;
 use pac_oracle::{Invariant, OracleConfig, OracleReport};
 use pac_sim::system::run_lockstep;
 use pac_sim::{CoalescerKind, LockstepOutcome, RecoveryReport};
-use pac_types::{FaultClass, FaultPlan, RecoveryConfig, SimConfig};
+use pac_types::{BackendKind, FaultClass, FaultPlan, RecoveryConfig, SimConfig};
 use pac_workloads::multiproc::single_process;
 use pac_workloads::Bench;
 
@@ -84,6 +84,13 @@ impl ConformanceScale {
     }
 }
 
+/// The simulation configuration for one conformance cell on `backend`:
+/// the backend-matched protocol/device pairing with everything else at
+/// the defaults the suite has always used.
+pub fn backend_sim(backend: BackendKind) -> SimConfig {
+    SimConfig::for_backend(backend)
+}
+
 fn fault_seed(class: FaultClass, kind: CoalescerKind) -> u64 {
     0xC0FF_EE00 + FaultClass::ALL.iter().position(|&c| c == class).unwrap() as u64 * 7
         + CoalescerKind::ALL.iter().position(|&k| k == kind).unwrap() as u64
@@ -94,11 +101,15 @@ fn fault_seed(class: FaultClass, kind: CoalescerKind) -> u64 {
 /// across `runner`'s workers; each run is self-contained and results
 /// come back in matrix order, so the output is independent of thread
 /// count.
-pub fn clean_matrix(scale: ConformanceScale, runner: &ParallelRunner) -> Vec<CleanCell> {
+pub fn clean_matrix(
+    scale: ConformanceScale,
+    backend: BackendKind,
+    runner: &ParallelRunner,
+) -> Vec<CleanCell> {
     runner.run(&matrix(), |_, cell| {
         let specs = single_process(cell.bench, scale.cores, 7);
         let out = run_lockstep(
-            SimConfig::default(),
+            backend_sim(backend),
             specs,
             cell.kind,
             scale.accesses_per_core,
@@ -118,7 +129,11 @@ pub fn clean_matrix(scale: ConformanceScale, runner: &ParallelRunner) -> Vec<Cle
 
 /// Run the fault matrix: every fault class × coalescer on one
 /// representative benchmark, fanned out across `runner`'s workers.
-pub fn fault_matrix(scale: ConformanceScale, runner: &ParallelRunner) -> Vec<FaultCell> {
+pub fn fault_matrix(
+    scale: ConformanceScale,
+    backend: BackendKind,
+    runner: &ParallelRunner,
+) -> Vec<FaultCell> {
     let mut jobs = Vec::new();
     for &class in &FaultClass::ALL {
         for kind in CoalescerKind::ALL {
@@ -126,7 +141,7 @@ pub fn fault_matrix(scale: ConformanceScale, runner: &ParallelRunner) -> Vec<Fau
         }
     }
     runner.run(&jobs, |_, &(class, kind)| {
-        let out = run_fault(class, kind, scale);
+        let out = run_fault(class, kind, scale, backend);
         FaultCell { class, kind, faults_injected: out.faults_injected, report: out.oracle }
     })
 }
@@ -175,7 +190,11 @@ impl RecoveryCell {
 /// default recovery policy armed. Passing cells prove the layer
 /// *survives* each corruption class — the oracle stays silent because
 /// the repair happened, not because detection was disabled.
-pub fn recovery_matrix(scale: ConformanceScale, runner: &ParallelRunner) -> Vec<RecoveryCell> {
+pub fn recovery_matrix(
+    scale: ConformanceScale,
+    backend: BackendKind,
+    runner: &ParallelRunner,
+) -> Vec<RecoveryCell> {
     let cfg = RecoveryConfig::enabled();
     let mut jobs = Vec::new();
     for &class in &FaultClass::ALL {
@@ -184,7 +203,7 @@ pub fn recovery_matrix(scale: ConformanceScale, runner: &ParallelRunner) -> Vec<
         }
     }
     runner.run(&jobs, |_, &(class, kind)| {
-        let out = run_fault_with(class, kind, scale, Some(cfg));
+        let out = run_fault_with(class, kind, scale, Some(cfg), backend);
         let recovery = out.recovery.expect("recovery-enabled run must produce a report");
         RecoveryCell {
             class,
@@ -203,8 +222,9 @@ pub fn run_fault(
     class: FaultClass,
     kind: CoalescerKind,
     scale: ConformanceScale,
+    backend: BackendKind,
 ) -> LockstepOutcome {
-    run_fault_with(class, kind, scale, None)
+    run_fault_with(class, kind, scale, None, backend)
 }
 
 /// One armed run. Delay faults need a finite latency bound on the
@@ -218,8 +238,9 @@ pub fn run_fault_with(
     kind: CoalescerKind,
     scale: ConformanceScale,
     recovery: Option<RecoveryConfig>,
+    backend: BackendKind,
 ) -> LockstepOutcome {
-    let cfg = SimConfig::default();
+    let cfg = backend_sim(backend);
     let plan = FaultPlan::new(class, fault_seed(class, kind));
     let mut oracle_cfg = OracleConfig::for_sim(&cfg);
     let mut limit = scale.cycle_limit;
@@ -289,17 +310,24 @@ pub fn disabled_recovery_reproduction(
 mod tests {
     use super::*;
 
-    /// Every fault class is caught by its expected invariant under PAC.
+    /// Every fault class is caught by its expected invariant under PAC,
+    /// on both memory backends.
     #[test]
     fn every_fault_class_detected_under_pac() {
         let scale = ConformanceScale { cycle_limit: 600_000, ..ConformanceScale::quick() };
-        for &class in &FaultClass::ALL {
-            let out = run_fault(class, CoalescerKind::Pac, scale);
-            assert!(out.faults_injected > 0, "{:?}: no fault injected", class);
-            let caught = expected_invariants(class)
-                .iter()
-                .any(|&inv| out.oracle.detected(inv));
-            assert!(caught, "{:?} not caught: {}", class, out.oracle.summary());
+        for backend in BackendKind::ALL {
+            for &class in &FaultClass::ALL {
+                let out = run_fault(class, CoalescerKind::Pac, scale, backend);
+                assert!(out.faults_injected > 0, "{backend:?}/{class:?}: no fault injected");
+                let caught = expected_invariants(class)
+                    .iter()
+                    .any(|&inv| out.oracle.detected(inv));
+                assert!(
+                    caught,
+                    "{backend:?}/{class:?} not caught: {}",
+                    out.oracle.summary()
+                );
+            }
         }
     }
 
@@ -310,7 +338,8 @@ mod tests {
         let scale = ConformanceScale { cycle_limit: 600_000, ..ConformanceScale::quick() };
         let cfg = RecoveryConfig::enabled();
         for &class in &FaultClass::ALL {
-            let out = run_fault_with(class, CoalescerKind::Pac, scale, Some(cfg));
+            let out =
+                run_fault_with(class, CoalescerKind::Pac, scale, Some(cfg), BackendKind::Hmc);
             let rec = out.recovery.expect("recovery-enabled run must produce a report");
             assert!(out.faults_injected > 0, "{class:?}: no fault injected");
             assert!(out.converged, "{class:?} did not converge: {}", rec.summary());
@@ -329,8 +358,8 @@ mod tests {
     #[test]
     fn fault_matrix_is_thread_count_independent() {
         let scale = ConformanceScale { cycle_limit: 600_000, ..ConformanceScale::quick() };
-        let serial = fault_matrix(scale, &ParallelRunner::new(1));
-        let wide = fault_matrix(scale, &ParallelRunner::new(3));
+        let serial = fault_matrix(scale, BackendKind::Hbm, &ParallelRunner::new(1));
+        let wide = fault_matrix(scale, BackendKind::Hbm, &ParallelRunner::new(3));
         assert_eq!(serial.len(), wide.len());
         for (a, b) in serial.iter().zip(&wide) {
             assert_eq!(a.class, b.class);

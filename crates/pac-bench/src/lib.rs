@@ -16,6 +16,7 @@
 
 pub mod chart;
 pub mod conformance;
+pub mod diff;
 pub mod error;
 pub mod figures;
 pub mod harness;

@@ -81,9 +81,43 @@ pub fn threads_from_args(args: &[String]) -> Result<usize, String> {
     Ok(0)
 }
 
+/// Parse the uniform `--backend hmc|hbm` / `--backend=NAME` flag.
+/// Returns the default ([`pac_types::BackendKind::Hmc`]) when absent;
+/// an unknown backend name is a usage error, reported by the caller.
+pub fn backend_from_args(args: &[String]) -> Result<pac_types::BackendKind, String> {
+    let parse = |v: &str| {
+        pac_types::BackendKind::from_name(v)
+            .ok_or_else(|| format!("unknown --backend '{v}' (expected hmc or hbm)"))
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--backend" {
+            let Some(v) = it.next() else {
+                return Err("--backend requires a value".to_string());
+            };
+            return parse(v);
+        }
+        if let Some(v) = a.strip_prefix("--backend=") {
+            return parse(v);
+        }
+    }
+    Ok(pac_types::BackendKind::Hmc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backend_flag_parses_both_spellings() {
+        use pac_types::BackendKind;
+        let to = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(backend_from_args(&to(&["--quick"])), Ok(BackendKind::Hmc));
+        assert_eq!(backend_from_args(&to(&["--backend", "hbm"])), Ok(BackendKind::Hbm));
+        assert_eq!(backend_from_args(&to(&["--backend=hmc"])), Ok(BackendKind::Hmc));
+        assert!(backend_from_args(&to(&["--backend"])).is_err());
+        assert!(backend_from_args(&to(&["--backend", "ddr4"])).is_err());
+    }
 
     #[test]
     fn threads_flag_parses_both_spellings() {

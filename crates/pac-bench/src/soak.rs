@@ -26,7 +26,7 @@
 use crate::runner::ParallelRunner;
 use pac_oracle::OracleConfig;
 use pac_sim::{CoalescerKind, RunMetrics, RunProgress, SimSystem, Stepping};
-use pac_types::{Cycle, FaultClass, FaultPlan, RecoveryConfig, SimConfig};
+use pac_types::{BackendKind, Cycle, FaultClass, FaultPlan, RecoveryConfig, SimConfig};
 use pac_workloads::multiproc::single_process;
 use pac_workloads::Bench;
 use std::fmt::Write as _;
@@ -48,12 +48,22 @@ pub struct SoakConfig {
     pub accesses_per_core: u64,
     /// Core count for each run.
     pub cores: u32,
+    /// Memory substrate every run executes on (the cell stream itself
+    /// is backend-independent: same seed, same cells, either device).
+    pub backend: BackendKind,
 }
 
 impl SoakConfig {
     /// CI scale: a dozen runs, each seconds-sized.
     pub fn quick(seed: u64) -> Self {
-        SoakConfig { seed, runs: 12, wall_seconds: None, accesses_per_core: 400, cores: 4 }
+        SoakConfig {
+            seed,
+            runs: 12,
+            wall_seconds: None,
+            accesses_per_core: 400,
+            cores: 4,
+            backend: BackendKind::Hmc,
+        }
     }
 
     /// Burn-in scale: unbounded runs until the wall budget expires.
@@ -64,6 +74,7 @@ impl SoakConfig {
             wall_seconds: Some(hours * 3600.0),
             accesses_per_core: 2000,
             cores: 8,
+            backend: BackendKind::Hmc,
         }
     }
 }
@@ -264,7 +275,7 @@ fn drain(mut sys: SimSystem, limit: Cycle, already_begun: bool, accesses: u64) -
 /// Execute one soak cell: reference leg, then the kill/checkpoint/resume
 /// leg, then the three-way verdict.
 pub fn run_cell(cell: SoakCell, cfg: &SoakConfig) -> RunOutcome {
-    let sim = SimConfig { cores: cfg.cores, ..SimConfig::default() };
+    let sim = SimConfig { cores: cfg.cores, ..SimConfig::for_backend(cfg.backend) };
     let limit = cycle_limit(&cell, cfg);
     let meta = cell.describe();
 
@@ -480,6 +491,24 @@ mod tests {
             bench: Bench::Stream,
             kind: CoalescerKind::Pac,
             fault: Some(FaultPlan::new(FaultClass::DropResponse, 99)),
+            seed: 11,
+            kill_permille: 600,
+        };
+        let out = run_cell(cell, &cfg);
+        assert!(out.passed(), "{}", out.failure);
+        assert!(out.faults_injected > 0, "fault never fired");
+        assert_eq!(out.oracle_violations, 0);
+    }
+
+    #[test]
+    fn hbm_faulted_cell_recovers_and_roundtrips() {
+        // The same chaos machinery on the HBM substrate: fault armed,
+        // mid-run kill, bit-identical resume demanded.
+        let cfg = SoakConfig { backend: BackendKind::Hbm, ..SoakConfig::quick(7) };
+        let cell = SoakCell {
+            bench: Bench::Stream,
+            kind: CoalescerKind::Pac,
+            fault: Some(FaultPlan::new(FaultClass::DuplicateResponse, 99)),
             seed: 11,
             kill_permille: 600,
         };

@@ -206,6 +206,7 @@ pub fn to_json(
     let _ = writeln!(out, "  \"accesses_per_core\": {},", cfg.accesses_per_core);
     let _ = writeln!(out, "  \"cores\": {},", cfg.sim.cores);
     let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"backend\": \"{}\",", cfg.sim.backend.label());
     if let Some(base) = baseline_seconds {
         // Externally measured wall seconds for the same matrix on the
         // tick-every-cycle seed build (see DESIGN.md, "Simulation core

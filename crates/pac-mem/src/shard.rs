@@ -1,0 +1,241 @@
+//! Intra-run pseudo-channel sharding for the HBM backend.
+//!
+//! The same deterministic parallel-engine design as the HMC's vault
+//! shard engine (`hmc-sim/src/shard.rs`), instantiated over
+//! [`PseudoChannel`]s: channels are independent except at the
+//! per-channel bus boundary, which the device layer owns, so the
+//! channel walk in [`crate::Hbm::tick`] partitions cleanly into
+//! contiguous ranges each owned by a persistent worker thread.
+//!
+//! The determinism contract carries over unchanged: every observable
+//! effect of an issue is a pure function of `(start_cycle, channel)`,
+//! at most one reference issues per channel per cycle, so the device
+//! can re-serialize the unordered per-shard event batches on that key
+//! and replay the per-issue energy charges canonically — bit-identical
+//! `f64` accumulation at every shard count. The lazy-lookahead bound
+//! (`lb`) and the `note_tick`/`quiesce` boundary discipline are the
+//! same as the HMC engine's; see that module for the full argument.
+
+use crate::channel::PseudoChannel;
+use hmc_sim::vault::{QueuedRequest, ReadyResponse};
+use hmc_sim::EnergyBreakdown;
+use pac_types::{Cycle, HbmDeviceConfig};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Device → shard commands.
+enum Cmd {
+    /// Enqueue a routed request into the shard-local channel at this
+    /// local index (arrival cycle is inside the request).
+    Deliver(usize, QueuedRequest),
+    /// Issue everything with a start cycle ≤ the target and report the
+    /// produced responses plus the shard's next head-start minimum.
+    Advance(Cycle),
+    /// Clone the shard's channels back to the device (snapshot support).
+    Collect,
+    /// Terminate the worker.
+    Shutdown,
+}
+
+/// Shard → device replies.
+enum Reply {
+    Advanced { events: Vec<ReadyResponse>, next_start_min: Cycle },
+    Collected(Vec<PseudoChannel>),
+}
+
+struct Worker {
+    tx: Sender<Cmd>,
+    rx: Receiver<Reply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// One worker per shard plus the routing/lookahead state. Created by
+/// `Hbm::set_parallel`, never snapshotted (a restored device starts
+/// serial; callers re-arm).
+pub(crate) struct ChannelShardEngine {
+    workers: Vec<Worker>,
+    /// channel index → (shard, local index inside that shard).
+    route: Vec<(usize, usize)>,
+    /// Sound lower bound on the earliest start cycle of any reference
+    /// not yet produced by an `Advance` (`u64::MAX` when none).
+    lb: Cycle,
+    /// Highest cycle the device has ticked at while armed; quiesce
+    /// advances to here.
+    last_tick: Cycle,
+}
+
+impl std::fmt::Debug for ChannelShardEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelShardEngine")
+            .field("shards", &self.workers.len())
+            .field("lb", &self.lb)
+            .field("last_tick", &self.last_tick)
+            .finish()
+    }
+}
+
+fn worker_loop(
+    mut channels: Vec<PseudoChannel>,
+    cfg: HbmDeviceConfig,
+    rx: Receiver<Cmd>,
+    tx: Sender<Reply>,
+) {
+    // Issue-side energy is discarded here and replayed canonically by
+    // the device (f64 accumulation order must not depend on shard
+    // interleaving).
+    let mut scratch_energy = EnergyBreakdown::new();
+    let mut last_target: Cycle = 0;
+    loop {
+        match rx.recv() {
+            Ok(Cmd::Deliver(local, req)) => channels[local].enqueue(req),
+            Ok(Cmd::Advance(target)) => {
+                // Targets are monotonic device-side; clamp defensively so
+                // an idempotent re-advance can never run time backwards.
+                let target = target.max(last_target);
+                last_target = target;
+                let mut events = Vec::new();
+                for c in channels.iter_mut() {
+                    c.tick(target, &cfg, &mut scratch_energy, &mut events);
+                }
+                let mut next_start_min = u64::MAX;
+                for c in channels.iter() {
+                    if let Some(s) = c.next_head_start(&cfg, target) {
+                        next_start_min = next_start_min.min(s);
+                    }
+                }
+                if tx.send(Reply::Advanced { events, next_start_min }).is_err() {
+                    break;
+                }
+            }
+            Ok(Cmd::Collect) => {
+                if tx.send(Reply::Collected(channels.clone())).is_err() {
+                    break;
+                }
+            }
+            Ok(Cmd::Shutdown) | Err(_) => break,
+        }
+    }
+}
+
+impl ChannelShardEngine {
+    /// Split `channels` into `shards` contiguous ranges and start one
+    /// worker per range, each owning clones of its channels. The
+    /// lookahead bound is seeded from the channels' unissued heads so
+    /// arming mid-run (e.g. after a restore) is sound — same argument
+    /// as the HMC engine.
+    pub(crate) fn new(
+        cfg: &HbmDeviceConfig,
+        channels: &[PseudoChannel],
+        shards: usize,
+    ) -> ChannelShardEngine {
+        let mut lb = u64::MAX;
+        for c in channels {
+            if let Some(s) = c.next_head_start(cfg, 0) {
+                lb = lb.min(s);
+            }
+        }
+        let shards = shards.clamp(1, channels.len().max(1));
+        let per = channels.len() / shards;
+        let extra = channels.len() % shards;
+        let mut workers = Vec::with_capacity(shards);
+        let mut route = vec![(0usize, 0usize); channels.len()];
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = per + usize::from(s < extra);
+            let range = start..start + len;
+            for (local, global) in range.clone().enumerate() {
+                route[global] = (s, local);
+            }
+            let owned: Vec<PseudoChannel> = channels[range].to_vec();
+            let (cmd_tx, cmd_rx) = channel();
+            let (rep_tx, rep_rx) = channel();
+            let cfg = *cfg;
+            let handle = std::thread::Builder::new()
+                .name(format!("hbm-shard-{s}"))
+                .spawn(move || worker_loop(owned, cfg, cmd_rx, rep_tx))
+                .expect("spawn shard worker");
+            workers.push(Worker { tx: cmd_tx, rx: rep_rx, handle: Some(handle) });
+            start += len;
+        }
+        ChannelShardEngine { workers, route, lb, last_tick: 0 }
+    }
+
+    pub(crate) fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Lower bound on the earliest unissued start cycle.
+    pub(crate) fn lb(&self) -> Cycle {
+        self.lb
+    }
+
+    /// Record the device tick clock (monotonic).
+    pub(crate) fn note_tick(&mut self, now: Cycle) {
+        self.last_tick = self.last_tick.max(now);
+    }
+
+    /// Route a request to its owning shard and fold its arrival into
+    /// the lookahead bound.
+    pub(crate) fn deliver(&mut self, channel: usize, req: QueuedRequest) {
+        self.lb = self.lb.min(req.arrival);
+        let (shard, local) = self.route[channel];
+        self.workers[shard]
+            .tx
+            .send(Cmd::Deliver(local, req))
+            .expect("shard worker alive");
+    }
+
+    /// Advance every shard to `target` and return the produced events,
+    /// unordered (the device re-serializes canonically).
+    pub(crate) fn advance(&mut self, target: Cycle) -> Vec<ReadyResponse> {
+        self.last_tick = self.last_tick.max(target);
+        for w in &self.workers {
+            w.tx.send(Cmd::Advance(target)).expect("shard worker alive");
+        }
+        let mut events = Vec::new();
+        let mut lb = u64::MAX;
+        for w in &self.workers {
+            match w.rx.recv().expect("shard worker alive") {
+                Reply::Advanced { events: mut e, next_start_min } => {
+                    events.append(&mut e);
+                    lb = lb.min(next_start_min);
+                }
+                Reply::Collected(_) => unreachable!("advance got a collect reply"),
+            }
+        }
+        self.lb = lb;
+        events
+    }
+
+    /// Bring every shard up to the device's last tick cycle and clone
+    /// the channel state back; workers remain authoritative, so the run
+    /// may keep going.
+    pub(crate) fn quiesce(&mut self) -> (Vec<ReadyResponse>, Vec<PseudoChannel>) {
+        let events = self.advance(self.last_tick);
+        for w in &self.workers {
+            w.tx.send(Cmd::Collect).expect("shard worker alive");
+        }
+        let mut channels = Vec::with_capacity(self.route.len());
+        for w in &self.workers {
+            match w.rx.recv().expect("shard worker alive") {
+                Reply::Collected(mut c) => channels.append(&mut c),
+                Reply::Advanced { .. } => unreachable!("collect got an advance reply"),
+            }
+        }
+        (events, channels)
+    }
+}
+
+impl Drop for ChannelShardEngine {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            // The worker may already be gone (panic); ignore send errors.
+            let _ = w.tx.send(Cmd::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}

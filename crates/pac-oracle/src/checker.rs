@@ -45,7 +45,7 @@ impl OracleConfig {
     pub fn for_sim(cfg: &SimConfig) -> Self {
         OracleConfig {
             max_request_bytes: cfg.coalescer.protocol.max_request_bytes(),
-            row_bytes: cfg.hmc.row_bytes,
+            row_bytes: cfg.active_row_bytes(),
             max_response_latency: None,
             max_recorded: 64,
         }

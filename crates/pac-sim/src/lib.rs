@@ -49,7 +49,7 @@ pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointError};
 pub use experiment::{run_bench, run_matrix, run_pair, run_specs, ExperimentConfig};
 pub use metrics::RunMetrics;
 pub use recovery::{RecoveryLayer, RecoveryReport, ResponseVerdict, StuckTxn, WatchdogAction};
-pub use replay::{replay, replay_with};
+pub use replay::{replay, replay_served, replay_with};
 pub use system::{
     run_lockstep, CoalescerKind, LockstepOutcome, RunProgress, SimSystem, Stepping, TraceEntry,
 };

@@ -6,17 +6,25 @@
 //! configuration keeps more misses in flight and therefore sees more
 //! mergeable duplicates, inflating its measured efficiency. This module
 //! replays a captured [`TraceEntry`] stream through a coalescer plus the
-//! HMC device, preserving the recorded inter-request spacing (stretched
-//! only under backpressure), so Figs 1, 2, 6, 7 and 10–14 compare the
-//! coalescers on identical input.
+//! configured memory backend, preserving the recorded inter-request
+//! spacing (stretched only under backpressure), so Figs 1, 2, 6, 7 and
+//! 10–14 compare the coalescers on identical input.
+//!
+//! The same property powers the differential conformance suite: raw ids
+//! are assigned in trace order at admission, independent of downstream
+//! timing, so replaying one trace through two *backends* yields
+//! comparable served-id sets ([`replay_served`]) — request conservation
+//! must hold on each backend, and the completed sets must be identical
+//! even though every cycle number differs.
 
 use crate::metrics::RunMetrics;
 use crate::system::{CoalescerKind, TraceEntry};
-use hmc_sim::{Hmc, HmcRequest, HmcResponse};
+use hmc_sim::{HmcRequest, HmcResponse};
 use pac_core::DispatchedRequest;
 use pac_types::{Cycle, MemRequest, SimConfig};
 
-/// Replay `trace` through the chosen coalescer and an HMC device.
+/// Replay `trace` through the chosen coalescer and the configured
+/// memory backend.
 pub fn replay(trace: &[TraceEntry], kind: CoalescerKind, cfg: &SimConfig) -> RunMetrics {
     replay_with(trace, kind, cfg, false)
 }
@@ -28,14 +36,40 @@ pub fn replay_with(
     cfg: &SimConfig,
     trace_occupancy: bool,
 ) -> RunMetrics {
+    replay_core(trace, kind, cfg, trace_occupancy, None)
+}
+
+/// As [`replay`], additionally returning every raw id the coalescer
+/// reported satisfied, in completion order **with multiplicity**: a
+/// conserving run returns each accepted raw id exactly once. Raw ids
+/// are assigned in trace-admission order (fences included), so the
+/// returned sets are directly comparable across backends and coalescer
+/// grouping choices — the differential suite's ground truth.
+pub fn replay_served(
+    trace: &[TraceEntry],
+    kind: CoalescerKind,
+    cfg: &SimConfig,
+) -> (RunMetrics, Vec<u64>) {
+    let mut served = Vec::new();
+    let m = replay_core(trace, kind, cfg, false, Some(&mut served));
+    (m, served)
+}
+
+fn replay_core(
+    trace: &[TraceEntry],
+    kind: CoalescerKind,
+    cfg: &SimConfig,
+    trace_occupancy: bool,
+    mut served: Option<&mut Vec<u64>>,
+) -> RunMetrics {
     assert!(
-        cfg.coalescer.protocol.max_request_bytes() <= cfg.hmc.row_bytes,
+        cfg.coalescer.protocol.max_request_bytes() <= cfg.active_row_bytes(),
         "coalescer protocol allows {}B requests but device rows are {}B",
         cfg.coalescer.protocol.max_request_bytes(),
-        cfg.hmc.row_bytes
+        cfg.active_row_bytes()
     );
     let mut coalescer = kind.build(cfg, trace_occupancy);
-    let mut hmc = Hmc::new(cfg.hmc);
+    let mut mem = pac_mem::build_backend(cfg);
 
     let mut now: Cycle = 0;
     // Offset accumulated whenever backpressure stretches the schedule.
@@ -51,7 +85,7 @@ pub fn replay_with(
         .saturating_mul(200)
         .max(10_000_000);
 
-    while i < trace.len() || !coalescer.is_drained() || !hmc.is_idle() || inflight > 0 {
+    while i < trace.len() || !coalescer.is_drained() || !mem.is_idle() || inflight > 0 {
         // Offer every trace entry scheduled by now. The due-window end
         // advances monotonically, so the backlog hint is computed
         // incrementally (O(1) amortized, not O(backlog) per cycle).
@@ -81,14 +115,17 @@ pub fn replay_with(
 
         coalescer.tick(now, &mut dispatches);
         for d in dispatches.drain(..) {
-            hmc.submit(HmcRequest { id: d.dispatch_id, addr: d.addr, bytes: d.bytes, op: d.op }, now);
+            mem.submit(HmcRequest { id: d.dispatch_id, addr: d.addr, bytes: d.bytes, op: d.op }, now);
         }
-        hmc.tick(now);
-        hmc.pop_responses(now, &mut responses);
+        mem.tick(now);
+        mem.pop_responses(now, &mut responses);
         for rsp in responses.drain(..) {
             satisfied.clear();
             coalescer.complete(rsp.id, now, &mut satisfied);
             inflight -= satisfied.len() as u64;
+            if let Some(out) = served.as_deref_mut() {
+                out.extend_from_slice(&satisfied);
+            }
         }
 
         now += 1;
@@ -97,16 +134,16 @@ pub fn replay_with(
         }
         assert!(now < limit, "replay failed to converge by cycle {now}");
     }
-    hmc.finalize_stats();
+    mem.finalize_stats();
     coalescer.finalize_stats();
 
     RunMetrics::from_parts(
         kind.label(),
         now,
         coalescer.stats(),
-        &hmc.stats,
-        hmc.energy.clone(),
-        hmc.bank_conflicts(),
+        mem.stats(),
+        mem.energy().clone(),
+        mem.bank_conflicts(),
     )
 }
 
@@ -114,7 +151,7 @@ pub fn replay_with(
 mod tests {
     use super::*;
     use crate::experiment::{run_bench, ExperimentConfig};
-    use pac_types::{Op, RequestKind};
+    use pac_types::{BackendKind, Op, RequestKind};
     use pac_workloads::Bench;
 
     fn entry(cycle: Cycle, addr: u64) -> TraceEntry {
@@ -185,5 +222,30 @@ mod tests {
         let m = replay(&trace, CoalescerKind::Pac, &SimConfig::default());
         assert_eq!(m.raw_requests, 2000);
         assert_eq!(m.dispatched_requests, 2000, "distinct pages cannot coalesce");
+    }
+
+    #[test]
+    fn served_sets_are_identical_across_backends() {
+        // The core of the differential suite in miniature: one trace,
+        // both backends (protocol matched per backend so the coalescer
+        // cell is comparable), identical served-id sets with exactly-once
+        // conservation — while the cycle counts genuinely differ.
+        let cfg = ExperimentConfig {
+            accesses_per_core: 1500,
+            capture_trace: true,
+            ..Default::default()
+        };
+        let (_, trace) = run_bench(Bench::Stream, CoalescerKind::Raw, &cfg);
+        assert!(!trace.is_empty());
+        let mut sets = Vec::new();
+        for kind in BackendKind::ALL {
+            let sim = SimConfig { cores: cfg.sim.cores, ..SimConfig::for_backend(kind) };
+            let (m, mut served) = replay_served(&trace, CoalescerKind::Pac, &sim);
+            assert!(m.raw_requests > 0);
+            served.sort_unstable();
+            assert!(served.windows(2).all(|w| w[0] != w[1]), "{kind:?} served an id twice");
+            sets.push(served);
+        }
+        assert_eq!(sets[0], sets[1], "backends completed different request sets");
     }
 }

@@ -1,10 +1,13 @@
-//! The assembled system: cores → caches → coalescer → HMC.
+//! The assembled system: cores → caches → coalescer → memory backend
+//! (HMC vaults or HBM pseudo-channels, selected by
+//! `SimConfig.backend`).
 
 use crate::core::{CoreState, PendingPush};
 use crate::metrics::RunMetrics;
 use crate::recovery::{RecoveryLayer, RecoveryReport, ResponseVerdict, WatchdogAction};
 use cache_sim::{CacheHierarchy, HierarchyOutcome};
-use hmc_sim::{Hmc, HmcRequest, HmcResponse};
+use hmc_sim::{HmcRequest, HmcResponse};
+use pac_mem::MemoryBackend;
 use pac_core::baseline::{MshrDmc, NoCoalescing};
 use pac_core::{DispatchedRequest, MemoryCoalescer, PacCoalescer};
 use pac_oracle::{LockstepChecker, OracleConfig, OracleReport};
@@ -257,7 +260,10 @@ pub struct SimSystem {
     cores: Vec<CoreState>,
     hierarchy: CacheHierarchy,
     coalescer: Box<dyn MemoryCoalescer>,
-    hmc: Hmc,
+    /// The cycle-level memory device, selected by `cfg.backend` (HMC
+    /// vaults or HBM pseudo-channels); everything above it is
+    /// backend-agnostic.
+    mem: Box<dyn MemoryBackend>,
     now: Cycle,
     next_raw: u64,
     raw_meta: HashMap<u64, RawMeta, IdHash>,
@@ -340,11 +346,12 @@ impl SimSystem {
             panic!("invalid SimConfig: {e}");
         }
         assert!(
-            cfg.coalescer.protocol.max_request_bytes() <= cfg.hmc.row_bytes,
-            "coalescer protocol allows {}B requests but the device rows are {}B; \
-             set SimConfig.hmc.row_bytes to match the protocol (e.g. 1024 for HBM)",
+            cfg.coalescer.protocol.max_request_bytes() <= cfg.active_row_bytes(),
+            "coalescer protocol allows {}B requests but the active device rows are {}B; \
+             match the device row size to the protocol (e.g. \
+             SimConfig::for_backend, or hmc.row_bytes = 1024 for the HBM protocol)",
             cfg.coalescer.protocol.max_request_bytes(),
-            cfg.hmc.row_bytes
+            cfg.active_row_bytes()
         );
         let cores: Vec<CoreState> = specs
             .into_iter()
@@ -355,7 +362,7 @@ impl SimSystem {
         SimSystem {
             hierarchy: CacheHierarchy::new(n_cores as u32, cfg.l1, cfg.l2),
             coalescer: kind.build(&cfg, trace_occupancy),
-            hmc: Hmc::new(cfg.hmc),
+            mem: pac_mem::build_backend(&cfg),
             cores,
             kind,
             strides: vec![StrideState::default(); n_cores],
@@ -420,7 +427,7 @@ impl SimSystem {
     /// response path. The plan is validated first; a plan that could
     /// never fire (zero fault budget) is rejected at arm time.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
-        self.hmc.set_fault_plan(plan)
+        self.mem.set_fault_plan(plan)
     }
 
     /// Arm (or leave disabled) the transaction-recovery layer. With
@@ -446,7 +453,7 @@ impl SimSystem {
     pub fn set_trace_config(&mut self, cfg: TraceConfig) {
         let tracer = TraceHandle::new(cfg);
         self.coalescer.attach_tracer(tracer.clone());
-        self.hmc.set_tracer(tracer.clone());
+        self.mem.set_tracer(tracer.clone());
         self.tracer = tracer;
     }
 
@@ -468,12 +475,12 @@ impl SimSystem {
         if self.tracer.is_enabled() {
             return;
         }
-        self.hmc.set_parallel(shards);
+        self.mem.set_parallel(shards);
     }
 
     /// Faults the device actually injected so far.
     pub fn faults_injected(&self) -> u64 {
-        self.hmc.faults_injected()
+        self.mem.faults_injected()
     }
 
     fn alloc_raw(&mut self) -> u64 {
@@ -639,7 +646,7 @@ impl SimSystem {
         // 4KB page boundary — the next physical frame belongs to an
         // unrelated page (hardware prefetchers stop here for the same
         // reason).
-        let row = self.cfg.hmc.row_bytes;
+        let row = self.cfg.active_row_bytes();
         let page_last_line = line_base(line | (PAGE_BYTES - 1));
         // Last line of the row containing the lookahead point.
         let target = ((line + degree * CACHE_LINE_BYTES) / row * row + row - CACHE_LINE_BYTES)
@@ -847,7 +854,7 @@ impl SimSystem {
                 // until exactly one clean response is delivered.
                 rec.note_dispatch(d.dispatch_id, d.addr, d.bytes, d.op, now);
             }
-            self.hmc.submit(
+            self.mem.submit(
                 HmcRequest { id: d.dispatch_id, addr: d.addr, bytes: d.bytes, op: d.op },
                 now,
             );
@@ -855,8 +862,8 @@ impl SimSystem {
 
         // Memory advances; responses release MSHRs, fill the LLC, and
         // unblock cores.
-        self.hmc.tick(now);
-        self.hmc.pop_responses(now, &mut self.responses);
+        self.mem.tick(now);
+        self.mem.pop_responses(now, &mut self.responses);
         for rsp in self.responses.drain(..) {
             // The recovery layer screens every response before the
             // oracle or the coalescer can see it: duplicates and
@@ -888,7 +895,7 @@ impl SimSystem {
                             // still release the original MSHR. The
                             // oracle already saw this dispatch once, so
                             // it is not re-noted.
-                            self.hmc.submit(
+                            self.mem.submit(
                                 HmcRequest { id: rsp.id, addr: expected_addr, bytes, op },
                                 now,
                             );
@@ -946,7 +953,7 @@ impl SimSystem {
                         self.tracer.emit(now, EventClass::Diagnostic, || {
                             EventKind::RetryIssued { seq, id, attempt }
                         });
-                        self.hmc.submit(HmcRequest { id, addr, bytes, op }, now);
+                        self.mem.submit(HmcRequest { id, addr, bytes, op }, now);
                     }
                     WatchdogAction::Exhausted { seq, id, attempt } => {
                         self.tracer.emit(now, EventClass::Diagnostic, || {
@@ -988,7 +995,7 @@ impl SimSystem {
                 self.tracer.counter(now, CounterKind::ActiveStreams, g.active_streams as u64);
                 self.tracer.counter(now, CounterKind::InflightMshrs, g.inflight_mshrs as u64);
             }
-            self.tracer.counter(now, CounterKind::BankConflicts, self.hmc.bank_conflicts());
+            self.tracer.counter(now, CounterKind::BankConflicts, self.mem.bank_conflicts());
         }
         if let Some(o) = &self.oracle {
             let total = o.total_violations();
@@ -1052,7 +1059,7 @@ impl SimSystem {
         self.cores.iter().all(|c| c.finished())
             && self.side_queue.is_empty()
             && self.coalescer.is_drained()
-            && self.hmc.is_idle()
+            && self.mem.is_idle()
             && self.recovery.as_ref().is_none_or(|r| r.outstanding() == 0)
     }
 
@@ -1141,7 +1148,7 @@ impl SimSystem {
             }
             best = best.min(c);
         }
-        if let Some(c) = self.hmc.next_event(now) {
+        if let Some(c) = self.mem.next_event(now) {
             if c <= now {
                 return;
             }
@@ -1219,7 +1226,7 @@ impl SimSystem {
                 // engine's in-flight state back into the device, pinned
                 // to this pause boundary, so `save_state` sees the
                 // serial-identical snapshot.
-                self.hmc.quiesce_engine_at(self.now);
+                self.mem.quiesce_engine_at(self.now);
                 return RunProgress::Paused;
             }
             self.tick();
@@ -1269,7 +1276,7 @@ impl SimSystem {
     /// recovery counters into the coalescer's record, finalize the
     /// oracle's conservation invariants.
     fn finalize_run(&mut self) {
-        self.hmc.finalize_stats();
+        self.mem.finalize_stats();
         self.coalescer.finalize_stats();
         if let Some(rec) = &self.recovery {
             rec.fold_into(self.coalescer.stats_mut());
@@ -1308,7 +1315,7 @@ impl SimSystem {
         }
         self.hierarchy.save(&mut w);
         self.coalescer.save_state(&mut w);
-        self.hmc.save(&mut w);
+        self.mem.save_state(&mut w);
         self.now.save(&mut w);
         self.next_raw.save(&mut w);
         self.raw_meta.save(&mut w);
@@ -1375,7 +1382,9 @@ impl SimSystem {
             CoalescerKind::MshrDmc => Box::new(MshrDmc::load(&mut r)?),
             CoalescerKind::Pac => Box::new(PacCoalescer::load(&mut r)?),
         };
-        let hmc = Hmc::load(&mut r)?;
+        // The device backend is keyed by the configuration read above,
+        // same dispatch discipline as the coalescer.
+        let mem = pac_mem::load_backend(&cfg, &mut r)?;
         let now = Cycle::load(&mut r)?;
         let next_raw = u64::load(&mut r)?;
         let raw_meta = HashMap::<u64, RawMeta, IdHash>::load(&mut r)?;
@@ -1399,7 +1408,7 @@ impl SimSystem {
             cores,
             hierarchy,
             coalescer,
-            hmc,
+            mem,
             now,
             next_raw,
             raw_meta,
@@ -1464,16 +1473,24 @@ impl SimSystem {
         self.coalescer.stats()
     }
 
+    /// Device transaction statistics (the name predates the second
+    /// backend; the stats shape is shared by all of them).
     pub fn hmc_stats(&self) -> &hmc_sim::HmcStats {
-        &self.hmc.stats
+        self.mem.stats()
     }
 
+    /// Device energy breakdown (shared event taxonomy across backends).
     pub fn hmc_energy(&self) -> &hmc_sim::EnergyBreakdown {
-        &self.hmc.energy
+        self.mem.energy()
+    }
+
+    /// Which memory backend this system runs on.
+    pub fn backend(&self) -> pac_types::BackendKind {
+        self.mem.kind()
     }
 
     pub fn bank_conflicts(&self) -> u64 {
-        self.hmc.bank_conflicts()
+        self.mem.bank_conflicts()
     }
 
     pub fn hierarchy(&self) -> &CacheHierarchy {

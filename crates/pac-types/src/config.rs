@@ -158,6 +158,248 @@ impl Default for HmcDeviceConfig {
     }
 }
 
+/// Which cycle-level memory-device model backs the simulation.
+///
+/// The simulator core is generic over a `MemoryBackend` trait (crate
+/// `pac-mem`); this enum is the configuration-level selector that the
+/// backend factory and the snapshot restore path dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The HMC 2.1 vault/quadrant device model (`hmc-sim`).
+    #[default]
+    Hmc,
+    /// The HBM-style pseudo-channel device model (`pac-mem::hbm`).
+    Hbm,
+}
+
+impl BackendKind {
+    /// Every backend, in stable matrix order.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Hmc, BackendKind::Hbm];
+
+    /// Stable human-readable label (used in CLI flags and JSON output).
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Hmc => "hmc",
+            BackendKind::Hbm => "hbm",
+        }
+    }
+
+    /// Parse a CLI `--backend` value. Accepts the labels of
+    /// [`BackendKind::ALL`], case-insensitively.
+    pub fn from_name(name: &str) -> Option<BackendKind> {
+        BackendKind::ALL.iter().copied().find(|k| k.label().eq_ignore_ascii_case(name))
+    }
+}
+
+/// How the HBM backend spreads consecutive rows across channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressInterleave {
+    /// Row-granular round-robin across channels (the 3D-stacked layout:
+    /// consecutive rows land on different channels, maximizing channel
+    /// parallelism for streaming access — the analogue of HMC's vault
+    /// interleave).
+    #[default]
+    Stacked,
+    /// Flat contiguous slabs: each channel owns a contiguous
+    /// `capacity / channels` address range (the planar-DRAM layout;
+    /// streaming access serializes on one channel).
+    Flat,
+}
+
+/// Geometry, timing, and energy constants of the simulated HBM-style
+/// device (pseudo-channel organization with per-channel bank groups).
+///
+/// Timing values are in *CPU* cycles (2 GHz), sharing the system clock
+/// with [`HmcDeviceConfig`]. The model keeps the paper's closed-page
+/// policy: every reference pays activate + column accesses + precharge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmDeviceConfig {
+    /// Number of pseudo-channels (HBM2E stack: 8 channels × 2
+    /// pseudo-channels is common; we model 8 independent channels).
+    pub channels: u32,
+    /// Bank groups per pseudo-channel.
+    pub bank_groups: u32,
+    /// Banks per bank group.
+    pub banks_per_group: u32,
+    /// Device capacity in bytes.
+    pub capacity_bytes: u64,
+    /// DRAM row (page) size in bytes per pseudo-channel (HBM: 1 KB).
+    pub row_bytes: u64,
+    /// How rows interleave across channels.
+    pub interleave: AddressInterleave,
+    /// Channel bus transfer time per 16 B FLIT, CPU cycles.
+    pub bus_cycles_per_flit: u64,
+    /// Fixed controller/PHY traversal per packet, CPU cycles.
+    pub ctrl_cycles: u64,
+    /// Row activate time (tRCD equivalent), CPU cycles.
+    pub t_activate: u64,
+    /// Column access per 32 B of data, CPU cycles.
+    pub t_access_per_32b: u64,
+    /// Precharge time (closed-page policy), CPU cycles.
+    pub t_precharge: u64,
+    /// Same-bank-group issue-to-issue gap (tCCD_L equivalent), CPU
+    /// cycles. 0 disables the bank-group constraint.
+    pub t_ccd_long: u64,
+    /// Four-activate-window span (tFAW equivalent), CPU cycles. 0
+    /// disables the constraint.
+    pub t_faw: u64,
+    /// Activates allowed inside one `t_faw` window (the "four" in tFAW).
+    pub faw_window_activates: u32,
+    /// Per-bank refresh interval (tREFI equivalent), CPU cycles. 0
+    /// disables refresh modelling.
+    pub t_refresh_interval: u64,
+    /// Refresh duration (tRFC equivalent), CPU cycles.
+    pub t_refresh_duration: u64,
+    /// Energy per channel-controller operation (pJ).
+    pub e_ctrl: f64,
+    /// Energy per FLIT crossing the channel bus (pJ).
+    pub e_bus_route: f64,
+    /// Energy per bank activate+precharge pair (pJ).
+    pub e_bank_act_pre: f64,
+    /// Energy per 32 B column access (pJ).
+    pub e_bank_access_32b: f64,
+    /// Energy per cycle a valid packet holds a channel request slot (pJ).
+    pub e_rqst_slot: f64,
+    /// Energy per cycle a valid packet holds a channel response slot (pJ).
+    pub e_rsp_slot: f64,
+}
+
+impl Default for HbmDeviceConfig {
+    fn default() -> Self {
+        HbmDeviceConfig {
+            channels: 8,
+            bank_groups: 4,
+            banks_per_group: 4,
+            capacity_bytes: 8 << 30,
+            row_bytes: 1024,
+            interleave: AddressInterleave::Stacked,
+            bus_cycles_per_flit: 1,
+            ctrl_cycles: 6,
+            t_activate: 30,   // ~15 ns
+            t_access_per_32b: 2,
+            t_precharge: 24,  // ~12 ns
+            t_ccd_long: 4,
+            t_faw: 64,        // ~32 ns
+            faw_window_activates: 4,
+            t_refresh_interval: 15_600, // 7.8 us at 2 GHz
+            t_refresh_duration: 520,    // 260 ns
+            e_ctrl: 5.0,
+            e_bus_route: 3.0,
+            e_bank_act_pre: 40.0,
+            e_bank_access_32b: 8.0,
+            e_rqst_slot: 0.8,
+            e_rsp_slot: 0.8,
+        }
+    }
+}
+
+/// One address decomposed into the HBM device hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HbmLocation {
+    /// Pseudo-channel index.
+    pub channel: u32,
+    /// Bank group within the channel.
+    pub bank_group: u32,
+    /// Bank within the bank group.
+    pub bank: u32,
+    /// DRAM row within the bank.
+    pub row: u64,
+}
+
+impl HbmDeviceConfig {
+    /// Total banks in one pseudo-channel.
+    #[inline]
+    pub fn banks_per_channel(&self) -> u32 {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Total rows across the device.
+    #[inline]
+    pub fn rows_total(&self) -> u64 {
+        self.capacity_bytes / self.row_bytes
+    }
+
+    /// Rows owned by each channel.
+    #[inline]
+    pub fn rows_per_channel(&self) -> u64 {
+        self.rows_total() / u64::from(self.channels)
+    }
+
+    /// Decompose an address into channel/bank-group/bank/row.
+    ///
+    /// Row-granular: every byte inside one aligned `row_bytes` window
+    /// maps to the same location, so a coalesced page-sized request
+    /// occupies exactly one bank — the property PAC exploits. Addresses
+    /// at or beyond `capacity_bytes` wrap (row index modulo total rows),
+    /// mirroring the HMC model's modular `vault_of`.
+    #[inline]
+    pub fn decompose(&self, addr: u64) -> HbmLocation {
+        let row_index = (addr / self.row_bytes) % self.rows_total();
+        match self.interleave {
+            AddressInterleave::Stacked => {
+                let ch = u64::from(self.channels);
+                let bg = u64::from(self.bank_groups);
+                let bk = u64::from(self.banks_per_group);
+                HbmLocation {
+                    channel: (row_index % ch) as u32,
+                    bank_group: ((row_index / ch) % bg) as u32,
+                    bank: ((row_index / (ch * bg)) % bk) as u32,
+                    row: row_index / (ch * bg * bk),
+                }
+            }
+            AddressInterleave::Flat => {
+                let per = self.rows_per_channel();
+                let local = row_index % per;
+                let bg = u64::from(self.bank_groups);
+                let bk = u64::from(self.banks_per_group);
+                HbmLocation {
+                    channel: (row_index / per) as u32,
+                    bank_group: (local % bg) as u32,
+                    bank: ((local / bg) % bk) as u32,
+                    row: local / (bg * bk),
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`decompose`](Self::decompose): the base address of
+    /// the row holding `loc`. `decompose(compose(loc))` is the identity
+    /// for any in-range location, which the mapping property tests use
+    /// to prove the decomposition bijective.
+    #[inline]
+    pub fn compose(&self, loc: HbmLocation) -> u64 {
+        let ch = u64::from(self.channels);
+        let bg = u64::from(self.bank_groups);
+        let bk = u64::from(self.banks_per_group);
+        let row_index = match self.interleave {
+            AddressInterleave::Stacked => {
+                u64::from(loc.channel)
+                    + ch * (u64::from(loc.bank_group)
+                        + bg * (u64::from(loc.bank) + bk * loc.row))
+            }
+            AddressInterleave::Flat => {
+                u64::from(loc.channel) * self.rows_per_channel()
+                    + u64::from(loc.bank_group)
+                    + bg * (u64::from(loc.bank) + bk * loc.row)
+            }
+        };
+        row_index * self.row_bytes
+    }
+
+    /// Pseudo-channel an address maps to.
+    #[inline]
+    pub fn channel_of(&self, addr: u64) -> u32 {
+        self.decompose(addr).channel
+    }
+
+    /// Flattened bank index within the channel (bank-group-major).
+    #[inline]
+    pub fn flat_bank_of(&self, addr: u64) -> u32 {
+        let loc = self.decompose(addr);
+        loc.bank_group * self.banks_per_group + loc.bank
+    }
+}
+
 impl HmcDeviceConfig {
     /// Vaults served by each link's local quadrant.
     #[inline]
@@ -202,8 +444,12 @@ pub struct SimConfig {
     pub l2: CacheConfig,
     /// Coalescer + MSHR configuration.
     pub coalescer: CoalescerConfig,
-    /// HMC device configuration.
+    /// Which device model backs the run.
+    pub backend: BackendKind,
+    /// HMC device configuration (used when `backend == BackendKind::Hmc`).
     pub hmc: HmcDeviceConfig,
+    /// HBM device configuration (used when `backend == BackendKind::Hbm`).
+    pub hbm: HbmDeviceConfig,
     /// Maximum in-flight LLC misses a single core tolerates before it
     /// stalls (models per-core load/store queue capacity).
     pub core_outstanding: usize,
@@ -223,7 +469,9 @@ impl Default for SimConfig {
             l1: CacheConfig::paper_l1(),
             l2: CacheConfig::paper_l2(),
             coalescer: CoalescerConfig::default(),
+            backend: BackendKind::Hmc,
             hmc: HmcDeviceConfig::default(),
+            hbm: HbmDeviceConfig::default(),
             core_outstanding: 2,
             prefetch_degree: 4,
             prefetch_max_outstanding: 256,
@@ -272,6 +520,11 @@ pub enum SimConfigError {
     /// `hmc.vaults`, `hmc.banks_per_vault`, or `hmc.links` is zero, or
     /// vaults is not divisible by links (quadrant mapping would truncate).
     HmcGeometry(&'static str),
+    /// An HBM geometry field is degenerate: zero channels/bank
+    /// groups/banks, capacity not divisible by the full
+    /// row×channel×bank hierarchy (decompose/compose would truncate),
+    /// or a zero tFAW activate budget with `t_faw` armed.
+    HbmGeometry(&'static str),
 }
 
 impl fmt::Display for SimConfigError {
@@ -315,6 +568,9 @@ impl fmt::Display for SimConfigError {
             SimConfigError::HmcGeometry(what) => {
                 write!(f, "config rejected: hmc geometry invalid: {what}")
             }
+            SimConfigError::HbmGeometry(what) => {
+                write!(f, "config rejected: hbm geometry invalid: {what}")
+            }
         }
     }
 }
@@ -343,6 +599,39 @@ fn check_cache(level: &'static str, c: &CacheConfig) -> Result<(), SimConfigErro
 }
 
 impl SimConfig {
+    /// The canonical configuration for a backend: Table-1 defaults with
+    /// the backend selector set and the coalescer protocol matched to
+    /// the device's row size (HBM coalesces to its 1 KB rows, so PAC's
+    /// page windows fill the wider row the same way they fill HMC's
+    /// 256 B blocks).
+    pub fn for_backend(backend: BackendKind) -> Self {
+        let mut cfg = SimConfig { backend, ..SimConfig::default() };
+        if backend == BackendKind::Hbm {
+            cfg.coalescer.protocol = MemoryProtocol::Hbm;
+        }
+        cfg
+    }
+
+    /// Row (block) size of the active backend's device, bytes.
+    #[inline]
+    pub fn active_row_bytes(&self) -> u64 {
+        match self.backend {
+            BackendKind::Hmc => self.hmc.row_bytes,
+            BackendKind::Hbm => self.hbm.row_bytes,
+        }
+    }
+
+    /// Number of independent service units (vaults or pseudo-channels)
+    /// in the active backend — the topology bound fault plans are
+    /// validated against.
+    #[inline]
+    pub fn active_units(&self) -> u32 {
+        match self.backend {
+            BackendKind::Hmc => self.hmc.vaults,
+            BackendKind::Hbm => self.hbm.channels,
+        }
+    }
+
     /// Check every structural invariant the simulator relies on.
     ///
     /// Call at construction time (every `SimSystem` entry point routes
@@ -386,6 +675,34 @@ impl SimConfig {
         if !self.hmc.vaults.is_multiple_of(self.hmc.links) {
             return Err(SimConfigError::HmcGeometry(
                 "vaults must be divisible by links (quadrant mapping would truncate)",
+            ));
+        }
+        let hbm = &self.hbm;
+        if hbm.row_bytes == 0 || !hbm.row_bytes.is_power_of_two() {
+            return Err(SimConfigError::RowBytesNotPow2(hbm.row_bytes));
+        }
+        if hbm.channels == 0 {
+            return Err(SimConfigError::HbmGeometry("channels == 0"));
+        }
+        if hbm.bank_groups == 0 {
+            return Err(SimConfigError::HbmGeometry("bank_groups == 0"));
+        }
+        if hbm.banks_per_group == 0 {
+            return Err(SimConfigError::HbmGeometry("banks_per_group == 0"));
+        }
+        let hierarchy = hbm.row_bytes
+            * u64::from(hbm.channels)
+            * u64::from(hbm.bank_groups)
+            * u64::from(hbm.banks_per_group);
+        if hbm.capacity_bytes == 0 || !hbm.capacity_bytes.is_multiple_of(hierarchy) {
+            return Err(SimConfigError::HbmGeometry(
+                "capacity_bytes must be a nonzero multiple of \
+                 row_bytes * channels * bank_groups * banks_per_group",
+            ));
+        }
+        if hbm.t_faw > 0 && hbm.faw_window_activates == 0 {
+            return Err(SimConfigError::HbmGeometry(
+                "faw_window_activates == 0 with t_faw armed (no activate could ever issue)",
             ));
         }
         Ok(())
@@ -508,5 +825,86 @@ mod tests {
         assert_eq!(h.home_link_of_vault(7), 0);
         assert_eq!(h.home_link_of_vault(8), 1);
         assert_eq!(h.home_link_of_vault(31), 3);
+    }
+
+    #[test]
+    fn backend_kind_labels_parse() {
+        for k in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(k.label()), Some(k));
+        }
+        assert_eq!(BackendKind::from_name("HBM"), Some(BackendKind::Hbm));
+        assert_eq!(BackendKind::from_name("ddr4"), None);
+    }
+
+    #[test]
+    fn for_backend_matches_protocol_to_device() {
+        let hmc = SimConfig::for_backend(BackendKind::Hmc);
+        assert_eq!(hmc.coalescer.protocol, MemoryProtocol::Hmc21);
+        assert_eq!(hmc.active_row_bytes(), 256);
+        assert_eq!(hmc.active_units(), 32);
+
+        let hbm = SimConfig::for_backend(BackendKind::Hbm);
+        assert_eq!(hbm.coalescer.protocol, MemoryProtocol::Hbm);
+        assert_eq!(hbm.active_row_bytes(), 1024);
+        assert_eq!(hbm.active_units(), 8);
+        assert_eq!(hbm.validate(), Ok(()));
+    }
+
+    #[test]
+    fn hbm_stacked_interleave_spreads_consecutive_rows() {
+        let h = HbmDeviceConfig::default();
+        assert_eq!(h.channel_of(0), 0);
+        assert_eq!(h.channel_of(1024), 1);
+        assert_eq!(h.channel_of(1024 * 8), 0);
+        // Same channel, next bank group.
+        assert_eq!(h.flat_bank_of(0), 0);
+        assert_eq!(h.flat_bank_of(1024 * 8), h.banks_per_group);
+        // Bytes inside one row share a location.
+        assert_eq!(h.decompose(1024 + 512), h.decompose(1024));
+    }
+
+    #[test]
+    fn hbm_flat_interleave_gives_contiguous_slabs() {
+        let h = HbmDeviceConfig { interleave: AddressInterleave::Flat, ..Default::default() };
+        let slab = h.capacity_bytes / u64::from(h.channels);
+        assert_eq!(h.channel_of(0), 0);
+        assert_eq!(h.channel_of(slab - 1), 0);
+        assert_eq!(h.channel_of(slab), 1);
+        assert_eq!(h.channel_of(slab * 7), 7);
+    }
+
+    #[test]
+    fn hbm_compose_inverts_decompose() {
+        for interleave in [AddressInterleave::Stacked, AddressInterleave::Flat] {
+            let h = HbmDeviceConfig { interleave, ..Default::default() };
+            for addr in [0u64, 1024, 4096, 1 << 20, (8u64 << 30) - 1024, 0xDEAD_B000] {
+                let loc = h.decompose(addr);
+                let base = h.compose(loc);
+                assert_eq!(base % h.row_bytes, 0);
+                assert_eq!(h.decompose(base), loc, "{interleave:?} addr {addr:#x}");
+                assert_eq!(base, addr / h.row_bytes % h.rows_total() * h.row_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_hbm_geometry() {
+        let base = SimConfig::for_backend(BackendKind::Hbm);
+
+        let mut c = base;
+        c.hbm.channels = 0;
+        assert_eq!(c.validate(), Err(SimConfigError::HbmGeometry("channels == 0")));
+
+        let mut c = base;
+        c.hbm.row_bytes = 768;
+        assert_eq!(c.validate(), Err(SimConfigError::RowBytesNotPow2(768)));
+
+        let mut c = base;
+        c.hbm.capacity_bytes = (8 << 30) + 512;
+        assert!(matches!(c.validate(), Err(SimConfigError::HbmGeometry(_))));
+
+        let mut c = base;
+        c.hbm.faw_window_activates = 0;
+        assert!(matches!(c.validate(), Err(SimConfigError::HbmGeometry(_))));
     }
 }

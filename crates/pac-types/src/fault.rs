@@ -73,6 +73,12 @@ pub struct FaultPlan {
     /// [`u64::MAX`] for an unbounded budget. Enforced by
     /// [`FaultPlan::validate`].
     pub max_faults: u64,
+    /// Restrict injection to responses served by one service unit
+    /// (vault index on HMC, pseudo-channel index on HBM). `None` targets
+    /// every unit. Bounds-checked against the *active backend's*
+    /// topology by [`FaultPlan::validate_for`] — an out-of-range unit
+    /// would arm an injector that can never fire.
+    pub target_unit: Option<u32>,
 }
 
 /// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`].
@@ -82,6 +88,15 @@ pub enum FaultPlanError {
     /// budget and silently inject nothing. Use at least 1, or
     /// [`u64::MAX`] for an unbounded budget.
     ZeroFaultBudget,
+    /// `target_unit` names a vault/channel the active backend does not
+    /// have: the injector could never fire. Carries the rejected index
+    /// and the backend's unit count so the message is self-locating.
+    TargetUnitOutOfRange {
+        /// The rejected unit index.
+        unit: u32,
+        /// Units the active backend actually has.
+        units: u32,
+    },
 }
 
 impl fmt::Display for FaultPlanError {
@@ -91,6 +106,11 @@ impl fmt::Display for FaultPlanError {
                 f,
                 "fault plan rejected: max_faults == 0 would inject nothing \
                  (use at least 1, or u64::MAX for an unbounded budget)"
+            ),
+            FaultPlanError::TargetUnitOutOfRange { unit, units } => write!(
+                f,
+                "fault plan rejected: target_unit {unit} is out of range for the active \
+                 backend ({units} units); the injector could never fire"
             ),
         }
     }
@@ -102,10 +122,18 @@ impl FaultPlan {
     /// A plan with the defaults the conformance suite uses: roughly one
     /// injection per 32 responses, capped at 4 faults, 5M-cycle delays.
     pub fn new(class: FaultClass, seed: u64) -> Self {
-        FaultPlan { class, seed, rate_per_1024: 32, delay_cycles: 5_000_000, max_faults: 4 }
+        FaultPlan {
+            class,
+            seed,
+            rate_per_1024: 32,
+            delay_cycles: 5_000_000,
+            max_faults: 4,
+            target_unit: None,
+        }
     }
 
-    /// Check the plan's fields, normalising what can be normalised.
+    /// Check the plan's backend-independent fields, normalising what can
+    /// be normalised.
     ///
     /// * `rate_per_1024 > 1024` is clamped to 1024 (the probability is
     ///   a numerator over 1024; anything above is "always").
@@ -113,15 +141,32 @@ impl FaultPlan {
     ///   [`FaultPlanError::ZeroFaultBudget`] — an empty budget means the
     ///   injector can never fire, which is always a configuration bug.
     ///
-    /// Every injection boundary (`Hmc::set_fault_plan`,
-    /// `SimSystem::set_fault_plan`) routes through this, so an invalid
-    /// plan is reported at arm time rather than silently doing nothing.
+    /// `target_unit` cannot be bounds-checked here — the legal range is
+    /// a property of the device the plan is armed on — so injection
+    /// boundaries use [`FaultPlan::validate_for`] instead.
     pub fn validate(mut self) -> Result<Self, FaultPlanError> {
         if self.max_faults == 0 {
             return Err(FaultPlanError::ZeroFaultBudget);
         }
         self.rate_per_1024 = self.rate_per_1024.min(1024);
         Ok(self)
+    }
+
+    /// [`validate`](Self::validate) plus the topology bound: a
+    /// `target_unit` at or beyond `units` (the active backend's
+    /// vault/channel count) is rejected with
+    /// [`FaultPlanError::TargetUnitOutOfRange`]. Every device arm path
+    /// (`Hmc::set_fault_plan`, `Hbm::set_fault_plan`) routes through
+    /// this with its own unit count, so the same plan is checked against
+    /// whichever topology it actually lands on.
+    pub fn validate_for(self, units: u32) -> Result<Self, FaultPlanError> {
+        let plan = self.validate()?;
+        if let Some(unit) = plan.target_unit {
+            if unit >= units {
+                return Err(FaultPlanError::TargetUnitOutOfRange { unit, units });
+            }
+        }
+        Ok(plan)
     }
 
     /// Pure injection decision for one response id. Uses a splitmix64
@@ -189,5 +234,35 @@ mod tests {
         assert_eq!(plan.validate(), Ok(plan));
         let unbounded = FaultPlan { max_faults: u64::MAX, ..plan };
         assert_eq!(unbounded.validate(), Ok(unbounded));
+    }
+
+    #[test]
+    fn validate_for_rejects_out_of_range_target_unit() {
+        // Vault 40 does not exist on a 32-vault HMC...
+        let plan =
+            FaultPlan { target_unit: Some(40), ..FaultPlan::new(FaultClass::DropResponse, 3) };
+        let err = plan.validate_for(32).expect_err("unit 40 of 32 must be rejected");
+        assert_eq!(err, FaultPlanError::TargetUnitOutOfRange { unit: 40, units: 32 });
+        assert!(err.to_string().contains("target_unit 40"), "self-locating: {err}");
+        // ...and channel 10 does not exist on an 8-channel HBM, even
+        // though the same index would be fine on the HMC topology.
+        let plan =
+            FaultPlan { target_unit: Some(10), ..FaultPlan::new(FaultClass::CorruptAddr, 3) };
+        assert!(plan.validate_for(32).is_ok());
+        assert_eq!(
+            plan.validate_for(8),
+            Err(FaultPlanError::TargetUnitOutOfRange { unit: 10, units: 8 })
+        );
+    }
+
+    #[test]
+    fn validate_for_accepts_in_range_and_untargeted_plans() {
+        let broad = FaultPlan::new(FaultClass::DelayResponse, 9);
+        assert_eq!(broad.validate_for(1), Ok(broad));
+        let targeted = FaultPlan { target_unit: Some(31), ..broad };
+        assert_eq!(targeted.validate_for(32), Ok(targeted));
+        // The budget check still runs first.
+        let zero = FaultPlan { max_faults: 0, ..targeted };
+        assert_eq!(zero.validate_for(32), Err(FaultPlanError::ZeroFaultBudget));
     }
 }

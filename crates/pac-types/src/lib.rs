@@ -20,7 +20,10 @@ pub mod threads;
 pub mod trace;
 
 pub use addr::{Addr, BlockId, PageNumber, CACHE_LINE_BYTES, PAGE_BYTES};
-pub use config::{CacheConfig, CoalescerConfig, HmcDeviceConfig, SimConfig, SimConfigError};
+pub use config::{
+    AddressInterleave, BackendKind, CacheConfig, CoalescerConfig, HbmDeviceConfig, HbmLocation,
+    HmcDeviceConfig, SimConfig, SimConfigError,
+};
 pub use fault::{FaultClass, FaultPlan, FaultPlanError};
 pub use hash::{IdHash, IdHasher};
 pub use protocol::MemoryProtocol;

@@ -47,7 +47,7 @@ pub const SNAP_MAGIC: [u8; 8] = *b"PACSNAP1";
 /// Current snapshot format version. Bump on any change to any
 /// component's field set or encoding — old checkpoints are then refused
 /// with [`SnapError::BadVersion`] instead of being misread.
-pub const SNAP_VERSION: u32 = 1;
+pub const SNAP_VERSION: u32 = 2;
 
 /// Why a snapshot could not be read back.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -470,7 +470,10 @@ impl<T: Snapshot + Ord> Snapshot for BinaryHeap<T> {
 
 // ---- pac-types component impls ----
 
-use crate::config::{CacheConfig, CoalescerConfig, HmcDeviceConfig, SimConfig};
+use crate::config::{
+    AddressInterleave, BackendKind, CacheConfig, CoalescerConfig, HbmDeviceConfig,
+    HmcDeviceConfig, SimConfig,
+};
 use crate::fault::{FaultClass, FaultPlan};
 use crate::protocol::MemoryProtocol;
 use crate::recovery::RecoveryConfig;
@@ -548,7 +551,37 @@ snapshot_fields!(MemRequest { id, addr, data_bytes, op, kind, core, issue_cycle 
 snapshot_fields!(CoalescedRequest { addr, bytes, op, raw_ids, assembled_cycle, first_issue_cycle });
 snapshot_fields!(CacheConfig { capacity_bytes, ways, line_bytes, hit_latency });
 snapshot_fields!(CoalescerConfig { streams, timeout_cycles, maq_entries, mshrs, mshr_subentries, protocol });
-snapshot_fields!(FaultPlan { class, seed, rate_per_1024, delay_cycles, max_faults });
+impl Snapshot for BackendKind {
+    fn save(&self, w: &mut SnapWriter) {
+        let idx = BackendKind::ALL.iter().position(|k| k == self).expect("listed") as u8;
+        w.u8(idx);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let idx = r.u8()? as usize;
+        BackendKind::ALL
+            .get(idx)
+            .copied()
+            .ok_or_else(|| SnapError::Corrupt(format!("BackendKind tag {idx}")))
+    }
+}
+
+impl Snapshot for AddressInterleave {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            AddressInterleave::Stacked => 0,
+            AddressInterleave::Flat => 1,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(AddressInterleave::Stacked),
+            1 => Ok(AddressInterleave::Flat),
+            v => Err(SnapError::Corrupt(format!("AddressInterleave tag {v}"))),
+        }
+    }
+}
+
+snapshot_fields!(FaultPlan { class, seed, rate_per_1024, delay_cycles, max_faults, target_unit });
 snapshot_fields!(RecoveryConfig { enabled, watchdog_timeout, max_retries, backoff_cap });
 snapshot_fields!(HmcDeviceConfig {
     links,
@@ -572,12 +605,38 @@ snapshot_fields!(HmcDeviceConfig {
     e_bank_act_pre,
     e_bank_access_32b,
 });
+snapshot_fields!(HbmDeviceConfig {
+    channels,
+    bank_groups,
+    banks_per_group,
+    capacity_bytes,
+    row_bytes,
+    interleave,
+    bus_cycles_per_flit,
+    ctrl_cycles,
+    t_activate,
+    t_access_per_32b,
+    t_precharge,
+    t_ccd_long,
+    t_faw,
+    faw_window_activates,
+    t_refresh_interval,
+    t_refresh_duration,
+    e_ctrl,
+    e_bus_route,
+    e_bank_act_pre,
+    e_bank_access_32b,
+    e_rqst_slot,
+    e_rsp_slot,
+});
 snapshot_fields!(SimConfig {
     cores,
     l1,
     l2,
     coalescer,
+    backend,
     hmc,
+    hbm,
     core_outstanding,
     prefetch_degree,
     prefetch_max_outstanding,
@@ -721,7 +780,14 @@ mod tests {
             first_issue_cycle: 2,
         });
         roundtrip(&SimConfig::default());
+        roundtrip(&SimConfig::for_backend(BackendKind::Hbm));
+        roundtrip(&BackendKind::Hbm);
+        roundtrip(&AddressInterleave::Flat);
         roundtrip(&FaultPlan::new(FaultClass::CorruptAddr, 11));
+        roundtrip(&FaultPlan {
+            target_unit: Some(5),
+            ..FaultPlan::new(FaultClass::DropResponse, 3)
+        });
         roundtrip(&RecoveryConfig::enabled());
     }
 

@@ -201,6 +201,34 @@ where
     }
 }
 
+macro_rules! tuple_strategy {
+    ($($S:ident $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized + std::fmt::Debug {
     fn arbitrary(rng: &mut TestRng) -> Self;

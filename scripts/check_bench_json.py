@@ -5,6 +5,10 @@ binary (sibling of check_trace_json.py for the trace exporter).
 Checks:
   - top-level campaign parameters (accesses_per_core, cores, seed) are
     positive integers;
+  - the optional `backend` label, when present, names a known memory
+    backend (the throughput binary records which device model the
+    campaign ran on; documents predating multi-backend support omit it
+    and are treated as hmc);
   - a `sweeps` array with at least the skip-ahead sweep, each sweep
     carrying a positive matrix_wall_seconds and a full 42-cell matrix
     (14 benches x 3 coalescers), every cell with positive wall seconds,
@@ -25,6 +29,7 @@ import json
 import sys
 
 KINDS = {"raw", "mshr-dmc", "pac"}
+BACKENDS = {"hmc", "hbm"}
 EXPECTED_CELLS = 42  # 14 benchmarks x 3 coalescers
 
 
@@ -59,9 +64,14 @@ def check_cells(stepping: str, cells) -> None:
             v = c.get(rate)
             if not isinstance(v, (int, float)) or v <= 0:
                 fail(f"{where}: {rate} must be positive, got {v!r}")
-            # The writer rounds the rate to an integer; allow that
-            # rounding plus the wall's own 4-decimal truncation.
-            if abs(v - c[num] / wall) > max(1.0, 0.01 * v):
+            # The writer computes the rate from the *unrounded* wall but
+            # records wall_seconds to 4 decimals, so the recomputed rate
+            # is only known to within the wall's half-ulp window (which
+            # dominates for sub-millisecond quick-mode cells); the rate
+            # itself is additionally rounded to an integer.
+            lo = c[num] / (wall + 5e-5) - 1.0
+            hi = c[num] / max(wall - 5e-5, 1e-12) + 1.0
+            if not lo <= v <= hi:
                 fail(f"{where}: {rate} inconsistent with {num}/wall_seconds")
 
 
@@ -116,6 +126,9 @@ def main(path: str) -> None:
         v = doc.get(key)
         if not isinstance(v, int) or v <= 0:
             fail(f"{key} must be a positive integer, got {v!r}")
+    backend = doc.get("backend", "hmc")
+    if backend not in BACKENDS:
+        fail(f"backend must be one of {sorted(BACKENDS)}, got {backend!r}")
 
     sweeps = doc.get("sweeps")
     if not isinstance(sweeps, list) or not sweeps:
@@ -151,7 +164,8 @@ def main(path: str) -> None:
         scaling_note = ", " + check_scaling(
             doc["scaling"], by_mode["skip-ahead"]["matrix_wall_seconds"])
 
-    print(f"OK: {len(sweeps)} sweep(s) x {EXPECTED_CELLS} cells, "
+    print(f"OK: backend {backend}, {len(sweeps)} sweep(s) x "
+          f"{EXPECTED_CELLS} cells, "
           f"modes: {', '.join(sorted(by_mode))}{scaling_note}")
 
 

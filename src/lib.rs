@@ -6,6 +6,7 @@
 
 pub use cache_sim as cache;
 pub use hmc_sim as hmc;
+pub use pac_mem as mem;
 pub use pac_analysis as analysis;
 pub use pac_core as coalescer;
 pub use pac_oracle as oracle;

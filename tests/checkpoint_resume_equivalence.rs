@@ -10,7 +10,7 @@
 
 use pac_repro::sim::{CoalescerKind, RunMetrics, RunProgress, SimSystem, Stepping};
 use pac_repro::types::{
-    Cycle, FaultClass, FaultPlan, RecoveryConfig, SimConfig, SnapError,
+    BackendKind, Cycle, FaultClass, FaultPlan, RecoveryConfig, SimConfig, SnapError,
 };
 use pac_repro::workloads::multiproc::{single_process, CoreSpec};
 use pac_repro::workloads::Bench;
@@ -36,8 +36,13 @@ fn fresh_system(bench: Bench, kind: CoalescerKind, cfg: SimConfig, seed: u64) ->
 }
 
 /// Run to completion without interruption.
-fn uninterrupted(bench: Bench, kind: CoalescerKind, seed: u64) -> (RunMetrics, Cycle) {
-    let mut sys = fresh_system(bench, kind, SimConfig::default(), seed);
+fn uninterrupted(
+    bench: Bench,
+    kind: CoalescerKind,
+    cfg: SimConfig,
+    seed: u64,
+) -> (RunMetrics, Cycle) {
+    let mut sys = fresh_system(bench, kind, cfg, seed);
     let m = sys.run(ACCESSES);
     let now = sys.now();
     (m, now)
@@ -48,11 +53,15 @@ fn uninterrupted(bench: Bench, kind: CoalescerKind, seed: u64) -> (RunMetrics, C
 fn kill_resume_at(
     bench: Bench,
     kind: CoalescerKind,
+    cfg: SimConfig,
     seed: u64,
     stop_at: Cycle,
 ) -> (RunMetrics, Cycle) {
-    let meta = format!("{bench:?}/{}/seed{seed}/acc{ACCESSES}", kind.label());
-    let cfg = SimConfig::default();
+    let meta = format!(
+        "{bench:?}/{}/{}/seed{seed}/acc{ACCESSES}",
+        kind.label(),
+        cfg.backend.label()
+    );
     let mut sys = fresh_system(bench, kind, cfg, seed);
     sys.begin_run(ACCESSES);
     let limit = sys.run_limit();
@@ -81,14 +90,32 @@ fn kill_resume_at(
 #[test]
 fn kill_resume_matches_uninterrupted_for_all_coalescers() {
     for &kind in &KINDS {
-        let (base, base_now) = uninterrupted(Bench::Ep, kind, 0x9AC_5EED);
+        let cfg = SimConfig::default();
+        let (base, base_now) = uninterrupted(Bench::Ep, kind, cfg, 0x9AC_5EED);
         // Pause at several depths, including very early (cold
         // structures) and late (mid-drain).
         for frac in [20, 2, 4, 3] {
             let stop = (base.runtime_cycles / frac).max(1);
-            let (resumed, resumed_now) = kill_resume_at(Bench::Ep, kind, 0x9AC_5EED, stop);
+            let (resumed, resumed_now) = kill_resume_at(Bench::Ep, kind, cfg, 0x9AC_5EED, stop);
             assert_eq!(base, resumed, "{kind:?}: metrics diverged after resume at {stop}");
             assert_eq!(base_now, resumed_now, "{kind:?}: final clock diverged");
+        }
+    }
+}
+
+/// The same contract on the HBM backend: its PACSNAP1 snapshot section
+/// captures pseudo-channel queues, bank-group timers, and the refresh
+/// engine, and restoring must reproduce all of them exactly.
+#[test]
+fn hbm_kill_resume_matches_uninterrupted_for_all_coalescers() {
+    for &kind in &KINDS {
+        let cfg = SimConfig::for_backend(BackendKind::Hbm);
+        let (base, base_now) = uninterrupted(Bench::Ep, kind, cfg, 0x9AC_5EED);
+        for frac in [20, 3, 2] {
+            let stop = (base.runtime_cycles / frac).max(1);
+            let (resumed, resumed_now) = kill_resume_at(Bench::Ep, kind, cfg, 0x9AC_5EED, stop);
+            assert_eq!(base, resumed, "hbm/{kind:?}: metrics diverged after resume at {stop}");
+            assert_eq!(base_now, resumed_now, "hbm/{kind:?}: final clock diverged");
         }
     }
 }
@@ -97,9 +124,10 @@ fn kill_resume_matches_uninterrupted_for_all_coalescers() {
 #[test]
 fn kill_resume_matches_on_alternate_workload() {
     for &kind in &KINDS {
-        let (base, _) = uninterrupted(Bench::Gs, kind, 0xDEAD_BEEF);
+        let cfg = SimConfig::default();
+        let (base, _) = uninterrupted(Bench::Gs, kind, cfg, 0xDEAD_BEEF);
         let stop = (base.runtime_cycles / 2).max(1);
-        let (resumed, _) = kill_resume_at(Bench::Gs, kind, 0xDEAD_BEEF, stop);
+        let (resumed, _) = kill_resume_at(Bench::Gs, kind, cfg, 0xDEAD_BEEF, stop);
         assert_eq!(base, resumed, "{kind:?}: GS metrics diverged after resume");
     }
 }
@@ -113,7 +141,7 @@ fn double_kill_resume_composes() {
     let seed = 0x51_5EED;
     let meta = "double/pac";
     let cfg = SimConfig::default();
-    let (base, base_now) = uninterrupted(Bench::Stream, kind, seed);
+    let (base, base_now) = uninterrupted(Bench::Stream, kind, cfg, seed);
 
     let mut sys = fresh_system(Bench::Stream, kind, cfg, seed);
     sys.begin_run(ACCESSES);
@@ -139,11 +167,27 @@ fn double_kill_resume_composes() {
 /// one must resume bit-identically.
 #[test]
 fn checkpoint_mid_fence_assembly_resumes_bit_identically() {
-    let (base, base_now) = uninterrupted(Bench::Sort, CoalescerKind::Pac, 7);
+    let cfg = SimConfig::default();
+    let (base, base_now) = uninterrupted(Bench::Sort, CoalescerKind::Pac, cfg, 7);
     for frac in [8, 5, 3, 2] {
         let stop = (base.runtime_cycles / frac).max(1);
-        let (resumed, resumed_now) = kill_resume_at(Bench::Sort, CoalescerKind::Pac, 7, stop);
+        let (resumed, resumed_now) = kill_resume_at(Bench::Sort, CoalescerKind::Pac, cfg, 7, stop);
         assert_eq!(base, resumed, "fence workload diverged after resume at {stop}");
+        assert_eq!(base_now, resumed_now);
+    }
+}
+
+/// The fence-window contract on HBM: Sort's fences pause the aggregator
+/// with partially assembled windows, and the snapshot must carry them
+/// across a kill on the HBM device model too.
+#[test]
+fn hbm_checkpoint_mid_fence_assembly_resumes_bit_identically() {
+    let cfg = SimConfig::for_backend(BackendKind::Hbm);
+    let (base, base_now) = uninterrupted(Bench::Sort, CoalescerKind::Pac, cfg, 7);
+    for frac in [8, 3, 2] {
+        let stop = (base.runtime_cycles / frac).max(1);
+        let (resumed, resumed_now) = kill_resume_at(Bench::Sort, CoalescerKind::Pac, cfg, 7, stop);
+        assert_eq!(base, resumed, "hbm fence workload diverged after resume at {stop}");
         assert_eq!(base_now, resumed_now);
     }
 }
@@ -153,14 +197,11 @@ fn checkpoint_mid_fence_assembly_resumes_bit_identically() {
 /// timers on retried transactions) are pending, and the resumed run
 /// must repair the same faults on the same cycles — final metrics,
 /// oracle verdicts, and recovery counters all bit-identical.
-#[test]
-fn kill_resume_with_faults_and_recovery_active() {
+fn faulted_kill_resume_roundtrips(cfg: SimConfig, meta: &str) {
     let seed = 11;
-    let cfg = SimConfig::default();
     let plan = FaultPlan::new(FaultClass::DropResponse, 99);
     let recovery = RecoveryConfig::enabled();
     let limit: Cycle = 10_000_000;
-    let meta = "faulted/pac";
 
     let build = |cfg: SimConfig| {
         let mut sys = fresh_system(Bench::Stream, CoalescerKind::Pac, cfg, seed);
@@ -204,6 +245,22 @@ fn kill_resume_with_faults_and_recovery_active() {
     assert_eq!(base_oracle.responses, resumed_oracle.responses);
 }
 
+#[test]
+fn kill_resume_with_faults_and_recovery_active() {
+    faulted_kill_resume_roundtrips(SimConfig::default(), "faulted/pac");
+}
+
+/// Same armed-fault-plan round-trip on the HBM backend: the snapshot
+/// must carry the fault plan's RNG position and remaining budget along
+/// with the device state, or the resumed run injects different faults.
+#[test]
+fn hbm_kill_resume_with_faults_and_recovery_active() {
+    faulted_kill_resume_roundtrips(
+        SimConfig::for_backend(BackendKind::Hbm),
+        "faulted/pac/hbm",
+    );
+}
+
 /// Checkpoint with the flight-recorder tracer enabled (its ring may
 /// hold a pending dump window). The tracer is observe-only and is
 /// deliberately not captured — the resumed run, tracer-less, must still
@@ -213,7 +270,7 @@ fn checkpoint_with_flight_recorder_resumes_bit_identically() {
     let seed = 0x9AC_5EED;
     let cfg = SimConfig::default();
     let meta = "flight/pac";
-    let (base, base_now) = uninterrupted(Bench::Ep, CoalescerKind::Pac, seed);
+    let (base, base_now) = uninterrupted(Bench::Ep, CoalescerKind::Pac, cfg, seed);
 
     let mut sys = fresh_system(Bench::Ep, CoalescerKind::Pac, cfg, seed);
     sys.set_trace_config(pac_repro::types::TraceConfig::flight_recorder());

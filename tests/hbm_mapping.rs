@@ -1,0 +1,129 @@
+//! Property tests for the HBM address mapping: the decomposition into
+//! channel/bank-group/bank/row is bijective, stays inside the
+//! configured topology, and keeps page-adjacent addresses on one row —
+//! the property PAC's page-granular coalescing exploits on this
+//! backend exactly as it does on HMC vaults.
+
+use pac_repro::types::{AddressInterleave, HbmDeviceConfig, HbmLocation};
+use proptest::prelude::*;
+
+/// Build a geometry from sampled power-of-two exponents so every
+/// division in the mapping is exact. Capacity stays at the default
+/// 8 GB; the topology knobs sweep 1–16 channels, 1–8 groups/banks and
+/// 256 B–2 KB rows.
+fn geometry(
+    ch_exp: u32,
+    bg_exp: u32,
+    bk_exp: u32,
+    row_exp: u32,
+    stacked: bool,
+) -> HbmDeviceConfig {
+    HbmDeviceConfig {
+        channels: 1 << ch_exp,
+        bank_groups: 1 << bg_exp,
+        banks_per_group: 1 << bk_exp,
+        row_bytes: 256 << row_exp,
+        interleave: if stacked { AddressInterleave::Stacked } else { AddressInterleave::Flat },
+        ..HbmDeviceConfig::default()
+    }
+}
+
+proptest! {
+    /// `compose` inverts `decompose` for every address: the round trip
+    /// lands on the base of the row the address lives in, under both
+    /// interleave layouts and every topology.
+    #[test]
+    fn decompose_compose_roundtrips(
+        addr in any::<u64>(),
+        ch_exp in 0u32..5,
+        bg_exp in 0u32..4,
+        bk_exp in 0u32..4,
+        stacked in any::<bool>(),
+    ) {
+        let cfg = geometry(ch_exp, bg_exp, bk_exp, 2, stacked);
+        let row_base = (addr / cfg.row_bytes % cfg.rows_total()) * cfg.row_bytes;
+        prop_assert_eq!(cfg.compose(cfg.decompose(addr)), row_base);
+    }
+
+    /// Every decomposed field stays inside the configured topology —
+    /// no channel, group, bank, or row index out of range, for any
+    /// address including ones past the capacity wrap point.
+    #[test]
+    fn decomposition_stays_in_bounds(
+        addr in any::<u64>(),
+        ch_exp in 0u32..5,
+        bg_exp in 0u32..4,
+        bk_exp in 0u32..4,
+        stacked in any::<bool>(),
+    ) {
+        let cfg = geometry(ch_exp, bg_exp, bk_exp, 1, stacked);
+        let loc = cfg.decompose(addr);
+        prop_assert!(loc.channel < cfg.channels);
+        prop_assert!(loc.bank_group < cfg.bank_groups);
+        prop_assert!(loc.bank < cfg.banks_per_group);
+        let rows_per_bank = cfg.rows_total()
+            / u64::from(cfg.channels)
+            / u64::from(cfg.banks_per_channel());
+        prop_assert!(loc.row < rows_per_bank, "row {} of {}", loc.row, rows_per_bank);
+    }
+
+    /// The mapping is bijective from the location side too: any
+    /// in-range location survives `decompose(compose(loc))` intact.
+    #[test]
+    fn location_roundtrip_is_identity(
+        raw in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()),
+        ch_exp in 0u32..5,
+        bg_exp in 0u32..4,
+        bk_exp in 0u32..4,
+        stacked in any::<bool>(),
+    ) {
+        let cfg = geometry(ch_exp, bg_exp, bk_exp, 2, stacked);
+        let rows_per_bank = cfg.rows_total()
+            / u64::from(cfg.channels)
+            / u64::from(cfg.banks_per_channel());
+        let loc = HbmLocation {
+            channel: raw.0 % cfg.channels,
+            bank_group: raw.1 % cfg.bank_groups,
+            bank: raw.2 % cfg.banks_per_group,
+            row: raw.3 % rows_per_bank,
+        };
+        prop_assert_eq!(cfg.decompose(cfg.compose(loc)), loc);
+    }
+
+    /// Page adjacency: two addresses inside the same aligned row window
+    /// decompose identically (one coalesced page-sized request touches
+    /// exactly one bank), while under the stacked interleave the *next*
+    /// row lands on the next channel — streaming rows fan out across
+    /// channels instead of serializing on one.
+    #[test]
+    fn page_adjacent_addrs_share_a_row_under_stacked(
+        addr in any::<u64>(),
+        offset_a in 0u64..1024,
+        offset_b in 0u64..1024,
+        ch_exp in 1u32..5,
+    ) {
+        let cfg = geometry(ch_exp, 2, 2, 2, true);
+        prop_assert_eq!(cfg.row_bytes, 1024);
+        let base = addr - addr % cfg.row_bytes;
+        prop_assert_eq!(cfg.decompose(base + offset_a), cfg.decompose(base + offset_b));
+        // The neighboring row moves to the adjacent channel.
+        let here = cfg.decompose(base);
+        let next = cfg.decompose(base.wrapping_add(cfg.row_bytes));
+        prop_assert_eq!(next.channel, (here.channel + 1) % cfg.channels);
+    }
+
+    /// Under the flat interleave each channel owns one contiguous
+    /// capacity/channels slab: every address in a slab maps to that
+    /// slab's channel.
+    #[test]
+    fn flat_interleave_keeps_slabs_contiguous(
+        slab in 0u32..8,
+        offset in any::<u64>(),
+        bg_exp in 0u32..4,
+    ) {
+        let cfg = geometry(3, bg_exp, 2, 2, false);
+        let slab_bytes = cfg.capacity_bytes / u64::from(cfg.channels);
+        let addr = u64::from(slab) * slab_bytes + offset % slab_bytes;
+        prop_assert_eq!(cfg.channel_of(addr), slab);
+    }
+}

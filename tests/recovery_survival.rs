@@ -8,15 +8,20 @@
 //! against the cycle limit — the quiesce/drain abort terminates it
 //! early with a [`RecoveryReport`] naming the stuck sequence tags.
 
+use pac_oracle::OracleConfig;
 use pac_sim::{CoalescerKind, SimSystem};
-use pac_types::{FaultClass, FaultPlan, RecoveryConfig, SimConfig};
+use pac_types::{BackendKind, FaultClass, FaultPlan, RecoveryConfig, SimConfig};
 use pac_workloads::{multiproc::single_process, Bench};
 
 const ACCESSES: u64 = 300;
 const LIMIT: u64 = 20_000_000;
 
-fn recovering_run(class: FaultClass, cfg_rec: RecoveryConfig) -> SimSystem {
-    let cfg = SimConfig::default();
+fn recovering_run(
+    class: FaultClass,
+    cfg_rec: RecoveryConfig,
+    backend: BackendKind,
+) -> SimSystem {
+    let cfg = SimConfig::for_backend(backend);
     let specs = single_process(Bench::Stream, cfg.cores, 0x9AC_5EED);
     let mut sys = SimSystem::new(cfg, specs, CoalescerKind::Pac);
     sys.attach_oracle();
@@ -29,26 +34,72 @@ fn recovering_run(class: FaultClass, cfg_rec: RecoveryConfig) -> SimSystem {
     sys
 }
 
-/// Every fault class is survived end to end: converged, oracle silent,
-/// no retry budget exhausted. (Delay faults are excluded here because
-/// the clean-run oracle has no latency bound armed — the conformance
-/// suite covers that class with the bound configured.)
+/// Every fault class is survived end to end on every backend:
+/// converged, oracle silent, no retry budget exhausted. (Delay faults
+/// are excluded here because the clean-run oracle has no latency bound
+/// armed — [`delay_is_survived_with_latency_bound_on_every_backend`]
+/// covers that class with the bound configured.)
 #[test]
 fn drop_duplicate_and_corrupt_are_survived_oracle_silent() {
-    for class in [
-        FaultClass::DropResponse,
-        FaultClass::DuplicateResponse,
-        FaultClass::CorruptAddr,
-    ] {
-        let mut sys = recovering_run(class, RecoveryConfig::enabled());
+    for backend in BackendKind::ALL {
+        for class in [
+            FaultClass::DropResponse,
+            FaultClass::DuplicateResponse,
+            FaultClass::CorruptAddr,
+        ] {
+            let mut sys = recovering_run(class, RecoveryConfig::enabled(), backend);
+            let converged = sys.run_until(ACCESSES, LIMIT);
+            let report = sys.recovery_report().expect("armed run must report");
+            assert!(sys.faults_injected() > 0, "{backend:?}/{class:?}: no fault injected");
+            assert!(
+                converged,
+                "{backend:?}/{class:?} did not converge: {}",
+                report.summary()
+            );
+            let oracle = sys.oracle_report().expect("oracle attached");
+            assert!(
+                oracle.is_clean(),
+                "{backend:?}/{class:?} oracle: {}",
+                oracle.summary()
+            );
+            assert!(!report.aborted, "{backend:?}/{class:?}: {}", report.summary());
+            assert!(
+                report.stuck.is_empty(),
+                "{backend:?}/{class:?}: {}",
+                report.summary()
+            );
+            assert_eq!(report.outstanding, 0);
+        }
+    }
+}
+
+/// The fourth class: delay faults stretch a response past the oracle's
+/// latency bound, so the bound must be armed for the oracle to have an
+/// opinion at all. With recovery enabled the watchdog re-issues the
+/// delayed transaction and the run converges clean on both backends.
+#[test]
+fn delay_is_survived_with_latency_bound_on_every_backend() {
+    for backend in BackendKind::ALL {
+        let cfg = SimConfig::for_backend(backend);
+        let specs = single_process(Bench::Stream, cfg.cores, 0x9AC_5EED);
+        let mut sys = SimSystem::new(cfg, specs, CoalescerKind::Pac);
+        let mut ocfg = OracleConfig::for_sim(&cfg);
+        ocfg.max_response_latency = Some(1_000_000);
+        sys.attach_oracle_with(ocfg);
+        sys.set_fault_plan(FaultPlan {
+            rate_per_1024: 64,
+            ..FaultPlan::new(FaultClass::DelayResponse, 11)
+        })
+        .expect("valid fault plan");
+        sys.set_recovery_config(RecoveryConfig::enabled());
+
         let converged = sys.run_until(ACCESSES, LIMIT);
         let report = sys.recovery_report().expect("armed run must report");
-        assert!(sys.faults_injected() > 0, "{class:?}: no fault injected");
-        assert!(converged, "{class:?} did not converge: {}", report.summary());
+        assert!(sys.faults_injected() > 0, "{backend:?}: no delay fault injected");
+        assert!(converged, "{backend:?}: delay run did not converge: {}", report.summary());
         let oracle = sys.oracle_report().expect("oracle attached");
-        assert!(oracle.is_clean(), "{class:?} oracle: {}", oracle.summary());
-        assert!(!report.aborted, "{class:?}: {}", report.summary());
-        assert!(report.stuck.is_empty(), "{class:?}: {}", report.summary());
+        assert!(oracle.is_clean(), "{backend:?} delay oracle: {}", oracle.summary());
+        assert!(!report.aborted, "{backend:?}: {}", report.summary());
         assert_eq!(report.outstanding, 0);
     }
 }
@@ -58,7 +109,8 @@ fn drop_duplicate_and_corrupt_are_survived_oracle_silent() {
 /// carry the folded-in recovery numbers.
 #[test]
 fn repaired_drop_is_visible_in_stats() {
-    let mut sys = recovering_run(FaultClass::DropResponse, RecoveryConfig::enabled());
+    let mut sys =
+        recovering_run(FaultClass::DropResponse, RecoveryConfig::enabled(), BackendKind::Hmc);
     assert!(sys.run_until(ACCESSES, LIMIT));
     let report = sys.recovery_report().expect("armed run must report");
     assert!(report.watchdog_fires > 0, "{}", report.summary());
