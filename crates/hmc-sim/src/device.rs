@@ -203,6 +203,13 @@ impl Hmc {
         self.engine.as_ref().map_or(1, |e| e.shards())
     }
 
+    /// Harness self-metrics from the shard engine, when one is armed.
+    /// Purely observational; reset whenever the engine is rebuilt
+    /// (re-arm, restore), so a resumed run starts its accounting clean.
+    pub fn shard_stats(&self) -> Option<pac_types::ShardStats> {
+        self.engine.as_ref().map(|e| e.stats().clone())
+    }
+
     /// Synchronize the shard engine with the device: advance every
     /// shard to the last ticked cycle (producing any references the
     /// lazy lookahead had deferred), integrate them canonically, and

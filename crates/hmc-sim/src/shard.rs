@@ -37,7 +37,7 @@
 //! synchronizations the workers run genuinely in parallel.
 
 use crate::vault::{QueuedRequest, ReadyResponse, Vault};
-use pac_types::{Cycle, HmcDeviceConfig};
+use pac_types::{Cycle, HmcDeviceConfig, ShardStats};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -85,6 +85,10 @@ pub(crate) struct ShardEngine {
     /// references with start ≤ the last tick may still be unissued
     /// shard-side even though the serial engine would have issued them.
     last_tick: Cycle,
+    /// Harness self-metrics: sync round-trips, deliveries, lookahead
+    /// slack, per-shard event balance. Purely observational — never
+    /// snapshotted, never consulted by the simulation.
+    stats: ShardStats,
 }
 
 impl std::fmt::Debug for ShardEngine {
@@ -183,11 +187,21 @@ impl ShardEngine {
             workers.push(Worker { tx: cmd_tx, rx: rep_rx, handle: Some(handle) });
             start += len;
         }
-        ShardEngine { workers, route, lb, last_tick: 0 }
+        let stats = ShardStats {
+            shards,
+            events_per_shard: vec![0; shards],
+            ..ShardStats::default()
+        };
+        ShardEngine { workers, route, lb, last_tick: 0, stats }
     }
 
     pub(crate) fn shards(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Harness self-metrics accumulated since the engine was armed.
+    pub(crate) fn stats(&self) -> &ShardStats {
+        &self.stats
     }
 
     /// Lower bound on the earliest unissued start cycle.
@@ -204,6 +218,7 @@ impl ShardEngine {
     /// the lookahead bound.
     pub(crate) fn deliver(&mut self, vault: usize, req: QueuedRequest) {
         self.lb = self.lb.min(req.arrival);
+        self.stats.deliveries += 1;
         let (shard, local) = self.route[vault];
         self.workers[shard]
             .tx
@@ -218,14 +233,22 @@ impl ShardEngine {
     /// its shard's queue (per-channel FIFO ordering).
     pub(crate) fn advance(&mut self, target: Cycle) -> Vec<ReadyResponse> {
         self.last_tick = self.last_tick.max(target);
+        self.stats.sync_round_trips += 1;
+        if self.lb != u64::MAX {
+            // Slack between the bound that forced this sync and the
+            // cycle we actually advanced to: what a tighter lookahead
+            // could have skipped.
+            self.stats.lookahead_stall_cycles += target.saturating_sub(self.lb);
+        }
         for w in &self.workers {
             w.tx.send(Cmd::Advance(target)).expect("shard worker alive");
         }
         let mut events = Vec::new();
         let mut lb = u64::MAX;
-        for w in &self.workers {
+        for (s, w) in self.workers.iter().enumerate() {
             match w.rx.recv().expect("shard worker alive") {
                 Reply::Advanced { events: mut e, next_start_min } => {
+                    self.stats.events_per_shard[s] += e.len() as u64;
                     events.append(&mut e);
                     lb = lb.min(next_start_min);
                 }

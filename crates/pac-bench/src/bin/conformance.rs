@@ -35,8 +35,9 @@ use pac_bench::conformance::{
     recovery_matrix, ConformanceScale,
 };
 use pac_bench::diff::diff_matrix;
-use pac_bench::runner::{backend_from_args, threads_from_args};
+use pac_bench::runner::{backend_from_args, progress_from_args, threads_from_args};
 use pac_bench::ParallelRunner;
+use pac_obs::{PhaseTimer, ProgressSink};
 use pac_types::BackendKind;
 
 fn main() {
@@ -55,6 +56,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let progress = match progress_from_args(&args) {
+        Ok(None) => ProgressSink::disabled(),
+        Ok(Some(arg)) => ProgressSink::create(&arg).unwrap_or_else(|e| {
+            eprintln!("--progress {arg}: {e}");
+            std::process::exit(2);
+        }),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let scale = if quick { ConformanceScale::quick() } else { ConformanceScale::full() };
     eprintln!(
         "scale: {} accesses/core, {} cores, cycle limit {}, {} worker thread(s), backend {}",
@@ -65,13 +77,32 @@ fn main() {
         if diff { "both (differential)" } else { backend.label() }
     );
 
+    // Fault/recovery matrices are FaultClass::ALL x CoalescerKind::ALL.
+    let fault_cells =
+        (pac_types::FaultClass::ALL.len() * pac_sim::CoalescerKind::ALL.len()) as u64;
+    let total_cells = if diff {
+        0 // diff cells are not streamed individually yet
+    } else if recover {
+        fault_cells
+    } else {
+        pac_bench::matrix().len() as u64 + fault_cells
+    };
+    progress.campaign_start(
+        "conformance",
+        if diff { "both" } else { backend.label() },
+        runner.threads(),
+        pac_types::shard_count(),
+        total_cells,
+    );
+
     let failures = if diff {
         run_diff(scale, &runner)
     } else if recover {
-        run_recover(scale, quick, backend, &runner)
+        run_recover(scale, quick, backend, &runner, &progress)
     } else {
-        run_detect(scale, backend, &runner)
+        run_detect(scale, backend, &runner, &progress)
     };
+    progress.campaign_end();
 
     if failures > 0 {
         eprintln!("\nconformance FAILED: {failures} cell(s)");
@@ -125,11 +156,18 @@ fn run_diff(scale: ConformanceScale, runner: &ParallelRunner) -> u32 {
 }
 
 /// Default detection-mode phases. Returns the failing cell count.
-fn run_detect(scale: ConformanceScale, backend: BackendKind, runner: &ParallelRunner) -> u32 {
+fn run_detect(
+    scale: ConformanceScale,
+    backend: BackendKind,
+    runner: &ParallelRunner,
+    progress: &ProgressSink,
+) -> u32 {
     let mut failures = 0u32;
 
     eprintln!("\n== phase 1: clean matrix (oracle must stay silent) ==");
-    let cells = clean_matrix(scale, backend, runner);
+    let timer = PhaseTimer::start("clean_matrix");
+    let cells = clean_matrix(scale, backend, runner, progress);
+    timer.finish(progress);
     let total = cells.len();
     for cell in &cells {
         if !cell.passed() {
@@ -157,7 +195,10 @@ fn run_detect(scale: ConformanceScale, backend: BackendKind, runner: &ParallelRu
         "{:<18} {:<10} {:>8}  {:<24} verdict",
         "fault class", "coalescer", "injected", "expected invariant"
     );
-    for cell in fault_matrix(scale, backend, runner) {
+    let timer = PhaseTimer::start("fault_matrix");
+    let fault_cells = fault_matrix(scale, backend, runner, progress);
+    timer.finish(progress);
+    for cell in fault_cells {
         let expected: Vec<&str> =
             expected_invariants(cell.class).iter().map(|i| i.label()).collect();
         let fired: Vec<String> = cell
@@ -189,6 +230,7 @@ fn run_recover(
     quick: bool,
     backend: BackendKind,
     runner: &ParallelRunner,
+    progress: &ProgressSink,
 ) -> u32 {
     let mut failures = 0u32;
 
@@ -197,7 +239,10 @@ fn run_recover(
         "{:<18} {:<10} {:>8}  {:>7} {:>6} {:>6} {:>7}  verdict",
         "fault class", "coalescer", "injected", "retries", "dups", "poison", "max att"
     );
-    for cell in recovery_matrix(scale, backend, runner) {
+    let timer = PhaseTimer::start("recovery_matrix");
+    let recovery_cells = recovery_matrix(scale, backend, runner, progress);
+    timer.finish(progress);
+    for cell in recovery_cells {
         let ok = cell.passed();
         if !ok {
             failures += 1;

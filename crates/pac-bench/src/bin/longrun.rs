@@ -16,6 +16,7 @@
 //! (a synthetic kill for CI equivalence checks); `--print-cycles`
 //! prints only the final cycle count on stdout for easy comparison.
 
+use pac_obs::{CellId, ProgressSink};
 use pac_sim::{
     read_checkpoint, write_checkpoint, CoalescerKind, RunProgress, SimSystem, Stepping,
 };
@@ -23,6 +24,7 @@ use pac_types::{BackendKind, Cycle, SimConfig};
 use pac_workloads::multiproc::single_process;
 use pac_workloads::Bench;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// SIGINT/SIGTERM latch. Raw `signal(2)` FFI: the handler only stores
 /// into an atomic, which is async-signal-safe, and the run loop polls
@@ -67,7 +69,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: longrun --bench <BENCH> --kind <raw|mshr-dmc|pac> [--accesses <N>] [--seed <S>]\n       \
          [--backend hmc|hbm] [--checkpoint <file>] [--checkpoint-every <cycles>] [--resume <file>]\n       \
-         [--kill-at <cycle>] [--print-cycles] [--quick]"
+         [--kill-at <cycle>] [--print-cycles] [--quick] [--progress <path|->]"
     );
     std::process::exit(2);
 }
@@ -101,6 +103,7 @@ struct Opts {
     resume: Option<PathBuf>,
     kill_at: Option<Cycle>,
     print_cycles: bool,
+    progress: Option<String>,
 }
 
 fn parse_opts() -> Opts {
@@ -116,6 +119,7 @@ fn parse_opts() -> Opts {
     let mut resume = None;
     let mut kill_at = None;
     let mut print_cycles = false;
+    let mut progress = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -160,6 +164,10 @@ fn parse_opts() -> Opts {
             "--resume" => resume = Some(PathBuf::from(value(&mut it, "--resume"))),
             "--kill-at" => kill_at = Some(parse_u64(&value(&mut it, "--kill-at"), "--kill-at")),
             "--print-cycles" => print_cycles = true,
+            "--progress" => progress = Some(value(&mut it, "--progress")),
+            s if s.starts_with("--progress=") => {
+                progress = Some(s["--progress=".len()..].to_string());
+            }
             _ => usage(),
         }
     }
@@ -173,12 +181,40 @@ fn parse_opts() -> Opts {
     // smoke budget, unless --accesses names one explicitly.
     let accesses = accesses
         .unwrap_or(if quick { pac_bench::harness::QUICK_ACCESSES } else { 20_000 });
-    Opts { bench, kind, backend, accesses, seed, checkpoint, every, resume, kill_at, print_cycles }
+    Opts {
+        bench,
+        kind,
+        backend,
+        accesses,
+        seed,
+        checkpoint,
+        every,
+        resume,
+        kill_at,
+        print_cycles,
+        progress,
+    }
 }
 
 fn main() {
     sig::install();
     let opts = parse_opts();
+    // A resumed campaign appends to its stream: readers see the prior
+    // segment's events followed by a fresh campaign_start + resumed.
+    let progress = match &opts.progress {
+        None => ProgressSink::disabled(),
+        Some(arg) => {
+            let sink = if opts.resume.is_some() {
+                ProgressSink::append(arg)
+            } else {
+                ProgressSink::create(arg)
+            };
+            sink.unwrap_or_else(|e| {
+                eprintln!("--progress {arg}: {e}");
+                usage();
+            })
+        }
+    };
     let sim = SimConfig::for_backend(opts.backend);
     // The identity line stored in every checkpoint: resuming with
     // different parameters is refused instead of silently diverging.
@@ -195,12 +231,26 @@ fn main() {
     // unless --checkpoint names a different one.
     let ckpt_path = opts.checkpoint.clone().or_else(|| opts.resume.clone());
 
+    progress.campaign_start("longrun", opts.backend.label(), 1, pac_types::shard_count(), 1);
+    let config_label = format!("accesses={} cores={}", opts.accesses, sim.cores);
+    let cell = CellId {
+        bench: opts.bench.name(),
+        kind: opts.kind.label(),
+        backend: opts.backend.label(),
+        config: &config_label,
+    };
+    let wall_start = Instant::now();
+
+    if opts.resume.is_none() {
+        progress.cell_start(0, &cell);
+    }
     let mut sys = match &opts.resume {
         Some(path) => {
             let specs = single_process(opts.bench, sim.cores, opts.seed);
             match read_checkpoint(path, specs, &meta) {
                 Ok(sys) => {
                     eprintln!("resumed from {} at cycle {}", path.display(), sys.now());
+                    progress.resumed(sys.now(), &path.display().to_string());
                     sys
                 }
                 Err(e) => {
@@ -251,10 +301,15 @@ fn main() {
                             std::process::exit(1);
                         }
                         eprintln!("checkpointed at cycle {now} to {}", path.display());
+                        progress.checkpoint(now, &path.display().to_string());
                     }
                 }
                 if killed {
                     eprintln!("stopping at cycle {now} (resume with --resume)");
+                    // No cell_finish: the cell is still in flight. The
+                    // resumed segment appends to this stream and closes
+                    // it on completion.
+                    progress.campaign_end();
                     std::process::exit(0);
                 }
             }
@@ -262,6 +317,14 @@ fn main() {
     }
 
     let m = sys.finish_run();
+    progress.cell_finish(
+        0,
+        &cell,
+        "pass",
+        wall_start.elapsed().as_secs_f64(),
+        m.runtime_cycles,
+    );
+    progress.campaign_end();
     if opts.print_cycles {
         println!("{}", m.runtime_cycles);
         return;

@@ -1,0 +1,121 @@
+//! Campaign SLO report aggregator.
+//!
+//! ```console
+//! $ report progress.jsonl                  # markdown table to stdout
+//! $ report a.jsonl b.jsonl                 # merge several campaigns
+//! $ report --json report.json progress.jsonl
+//! $ report --md report.md --prom report.prom progress.jsonl
+//! $ conformance --quick --progress - | report -
+//! ```
+//!
+//! Ingests one or more progress streams (the versioned JSONL that every
+//! harness binary emits under `--progress`), reconstructs the exact
+//! per-stage latency histograms from their `metrics` events, and renders
+//! per-(bench × coalescer × backend × config) p50/p95/p99/max SLO
+//! tables as markdown (stdout by default), JSON, and a Prometheus
+//! text-exposition snapshot. Because the histograms travel losslessly,
+//! the aggregated percentiles are bit-identical to what the in-run
+//! `MetricsRegistry` reported.
+//!
+//! Exits nonzero when a stream is unreadable, carries malformed lines,
+//! or records failed cells (`--allow-failures` downgrades the latter).
+
+use pac_obs::CampaignReport;
+use std::io::Read as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: report [--json <file>] [--md <file>] [--prom <file>] [--allow-failures] \
+         <progress.jsonl|-> [more.jsonl ...]"
+    );
+    std::process::exit(2);
+}
+
+fn value(it: &mut std::vec::IntoIter<String>, flag: &str) -> String {
+    it.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        usage();
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_out: Option<String> = None;
+    let mut md_out: Option<String> = None;
+    let mut prom_out: Option<String> = None;
+    let mut allow_failures = false;
+    let mut inputs: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_out = Some(value(&mut it, "--json")),
+            "--md" => md_out = Some(value(&mut it, "--md")),
+            "--prom" => prom_out = Some(value(&mut it, "--prom")),
+            "--allow-failures" => allow_failures = true,
+            "-" => inputs.push(a),
+            s if s.starts_with("--") => usage(),
+            _ => inputs.push(a),
+        }
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+
+    let mut report = CampaignReport::new();
+    for input in &inputs {
+        let text = if input == "-" {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("stdin: {e}");
+                std::process::exit(1);
+            }
+            buf
+        } else {
+            match std::fs::read_to_string(input) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{input}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        report.ingest_str(&text, if input == "-" { "<stdin>" } else { input });
+    }
+
+    let mut failed = false;
+    for e in report.errors() {
+        eprintln!("stream error: {e}");
+        failed = true;
+    }
+    if report.total_failures() > 0 {
+        eprintln!("{} failed cell(s) in the ingested campaigns", report.total_failures());
+        if !allow_failures {
+            failed = true;
+        }
+    }
+
+    let md = report.render_markdown();
+    match &md_out {
+        Some(path) => write_or_die(path, &md),
+        None => print!("{md}"),
+    }
+    if let Some(path) = &json_out {
+        write_or_die(path, &report.render_json());
+    }
+    if let Some(path) = &prom_out {
+        write_or_die(path, &report.render_prometheus());
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn write_or_die(path: &str, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}

@@ -17,14 +17,15 @@
 //! results with the oracle silent. Exits nonzero on any oracle
 //! violation, unrecovered run, or round-trip divergence.
 
-use pac_bench::runner::{backend_from_args, threads_from_args};
+use pac_bench::runner::{backend_from_args, progress_from_args, threads_from_args};
 use pac_bench::soak::{soak, SoakConfig};
 use pac_bench::ParallelRunner;
+use pac_obs::{CellId, ProgressSink};
 
 fn usage() -> ! {
     eprintln!(
         "usage: soak [--quick | --runs <N> | --hours <H>] [--seed <S>] [--threads <T>] \
-         [--backend hmc|hbm]"
+         [--backend hmc|hbm] [--progress <path|->]"
     );
     std::process::exit(2);
 }
@@ -63,6 +64,17 @@ fn main() {
             usage();
         }
     };
+    let progress = match progress_from_args(&args) {
+        Ok(None) => ProgressSink::disabled(),
+        Ok(Some(arg)) => ProgressSink::create(&arg).unwrap_or_else(|e| {
+            eprintln!("--progress {arg}: {e}");
+            usage();
+        }),
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
     let mut quick = false;
     let mut runs: Option<u64> = None;
     let mut hours: Option<f64> = None;
@@ -82,6 +94,11 @@ fn main() {
                 let _ = value(&mut it, "--backend");
             }
             s if s.starts_with("--backend=") => {}
+            // Already validated by `progress_from_args`; skip here.
+            "--progress" => {
+                let _ = value(&mut it, "--progress");
+            }
+            s if s.starts_with("--progress=") => {}
             "--runs" => runs = Some(parse_u64(&value(&mut it, "--runs"), "--runs")),
             "--hours" => {
                 let v = value(&mut it, "--hours");
@@ -117,7 +134,29 @@ fn main() {
         cfg.backend.label(),
     );
 
+    progress.campaign_start(
+        "soak",
+        cfg.backend.label(),
+        runner.threads(),
+        pac_types::shard_count(),
+        cfg.runs,
+    );
+    let config_label = format!("accesses={} cores={}", cfg.accesses_per_core, cfg.cores);
+    let mut seq = 0usize;
     let report = soak(&cfg, &runner, |out| {
+        progress.cell_finish(
+            seq,
+            &CellId {
+                bench: out.cell.bench.name(),
+                kind: out.cell.kind.label(),
+                backend: cfg.backend.label(),
+                config: &config_label,
+            },
+            if out.passed() { "pass" } else { "fail" },
+            out.wall_seconds,
+            0,
+        );
+        seq += 1;
         eprintln!(
             "{}  {:>6} x {:<8} faults={} retries={} roundtrip={}",
             if out.passed() { "ok  " } else { "FAIL" },
@@ -131,6 +170,9 @@ fn main() {
             eprintln!("      {}", out.failure);
         }
     });
+
+    progress.worker_util(&report.worker_stats);
+    progress.campaign_end();
 
     print!("{}", report.render());
     if !report.passed() {

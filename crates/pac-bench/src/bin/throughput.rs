@@ -11,6 +11,7 @@
 //! $ throughput --threads 8      # top worker count for the scaling curve
 //! $ throughput --gate --quick   # CI determinism gate, no JSON output
 //! $ throughput --backend hbm    # measure the matrix on the HBM backend
+//! $ throughput --progress -     # stream progress JSONL to stdout
 //! ```
 //!
 //! Each `(bench, coalescer)` cell is run serially and timed; the JSON
@@ -31,9 +32,10 @@
 //! requested width — the CI proof that fan-out changes wall-clock only.
 
 use pac_bench::harness;
-use pac_bench::runner::{backend_from_args, threads_from_args};
+use pac_bench::runner::{backend_from_args, progress_from_args, threads_from_args};
 use pac_bench::throughput::{determinism_gate, scaling_curve, sweep, to_json};
 use pac_bench::{matrix, ParallelRunner};
+use pac_obs::{PhaseTimer, ProgressSink};
 use pac_sim::{ExperimentConfig, Stepping};
 use pac_types::SimConfig;
 
@@ -47,6 +49,17 @@ fn main() {
         .and_then(|t| backend_from_args(&args).map(|b| (t, b)))
     {
         Ok(tb) => tb,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let progress = match progress_from_args(&args) {
+        Ok(None) => ProgressSink::disabled(),
+        Ok(Some(arg)) => ProgressSink::create(&arg).unwrap_or_else(|e| {
+            eprintln!("--progress {arg}: {e}");
+            std::process::exit(2);
+        }),
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
@@ -97,6 +110,15 @@ fn main() {
     let baseline_seconds: Option<f64> =
         std::env::var("PAC_TP_SEED_SECONDS").ok().and_then(|v| v.parse().ok());
 
+    let sweep_count = if skip_only { 1 } else { 2 };
+    progress.campaign_start(
+        "throughput",
+        backend.label(),
+        threads,
+        cfg.shards,
+        (sweep_count * cells.len()) as u64,
+    );
+
     let mut sweeps = Vec::new();
     if !skip_only {
         eprintln!(
@@ -104,10 +126,20 @@ fn main() {
             cells.len(),
             cfg.accesses_per_core
         );
-        sweeps.push(sweep(&cells, &cfg, Stepping::EveryCycle));
+        let timer = PhaseTimer::start("every_cycle_sweep");
+        sweeps.push(sweep(&cells, &cfg, Stepping::EveryCycle, &progress, 0));
+        timer.finish(&progress);
     }
     eprintln!("skip-ahead: {} cells ...", cells.len());
-    sweeps.push(sweep(&cells, &cfg, Stepping::SkipAhead));
+    let timer = PhaseTimer::start("skip_ahead_sweep");
+    sweeps.push(sweep(
+        &cells,
+        &cfg,
+        Stepping::SkipAhead,
+        &progress,
+        (sweep_count - 1) * cells.len(),
+    ));
+    timer.finish(&progress);
 
     for s in &sweeps {
         eprintln!("{:>12}: {:8.3}s matrix wall", s.stepping, s.wall_seconds);
@@ -138,7 +170,9 @@ fn main() {
     }
     eprintln!("scaling curve: skip-ahead matrix at {counts:?} worker thread(s) ...");
     let serial = sweeps.last().expect("skip-ahead sweep always present");
-    let curve = scaling_curve(&cells, &cfg, serial, &counts);
+    let timer = PhaseTimer::start("scaling_curve");
+    let curve = scaling_curve(&cells, &cfg, serial, &counts, &progress);
+    timer.finish(&progress);
     for p in &curve.points {
         eprintln!(
             "  {:>3} thread(s): {:8.3}s wall, {:.2}x over 1 thread",
@@ -157,5 +191,6 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(1);
     }
+    progress.campaign_end();
     println!("wrote {out_path}");
 }

@@ -16,17 +16,20 @@
 //! per-stage latency histograms.
 
 use pac_bench::error::{self, BenchError};
-use pac_bench::runner::{backend_from_args, threads_from_args};
+use pac_bench::runner::{backend_from_args, progress_from_args, threads_from_args};
 use pac_bench::trace_cmd::{run_cell, throughput_guard};
 use pac_bench::ParallelRunner;
+use pac_obs::{CellId, ProgressSink};
 use pac_sim::{CoalescerKind, ExperimentConfig};
 use pac_types::{BackendKind, FaultClass, FaultPlan, SimConfig, TraceConfig};
 use pac_workloads::Bench;
 use std::path::PathBuf;
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  trace [--quick] [--backend hmc|hbm] <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
+        "usage:\n  trace [--quick] [--backend hmc|hbm] [--progress <path|->] \
+         <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
          trace [--quick] [--backend hmc|hbm] --all [--threads <T>] [out-dir]\n  \
          trace [--quick] [--backend hmc|hbm] --fault \
          <drop-response|duplicate-response|delay-response|corrupt-addr> \
@@ -119,6 +122,21 @@ fn run() -> Result<(), BenchError> {
         args.drain(i..args.len().min(i + 2));
     }
     args.retain(|a| !a.starts_with("--backend="));
+    let progress = match progress_from_args(&args) {
+        Ok(None) => ProgressSink::disabled(),
+        Ok(Some(arg)) => ProgressSink::create(&arg).unwrap_or_else(|e| {
+            eprintln!("--progress {arg}: {e}");
+            usage();
+        }),
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
+    if let Some(i) = args.iter().position(|a| a == "--progress") {
+        args.drain(i..args.len().min(i + 2));
+    }
+    args.retain(|a| !a.starts_with("--progress="));
     let mut cfg = if quick {
         // Small enough for CI, large enough to populate every stage
         // histogram and exercise the counter tracks.
@@ -154,17 +172,47 @@ fn run() -> Result<(), BenchError> {
         ["--all", rest @ ..] => {
             let dir = rest.first().copied().unwrap_or("traces");
             error::create_dir_all(dir)?;
+            let config_label =
+                format!("accesses={} cores={}", cfg.accesses_per_core, cfg.sim.cores);
+            progress.campaign_start(
+                "trace",
+                backend.label(),
+                runner.threads(),
+                pac_types::shard_count(),
+                Bench::ALL.len() as u64,
+            );
             // Fan the benchmarks across the pool; outputs come back in
             // benchmark order, so the files and reports are identical
             // to the old serial loop at any thread count.
-            let outs = runner.run(&Bench::ALL, |_, &bench| {
-                run_cell(bench, CoalescerKind::Pac, &cfg, TraceConfig::full(), None)
+            let (outs, stats) = runner.run_observed(&Bench::ALL, |_, &bench| {
+                let t = Instant::now();
+                let out = run_cell(bench, CoalescerKind::Pac, &cfg, TraceConfig::full(), None);
+                (out, t.elapsed().as_secs_f64())
             });
-            for (bench, out) in Bench::ALL.iter().zip(&outs) {
+            for (i, (bench, (out, wall))) in Bench::ALL.iter().zip(&outs).enumerate() {
+                let id = CellId {
+                    bench: bench.name(),
+                    kind: out.kind,
+                    backend: backend.label(),
+                    config: &config_label,
+                };
+                progress.cell_start(i, &id);
+                if progress.is_enabled() {
+                    progress.metrics(i, &id, &out.metrics);
+                }
+                progress.cell_finish(
+                    i,
+                    &id,
+                    if out.converged { "pass" } else { "fail" },
+                    *wall,
+                    out.cycles,
+                );
                 let path = format!("{dir}/{}.trace.json", bench.name().to_lowercase());
                 write_out(&path, &out.json)?;
                 print!("{}", out.report);
             }
+            progress.worker_util(&stats);
+            progress.campaign_end();
         }
         ["--fault", class, bench, kind, rest @ ..] => {
             let plan = FaultPlan::new(parse_fault(class), 3);
@@ -185,6 +233,16 @@ fn run() -> Result<(), BenchError> {
             }
         }
         [bench, kind, rest @ ..] if !bench.starts_with('-') => {
+            let config_label =
+                format!("accesses={} cores={}", cfg.accesses_per_core, cfg.sim.cores);
+            progress.campaign_start(
+                "trace",
+                backend.label(),
+                runner.threads(),
+                pac_types::shard_count(),
+                1,
+            );
+            let t = Instant::now();
             let out = run_cell(
                 parse_bench(bench),
                 parse_kind(kind),
@@ -192,6 +250,25 @@ fn run() -> Result<(), BenchError> {
                 TraceConfig::full(),
                 None,
             );
+            let wall = t.elapsed().as_secs_f64();
+            let id = CellId {
+                bench: out.bench,
+                kind: out.kind,
+                backend: backend.label(),
+                config: &config_label,
+            };
+            progress.cell_start(0, &id);
+            if progress.is_enabled() {
+                progress.metrics(0, &id, &out.metrics);
+            }
+            progress.cell_finish(
+                0,
+                &id,
+                if out.converged { "pass" } else { "fail" },
+                wall,
+                out.cycles,
+            );
+            progress.campaign_end();
             print!("{}", out.report);
             println!("events : {}", out.events);
             if let Some(path) = rest.first() {

@@ -11,6 +11,7 @@
 
 use crate::matrix::matrix;
 use crate::runner::ParallelRunner;
+use pac_obs::{CellId, ProgressSink};
 use pac_oracle::{Invariant, OracleConfig, OracleReport};
 use pac_sim::system::run_lockstep;
 use pac_sim::{CoalescerKind, LockstepOutcome, RecoveryReport};
@@ -96,6 +97,27 @@ fn fault_seed(class: FaultClass, kind: CoalescerKind) -> u64 {
         + CoalescerKind::ALL.iter().position(|&k| k == kind).unwrap() as u64
 }
 
+/// The `config` label conformance cells carry on the progress stream.
+fn scale_label(scale: ConformanceScale) -> String {
+    format!("accesses={} cores={}", scale.accesses_per_core, scale.cores)
+}
+
+/// Emit the end-of-cell progress events for one lockstep outcome.
+fn emit_cell(
+    progress: &ProgressSink,
+    seq: usize,
+    id: &CellId<'_>,
+    passed: bool,
+    wall_seconds: f64,
+    shard_stats: Option<&pac_types::ShardStats>,
+    cycles: u64,
+) {
+    if let Some(stats) = shard_stats {
+        progress.shard_util(seq, stats);
+    }
+    progress.cell_finish(seq, id, if passed { "pass" } else { "fail" }, wall_seconds, cycles);
+}
+
 /// Run the clean matrix: every benchmark × coalescer (the canonical
 /// [`matrix`] enumeration), oracle attached, no faults. Cells fan out
 /// across `runner`'s workers; each run is self-contained and results
@@ -105,8 +127,18 @@ pub fn clean_matrix(
     scale: ConformanceScale,
     backend: BackendKind,
     runner: &ParallelRunner,
+    progress: &ProgressSink,
 ) -> Vec<CleanCell> {
-    runner.run(&matrix(), |_, cell| {
+    let config = scale_label(scale);
+    let (cells, stats) = runner.run_observed(&matrix(), |i, cell| {
+        let id = CellId {
+            bench: cell.bench.name(),
+            kind: cell.kind.label(),
+            backend: backend.label(),
+            config: &config,
+        };
+        progress.cell_start(i, &id);
+        let t = std::time::Instant::now();
         let specs = single_process(cell.bench, scale.cores, 7);
         let out = run_lockstep(
             backend_sim(backend),
@@ -118,13 +150,25 @@ pub fn clean_matrix(
             None,
             scale.cycle_limit,
         );
+        let passed = out.converged && out.oracle.is_clean();
+        emit_cell(
+            progress,
+            i,
+            &id,
+            passed,
+            t.elapsed().as_secs_f64(),
+            out.shard_stats.as_ref(),
+            out.cycles,
+        );
         CleanCell {
             bench: cell.bench,
             kind: cell.kind,
             converged: out.converged,
             report: out.oracle,
         }
-    })
+    });
+    progress.worker_util(&stats);
+    cells
 }
 
 /// Run the fault matrix: every fault class × coalescer on one
@@ -133,6 +177,7 @@ pub fn fault_matrix(
     scale: ConformanceScale,
     backend: BackendKind,
     runner: &ParallelRunner,
+    progress: &ProgressSink,
 ) -> Vec<FaultCell> {
     let mut jobs = Vec::new();
     for &class in &FaultClass::ALL {
@@ -140,10 +185,32 @@ pub fn fault_matrix(
             jobs.push((class, kind));
         }
     }
-    runner.run(&jobs, |_, &(class, kind)| {
+    let config = scale_label(scale);
+    let (cells, stats) = runner.run_observed(&jobs, |i, &(class, kind)| {
+        let id = CellId {
+            bench: class.label(),
+            kind: kind.label(),
+            backend: backend.label(),
+            config: &config,
+        };
+        progress.cell_start(i, &id);
+        let t = std::time::Instant::now();
         let out = run_fault(class, kind, scale, backend);
-        FaultCell { class, kind, faults_injected: out.faults_injected, report: out.oracle }
-    })
+        let result =
+            FaultCell { class, kind, faults_injected: out.faults_injected, report: out.oracle };
+        emit_cell(
+            progress,
+            i,
+            &id,
+            result.detected(),
+            t.elapsed().as_secs_f64(),
+            out.shard_stats.as_ref(),
+            out.cycles,
+        );
+        result
+    });
+    progress.worker_util(&stats);
+    cells
 }
 
 /// One cell of the recovery matrix: a fault-armed run with the
@@ -194,6 +261,7 @@ pub fn recovery_matrix(
     scale: ConformanceScale,
     backend: BackendKind,
     runner: &ParallelRunner,
+    progress: &ProgressSink,
 ) -> Vec<RecoveryCell> {
     let cfg = RecoveryConfig::enabled();
     let mut jobs = Vec::new();
@@ -202,10 +270,19 @@ pub fn recovery_matrix(
             jobs.push((class, kind));
         }
     }
-    runner.run(&jobs, |_, &(class, kind)| {
+    let config = scale_label(scale);
+    let (cells, stats) = runner.run_observed(&jobs, |i, &(class, kind)| {
+        let id = CellId {
+            bench: class.label(),
+            kind: kind.label(),
+            backend: backend.label(),
+            config: &config,
+        };
+        progress.cell_start(i, &id);
+        let t = std::time::Instant::now();
         let out = run_fault_with(class, kind, scale, Some(cfg), backend);
         let recovery = out.recovery.expect("recovery-enabled run must produce a report");
-        RecoveryCell {
+        let result = RecoveryCell {
             class,
             kind,
             converged: out.converged,
@@ -213,8 +290,20 @@ pub fn recovery_matrix(
             report: out.oracle,
             recovery,
             max_retries: cfg.max_retries,
-        }
-    })
+        };
+        emit_cell(
+            progress,
+            i,
+            &id,
+            result.passed(),
+            t.elapsed().as_secs_f64(),
+            out.shard_stats.as_ref(),
+            out.cycles,
+        );
+        result
+    });
+    progress.worker_util(&stats);
+    cells
 }
 
 /// One armed run with the recovery layer absent (detection-only).
@@ -358,8 +447,9 @@ mod tests {
     #[test]
     fn fault_matrix_is_thread_count_independent() {
         let scale = ConformanceScale { cycle_limit: 600_000, ..ConformanceScale::quick() };
-        let serial = fault_matrix(scale, BackendKind::Hbm, &ParallelRunner::new(1));
-        let wide = fault_matrix(scale, BackendKind::Hbm, &ParallelRunner::new(3));
+        let sink = ProgressSink::disabled();
+        let serial = fault_matrix(scale, BackendKind::Hbm, &ParallelRunner::new(1), &sink);
+        let wide = fault_matrix(scale, BackendKind::Hbm, &ParallelRunner::new(3), &sink);
         assert_eq!(serial.len(), wide.len());
         for (a, b) in serial.iter().zip(&wide) {
             assert_eq!(a.class, b.class);

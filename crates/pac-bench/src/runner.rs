@@ -10,8 +10,10 @@
 //! ([`crate::matrix::MatrixCell::seed`]), every output is a pure
 //! function of the job list: the thread count changes wall-clock only.
 
+use pac_types::{RunnerStats, WorkerStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// A bounded worker pool with deterministic result ordering.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +62,92 @@ impl ParallelRunner {
         });
         slots.into_iter().map(|slot| slot.into_inner().expect("every job ran")).collect()
     }
+
+    /// Like [`run`](Self::run), but also reports harness self-metrics:
+    /// per-worker cells claimed, busy wall time (inside `f`), and idle
+    /// wall time (claim latency plus the tail spent waiting for slower
+    /// peers — idle is measured against the full fan-out wall, so a
+    /// worker that finishes early shows the imbalance it suffered).
+    ///
+    /// The results vector is computed by the **same claim discipline**
+    /// as `run` and is bit-identical to it at any thread count; only
+    /// the stats are schedule-dependent.
+    pub fn run_observed<J, R, F>(&self, jobs: &[J], f: F) -> (Vec<R>, RunnerStats)
+    where
+        J: Sync,
+        R: Send + Sync,
+        F: Fn(usize, &J) -> R + Sync,
+    {
+        let start = Instant::now();
+        if self.threads == 1 || jobs.len() <= 1 {
+            let mut w = WorkerStats::default();
+            let results = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, j)| {
+                    let t = Instant::now();
+                    let r = f(i, j);
+                    w.cells_claimed += 1;
+                    w.busy_seconds += t.elapsed().as_secs_f64();
+                    r
+                })
+                .collect();
+            let wall = start.elapsed().as_secs_f64();
+            w.idle_seconds = (wall - w.busy_seconds).max(0.0);
+            return (
+                results,
+                RunnerStats { wall_seconds: wall, workers: vec![w] },
+            );
+        }
+        let slots: Vec<OnceLock<R>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..self.threads.min(jobs.len()) {
+                s.spawn(|| {
+                    let mut w = WorkerStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let t = Instant::now();
+                        let claimed = slots[i].set(f(i, job)).is_ok();
+                        w.cells_claimed += 1;
+                        w.busy_seconds += t.elapsed().as_secs_f64();
+                        debug_assert!(claimed, "job {i} ran twice");
+                    }
+                    workers.lock().unwrap().push(w);
+                });
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let mut workers = workers.into_inner().unwrap();
+        for w in &mut workers {
+            w.idle_seconds = (wall - w.busy_seconds).max(0.0);
+        }
+        let results =
+            slots.into_iter().map(|slot| slot.into_inner().expect("every job ran")).collect();
+        (results, RunnerStats { wall_seconds: wall, workers })
+    }
+}
+
+/// Parse the uniform `--progress <path|->` / `--progress=ARG` flag.
+/// Returns `None` when absent — the caller builds a
+/// [`pac_obs::ProgressSink`] (disabled when `None`), choosing create vs
+/// append mode itself (resumed campaigns append).
+pub fn progress_from_args(args: &[String]) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--progress" {
+            let Some(v) = it.next() else {
+                return Err("--progress requires a value (a path, or - for stdout)".to_string());
+            };
+            return Ok(Some(v.clone()));
+        }
+        if let Some(v) = a.strip_prefix("--progress=") {
+            return Ok(Some(v.to_string()));
+        }
+    }
+    Ok(None)
 }
 
 /// Parse the uniform `--threads N` / `--threads=N` flag every harness
@@ -151,6 +239,34 @@ mod tests {
         let r = ParallelRunner::new(4);
         assert!(r.run(&[] as &[u8], |_, &b| b).is_empty());
         assert_eq!(r.run(&[7u8], |i, &b| (i, b)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn progress_flag_parses_both_spellings() {
+        let to = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(progress_from_args(&to(&["--quick"])), Ok(None));
+        assert_eq!(
+            progress_from_args(&to(&["--progress", "p.jsonl"])),
+            Ok(Some("p.jsonl".to_string()))
+        );
+        assert_eq!(progress_from_args(&to(&["--progress=-"])), Ok(Some("-".to_string())));
+        assert!(progress_from_args(&to(&["--progress"])).is_err());
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_accounts_every_cell() {
+        let jobs: Vec<u64> = (0..31).collect();
+        let plain = ParallelRunner::new(3).run(&jobs, |i, &j| j * 3 + i as u64);
+        for threads in [1, 3, 8] {
+            let r = ParallelRunner::new(threads);
+            let (got, stats) = r.run_observed(&jobs, |i, &j| j * 3 + i as u64);
+            assert_eq!(got, plain, "threads={threads}");
+            assert_eq!(stats.cells(), jobs.len() as u64, "threads={threads}");
+            assert_eq!(stats.workers.len(), threads.min(jobs.len()), "threads={threads}");
+            assert!(stats.wall_seconds >= 0.0);
+            let util = stats.utilization();
+            assert!((0.0..=1.0).contains(&util), "threads={threads} util={util}");
+        }
     }
 
     #[test]

@@ -146,6 +146,8 @@ pub struct RunOutcome {
     pub roundtrip_verified: bool,
     /// Human-readable failure description (empty = pass).
     pub failure: String,
+    /// Wall-clock seconds the whole cell took (both legs).
+    pub wall_seconds: f64,
 }
 
 impl RunOutcome {
@@ -167,6 +169,8 @@ pub struct SoakReport {
     /// Per-run failure lines (empty = campaign passed).
     pub failures: Vec<String>,
     pub wall_seconds: f64,
+    /// Worker-pool self-metrics merged across every fan-out batch.
+    pub worker_stats: pac_types::RunnerStats,
 }
 
 impl SoakReport {
@@ -187,6 +191,14 @@ impl SoakReport {
         let _ = writeln!(out, "  oracle violations    : {}", self.oracle_violations);
         let _ = writeln!(out, "  unrecovered runs     : {}", self.unrecovered_runs);
         let _ = writeln!(out, "  wall seconds         : {:.1}", self.wall_seconds);
+        if !self.worker_stats.workers.is_empty() {
+            let _ = writeln!(
+                out,
+                "  worker utilization   : {:.1}% across {} worker(s)",
+                self.worker_stats.utilization() * 100.0,
+                self.worker_stats.workers.len()
+            );
+        }
         for f in &self.failures {
             let _ = writeln!(out, "  FAIL {f}");
         }
@@ -275,6 +287,13 @@ fn drain(mut sys: SimSystem, limit: Cycle, already_begun: bool, accesses: u64) -
 /// Execute one soak cell: reference leg, then the kill/checkpoint/resume
 /// leg, then the three-way verdict.
 pub fn run_cell(cell: SoakCell, cfg: &SoakConfig) -> RunOutcome {
+    let started = Instant::now();
+    let mut outcome = run_cell_inner(cell, cfg);
+    outcome.wall_seconds = started.elapsed().as_secs_f64();
+    outcome
+}
+
+fn run_cell_inner(cell: SoakCell, cfg: &SoakConfig) -> RunOutcome {
     let sim = SimConfig { cores: cfg.cores, ..SimConfig::for_backend(cfg.backend) };
     let limit = cycle_limit(&cell, cfg);
     let meta = cell.describe();
@@ -287,6 +306,7 @@ pub fn run_cell(cell: SoakCell, cfg: &SoakConfig) -> RunOutcome {
         oracle_violations: 0,
         roundtrip_verified: false,
         failure: String::new(),
+        wall_seconds: 0.0,
     };
 
     // Leg 1: uninterrupted reference.
@@ -426,7 +446,9 @@ pub fn soak(
             }
         };
         let cells: Vec<SoakCell> = (0..batch_len).map(|_| compose_cell(&mut rng)).collect();
-        for outcome in runner.run(&cells, |_, cell| run_cell(*cell, cfg)) {
+        let (outcomes, stats) = runner.run_observed(&cells, |_, cell| run_cell(*cell, cfg));
+        report.worker_stats.merge(&stats);
+        for outcome in outcomes {
             report.runs_total += 1;
             report.faults_injected += outcome.faults_injected;
             report.faults_recovered_retries += outcome.retries_issued;

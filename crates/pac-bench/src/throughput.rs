@@ -17,7 +17,9 @@
 
 use crate::matrix::MatrixCell;
 use crate::runner::ParallelRunner;
-use pac_sim::{run_bench, ExperimentConfig, Stepping};
+use pac_obs::{CellId, ProgressSink};
+use pac_sim::{run_bench, ExperimentConfig, SimSystem, Stepping};
+use pac_workloads::multiproc::single_process;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -59,25 +61,62 @@ fn stepping_name(s: Stepping) -> &'static str {
     }
 }
 
-/// Run the given matrix cells serially under `stepping`, timing each.
+/// Run the given matrix cells serially under `stepping`, timing each,
+/// streaming per-cell progress (and shard self-metrics when intra-run
+/// sharding is armed) to `progress`. `seq_base` offsets the streamed
+/// cell sequence numbers so successive sweeps don't collide.
 ///
 /// Serial on purpose: wall-clock per cell is the quantity of interest,
 /// and co-scheduled runs would contend for the host and distort it.
 /// Parallel wall-clock is the [`scaling_curve`]'s job.
-pub fn sweep(matrix: &[MatrixCell], cfg: &ExperimentConfig, stepping: Stepping) -> Sweep {
+pub fn sweep(
+    matrix: &[MatrixCell],
+    cfg: &ExperimentConfig,
+    stepping: Stepping,
+    progress: &ProgressSink,
+    seq_base: usize,
+) -> Sweep {
     let mut cfg = *cfg;
     cfg.stepping = stepping;
     let retired = cfg.accesses_per_core * u64::from(cfg.sim.cores);
+    let config_label = format!("accesses={} cores={}", cfg.accesses_per_core, cfg.sim.cores);
     let mut cells = Vec::new();
     let start = Instant::now();
-    for mc in matrix {
+    for (i, mc) in matrix.iter().enumerate() {
+        let seq = seq_base + i;
+        let id = CellId {
+            bench: mc.bench.name(),
+            kind: mc.kind.label(),
+            backend: cfg.sim.backend.label(),
+            config: &config_label,
+        };
+        progress.cell_start(seq, &id);
+        // Same construction as `pac_sim::run_specs`, inlined so the
+        // finished system's shard self-metrics stay reachable.
+        let specs = single_process(mc.bench, cfg.sim.cores, cfg.seed);
         let t = Instant::now();
-        let (m, _) = run_bench(mc.bench, mc.kind, &cfg);
+        let mut sys = SimSystem::with_options(
+            cfg.sim,
+            specs,
+            mc.kind,
+            cfg.capture_trace,
+            cfg.trace_occupancy,
+            cfg.stepping,
+        );
+        sys.set_parallel(cfg.shards);
+        let m = sys.run(cfg.accesses_per_core);
+        let wall = t.elapsed().as_secs_f64();
+        if progress.is_enabled() {
+            if let Some(s) = sys.shard_stats() {
+                progress.shard_util(seq, &s);
+            }
+        }
+        progress.cell_finish(seq, &id, "pass", wall, m.runtime_cycles);
         cells.push(Cell {
             bench: mc.bench.name(),
             kind: mc.kind.label(),
             stepping: stepping_name(stepping),
-            wall_seconds: t.elapsed().as_secs_f64(),
+            wall_seconds: wall,
             simulated_cycles: m.runtime_cycles,
             retired_accesses: retired,
         });
@@ -123,6 +162,7 @@ pub fn scaling_curve(
     cfg: &ExperimentConfig,
     serial: &Sweep,
     thread_counts: &[usize],
+    progress: &ProgressSink,
 ) -> ScalingCurve {
     let mut cfg = *cfg;
     cfg.stepping = Stepping::SkipAhead;
@@ -131,11 +171,12 @@ pub fn scaling_curve(
     for &threads in thread_counts {
         let runner = ParallelRunner::new(threads.max(1));
         let start = Instant::now();
-        let cycles = runner.run(matrix, |_, mc| {
+        let (cycles, stats) = runner.run_observed(matrix, |_, mc| {
             let (m, _) = run_bench(mc.bench, mc.kind, &cfg);
             m.runtime_cycles
         });
         let wall = start.elapsed().as_secs_f64();
+        progress.worker_util(&stats);
         for ((mc, got), base) in matrix.iter().zip(&cycles).zip(&serial.cells) {
             if *got != base.simulated_cycles {
                 cycle_mismatches.push(format!(
@@ -293,8 +334,9 @@ mod tests {
     fn sweep_reports_identical_metrics_across_modes() {
         let cfg = ExperimentConfig { accesses_per_core: 400, ..Default::default() };
         let matrix = gs_row();
-        let fast = sweep(&matrix, &cfg, Stepping::SkipAhead);
-        let slow = sweep(&matrix, &cfg, Stepping::EveryCycle);
+        let off = ProgressSink::disabled();
+        let fast = sweep(&matrix, &cfg, Stepping::SkipAhead, &off, 0);
+        let slow = sweep(&matrix, &cfg, Stepping::EveryCycle, &off, matrix.len());
         assert_eq!(fast.cells.len(), 3);
         for (f, s) in fast.cells.iter().zip(&slow.cells) {
             assert_eq!(f.simulated_cycles, s.simulated_cycles, "{}/{}", f.bench, f.kind);
@@ -312,8 +354,9 @@ mod tests {
     fn scaling_curve_is_bit_identical_and_serializes() {
         let cfg = ExperimentConfig { accesses_per_core: 400, ..Default::default() };
         let matrix = gs_row();
-        let serial = sweep(&matrix, &cfg, Stepping::SkipAhead);
-        let curve = scaling_curve(&matrix, &cfg, &serial, &[1, 3]);
+        let off = ProgressSink::disabled();
+        let serial = sweep(&matrix, &cfg, Stepping::SkipAhead, &off, 0);
+        let curve = scaling_curve(&matrix, &cfg, &serial, &[1, 3], &off);
         assert!(curve.bit_identical(), "{:?}", curve.cycle_mismatches);
         assert_eq!(curve.points.len(), 2);
         assert_eq!(curve.points[0].threads, 1);
@@ -327,6 +370,31 @@ mod tests {
         // still finds exactly the skip-ahead cells.
         let (_, _, cells) = crate::trace_cmd::parse_baseline(&json).unwrap();
         assert_eq!(cells.len(), matrix.len());
+    }
+
+    #[test]
+    fn sweep_streams_cells_and_shard_metrics() {
+        // Sharding armed: the sweep must stream cell_start/cell_finish
+        // per cell plus nonzero shard self-metrics, while the measured
+        // cycles stay bit-identical to the unobserved serial run.
+        let cfg =
+            ExperimentConfig { accesses_per_core: 400, shards: 4, ..Default::default() };
+        let matrix = gs_row();
+        let plain = sweep(&matrix, &cfg, Stepping::SkipAhead, &ProgressSink::disabled(), 0);
+        let (sink, buf) = ProgressSink::to_buffer();
+        let observed = sweep(&matrix, &cfg, Stepping::SkipAhead, &sink, 0);
+        for (p, o) in plain.cells.iter().zip(&observed.cells) {
+            assert_eq!(p.simulated_cycles, o.simulated_cycles, "{}/{}", p.bench, p.kind);
+        }
+        let text = buf.contents();
+        let count = |ev: &str| {
+            text.lines().filter(|l| l.contains(&format!("\"ev\":\"{ev}\""))).count()
+        };
+        assert_eq!(count("cell_start"), matrix.len());
+        assert_eq!(count("cell_finish"), matrix.len());
+        assert_eq!(count("shard_util"), matrix.len());
+        assert!(text.contains("\"shards\":4"));
+        assert!(text.contains("\"sync_round_trips\""));
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub struct TraceOutcome {
     pub events: usize,
     /// Flight-recorder dumps captured.
     pub dumps: usize,
+    /// Per-stage latency registry (the same histograms the report
+    /// renders), for progress-stream `metrics` events.
+    pub metrics: MetricsRegistry,
+    /// Simulated cycle the run ended at.
+    pub cycles: u64,
 }
 
 /// Run one `bench × kind` cell under `trace_cfg`, optionally with a
@@ -66,10 +71,14 @@ pub fn run_cell(
     let converged = sys.run_until(cfg.accesses_per_core, limit);
 
     let events = sys.tracer().snapshot_events();
-    let counters = sys.tracer().snapshot_counters();
+    // The run is over: drain the counter history instead of re-cloning
+    // it (`take_counters` leaves the buffer empty, which is fine — the
+    // tracer dies with `sys` at the end of this function).
+    let counters = sys.tracer().take_counters();
     let dumps = sys.tracer().snapshot_dumps();
     let json = chrome_trace_json(&events, &counters);
-    let report = render_report(&sys, bench, kind, converged, &dumps);
+    let metrics = stage_registry(&sys);
+    let report = render_report(&sys, bench, kind, converged, &dumps, &metrics);
     TraceOutcome {
         bench: bench.name(),
         kind: kind.label(),
@@ -78,6 +87,8 @@ pub fn run_cell(
         report,
         events: events.len(),
         dumps: dumps.len(),
+        metrics,
+        cycles: sys.now(),
     }
 }
 
@@ -99,6 +110,7 @@ fn render_report(
     kind: CoalescerKind,
     converged: bool,
     dumps: &[FlightDump],
+    metrics: &MetricsRegistry,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "trace report — bench={} kind={}", bench.name(), kind.label());
@@ -126,7 +138,7 @@ fn render_report(
         }
     }
     let _ = writeln!(out, "stage latency histograms (cycles):");
-    out.push_str(&stage_registry(sys).render_table());
+    out.push_str(&metrics.render_table());
     out
 }
 
@@ -213,9 +225,16 @@ pub struct GuardReport {
     pub plain_seconds: f64,
     /// Total wall seconds spent with `TraceConfig::off()` attached.
     pub off_seconds: f64,
+    /// Total wall seconds spent on the observed path: `TraceConfig::off()`
+    /// plus a disabled [`pac_obs::ProgressSink`] emitting per-cell events
+    /// plus the harness self-metric accessors polled after the run.
+    pub obs_seconds: f64,
     /// `off/plain - 1` measured back-to-back on this machine — the
     /// machine-independent zero-cost proof (positive = off is slower).
     pub ab_delta: f64,
+    /// `obs/plain - 1` measured back-to-back on this machine — the same
+    /// zero-cost proof for the disabled progress/self-metrics path.
+    pub obs_delta: f64,
     /// `plain/baseline - 1` against the recorded document; subsumes
     /// build drift and machine conditions, reported for context.
     pub wall_delta: f64,
@@ -229,12 +248,13 @@ pub struct GuardReport {
 }
 
 impl GuardReport {
-    /// True when cycles match everywhere, the A/B delta is within
-    /// tolerance, and the recorded-baseline delta is within the drift
-    /// allowance.
+    /// True when cycles match everywhere, the A/B and observed-path
+    /// deltas are within tolerance, and the recorded-baseline delta is
+    /// within the drift allowance.
     pub fn passed(&self) -> bool {
         self.cycle_mismatches.is_empty()
             && self.ab_delta <= self.tolerance
+            && self.obs_delta <= self.tolerance
             && self.wall_delta <= self.wall_tolerance
     }
 
@@ -249,6 +269,15 @@ impl GuardReport {
             self.plain_seconds,
             self.off_seconds,
             self.ab_delta * 100.0,
+            self.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  A/B observed path: plain {:.3}s vs disabled progress+self-metrics {:.3}s, \
+             delta {:+.2}% (tolerance {:.0}%)",
+            self.plain_seconds,
+            self.obs_seconds,
+            self.obs_delta * 100.0,
             self.tolerance * 100.0
         );
         let _ = writeln!(
@@ -268,13 +297,15 @@ impl GuardReport {
     }
 }
 
-/// Re-run every baseline cell twice back-to-back — once with no tracer
-/// constructed (the `run_bench` path) and once with
-/// `TraceConfig::off()` attached — and compare: simulated cycles must
-/// match the baseline exactly (tracing off changes nothing), the A/B
-/// wall delta must be within `tolerance` (the machine-independent
-/// zero-cost proof), and the plain run must also land within
-/// `tolerance` of the recorded baseline wall clock. `max_cells` bounds
+/// Re-run every baseline cell three times back-to-back — once with no
+/// tracer constructed (the `run_bench` path), once with
+/// `TraceConfig::off()` attached, and once through the full observed
+/// path (disabled progress sink emitting per-cell events, self-metric
+/// accessors polled after the run) — and compare: simulated cycles must
+/// match the baseline exactly (observability off changes nothing), both
+/// A/B wall deltas must be within `tolerance` (the machine-independent
+/// zero-cost proofs), and the plain run must also land within the drift
+/// allowance of the recorded baseline wall clock. `max_cells` bounds
 /// the sweep for quick checks (0 = all).
 pub fn throughput_guard(
     baseline_json: &str,
@@ -290,7 +321,9 @@ pub fn throughput_guard(
     let mut baseline_seconds = 0.0;
     let mut plain_seconds = 0.0;
     let mut off_seconds = 0.0;
-    for cell in &cells {
+    let mut obs_seconds = 0.0;
+    let progress = pac_obs::ProgressSink::disabled();
+    for (i, cell) in cells.iter().enumerate() {
         let Some(bench) = Bench::from_name(&cell.bench) else {
             return Err(format!("baseline names unknown benchmark '{}'", cell.bench));
         };
@@ -312,10 +345,51 @@ pub fn throughput_guard(
         let m_off = sys.run(cfg.accesses_per_core);
         off_seconds += t.elapsed().as_secs_f64();
 
+        // Third leg: the observed path exactly as a progress-enabled
+        // binary would drive it, but with the sink disabled — per-cell
+        // events, worker-stat timing, and the self-metric accessors all
+        // exercised. Must cost nothing and change nothing.
+        let specs = single_process(bench, cfg.sim.cores, cfg.seed);
+        let t = Instant::now();
+        let id = pac_obs::CellId {
+            bench: &cell.bench,
+            kind: &cell.kind,
+            backend: "hmc",
+            config: "guard",
+        };
+        progress.cell_start(i, &id);
+        let mut sys =
+            SimSystem::with_options(cfg.sim, specs, kind, false, false, cfg.stepping);
+        sys.set_trace_config(TraceConfig::off());
+        let m_obs = sys.run(cfg.accesses_per_core);
+        let stalls = sys.stall_cycles();
+        let shard = sys.shard_stats();
+        // Metrics payloads are only built for enabled sinks; the branch
+        // itself is part of what the guard measures.
+        if progress.is_enabled() {
+            progress.metrics(i, &id, &stage_registry(&sys));
+            if let Some(s) = &shard {
+                progress.shard_util(i, s);
+            }
+        }
+        let cell_wall = t.elapsed().as_secs_f64();
+        progress.cell_finish(i, &id, "pass", cell_wall, m_obs.runtime_cycles);
+        obs_seconds += cell_wall;
+        // The accessors are pure reads; fold them into the mismatch
+        // check so the optimizer cannot discard the polls.
+        let polls_consistent = stalls.map_or(0, |s| s.total()) < u64::MAX
+            && shard.map_or(0, |s| s.shards) < usize::MAX;
+
         baseline_seconds += cell.wall_seconds;
         if m != m_off {
             mismatches.push(format!(
                 "{}/{}: metrics diverge between plain and TraceConfig::off() runs",
+                cell.bench, cell.kind
+            ));
+        }
+        if m != m_obs || !polls_consistent {
+            mismatches.push(format!(
+                "{}/{}: metrics diverge between plain and observed-path runs",
                 cell.bench, cell.kind
             ));
         }
@@ -331,7 +405,9 @@ pub fn throughput_guard(
         baseline_seconds,
         plain_seconds,
         off_seconds,
+        obs_seconds,
         ab_delta: off_seconds / plain_seconds - 1.0,
+        obs_delta: obs_seconds / plain_seconds - 1.0,
         wall_delta: plain_seconds / baseline_seconds - 1.0,
         tolerance,
         wall_tolerance: tolerance * 5.0,

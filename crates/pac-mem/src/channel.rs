@@ -27,7 +27,7 @@
 
 use hmc_sim::vault::{Bank, QueuedRequest, ReadyResponse};
 use hmc_sim::{EnergyBreakdown, EnergyClass};
-use pac_types::{Cycle, HbmDeviceConfig};
+use pac_types::{Cycle, HbmDeviceConfig, StallCycles};
 use std::collections::VecDeque;
 
 /// If `start` falls inside one of the bank's staggered refresh windows,
@@ -64,6 +64,11 @@ pub struct PseudoChannel {
     /// at `faw_window_activates` entries; a new activate may not start
     /// before `front + t_faw` once the window is full.
     act_window: VecDeque<Cycle>,
+    /// Cumulative per-cause issue-stall cycles (see [`StallCycles`]).
+    /// A pure function of the issue schedule, so serial and sharded
+    /// stepping account identically and the lockstep snapshot
+    /// comparison holds.
+    stalls: StallCycles,
 }
 
 pac_types::snapshot_fields!(PseudoChannel {
@@ -72,7 +77,22 @@ pac_types::snapshot_fields!(PseudoChannel {
     next_issue,
     group_next_issue,
     act_window,
+    stalls,
 });
+
+/// The head request's issue-cycle computation, one constraint at a
+/// time, with each rule's delay attributed to its stall cause.
+struct HeadTerms {
+    /// Earliest cycle the port, group spacing, and activate window all
+    /// clear (everything before the bank term).
+    port_free: Cycle,
+    /// `port_free` plus the bank-busy term.
+    base: Cycle,
+    /// `base` pushed past any refresh window: the actual issue cycle.
+    start: Cycle,
+    /// Per-cause deltas between the terms above.
+    stalls: StallCycles,
+}
 
 impl PseudoChannel {
     pub fn new(cfg: &HbmDeviceConfig) -> Self {
@@ -82,6 +102,7 @@ impl PseudoChannel {
             next_issue: 0,
             group_next_issue: vec![0; cfg.bank_groups as usize],
             act_window: VecDeque::new(),
+            stalls: StallCycles::default(),
         }
     }
 
@@ -103,20 +124,36 @@ impl PseudoChannel {
         (data_ready_off, data_ready_off + cfg.t_precharge)
     }
 
-    /// The head's earliest legal issue cycle before the bank term, and
-    /// the refresh-adjusted start including it. Shared verbatim between
-    /// the issue path and [`next_head_start`](Self::next_head_start) so
-    /// the cached estimate is exact.
-    fn head_start_terms(&self, cfg: &HbmDeviceConfig, head: &QueuedRequest) -> (Cycle, Cycle) {
+    /// The head's start-cycle computation, built up one constraint at a
+    /// time so each rule's contribution to the wait is attributed to
+    /// exactly one [`StallCycles`] cause. Shared verbatim between the
+    /// issue path and [`next_head_start`](Self::next_head_start) so the
+    /// cached estimate is exact; the final `start` is identical to the
+    /// old single-expression `max` chain (max is order-independent).
+    fn head_start_terms(&self, cfg: &HbmDeviceConfig, head: &QueuedRequest) -> HeadTerms {
         let group = (head.bank / cfg.banks_per_group) as usize;
-        let mut port_free = head.arrival.max(self.next_issue).max(self.group_next_issue[group]);
+        let mut stalls = StallCycles::default();
+        // Arrival plus the one-issue-per-cycle port: the inherent
+        // serialization baseline, not attributed as a stall.
+        let free = head.arrival.max(self.next_issue);
+        // Same-bank-group tCCD_L spacing.
+        let after_group = free.max(self.group_next_issue[group]);
+        stalls.tccd_l = after_group - free;
+        // The four-activate window.
+        let mut port_free = after_group;
         if cfg.t_faw > 0 && self.act_window.len() >= cfg.faw_window_activates as usize {
             if let Some(&oldest) = self.act_window.front() {
                 port_free = port_free.max(oldest + cfg.t_faw);
             }
         }
+        stalls.tfaw = port_free - after_group;
+        // Target bank still busy with a prior reference.
         let base = port_free.max(self.banks[head.bank as usize].busy_until);
-        (port_free, refresh_adjusted_start(cfg, head.bank as usize, base))
+        stalls.bank_conflict = base - port_free;
+        // Refresh window push-out.
+        let start = refresh_adjusted_start(cfg, head.bank as usize, base);
+        stalls.refresh = start - base;
+        HeadTerms { port_free, base, start, stalls }
     }
 
     /// Issue every head request that can start by `now`. Completed DRAM
@@ -135,7 +172,7 @@ impl PseudoChannel {
             if head.arrival > now {
                 break;
             }
-            let (port_free, start) = self.head_start_terms(cfg, head);
+            let HeadTerms { port_free, base, start, stalls } = self.head_start_terms(cfg, head);
             if start > now {
                 // Port, group, tFAW, bank, or refresh window not clear
                 // yet; in-order head-of-line wait.
@@ -143,12 +180,12 @@ impl PseudoChannel {
             }
             let req = self.queue.pop_front().expect("head exists");
             let group = (req.bank / cfg.banks_per_group) as usize;
-            let base = port_free.max(self.banks[req.bank as usize].busy_until);
             let bank = &mut self.banks[req.bank as usize];
             // A conflict is attributed to the bank only when the bank —
             // not the port, group spacing, or activate window —
             // extended the wait.
             let conflicted = bank.busy_until > port_free;
+            debug_assert_eq!(conflicted, stalls.bank_conflict > 0);
             bank.references += 1;
             if conflicted {
                 bank.conflicts += 1;
@@ -156,6 +193,7 @@ impl PseudoChannel {
             if start > base {
                 bank.refresh_stalls += 1;
             }
+            self.stalls.merge(&stalls);
 
             let (ready_off, busy_off) = Self::reference_timing(cfg, req.bytes);
             bank.busy_until = start + busy_off;
@@ -187,13 +225,17 @@ impl PseudoChannel {
     /// issues).
     pub fn next_head_start(&self, cfg: &HbmDeviceConfig, now: Cycle) -> Option<Cycle> {
         let head = self.queue.front()?;
-        let (_, start) = self.head_start_terms(cfg, head);
-        Some(start.max(now))
+        Some(self.head_start_terms(cfg, head).start.max(now))
     }
 
     /// Total conflicts across this channel's banks.
     pub fn conflicts(&self) -> u64 {
         self.banks.iter().map(|b| b.conflicts).sum()
+    }
+
+    /// Cumulative per-cause issue-stall cycles for this channel.
+    pub fn stalls(&self) -> StallCycles {
+        self.stalls
     }
 
     /// Total references across this channel's banks.
@@ -341,5 +383,65 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].data_ready, 600 + c.t_activate + 2 * c.t_access_per_32b);
         assert_eq!(ch.banks[0].refresh_stalls, 1);
+        // The push-out is 90 cycles (510 → 600), all charged to refresh.
+        assert_eq!(ch.stalls(), StallCycles { refresh: 90, ..StallCycles::default() });
+    }
+
+    #[test]
+    fn stall_cycles_attribute_each_timing_rule() {
+        // tCCD_L: two issues into the same group, second arrives with
+        // the port clear but the group spacing still running.
+        let c = cfg();
+        let mut same = PseudoChannel::new(&c);
+        same.enqueue(q(1, 0, 64, 0));
+        same.enqueue(q(2, 1, 64, 1));
+        drive(&mut same, &c, 20);
+        let s = same.stalls();
+        assert_eq!(s.tccd_l, c.t_ccd_long - 1, "second issue waits out the group spacing");
+        assert_eq!(s.tfaw + s.bank_conflict + s.refresh, 0);
+
+        // Bank conflict: back-to-back same bank, conflict cycles equal
+        // the bank's remaining busy time at the port-free point.
+        let mut bank = PseudoChannel::new(&c);
+        bank.enqueue(q(1, 0, 256, 0));
+        bank.enqueue(q(2, 0, 256, 0));
+        let (_, busy) = PseudoChannel::reference_timing(&c, 256);
+        drive(&mut bank, &c, 2 * busy + 2);
+        let s = bank.stalls();
+        assert_eq!(bank.conflicts(), 1);
+        assert!(s.bank_conflict > 0, "conflicted issue must charge bank stall cycles");
+        assert_eq!(s.bank_conflict, busy - c.t_ccd_long.max(1), "waited from group-clear to bank-free");
+
+        // tFAW: the fifth activate into distinct banks/groups waits out
+        // the window opened by the first.
+        let c2 = HbmDeviceConfig { t_refresh_duration: 0, ..cfg() };
+        let mut faw = PseudoChannel::new(&c2);
+        for i in 0..5 {
+            let bank = (i % c2.bank_groups) * c2.banks_per_group + i / c2.bank_groups;
+            faw.enqueue(q(u64::from(i), bank, 64, 0));
+        }
+        drive(&mut faw, &c2, 2 * c2.t_faw);
+        let s = faw.stalls();
+        assert!(s.tfaw > 0, "fifth activate must charge tFAW stall cycles");
+        assert_eq!(s.bank_conflict, 0);
+    }
+
+    #[test]
+    fn stalls_survive_snapshot_roundtrip() {
+        use pac_types::snapshot::{SnapReader, SnapWriter, Snapshot};
+        let c = cfg();
+        let mut ch = PseudoChannel::new(&c);
+        ch.enqueue(q(1, 0, 256, 0));
+        ch.enqueue(q(2, 0, 256, 0));
+        let (_, busy) = PseudoChannel::reference_timing(&c, 256);
+        drive(&mut ch, &c, 2 * busy + 2);
+        assert!(!ch.stalls().is_zero());
+        let mut w = SnapWriter::new();
+        ch.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = PseudoChannel::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.stalls(), ch.stalls());
     }
 }

@@ -533,6 +533,21 @@ impl Hbm {
         self.channels.iter().map(|c| c.conflicts()).sum()
     }
 
+    /// Cumulative per-cause issue-stall cycles summed across channels
+    /// (current at quiesced boundaries, like `bank_conflicts`).
+    pub fn stall_cycles(&self) -> pac_types::StallCycles {
+        let mut total = pac_types::StallCycles::default();
+        for c in &self.channels {
+            total.merge(&c.stalls());
+        }
+        total
+    }
+
+    /// Harness self-metrics from the shard engine, when one is armed.
+    pub fn shard_stats(&self) -> Option<pac_types::ShardStats> {
+        self.engine.as_ref().map(|e| e.stats().clone())
+    }
+
     /// Synchronize the conflict counter into `stats`, quiescing the
     /// shard engine first.
     pub fn finalize_stats(&mut self) {
@@ -592,6 +607,12 @@ impl crate::MemoryBackend for Hbm {
     }
     fn shards(&self) -> usize {
         Hbm::shards(self)
+    }
+    fn stall_cycles(&self) -> Option<pac_types::StallCycles> {
+        Some(Hbm::stall_cycles(self))
+    }
+    fn shard_stats(&self) -> Option<pac_types::ShardStats> {
+        Hbm::shard_stats(self)
     }
     fn quiesce_engine_at(&mut self, boundary: Cycle) {
         Hbm::quiesce_engine_at(self, boundary);

@@ -30,7 +30,9 @@ pub use hbm::Hbm;
 use hmc_sim::{EnergyBreakdown, Hmc, HmcRequest, HmcResponse, HmcStats};
 use pac_trace::TraceHandle;
 use pac_types::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
-use pac_types::{BackendKind, Cycle, FaultPlan, FaultPlanError, SimConfig};
+use pac_types::{
+    BackendKind, Cycle, FaultPlan, FaultPlanError, ShardStats, SimConfig, StallCycles,
+};
 
 /// The cycle-level device surface the simulator core is generic over.
 ///
@@ -116,6 +118,22 @@ pub trait MemoryBackend: std::fmt::Debug {
     /// Shards currently running (1 = serial).
     fn shards(&self) -> usize;
 
+    /// Per-cause issue-stall cycle accounting, for backends that model
+    /// named timing rules (`None` where the concept does not apply —
+    /// the HMC's closed-page vault model attributes conflicts but not
+    /// per-rule stall cycles). Only current at a quiesced boundary,
+    /// like [`bank_conflicts`](Self::bank_conflicts).
+    fn stall_cycles(&self) -> Option<StallCycles> {
+        None
+    }
+
+    /// Harness self-metrics from the intra-run shard engine, when one
+    /// is armed (`None` when serial). Purely observational; reset
+    /// whenever the engine is rebuilt (re-arm, restore).
+    fn shard_stats(&self) -> Option<ShardStats> {
+        None
+    }
+
     /// Quiesce the shard engine to a between-ticks boundary so the
     /// device state reads true for snapshots (no-op when serial).
     fn quiesce_engine_at(&mut self, boundary: Cycle);
@@ -189,6 +207,9 @@ impl MemoryBackend for Hmc {
     }
     fn shards(&self) -> usize {
         Hmc::shards(self)
+    }
+    fn shard_stats(&self) -> Option<ShardStats> {
+        Hmc::shard_stats(self)
     }
     fn quiesce_engine_at(&mut self, boundary: Cycle) {
         Hmc::quiesce_engine_at(self, boundary);

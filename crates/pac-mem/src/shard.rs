@@ -19,7 +19,7 @@
 use crate::channel::PseudoChannel;
 use hmc_sim::vault::{QueuedRequest, ReadyResponse};
 use hmc_sim::EnergyBreakdown;
-use pac_types::{Cycle, HbmDeviceConfig};
+use pac_types::{Cycle, HbmDeviceConfig, ShardStats};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -62,6 +62,10 @@ pub(crate) struct ChannelShardEngine {
     /// Highest cycle the device has ticked at while armed; quiesce
     /// advances to here.
     last_tick: Cycle,
+    /// Harness self-metrics: sync round-trips, deliveries, lookahead
+    /// slack, per-shard event balance. Purely observational — never
+    /// snapshotted, never consulted by the simulation.
+    stats: ShardStats,
 }
 
 impl std::fmt::Debug for ChannelShardEngine {
@@ -157,11 +161,21 @@ impl ChannelShardEngine {
             workers.push(Worker { tx: cmd_tx, rx: rep_rx, handle: Some(handle) });
             start += len;
         }
-        ChannelShardEngine { workers, route, lb, last_tick: 0 }
+        let stats = ShardStats {
+            shards,
+            events_per_shard: vec![0; shards],
+            ..ShardStats::default()
+        };
+        ChannelShardEngine { workers, route, lb, last_tick: 0, stats }
     }
 
     pub(crate) fn shards(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Harness self-metrics accumulated since the engine was armed.
+    pub(crate) fn stats(&self) -> &ShardStats {
+        &self.stats
     }
 
     /// Lower bound on the earliest unissued start cycle.
@@ -178,6 +192,7 @@ impl ChannelShardEngine {
     /// the lookahead bound.
     pub(crate) fn deliver(&mut self, channel: usize, req: QueuedRequest) {
         self.lb = self.lb.min(req.arrival);
+        self.stats.deliveries += 1;
         let (shard, local) = self.route[channel];
         self.workers[shard]
             .tx
@@ -189,14 +204,22 @@ impl ChannelShardEngine {
     /// unordered (the device re-serializes canonically).
     pub(crate) fn advance(&mut self, target: Cycle) -> Vec<ReadyResponse> {
         self.last_tick = self.last_tick.max(target);
+        self.stats.sync_round_trips += 1;
+        if self.lb != u64::MAX {
+            // Slack between the bound that forced this sync and the
+            // cycle we actually advanced to: what a tighter lookahead
+            // could have skipped.
+            self.stats.lookahead_stall_cycles += target.saturating_sub(self.lb);
+        }
         for w in &self.workers {
             w.tx.send(Cmd::Advance(target)).expect("shard worker alive");
         }
         let mut events = Vec::new();
         let mut lb = u64::MAX;
-        for w in &self.workers {
+        for (s, w) in self.workers.iter().enumerate() {
             match w.rx.recv().expect("shard worker alive") {
                 Reply::Advanced { events: mut e, next_start_min } => {
+                    self.stats.events_per_shard[s] += e.len() as u64;
                     events.append(&mut e);
                     lb = lb.min(next_start_min);
                 }

@@ -996,6 +996,20 @@ impl SimSystem {
                 self.tracer.counter(now, CounterKind::InflightMshrs, g.inflight_mshrs as u64);
             }
             self.tracer.counter(now, CounterKind::BankConflicts, self.mem.bank_conflicts());
+            // Per-cause issue-stall accounting, on backends that model
+            // named timing rules (HBM). Exact mid-run: an enabled
+            // tracer forces the serial engine, so the channel counters
+            // are always current here.
+            if let Some(stalls) = self.mem.stall_cycles() {
+                self.tracer.counter(now, CounterKind::TccdLStallCycles, stalls.tccd_l);
+                self.tracer.counter(now, CounterKind::TfawStallCycles, stalls.tfaw);
+                self.tracer.counter(now, CounterKind::RefreshStallCycles, stalls.refresh);
+                self.tracer.counter(
+                    now,
+                    CounterKind::BankConflictStallCycles,
+                    stalls.bank_conflict,
+                );
+            }
         }
         if let Some(o) = &self.oracle {
             let total = o.total_violations();
@@ -1493,6 +1507,21 @@ impl SimSystem {
         self.mem.bank_conflicts()
     }
 
+    /// Per-cause issue-stall cycles from the backend, where the model
+    /// attributes them (HBM; `None` on HMC). Current at quiesced
+    /// boundaries and after `finish_run`.
+    pub fn stall_cycles(&self) -> Option<pac_types::StallCycles> {
+        self.mem.stall_cycles()
+    }
+
+    /// Shard-engine self-metrics, when intra-run sharding is armed
+    /// (`None` when serial). Quiescing keeps the engine — and these
+    /// stats — alive; rebuilding it (re-arm, tracer attach, snapshot
+    /// restore) resets the accounting.
+    pub fn shard_stats(&self) -> Option<pac_types::ShardStats> {
+        self.mem.shard_stats()
+    }
+
     pub fn hierarchy(&self) -> &CacheHierarchy {
         &self.hierarchy
     }
@@ -1518,6 +1547,11 @@ pub struct LockstepOutcome {
     pub faults_injected: u64,
     /// The recovery layer's report, when one was armed.
     pub recovery: Option<RecoveryReport>,
+    /// Shard-engine self-metrics, when intra-run sharding was armed
+    /// (`None` on serial runs).
+    pub shard_stats: Option<pac_types::ShardStats>,
+    /// Simulated cycle the run ended at.
+    pub cycles: Cycle,
 }
 
 /// Run one benchmark under the lockstep golden-model oracle, optionally
@@ -1553,6 +1587,8 @@ pub fn run_lockstep(
         converged,
         faults_injected: sys.faults_injected(),
         recovery: sys.recovery_report(),
+        shard_stats: sys.shard_stats(),
+        cycles: sys.now(),
     }
 }
 

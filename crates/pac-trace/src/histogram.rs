@@ -135,6 +135,40 @@ impl LatencyHistogram {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// The non-empty buckets as `(bucket_index, count)` pairs, oldest
+    /// (smallest values) first. Together with `sum`/`count`/`max` this
+    /// is the histogram's complete state — the progress-stream `metrics`
+    /// event serializes exactly these parts, and
+    /// [`LatencyHistogram::from_parts`] reverses it.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &n)| n != 0).map(|(i, &n)| (i, n))
+    }
+
+    /// Rebuild a histogram from serialized parts (the inverse of
+    /// [`LatencyHistogram::nonzero_buckets`] + the scalar accessors).
+    /// Returns `None` when a bucket index is out of range or the bucket
+    /// total disagrees with `count` — a malformed stream, not a panic.
+    pub fn from_parts(
+        buckets: impl IntoIterator<Item = (usize, u64)>,
+        sum: u64,
+        count: u64,
+        max: u64,
+    ) -> Option<LatencyHistogram> {
+        let mut h = LatencyHistogram { buckets: [0; BUCKETS], sum, count, max };
+        let mut total = 0u64;
+        for (i, n) in buckets {
+            if i >= BUCKETS {
+                return None;
+            }
+            h.buckets[i] = h.buckets[i].checked_add(n)?;
+            total = total.checked_add(n)?;
+        }
+        if total != count {
+            return None;
+        }
+        Some(h)
+    }
 }
 
 pac_types::snapshot_fields!(LatencyHistogram { buckets, sum, count, max });
@@ -302,6 +336,29 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn parts_roundtrip_exactly() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 3, 17, 250, 250, 1023, 1 << 60] {
+            h.record(v);
+        }
+        let parts: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        let back = LatencyHistogram::from_parts(parts, h.sum(), h.count(), h.max()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.p99(), h.p99());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_input() {
+        // Bucket index out of range.
+        assert!(LatencyHistogram::from_parts([(65usize, 1u64)], 1, 1, 1).is_none());
+        // Bucket total disagrees with count.
+        assert!(LatencyHistogram::from_parts([(1usize, 2u64)], 2, 3, 1).is_none());
+        // Empty histogram round-trips.
+        let empty = LatencyHistogram::from_parts([], 0, 0, 0).unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

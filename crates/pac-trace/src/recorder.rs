@@ -26,15 +26,31 @@ pub enum CounterKind {
     InflightMshrs,
     /// Cumulative DRAM bank conflicts.
     BankConflicts,
+    /// Cumulative cycles issue stalled on same-bank-group `tCCD_L`
+    /// spacing (HBM backend only).
+    TccdLStallCycles,
+    /// Cumulative cycles issue stalled on the `tFAW` activate window
+    /// (HBM backend only).
+    TfawStallCycles,
+    /// Cumulative cycles issue stalled waiting out a refresh window
+    /// (HBM backend only).
+    RefreshStallCycles,
+    /// Cumulative cycles issue stalled on a busy bank (HBM backend
+    /// only).
+    BankConflictStallCycles,
 }
 
 impl CounterKind {
     /// Every counter kind.
-    pub const ALL: [CounterKind; 4] = [
+    pub const ALL: [CounterKind; 8] = [
         CounterKind::MaqDepth,
         CounterKind::ActiveStreams,
         CounterKind::InflightMshrs,
         CounterKind::BankConflicts,
+        CounterKind::TccdLStallCycles,
+        CounterKind::TfawStallCycles,
+        CounterKind::RefreshStallCycles,
+        CounterKind::BankConflictStallCycles,
     ];
 
     /// Track name in the exported trace.
@@ -44,6 +60,10 @@ impl CounterKind {
             CounterKind::ActiveStreams => "active_streams",
             CounterKind::InflightMshrs => "inflight_mshrs",
             CounterKind::BankConflicts => "bank_conflicts",
+            CounterKind::TccdLStallCycles => "tccd_l_stall_cycles",
+            CounterKind::TfawStallCycles => "tfaw_stall_cycles",
+            CounterKind::RefreshStallCycles => "refresh_stall_cycles",
+            CounterKind::BankConflictStallCycles => "bank_conflict_stall_cycles",
         }
     }
 }
@@ -240,6 +260,15 @@ impl TraceHandle {
         self.0.as_ref().map(|c| c.borrow().counters.clone()).unwrap_or_default()
     }
 
+    /// Drain every counter sample recorded so far, leaving the buffer
+    /// empty. Incremental consumers (periodic checkpoint/progress
+    /// flushes on long soak runs) should prefer this over
+    /// [`TraceHandle::snapshot_counters`], which re-clones the entire
+    /// history on every call.
+    pub fn take_counters(&self) -> Vec<CounterSample> {
+        self.0.as_ref().map(|c| std::mem::take(&mut c.borrow_mut().counters)).unwrap_or_default()
+    }
+
     /// Clone out every flight dump captured so far.
     pub fn snapshot_dumps(&self) -> Vec<FlightDump> {
         self.0.as_ref().map(|c| c.borrow().dumps.clone()).unwrap_or_default()
@@ -335,5 +364,30 @@ mod tests {
         let samples = h.snapshot_counters();
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[1].value, 7);
+    }
+
+    #[test]
+    fn take_counters_drains_incrementally() {
+        let h = TraceHandle::new(TraceConfig::full());
+        h.counter(1, CounterKind::MaqDepth, 3);
+        h.counter(2, CounterKind::TfawStallCycles, 9);
+        let first = h.take_counters();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[1].kind, CounterKind::TfawStallCycles);
+        assert!(h.snapshot_counters().is_empty(), "drain leaves nothing behind");
+        h.counter(3, CounterKind::RefreshStallCycles, 1);
+        let second = h.take_counters();
+        assert_eq!(second.len(), 1, "only samples recorded after the drain");
+        assert!(h.take_counters().is_empty());
+        // Concatenated drains reproduce what one big snapshot would hold.
+        assert_eq!(first.len() + second.len(), 3);
+    }
+
+    #[test]
+    fn counter_labels_are_unique() {
+        let mut labels: Vec<&str> = CounterKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), CounterKind::ALL.len());
     }
 }

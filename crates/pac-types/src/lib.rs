@@ -12,6 +12,7 @@ pub mod addr;
 pub mod config;
 pub mod fault;
 pub mod hash;
+pub mod obs;
 pub mod protocol;
 pub mod recovery;
 pub mod request;
@@ -26,6 +27,7 @@ pub use config::{
 };
 pub use fault::{FaultClass, FaultPlan, FaultPlanError};
 pub use hash::{IdHash, IdHasher};
+pub use obs::{RunnerStats, ShardStats, StallCycles, WorkerStats};
 pub use protocol::MemoryProtocol;
 pub use recovery::RecoveryConfig;
 pub use request::{CoalescedRequest, MemRequest, Op, RequestKind};

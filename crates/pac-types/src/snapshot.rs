@@ -47,7 +47,8 @@ pub const SNAP_MAGIC: [u8; 8] = *b"PACSNAP1";
 /// Current snapshot format version. Bump on any change to any
 /// component's field set or encoding — old checkpoints are then refused
 /// with [`SnapError::BadVersion`] instead of being misread.
-pub const SNAP_VERSION: u32 = 2;
+/// v3: `PseudoChannel` gained per-cause issue-stall counters.
+pub const SNAP_VERSION: u32 = 3;
 
 /// Why a snapshot could not be read back.
 #[derive(Debug, Clone, PartialEq, Eq)]

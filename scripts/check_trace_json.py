@@ -8,7 +8,8 @@ Checks, per https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0
     (M metadata, i instant, X complete, C counter) and an integer `pid`;
   - non-metadata events carry integer `ts` >= 0 (and `dur` >= 0 for X);
   - metadata events carry `name` and an `args.name`;
-  - counter events carry a numeric args payload;
+  - counter events carry a numeric args payload and a track name from
+    the known `CounterKind` set (unknown tracks are rejected);
   - thread ids, when present, are integers.
 
 Exit code 0 on success; prints a summary line for the CI log.
@@ -19,6 +20,21 @@ import json
 import sys
 
 PHASES = {"M", "i", "X", "C"}
+
+# Counter track names the simulator is allowed to emit — must mirror
+# `CounterKind::label()` in crates/pac-trace/src/recorder.rs. An export
+# carrying any other counter track fails validation: either the Rust
+# enum gained a variant (add it here) or the export is corrupt.
+COUNTER_TRACKS = {
+    "maq_depth",
+    "active_streams",
+    "inflight_mshrs",
+    "bank_conflicts",
+    "tccd_l_stall_cycles",
+    "tfaw_stall_cycles",
+    "refresh_stall_cycles",
+    "bank_conflict_stall_cycles",
+}
 
 
 def fail(msg: str) -> None:
@@ -70,6 +86,11 @@ def main(path: str) -> None:
             for k, v in args.items():
                 if not isinstance(v, (int, float)):
                     fail(f"{where}: counter series {k!r} must be numeric")
+            if ev["name"] not in COUNTER_TRACKS:
+                fail(
+                    f"{where}: unknown counter track {ev['name']!r} "
+                    f"(known: {', '.join(sorted(COUNTER_TRACKS))})"
+                )
             tracks.add(ev["name"])
 
     if by_phase["M"] == 0:
