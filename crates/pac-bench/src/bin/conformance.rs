@@ -41,6 +41,7 @@ use pac_obs::{PhaseTimer, ProgressSink};
 use pac_types::BackendKind;
 
 fn main() {
+    pac_types::sigwatch::install();
     let args: Vec<String> = std::env::args().collect();
     let quick =
         args.iter().any(|a| a == "--quick") || std::env::var("PAC_QUICK").is_ok_and(|v| v != "0");
@@ -189,6 +190,7 @@ fn run_detect(
         total - cells.iter().filter(|c| !c.passed()).count(),
         total
     );
+    drain_check(progress);
 
     eprintln!("\n== phase 2: fault matrix (oracle must catch every class) ==");
     println!(
@@ -274,6 +276,8 @@ fn run_recover(
         }
     }
 
+    drain_check(progress);
+
     eprintln!("\n== phase R2: disabled-recovery cycle reproduction vs BENCH_throughput.json ==");
     if backend != BackendKind::Hmc {
         // The committed baseline was recorded on the HMC reference;
@@ -311,6 +315,18 @@ fn run_recover(
         }
     }
     failures
+}
+
+/// SIGINT/SIGTERM drain point between phases: the in-flight matrix
+/// completes, the progress stream is closed cleanly, and the process
+/// exits 3 (drained partial campaign — distinct from both pass and
+/// fail).
+fn drain_check(progress: &ProgressSink) {
+    if pac_types::sigwatch::triggered() {
+        eprintln!("\nconformance: drained on signal (partial campaign; rerun for full coverage)");
+        progress.campaign_end();
+        std::process::exit(3);
+    }
 }
 
 /// Locate the committed throughput baseline: working directory first

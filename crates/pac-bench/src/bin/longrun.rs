@@ -26,44 +26,9 @@ use pac_workloads::Bench;
 use std::path::PathBuf;
 use std::time::Instant;
 
-/// SIGINT/SIGTERM latch. Raw `signal(2)` FFI: the handler only stores
-/// into an atomic, which is async-signal-safe, and the run loop polls
-/// the flag at checkpoint boundaries.
-#[cfg(unix)]
-mod sig {
-    use std::sync::atomic::{AtomicBool, Ordering};
-
-    static STOP: AtomicBool = AtomicBool::new(false);
-
-    extern "C" fn handle(_signum: i32) {
-        STOP.store(true, Ordering::SeqCst);
-    }
-
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-    }
-
-    pub fn install() {
-        const SIGINT: i32 = 2;
-        const SIGTERM: i32 = 15;
-        unsafe {
-            signal(SIGINT, handle);
-            signal(SIGTERM, handle);
-        }
-    }
-
-    pub fn stop_requested() -> bool {
-        STOP.load(Ordering::SeqCst)
-    }
-}
-
-#[cfg(not(unix))]
-mod sig {
-    pub fn install() {}
-    pub fn stop_requested() -> bool {
-        false
-    }
-}
+/// SIGINT/SIGTERM latch: the workspace-wide [`pac_types::sigwatch`]
+/// module; the run loop polls the flag at checkpoint boundaries.
+use pac_types::sigwatch as sig;
 
 fn usage() -> ! {
     eprintln!(
@@ -292,7 +257,7 @@ fn main() {
             }
             RunProgress::Paused => {
                 let now = sys.now();
-                let killed = sig::stop_requested()
+                let killed = sig::triggered()
                     || opts.kill_at.is_some_and(|k| now >= k);
                 if let Some(path) = &ckpt_path {
                     if killed || opts.every.is_some() {

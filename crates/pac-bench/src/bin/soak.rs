@@ -49,6 +49,7 @@ fn parse_u64(s: &str, flag: &str) -> u64 {
 }
 
 fn main() {
+    pac_types::sigwatch::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let runner = match threads_from_args(&args) {
         Ok(n) => ParallelRunner::new(n),
@@ -171,11 +172,15 @@ fn main() {
         }
     });
 
-    progress.worker_util(&report.worker_stats);
+    progress.supervisor(&report.supervisor);
     progress.campaign_end();
 
     print!("{}", report.render());
     if !report.passed() {
         std::process::exit(1);
+    }
+    if report.drained {
+        eprintln!("soak: drained on signal after {} run(s)", report.runs_total);
+        std::process::exit(3);
     }
 }

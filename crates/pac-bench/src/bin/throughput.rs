@@ -40,6 +40,7 @@ use pac_sim::{ExperimentConfig, Stepping};
 use pac_types::SimConfig;
 
 fn main() {
+    pac_types::sigwatch::install();
     let args: Vec<String> = std::env::args().collect();
     let skip_only = args.iter().any(|a| a == "--skip-only");
     let gate = args.iter().any(|a| a == "--gate");
@@ -130,6 +131,7 @@ fn main() {
         sweeps.push(sweep(&cells, &cfg, Stepping::EveryCycle, &progress, 0));
         timer.finish(&progress);
     }
+    drain_check(&progress);
     eprintln!("skip-ahead: {} cells ...", cells.len());
     let timer = PhaseTimer::start("skip_ahead_sweep");
     sweeps.push(sweep(
@@ -156,6 +158,8 @@ fn main() {
             eprintln!("skip-ahead speedup over seed build: {:.2}x", base / skip.wall_seconds);
         }
     }
+
+    drain_check(&progress);
 
     // Thread-scaling curve over the skip-ahead matrix: 1, 2, 4, …
     // doubling up to the requested (or host) width, deduplicated.
@@ -193,4 +197,15 @@ fn main() {
     }
     progress.campaign_end();
     println!("wrote {out_path}");
+}
+
+/// SIGINT/SIGTERM drain point between sweeps: no JSON is written (a
+/// partial matrix would poison the committed baseline), the progress
+/// stream is closed, and the process exits 3.
+fn drain_check(progress: &ProgressSink) {
+    if pac_types::sigwatch::triggered() {
+        eprintln!("throughput: drained on signal (no JSON written; rerun for a full matrix)");
+        progress.campaign_end();
+        std::process::exit(3);
+    }
 }

@@ -91,6 +91,7 @@ fn main() {
 }
 
 fn run() -> Result<(), BenchError> {
+    pac_types::sigwatch::install();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = {
         let before = args.len();
@@ -190,6 +191,18 @@ fn run() -> Result<(), BenchError> {
                 (out, t.elapsed().as_secs_f64())
             });
             for (i, (bench, (out, wall))) in Bench::ALL.iter().zip(&outs).enumerate() {
+                // SIGINT/SIGTERM drain point: the compute fan-out above
+                // already finished, so stop writing trace files, close
+                // the progress stream, and exit 3 (partial output).
+                if pac_types::sigwatch::triggered() {
+                    eprintln!(
+                        "trace: drained on signal after {i}/{} trace file(s)",
+                        Bench::ALL.len()
+                    );
+                    progress.worker_util(&stats);
+                    progress.campaign_end();
+                    std::process::exit(3);
+                }
                 let id = CellId {
                     bench: bench.name(),
                     kind: out.kind,

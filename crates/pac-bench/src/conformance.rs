@@ -13,6 +13,7 @@ use crate::matrix::matrix;
 use crate::runner::ParallelRunner;
 use pac_obs::{CellId, ProgressSink};
 use pac_oracle::{Invariant, OracleConfig, OracleReport};
+use pac_serve::{run_supervised, SupervisePolicy};
 use pac_sim::system::run_lockstep;
 use pac_sim::{CoalescerKind, LockstepOutcome, RecoveryReport};
 use pac_types::{BackendKind, FaultClass, FaultPlan, RecoveryConfig, SimConfig};
@@ -102,6 +103,24 @@ fn scale_label(scale: ConformanceScale) -> String {
     format!("accesses={} cores={}", scale.accesses_per_core, scale.cores)
 }
 
+/// Supervision policy for conformance fan-outs: the scheduler pool's
+/// defaults, seeded so retry backoff is reproducible.
+fn supervise_policy() -> SupervisePolicy {
+    SupervisePolicy { seed: 0xC0FF, ..SupervisePolicy::default() }
+}
+
+/// An all-zero oracle report for a quarantined (never-completed) cell.
+fn empty_oracle_report() -> OracleReport {
+    OracleReport {
+        violations: Vec::new(),
+        counts: [0; Invariant::ALL.len()],
+        accepted_raw: 0,
+        served_raw: 0,
+        dispatches: 0,
+        responses: 0,
+    }
+}
+
 /// Emit the end-of-cell progress events for one lockstep outcome.
 fn emit_cell(
     progress: &ProgressSink,
@@ -120,9 +139,10 @@ fn emit_cell(
 
 /// Run the clean matrix: every benchmark × coalescer (the canonical
 /// [`matrix`] enumeration), oracle attached, no faults. Cells fan out
-/// across `runner`'s workers; each run is self-contained and results
-/// come back in matrix order, so the output is independent of thread
-/// count.
+/// across the supervised scheduler pool; each run is self-contained and
+/// results come back in matrix order, so the output is independent of
+/// thread count. A panicking cell is retried and then quarantined as a
+/// failing entry instead of tearing down the sweep.
 pub fn clean_matrix(
     scale: ConformanceScale,
     backend: BackendKind,
@@ -130,7 +150,8 @@ pub fn clean_matrix(
     progress: &ProgressSink,
 ) -> Vec<CleanCell> {
     let config = scale_label(scale);
-    let (cells, stats) = runner.run_observed(&matrix(), |i, cell| {
+    let policy = supervise_policy();
+    let (cells, stats) = run_supervised(runner.threads(), &matrix(), &policy, |i, cell| {
         let id = CellId {
             bench: cell.bench.name(),
             kind: cell.kind.label(),
@@ -166,13 +187,21 @@ pub fn clean_matrix(
             converged: out.converged,
             report: out.oracle,
         }
+    }, |i, cell, reason| {
+        progress.cell_quarantined(i, policy.max_attempts, reason);
+        CleanCell {
+            bench: cell.bench,
+            kind: cell.kind,
+            converged: false,
+            report: empty_oracle_report(),
+        }
     });
-    progress.worker_util(&stats);
+    progress.supervisor(&stats);
     cells
 }
 
 /// Run the fault matrix: every fault class × coalescer on one
-/// representative benchmark, fanned out across `runner`'s workers.
+/// representative benchmark, fanned out across the supervised pool.
 pub fn fault_matrix(
     scale: ConformanceScale,
     backend: BackendKind,
@@ -186,7 +215,8 @@ pub fn fault_matrix(
         }
     }
     let config = scale_label(scale);
-    let (cells, stats) = runner.run_observed(&jobs, |i, &(class, kind)| {
+    let policy = supervise_policy();
+    let (cells, stats) = run_supervised(runner.threads(), &jobs, &policy, |i, &(class, kind)| {
         let id = CellId {
             bench: class.label(),
             kind: kind.label(),
@@ -208,8 +238,11 @@ pub fn fault_matrix(
             out.cycles,
         );
         result
+    }, |i, &(class, kind), reason| {
+        progress.cell_quarantined(i, policy.max_attempts, reason);
+        FaultCell { class, kind, faults_injected: 0, report: empty_oracle_report() }
     });
-    progress.worker_util(&stats);
+    progress.supervisor(&stats);
     cells
 }
 
@@ -271,7 +304,8 @@ pub fn recovery_matrix(
         }
     }
     let config = scale_label(scale);
-    let (cells, stats) = runner.run_observed(&jobs, |i, &(class, kind)| {
+    let policy = supervise_policy();
+    let (cells, stats) = run_supervised(runner.threads(), &jobs, &policy, |i, &(class, kind)| {
         let id = CellId {
             bench: class.label(),
             kind: kind.label(),
@@ -301,8 +335,28 @@ pub fn recovery_matrix(
             out.cycles,
         );
         result
+    }, |i, &(class, kind), reason| {
+        progress.cell_quarantined(i, policy.max_attempts, reason);
+        RecoveryCell {
+            class,
+            kind,
+            converged: false,
+            faults_injected: 0,
+            report: empty_oracle_report(),
+            recovery: RecoveryReport {
+                retries_issued: 0,
+                duplicates_dropped: 0,
+                poisoned_responses: 0,
+                watchdog_fires: 0,
+                max_attempts: 0,
+                aborted: false,
+                outstanding: 0,
+                stuck: Vec::new(),
+            },
+            max_retries: cfg.max_retries,
+        }
     });
-    progress.worker_util(&stats);
+    progress.supervisor(&stats);
     cells
 }
 

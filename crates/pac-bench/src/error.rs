@@ -21,6 +21,9 @@ pub enum BenchError {
     Parse(PathBuf, String),
     /// The file was found at none of the candidate paths.
     NotFound(Vec<PathBuf>),
+    /// A command-line flag was malformed or named an unknown value; the
+    /// message always lists the valid choices.
+    Usage(String),
 }
 
 impl std::fmt::Display for BenchError {
@@ -37,6 +40,7 @@ impl std::fmt::Display for BenchError {
                     candidates.iter().map(|p| p.display().to_string()).collect();
                 write!(f, "not found at {}", shown.join(" or "))
             }
+            BenchError::Usage(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -89,5 +93,8 @@ mod tests {
 
         let e = BenchError::NotFound(vec![PathBuf::from("a"), PathBuf::from("b")]);
         assert_eq!(e.to_string(), "not found at a or b");
+
+        let e = BenchError::Usage("unknown --backend 'ddr4' (valid: hmc, hbm)".into());
+        assert_eq!(e.to_string(), "unknown --backend 'ddr4' (valid: hmc, hbm)");
     }
 }

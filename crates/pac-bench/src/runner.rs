@@ -10,6 +10,7 @@
 //! ([`crate::matrix::MatrixCell::seed`]), every output is a pure
 //! function of the job list: the thread count changes wall-clock only.
 
+use crate::error::BenchError;
 use pac_types::{RunnerStats, WorkerStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -134,12 +135,14 @@ impl ParallelRunner {
 /// Returns `None` when absent — the caller builds a
 /// [`pac_obs::ProgressSink`] (disabled when `None`), choosing create vs
 /// append mode itself (resumed campaigns append).
-pub fn progress_from_args(args: &[String]) -> Result<Option<String>, String> {
+pub fn progress_from_args(args: &[String]) -> Result<Option<String>, BenchError> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--progress" {
             let Some(v) = it.next() else {
-                return Err("--progress requires a value (a path, or - for stdout)".to_string());
+                return Err(BenchError::Usage(
+                    "--progress requires a value (a path, or - for stdout)".to_string(),
+                ));
             };
             return Ok(Some(v.clone()));
         }
@@ -152,18 +155,25 @@ pub fn progress_from_args(args: &[String]) -> Result<Option<String>, String> {
 
 /// Parse the uniform `--threads N` / `--threads=N` flag every harness
 /// binary exposes. Returns 0 (auto) when absent; a malformed value is
-/// a usage error, reported by the caller.
-pub fn threads_from_args(args: &[String]) -> Result<usize, String> {
+/// a typed [`BenchError::Usage`], reported by the caller.
+pub fn threads_from_args(args: &[String]) -> Result<usize, BenchError> {
+    let parse = |v: &str| {
+        v.parse().map_err(|_| {
+            BenchError::Usage(format!(
+                "invalid --threads value '{v}' (valid: a worker count, or 0 for auto)"
+            ))
+        })
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threads" {
             let Some(v) = it.next() else {
-                return Err("--threads requires a value".to_string());
+                return Err(BenchError::Usage("--threads requires a value".to_string()));
             };
-            return v.parse().map_err(|_| format!("invalid --threads value '{v}'"));
+            return parse(v);
         }
         if let Some(v) = a.strip_prefix("--threads=") {
-            return v.parse().map_err(|_| format!("invalid --threads value '{v}'"));
+            return parse(v);
         }
     }
     Ok(0)
@@ -171,17 +181,29 @@ pub fn threads_from_args(args: &[String]) -> Result<usize, String> {
 
 /// Parse the uniform `--backend hmc|hbm` / `--backend=NAME` flag.
 /// Returns the default ([`pac_types::BackendKind::Hmc`]) when absent;
-/// an unknown backend name is a usage error, reported by the caller.
-pub fn backend_from_args(args: &[String]) -> Result<pac_types::BackendKind, String> {
+/// an unknown backend name is a typed [`BenchError::Usage`] listing the
+/// valid choices — never a silent fallback.
+pub fn backend_from_args(args: &[String]) -> Result<pac_types::BackendKind, BenchError> {
+    let valid = || {
+        pac_types::BackendKind::ALL
+            .iter()
+            .map(|b| b.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let parse = |v: &str| {
-        pac_types::BackendKind::from_name(v)
-            .ok_or_else(|| format!("unknown --backend '{v}' (expected hmc or hbm)"))
+        pac_types::BackendKind::from_name(v).ok_or_else(|| {
+            BenchError::Usage(format!("unknown --backend '{v}' (valid: {})", valid()))
+        })
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--backend" {
             let Some(v) = it.next() else {
-                return Err("--backend requires a value".to_string());
+                return Err(BenchError::Usage(format!(
+                    "--backend requires a value (valid: {})",
+                    valid()
+                )));
             };
             return parse(v);
         }
@@ -200,21 +222,24 @@ mod tests {
     fn backend_flag_parses_both_spellings() {
         use pac_types::BackendKind;
         let to = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(backend_from_args(&to(&["--quick"])), Ok(BackendKind::Hmc));
-        assert_eq!(backend_from_args(&to(&["--backend", "hbm"])), Ok(BackendKind::Hbm));
-        assert_eq!(backend_from_args(&to(&["--backend=hmc"])), Ok(BackendKind::Hmc));
+        assert_eq!(backend_from_args(&to(&["--quick"])).unwrap(), BackendKind::Hmc);
+        assert_eq!(backend_from_args(&to(&["--backend", "hbm"])).unwrap(), BackendKind::Hbm);
+        assert_eq!(backend_from_args(&to(&["--backend=hmc"])).unwrap(), BackendKind::Hmc);
         assert!(backend_from_args(&to(&["--backend"])).is_err());
-        assert!(backend_from_args(&to(&["--backend", "ddr4"])).is_err());
+        let err = backend_from_args(&to(&["--backend", "ddr4"])).unwrap_err();
+        assert!(matches!(err, BenchError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("valid: hmc, hbm"), "{err}");
     }
 
     #[test]
     fn threads_flag_parses_both_spellings() {
         let to = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(threads_from_args(&to(&["--quick"])), Ok(0));
-        assert_eq!(threads_from_args(&to(&["--threads", "6"])), Ok(6));
-        assert_eq!(threads_from_args(&to(&["--threads=3"])), Ok(3));
+        assert_eq!(threads_from_args(&to(&["--quick"])).unwrap(), 0);
+        assert_eq!(threads_from_args(&to(&["--threads", "6"])).unwrap(), 6);
+        assert_eq!(threads_from_args(&to(&["--threads=3"])).unwrap(), 3);
         assert!(threads_from_args(&to(&["--threads"])).is_err());
-        assert!(threads_from_args(&to(&["--threads", "x"])).is_err());
+        let err = threads_from_args(&to(&["--threads", "x"])).unwrap_err();
+        assert!(matches!(err, BenchError::Usage(_)), "{err}");
     }
 
     #[test]
@@ -244,12 +269,12 @@ mod tests {
     #[test]
     fn progress_flag_parses_both_spellings() {
         let to = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(progress_from_args(&to(&["--quick"])), Ok(None));
+        assert_eq!(progress_from_args(&to(&["--quick"])).unwrap(), None);
         assert_eq!(
-            progress_from_args(&to(&["--progress", "p.jsonl"])),
-            Ok(Some("p.jsonl".to_string()))
+            progress_from_args(&to(&["--progress", "p.jsonl"])).unwrap(),
+            Some("p.jsonl".to_string())
         );
-        assert_eq!(progress_from_args(&to(&["--progress=-"])), Ok(Some("-".to_string())));
+        assert_eq!(progress_from_args(&to(&["--progress=-"])).unwrap(), Some("-".to_string()));
         assert!(progress_from_args(&to(&["--progress"])).is_err());
     }
 

@@ -20,11 +20,17 @@
 //! replays the identical cell sequence, so a burn-in failure can be
 //! re-run as a one-liner. Cells are drawn from the stream **before**
 //! any of them execute, so the sequence is also independent of the
-//! worker count: `--threads N` fans the runs across a
-//! [`ParallelRunner`] without changing what gets run.
+//! worker count: `--threads N` fans the runs across the supervised
+//! scheduler pool ([`pac_serve::run_supervised`]) without changing what
+//! gets run — a panicking cell is retried with backoff and then
+//! quarantined as a failed outcome instead of tearing down the
+//! campaign. Between batches the campaign polls
+//! [`pac_types::sigwatch`]: SIGINT/SIGTERM drains cleanly with a
+//! partial report instead of dying mid-write.
 
 use crate::runner::ParallelRunner;
 use pac_oracle::OracleConfig;
+use pac_serve::{run_supervised, SupervisePolicy};
 use pac_sim::{CoalescerKind, RunMetrics, RunProgress, SimSystem, Stepping};
 use pac_types::{BackendKind, Cycle, FaultClass, FaultPlan, RecoveryConfig, SimConfig};
 use pac_workloads::multiproc::single_process;
@@ -169,8 +175,12 @@ pub struct SoakReport {
     /// Per-run failure lines (empty = campaign passed).
     pub failures: Vec<String>,
     pub wall_seconds: f64,
-    /// Worker-pool self-metrics merged across every fan-out batch.
-    pub worker_stats: pac_types::RunnerStats,
+    /// Supervision counters merged across every fan-out batch (leases,
+    /// retries, quarantines).
+    pub supervisor: pac_types::SupervisorStats,
+    /// The campaign stopped early on SIGINT/SIGTERM; the report covers
+    /// the runs that completed before the drain.
+    pub drained: bool,
 }
 
 impl SoakReport {
@@ -191,13 +201,18 @@ impl SoakReport {
         let _ = writeln!(out, "  oracle violations    : {}", self.oracle_violations);
         let _ = writeln!(out, "  unrecovered runs     : {}", self.unrecovered_runs);
         let _ = writeln!(out, "  wall seconds         : {:.1}", self.wall_seconds);
-        if !self.worker_stats.workers.is_empty() {
+        if !self.supervisor.is_zero() {
             let _ = writeln!(
                 out,
-                "  worker utilization   : {:.1}% across {} worker(s)",
-                self.worker_stats.utilization() * 100.0,
-                self.worker_stats.workers.len()
+                "  supervision          : {} lease(s), {} retr{}, {} quarantined",
+                self.supervisor.leases,
+                self.supervisor.retries,
+                if self.supervisor.retries == 1 { "y" } else { "ies" },
+                self.supervisor.quarantined
             );
+        }
+        if self.drained {
+            let _ = writeln!(out, "  drained on signal    : partial campaign");
         }
         for f in &self.failures {
             let _ = writeln!(out, "  FAIL {f}");
@@ -412,16 +427,19 @@ fn run_cell_inner(cell: SoakCell, cfg: &SoakConfig) -> RunOutcome {
     outcome
 }
 
-/// Run a whole campaign across the runner's worker pool. `progress`
-/// receives one line per completed run, always in campaign order (pass
-/// `|_| {}` to silence).
+/// Run a whole campaign across the supervised scheduler pool.
+/// `progress` receives one line per completed run, always in campaign
+/// order (pass `|_| {}` to silence).
 ///
-/// Fixed-count campaigns pre-draw every cell from the chaos stream and
-/// fan the whole list out at once; wall-clock campaigns draw one batch
-/// of `threads` cells between budget checks. Either way the stream
-/// advances one draw per cell, so the cell sequence — and, because
-/// [`ParallelRunner::run`] is order-preserving, the report — is a pure
-/// function of the seed, not of the thread count.
+/// Cells fan out in bounded batches (a few per worker, so a
+/// SIGINT/SIGTERM drain is honored between batches); wall-clock
+/// campaigns draw one batch of `threads` cells between budget checks.
+/// Either way the stream advances one draw per cell, so the cell
+/// sequence — and, because [`run_supervised`] is order-preserving, the
+/// report — is a pure function of the seed, not of the thread count or
+/// batch size. A run that *panics* is retried under the supervision
+/// policy and, after the budget, recorded as a quarantined failure
+/// while the rest of the campaign completes.
 pub fn soak(
     cfg: &SoakConfig,
     runner: &ParallelRunner,
@@ -430,11 +448,16 @@ pub fn soak(
     let start = Instant::now();
     let mut rng = cfg.seed;
     let mut report = SoakReport::default();
+    let policy = SupervisePolicy { seed: cfg.seed, ..SupervisePolicy::default() };
     loop {
+        if pac_types::sigwatch::triggered() {
+            report.drained = true;
+            break;
+        }
         let batch_len = if cfg.runs > 0 {
             match cfg.runs - report.runs_total {
                 0 => break,
-                remaining => remaining,
+                remaining => remaining.min((runner.threads() as u64).max(1) * 4),
             }
         } else {
             match cfg.wall_seconds {
@@ -446,8 +469,23 @@ pub fn soak(
             }
         };
         let cells: Vec<SoakCell> = (0..batch_len).map(|_| compose_cell(&mut rng)).collect();
-        let (outcomes, stats) = runner.run_observed(&cells, |_, cell| run_cell(*cell, cfg));
-        report.worker_stats.merge(&stats);
+        let (outcomes, stats) = run_supervised(
+            runner.threads(),
+            &cells,
+            &policy,
+            |_, cell| run_cell(*cell, cfg),
+            |_, cell, reason| RunOutcome {
+                cell: *cell,
+                survived: false,
+                faults_injected: 0,
+                retries_issued: 0,
+                oracle_violations: 0,
+                roundtrip_verified: false,
+                failure: format!("{}: quarantined — {reason}", cell.describe()),
+                wall_seconds: 0.0,
+            },
+        );
+        report.supervisor.merge(&stats);
         for outcome in outcomes {
             report.runs_total += 1;
             report.faults_injected += outcome.faults_injected;

@@ -27,6 +27,9 @@
 //! | `phase`          | `name`, `seconds`                                    |
 //! | `checkpoint`     | `cycle`, `path`                                      |
 //! | `resumed`        | `cycle`, `path`                                      |
+//! | `cell_retry`     | `seq`, `attempt`, `delay_ms`, `reason`               |
+//! | `cell_quarantined` | `seq`, `attempts`, `reason`                        |
+//! | `supervisor`     | `leases`, `retries`, `quarantined`, `heartbeat_timeouts`, `workers_abandoned`, `preemptions` |
 //! | `campaign_end`   | `done`, `wall_seconds`                               |
 //!
 //! A resumed campaign *appends* to the same file and re-emits
@@ -343,6 +346,47 @@ impl ProgressSink {
         });
     }
 
+    /// A cell's attempt failed and the scheduler requeued it with
+    /// backoff: the next attempt becomes eligible after `delay_ms`.
+    pub fn cell_retry(&self, seq: usize, attempt: u32, delay_ms: u64, reason: &str) {
+        self.emit(|_| {
+            format!(
+                "\"ev\":\"cell_retry\",\"seq\":{seq},\"attempt\":{attempt},\
+                 \"delay_ms\":{delay_ms},\"reason\":\"{}\"",
+                escape(reason)
+            )
+        });
+    }
+
+    /// A cell exhausted its attempt budget and was quarantined; the
+    /// campaign continues without it.
+    pub fn cell_quarantined(&self, seq: usize, attempts: u32, reason: &str) {
+        self.emit(|_| {
+            format!(
+                "\"ev\":\"cell_quarantined\",\"seq\":{seq},\"attempts\":{attempts},\
+                 \"reason\":\"{}\"",
+                escape(reason)
+            )
+        });
+    }
+
+    /// Scheduler supervision counters for the campaign (or one resumed
+    /// segment of it).
+    pub fn supervisor(&self, stats: &pac_types::SupervisorStats) {
+        self.emit(|_| {
+            format!(
+                "\"ev\":\"supervisor\",\"leases\":{},\"retries\":{},\"quarantined\":{},\
+                 \"heartbeat_timeouts\":{},\"workers_abandoned\":{},\"preemptions\":{}",
+                stats.leases,
+                stats.retries,
+                stats.quarantined,
+                stats.heartbeat_timeouts,
+                stats.workers_abandoned,
+                stats.preemptions
+            )
+        });
+    }
+
     /// Campaign footer: cells completed and total wall time.
     pub fn campaign_end(&self) {
         self.emit(|inner| {
@@ -466,6 +510,34 @@ mod tests {
         let su = &events[5];
         assert_eq!(su.get("sync_round_trips").and_then(Json::as_u64), Some(7));
         assert_eq!(su.get("events_per_shard").and_then(Json::as_arr).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn supervision_events_are_versioned_json() {
+        let (sink, buf) = ProgressSink::to_buffer();
+        sink.campaign_start("pac-serve", "hmc", 2, 1, 3);
+        sink.cell_retry(1, 2, 250, "oracle violation(s)");
+        sink.cell_quarantined(1, 3, "oracle violation(s)");
+        sink.supervisor(&pac_types::SupervisorStats {
+            leases: 5,
+            retries: 2,
+            quarantined: 1,
+            heartbeat_timeouts: 0,
+            workers_abandoned: 0,
+            preemptions: 4,
+        });
+        let events = lines(&buf);
+        assert_eq!(events.len(), 4);
+        for ev in &events {
+            assert_eq!(ev.get("v").and_then(Json::as_u64), Some(1), "{ev:?}");
+        }
+        assert_eq!(events[1].get("ev").and_then(Json::as_str), Some("cell_retry"));
+        assert_eq!(events[1].get("delay_ms").and_then(Json::as_u64), Some(250));
+        assert_eq!(events[2].get("ev").and_then(Json::as_str), Some("cell_quarantined"));
+        assert_eq!(events[2].get("attempts").and_then(Json::as_u64), Some(3));
+        assert_eq!(events[3].get("ev").and_then(Json::as_str), Some("supervisor"));
+        assert_eq!(events[3].get("leases").and_then(Json::as_u64), Some(5));
+        assert_eq!(events[3].get("preemptions").and_then(Json::as_u64), Some(4));
     }
 
     #[test]

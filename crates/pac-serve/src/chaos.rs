@@ -1,0 +1,256 @@
+//! The chaos harness: kill the scheduler itself, mid-campaign, at
+//! seeded points — then prove the journal recovered everything.
+//!
+//! The harness re-spawns the `pac-serve` binary as child processes.
+//! Each pre-final segment carries `PAC_SERVE_KILL_AFTER_RECORDS` in its
+//! environment: the journal SIGKILLs its own process at the Nth append
+//! (odd segments tear the final line in half first, exercising the
+//! torn-tail recovery path). After the configured number of kills, one
+//! unhindered `resume` segment runs the campaign to completion.
+//!
+//! [`verify`] then replays the full journal and enforces the three
+//! chaos guarantees:
+//!
+//! 1. **Nothing lost** — every cell reaches a terminal state.
+//! 2. **Nothing double-counted** — no cell carries two `done` records
+//!    across any number of crash/resume segments.
+//! 3. **Bit-identical** — every per-cell fingerprint equals an
+//!    uninterrupted in-process reference run of the same cell.
+//!
+//! Kill points are a pure function of the chaos seed, so a failing
+//! campaign replays exactly from `--chaos-seed`.
+
+use crate::cell;
+use crate::journal::{CellStatus, Journal};
+use crate::spec::CampaignSpec;
+use pac_types::{derive_seed, splitmix64};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::Command;
+
+/// Env var the journal's kill hook reads: `N` or `N:torn`.
+pub const KILL_ENV: &str = "PAC_SERVE_KILL_AFTER_RECORDS";
+
+/// The seeded kill point for chaos segment `segment`: SIGKILL at the
+/// 2nd–8th journal append of that process, torn on odd segments. Small
+/// values keep every kill mid-campaign while work remains.
+pub fn kill_value(seed: u64, segment: u32) -> String {
+    let mut s = derive_seed(seed, u64::from(segment));
+    let n = 2 + splitmix64(&mut s) % 7;
+    if segment % 2 == 1 {
+        format!("{n}:torn")
+    } else {
+        format!("{n}")
+    }
+}
+
+/// What one chaos campaign did.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// SIGKILLs actually delivered (the campaign can complete before a
+    /// later kill point is reached).
+    pub kills_delivered: u32,
+    /// Kills that tore the journal's final line.
+    pub torn_kills: u32,
+    /// Segments run (killed segments + the final resume).
+    pub segments: u32,
+    /// Verification verdict over the full journal.
+    pub verdict: ChaosVerdict,
+}
+
+impl ChaosOutcome {
+    /// The chaos proof holds: enough kills landed and every guarantee
+    /// verified.
+    pub fn passed(&self, min_kills: u32) -> bool {
+        self.kills_delivered >= min_kills && self.verdict.passed()
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "chaos report:");
+        let _ = writeln!(out, "  kills delivered   : {}", self.kills_delivered);
+        let _ = writeln!(out, "  torn-line kills   : {}", self.torn_kills);
+        let _ = writeln!(out, "  segments          : {}", self.segments);
+        let _ = writeln!(out, "  cells done        : {}/{}", self.verdict.done, self.verdict.cells);
+        let _ = writeln!(out, "  double-counted    : {}", self.verdict.double_done);
+        let _ = writeln!(out, "  fingerprint diffs : {}", self.verdict.mismatches.len());
+        for m in &self.verdict.mismatches {
+            let _ = writeln!(out, "  MISMATCH {m}");
+        }
+        let _ = writeln!(out, "verdict: {}", if self.verdict.passed() { "PASS" } else { "FAIL" });
+        out
+    }
+}
+
+/// The replay-and-compare verdict for a finished chaos campaign.
+#[derive(Debug)]
+pub struct ChaosVerdict {
+    /// Cells the spec enumerates.
+    pub cells: u64,
+    /// Cells with exactly one `done` record.
+    pub done: u64,
+    /// Cells with more than one `done` record (must be 0).
+    pub double_done: u64,
+    /// Journal segments (1 + resumes).
+    pub segments: u64,
+    /// Cells whose journaled fingerprint differs from the
+    /// uninterrupted reference (must be empty).
+    pub mismatches: Vec<String>,
+}
+
+impl ChaosVerdict {
+    /// All three chaos guarantees hold.
+    pub fn passed(&self) -> bool {
+        self.done == self.cells && self.double_done == 0 && self.mismatches.is_empty()
+    }
+}
+
+/// Replay the finished journal and enforce the chaos guarantees,
+/// re-running every cell uninterrupted in-process as the bit-identity
+/// reference.
+pub fn verify(journal_path: &Path) -> Result<ChaosVerdict, String> {
+    let replay = Journal::replay(journal_path)?;
+    let spec = CampaignSpec::parse(&replay.spec)
+        .map_err(|e| format!("journaled spec unparseable: {e}"))?;
+    let mut mismatches = Vec::new();
+    for (cell_spec, rep) in spec.cells().iter().zip(&replay.cells) {
+        let CellStatus::Done(journaled) = &rep.status else {
+            continue;
+        };
+        match cell::run_to_completion(cell_spec, &spec) {
+            Ok(reference) => {
+                if reference != *journaled {
+                    mismatches.push(format!(
+                        "{}: journaled {journaled:?} != reference {reference:?}",
+                        cell_spec.describe()
+                    ));
+                }
+            }
+            Err(e) => mismatches.push(format!(
+                "{}: journaled done but reference run failed: {e}",
+                cell_spec.describe()
+            )),
+        }
+    }
+    Ok(ChaosVerdict {
+        cells: replay.cells.len() as u64,
+        done: replay.done(),
+        double_done: replay.double_done.len() as u64,
+        segments: replay.segments,
+        mismatches,
+    })
+}
+
+/// Whether the journal already records a complete campaign (used to
+/// stop the kill loop early when the campaign finishes before a later
+/// kill point).
+fn campaign_complete(journal_path: &Path) -> bool {
+    Journal::replay(journal_path)
+        .map(|r| r.done() + r.quarantined() == r.cells.len() as u64)
+        .unwrap_or(false)
+}
+
+/// Run a chaos campaign by repeatedly spawning `exe` (the `pac-serve`
+/// binary): one fresh `run` and then `resume`s, each pre-final segment
+/// armed with a seeded self-kill, the final one unhindered. Extra
+/// CLI flags for every child go in `child_flags` (e.g. a progress
+/// path).
+pub fn run(
+    exe: &Path,
+    spec_path: &Path,
+    state_dir: &Path,
+    kills: u32,
+    seed: u64,
+    child_flags: &[String],
+) -> Result<ChaosOutcome, String> {
+    let journal_path = state_dir.join("journal.jsonl");
+    let mut kills_delivered = 0;
+    let mut torn_kills = 0;
+    let mut segments = 0;
+
+    for segment in 0..=kills {
+        let is_final = segment == kills;
+        let mut cmd = Command::new(exe);
+        if segment == 0 {
+            cmd.arg("run").arg("--spec").arg(spec_path);
+        } else {
+            cmd.arg("resume");
+        }
+        cmd.arg("--state-dir").arg(state_dir).args(child_flags);
+        if !is_final {
+            cmd.env(KILL_ENV, kill_value(seed, segment));
+        } else {
+            cmd.env_remove(KILL_ENV);
+        }
+        let status = cmd
+            .status()
+            .map_err(|e| format!("segment {segment}: cannot spawn {}: {e}", exe.display()))?;
+        segments += 1;
+
+        if is_final {
+            if !status.success() && status.code() != Some(3) {
+                return Err(format!(
+                    "final resume exited abnormally: {status} (expected 0 or 3)"
+                ));
+            }
+        } else {
+            // The armed segment must have been SIGKILLed (no exit
+            // code on unix) — unless the campaign finished before the
+            // kill point, which ends the kill phase early.
+            if status.code().is_some() {
+                if campaign_complete(&journal_path) {
+                    break;
+                }
+                return Err(format!(
+                    "segment {segment}: armed child exited with {status} instead of \
+                     being killed, but the campaign is not complete"
+                ));
+            }
+            kills_delivered += 1;
+            if kill_value(seed, segment).ends_with(":torn") {
+                torn_kills += 1;
+            }
+        }
+    }
+
+    // If the kill phase ended early, the journal may still need a
+    // finishing segment; run one unhindered resume unless complete.
+    if !campaign_complete(&journal_path) {
+        let mut cmd = Command::new(exe);
+        cmd.arg("resume").arg("--state-dir").arg(state_dir).args(child_flags);
+        cmd.env_remove(KILL_ENV);
+        let status = cmd
+            .status()
+            .map_err(|e| format!("finishing resume: cannot spawn {}: {e}", exe.display()))?;
+        segments += 1;
+        if !status.success() && status.code() != Some(3) {
+            return Err(format!("finishing resume exited abnormally: {status}"));
+        }
+    }
+
+    let verdict = verify(&journal_path)?;
+    Ok(ChaosOutcome { kills_delivered, torn_kills, segments, verdict })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_values_are_seeded_and_bounded() {
+        for seed in [0u64, 7, 0xC4A05] {
+            for segment in 0..8 {
+                let v = kill_value(seed, segment);
+                assert_eq!(v, kill_value(seed, segment), "pure function of inputs");
+                let n: u64 = v.strip_suffix(":torn").unwrap_or(&v).parse().unwrap();
+                assert!((2..=8).contains(&n), "{v}");
+                assert_eq!(v.ends_with(":torn"), segment % 2 == 1, "{v}");
+            }
+        }
+        // Different segments get different draws (decorrelated).
+        let all: Vec<String> = (0..16).map(|s| kill_value(1, s)).collect();
+        let first = &all[0];
+        assert!(all.iter().any(|v| v != first));
+    }
+}

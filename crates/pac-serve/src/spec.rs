@@ -1,0 +1,373 @@
+//! Campaign specification: which cells to run, and the scheduler knobs.
+//!
+//! A spec is a flat `key=value` token list — whitespace- or
+//! newline-separated, `#` starts a comment — whose cartesian axes
+//! (`backends × benches × kinds × faults`) enumerate the campaign's
+//! cells in a fixed order. [`CampaignSpec::canonical`] renders the spec
+//! back to a single normalized line; that line is embedded verbatim in
+//! the journal's campaign header, so a `pac-serve resume` needs nothing
+//! but the journal file to reconstruct the exact cell list, and
+//! [`CampaignSpec::spec_hash`] guards against resuming someone else's
+//! journal.
+
+use pac_sim::CoalescerKind;
+use pac_types::snapshot::fnv1a64;
+use pac_types::{derive_seed, BackendKind, FaultClass};
+use pac_workloads::Bench;
+use std::fmt::Write as _;
+
+/// One fully resolved campaign cell: everything a worker needs to run
+/// it, including the derived per-cell workload seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Index in campaign enumeration order (journal cell id).
+    pub index: u64,
+    /// Memory substrate.
+    pub backend: BackendKind,
+    /// Workload.
+    pub bench: Bench,
+    /// Coalescer configuration.
+    pub kind: CoalescerKind,
+    /// Armed fault class, if any.
+    pub fault: Option<FaultClass>,
+    /// Whether the recovery layer is enabled for fault cells.
+    pub recovery: bool,
+    /// Derived workload seed (pure function of campaign seed + index).
+    pub seed: u64,
+}
+
+impl CellSpec {
+    /// Human-readable identity for logs and failure messages.
+    pub fn describe(&self) -> String {
+        format!(
+            "cell {} [{} x {} x {} fault={}{}]",
+            self.index,
+            self.bench.name(),
+            self.kind.label(),
+            self.backend.label(),
+            self.fault.map_or("none", FaultClass::label),
+            if self.fault.is_some() && !self.recovery { " recovery=off" } else { "" },
+        )
+    }
+}
+
+/// The parsed campaign specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (journal/report labelling only).
+    pub name: String,
+    /// Master seed: per-cell workload seeds and retry jitter derive
+    /// from it.
+    pub seed: u64,
+    /// Cores per simulated system.
+    pub cores: u32,
+    /// Access budget per core.
+    pub accesses_per_core: u64,
+    /// Memory substrates axis.
+    pub backends: Vec<BackendKind>,
+    /// Workloads axis.
+    pub benches: Vec<Bench>,
+    /// Coalescer axis.
+    pub kinds: Vec<CoalescerKind>,
+    /// Fault axis (`None` = clean cell).
+    pub faults: Vec<Option<FaultClass>>,
+    /// Recovery layer for fault cells (`recovery=off` makes fault cells
+    /// deliberately poisonous: the oracle fires and the cell fails).
+    pub recovery: bool,
+    /// Attempts per cell before quarantine.
+    pub max_attempts: u32,
+    /// Preemption quantum in simulated cycles (0 = run cells to
+    /// completion within one lease).
+    pub quantum_cycles: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".to_string(),
+            seed: 0,
+            cores: 4,
+            accesses_per_core: 400,
+            backends: vec![BackendKind::Hmc],
+            benches: vec![Bench::Ep, Bench::Stream],
+            kinds: vec![CoalescerKind::Pac],
+            faults: vec![None],
+            recovery: true,
+            max_attempts: 3,
+            quantum_cycles: 0,
+            threads: 2,
+        }
+    }
+}
+
+fn parse_kind(s: &str) -> Result<CoalescerKind, String> {
+    CoalescerKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.label().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            let valid: Vec<&str> = CoalescerKind::ALL.iter().map(|k| k.label()).collect();
+            format!("unknown coalescer '{s}' (valid: {})", valid.join(", "))
+        })
+}
+
+fn parse_fault(s: &str) -> Result<Option<FaultClass>, String> {
+    if s.eq_ignore_ascii_case("none") {
+        return Ok(None);
+    }
+    FaultClass::ALL
+        .iter()
+        .copied()
+        .find(|c| c.label().eq_ignore_ascii_case(s))
+        .map(Some)
+        .ok_or_else(|| {
+            let valid: Vec<&str> = FaultClass::ALL.iter().map(|c| c.label()).collect();
+            format!("unknown fault '{s}' (valid: none, {})", valid.join(", "))
+        })
+}
+
+fn parse_u64(key: &str, s: &str) -> Result<u64, String> {
+    let (digits, radix) = match s.strip_prefix("0x") {
+        Some(hex) => (hex, 16),
+        None => (s, 10),
+    };
+    u64::from_str_radix(digits, radix).map_err(|_| format!("{key}: '{s}' is not an integer"))
+}
+
+impl CampaignSpec {
+    /// Parse a spec from its token text (a file's contents or a
+    /// canonical line). Unknown keys are errors — a typo'd knob must
+    /// not silently fall back to a default.
+    pub fn parse(text: &str) -> Result<CampaignSpec, String> {
+        let mut spec = CampaignSpec::default();
+        let mut saw_header = false;
+        for raw_line in text.lines() {
+            let line = raw_line.split('#').next().unwrap_or("");
+            for token in line.split_whitespace() {
+                if token == "pac-serve-spec" || token == "v1" {
+                    saw_header = true;
+                    continue;
+                }
+                let (key, value) = token
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed token '{token}' (expected key=value)"))?;
+                match key {
+                    "name" => spec.name = value.to_string(),
+                    "seed" => spec.seed = parse_u64(key, value)?,
+                    "cores" => spec.cores = parse_u64(key, value)? as u32,
+                    "accesses" => spec.accesses_per_core = parse_u64(key, value)?,
+                    "max_attempts" => spec.max_attempts = parse_u64(key, value)? as u32,
+                    "quantum" => spec.quantum_cycles = parse_u64(key, value)?,
+                    "threads" => spec.threads = parse_u64(key, value)? as usize,
+                    "recovery" => {
+                        spec.recovery = match value {
+                            "on" => true,
+                            "off" => false,
+                            other => {
+                                return Err(format!("recovery: '{other}' (valid: on, off)"))
+                            }
+                        }
+                    }
+                    "backends" => {
+                        spec.backends = value
+                            .split(',')
+                            .map(|s| {
+                                BackendKind::from_name(s).ok_or_else(|| {
+                                    let valid: Vec<&str> =
+                                        BackendKind::ALL.iter().map(|b| b.label()).collect();
+                                    format!("unknown backend '{s}' (valid: {})", valid.join(", "))
+                                })
+                            })
+                            .collect::<Result<_, _>>()?
+                    }
+                    "benches" => {
+                        spec.benches = value
+                            .split(',')
+                            .map(|s| {
+                                Bench::from_name(s).ok_or_else(|| {
+                                    let valid: Vec<&str> =
+                                        Bench::ALL.iter().map(|b| b.name()).collect();
+                                    format!("unknown bench '{s}' (valid: {})", valid.join(", "))
+                                })
+                            })
+                            .collect::<Result<_, _>>()?
+                    }
+                    "kinds" => {
+                        spec.kinds =
+                            value.split(',').map(parse_kind).collect::<Result<_, _>>()?
+                    }
+                    "faults" => {
+                        spec.faults =
+                            value.split(',').map(parse_fault).collect::<Result<_, _>>()?
+                    }
+                    other => return Err(format!("unknown spec key '{other}'")),
+                }
+            }
+        }
+        let _ = saw_header; // the header is advisory; key=value files omit it
+        if spec.backends.is_empty()
+            || spec.benches.is_empty()
+            || spec.kinds.is_empty()
+            || spec.faults.is_empty()
+        {
+            return Err("spec enumerates zero cells (an axis is empty)".to_string());
+        }
+        if spec.max_attempts == 0 {
+            return Err("max_attempts must be at least 1".to_string());
+        }
+        if spec.threads == 0 {
+            return Err("threads must be at least 1".to_string());
+        }
+        if spec.cores == 0 {
+            return Err("cores must be at least 1".to_string());
+        }
+        if spec.name.is_empty() || spec.name.contains(|c: char| c.is_whitespace()) {
+            return Err("name must be a non-empty token without whitespace".to_string());
+        }
+        Ok(spec)
+    }
+
+    /// Render the normalized single-line form. `parse(canonical())`
+    /// roundtrips exactly, and [`CampaignSpec::spec_hash`] is defined
+    /// over this text.
+    pub fn canonical(&self) -> String {
+        let join = |parts: Vec<&str>| parts.join(",");
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "pac-serve-spec v1 name={} seed={:#x} cores={} accesses={} backends={} \
+             benches={} kinds={} faults={} recovery={} max_attempts={} quantum={} threads={}",
+            self.name,
+            self.seed,
+            self.cores,
+            self.accesses_per_core,
+            join(self.backends.iter().map(|b| b.label()).collect()),
+            join(self.benches.iter().map(|b| b.name()).collect()),
+            join(self.kinds.iter().map(|k| k.label()).collect()),
+            join(self.faults.iter().map(|f| f.map_or("none", FaultClass::label)).collect()),
+            if self.recovery { "on" } else { "off" },
+            self.max_attempts,
+            self.quantum_cycles,
+            self.threads,
+        );
+        s
+    }
+
+    /// FNV-1a-64 of the canonical text: the campaign's identity.
+    pub fn spec_hash(&self) -> u64 {
+        fnv1a64(self.canonical().as_bytes())
+    }
+
+    /// Enumerate every cell in fixed order: backends outermost, then
+    /// benches, kinds, faults. Workload seeds derive from the campaign
+    /// seed and the cell index, so the list is a pure function of the
+    /// spec.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for &backend in &self.backends {
+            for &bench in &self.benches {
+                for &kind in &self.kinds {
+                    for &fault in &self.faults {
+                        let index = cells.len() as u64;
+                        cells.push(CellSpec {
+                            index,
+                            backend,
+                            bench,
+                            kind,
+                            fault,
+                            recovery: self.recovery,
+                            seed: derive_seed(self.seed, index),
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_roundtrips_through_parse() {
+        let spec = CampaignSpec {
+            name: "chaos-ci".to_string(),
+            seed: 0xC4A05,
+            cores: 2,
+            accesses_per_core: 120,
+            backends: vec![BackendKind::Hmc, BackendKind::Hbm],
+            benches: vec![Bench::Ep, Bench::Stream, Bench::Gs],
+            kinds: vec![CoalescerKind::Raw, CoalescerKind::Pac],
+            faults: vec![None, Some(FaultClass::DropResponse)],
+            recovery: true,
+            max_attempts: 2,
+            quantum_cycles: 40_000,
+            threads: 3,
+        };
+        let reparsed = CampaignSpec::parse(&spec.canonical()).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.canonical(), spec.canonical());
+        assert_eq!(reparsed.spec_hash(), spec.spec_hash());
+    }
+
+    #[test]
+    fn file_form_with_comments_parses() {
+        let text = "# CI chaos campaign\nname=ci seed=7\nbenches=EP,STREAM  # two quick ones\n\
+                    kinds=pac\nfaults=none\nthreads=2\n";
+        let spec = CampaignSpec::parse(text).unwrap();
+        assert_eq!(spec.name, "ci");
+        assert_eq!(spec.benches, vec![Bench::Ep, Bench::Stream]);
+        assert_eq!(spec.cells().len(), 2);
+    }
+
+    #[test]
+    fn unknown_values_are_rejected_with_choices() {
+        for (text, needle) in [
+            ("backends=hmcc", "valid: hmc, hbm"),
+            ("benches=NOPE", "valid: BFS"),
+            ("kinds=fast", "valid: raw, mshr-dmc, pac"),
+            ("faults=sometimes", "valid: none, drop-response"),
+            ("recovery=maybe", "valid: on, off"),
+            ("quantum=soon", "not an integer"),
+            ("wat=1", "unknown spec key"),
+            ("standalone", "expected key=value"),
+        ] {
+            let err = CampaignSpec::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn cell_enumeration_is_stable_and_seeded() {
+        let spec = CampaignSpec {
+            backends: vec![BackendKind::Hmc, BackendKind::Hbm],
+            faults: vec![None, Some(FaultClass::CorruptAddr)],
+            ..CampaignSpec::default()
+        };
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2 * 2 * 1 * 2);
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i as u64));
+        // Faults innermost: cell 0 clean, cell 1 faulted, same bench.
+        assert_eq!(cells[0].fault, None);
+        assert_eq!(cells[1].fault, Some(FaultClass::CorruptAddr));
+        assert_eq!(cells[0].bench, cells[1].bench);
+        // Backends outermost.
+        assert_eq!(cells[0].backend, BackendKind::Hmc);
+        assert_eq!(cells.last().unwrap().backend, BackendKind::Hbm);
+        // Distinct derived seeds.
+        assert_ne!(cells[0].seed, cells[1].seed);
+        // Same spec, same seeds.
+        assert_eq!(spec.cells(), spec.cells());
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        assert!(CampaignSpec::parse("max_attempts=0").is_err());
+        assert!(CampaignSpec::parse("threads=0").is_err());
+        assert!(CampaignSpec::parse("cores=0").is_err());
+    }
+}

@@ -16,6 +16,7 @@ pub mod obs;
 pub mod protocol;
 pub mod recovery;
 pub mod request;
+pub mod sigwatch;
 pub mod snapshot;
 pub mod threads;
 pub mod trace;
@@ -27,7 +28,7 @@ pub use config::{
 };
 pub use fault::{FaultClass, FaultPlan, FaultPlanError};
 pub use hash::{IdHash, IdHasher};
-pub use obs::{RunnerStats, ShardStats, StallCycles, WorkerStats};
+pub use obs::{RunnerStats, ShardStats, StallCycles, SupervisorStats, WorkerStats};
 pub use protocol::MemoryProtocol;
 pub use recovery::RecoveryConfig;
 pub use request::{CoalescedRequest, MemRequest, Op, RequestKind};

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validate a pac-serve campaign journal (the durable write-ahead JSONL
+in <state-dir>/journal.jsonl) against the v1 wire format in
+crates/pac-serve/src/journal.rs.
+
+Checks:
+  - every line is `{"v":1,"ck":"<16 hex>",<payload>}` and the checksum
+    is the FNV-1a-64 of the payload bytes (from `"ev"` up to, not
+    including, the closing brace) — the same hash the Rust side uses;
+  - `ev` comes from the known record set and each record carries its
+    required fields with the right shapes (cell indices and counters
+    are non-negative integers, reasons are strings, `done.oracle` is a
+    4-element integer array);
+  - the journal opens with a `campaign` record, every `resume` echoes
+    the campaign's `spec_hash`, and `drain.reason` is one of
+    complete|signal|partial;
+  - no cell carries two `done` records (the double-count ban the chaos
+    harness enforces);
+  - a torn or checksum-corrupt line is tolerated only as the LAST line
+    (the crash-quarantine case); anywhere else it is corruption the
+    replayer would refuse, so the script fails.
+
+Exit code 0 on success; prints a summary line for the CI log.
+"""
+
+import json
+import re
+import sys
+
+RECORDS = {
+    "campaign": {"spec": str, "spec_hash": int, "cells": int, "seed": int},
+    "resume": {"spec_hash": int, "pending": int, "done": int},
+    "lease": {"cell": int, "attempt": int, "worker": int, "lease": int},
+    "ckpt": {"cell": int, "attempt": int, "cycle": int, "path": str},
+    "done": {
+        "cell": int,
+        "attempt": int,
+        "wall_ms": int,
+        "cycles": int,
+        "raw": int,
+        "dispatched": int,
+        "comparisons": int,
+        "txn_bytes": int,
+        "latency_bits": int,
+        "faults": int,
+        "retries": int,
+        "oracle": list,
+    },
+    "fail": {"cell": int, "attempt": int, "reason": str},
+    "quarantine": {"cell": int, "attempts": int, "reason": str},
+    "drain": {"reason": str, "done": int},
+}
+
+DRAIN_REASONS = ("complete", "signal", "partial")
+
+HEADER = re.compile(r'^\{"v":1,"ck":"([0-9a-f]{16})",(?=")')
+
+
+def fnv1a64(data: bytes) -> int:
+    h = 0xCBF29CE484222325
+    for b in data:
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_line(line: str, where: str) -> dict | str:
+    """Return the parsed record, or an error string (caller decides
+    whether a bad line is a quarantinable tail or hard corruption)."""
+    m = HEADER.match(line)
+    if not m or not line.endswith("}"):
+        return "missing version/checksum prefix or unterminated line"
+    payload = line[m.end() : -1]
+    if not payload.startswith('"ev"'):
+        return "payload does not start at \"ev\""
+    want = int(m.group(1), 16)
+    got = fnv1a64(payload.encode("utf-8"))
+    if want != got:
+        return f"checksum mismatch: header {want:016x}, computed {got:016x}"
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as e:
+        return f"not JSON ({e})"
+
+    ev = obj.get("ev")
+    if ev not in RECORDS:
+        fail(f"{where}: unknown record {ev!r} (known: {', '.join(sorted(RECORDS))})")
+    for field, ty in RECORDS[ev].items():
+        if field not in obj:
+            fail(f"{where}: {ev} missing field {field!r}")
+        got_v = obj[field]
+        if ty is int:
+            # bool is an int subclass in Python; reject it explicitly.
+            if not isinstance(got_v, int) or isinstance(got_v, bool) or got_v < 0:
+                fail(f"{where}: {ev}.{field} must be a non-negative integer, got {got_v!r}")
+        elif not isinstance(got_v, ty):
+            fail(f"{where}: {ev}.{field} must be {ty}, got {got_v!r}")
+    if ev == "done":
+        oracle = obj["oracle"]
+        if len(oracle) != 4 or not all(
+            isinstance(x, int) and not isinstance(x, bool) and x >= 0 for x in oracle
+        ):
+            fail(f"{where}: done.oracle must be a 4-element non-negative integer array")
+    if ev == "drain" and obj["reason"] not in DRAIN_REASONS:
+        fail(f"{where}: drain.reason must be one of {DRAIN_REASONS}, got {obj['reason']!r}")
+    return obj
+
+
+def main(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail("empty journal")
+
+    counts = {ev: 0 for ev in RECORDS}
+    spec_hash = None
+    done_cells: set[int] = set()
+    torn = None
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        last = lineno == len(lines)
+        result = check_line(line, where)
+        if isinstance(result, str):
+            if last:
+                # The crash-quarantine case the replayer tolerates.
+                torn = result
+                break
+            fail(f"{where}: {result} — not the final line, so the journal is corrupt")
+        obj = result
+        ev = obj["ev"]
+        counts[ev] += 1
+
+        if lineno == 1:
+            if ev != "campaign":
+                fail(f"{where}: journal must open with a campaign record, got {ev!r}")
+            spec_hash = obj["spec_hash"]
+        elif ev == "campaign":
+            fail(f"{where}: second campaign record (resume segments use 'resume')")
+        elif ev == "resume" and obj["spec_hash"] != spec_hash:
+            fail(
+                f"{where}: resume spec_hash {obj['spec_hash']} does not match "
+                f"campaign {spec_hash}"
+            )
+
+        if ev == "done":
+            if obj["cell"] in done_cells:
+                fail(f"{where}: cell {obj['cell']} done twice (double-counted)")
+            done_cells.add(obj["cell"])
+
+    if counts["campaign"] == 0:
+        fail("no campaign record")
+    segments = counts["campaign"] + counts["resume"]
+    summary = " ".join(f"{ev}={n}" for ev, n in counts.items() if n)
+    tail = f" (torn tail quarantined: {torn})" if torn else ""
+    print(f"OK: {len(lines)} lines, {segments} segment(s), {len(done_cells)} cell(s) done: {summary}{tail}")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <journal.jsonl>", file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])

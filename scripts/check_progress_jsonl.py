@@ -50,6 +50,16 @@ EVENTS = {
     "phase": {"name": str, "seconds": (int, float)},
     "checkpoint": {"cycle": int, "path": str},
     "resumed": {"cycle": int, "path": str},
+    "cell_retry": {"seq": int, "attempt": int, "delay_ms": int, "reason": str},
+    "cell_quarantined": {"seq": int, "attempts": int, "reason": str},
+    "supervisor": {
+        "leases": int,
+        "retries": int,
+        "quarantined": int,
+        "heartbeat_timeouts": int,
+        "workers_abandoned": int,
+        "preemptions": int,
+    },
     "campaign_end": {"done": int, "wall_seconds": (int, float)},
 }
 
