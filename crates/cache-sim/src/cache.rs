@@ -353,11 +353,11 @@ mod tests {
                 if write {
                     written.insert(addr);
                 }
-                if let AccessOutcome::Miss { writeback } = c.access_immediate(addr, write) {
-                    if let Some(victim) = writeback {
-                        proptest::prop_assert!(written.contains(&victim),
-                            "write-back of never-written line {victim:#x}");
-                    }
+                if let AccessOutcome::Miss { writeback: Some(victim) } =
+                    c.access_immediate(addr, write)
+                {
+                    proptest::prop_assert!(written.contains(&victim),
+                        "write-back of never-written line {victim:#x}");
                 }
             }
         }

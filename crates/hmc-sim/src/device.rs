@@ -16,9 +16,12 @@ use crate::stats::HmcStats;
 use crate::vault::{QueuedRequest, ReadyResponse, Vault};
 use pac_trace::{DumpTrigger, EventKind, TraceHandle};
 use pac_types::protocol::FLIT_BYTES;
-use pac_types::{Cycle, EventClass, FaultClass, FaultPlan, FaultPlanError, HmcDeviceConfig, Op};
+use pac_types::{
+    BackendKind, Cycle, EventClass, FaultClass, FaultPlan, FaultPlanError, HmcDeviceConfig, Op,
+    RasClass, RasPlan, RasPlanError, RasStats,
+};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A request presented to the device: a packetized read or write with a
 /// payload between one FLIT (16 B) and the row size (256 B).
@@ -56,6 +59,84 @@ impl HmcResponse {
 /// A finished response ordered by delivery cycle:
 /// `(complete, id, addr, bytes, is_store, submit_cycle)`.
 type CompletedEntry = (Cycle, u64, u64, u64, bool, Cycle);
+
+/// Runtime state of the SERDES link RAS machinery under an armed
+/// [`RasPlan`]: per-link retry counters feeding the degradation ladder,
+/// width/retirement flags, and the flow-control credit queues. All of
+/// it round-trips through snapshots so a checkpoint taken
+/// mid-retransmission resumes bit-identically.
+#[derive(Debug, Clone)]
+struct LinkRas {
+    plan: RasPlan,
+    /// CRC errors injected so far (budget against `plan.max_events`).
+    events: u64,
+    /// Per-link cumulative retry count.
+    retries: Vec<u32>,
+    /// Per-link half-width flag: a down-shifted link pays double
+    /// cycles-per-FLIT in both directions.
+    half: Vec<bool>,
+    /// Per-link retirement flag: round-robin dispatch skips these, but
+    /// in-flight transactions drain over their original link.
+    retired: Vec<bool>,
+    /// Per-link outstanding flow credits: the cycle each occupied
+    /// retry-buffer slot is acked back. Bounded by `plan.token_limit`.
+    tokens: Vec<VecDeque<Cycle>>,
+    stats: RasStats,
+}
+
+pac_types::snapshot_fields!(LinkRas {
+    plan,
+    events,
+    retries,
+    half,
+    retired,
+    tokens,
+    stats,
+});
+
+impl LinkRas {
+    fn new(plan: RasPlan, links: usize) -> Self {
+        let mut ras = LinkRas {
+            plan,
+            events: 0,
+            retries: vec![0; links],
+            half: vec![false; links],
+            retired: vec![false; links],
+            tokens: vec![VecDeque::new(); links],
+            stats: RasStats::default(),
+        };
+        if plan.preset_degraded {
+            // Start in the steady degraded end-state (the degraded-mode
+            // throughput table measures this, not the transient).
+            let t = plan.target_link.unwrap_or(0) as usize;
+            match plan.class {
+                RasClass::RetryStorm => {
+                    ras.half[t] = true;
+                    ras.stats.links_half_width = 1;
+                }
+                RasClass::LinkRetire if links > 1 => {
+                    ras.retired[t] = true;
+                    ras.stats.links_retired = 1;
+                }
+                _ => {}
+            }
+        }
+        ras
+    }
+
+    /// Effective cycles-per-FLIT on `link`: doubled at half width.
+    fn cycles_per_flit(&self, link: usize, base: Cycle) -> Cycle {
+        if self.half[link] {
+            base * 2
+        } else {
+            base
+        }
+    }
+
+    fn alive_links(&self) -> usize {
+        self.retired.iter().filter(|r| !**r).count()
+    }
+}
 
 /// The HMC device model.
 #[derive(Debug)]
@@ -98,6 +179,10 @@ pub struct Hmc {
     fault_plan: Option<FaultPlan>,
     /// Faults injected so far under `fault_plan`.
     faults_injected: u64,
+    /// Link RAS machinery, when armed via [`Hmc::set_ras_plan`]. `None`
+    /// (the default) is bit-identical to a device without the RAS layer
+    /// compiled in.
+    ras: Option<LinkRas>,
     /// Aggregate statistics.
     pub stats: HmcStats,
     /// Energy breakdown by operation class.
@@ -134,6 +219,7 @@ pac_types::snapshot_fields!(Hmc {
     vault_next_min,
     fault_plan,
     faults_injected,
+    ras,
     stats,
     energy,
 } skip {
@@ -160,6 +246,7 @@ impl Hmc {
             scratch: Vec::new(),
             fault_plan: None,
             faults_injected: 0,
+            ras: None,
             stats: HmcStats::default(),
             energy: EnergyBreakdown::new(),
             tracer: TraceHandle::disabled(),
@@ -187,13 +274,15 @@ impl Hmc {
     /// shard engine. Safe at any quiescent point between ticks: the
     /// current engine (if any) is quiesced first so no in-progress
     /// state is lost. A no-op fallback to serial when an enabled tracer
-    /// is attached (tracing requires the serial engine). Sharding is a
-    /// runtime policy: metrics, energy, snapshots, and oracle verdicts
-    /// are bit-identical at every shard count.
+    /// is attached (tracing requires the serial engine) or a RAS plan
+    /// is armed (the link RAS state machine runs serially, like
+    /// tracing). Sharding is a runtime policy: metrics, energy,
+    /// snapshots, and oracle verdicts are bit-identical at every shard
+    /// count.
     pub fn set_parallel(&mut self, shards: usize) {
         self.quiesce_engine();
         self.engine = None;
-        if shards > 1 && !self.tracer.is_enabled() {
+        if shards > 1 && !self.tracer.is_enabled() && self.ras.is_none() {
             self.engine = Some(ShardEngine::new(&self.cfg, &self.vaults, shards));
         }
     }
@@ -288,6 +377,27 @@ impl Hmc {
         self.faults_injected
     }
 
+    /// Arm the link RAS layer: seeded per-packet CRC errors with retry
+    /// replay, token flow control, and the half-width/retire
+    /// degradation ladder. The plan is validated against this device
+    /// (link classes only, `target_link` bounds-checked), so a plan
+    /// that could never fire is an error at arm time. Arming tears down
+    /// the shard engine — the RAS state machine, like tracing, runs on
+    /// the serial engine — and subsequent [`Hmc::set_parallel`] calls
+    /// no-op back to serial.
+    pub fn set_ras_plan(&mut self, plan: RasPlan) -> Result<(), RasPlanError> {
+        let plan = plan.validate_for(BackendKind::Hmc, self.cfg.links)?;
+        self.quiesce_engine();
+        self.engine = None;
+        self.ras = Some(LinkRas::new(plan, self.req_link_busy.len()));
+        Ok(())
+    }
+
+    /// Cumulative RAS event counters, when a plan is armed.
+    pub fn ras_stats(&self) -> Option<RasStats> {
+        self.ras.as_ref().map(|r| r.stats)
+    }
+
     /// True when nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.inflight == 0
@@ -329,12 +439,110 @@ impl Hmc {
         let bank = self.cfg.bank_of(req.addr);
 
         // Round-robin link dispatch: take the next link in rotation.
-        let link = self.rr;
-        self.rr = (self.rr + 1) % self.req_link_busy.len();
+        // With RAS armed, retired links are skipped and dispatch
+        // re-balances across the survivors (retirement never claims the
+        // last live link, so the walk terminates).
+        let links = self.req_link_busy.len();
+        let link = match &self.ras {
+            Some(ras) => {
+                let mut l = self.rr;
+                while ras.retired[l] {
+                    l = (l + 1) % links;
+                }
+                self.rr = (l + 1) % links;
+                l
+            }
+            None => {
+                let l = self.rr;
+                self.rr = (self.rr + 1) % links;
+                l
+            }
+        };
 
         let req_flits = self.request_flits(&req);
-        let transfer_done =
-            now.max(self.req_link_busy[link]) + req_flits * self.cfg.link_cycles_per_flit;
+        let mut start = now.max(self.req_link_busy[link]);
+        let cpf = match &mut self.ras {
+            Some(ras) => {
+                // Token flow control: each packet occupies one
+                // retry-buffer slot until acked back; when every slot is
+                // outstanding the packet waits for the oldest ack.
+                if ras.plan.token_limit > 0 {
+                    let q = &mut ras.tokens[link];
+                    while q.front().is_some_and(|&t| t <= start) {
+                        q.pop_front();
+                    }
+                    if q.len() >= ras.plan.token_limit as usize {
+                        let freed = q.pop_front().expect("non-empty at limit");
+                        if freed > start {
+                            start = freed;
+                            ras.stats.token_stalls += 1;
+                        }
+                    }
+                }
+                ras.cycles_per_flit(link, self.cfg.link_cycles_per_flit)
+            }
+            None => self.cfg.link_cycles_per_flit,
+        };
+        let mut transfer_done = start + req_flits * cpf;
+
+        if let Some(ras) = &mut self.ras {
+            let plan = ras.plan;
+            // Preset plans measure the steady degraded state; only
+            // live-injection plans generate CRC errors.
+            let inject = !plan.preset_degraded
+                && ras.events < plan.max_events
+                && plan.hits_link(link as u32, req.id);
+            if inject {
+                ras.events += 1;
+                ras.stats.crc_errors += 1;
+                self.tracer.emit(now, EventClass::Hmc, || EventKind::CrcError {
+                    id: req.id,
+                    link: link as u32,
+                });
+                // One bounded retransmission: the damaged packet is
+                // NAK'd and replayed from the retry buffer, costing the
+                // turnaround plus a full re-send. The retried packet
+                // arrives exactly once — latency, not conservation, is
+                // what degrades.
+                let attempt = ras.retries[link] + 1;
+                ras.retries[link] = attempt;
+                ras.stats.link_retries += 1;
+                transfer_done += req_flits * cpf + plan.retry_latency;
+                self.tracer.emit(now, EventClass::Hmc, || EventKind::LinkRetry {
+                    id: req.id,
+                    link: link as u32,
+                    attempt,
+                });
+                // Degradation ladder: storm threshold down-shifts the
+                // link to half width; past the retire threshold it is
+                // pulled from dispatch (never the last live link).
+                let laddered =
+                    matches!(plan.class, RasClass::RetryStorm | RasClass::LinkRetire);
+                if laddered && attempt >= plan.storm_threshold && !ras.half[link] {
+                    ras.half[link] = true;
+                    ras.stats.links_half_width += 1;
+                    self.tracer.emit(now, EventClass::Hmc, || EventKind::LinkDegrade {
+                        link: link as u32,
+                        retired: false,
+                    });
+                }
+                if plan.class == RasClass::LinkRetire
+                    && attempt >= plan.retire_threshold
+                    && !ras.retired[link]
+                    && ras.alive_links() > 1
+                {
+                    ras.retired[link] = true;
+                    ras.stats.links_retired += 1;
+                    self.tracer.emit(now, EventClass::Hmc, || EventKind::LinkDegrade {
+                        link: link as u32,
+                        retired: true,
+                    });
+                }
+            }
+            if plan.token_limit > 0 {
+                ras.tokens[link].push_back(transfer_done + plan.token_return);
+            }
+        }
         self.req_link_busy[link] = transfer_done;
 
         let remote = self.cfg.home_link_of_vault(vault) != link as u32;
@@ -545,8 +753,13 @@ impl Hmc {
             if req.remote { self.cfg.xbar_remote_cycles } else { self.cfg.xbar_local_cycles };
         let at_link = r.data_ready + xbar;
         let link = req.link as usize;
-        let complete =
-            at_link.max(self.rsp_link_busy[link]) + rsp_flits * self.cfg.link_cycles_per_flit;
+        // A down-shifted link pays half width on the return direction
+        // too; a retired link still drains its in-flight responses.
+        let cpf = match &self.ras {
+            Some(ras) => ras.cycles_per_flit(link, self.cfg.link_cycles_per_flit),
+            None => self.cfg.link_cycles_per_flit,
+        };
+        let complete = at_link.max(self.rsp_link_busy[link]) + rsp_flits * cpf;
         self.rsp_link_busy[link] = complete;
 
         // Response occupied its vault response slot until it drained.
@@ -1185,6 +1398,165 @@ mod tests {
         // And arming while traced stays serial.
         hmc.set_parallel(4);
         assert_eq!(hmc.shards(), 1);
+    }
+
+    #[test]
+    fn ras_disarmed_is_bit_identical_and_arming_costs_only_latency() {
+        use pac_types::{RasClass, RasPlan};
+        // Baseline: no RAS field in play.
+        let mut plain = device();
+        let mut armed = device();
+        // Every packet takes a CRC hit so the latency cost is never
+        // fully absorbed by bank timing.
+        let plan = RasPlan {
+            rate_per_1024: 1024,
+            max_events: u64::MAX,
+            ..RasPlan::new(RasClass::LinkBitError, 3)
+        };
+        armed.set_ras_plan(plan).expect("valid ras plan");
+        for i in 0..64 {
+            plain.submit(read(i, i * 256, 64), i);
+            armed.submit(read(i, i * 256, 64), i);
+        }
+        let (a, _) = plain.drain(0);
+        let (b, _) = armed.drain(0);
+        assert_eq!(a.len(), b.len(), "retransmission must conserve responses");
+        let stats = armed.ras_stats().expect("armed");
+        assert!(stats.crc_errors > 0, "plan must actually fire: {stats:?}");
+        assert_eq!(stats.crc_errors, stats.link_retries);
+        let ids_a: std::collections::HashSet<u64> = a.iter().map(|r| r.id).collect();
+        let ids_b: std::collections::HashSet<u64> = b.iter().map(|r| r.id).collect();
+        assert_eq!(ids_a, ids_b, "a retried packet is not a duplicate or a loss");
+        // Retried packets pay latency.
+        let sum = |rs: &[HmcResponse]| rs.iter().map(|r| r.latency()).sum::<u64>();
+        assert!(sum(&b) > sum(&a), "retries must cost cycles");
+    }
+
+    #[test]
+    fn retry_storm_downshifts_the_target_link() {
+        use pac_types::{RasClass, RasPlan};
+        let mut hmc = device();
+        hmc.set_ras_plan(RasPlan::new(RasClass::RetryStorm, 5)).expect("valid");
+        for i in 0..64 {
+            hmc.submit(read(i, i * 256, 64), i * 4);
+        }
+        hmc.drain(0);
+        let stats = hmc.ras_stats().expect("armed");
+        assert_eq!(stats.links_half_width, 1, "storm must down-shift link 0: {stats:?}");
+        assert_eq!(stats.links_retired, 0, "storm alone never retires");
+        assert!(stats.crc_errors >= u64::from(RasPlan::new(RasClass::RetryStorm, 5).storm_threshold));
+    }
+
+    #[test]
+    fn link_retire_rebalances_dispatch_across_survivors() {
+        use pac_types::{RasClass, RasPlan};
+        let mut hmc = device();
+        hmc.set_ras_plan(RasPlan::new(RasClass::LinkRetire, 5)).expect("valid");
+        let mut submitted = 0u64;
+        for i in 0..128 {
+            hmc.submit(read(i, i * 256, 64), i * 4);
+            submitted += 1;
+        }
+        let (rsps, _) = hmc.drain(600);
+        assert_eq!(rsps.len() as u64, submitted, "retirement loses no transactions");
+        let stats = hmc.ras_stats().expect("armed");
+        assert_eq!(stats.links_retired, 1, "{stats:?}");
+        assert_eq!(stats.links_half_width, 1, "retirement passes through half width");
+        assert!(hmc.is_idle());
+    }
+
+    #[test]
+    fn preset_degraded_applies_end_state_without_injecting() {
+        use pac_types::{RasClass, RasPlan};
+        let mut hmc = device();
+        let plan = RasPlan {
+            preset_degraded: true,
+            ..RasPlan::new(RasClass::LinkRetire, 5)
+        };
+        hmc.set_ras_plan(plan).expect("valid");
+        for i in 0..16 {
+            hmc.submit(read(i, i * 256, 64), 0);
+        }
+        hmc.drain(0);
+        let stats = hmc.ras_stats().expect("armed");
+        assert_eq!(stats.links_retired, 1);
+        assert_eq!(stats.crc_errors, 0, "preset plans must not inject");
+    }
+
+    #[test]
+    fn token_exhaustion_stalls_packet_starts() {
+        use pac_types::{RasClass, RasPlan};
+        let mut hmc = device();
+        let plan = RasPlan {
+            rate_per_1024: 0, // no CRC errors: isolate the token gate
+            token_limit: 1,
+            token_return: 50,
+            ..RasPlan::new(RasClass::LinkBitError, 5)
+        };
+        hmc.set_ras_plan(plan).expect("valid");
+        // Two back-to-back packets on the same link (ids 0 and 4 both
+        // land on link 0 of 4): the second waits for the first's credit.
+        for i in 0..8 {
+            hmc.submit(read(i, i * 256, 64), 0);
+        }
+        let stats = hmc.ras_stats().expect("armed");
+        assert!(stats.token_stalls > 0, "{stats:?}");
+        let (rsps, _) = hmc.drain(0);
+        assert_eq!(rsps.len(), 8);
+    }
+
+    #[test]
+    fn ras_plan_validated_against_device_topology() {
+        use pac_types::{RasClass, RasPlan, RasPlanError};
+        let mut hmc = device();
+        let bad = RasPlan {
+            target_link: Some(9),
+            ..RasPlan::new(RasClass::RetryStorm, 1)
+        };
+        assert_eq!(
+            hmc.set_ras_plan(bad),
+            Err(RasPlanError::TargetLinkOutOfRange { link: 9, links: 4 })
+        );
+        let wrong = RasPlan::new(RasClass::EccSingle, 1);
+        assert!(matches!(
+            hmc.set_ras_plan(wrong),
+            Err(RasPlanError::WrongBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn ras_armed_forces_serial_engine() {
+        use pac_types::{RasClass, RasPlan};
+        let mut hmc = device();
+        hmc.set_parallel(4);
+        hmc.set_ras_plan(RasPlan::new(RasClass::LinkBitError, 1)).expect("valid");
+        assert_eq!(hmc.shards(), 1, "RAS requires the serial engine");
+        hmc.set_parallel(4);
+        assert_eq!(hmc.shards(), 1);
+    }
+
+    #[test]
+    fn ras_state_snapshots_mid_retransmission() {
+        use pac_types::{RasClass, RasPlan, SnapReader, Snapshot};
+        let mut hmc = device();
+        hmc.set_ras_plan(RasPlan::new(RasClass::LinkBitError, 3)).expect("valid");
+        for i in 0..32 {
+            hmc.submit(read(i, i * 256, 64), i);
+        }
+        for now in 0..40 {
+            hmc.tick(now);
+        }
+        let bytes = snapshot_bytes(&hmc);
+        let mut r = SnapReader::new(&bytes);
+        let mut restored = Hmc::load(&mut r).expect("roundtrip");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(snapshot_bytes(&restored), bytes, "restore must be exact");
+        // Both halves finish identically.
+        let (a, da) = hmc.drain(40);
+        let (b, db) = restored.drain(40);
+        assert_eq!(a, b);
+        assert_eq!(da, db);
+        assert_eq!(hmc.ras_stats(), restored.ras_stats());
     }
 
     #[test]

@@ -263,7 +263,7 @@ mod tests {
 
         let mut raw = Vault::new(1);
         for i in 0..4 {
-            raw.enqueue(q(i, (i * 64) as u64, 64, 0));
+            raw.enqueue(q(i, i * 64, 64, 0));
         }
         let mut now = 0;
         while !raw.is_idle() {

@@ -4,6 +4,7 @@
 //! $ conformance                      # full scale
 //! $ conformance --quick              # CI scale (also via PAC_QUICK=1)
 //! $ conformance --recover --quick    # recovery mode: survive, don't just detect
+//! $ conformance --ras --quick        # hardware-RAS mode: CRC/ECC/scrub survived
 //! $ conformance --backend hbm        # run the matrices on the HBM backend
 //! $ conformance --diff --quick       # differential mode: both backends per cell
 //! $ conformance --threads 4          # fan matrix cells across 4 workers
@@ -22,6 +23,17 @@
 //! explicitly attached and requires the simulated cycle counts to
 //! reproduce bit-identically — the disabled path costs nothing.
 //!
+//! `--ras` mode proves the hardware RAS layer *beneath* the recovery
+//! stack: phase H1 arms every RAS class native to the selected backend
+//! (CRC link retry, retry storms, link retirement on HMC; SECDED ECC,
+//! double-bit poison, patrol scrub on HBM) and requires each run to
+//! converge with the oracle **silent** while events of the armed class
+//! really occurred — detected *and* survived, a retried packet is not a
+//! duplicate; phase H2 prints the degraded-mode throughput table
+//! (healthy vs half-width vs retired link, or healthy vs scrub-on);
+//! phase H3 replays the committed baseline with the RAS layer disarmed
+//! and requires bit-identical cycle counts — disabled means free.
+//!
 //! `--backend hmc|hbm` selects the memory substrate the matrices run
 //! on (default hmc). Phase R2 is tied to the HMC-recorded baseline and
 //! is skipped on other backends. `--diff` instead runs every matrix
@@ -31,8 +43,9 @@
 //! Exits nonzero on any failing cell in any mode.
 
 use pac_bench::conformance::{
-    clean_matrix, disabled_recovery_reproduction, expected_invariants, fault_matrix,
-    recovery_matrix, ConformanceScale,
+    clean_matrix, degraded_table, disabled_ras_reproduction, disabled_recovery_reproduction,
+    expected_invariants, fault_matrix, ras_classes_for, ras_matrix, recovery_matrix,
+    ConformanceScale,
 };
 use pac_bench::diff::diff_matrix;
 use pac_bench::runner::{backend_from_args, progress_from_args, threads_from_args};
@@ -46,6 +59,7 @@ fn main() {
     let quick =
         args.iter().any(|a| a == "--quick") || std::env::var("PAC_QUICK").is_ok_and(|v| v != "0");
     let recover = args.iter().any(|a| a == "--recover");
+    let ras = args.iter().any(|a| a == "--ras");
     let diff = args.iter().any(|a| a == "--diff");
     let (runner, backend) = match threads_from_args(&args)
         .map(ParallelRunner::new)
@@ -83,6 +97,8 @@ fn main() {
         (pac_types::FaultClass::ALL.len() * pac_sim::CoalescerKind::ALL.len()) as u64;
     let total_cells = if diff {
         0 // diff cells are not streamed individually yet
+    } else if ras {
+        (ras_classes_for(backend).len() * pac_sim::CoalescerKind::ALL.len()) as u64
     } else if recover {
         fault_cells
     } else {
@@ -98,6 +114,8 @@ fn main() {
 
     let failures = if diff {
         run_diff(scale, &runner)
+    } else if ras {
+        run_ras_mode(scale, quick, backend, &runner, &progress)
     } else if recover {
         run_recover(scale, quick, backend, &runner, &progress)
     } else {
@@ -113,6 +131,11 @@ fn main() {
         eprintln!(
             "\nconformance passed: both backends conserve every request, complete \
              identical sets, and keep the oracle silent on every cell"
+        );
+    } else if ras {
+        eprintln!(
+            "\nconformance passed: every hardware RAS class injected, detected, and \
+             survived with the oracle silent, and the disarmed layer costs nothing"
         );
     } else if recover {
         eprintln!(
@@ -222,6 +245,104 @@ fn run_detect(
             if ok { "DETECTED" } else { "MISSED" },
             if fired.is_empty() { "none".to_string() } else { fired.join(", ") }
         );
+    }
+    failures
+}
+
+/// `--ras` phases. Returns the failing cell count.
+fn run_ras_mode(
+    scale: ConformanceScale,
+    quick: bool,
+    backend: BackendKind,
+    runner: &ParallelRunner,
+    progress: &ProgressSink,
+) -> u32 {
+    let mut failures = 0u32;
+
+    eprintln!("\n== phase H1: RAS matrix (every class injected, detected, survived) ==");
+    println!(
+        "{:<16} {:<10} {:>7}  {:>7} {:>7} {:>6} {:>6}  verdict",
+        "ras class", "coalescer", "events", "retries", "stalls", "ecc", "scrub"
+    );
+    let timer = PhaseTimer::start("ras_matrix");
+    let cells = ras_matrix(scale, backend, runner, progress);
+    timer.finish(progress);
+    for cell in cells {
+        let ok = cell.passed();
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:<16} {:<10} {:>7}  {:>7} {:>7} {:>6} {:>6}  {}",
+            cell.class.label(),
+            cell.kind.label(),
+            cell.events,
+            cell.stats.link_retries,
+            cell.stats.token_stalls,
+            cell.stats.ecc_corrected + cell.stats.ecc_poisoned,
+            cell.stats.scrub_hits,
+            if ok { "SURVIVED" } else { "FAILED" }
+        );
+        if !ok {
+            println!(
+                "      converged={} oracle={} stats={:?}",
+                cell.converged,
+                cell.report.summary(),
+                cell.stats
+            );
+            for v in cell.report.violations.iter().take(4) {
+                println!("      {v}");
+            }
+        }
+    }
+    drain_check(progress);
+
+    eprintln!("\n== phase H2: degraded-mode throughput (STREAM x pac, steady state) ==");
+    let rows = degraded_table(scale, backend);
+    let healthy = rows.first().map_or(0, |r| r.cycles);
+    println!("{:<14} {:>14} {:>10}", "mode", "cycles", "slowdown");
+    for row in &rows {
+        println!(
+            "{:<14} {:>14} {:>9.3}x",
+            row.mode,
+            row.cycles,
+            if healthy > 0 { row.cycles as f64 / healthy as f64 } else { 0.0 }
+        );
+    }
+    drain_check(progress);
+
+    eprintln!("\n== phase H3: disarmed-RAS cycle reproduction vs BENCH_throughput.json ==");
+    if backend != BackendKind::Hmc {
+        println!(
+            "skipped: baseline cycle counts are recorded on hmc (running --backend {})",
+            backend.label()
+        );
+        return failures;
+    }
+    let max_cells = if quick { 6 } else { 0 };
+    match read_baseline() {
+        Ok(json) => match disabled_ras_reproduction(&json, max_cells) {
+            Ok(mismatches) if mismatches.is_empty() => {
+                println!(
+                    "cycle reproduction: all compared cells bit-identical \
+                     (the disarmed RAS layer changes nothing)"
+                );
+            }
+            Ok(mismatches) => {
+                for m in &mismatches {
+                    println!("CYCLE MISMATCH: {m}");
+                }
+                failures += mismatches.len() as u32;
+            }
+            Err(e) => {
+                println!("baseline unusable: {e}");
+                failures += 1;
+            }
+        },
+        Err(e) => {
+            println!("cannot read BENCH_throughput.json: {e}");
+            failures += 1;
+        }
     }
     failures
 }

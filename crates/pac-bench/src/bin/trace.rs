@@ -16,7 +16,10 @@
 //! per-stage latency histograms.
 
 use pac_bench::error::{self, BenchError};
-use pac_bench::runner::{backend_from_args, progress_from_args, threads_from_args};
+use pac_bench::runner::{
+    backend_from_args, fault_class_from_name, progress_from_args, ras_from_args,
+    threads_from_args,
+};
 use pac_bench::trace_cmd::{run_cell, throughput_guard};
 use pac_bench::ParallelRunner;
 use pac_obs::{CellId, ProgressSink};
@@ -33,6 +36,8 @@ fn usage() -> ! {
          trace [--quick] [--backend hmc|hbm] --all [--threads <T>] [out-dir]\n  \
          trace [--quick] [--backend hmc|hbm] --fault \
          <drop-response|duplicate-response|delay-response|corrupt-addr> \
+         <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
+         trace [--quick] [--backend hmc|hbm] --ras <class>[:key=value,...] \
          <BENCH> <raw|mshr-dmc|pac> [out.json]\n  \
          trace [--quick] --guard"
     );
@@ -62,17 +67,8 @@ fn parse_kind(s: &str) -> CoalescerKind {
 }
 
 fn parse_fault(s: &str) -> FaultClass {
-    let all = [
-        FaultClass::DropResponse,
-        FaultClass::DuplicateResponse,
-        FaultClass::DelayResponse,
-        FaultClass::CorruptAddr,
-    ];
-    all.into_iter().find(|c| c.label() == s).unwrap_or_else(|| {
-        eprintln!(
-            "unknown fault class '{s}'; known: {}",
-            all.map(|c| c.label()).join(", ")
-        );
+    fault_class_from_name(s).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(2);
     })
 }
@@ -123,6 +119,21 @@ fn run() -> Result<(), BenchError> {
         args.drain(i..args.len().min(i + 2));
     }
     args.retain(|a| !a.starts_with("--backend="));
+    // `--ras <plan>` arms the hardware RAS layer on whatever cell the
+    // positional arguments select. Parsed here (typed usage errors),
+    // validated against the active backend's topology below once the
+    // device config is known.
+    let ras = match ras_from_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
+    if let Some(i) = args.iter().position(|a| a == "--ras") {
+        args.drain(i..args.len().min(i + 2));
+    }
+    args.retain(|a| !a.starts_with("--ras="));
     let progress = match progress_from_args(&args) {
         Ok(None) => ProgressSink::disabled(),
         Ok(Some(arg)) => ProgressSink::create(&arg).unwrap_or_else(|e| {
@@ -146,9 +157,31 @@ fn run() -> Result<(), BenchError> {
         ExperimentConfig::default()
     };
     cfg.sim = SimConfig { cores: cfg.sim.cores, ..SimConfig::for_backend(backend) };
+    // Reject a plan the device would refuse (wrong substrate for the
+    // class, out-of-range target link) before any run starts.
+    let ras = match ras {
+        Some(plan) => {
+            let links = match backend {
+                BackendKind::Hmc => cfg.sim.hmc.links,
+                BackendKind::Hbm => cfg.sim.hbm.channels,
+            };
+            match plan.validate_for(backend, links) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("{}", BenchError::Usage(e.to_string()));
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => None,
+    };
 
     match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
         ["--guard"] => {
+            if ras.is_some() {
+                eprintln!("--guard proves the disarmed path; drop --ras");
+                std::process::exit(2);
+            }
             if backend != BackendKind::Hmc {
                 // The guard reproduces HMC-recorded baseline wall
                 // clocks; there is nothing to compare on another
@@ -187,7 +220,8 @@ fn run() -> Result<(), BenchError> {
             // to the old serial loop at any thread count.
             let (outs, stats) = runner.run_observed(&Bench::ALL, |_, &bench| {
                 let t = Instant::now();
-                let out = run_cell(bench, CoalescerKind::Pac, &cfg, TraceConfig::full(), None);
+                let out =
+                    run_cell(bench, CoalescerKind::Pac, &cfg, TraceConfig::full(), None, ras);
                 (out, t.elapsed().as_secs_f64())
             });
             for (i, (bench, (out, wall))) in Bench::ALL.iter().zip(&outs).enumerate() {
@@ -235,6 +269,7 @@ fn run() -> Result<(), BenchError> {
                 &cfg,
                 TraceConfig::flight_recorder(),
                 Some(plan),
+                ras,
             );
             print!("{}", out.report);
             if let Some(path) = rest.first() {
@@ -262,6 +297,7 @@ fn run() -> Result<(), BenchError> {
                 &cfg,
                 TraceConfig::full(),
                 None,
+                ras,
             );
             let wall = t.elapsed().as_secs_f64();
             let id = CellId {

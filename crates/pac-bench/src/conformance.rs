@@ -16,7 +16,9 @@ use pac_oracle::{Invariant, OracleConfig, OracleReport};
 use pac_serve::{run_supervised, SupervisePolicy};
 use pac_sim::system::run_lockstep;
 use pac_sim::{CoalescerKind, LockstepOutcome, RecoveryReport};
-use pac_types::{BackendKind, FaultClass, FaultPlan, RecoveryConfig, SimConfig};
+use pac_types::{
+    BackendKind, FaultClass, FaultPlan, RasClass, RasPlan, RasStats, RecoveryConfig, SimConfig,
+};
 use pac_workloads::multiproc::single_process;
 use pac_workloads::Bench;
 
@@ -166,6 +168,7 @@ pub fn clean_matrix(
             specs,
             cell.kind,
             scale.accesses_per_core,
+            None,
             None,
             None,
             None,
@@ -400,10 +403,241 @@ pub fn run_fault_with(
         kind,
         scale.accesses_per_core,
         Some(plan),
+        None,
         recovery,
         Some(oracle_cfg),
         limit,
     )
+}
+
+/// One cell of the hardware-RAS matrix: a run with one [`RasClass`]
+/// armed on its native backend.
+pub struct RasCell {
+    pub class: RasClass,
+    pub kind: CoalescerKind,
+    pub converged: bool,
+    /// Events of the armed class the device actually modeled.
+    pub events: u64,
+    pub stats: RasStats,
+    pub report: OracleReport,
+    /// [`RasClass::EccDouble`] cells run with recovery armed — the
+    /// poisoned echo *must* be repaired for the oracle to stay silent.
+    pub recovery: Option<RecoveryReport>,
+}
+
+impl RasCell {
+    /// Surviving a RAS class means the hardware defense absorbed it:
+    /// the run converged, events of the armed class really occurred,
+    /// and the oracle stayed **silent** — a retried packet is not a
+    /// duplicate, a corrected beat is not a corruption. Where recovery
+    /// rode along (double-bit detects), no retry budget may blow.
+    pub fn passed(&self) -> bool {
+        self.converged
+            && self.events > 0
+            && self.report.is_clean()
+            && self.recovery.as_ref().is_none_or(|r| {
+                !r.aborted && r.stuck.is_empty() && r.outstanding == 0
+            })
+    }
+}
+
+fn ras_seed(class: RasClass, kind: CoalescerKind) -> u64 {
+    0x9A5_C0DE
+        + RasClass::ALL.iter().position(|&c| c == class).unwrap() as u64 * 13
+        + CoalescerKind::ALL.iter().position(|&k| k == kind).unwrap() as u64
+}
+
+/// The RAS classes that run on `backend` — link classes live in the
+/// HMC SERDES stack, ECC/scrub classes in the HBM arrays.
+pub fn ras_classes_for(backend: BackendKind) -> Vec<RasClass> {
+    RasClass::ALL.iter().copied().filter(|c| c.backend() == backend).collect()
+}
+
+/// One armed RAS run. Double-bit detects poison the address echo, so
+/// those cells arm the transaction-recovery layer — surviving them
+/// means detection *plus* repair, exactly the deployed configuration.
+pub fn run_ras(
+    class: RasClass,
+    kind: CoalescerKind,
+    scale: ConformanceScale,
+    backend: BackendKind,
+) -> LockstepOutcome {
+    let plan = RasPlan::new(class, ras_seed(class, kind));
+    let recovery = (class == RasClass::EccDouble).then(RecoveryConfig::enabled);
+    let specs = single_process(Bench::Stream, scale.cores, 7);
+    run_lockstep(
+        backend_sim(backend),
+        specs,
+        kind,
+        scale.accesses_per_core,
+        None,
+        Some(plan),
+        recovery,
+        None,
+        scale.cycle_limit,
+    )
+}
+
+/// Run the RAS matrix: every [`RasClass`] native to `backend` × every
+/// coalescer, fanned out across the supervised pool. Passing cells
+/// prove each hardware fault class is injected, detected, and
+/// *survived* with the oracle silent and conservation intact.
+pub fn ras_matrix(
+    scale: ConformanceScale,
+    backend: BackendKind,
+    runner: &ParallelRunner,
+    progress: &ProgressSink,
+) -> Vec<RasCell> {
+    let mut jobs = Vec::new();
+    for class in ras_classes_for(backend) {
+        for kind in CoalescerKind::ALL {
+            jobs.push((class, kind));
+        }
+    }
+    let config = scale_label(scale);
+    let policy = supervise_policy();
+    let (cells, stats) = run_supervised(runner.threads(), &jobs, &policy, |i, &(class, kind)| {
+        let id = CellId {
+            bench: class.label(),
+            kind: kind.label(),
+            backend: backend.label(),
+            config: &config,
+        };
+        progress.cell_start(i, &id);
+        let t = std::time::Instant::now();
+        let out = run_ras(class, kind, scale, backend);
+        let stats = out.ras_stats.unwrap_or_default();
+        let result = RasCell {
+            class,
+            kind,
+            converged: out.converged,
+            events: stats.events_for(class),
+            stats,
+            report: out.oracle,
+            recovery: out.recovery,
+        };
+        emit_cell(
+            progress,
+            i,
+            &id,
+            result.passed(),
+            t.elapsed().as_secs_f64(),
+            out.shard_stats.as_ref(),
+            out.cycles,
+        );
+        result
+    }, |i, &(class, kind), reason| {
+        progress.cell_quarantined(i, policy.max_attempts, reason);
+        RasCell {
+            class,
+            kind,
+            converged: false,
+            events: 0,
+            stats: RasStats::default(),
+            report: empty_oracle_report(),
+            recovery: None,
+        }
+    });
+    progress.supervisor(&stats);
+    cells
+}
+
+/// One row of the degraded-mode throughput table.
+pub struct DegradedRow {
+    /// Operating mode label ("healthy", "half-width", ...).
+    pub mode: &'static str,
+    /// Simulated cycles the run took in this mode.
+    pub cycles: u64,
+    /// RAS counters at the end of the run (zeroes for healthy).
+    pub stats: RasStats,
+}
+
+/// Measure steady-state throughput across the degradation ladder on
+/// `backend`: STREAM × PAC, healthy first, then each degraded mode.
+/// HMC walks the link ladder with `preset_degraded` plans (the
+/// end-state is applied at arm time, nothing is injected, so the row
+/// measures the *mode*, not the transition); HBM compares a quiet
+/// array against one with the patrol scrubber stealing bank cycles.
+pub fn degraded_table(scale: ConformanceScale, backend: BackendKind) -> Vec<DegradedRow> {
+    let preset = |class| RasPlan {
+        preset_degraded: true,
+        ..RasPlan::new(class, 0x0DE6_0ADE)
+    };
+    let modes: Vec<(&'static str, Option<RasPlan>)> = match backend {
+        BackendKind::Hmc => vec![
+            ("healthy", None),
+            ("half-width", Some(preset(RasClass::RetryStorm))),
+            ("link-retired", Some(preset(RasClass::LinkRetire))),
+        ],
+        BackendKind::Hbm => vec![
+            ("healthy", None),
+            ("scrub-on", Some(RasPlan::new(RasClass::Scrub, 0x0DE6_0ADE))),
+        ],
+    };
+    modes
+        .into_iter()
+        .map(|(mode, plan)| {
+            let specs = single_process(Bench::Stream, scale.cores, 7);
+            let out = run_lockstep(
+                backend_sim(backend),
+                specs,
+                CoalescerKind::Pac,
+                scale.accesses_per_core,
+                None,
+                plan,
+                None,
+                None,
+                scale.cycle_limit,
+            );
+            DegradedRow {
+                mode,
+                cycles: out.cycles,
+                stats: out.ras_stats.unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// Prove the disarmed RAS layer is zero-cost: replay the committed
+/// throughput baseline with no RAS plan attached (the layer's fields
+/// present but `None`, exactly how every non-RAS run now executes) and
+/// require the simulated cycle counts to reproduce bit-identically.
+/// Returns the mismatching cells (empty = pass). `max_cells` bounds the
+/// sweep for quick mode (0 = all).
+pub fn disabled_ras_reproduction(
+    baseline_json: &str,
+    max_cells: usize,
+) -> Result<Vec<String>, String> {
+    use crate::trace_cmd::parse_baseline;
+    use pac_sim::{ExperimentConfig, SimSystem};
+
+    let (accesses, seed, mut cells) = parse_baseline(baseline_json)?;
+    if max_cells > 0 {
+        cells.truncate(max_cells);
+    }
+    let cfg = ExperimentConfig { accesses_per_core: accesses, seed, ..Default::default() };
+    let mut mismatches = Vec::new();
+    for cell in &cells {
+        let Some(bench) = Bench::from_name(&cell.bench) else {
+            return Err(format!("baseline names unknown benchmark '{}'", cell.bench));
+        };
+        let kind = match cell.kind.as_str() {
+            "raw" => CoalescerKind::Raw,
+            "mshr-dmc" => CoalescerKind::MshrDmc,
+            "pac" => CoalescerKind::Pac,
+            other => return Err(format!("baseline names unknown coalescer '{other}'")),
+        };
+        let specs = single_process(bench, cfg.sim.cores, cfg.seed);
+        let mut sys = SimSystem::with_options(cfg.sim, specs, kind, false, false, cfg.stepping);
+        let m = sys.run(cfg.accesses_per_core);
+        if m.runtime_cycles != cell.simulated_cycles {
+            mismatches.push(format!(
+                "{}/{}: {} cycles with the RAS layer disarmed, baseline {}",
+                cell.bench, cell.kind, m.runtime_cycles, cell.simulated_cycles
+            ));
+        }
+    }
+    Ok(mismatches)
 }
 
 /// Prove the disabled recovery configuration is zero-cost: re-run every
@@ -520,6 +754,60 @@ mod tests {
         }
     }
 
+    /// Every RAS class is injected, detected, and survived on its
+    /// native backend under PAC: the oracle stays silent through CRC
+    /// retries, ECC corrections, poison-and-reissue repairs, and scrub
+    /// windows — a retried packet is not a duplicate.
+    #[test]
+    fn every_ras_class_survives_on_its_backend_under_pac() {
+        let scale = ConformanceScale { cycle_limit: 600_000, ..ConformanceScale::quick() };
+        for backend in BackendKind::ALL {
+            for class in ras_classes_for(backend) {
+                let out = run_ras(class, CoalescerKind::Pac, scale, backend);
+                let stats = out.ras_stats.expect("armed run must report RAS stats");
+                assert!(
+                    stats.events_for(class) > 0,
+                    "{backend:?}/{class:?}: no RAS event modeled ({stats:?})"
+                );
+                assert!(out.converged, "{backend:?}/{class:?} did not converge");
+                assert!(
+                    out.oracle.is_clean(),
+                    "{backend:?}/{class:?} oracle: {}",
+                    out.oracle.summary()
+                );
+                // Conservation through retransmission, in numbers.
+                assert_eq!(out.oracle.accepted_raw, out.oracle.served_raw);
+            }
+        }
+    }
+
+    /// Every degraded-mode row really runs in its mode: the preset
+    /// rows are in their end states from cycle zero (nothing injected,
+    /// the mode itself is measured) and the scrub row models windows.
+    /// Cycle counts are reported, not ordered — at small scale a
+    /// slower link can *reduce* bank conflicts downstream, so the
+    /// table's job is to measure, not to assume monotonicity.
+    #[test]
+    fn degraded_table_rows_run_in_their_modes() {
+        let scale = ConformanceScale { cycle_limit: 600_000, ..ConformanceScale::quick() };
+        let rows = degraded_table(scale, BackendKind::Hmc);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].mode, "healthy");
+        assert_eq!(rows[0].stats, pac_types::RasStats::default());
+        assert_eq!(rows[1].stats.links_half_width, 1, "half-width preset not applied");
+        assert_eq!(rows[1].stats.crc_errors, 0, "preset rows must not inject");
+        assert_eq!(rows[2].stats.links_retired, 1, "retired preset not applied");
+        assert!(rows.iter().all(|r| r.cycles > 0));
+        // The ladder really changes timing: the degraded rows are not
+        // bit-identical replays of the healthy row.
+        assert_ne!(rows[1].cycles, rows[0].cycles);
+        assert_ne!(rows[2].cycles, rows[0].cycles);
+        let rows = degraded_table(scale, BackendKind::Hbm);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].stats.scrub_hits > 0, "scrub-on row modeled no windows");
+        assert!(rows.iter().all(|r| r.cycles > 0));
+    }
+
     /// A clean armed-with-nothing run stays clean (spot check; the full
     /// matrix is the binary's job).
     #[test]
@@ -531,6 +819,7 @@ mod tests {
             specs,
             CoalescerKind::Pac,
             scale.accesses_per_core,
+            None,
             None,
             None,
             None,

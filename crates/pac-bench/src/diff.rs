@@ -77,6 +77,7 @@ pub fn diff_cell(bench: Bench, kind: CoalescerKind, scale: ConformanceScale) -> 
             None,
             None,
             None,
+            None,
             scale.cycle_limit,
         );
         if !out.converged {

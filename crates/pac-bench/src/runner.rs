@@ -214,6 +214,54 @@ pub fn backend_from_args(args: &[String]) -> Result<pac_types::BackendKind, Benc
     Ok(pac_types::BackendKind::Hmc)
 }
 
+/// Parse the uniform `--ras <plan>` / `--ras=<plan>` flag shared by the
+/// harness binaries. Returns `None` when absent. Plan syntax is
+/// `<class>[:key=value,...]` ([`pac_types::RasPlan::parse`]); a
+/// malformed plan is a typed [`BenchError::Usage`] whose message lists
+/// the valid classes and keys — never a silent fallback.
+pub fn ras_from_args(args: &[String]) -> Result<Option<pac_types::RasPlan>, BenchError> {
+    let parse = |v: &str| {
+        pac_types::RasPlan::parse(v)
+            .map(Some)
+            .map_err(|e| BenchError::Usage(e.to_string()))
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--ras" {
+            let Some(v) = it.next() else {
+                let classes: Vec<_> =
+                    pac_types::RasClass::ALL.iter().map(|c| c.label()).collect();
+                return Err(BenchError::Usage(format!(
+                    "--ras requires a plan '<class>[:key=value,...]' (classes: {})",
+                    classes.join(", ")
+                )));
+            };
+            return parse(v);
+        }
+        if let Some(v) = a.strip_prefix("--ras=") {
+            return parse(v);
+        }
+    }
+    Ok(None)
+}
+
+/// Parse a fault-class name into a [`pac_types::FaultClass`]; an
+/// unknown name is a typed [`BenchError::Usage`] listing the valid
+/// classes, matching the `--backend`/`--ras` parser convention.
+pub fn fault_class_from_name(name: &str) -> Result<pac_types::FaultClass, BenchError> {
+    pac_types::FaultClass::ALL
+        .iter()
+        .copied()
+        .find(|c| c.label() == name)
+        .ok_or_else(|| {
+            let valid: Vec<_> = pac_types::FaultClass::ALL.iter().map(|c| c.label()).collect();
+            BenchError::Usage(format!(
+                "unknown fault class '{name}' (valid: {})",
+                valid.join(", ")
+            ))
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +288,42 @@ mod tests {
         assert!(threads_from_args(&to(&["--threads"])).is_err());
         let err = threads_from_args(&to(&["--threads", "x"])).unwrap_err();
         assert!(matches!(err, BenchError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn ras_flag_parses_plans_and_rejects_malformed_ones() {
+        use pac_types::RasClass;
+        let to = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(ras_from_args(&to(&["--quick"])).unwrap(), None);
+        let plan = ras_from_args(&to(&["--ras", "scrub:seed=7"])).unwrap().unwrap();
+        assert_eq!(plan.class, RasClass::Scrub);
+        assert_eq!(plan.seed, 7);
+        let plan = ras_from_args(&to(&["--ras=link-bit-error"])).unwrap().unwrap();
+        assert_eq!(plan.class, RasClass::LinkBitError);
+        // Missing value, unknown class, and unknown key are all typed
+        // usage errors that list the valid choices.
+        let err = ras_from_args(&to(&["--ras"])).unwrap_err();
+        assert!(matches!(err, BenchError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("link-bit-error"), "{err}");
+        let err = ras_from_args(&to(&["--ras", "cosmic-ray"])).unwrap_err();
+        assert!(matches!(err, BenchError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("unknown ras class 'cosmic-ray'"), "{err}");
+        assert!(err.to_string().contains("ecc-single"), "{err}");
+        let err = ras_from_args(&to(&["--ras", "scrub:warp=9"])).unwrap_err();
+        assert!(matches!(err, BenchError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("unknown ras field 'warp'"), "{err}");
+        assert!(err.to_string().contains("scrub-interval"), "{err}");
+    }
+
+    #[test]
+    fn fault_class_names_parse_or_list_the_valid_set() {
+        use pac_types::FaultClass;
+        assert_eq!(fault_class_from_name("corrupt-addr").unwrap(), FaultClass::CorruptAddr);
+        assert_eq!(fault_class_from_name("drop-response").unwrap(), FaultClass::DropResponse);
+        let err = fault_class_from_name("bit-rot").unwrap_err();
+        assert!(matches!(err, BenchError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("drop-response"), "{err}");
+        assert!(err.to_string().contains("corrupt-addr"), "{err}");
     }
 
     #[test]

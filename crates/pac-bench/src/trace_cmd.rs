@@ -13,7 +13,7 @@
 use pac_sim::{CoalescerKind, ExperimentConfig, SimSystem};
 use pac_trace::perfetto::chrome_trace_json;
 use pac_trace::{FlightDump, MetricsRegistry};
-use pac_types::{FaultPlan, TraceConfig};
+use pac_types::{FaultPlan, RasPlan, TraceConfig};
 use pac_workloads::multiproc::single_process;
 use pac_workloads::Bench;
 use std::fmt::Write as _;
@@ -45,16 +45,20 @@ pub struct TraceOutcome {
 }
 
 /// Run one `bench × kind` cell under `trace_cfg`, optionally with a
-/// fault plan armed, and collect the exported trace plus the report.
-/// The lockstep oracle rides along so the report always carries a
-/// verdict; fault runs use a bounded drain (a dropped response would
-/// otherwise wedge the run loop).
+/// fault plan or a hardware-RAS plan armed, and collect the exported
+/// trace plus the report. The lockstep oracle rides along so the
+/// report always carries a verdict; fault runs use a bounded drain (a
+/// dropped response would otherwise wedge the run loop). Callers
+/// validate RAS plans against the active backend first
+/// ([`pac_types::RasPlan::validate_for`]) — by the time a plan reaches
+/// here it must arm cleanly.
 pub fn run_cell(
     bench: Bench,
     kind: CoalescerKind,
     cfg: &ExperimentConfig,
     trace_cfg: TraceConfig,
     fault: Option<FaultPlan>,
+    ras: Option<RasPlan>,
 ) -> TraceOutcome {
     let specs = single_process(bench, cfg.sim.cores, cfg.seed);
     let mut sys = SimSystem::with_options(cfg.sim, specs, kind, false, false, cfg.stepping);
@@ -62,6 +66,9 @@ pub fn run_cell(
     sys.set_trace_config(trace_cfg);
     if let Some(plan) = fault {
         sys.set_fault_plan(plan).expect("valid fault plan");
+    }
+    if let Some(plan) = ras {
+        sys.set_ras_plan(plan).expect("caller-validated ras plan");
     }
     let limit = cfg
         .accesses_per_core
@@ -119,6 +126,22 @@ fn render_report(
         let _ = writeln!(out, "oracle : {}", report.summary());
     }
     let _ = writeln!(out, "faults : {}", sys.faults_injected());
+    if let Some(rs) = sys.ras_stats() {
+        let _ = writeln!(
+            out,
+            "ras    : crc={} retries={} half={} retired={} stalls={} corrected={} \
+             poisoned={} scrub={} spared={}",
+            rs.crc_errors,
+            rs.link_retries,
+            rs.links_half_width,
+            rs.links_retired,
+            rs.token_stalls,
+            rs.ecc_corrected,
+            rs.ecc_poisoned,
+            rs.scrub_hits,
+            rs.banks_spared
+        );
+    }
     let _ = writeln!(out, "dumps  : {}", dumps.len());
     for (i, d) in dumps.iter().enumerate() {
         let _ = writeln!(
@@ -426,7 +449,7 @@ mod tests {
     #[test]
     fn traced_cell_emits_valid_perfetto_json() {
         let out =
-            run_cell(Bench::Ep, CoalescerKind::Pac, &quick_cfg(), TraceConfig::full(), None);
+            run_cell(Bench::Ep, CoalescerKind::Pac, &quick_cfg(), TraceConfig::full(), None, None);
         assert!(out.converged);
         assert!(out.events > 0);
         assert!(out.json.starts_with("{\"traceEvents\":["));
@@ -455,6 +478,7 @@ mod tests {
             &quick_cfg(),
             TraceConfig::flight_recorder(),
             Some(plan),
+            None,
         );
         assert!(out.dumps >= 1, "fault must dump the flight window");
         assert!(out.report.contains("fault corrupt-addr on request id"));
@@ -462,9 +486,34 @@ mod tests {
     }
 
     #[test]
+    fn ras_armed_cell_traces_the_hardware_story() {
+        use pac_types::{RasClass, RasPlan};
+        // Every packet takes a CRC hit so the trace is guaranteed to
+        // carry the retry machinery.
+        let plan = RasPlan {
+            rate_per_1024: 1024,
+            max_events: u64::MAX,
+            ..RasPlan::new(RasClass::LinkBitError, 9)
+        };
+        let out = run_cell(
+            Bench::Stream,
+            CoalescerKind::Pac,
+            &quick_cfg(),
+            TraceConfig::full(),
+            None,
+            Some(plan),
+        );
+        assert!(out.converged, "retries are latency, not loss");
+        assert!(out.json.contains("crc_error"), "trace missing crc_error events");
+        assert!(out.json.contains("link_retry"), "trace missing link_retry events");
+        assert!(out.report.contains("oracle : clean"), "{}", out.report);
+        assert!(out.report.contains("ras    : crc="), "{}", out.report);
+    }
+
+    #[test]
     fn flight_recorder_mode_keeps_no_full_log() {
         let cfg = TraceConfig { mode: TraceMode::FlightRecorder, ..TraceConfig::full() };
-        let out = run_cell(Bench::Gs, CoalescerKind::MshrDmc, &quick_cfg(), cfg, None);
+        let out = run_cell(Bench::Gs, CoalescerKind::MshrDmc, &quick_cfg(), cfg, None, None);
         assert_eq!(out.events, 0, "ring mode must not retain the full log");
         assert_eq!(out.dumps, 0, "no trigger fired");
         // The export still carries track metadata but no event records.

@@ -256,7 +256,7 @@ mod tests {
     fn q(id: u64, bank: u32, bytes: u64, arrival: Cycle) -> QueuedRequest {
         QueuedRequest {
             id,
-            addr: u64::from(id) * 1024,
+            addr: id * 1024,
             bytes,
             op: Op::Load,
             bank,

@@ -23,13 +23,72 @@ use hmc_sim::vault::{QueuedRequest, ReadyResponse};
 use hmc_sim::{EnergyBreakdown, EnergyClass, HmcRequest, HmcResponse, HmcStats};
 use pac_trace::{DumpTrigger, EventKind, TraceHandle};
 use pac_types::protocol::FLIT_BYTES;
-use pac_types::{Cycle, EventClass, FaultClass, FaultPlan, FaultPlanError, HbmDeviceConfig, Op};
+use pac_types::{
+    Cycle, EventClass, FaultClass, FaultPlan, FaultPlanError, HbmDeviceConfig, Op, RasClass,
+    RasPlan, RasPlanError, RasStats,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A finished response ordered by delivery cycle:
 /// `(complete, id, addr, bytes, is_store, submit_cycle)`.
 type CompletedEntry = (Cycle, u64, u64, u64, bool, Cycle);
+
+/// Runtime state of the DRAM RAS machinery under an armed [`RasPlan`]:
+/// per-bank correctable-error counters feeding bank sparing, the spare
+/// map itself, and the cumulative event counters. The patrol scrubber
+/// needs no mutable state — its windows are a pure function of
+/// `(bank, cycle)`, exactly like refresh — so a checkpoint taken
+/// mid-scrub carries everything in these fields plus the clock.
+#[derive(Debug, Clone)]
+struct MemRas {
+    plan: RasPlan,
+    /// ECC events injected so far (budget against `plan.max_events`).
+    events: u64,
+    /// Correctable-error count per flat bank
+    /// (`channel * banks_per_channel + bank`).
+    correctable: Vec<u32>,
+    /// Banks remapped to their channel's spare (the channel's last
+    /// bank stands in for a dedicated spare row of banks).
+    spared: Vec<bool>,
+    stats: RasStats,
+}
+
+pac_types::snapshot_fields!(MemRas {
+    plan,
+    events,
+    correctable,
+    spared,
+    stats,
+});
+
+impl MemRas {
+    fn new(plan: RasPlan, flat_banks: usize) -> Self {
+        MemRas {
+            plan,
+            events: 0,
+            correctable: vec![0; flat_banks],
+            spared: vec![false; flat_banks],
+            stats: RasStats::default(),
+        }
+    }
+
+    /// Cycles a reference whose data lands at `t` on `bank` must wait
+    /// for the bank's patrol-scrub window to pass (0 when clear).
+    /// Windows recur every `scrub_interval` cycles, staggered across
+    /// banks on a different phase than refresh so the two never
+    /// systematically align.
+    fn scrub_delay(&self, bank: u32, banks: u32, t: Cycle) -> Cycle {
+        if self.plan.class != RasClass::Scrub || self.plan.scrub_duration == 0 {
+            return 0;
+        }
+        let interval = self.plan.scrub_interval;
+        let stagger =
+            (u64::from(bank) * interval / u64::from(banks) + interval / 4) % interval;
+        let phase = (t + interval - stagger % interval) % interval;
+        self.plan.scrub_duration.saturating_sub(phase)
+    }
+}
 
 /// The HBM device model.
 #[derive(Debug)]
@@ -61,6 +120,10 @@ pub struct Hbm {
     fault_plan: Option<FaultPlan>,
     /// Faults injected so far under `fault_plan`.
     faults_injected: u64,
+    /// DRAM RAS machinery (ECC, patrol scrub, bank sparing), when armed
+    /// via [`Hbm::set_ras_plan`]. `None` (the default) is bit-identical
+    /// to a device without the RAS layer compiled in.
+    ras: Option<MemRas>,
     /// Aggregate statistics.
     pub stats: HmcStats,
     /// Energy breakdown by operation class.
@@ -92,6 +155,7 @@ pac_types::snapshot_fields!(Hbm {
     chan_next_min,
     fault_plan,
     faults_injected,
+    ras,
     stats,
     energy,
 } skip {
@@ -117,6 +181,7 @@ impl Hbm {
             scratch: Vec::new(),
             fault_plan: None,
             faults_injected: 0,
+            ras: None,
             stats: HmcStats::default(),
             energy: EnergyBreakdown::new(),
             tracer: TraceHandle::disabled(),
@@ -138,11 +203,12 @@ impl Hbm {
 
     /// Arm (`shards > 1`) or disarm (`shards <= 1`) the parallel
     /// channel shard engine. Identical contract to `Hmc::set_parallel`:
-    /// a runtime policy, bit-identical at every shard count.
+    /// a runtime policy, bit-identical at every shard count. No-ops
+    /// back to serial when an enabled tracer or a RAS plan is armed.
     pub fn set_parallel(&mut self, shards: usize) {
         self.quiesce_engine();
         self.engine = None;
-        if shards > 1 && !self.tracer.is_enabled() {
+        if shards > 1 && !self.tracer.is_enabled() && self.ras.is_none() {
             self.engine = Some(ChannelShardEngine::new(&self.cfg, &self.channels, shards));
         }
     }
@@ -210,6 +276,29 @@ impl Hbm {
         self.faults_injected
     }
 
+    /// Arm the DRAM RAS layer: seeded per-beat SECDED ECC events
+    /// (correct single-bit for a pipeline penalty, detect-and-poison
+    /// double-bit), patrol-scrub windows that steal bank cycles like
+    /// refresh, and bank sparing past a correctable-error threshold.
+    /// The plan is validated against this device (ECC/scrub classes
+    /// only), so a plan that could never fire is an error at arm time.
+    /// Arming tears down the shard engine — the RAS state machine, like
+    /// tracing, runs on the serial engine — and subsequent
+    /// [`Hbm::set_parallel`] calls no-op back to serial.
+    pub fn set_ras_plan(&mut self, plan: RasPlan) -> Result<(), RasPlanError> {
+        let plan = plan.validate_for(pac_types::BackendKind::Hbm, self.cfg.channels)?;
+        self.quiesce_engine();
+        self.engine = None;
+        let flat = (self.cfg.channels * self.cfg.banks_per_channel()) as usize;
+        self.ras = Some(MemRas::new(plan, flat));
+        Ok(())
+    }
+
+    /// Cumulative RAS event counters, when a plan is armed.
+    pub fn ras_stats(&self) -> Option<RasStats> {
+        self.ras.as_ref().map(|r| r.stats)
+    }
+
     /// True when nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
         self.inflight == 0
@@ -248,7 +337,17 @@ impl Hbm {
         );
 
         let channel = self.cfg.channel_of(req.addr);
-        let bank = self.cfg.flat_bank_of(req.addr);
+        let mut bank = self.cfg.flat_bank_of(req.addr);
+        if let Some(ras) = &self.ras {
+            // Bank sparing: a worn-out bank's traffic is steered to the
+            // channel's spare (its last bank stands in for a dedicated
+            // spare) — the address map is unchanged, only the physical
+            // bank under it.
+            let banks = self.cfg.banks_per_channel();
+            if ras.spared[(channel * banks + bank) as usize] {
+                bank = banks - 1;
+            }
+        }
 
         // Address-routed: the request travels its home channel's bus.
         let req_flits = self.request_flits(&req);
@@ -434,6 +533,70 @@ impl Hbm {
 
         let mut entry: CompletedEntry =
             (complete, req.id, req.addr, req.bytes, req.op == Op::Store, req.submit_cycle);
+        if let Some(ras) = &mut self.ras {
+            let plan = ras.plan;
+            let banks = self.cfg.banks_per_channel();
+            let flat = (req.link * banks + req.bank) as usize;
+            match plan.class {
+                RasClass::Scrub => {
+                    // The patrol scrubber holds the bank for the rest of
+                    // its window; data that lands inside one waits it
+                    // out. Periodic, not budgeted.
+                    let delay = ras.scrub_delay(req.bank, banks, r.data_ready);
+                    if delay > 0 {
+                        ras.stats.scrub_hits += 1;
+                        entry.0 += delay;
+                        self.tracer.emit(r.data_ready, EventClass::Hmc, || EventKind::Scrub {
+                            channel: req.link,
+                            bank: req.bank,
+                            delay,
+                        });
+                    }
+                }
+                RasClass::EccSingle if ras.events < plan.max_events
+                    && plan.should_hit(req.id) =>
+                {
+                    // SECDED corrects the flipped bit in-line: the data
+                    // is right, the response just pays the correction
+                    // pipeline — and the bank's wear counter ticks.
+                    ras.events += 1;
+                    ras.stats.ecc_corrected += 1;
+                    entry.0 += plan.ecc_latency;
+                    self.tracer.emit(r.data_ready, EventClass::Hmc, || EventKind::EccCorrect {
+                        id: req.id,
+                        channel: req.link,
+                        bank: req.bank,
+                    });
+                    ras.correctable[flat] += 1;
+                    if plan.spare_threshold > 0
+                        && ras.correctable[flat] == plan.spare_threshold
+                        && !ras.spared[flat]
+                    {
+                        ras.spared[flat] = true;
+                        ras.stats.banks_spared += 1;
+                    }
+                }
+                RasClass::EccDouble if ras.events < plan.max_events
+                    && plan.should_hit(req.id) =>
+                {
+                    // SECDED detects but cannot correct: the beat is
+                    // poisoned by corrupting the address echo — the
+                    // recovery layer's poison-and-reissue path repairs
+                    // it, and the bounded budget lets the reissue
+                    // eventually succeed.
+                    ras.events += 1;
+                    ras.stats.ecc_poisoned += 1;
+                    entry.0 += plan.ecc_latency;
+                    entry.2 ^= 0x40;
+                    self.tracer.emit(r.data_ready, EventClass::Hmc, || EventKind::EccPoison {
+                        id: req.id,
+                        channel: req.link,
+                        bank: req.bank,
+                    });
+                }
+                _ => {}
+            }
+        }
         if let Some(plan) = self.fault_plan {
             // Validation guarantees max_faults >= 1 and an in-range
             // target_unit. Identical semantics to the HMC injector so
@@ -598,6 +761,12 @@ impl crate::MemoryBackend for Hbm {
     }
     fn faults_injected(&self) -> u64 {
         Hbm::faults_injected(self)
+    }
+    fn set_ras_plan(&mut self, plan: RasPlan) -> Result<(), RasPlanError> {
+        Hbm::set_ras_plan(self, plan)
+    }
+    fn ras_stats(&self) -> Option<RasStats> {
+        Hbm::ras_stats(self)
     }
     fn set_tracer(&mut self, tracer: TraceHandle) {
         Hbm::set_tracer(self, tracer);
@@ -959,6 +1128,128 @@ mod tests {
         assert!(names.contains(&"fault_injected"));
         assert!(names.contains(&"hmc_response"));
         assert_eq!(tracer.snapshot_dumps().len(), 1);
+    }
+
+    #[test]
+    fn ecc_single_corrects_for_latency_and_spares_the_worn_bank() {
+        use pac_types::{RasClass, RasPlan};
+        let mut plain = device();
+        let mut armed = device();
+        let plan = RasPlan {
+            rate_per_1024: 1024,
+            max_events: u64::MAX,
+            spare_threshold: 3,
+            ..RasPlan::new(RasClass::EccSingle, 7)
+        };
+        armed.set_ras_plan(plan).expect("valid");
+        // Hammer one bank (same row repeatedly → same channel/bank).
+        for i in 0..8 {
+            plain.submit(read(i, 0, 64), i * 200);
+            armed.submit(read(i, 0, 64), i * 200);
+        }
+        let (a, _) = plain.drain(0);
+        let (b, _) = armed.drain(0);
+        assert_eq!(a.len(), b.len(), "correction conserves responses");
+        assert!(a.iter().zip(&b).all(|(x, y)| x.addr == y.addr), "data stays right");
+        let stats = armed.ras_stats().expect("armed");
+        assert_eq!(stats.ecc_corrected, 8, "{stats:?}");
+        assert_eq!(stats.ecc_poisoned, 0);
+        assert_eq!(stats.banks_spared, 1, "threshold 3 must spare the bank");
+        let sum = |rs: &[HmcResponse]| rs.iter().map(|r| r.latency()).sum::<u64>();
+        assert!(sum(&b) > sum(&a), "corrections must cost the ECC pipeline");
+    }
+
+    #[test]
+    fn ecc_double_poisons_the_address_echo() {
+        use pac_types::{RasClass, RasPlan};
+        let mut hbm = device();
+        let plan = RasPlan {
+            rate_per_1024: 1024,
+            max_events: 1,
+            ..RasPlan::new(RasClass::EccDouble, 7)
+        };
+        hbm.set_ras_plan(plan).expect("valid");
+        hbm.submit(read(1, 0x1000, 64), 0);
+        let (rsps, _) = hbm.drain(0);
+        assert_eq!(rsps.len(), 1);
+        assert_eq!(rsps[0].addr, 0x1040, "poison corrupts the echoed address");
+        let stats = hbm.ras_stats().expect("armed");
+        assert_eq!(stats.ecc_poisoned, 1);
+        // Budget exhausted: a reissue of the same id now succeeds.
+        hbm.submit(read(1, 0x1000, 64), 20_000);
+        let (rsps, _) = hbm.drain(20_000);
+        assert_eq!(rsps[0].addr, 0x1000, "reissue past the budget is clean");
+    }
+
+    #[test]
+    fn scrub_windows_delay_references_that_land_inside() {
+        use pac_types::{RasClass, RasPlan};
+        let mut hbm = device();
+        // Aggressive windows so a spread of submits must hit several.
+        let plan = RasPlan {
+            scrub_interval: 2_000,
+            scrub_duration: 400,
+            ..RasPlan::new(RasClass::Scrub, 7)
+        };
+        hbm.set_ras_plan(plan).expect("valid");
+        let mut submitted = 0u64;
+        for i in 0..64 {
+            hbm.submit(read(i, i % 4 * 64, 64), i * 150); // one bank, spread in time
+            submitted += 1;
+        }
+        let (rsps, _) = hbm.drain(0);
+        assert_eq!(rsps.len() as u64, submitted, "scrub loses nothing");
+        let stats = hbm.ras_stats().expect("armed");
+        assert!(stats.scrub_hits > 0, "windows must catch some references: {stats:?}");
+        assert_eq!(stats.ecc_corrected + stats.ecc_poisoned, 0);
+    }
+
+    #[test]
+    fn ras_plan_validated_against_backend_and_forces_serial() {
+        use pac_types::{RasClass, RasPlan, RasPlanError};
+        let mut hbm = device();
+        assert!(matches!(
+            hbm.set_ras_plan(RasPlan::new(RasClass::LinkBitError, 1)),
+            Err(RasPlanError::WrongBackend { .. })
+        ));
+        hbm.set_parallel(4);
+        hbm.set_ras_plan(RasPlan::new(RasClass::EccSingle, 1)).expect("valid");
+        assert_eq!(hbm.shards(), 1, "RAS requires the serial engine");
+        hbm.set_parallel(4);
+        assert_eq!(hbm.shards(), 1);
+    }
+
+    #[test]
+    fn ras_state_snapshots_mid_scrub() {
+        use pac_types::{RasClass, RasPlan, SnapReader, Snapshot};
+        let mut hbm = device();
+        let plan = RasPlan {
+            scrub_interval: 2_000,
+            scrub_duration: 400,
+            ..RasPlan::new(RasClass::Scrub, 7)
+        };
+        hbm.set_ras_plan(plan).expect("valid");
+        for i in 0..32 {
+            hbm.submit(read(i, i % 4 * 64, 64), i * 100);
+        }
+        for now in 0..1500 {
+            hbm.tick(now);
+        }
+        let bytes = snapshot_bytes(&hbm);
+        let mut r = SnapReader::new(&bytes);
+        let mut restored = Hbm::load(&mut r).expect("roundtrip");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(snapshot_bytes(&restored), bytes, "restore must be exact");
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        hbm.pop_responses(1500, &mut out_a);
+        restored.pop_responses(1500, &mut out_b);
+        assert_eq!(out_a, out_b);
+        let (a, da) = hbm.drain(1500);
+        let (b, db) = restored.drain(1500);
+        assert_eq!(a, b);
+        assert_eq!(da, db);
+        assert_eq!(hbm.ras_stats(), restored.ras_stats());
     }
 
     #[test]

@@ -31,7 +31,8 @@ use hmc_sim::{EnergyBreakdown, Hmc, HmcRequest, HmcResponse, HmcStats};
 use pac_trace::TraceHandle;
 use pac_types::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use pac_types::{
-    BackendKind, Cycle, FaultPlan, FaultPlanError, ShardStats, SimConfig, StallCycles,
+    BackendKind, Cycle, FaultPlan, FaultPlanError, RasPlan, RasPlanError, RasStats, ShardStats,
+    SimConfig, StallCycles,
 };
 
 /// The cycle-level device surface the simulator core is generic over.
@@ -107,6 +108,17 @@ pub trait MemoryBackend: std::fmt::Debug {
 
     /// Faults injected so far under the armed plan.
     fn faults_injected(&self) -> u64;
+
+    /// Arm the backend's hardware RAS layer (link CRC/retry/degrade on
+    /// the HMC, ECC/scrub/sparing on the HBM). The plan is validated
+    /// against *this* backend — arming a class the other substrate
+    /// models is a [`RasPlanError::WrongBackend`]. Arming forces the
+    /// serial engine, like tracing; a disarmed device is bit-identical
+    /// to one without the RAS layer at all.
+    fn set_ras_plan(&mut self, plan: RasPlan) -> Result<(), RasPlanError>;
+
+    /// Cumulative RAS event counters, when a plan is armed.
+    fn ras_stats(&self) -> Option<RasStats>;
 
     /// Attach a structured-event tracer (an enabled tracer forces the
     /// serial engine).
@@ -198,6 +210,12 @@ impl MemoryBackend for Hmc {
     }
     fn faults_injected(&self) -> u64 {
         Hmc::faults_injected(self)
+    }
+    fn set_ras_plan(&mut self, plan: RasPlan) -> Result<(), RasPlanError> {
+        Hmc::set_ras_plan(self, plan)
+    }
+    fn ras_stats(&self) -> Option<RasStats> {
+        Hmc::ras_stats(self)
     }
     fn set_tracer(&mut self, tracer: TraceHandle) {
         Hmc::set_tracer(self, tracer);

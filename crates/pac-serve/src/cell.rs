@@ -13,7 +13,7 @@ use crate::journal::CellFingerprint;
 use crate::spec::{CampaignSpec, CellSpec};
 use pac_oracle::OracleConfig;
 use pac_sim::{RunProgress, SimSystem, Stepping};
-use pac_types::{Cycle, FaultClass, FaultPlan, RecoveryConfig, SimConfig};
+use pac_types::{Cycle, FaultClass, FaultPlan, RasClass, RasPlan, RecoveryConfig, SimConfig};
 use pac_workloads::multiproc::single_process;
 
 /// Cycles advanced between heartbeat ticks when no preemption quantum
@@ -82,6 +82,18 @@ pub fn build(cell: &CellSpec, spec: &CampaignSpec) -> SimSystem {
         sys.set_fault_plan(FaultPlan::new(class, cell.seed))
             .expect("enumerated fault plan is valid");
         if cell.recovery {
+            sys.set_recovery_config(RecoveryConfig::enabled());
+        }
+    }
+    if let Some(class) = cell.ras {
+        // Enumeration guarantees the class is native to the cell's
+        // backend; arming forces the serial engine.
+        sys.set_ras_plan(RasPlan::new(class, cell.seed))
+            .expect("enumerated ras class is native to the cell's backend");
+        // A double-bit detect poisons the address echo; without the
+        // recovery layer's poison-and-reissue the oracle fires and the
+        // cell fails (deliberately, when recovery=off).
+        if class == RasClass::EccDouble && cell.recovery {
             sys.set_recovery_config(RecoveryConfig::enabled());
         }
     }
@@ -210,6 +222,7 @@ mod tests {
             bench: Bench::Ep,
             kind: CoalescerKind::Pac,
             fault: None,
+            ras: None,
             recovery: true,
             seed: pac_types::derive_seed(spec.seed, 0),
         }
@@ -277,5 +290,40 @@ mod tests {
         };
         let fp = run_to_completion(&cell, &spec).unwrap();
         assert!(fp.faults_injected > 0, "fault never fired");
+    }
+
+    #[test]
+    fn ras_cells_survive_on_both_substrates() {
+        // A link-CRC cell on hmc and a double-bit ECC cell (recovery
+        // repairs the poisoned echoes) on hbm both complete with the
+        // oracle silent, and resume bit-identically mid-retransmission.
+        let spec = tiny_spec();
+        let link = CellSpec {
+            bench: Bench::Stream,
+            ras: Some(pac_types::RasClass::LinkBitError),
+            ..clean_cell(&spec)
+        };
+        let fp = run_to_completion(&link, &spec).unwrap();
+        assert_eq!(fp.oracle_accepted, fp.oracle_served, "conservation through retries");
+
+        // Preempt the same cell through save/restore round-trips.
+        let mut sys = build(&link, &spec);
+        let resumed = loop {
+            match advance_lease(sys, &link, &spec, Some(4_000), &|| {}).unwrap() {
+                CellStep::Done(fp) => break fp,
+                CellStep::Preempted { bytes, .. } => {
+                    sys = restore(&link, &spec, &bytes).unwrap();
+                }
+            }
+        };
+        assert_eq!(resumed, fp, "RAS cell diverged across preemption");
+
+        let ecc = CellSpec {
+            backend: BackendKind::Hbm,
+            bench: Bench::Stream,
+            ras: Some(pac_types::RasClass::EccDouble),
+            ..clean_cell(&spec)
+        };
+        run_to_completion(&ecc, &spec).unwrap();
     }
 }

@@ -720,6 +720,7 @@ mod tests {
             benches: vec![Bench::Ep, Bench::Stream],
             kinds: vec![CoalescerKind::Pac],
             faults: vec![None],
+            ras: vec![None],
             recovery: true,
             max_attempts: 2,
             quantum_cycles: 0,

@@ -12,7 +12,7 @@
 
 use pac_sim::CoalescerKind;
 use pac_types::snapshot::fnv1a64;
-use pac_types::{derive_seed, BackendKind, FaultClass};
+use pac_types::{derive_seed, BackendKind, FaultClass, RasClass};
 use pac_workloads::Bench;
 use std::fmt::Write as _;
 
@@ -30,7 +30,12 @@ pub struct CellSpec {
     pub kind: CoalescerKind,
     /// Armed fault class, if any.
     pub fault: Option<FaultClass>,
-    /// Whether the recovery layer is enabled for fault cells.
+    /// Armed hardware-RAS class, if any. Always native to the cell's
+    /// backend: [`CampaignSpec::cells`] enumerates a class only on its
+    /// own substrate.
+    pub ras: Option<RasClass>,
+    /// Whether the recovery layer is enabled for fault cells (and for
+    /// double-bit ECC cells, whose poisoned echoes need the repair).
     pub recovery: bool,
     /// Derived workload seed (pure function of campaign seed + index).
     pub seed: u64,
@@ -40,12 +45,13 @@ impl CellSpec {
     /// Human-readable identity for logs and failure messages.
     pub fn describe(&self) -> String {
         format!(
-            "cell {} [{} x {} x {} fault={}{}]",
+            "cell {} [{} x {} x {} fault={} ras={}{}]",
             self.index,
             self.bench.name(),
             self.kind.label(),
             self.backend.label(),
             self.fault.map_or("none", FaultClass::label),
+            self.ras.map_or("none", RasClass::label),
             if self.fault.is_some() && !self.recovery { " recovery=off" } else { "" },
         )
     }
@@ -71,6 +77,10 @@ pub struct CampaignSpec {
     pub kinds: Vec<CoalescerKind>,
     /// Fault axis (`None` = clean cell).
     pub faults: Vec<Option<FaultClass>>,
+    /// Hardware-RAS axis (`None` = pristine hardware). A class is
+    /// enumerated only on backends that model it (link classes on hmc,
+    /// ECC/scrub on hbm), so mixed-backend campaigns stay well-formed.
+    pub ras: Vec<Option<RasClass>>,
     /// Recovery layer for fault cells (`recovery=off` makes fault cells
     /// deliberately poisonous: the oracle fires and the cell fails).
     pub recovery: bool,
@@ -94,6 +104,7 @@ impl Default for CampaignSpec {
             benches: vec![Bench::Ep, Bench::Stream],
             kinds: vec![CoalescerKind::Pac],
             faults: vec![None],
+            ras: vec![None],
             recovery: true,
             max_attempts: 3,
             quantum_cycles: 0,
@@ -126,6 +137,16 @@ fn parse_fault(s: &str) -> Result<Option<FaultClass>, String> {
             let valid: Vec<&str> = FaultClass::ALL.iter().map(|c| c.label()).collect();
             format!("unknown fault '{s}' (valid: none, {})", valid.join(", "))
         })
+}
+
+fn parse_ras(s: &str) -> Result<Option<RasClass>, String> {
+    if s.eq_ignore_ascii_case("none") {
+        return Ok(None);
+    }
+    RasClass::from_name(s).map(Some).ok_or_else(|| {
+        let valid: Vec<&str> = RasClass::ALL.iter().map(|c| c.label()).collect();
+        format!("unknown ras class '{s}' (valid: none, {})", valid.join(", "))
+    })
 }
 
 fn parse_u64(key: &str, s: &str) -> Result<u64, String> {
@@ -202,6 +223,10 @@ impl CampaignSpec {
                         spec.faults =
                             value.split(',').map(parse_fault).collect::<Result<_, _>>()?
                     }
+                    "ras" => {
+                        spec.ras =
+                            value.split(',').map(parse_ras).collect::<Result<_, _>>()?
+                    }
                     other => return Err(format!("unknown spec key '{other}'")),
                 }
             }
@@ -211,6 +236,7 @@ impl CampaignSpec {
             || spec.benches.is_empty()
             || spec.kinds.is_empty()
             || spec.faults.is_empty()
+            || spec.ras.is_empty()
         {
             return Err("spec enumerates zero cells (an axis is empty)".to_string());
         }
@@ -238,7 +264,8 @@ impl CampaignSpec {
         let _ = write!(
             s,
             "pac-serve-spec v1 name={} seed={:#x} cores={} accesses={} backends={} \
-             benches={} kinds={} faults={} recovery={} max_attempts={} quantum={} threads={}",
+             benches={} kinds={} faults={} ras={} recovery={} max_attempts={} quantum={} \
+             threads={}",
             self.name,
             self.seed,
             self.cores,
@@ -247,6 +274,7 @@ impl CampaignSpec {
             join(self.benches.iter().map(|b| b.name()).collect()),
             join(self.kinds.iter().map(|k| k.label()).collect()),
             join(self.faults.iter().map(|f| f.map_or("none", FaultClass::label)).collect()),
+            join(self.ras.iter().map(|r| r.map_or("none", RasClass::label)).collect()),
             if self.recovery { "on" } else { "off" },
             self.max_attempts,
             self.quantum_cycles,
@@ -261,25 +289,34 @@ impl CampaignSpec {
     }
 
     /// Enumerate every cell in fixed order: backends outermost, then
-    /// benches, kinds, faults. Workload seeds derive from the campaign
-    /// seed and the cell index, so the list is a pure function of the
-    /// spec.
+    /// benches, kinds, faults, ras innermost. A RAS class is enumerated
+    /// only on its native substrate (link classes on hmc, ECC/scrub on
+    /// hbm) — a mixed-backend campaign with a mixed ras axis yields
+    /// each class exactly where the hardware models it. Workload seeds
+    /// derive from the campaign seed and the cell index, so the list is
+    /// a pure function of the spec.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut cells = Vec::new();
         for &backend in &self.backends {
             for &bench in &self.benches {
                 for &kind in &self.kinds {
                     for &fault in &self.faults {
-                        let index = cells.len() as u64;
-                        cells.push(CellSpec {
-                            index,
-                            backend,
-                            bench,
-                            kind,
-                            fault,
-                            recovery: self.recovery,
-                            seed: derive_seed(self.seed, index),
-                        });
+                        for &ras in &self.ras {
+                            if ras.is_some_and(|c| c.backend() != backend) {
+                                continue;
+                            }
+                            let index = cells.len() as u64;
+                            cells.push(CellSpec {
+                                index,
+                                backend,
+                                bench,
+                                kind,
+                                fault,
+                                ras,
+                                recovery: self.recovery,
+                                seed: derive_seed(self.seed, index),
+                            });
+                        }
                     }
                 }
             }
@@ -303,6 +340,7 @@ mod tests {
             benches: vec![Bench::Ep, Bench::Stream, Bench::Gs],
             kinds: vec![CoalescerKind::Raw, CoalescerKind::Pac],
             faults: vec![None, Some(FaultClass::DropResponse)],
+            ras: vec![None, Some(RasClass::LinkBitError), Some(RasClass::Scrub)],
             recovery: true,
             max_attempts: 2,
             quantum_cycles: 40_000,
@@ -331,6 +369,7 @@ mod tests {
             ("benches=NOPE", "valid: BFS"),
             ("kinds=fast", "valid: raw, mshr-dmc, pac"),
             ("faults=sometimes", "valid: none, drop-response"),
+            ("ras=gremlins", "valid: none, link-bit-error"),
             ("recovery=maybe", "valid: on, off"),
             ("quantum=soon", "not an integer"),
             ("wat=1", "unknown spec key"),
@@ -349,7 +388,8 @@ mod tests {
             ..CampaignSpec::default()
         };
         let cells = spec.cells();
-        assert_eq!(cells.len(), 2 * 2 * 1 * 2);
+        // 2 backends x 2 benches x 2 faults (single kind, single seed).
+        assert_eq!(cells.len(), 2 * 2 * 2);
         assert!(cells.iter().enumerate().all(|(i, c)| c.index == i as u64));
         // Faults innermost: cell 0 clean, cell 1 faulted, same bench.
         assert_eq!(cells[0].fault, None);
@@ -362,6 +402,33 @@ mod tests {
         assert_ne!(cells[0].seed, cells[1].seed);
         // Same spec, same seeds.
         assert_eq!(spec.cells(), spec.cells());
+    }
+
+    #[test]
+    fn ras_axis_enumerates_only_on_native_substrates() {
+        let spec = CampaignSpec {
+            backends: vec![BackendKind::Hmc, BackendKind::Hbm],
+            benches: vec![Bench::Ep],
+            ras: vec![None, Some(RasClass::LinkBitError), Some(RasClass::EccSingle)],
+            ..CampaignSpec::default()
+        };
+        let cells = spec.cells();
+        // Each backend gets the clean cell plus only its own class.
+        assert_eq!(cells.len(), 2 * 2);
+        assert!(cells
+            .iter()
+            .all(|c| c.ras.is_none_or(|r| r.backend() == c.backend)));
+        assert!(cells
+            .iter()
+            .any(|c| c.backend == BackendKind::Hmc && c.ras == Some(RasClass::LinkBitError)));
+        assert!(cells
+            .iter()
+            .any(|c| c.backend == BackendKind::Hbm && c.ras == Some(RasClass::EccSingle)));
+        // Indices stay dense and stable.
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i as u64));
+        // And the axis roundtrips through the canonical line.
+        let reparsed = CampaignSpec::parse(&spec.canonical()).unwrap();
+        assert_eq!(reparsed.cells(), cells);
     }
 
     #[test]

@@ -483,6 +483,22 @@ impl SimSystem {
         self.mem.faults_injected()
     }
 
+    /// Arm the device's hardware RAS layer (link CRC/retry/degrade on
+    /// the HMC backend, ECC/scrub/sparing on the HBM). Validated
+    /// against the configured backend at arm time; forces the serial
+    /// engine, like tracing. RAS events are conservation-preserving —
+    /// the lockstep oracle must stay silent through every class (the
+    /// one deliberate exception is the double-bit poison, which the
+    /// recovery layer repairs before the oracle's final verdict).
+    pub fn set_ras_plan(&mut self, plan: pac_types::RasPlan) -> Result<(), pac_types::RasPlanError> {
+        self.mem.set_ras_plan(plan)
+    }
+
+    /// Cumulative RAS event counters, when a plan is armed.
+    pub fn ras_stats(&self) -> Option<pac_types::RasStats> {
+        self.mem.ras_stats()
+    }
+
     fn alloc_raw(&mut self) -> u64 {
         let id = self.next_raw;
         self.next_raw += 1;
@@ -1550,6 +1566,8 @@ pub struct LockstepOutcome {
     /// Shard-engine self-metrics, when intra-run sharding was armed
     /// (`None` on serial runs).
     pub shard_stats: Option<pac_types::ShardStats>,
+    /// RAS event counters, when a RAS plan was armed.
+    pub ras_stats: Option<pac_types::RasStats>,
     /// Simulated cycle the run ended at.
     pub cycles: Cycle,
 }
@@ -1568,6 +1586,7 @@ pub fn run_lockstep(
     kind: CoalescerKind,
     accesses_per_core: u64,
     fault: Option<FaultPlan>,
+    ras: Option<pac_types::RasPlan>,
     recovery: Option<RecoveryConfig>,
     oracle_cfg: Option<OracleConfig>,
     cycle_limit: Cycle,
@@ -1577,6 +1596,10 @@ pub fn run_lockstep(
     sys.attach_oracle_with(oracle_cfg.unwrap_or_else(|| OracleConfig::for_sim(sys.config())));
     if let Some(plan) = fault {
         sys.set_fault_plan(plan).expect("valid fault plan");
+    }
+    if let Some(plan) = ras {
+        // Arming tears the shard engine back down to serial.
+        sys.set_ras_plan(plan).expect("valid ras plan");
     }
     if let Some(rc) = recovery {
         sys.set_recovery_config(rc);
@@ -1588,6 +1611,7 @@ pub fn run_lockstep(
         faults_injected: sys.faults_injected(),
         recovery: sys.recovery_report(),
         shard_stats: sys.shard_stats(),
+        ras_stats: sys.ras_stats(),
         cycles: sys.now(),
     }
 }
@@ -1702,6 +1726,7 @@ mod tests {
             CoalescerKind::Pac,
             1500,
             Some(FaultPlan::new(FaultClass::DropResponse, 99)),
+            None,
             None,
             None,
             2_000_000,

@@ -233,6 +233,58 @@ pub enum EventKind {
         /// Address the dispatch actually carried.
         expected_addr: u64,
     },
+    /// The link CRC caught a bit error in a request packet's FLITs.
+    CrcError {
+        /// Device-side request id of the damaged packet.
+        id: u64,
+        /// Link the packet was crossing.
+        link: u32,
+    },
+    /// A damaged packet was replayed from the link's retry buffer.
+    LinkRetry {
+        /// Device-side request id being retransmitted.
+        id: u64,
+        /// Link replaying the packet.
+        link: u32,
+        /// 1-based retransmission attempt.
+        attempt: u32,
+    },
+    /// A link crossed a retry-storm threshold and degraded.
+    LinkDegrade {
+        /// The degrading link.
+        link: u32,
+        /// `false`: down-shifted to half width; `true`: retired from
+        /// dispatch entirely.
+        retired: bool,
+    },
+    /// SECDED corrected a single-bit error in a 32B beat.
+    EccCorrect {
+        /// Device-side request id of the corrected response.
+        id: u64,
+        /// Pseudo-channel that served it.
+        channel: u32,
+        /// Bank the beat was read from.
+        bank: u32,
+    },
+    /// SECDED detected an uncorrectable double-bit error; the response
+    /// is poisoned (corrupted echo) for the recovery layer to repair.
+    EccPoison {
+        /// Device-side request id of the poisoned response.
+        id: u64,
+        /// Pseudo-channel that served it.
+        channel: u32,
+        /// Bank the beat was read from.
+        bank: u32,
+    },
+    /// A reference was pushed out by a patrol-scrub window on its bank.
+    Scrub {
+        /// Pseudo-channel owning the bank.
+        channel: u32,
+        /// Bank being scrubbed.
+        bank: u32,
+        /// Cycles the reference was delayed.
+        delay: Cycle,
+    },
 }
 
 impl EventKind {
@@ -263,6 +315,16 @@ impl EventKind {
             | EventKind::RetryIssued { .. }
             | EventKind::DuplicateDropped { .. }
             | EventKind::PoisonDetected { .. } => EventClass::Diagnostic,
+            // RAS events happen inside the device: link-layer events on
+            // the HMC side, ECC/scrub on the HBM side, all on the Hmc
+            // (device) filter class so `--classes hmc` captures the
+            // whole hardware story.
+            EventKind::CrcError { .. }
+            | EventKind::LinkRetry { .. }
+            | EventKind::LinkDegrade { .. }
+            | EventKind::EccCorrect { .. }
+            | EventKind::EccPoison { .. }
+            | EventKind::Scrub { .. } => EventClass::Hmc,
         }
     }
 
@@ -294,6 +356,12 @@ impl EventKind {
             EventKind::RetryIssued { .. } => "retry_issued",
             EventKind::DuplicateDropped { .. } => "duplicate_dropped",
             EventKind::PoisonDetected { .. } => "poison_detected",
+            EventKind::CrcError { .. } => "crc_error",
+            EventKind::LinkRetry { .. } => "link_retry",
+            EventKind::LinkDegrade { .. } => "link_degrade",
+            EventKind::EccCorrect { .. } => "ecc_correct",
+            EventKind::EccPoison { .. } => "ecc_poison",
+            EventKind::Scrub { .. } => "scrub",
         }
     }
 
@@ -312,7 +380,11 @@ impl EventKind {
             | EventKind::WatchdogFired { id, .. }
             | EventKind::RetryIssued { id, .. }
             | EventKind::DuplicateDropped { id, .. }
-            | EventKind::PoisonDetected { id, .. } => Some(id),
+            | EventKind::PoisonDetected { id, .. }
+            | EventKind::CrcError { id, .. }
+            | EventKind::LinkRetry { id, .. }
+            | EventKind::EccCorrect { id, .. }
+            | EventKind::EccPoison { id, .. } => Some(id),
             _ => None,
         }
     }

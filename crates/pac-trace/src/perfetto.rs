@@ -196,6 +196,41 @@ fn place(ev: &TraceEvent) -> Emitted {
                 seq, id, echoed_addr, expected_addr
             );
         }
+        EventKind::CrcError { id, link } => {
+            e.pid = PID_HMC;
+            e.tid = TID_HMC_LINK;
+            let _ = write!(e.args, "\"id\":{},\"link\":{}", id, link);
+        }
+        EventKind::LinkRetry { id, link, attempt } => {
+            e.pid = PID_HMC;
+            e.tid = TID_HMC_LINK;
+            let _ = write!(e.args, "\"id\":{},\"link\":{},\"attempt\":{}", id, link, attempt);
+        }
+        EventKind::LinkDegrade { link, retired } => {
+            e.pid = PID_HMC;
+            e.tid = TID_HMC_LINK;
+            let _ = write!(
+                e.args,
+                "\"link\":{},\"mode\":\"{}\"",
+                link,
+                if *retired { "retired" } else { "half-width" }
+            );
+        }
+        EventKind::EccCorrect { id, channel, bank } => {
+            e.pid = PID_HMC;
+            e.tid = TID_HMC_LINK;
+            let _ = write!(e.args, "\"id\":{},\"channel\":{},\"bank\":{}", id, channel, bank);
+        }
+        EventKind::EccPoison { id, channel, bank } => {
+            e.pid = PID_HMC;
+            e.tid = TID_HMC_LINK;
+            let _ = write!(e.args, "\"id\":{},\"channel\":{},\"bank\":{}", id, channel, bank);
+        }
+        EventKind::Scrub { channel, bank, delay } => {
+            e.pid = PID_HMC;
+            e.tid = TID_HMC_LINK;
+            let _ = write!(e.args, "\"channel\":{},\"bank\":{},\"delay\":{}", channel, bank, delay);
+        }
     }
     e
 }

@@ -14,6 +14,7 @@ pub mod fault;
 pub mod hash;
 pub mod obs;
 pub mod protocol;
+pub mod ras;
 pub mod recovery;
 pub mod request;
 pub mod sigwatch;
@@ -30,6 +31,7 @@ pub use fault::{FaultClass, FaultPlan, FaultPlanError};
 pub use hash::{IdHash, IdHasher};
 pub use obs::{RunnerStats, ShardStats, StallCycles, SupervisorStats, WorkerStats};
 pub use protocol::MemoryProtocol;
+pub use ras::{RasClass, RasPlan, RasPlanError, RasStats};
 pub use recovery::RecoveryConfig;
 pub use request::{CoalescedRequest, MemRequest, Op, RequestKind};
 pub use snapshot::{frame, unframe, SnapError, SnapReader, SnapWriter, Snapshot};

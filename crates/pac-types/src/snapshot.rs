@@ -48,7 +48,9 @@ pub const SNAP_MAGIC: [u8; 8] = *b"PACSNAP1";
 /// component's field set or encoding — old checkpoints are then refused
 /// with [`SnapError::BadVersion`] instead of being misread.
 /// v3: `PseudoChannel` gained per-cause issue-stall counters.
-pub const SNAP_VERSION: u32 = 3;
+/// v4: `Hmc`/`Hbm` gained optional hardware-RAS state (link retry
+/// buffers, token credits, ECC/scrub/spare maps).
+pub const SNAP_VERSION: u32 = 4;
 
 /// Why a snapshot could not be read back.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -117,7 +117,7 @@ mod tests {
         let mut tlb = Tlb::new(4);
         for vpn in 0..4u64 {
             // All map to set 0 (sets=1).
-            tlb.insert(0, vpn * 1, vpn);
+            tlb.insert(0, vpn, vpn);
         }
         // Touch vpn 0 so vpn 1 is LRU.
         assert!(tlb.lookup(0, 0).is_some());

@@ -157,7 +157,6 @@ mod tests {
         let sb = shared(&mut b);
         assert_eq!(sa, sb, "shared sequence must be identical across cores");
         assert!(sa.windows(2).all(|w| w[1] == w[0] + 64), "sequential lines");
-        drop(mk);
     }
 
     #[test]

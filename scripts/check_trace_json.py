@@ -10,6 +10,10 @@ Checks, per https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0
   - metadata events carry `name` and an `args.name`;
   - counter events carry a numeric args payload and a track name from
     the known `CounterKind` set (unknown tracks are rejected);
+  - hardware RAS instants (crc_error, link_retry, link_degrade,
+    ecc_correct, ecc_poison, scrub) carry their full typed payload —
+    integer link/channel/bank coordinates, and for link_degrade a mode
+    of "half-width" or "retired";
   - thread ids, when present, are integers.
 
 Exit code 0 on success; prints a summary line for the CI log.
@@ -37,9 +41,42 @@ COUNTER_TRACKS = {
 }
 
 
+# Hardware RAS instant events and the integer args each must carry —
+# must mirror the `EventKind` payloads rendered in
+# crates/pac-trace/src/perfetto.rs. `link_degrade` additionally carries
+# a string `mode` checked separately.
+RAS_EVENT_ARGS = {
+    "crc_error": ("id", "link"),
+    "link_retry": ("id", "link", "attempt"),
+    "link_degrade": ("link",),
+    "ecc_correct": ("id", "channel", "bank"),
+    "ecc_poison": ("id", "channel", "bank"),
+    "scrub": ("channel", "bank", "delay"),
+}
+
+
 def fail(msg: str) -> None:
     print(f"FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_ras_event(where: str, ev: dict) -> None:
+    """Validate one RAS instant's typed payload."""
+    name = ev["name"]
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        fail(f"{where}: ras event {name!r} needs an args object")
+    for field in RAS_EVENT_ARGS[name]:
+        if not isinstance(args.get(field), int) or args[field] < 0:
+            fail(
+                f"{where}: ras event {name!r} needs non-negative integer "
+                f"args.{field}, got {args.get(field)!r}"
+            )
+    if name == "link_degrade" and args.get("mode") not in ("half-width", "retired"):
+        fail(
+            f"{where}: link_degrade mode must be 'half-width' or "
+            f"'retired', got {args.get('mode')!r}"
+        )
 
 
 def main(path: str) -> None:
@@ -54,6 +91,7 @@ def main(path: str) -> None:
 
     by_phase = collections.Counter()
     tracks = set()
+    ras_events = collections.Counter()
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -75,6 +113,9 @@ def main(path: str) -> None:
             fail(f"{where}: ts must be a non-negative integer, got {ts!r}")
         if not isinstance(ev.get("name"), str) or not ev["name"]:
             fail(f"{where}: name must be a non-empty string")
+        if ph == "i" and ev["name"] in RAS_EVENT_ARGS:
+            check_ras_event(where, ev)
+            ras_events[ev["name"]] += 1
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, int) or dur < 0:
@@ -100,10 +141,15 @@ def main(path: str) -> None:
     if by_phase["C"] == 0:
         fail("no counter samples")
 
+    ras = (
+        " ras: " + ", ".join(f"{k}={v}" for k, v in sorted(ras_events.items()))
+        if ras_events
+        else ""
+    )
     print(
         f"OK: {len(events)} events "
         f"(M={by_phase['M']} i={by_phase['i']} X={by_phase['X']} "
-        f"C={by_phase['C']}), counter tracks: {', '.join(sorted(tracks))}"
+        f"C={by_phase['C']}), counter tracks: {', '.join(sorted(tracks))}{ras}"
     )
 
 

@@ -10,7 +10,8 @@
 
 use pac_repro::sim::{CoalescerKind, RunMetrics, RunProgress, SimSystem, Stepping};
 use pac_repro::types::{
-    BackendKind, Cycle, FaultClass, FaultPlan, RecoveryConfig, SimConfig, SnapError,
+    BackendKind, Cycle, FaultClass, FaultPlan, RasClass, RasPlan, RecoveryConfig, SimConfig,
+    SnapError,
 };
 use pac_repro::workloads::multiproc::{single_process, CoreSpec};
 use pac_repro::workloads::Bench;
@@ -258,6 +259,106 @@ fn hbm_kill_resume_with_faults_and_recovery_active() {
     faulted_kill_resume_roundtrips(
         SimConfig::for_backend(BackendKind::Hbm),
         "faulted/pac/hbm",
+    );
+}
+
+/// Kill-resume with an armed hardware RAS plan: the checkpoint lands
+/// while the RAS machinery holds live state — retry buffers mid
+/// retransmission on HMC, the patrol scrubber mid-sweep on HBM — plus
+/// the plan's own RNG position and remaining event budget. The resumed
+/// run must inject, correct, and retry the exact same events on the
+/// exact same cycles: final metrics, clocks, and every RAS counter
+/// bit-identical to the uninterrupted reference.
+fn ras_kill_resume_roundtrips(cfg: SimConfig, class: RasClass, meta: &str) {
+    let seed = 0x5A5_1DE; // arbitrary, fixed
+    let plan = RasPlan::new(class, 0x0A5_5EED);
+    let limit: Cycle = 10_000_000;
+
+    let build = |cfg: SimConfig| {
+        let mut sys = fresh_system(Bench::Stream, CoalescerKind::Pac, cfg, seed);
+        sys.attach_oracle();
+        sys.set_ras_plan(plan).expect("class is native to this backend");
+        if class == RasClass::EccDouble {
+            // Poisoned double-bit echoes need the recovery layer's
+            // poison-and-reissue path, exactly as the conformance
+            // matrix arms it.
+            sys.set_recovery_config(RecoveryConfig::enabled());
+        }
+        sys
+    };
+
+    // Uninterrupted reference.
+    let mut sys = build(cfg);
+    sys.begin_run(ACCESSES);
+    let base_progress = sys.advance(limit, Cycle::MAX);
+    let base = sys.finish_run();
+    let base_now = sys.now();
+    let base_oracle = sys.oracle_report().expect("oracle attached");
+    let base_stats = sys.ras_stats().expect("ras armed");
+    assert!(
+        base_stats.events_for(class) > 0,
+        "{meta}: plan must actually fire for this test to mean anything ({base_stats:?})"
+    );
+
+    // Kill at several depths so the snapshot crosses different live
+    // RAS states (early: cold buffers; mid: retransmission / scrub in
+    // flight; late: budget exhausted, pure replay).
+    for frac in [8, 3, 2] {
+        let stop = (base.runtime_cycles / frac).max(1);
+        let mut sys = build(cfg);
+        sys.begin_run(ACCESSES);
+        if sys.advance(limit, stop) != RunProgress::Paused {
+            continue; // drained before the pause point at this depth
+        }
+        let bytes = sys.save_state(meta).expect("checkpoint with armed ras plan");
+        drop(sys);
+        let mut sys =
+            SimSystem::restore(specs(Bench::Stream, &cfg, seed), &bytes, meta).unwrap();
+        let progress = sys.advance(sys.run_limit().min(limit), Cycle::MAX);
+        let resumed = sys.finish_run();
+        let resumed_oracle = sys.oracle_report().expect("oracle restored");
+        let resumed_stats = sys.ras_stats().expect("ras plan restored");
+
+        assert_eq!(base_progress, progress, "{meta}@{stop}: termination mode diverged");
+        assert_eq!(base, resumed, "{meta}@{stop}: metrics diverged under ras");
+        assert_eq!(base_now, sys.now(), "{meta}@{stop}: final clock diverged");
+        assert_eq!(base_stats, resumed_stats, "{meta}@{stop}: ras counters diverged");
+        assert_eq!(base_oracle.counts, resumed_oracle.counts, "{meta}@{stop}: oracle diverged");
+        assert_eq!(base_oracle.accepted_raw, resumed_oracle.accepted_raw);
+        assert_eq!(base_oracle.served_raw, resumed_oracle.served_raw);
+    }
+}
+
+/// CRC bit errors on the HMC link layer: checkpoints land while retry
+/// buffers hold un-acked FLITs awaiting retransmission.
+#[test]
+fn kill_resume_with_link_bit_errors_mid_retransmission() {
+    ras_kill_resume_roundtrips(
+        SimConfig::default(),
+        RasClass::LinkBitError,
+        "ras/link-bit-error/pac",
+    );
+}
+
+/// Patrol scrub on the HBM backend: checkpoints land mid-sweep, with
+/// the scrubber's position and the ECC state both live in the snapshot.
+#[test]
+fn hbm_kill_resume_with_patrol_scrub_mid_sweep() {
+    ras_kill_resume_roundtrips(
+        SimConfig::for_backend(BackendKind::Hbm),
+        RasClass::Scrub,
+        "ras/scrub/pac/hbm",
+    );
+}
+
+/// Double-bit ECC with recovery armed on HBM: the snapshot carries
+/// poisoned-line bookkeeping alongside pending reissue timers.
+#[test]
+fn hbm_kill_resume_with_ecc_poison_and_recovery() {
+    ras_kill_resume_roundtrips(
+        SimConfig::for_backend(BackendKind::Hbm),
+        RasClass::EccDouble,
+        "ras/ecc-double/pac/hbm",
     );
 }
 

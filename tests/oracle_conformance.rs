@@ -28,6 +28,7 @@ fn oracle_is_silent_on_clean_runs() {
                 None,
                 None,
                 None,
+                None,
                 LIMIT,
             );
             assert!(out.converged, "{bench:?}/{kind:?} did not converge");
@@ -68,6 +69,7 @@ fn every_fault_class_is_caught_through_the_facade() {
             CoalescerKind::Pac,
             ACCESSES,
             Some(plan),
+            None,
             None,
             Some(oracle_cfg),
             limit,

@@ -82,7 +82,7 @@ fn executed_pointer_chase_matches_graph_style_scatter() {
             // Scatter nodes pseudo-randomly over 64 MB.
             let mut addr = base;
             for _ in 0..=n {
-                let next = base + (addr.wrapping_mul(0x9E3779B97F4A7C15) % (64 << 20)) & !7;
+                let next = (base + (addr.wrapping_mul(0x9E3779B97F4A7C15) % (64 << 20))) & !7;
                 mem.store(addr, 8, next);
                 addr = next;
             }
